@@ -1,0 +1,28 @@
+//! E9 smoke bench: design ablations of the central-buffer switch.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mdw_bench::{base_system, Scale};
+use mdworm::experiments::e9_ablations;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e9_ablations");
+    g.sample_size(10);
+    let run = Scale::Quick.run();
+    let base = base_system();
+    g.bench_function("all_variants", |b| {
+        b.iter(|| {
+            let rows = e9_ablations(&base, &run, 0.3);
+            // Every variant except the deliberately unsafe synchronous-
+            // replication one must stay deadlock-free.
+            assert!(rows
+                .iter()
+                .filter(|r| !r.variant.contains("synchronous"))
+                .all(|r| !r.deadlocked));
+            rows
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

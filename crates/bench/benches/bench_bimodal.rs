@@ -1,0 +1,33 @@
+//! E4/E5 smoke bench: bimodal traffic, all three schemes plus the
+//! no-multicast reference.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mdw_bench::{base_system, defaults, Scale};
+use mdworm::experiments::scheme_configs;
+use mdworm::sim::run_experiment;
+use mdworm::workload::TrafficSpec;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e4_bimodal");
+    g.sample_size(10);
+    let run = Scale::Quick.run();
+    let spec = TrafficSpec::bimodal(0.4, defaults::MCAST_FRACTION, defaults::DEGREE, defaults::LEN);
+    for (label, cfg) in scheme_configs(&base_system()) {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let out = run_experiment(&cfg, &spec, &run);
+                assert!(!out.deadlocked);
+                out
+            })
+        });
+    }
+    let reference = base_system();
+    g.bench_function("CB-none", |b| {
+        let spec = TrafficSpec::unicast(0.36, defaults::LEN);
+        b.iter(|| run_experiment(&reference, &spec, &run))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! E6 smoke bench: multicast degree sweep on the central-buffer scheme.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdw_bench::{base_system, defaults, Scale};
+use mdworm::sim::run_experiment;
+use mdworm::workload::TrafficSpec;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e6_degree");
+    g.sample_size(10);
+    let run = Scale::Quick.run();
+    let cfg = base_system();
+    for degree in Scale::Quick.degrees() {
+        let spec = TrafficSpec::multiple_multicast(defaults::SWEEP_LOAD, degree, defaults::LEN);
+        g.bench_with_input(BenchmarkId::new("CB-HW", degree), &spec, |b, spec| {
+            b.iter(|| run_experiment(&cfg, spec, &run))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Raw simulator performance: simulated cycles per second for each switch
+//! architecture under steady traffic (useful for sizing full-scale runs).
+
+use collectives::TrafficSource;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mdw_bench::base_system;
+use mdworm::build::build_system;
+use mdworm::config::SwitchArch;
+use mdworm::workload::{make_sources, TrafficSpec};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_cycles");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(1_000));
+    for (label, arch) in [
+        ("central_buffer", SwitchArch::CentralBuffer),
+        ("input_buffered", SwitchArch::InputBuffered),
+    ] {
+        let cfg = mdworm::SystemConfig {
+            arch,
+            ..base_system()
+        };
+        let spec = TrafficSpec::bimodal(0.4, 0.1, 16, 64);
+        let sources: Vec<Box<dyn TrafficSource>> =
+            make_sources(&spec, cfg.n_hosts(), cfg.seed, None);
+        let mut sys = build_system(cfg, sources, None);
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                sys.engine.run_for(1_000);
+                sys.engine.now()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! E2/E3 smoke bench: multiple-multicast traffic, all three schemes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mdw_bench::{base_system, defaults, Scale};
+use mdworm::experiments::scheme_configs;
+use mdworm::sim::run_experiment;
+use mdworm::workload::TrafficSpec;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2_multiple_multicast");
+    g.sample_size(10);
+    let run = Scale::Quick.run();
+    let spec = TrafficSpec::multiple_multicast(0.4, defaults::DEGREE, defaults::LEN);
+    for (label, cfg) in scheme_configs(&base_system()) {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let out = run_experiment(&cfg, &spec, &run);
+                assert!(!out.deadlocked);
+                out
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! E10/E11 smoke bench: single-multicast latency and barrier rounds.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mdw_bench::{base_system, defaults, Scale};
+use mdworm::config::{McastImpl, SystemConfig, TopologyKind};
+use mdworm::experiments::{run_barrier, single_multicast_latency};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e10_e11");
+    g.sample_size(10);
+    let base = base_system();
+    g.bench_function("e10_single_multicast_d16", |b| {
+        b.iter(|| single_multicast_latency(&base, 16, defaults::LEN))
+    });
+    let barrier_cfg = SystemConfig {
+        topology: TopologyKind::KaryTree { k: 4, n: 2 },
+        ..base_system()
+    };
+    g.bench_function("e11_barrier_hw_16procs", |b| {
+        b.iter(|| run_barrier(&barrier_cfg, Scale::Quick.barrier_rounds()))
+    });
+    let sw_cfg = SystemConfig {
+        mcast: McastImpl::SwBinomial,
+        ..barrier_cfg.clone()
+    };
+    g.bench_function("e11_barrier_sw_16procs", |b| {
+        b.iter(|| run_barrier(&sw_cfg, Scale::Quick.barrier_rounds()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

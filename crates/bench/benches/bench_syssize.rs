@@ -1,0 +1,30 @@
+//! E8 smoke bench: system-size scaling (16 and 64 processors).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdw_bench::{base_system, defaults, Scale};
+use mdworm::config::TopologyKind;
+use mdworm::sim::run_experiment;
+use mdworm::workload::TrafficSpec;
+use mdworm::SystemConfig;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e8_syssize");
+    g.sample_size(10);
+    let run = Scale::Quick.run();
+    for n in [2usize, 3] {
+        let cfg = SystemConfig {
+            topology: TopologyKind::KaryTree { k: 4, n },
+            ..base_system()
+        };
+        let hosts = cfg.n_hosts();
+        let spec =
+            TrafficSpec::multiple_multicast(defaults::SWEEP_LOAD, hosts / 4, defaults::LEN);
+        g.bench_with_input(BenchmarkId::new("CB-HW", hosts), &spec, |b, spec| {
+            b.iter(|| run_experiment(&cfg, spec, &run))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

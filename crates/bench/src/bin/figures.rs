@@ -1,0 +1,244 @@
+//! Regenerates every evaluation table/figure of the reproduction
+//! (E1..E15, see DESIGN.md) and writes markdown + CSV into `results/`.
+//!
+//! ```text
+//! cargo run --release -p mdw-bench --bin figures -- --exp all --scale full
+//! cargo run --release -p mdw-bench --bin figures -- --exp e2 --scale quick
+//! ```
+
+use mdw_bench::{base_system, defaults, Scale};
+use mdworm::experiments as exp;
+use mdworm::report::{csv, markdown_table, TableRow};
+use std::fs;
+use std::path::PathBuf;
+
+struct Args {
+    exp: String,
+    scale: Scale,
+    out: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let mut exp = "all".to_string();
+    let mut scale = Scale::Full;
+    let mut out = PathBuf::from("results");
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--exp" => {
+                exp = argv.get(i + 1).expect("--exp needs a value").clone();
+                i += 2;
+            }
+            "--scale" => {
+                let v = argv.get(i + 1).expect("--scale needs a value");
+                scale = Scale::parse(v).unwrap_or_else(|| panic!("unknown scale {v}"));
+                i += 2;
+            }
+            "--out" => {
+                out = PathBuf::from(argv.get(i + 1).expect("--out needs a value"));
+                i += 2;
+            }
+            other => panic!("unknown argument {other} (use --exp/--scale/--out)"),
+        }
+    }
+    Args { exp, scale, out }
+}
+
+fn emit<T: TableRow>(out: &PathBuf, name: &str, title: &str, rows: &[T]) {
+    let md = markdown_table(rows);
+    println!("\n## {title}\n\n{md}");
+    fs::create_dir_all(out).expect("create output directory");
+    fs::write(out.join(format!("{name}.csv")), csv(rows)).expect("write csv");
+    fs::write(
+        out.join(format!("{name}.md")),
+        format!("## {title}\n\n{md}"),
+    )
+    .expect("write md");
+}
+
+fn main() {
+    let args = parse_args();
+    let base = base_system();
+    let run = args.scale.run();
+    let want = |e: &str| args.exp == "all" || args.exp == e;
+    let started = std::time::Instant::now();
+
+    if want("e1") {
+        emit(
+            &args.out,
+            "e1_parameters",
+            "E1: simulation parameters",
+            &exp::e1_parameters(&base, &run),
+        );
+    }
+    if want("e2") || want("e3") {
+        let rows = exp::e2_e3_multiple_multicast(
+            &base,
+            &run,
+            &args.scale.loads(),
+            defaults::DEGREE,
+            defaults::LEN,
+        );
+        emit(
+            &args.out,
+            "e2_e3_multiple_multicast",
+            "E2+E3: multiple multicast — latency & throughput vs offered load (64 procs, degree 16, 64 flits)",
+            &rows,
+        );
+    }
+    if want("e4") || want("e5") {
+        let rows = exp::e4_e5_bimodal(
+            &base,
+            &run,
+            &args.scale.bimodal_loads(),
+            defaults::MCAST_FRACTION,
+            defaults::DEGREE,
+            defaults::LEN,
+        );
+        emit(
+            &args.out,
+            "e4_e5_bimodal",
+            "E4+E5: bimodal traffic — background unicast & multicast latency vs load (10% multicast, degree 16)",
+            &rows,
+        );
+    }
+    if want("e6") {
+        let rows = exp::e6_degree_sweep(
+            &base,
+            &run,
+            defaults::SWEEP_LOAD,
+            &args.scale.degrees(),
+            defaults::LEN,
+        );
+        emit(
+            &args.out,
+            "e6_degree",
+            "E6: multicast latency vs degree (load 0.4, 64 flits)",
+            &rows,
+        );
+    }
+    if want("e7") {
+        let rows = exp::e7_length_sweep(
+            &base,
+            &run,
+            defaults::SWEEP_LOAD,
+            &args.scale.lengths(),
+            defaults::DEGREE,
+        );
+        emit(
+            &args.out,
+            "e7_msglen",
+            "E7: multicast latency vs message length (load 0.4, degree 16)",
+            &rows,
+        );
+    }
+    if want("e8") {
+        let rows = exp::e8_size_sweep(
+            &base,
+            &run,
+            defaults::SWEEP_LOAD,
+            &args.scale.stages(),
+            defaults::LEN,
+        );
+        emit(
+            &args.out,
+            "e8_syssize",
+            "E8: multicast latency vs system size (4-ary trees, degree N/4, load 0.4)",
+            &rows,
+        );
+    }
+    if want("e9") {
+        let rows = exp::e9_ablations(&base, &run, defaults::SWEEP_LOAD);
+        emit(
+            &args.out,
+            "e9_ablations",
+            "E9: central-buffer design ablations (bimodal load 0.4)",
+            &rows,
+        );
+    }
+    if want("e10") {
+        let rows = exp::e10_single_multicast(&base, &args.scale.degrees(), defaults::LEN);
+        emit(
+            &args.out,
+            "e10_single_multicast",
+            "E10: single multicast on an idle network — latency vs degree",
+            &rows,
+        );
+    }
+    if want("e11") {
+        let rows = exp::e11_barrier(
+            &base,
+            &args.scale.barrier_stages(),
+            args.scale.barrier_rounds(),
+        );
+        emit(
+            &args.out,
+            "e11_barrier",
+            "E11: barrier rounds — hardware vs software release",
+            &rows,
+        );
+    }
+
+    if want("e12") {
+        let rows = exp::e12_hotspot(
+            &base,
+            &run,
+            0.2,
+            &args.scale.hotspot_fractions(),
+            defaults::LEN,
+        );
+        emit(
+            &args.out,
+            "e12_hotspot",
+            "E12 (extension): hot-spot unicast traffic — latency vs hot-spot fraction (load 0.2)",
+            &rows,
+        );
+    }
+
+    if want("e13") {
+        let rows = exp::e13_allreduce(
+            &base,
+            &args.scale.barrier_stages(),
+            args.scale.barrier_rounds(),
+        );
+        emit(
+            &args.out,
+            "e13_allreduce",
+            "E13 (extension): all-reduce rounds — hardware vs software broadcast phase",
+            &rows,
+        );
+    }
+
+    if want("e14") {
+        let rows = exp::e14_combining_barrier(
+            &base,
+            &args.scale.barrier_stages(),
+            args.scale.barrier_rounds(),
+        );
+        emit(
+            &args.out,
+            "e14_combining_barrier",
+            "E14 (extension): switch-combining barrier vs host-level barrier protocols",
+            &rows,
+        );
+    }
+
+    if want("e15") {
+        let rows = exp::e15_patterns(&base, &run, 0.5, defaults::LEN);
+        emit(
+            &args.out,
+            "e15_patterns",
+            "E15 (extension): permutation unicast patterns at load 0.5 — CB vs IB",
+            &rows,
+        );
+    }
+
+    eprintln!(
+        "figures: done in {:.1}s (exp={}, scale={:?}, out={})",
+        started.elapsed().as_secs_f64(),
+        args.exp,
+        args.scale,
+        args.out.display()
+    );
+}

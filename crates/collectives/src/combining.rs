@@ -1,0 +1,160 @@
+//! Host-side protocol engine for switch-combining barriers.
+//!
+//! With combining enabled in the switches (see
+//! `switches::CentralBufferSwitch::enable_barrier_combining`), a barrier
+//! round is: every host injects one dataless gather worm; switches merge
+//! them pairwise up the combining tree in hardware; the combining root
+//! emits a broadcast release worm that reaches every host. The host side
+//! is therefore trivial — send one gather, wait for the release — which is
+//! exactly the point: the log-depth combining happens in the network, not
+//! on host CPUs.
+
+use crate::traffic::{DeliveryHook, MessageSpec, TrafficSource};
+use netsim::ids::{MessageId, NodeId, SWITCH_MSG_BIT};
+use netsim::message::MessageKind;
+use netsim::stats::LatencyStats;
+use netsim::Cycle;
+use std::cell::RefCell;
+use std::collections::HashSet;
+use std::rc::Rc;
+
+/// Shared state machine of repeated switch-combining barrier rounds.
+#[derive(Debug)]
+pub struct CombiningBarrierEngine {
+    n_hosts: usize,
+    rounds_wanted: u64,
+    round: u64,
+    round_start: Cycle,
+    must_send: HashSet<NodeId>,
+    got_release: HashSet<NodeId>,
+    /// Completed-round latencies.
+    pub latencies: LatencyStats,
+}
+
+impl CombiningBarrierEngine {
+    /// Creates an engine running `rounds` rounds over `n_hosts` hosts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system has fewer than two hosts.
+    pub fn new(n_hosts: usize, rounds: u64) -> Rc<RefCell<Self>> {
+        assert!(n_hosts >= 2, "a barrier needs at least two hosts");
+        Rc::new(RefCell::new(CombiningBarrierEngine {
+            n_hosts,
+            rounds_wanted: rounds,
+            round: 0,
+            round_start: 0,
+            must_send: (0..n_hosts).map(NodeId::from).collect(),
+            got_release: HashSet::new(),
+            latencies: LatencyStats::new(),
+        }))
+    }
+
+    /// Completed rounds.
+    pub fn completed_rounds(&self) -> u64 {
+        self.round
+    }
+
+    /// `true` once all requested rounds have finished.
+    pub fn done(&self) -> bool {
+        self.round >= self.rounds_wanted
+    }
+
+    /// Creates the per-host traffic source view.
+    pub fn source_for(engine: &Rc<RefCell<Self>>, node: NodeId) -> CombiningBarrierSource {
+        CombiningBarrierSource {
+            engine: engine.clone(),
+            node,
+        }
+    }
+
+    fn poll(&mut self, node: NodeId, _now: Cycle) -> Option<MessageSpec> {
+        if self.done() {
+            return None;
+        }
+        if self.must_send.remove(&node) {
+            return Some(MessageSpec {
+                kind: MessageKind::BarrierGather {
+                    round: self.round as u32,
+                },
+                payload_flits: 0,
+            });
+        }
+        None
+    }
+}
+
+impl DeliveryHook for CombiningBarrierEngine {
+    fn on_delivered(&mut self, msg: MessageId, host: NodeId, now: Cycle) {
+        // Only switch-synthesized broadcasts are releases; ignore other
+        // traffic so the engine composes with background workloads.
+        if self.done() || msg.0 & SWITCH_MSG_BIT == 0 {
+            return;
+        }
+        self.got_release.insert(host);
+        if self.got_release.len() == self.n_hosts {
+            self.latencies.push(now - self.round_start);
+            self.round += 1;
+            self.round_start = now;
+            self.must_send = (0..self.n_hosts).map(NodeId::from).collect();
+            self.got_release.clear();
+        }
+    }
+}
+
+/// Per-host view of the shared [`CombiningBarrierEngine`].
+pub struct CombiningBarrierSource {
+    engine: Rc<RefCell<CombiningBarrierEngine>>,
+    node: NodeId,
+}
+
+impl TrafficSource for CombiningBarrierSource {
+    fn poll(&mut self, now: Cycle) -> Option<MessageSpec> {
+        self.engine.borrow_mut().poll(self.node, now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_host_sends_one_gather_per_round() {
+        let e = CombiningBarrierEngine::new(4, 1);
+        for h in 0..4u32 {
+            let mut s = CombiningBarrierEngine::source_for(&e, NodeId(h));
+            let spec = s.poll(0).expect("gather");
+            assert!(matches!(
+                spec.kind,
+                MessageKind::BarrierGather { round: 0 }
+            ));
+            assert!(s.poll(1).is_none(), "only one gather per round");
+        }
+    }
+
+    #[test]
+    fn round_completes_when_all_hosts_hold_the_release() {
+        let e = CombiningBarrierEngine::new(3, 2);
+        let release = MessageId(SWITCH_MSG_BIT | 7);
+        e.borrow_mut().on_delivered(release, NodeId(0), 50);
+        e.borrow_mut().on_delivered(release, NodeId(1), 55);
+        assert_eq!(e.borrow().completed_rounds(), 0);
+        e.borrow_mut().on_delivered(release, NodeId(2), 60);
+        assert_eq!(e.borrow().completed_rounds(), 1);
+        assert_eq!(e.borrow().latencies.summary().max, 60);
+        // Round 2 gathers become available again.
+        let mut s = CombiningBarrierEngine::source_for(&e, NodeId(1));
+        assert!(matches!(
+            s.poll(61).expect("gather").kind,
+            MessageKind::BarrierGather { round: 1 }
+        ));
+    }
+
+    #[test]
+    fn non_switch_messages_are_ignored() {
+        let e = CombiningBarrierEngine::new(2, 1);
+        e.borrow_mut().on_delivered(MessageId(5), NodeId(0), 10);
+        e.borrow_mut().on_delivered(MessageId(6), NodeId(1), 11);
+        assert_eq!(e.borrow().completed_rounds(), 0, "unicasts don't count");
+    }
+}

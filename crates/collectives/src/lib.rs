@@ -1,0 +1,32 @@
+//! # collectives — hosts, software & hardware multicast, barriers
+//!
+//! The end-host layer of the reproduction:
+//!
+//! * [`host::Host`] — NIC/processor model: message generation, software
+//!   send/receive overheads on a serialized CPU, packetization under the
+//!   network's maximum packet size, injection/ejection at link rate,
+//!   reassembly and delivery reporting;
+//! * [`umin`] — the U-Min binomial-tree schedule (the paper's software
+//!   multicast baseline \[38\]);
+//! * [`swmcast`] — forwarding contexts for in-flight software multicasts;
+//! * [`traffic`] — the [`traffic::TrafficSource`] interface workloads
+//!   implement, plus simple scheduled/silent sources;
+//! * [`barrier`] — gather + multicast-release barrier rounds (extension
+//!   experiment, cf. the paper's §9 outlook on hardware barriers \[34\]);
+//! * [`reduce`] — reduction / all-reduce rounds over the mirrored binomial
+//!   tree (extension experiment E13).
+
+pub mod barrier;
+pub mod combining;
+pub mod reduce;
+pub mod host;
+pub mod swmcast;
+pub mod traffic;
+pub mod umin;
+
+pub use barrier::{BarrierEngine, BarrierSource};
+pub use combining::{CombiningBarrierEngine, CombiningBarrierSource};
+pub use reduce::{ReduceEngine, ReduceSource};
+pub use host::{Host, HostConfig, HostShared, McastScheme, MessageIdGen};
+pub use swmcast::{SwContext, SwCoordinator};
+pub use traffic::{ChainSource, DeliveryHook, MessageSpec, ScheduledSource, SilentSource, TrafficSource};

@@ -1,0 +1,319 @@
+//! Reduction and all-reduce on top of the messaging machinery (extension).
+//!
+//! The paper motivates multidestination worms with collective operations —
+//! "broadcast and multicast are fundamental and they are used in several
+//! other operations like barrier synchronization and reduction" \[25\]. This
+//! module implements the reduction pattern: partial values combine up the
+//! *mirror* of the U-Min binomial tree (each node sends once to its parent
+//! after hearing from all of its children), and for all-reduce the root
+//! broadcasts the result using whatever multicast scheme the hosts were
+//! built with — hardware worms or software forwarding.
+//!
+//! Values are modeled statically (the combined value of a subtree is the
+//! sum of its members' inputs, known at planning time); what the
+//! simulation measures is the protocol's traffic and latency.
+
+use crate::traffic::{DeliveryHook, MessageSpec, TrafficSource};
+use crate::umin;
+use netsim::destset::DestSet;
+use netsim::ids::{MessageId, NodeId};
+use netsim::message::MessageKind;
+use netsim::stats::LatencyStats;
+use netsim::Cycle;
+use std::cell::RefCell;
+use std::collections::HashSet;
+use std::rc::Rc;
+
+/// Shared state machine of repeated reduction / all-reduce rounds.
+#[derive(Debug)]
+pub struct ReduceEngine {
+    n_hosts: usize,
+    root: NodeId,
+    rounds_wanted: u64,
+    payload_flits: u16,
+    allreduce: bool,
+    /// Per-host input values (defaults to `host id + 1`).
+    values: Vec<u64>,
+    children: Vec<Vec<usize>>,
+    parent: Vec<Option<usize>>,
+    // Round state.
+    round: u64,
+    round_start: Cycle,
+    pending_children: Vec<usize>,
+    sent_up: Vec<bool>,
+    bcast_pending: bool,
+    bcast_msg: Option<MessageId>,
+    got_result: HashSet<NodeId>,
+    /// The combined value of the last completed round.
+    pub last_result: Option<u64>,
+    /// Completed-round latencies.
+    pub latencies: LatencyStats,
+}
+
+impl ReduceEngine {
+    /// Creates an engine running `rounds` rounds rooted at `root`. When
+    /// `allreduce` is set, the root broadcasts the result and a round
+    /// completes when every host has it; otherwise the round completes at
+    /// the root.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system has fewer than two hosts.
+    pub fn new(
+        n_hosts: usize,
+        root: NodeId,
+        rounds: u64,
+        payload_flits: u16,
+        allreduce: bool,
+    ) -> Rc<RefCell<Self>> {
+        assert!(n_hosts >= 2, "a reduction needs at least two hosts");
+        // The participant list is [root, others ascending]; index 0 = root.
+        let list = umin::participant_list(root, &{
+            let mut all = DestSet::full(n_hosts);
+            all.remove(root);
+            all
+        });
+        // Children per list index via the binomial hand-offs.
+        let mut children_idx: Vec<Vec<usize>> = vec![Vec::new(); n_hosts];
+        let mut parent_idx: Vec<Option<usize>> = vec![None; n_hosts];
+        let mut stack = vec![(0usize, n_hosts)];
+        while let Some((me, hi)) = stack.pop() {
+            for h in umin::handoffs(me, hi) {
+                children_idx[me].push(h.child);
+                parent_idx[h.child] = Some(me);
+                stack.push((h.child, h.hi));
+            }
+        }
+        // Translate list indices to node ids.
+        let node_of = |idx: usize| list[idx];
+        let mut children = vec![Vec::new(); n_hosts];
+        let mut parent = vec![None; n_hosts];
+        for idx in 0..n_hosts {
+            let node = node_of(idx);
+            children[node.index()] = children_idx[idx].iter().map(|&c| node_of(c).index()).collect();
+            parent[node.index()] = parent_idx[idx].map(|p| node_of(p).index());
+        }
+        let pending: Vec<usize> = (0..n_hosts).map(|h| children[h].len()).collect();
+        Rc::new(RefCell::new(ReduceEngine {
+            n_hosts,
+            root,
+            rounds_wanted: rounds,
+            payload_flits,
+            allreduce,
+            values: (0..n_hosts as u64).map(|v| v + 1).collect(),
+            pending_children: pending,
+            children,
+            parent,
+            round: 0,
+            round_start: 0,
+            sent_up: vec![false; n_hosts],
+            bcast_pending: false,
+            bcast_msg: None,
+            got_result: HashSet::new(),
+            last_result: None,
+            latencies: LatencyStats::new(),
+        }))
+    }
+
+    /// Sets a host's input value (before the first round).
+    pub fn set_value(&mut self, host: NodeId, value: u64) {
+        self.values[host.index()] = value;
+    }
+
+    /// The sum every round must produce.
+    pub fn expected_sum(&self) -> u64 {
+        self.values.iter().sum()
+    }
+
+    /// Completed rounds.
+    pub fn completed_rounds(&self) -> u64 {
+        self.round
+    }
+
+    /// `true` once all requested rounds have finished.
+    pub fn done(&self) -> bool {
+        self.round >= self.rounds_wanted
+    }
+
+    /// Creates the per-host traffic source view.
+    pub fn source_for(engine: &Rc<RefCell<Self>>, node: NodeId) -> ReduceSource {
+        ReduceSource {
+            engine: engine.clone(),
+            node,
+        }
+    }
+
+    fn parent_of(&self, node: usize) -> Option<usize> {
+        self.parent[node]
+    }
+
+    fn finish_round(&mut self, now: Cycle) {
+        self.last_result = Some(self.expected_sum());
+        self.latencies.push(now - self.round_start);
+        self.round += 1;
+        self.round_start = now;
+        self.pending_children = (0..self.n_hosts)
+            .map(|h| self.children[h].len())
+            .collect();
+        self.sent_up = vec![false; self.n_hosts];
+        self.bcast_pending = false;
+        self.bcast_msg = None;
+        self.got_result.clear();
+    }
+
+    fn poll(&mut self, node: NodeId, now: Cycle) -> Option<MessageSpec> {
+        if self.done() {
+            return None;
+        }
+        let h = node.index();
+        if node == self.root {
+            // Root: when fully combined, either broadcast (allreduce) or
+            // complete the round right here.
+            if self.pending_children[h] == 0 {
+                if self.allreduce {
+                    if !self.bcast_pending {
+                        self.bcast_pending = true;
+                        let mut dests = DestSet::full(self.n_hosts);
+                        dests.remove(self.root);
+                        return Some(MessageSpec {
+                            kind: MessageKind::Multicast(dests),
+                            payload_flits: self.payload_flits,
+                        });
+                    }
+                } else {
+                    self.finish_round(now);
+                }
+            }
+            return None;
+        }
+        if self.pending_children[h] == 0 && !self.sent_up[h] {
+            self.sent_up[h] = true;
+            let parent = self.parent_of(h).expect("non-root has a parent");
+            return Some(MessageSpec {
+                kind: MessageKind::Unicast(NodeId::from(parent)),
+                payload_flits: self.payload_flits,
+            });
+        }
+        None
+    }
+}
+
+impl DeliveryHook for ReduceEngine {
+    fn on_delivered(&mut self, msg: MessageId, host: NodeId, now: Cycle) {
+        if self.done() {
+            return;
+        }
+        if self.bcast_pending {
+            // Broadcast copies of the result.
+            if self.bcast_msg.is_none() {
+                self.bcast_msg = Some(msg);
+            }
+            if self.bcast_msg == Some(msg) {
+                self.got_result.insert(host);
+                if self.got_result.len() == self.n_hosts - 1 {
+                    self.finish_round(now);
+                }
+                return;
+            }
+        }
+        // A partial value arrived at `host` from one of its children.
+        let h = host.index();
+        assert!(
+            self.pending_children[h] > 0,
+            "unexpected reduction message at {host}"
+        );
+        self.pending_children[h] -= 1;
+    }
+}
+
+/// Per-host view of the shared [`ReduceEngine`].
+pub struct ReduceSource {
+    engine: Rc<RefCell<ReduceEngine>>,
+    node: NodeId,
+}
+
+impl TrafficSource for ReduceSource {
+    fn poll(&mut self, now: Cycle) -> Option<MessageSpec> {
+        self.engine.borrow_mut().poll(self.node, now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_structure_is_consistent() {
+        let e = ReduceEngine::new(16, NodeId(0), 1, 8, false);
+        let e = e.borrow();
+        // Every non-root has a parent; child lists mirror parents.
+        for h in 0..16usize {
+            if h == 0 {
+                assert!(e.parent[h].is_none());
+            } else {
+                let p = e.parent[h].expect("parent exists");
+                assert!(e.children[p].contains(&h));
+            }
+        }
+        let total_children: usize = e.children.iter().map(Vec::len).sum();
+        assert_eq!(total_children, 15);
+    }
+
+    #[test]
+    fn leaves_send_immediately_internal_nodes_wait() {
+        let e = ReduceEngine::new(8, NodeId(0), 1, 8, false);
+        // Host 7 is a leaf in the binomial tree over [0..8).
+        let leaf = (0..8usize)
+            .find(|&h| e.borrow().children[h].is_empty())
+            .expect("some leaf");
+        let mut src = ReduceEngine::source_for(&e, NodeId::from(leaf));
+        assert!(src.poll(0).is_some(), "leaf sends right away");
+        assert!(src.poll(1).is_none(), "only once");
+        // An internal node waits for its children.
+        let internal = (1..8usize)
+            .find(|&h| !e.borrow().children[h].is_empty())
+            .expect("some internal node");
+        let mut isrc = ReduceEngine::source_for(&e, NodeId::from(internal));
+        assert!(isrc.poll(0).is_none(), "internal node waits");
+    }
+
+    #[test]
+    fn reduce_round_completes_at_root() {
+        let e = ReduceEngine::new(4, NodeId(0), 1, 8, false);
+        // children of root over [0,4): handoffs(0,4) -> child 2 (hi 4), child 1 (hi 2).
+        // Simulate deliveries: host 3 -> 2, then 2 -> 0 and 1 -> 0.
+        e.borrow_mut().on_delivered(MessageId(1), NodeId(2), 10);
+        e.borrow_mut().on_delivered(MessageId(2), NodeId(0), 20);
+        e.borrow_mut().on_delivered(MessageId(3), NodeId(0), 25);
+        let mut root = ReduceEngine::source_for(&e, NodeId(0));
+        assert!(root.poll(26).is_none(), "plain reduce sends nothing");
+        let eng = e.borrow();
+        assert_eq!(eng.completed_rounds(), 1);
+        assert_eq!(eng.last_result, Some(1 + 2 + 3 + 4));
+        assert_eq!(eng.latencies.summary().max, 26);
+    }
+
+    #[test]
+    fn allreduce_broadcasts_then_completes() {
+        let e = ReduceEngine::new(4, NodeId(0), 1, 8, true);
+        e.borrow_mut().on_delivered(MessageId(1), NodeId(2), 10);
+        e.borrow_mut().on_delivered(MessageId(2), NodeId(0), 20);
+        e.borrow_mut().on_delivered(MessageId(3), NodeId(0), 25);
+        let mut root = ReduceEngine::source_for(&e, NodeId(0));
+        let spec = root.poll(26).expect("broadcast fires");
+        assert!(matches!(spec.kind, MessageKind::Multicast(_)));
+        assert!(root.poll(27).is_none(), "broadcast only once");
+        for h in [1u32, 2, 3] {
+            e.borrow_mut().on_delivered(MessageId(9), NodeId(h), 40 + u64::from(h));
+        }
+        assert_eq!(e.borrow().completed_rounds(), 1);
+        assert!(e.borrow().done());
+    }
+
+    #[test]
+    fn custom_values_change_the_sum() {
+        let e = ReduceEngine::new(4, NodeId(0), 1, 8, false);
+        e.borrow_mut().set_value(NodeId(2), 100);
+        assert_eq!(e.borrow().expected_sum(), 1 + 2 + 100 + 4);
+    }
+}

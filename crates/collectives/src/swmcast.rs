@@ -1,0 +1,134 @@
+//! Shared software state of in-flight software multicasts.
+//!
+//! In a real system every hop message of a software multicast carries (in
+//! its payload) the root-message identity and the sub-range of destinations
+//! the receiver must keep forwarding to. We model that payload metadata
+//! with a coordinator map keyed by hop-message id: the sending host
+//! registers the context, the receiving host claims it, forwards to its
+//! children, and reports delivery of the *root* message.
+
+use crate::umin;
+use netsim::ids::{MessageId, NodeId};
+use netsim::Cycle;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Forwarding context carried (conceptually, in the payload) by one
+/// software-multicast hop message.
+#[derive(Debug, Clone)]
+pub struct SwContext {
+    /// The root multicast message this hop belongs to.
+    pub root: MessageId,
+    /// The sorted participant list `[root, dests...]`, shared by all hops.
+    pub list: Rc<Vec<NodeId>>,
+    /// The receiver's index in the list.
+    pub my_idx: usize,
+    /// Exclusive upper bound of the receiver's responsibility range.
+    pub hi: usize,
+    /// Payload length of the multicast, in flits.
+    pub payload_flits: u16,
+    /// Generation cycle of the root message.
+    pub root_created: Cycle,
+}
+
+impl SwContext {
+    /// Hand-offs the receiving host must perform.
+    pub fn handoffs(&self) -> Vec<umin::Handoff> {
+        umin::handoffs(self.my_idx, self.hi)
+    }
+}
+
+/// Registry of hop-message contexts, shared by all hosts.
+#[derive(Debug, Default)]
+pub struct SwCoordinator {
+    contexts: HashMap<MessageId, SwContext>,
+}
+
+impl SwCoordinator {
+    /// Creates an empty coordinator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers the context a hop message will carry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the hop-message id is already registered.
+    pub fn register(&mut self, hop: MessageId, ctx: SwContext) {
+        let prev = self.contexts.insert(hop, ctx);
+        assert!(prev.is_none(), "hop message {hop} registered twice");
+    }
+
+    /// Claims (removes and returns) the context of a received hop message,
+    /// if it was one.
+    pub fn claim(&mut self, hop: MessageId) -> Option<SwContext> {
+        self.contexts.remove(&hop)
+    }
+
+    /// Contexts not yet claimed (in-flight hop messages).
+    pub fn in_flight(&self) -> usize {
+        self.contexts.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_claim_roundtrip() {
+        let mut c = SwCoordinator::new();
+        let list = Rc::new(vec![NodeId(0), NodeId(1), NodeId(2)]);
+        c.register(
+            MessageId(5),
+            SwContext {
+                root: MessageId(1),
+                list: list.clone(),
+                my_idx: 2,
+                hi: 3,
+                payload_flits: 64,
+                root_created: 10,
+            },
+        );
+        assert_eq!(c.in_flight(), 1);
+        let ctx = c.claim(MessageId(5)).expect("registered");
+        assert_eq!(ctx.root, MessageId(1));
+        assert!(ctx.handoffs().is_empty(), "leaf has no children");
+        assert_eq!(c.in_flight(), 0);
+        assert!(c.claim(MessageId(5)).is_none());
+    }
+
+    #[test]
+    fn context_handoffs_follow_umin() {
+        let list = Rc::new((0..8).map(NodeId).collect::<Vec<_>>());
+        let ctx = SwContext {
+            root: MessageId(0),
+            list,
+            my_idx: 4,
+            hi: 8,
+            payload_flits: 1,
+            root_created: 0,
+        };
+        let hs = ctx.handoffs();
+        assert_eq!(hs, umin::handoffs(4, 8));
+        assert!(!hs.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn double_register_panics() {
+        let mut c = SwCoordinator::new();
+        let list = Rc::new(vec![NodeId(0)]);
+        let ctx = SwContext {
+            root: MessageId(1),
+            list,
+            my_idx: 0,
+            hi: 1,
+            payload_flits: 1,
+            root_created: 0,
+        };
+        c.register(MessageId(5), ctx.clone());
+        c.register(MessageId(5), ctx);
+    }
+}

@@ -1,0 +1,165 @@
+//! The U-Min binomial-tree software multicast schedule (Xu, Gui & Ni,
+//! Supercomputing '94 — the paper's software baseline \[38\]).
+//!
+//! A multicast to `d` destinations is implemented as `ceil(log2(d+1))`
+//! phases of unicast messages over the **sorted** participant list
+//! `[root, d_0, d_1, ...]` (sorting by node id keeps the phases
+//! contention-free in a MIN — U-Min's key property). In each phase every
+//! informed node hands off the upper half of its remaining range:
+//!
+//! ```text
+//! covers [lo, hi)          sender keeps [lo, lo+h), child (index lo+h)
+//! h = ceil((hi-lo)/2)      receives responsibility for [lo+h, hi)
+//! ```
+//!
+//! The first hand-off is the largest, so deep subtrees start early.
+
+use netsim::destset::DestSet;
+use netsim::ids::NodeId;
+
+/// One forwarding obligation: send to `list[child]`, which then covers
+/// `list[child..hi]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Handoff {
+    /// Index of the child in the participant list.
+    pub child: usize,
+    /// Exclusive upper bound of the child's responsibility range.
+    pub hi: usize,
+}
+
+/// Builds the participant list for a multicast: the root followed by the
+/// destinations in ascending id order (the root is removed from the
+/// destination set if present).
+pub fn participant_list(root: NodeId, dests: &DestSet) -> Vec<NodeId> {
+    let mut list = Vec::with_capacity(dests.count() + 1);
+    list.push(root);
+    list.extend(dests.iter().filter(|&d| d != root));
+    list
+}
+
+/// Computes the hand-offs a participant must perform.
+///
+/// `me` is the participant's index in the list and `hi` the exclusive upper
+/// bound of the range it is currently responsible for (the full list length
+/// for the root; the `hi` carried by the hop message for others). Hand-offs
+/// are returned in sending order (largest subtree first).
+///
+/// # Panics
+///
+/// Panics if `me >= hi`.
+pub fn handoffs(me: usize, hi: usize) -> Vec<Handoff> {
+    assert!(me < hi, "sender must be inside its responsibility range");
+    let mut out = Vec::new();
+    let (mut lo, mut hi) = (me, hi);
+    while hi - lo > 1 {
+        let h = (hi - lo).div_ceil(2);
+        out.push(Handoff { child: lo + h, hi });
+        hi = lo + h;
+        let _ = &mut lo; // lo stays: sender keeps the lower half
+    }
+    out
+}
+
+/// Number of phases the binomial schedule needs for `d` destinations:
+/// `ceil(log2(d + 1))`.
+pub fn phases(d: usize) -> usize {
+    (usize::BITS - d.leading_zeros()) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Simulates the schedule in phases, checking everyone gets covered and
+    /// the phase count matches `phases(d)`.
+    fn run_schedule(n: usize) -> usize {
+        // informed[i] = phase at which list[i] learned the message.
+        let mut informed = vec![usize::MAX; n];
+        informed[0] = 0;
+        let mut ranges = vec![(0usize, n)];
+        let mut max_phase = 0;
+        while let Some((me, hi)) = ranges.pop() {
+            for h in handoffs(me, hi) {
+                let phase = informed[me] + 1 + handoffs(me, hi).iter().position(|x| x == &h).unwrap();
+                informed[h.child] = informed[h.child].min(phase);
+                ranges.push((h.child, h.hi));
+            }
+        }
+        for (i, p) in informed.iter().enumerate() {
+            assert_ne!(*p, usize::MAX, "participant {i} never informed");
+            max_phase = max_phase.max(*p);
+        }
+        max_phase
+    }
+
+    #[test]
+    fn participant_list_sorted_and_rootless() {
+        let dests = DestSet::from_nodes(16, [9, 2, 5].map(NodeId));
+        let list = participant_list(NodeId(7), &dests);
+        assert_eq!(list, vec![NodeId(7), NodeId(2), NodeId(5), NodeId(9)]);
+        // Root inside the set is dropped from the tail.
+        let dests2 = DestSet::from_nodes(16, [7, 2].map(NodeId));
+        let list2 = participant_list(NodeId(7), &dests2);
+        assert_eq!(list2, vec![NodeId(7), NodeId(2)]);
+    }
+
+    #[test]
+    fn handoffs_cover_range_disjointly() {
+        for n in 1..40 {
+            // Collect every participant's range via BFS and verify the
+            // union of {child ranges} + sender singleton = full range.
+            let mut seen = vec![false; n];
+            let mut stack = vec![(0usize, n)];
+            while let Some((me, hi)) = stack.pop() {
+                assert!(!seen[me], "participant {me} informed twice (n={n})");
+                seen[me] = true;
+                for h in handoffs(me, hi) {
+                    stack.push((h.child, h.hi));
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "coverage hole at n={n}");
+        }
+    }
+
+    #[test]
+    fn phase_count_is_logarithmic() {
+        assert_eq!(phases(0), 0);
+        assert_eq!(phases(1), 1);
+        assert_eq!(phases(2), 2);
+        assert_eq!(phases(3), 2);
+        assert_eq!(phases(4), 3);
+        assert_eq!(phases(7), 3);
+        assert_eq!(phases(8), 4);
+        assert_eq!(phases(15), 4);
+        assert_eq!(phases(16), 5);
+    }
+
+    #[test]
+    fn schedule_completes_in_log_phases() {
+        for d in [1usize, 2, 3, 7, 15, 16, 31, 63] {
+            let got = run_schedule(d + 1);
+            assert!(
+                got <= phases(d),
+                "d={d}: schedule took {got} phases, expected <= {}",
+                phases(d)
+            );
+        }
+    }
+
+    #[test]
+    fn first_handoff_is_largest() {
+        let hs = handoffs(0, 16);
+        assert_eq!(hs[0].child, 8);
+        assert_eq!(hs[0].hi, 16);
+        // Subsequent hand-offs shrink.
+        for w in hs.windows(2) {
+            assert!(w[0].hi - w[0].child >= w[1].hi - w[1].child);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inside its responsibility")]
+    fn invalid_range_panics() {
+        let _ = handoffs(5, 5);
+    }
+}

@@ -1,0 +1,166 @@
+//! One-off simulation runs from the command line.
+//!
+//! ```text
+//! cargo run --release -p mdworm --bin simulate -- \
+//!     --arch cb --mcast hw --k 4 --stages 3 \
+//!     --load 0.5 --mcast-fraction 0.1 --degree 16 --len 64
+//! ```
+
+use mdworm::config::{McastImpl, SwitchArch, SystemConfig, TopologyKind};
+use mdworm::sim::{run_experiment, RunConfig};
+use mdworm::workload::{Pattern, TrafficSpec};
+
+struct Args {
+    arch: SwitchArch,
+    mcast: McastImpl,
+    k: usize,
+    stages: usize,
+    load: f64,
+    mcast_fraction: f64,
+    degree: usize,
+    len: u16,
+    warmup: u64,
+    measure: u64,
+    seed: u64,
+    pattern: Pattern,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            arch: SwitchArch::CentralBuffer,
+            mcast: McastImpl::HwBitString,
+            k: 4,
+            stages: 3,
+            load: 0.4,
+            mcast_fraction: 1.0,
+            degree: 16,
+            len: 64,
+            warmup: 5_000,
+            measure: 40_000,
+            seed: 0xD0E5_1997,
+            pattern: Pattern::Uniform,
+        }
+    }
+}
+
+fn parse_args() -> Args {
+    let mut args = Args::default();
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let usage = "flags: --arch cb|ib  --mcast hw|mp|sw  --k N --stages N \
+                 --load F --mcast-fraction F --degree N --len N \
+                 --warmup N --measure N --seed N \
+                 --pattern uniform|bitrev|transpose|neighbor";
+    while i < argv.len() {
+        let flag = argv[i].as_str();
+        let value = argv
+            .get(i + 1)
+            .unwrap_or_else(|| panic!("{flag} needs a value\n{usage}"))
+            .clone();
+        match flag {
+            "--arch" => {
+                args.arch = match value.as_str() {
+                    "cb" => SwitchArch::CentralBuffer,
+                    "ib" => SwitchArch::InputBuffered,
+                    other => panic!("unknown arch {other} (cb|ib)"),
+                }
+            }
+            "--mcast" => {
+                args.mcast = match value.as_str() {
+                    "hw" => McastImpl::HwBitString,
+                    "mp" => McastImpl::HwMultiport,
+                    "sw" => McastImpl::SwBinomial,
+                    other => panic!("unknown mcast scheme {other} (hw|mp|sw)"),
+                }
+            }
+            "--k" => args.k = value.parse().expect("--k"),
+            "--stages" => args.stages = value.parse().expect("--stages"),
+            "--load" => args.load = value.parse().expect("--load"),
+            "--mcast-fraction" => args.mcast_fraction = value.parse().expect("--mcast-fraction"),
+            "--degree" => args.degree = value.parse().expect("--degree"),
+            "--len" => args.len = value.parse().expect("--len"),
+            "--warmup" => args.warmup = value.parse().expect("--warmup"),
+            "--measure" => args.measure = value.parse().expect("--measure"),
+            "--seed" => args.seed = value.parse().expect("--seed"),
+            "--pattern" => {
+                args.pattern = match value.as_str() {
+                    "uniform" => Pattern::Uniform,
+                    "bitrev" => Pattern::BitReversal,
+                    "transpose" => Pattern::Transpose,
+                    "neighbor" => Pattern::NearNeighbor,
+                    other => panic!("unknown pattern {other}"),
+                }
+            }
+            other => panic!("unknown flag {other}\n{usage}"),
+        }
+        i += 2;
+    }
+    args
+}
+
+fn main() {
+    let a = parse_args();
+    let cfg = SystemConfig {
+        topology: TopologyKind::KaryTree {
+            k: a.k,
+            n: a.stages,
+        },
+        arch: a.arch,
+        mcast: a.mcast,
+        seed: a.seed,
+        ..SystemConfig::default()
+    };
+    let spec =
+        TrafficSpec::bimodal(a.load, a.mcast_fraction, a.degree, a.len).with_pattern(a.pattern);
+    let run = RunConfig {
+        warmup: a.warmup,
+        measure: a.measure,
+        ..RunConfig::default()
+    };
+    println!(
+        "system: {} hosts, {:?}, {:?} | workload: load {} ({}% multicast, degree {}, {} flits)",
+        cfg.n_hosts(),
+        cfg.arch,
+        cfg.mcast,
+        a.load,
+        (a.mcast_fraction * 100.0) as u32,
+        a.degree,
+        a.len
+    );
+    let started = std::time::Instant::now();
+    let out = run_experiment(&cfg, &spec, &run);
+    println!(
+        "simulated {} cycles in {:.1}s\n",
+        out.cycles,
+        started.elapsed().as_secs_f64()
+    );
+    println!("multicasts completed: {}", out.completed_mcasts);
+    println!("unicasts completed:   {}", out.completed_unicasts);
+    if out.completed_mcasts > 0 {
+        println!(
+            "multicast latency:    mean {:.0}  p50 {}  p95 {}  p99 {}  max {}",
+            out.mcast_last.mean,
+            out.mcast_last.p50,
+            out.mcast_last.p95,
+            out.mcast_last.p99,
+            out.mcast_last.max
+        );
+    }
+    if out.completed_unicasts > 0 {
+        println!(
+            "unicast latency:      mean {:.0}  p50 {}  p95 {}  p99 {}  max {}",
+            out.unicast.mean, out.unicast.p50, out.unicast.p95, out.unicast.p99, out.unicast.max
+        );
+    }
+    println!("throughput:           {:.4} payload flits/node/cycle", out.throughput);
+    println!(
+        "link utilization:     eject {:.4}, fabric {:.4}",
+        out.eject_utilization, out.fabric_utilization
+    );
+    if out.deadlocked {
+        println!("!! DEADLOCK detected by the watchdog");
+    } else if out.saturated {
+        println!("!! saturated: {} messages undelivered", out.leftover);
+    }
+}

@@ -1,0 +1,255 @@
+//! Whole-system configuration: topology, switch architecture, multicast
+//! scheme, timing.
+
+use serde::{Deserialize, Serialize};
+use switches::SwitchConfig;
+
+/// Which network to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TopologyKind {
+    /// Bidirectional MIN / fat-tree with `k^n` hosts (the paper's
+    /// evaluation topology; `k = 4`, `n = 3` is the 64-processor default).
+    KaryTree {
+        /// Arity (half the switch ports).
+        k: usize,
+        /// Stages.
+        n: usize,
+    },
+    /// Unidirectional butterfly MIN with `k^n` hosts.
+    UniMin {
+        /// Arity.
+        k: usize,
+        /// Stages.
+        n: usize,
+    },
+    /// Random irregular network (NOW-style) with up*/down* routing.
+    Irregular {
+        /// Number of switches.
+        switches: usize,
+        /// Ports per switch.
+        ports: usize,
+        /// Number of hosts.
+        hosts: usize,
+        /// Extra links beyond the spanning tree.
+        extra_links: usize,
+        /// Generation seed.
+        seed: u64,
+    },
+}
+
+impl TopologyKind {
+    /// Number of hosts this topology provides.
+    pub fn n_hosts(&self) -> usize {
+        match *self {
+            TopologyKind::KaryTree { k, n } | TopologyKind::UniMin { k, n } => k.pow(n as u32),
+            TopologyKind::Irregular { hosts, .. } => hosts,
+        }
+    }
+
+    /// Ports per switch.
+    pub fn switch_ports(&self) -> usize {
+        match *self {
+            TopologyKind::KaryTree { k, .. } | TopologyKind::UniMin { k, .. } => 2 * k,
+            TopologyKind::Irregular { ports, .. } => ports,
+        }
+    }
+}
+
+/// Which switch architecture to instantiate (the paper's alternatives).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum SwitchArch {
+    /// Shared central queue with chunk-refcount replication (paper §4).
+    #[default]
+    CentralBuffer,
+    /// Per-input packet buffers with cursor replication (paper §5).
+    InputBuffered,
+}
+
+/// Which multicast implementation hosts use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum McastImpl {
+    /// Single-phase bit-string multidestination worms.
+    #[default]
+    HwBitString,
+    /// Multiport-encoded worms (k-ary trees only).
+    HwMultiport,
+    /// U-Min binomial software multicast.
+    SwBinomial,
+}
+
+impl McastImpl {
+    /// Short label used in result tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            McastImpl::HwBitString => "HW-bitstring",
+            McastImpl::HwMultiport => "HW-multiport",
+            McastImpl::SwBinomial => "SW-binomial",
+        }
+    }
+}
+
+impl SwitchArch {
+    /// Short label used in result tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SwitchArch::CentralBuffer => "CB",
+            SwitchArch::InputBuffered => "IB",
+        }
+    }
+}
+
+/// Complete system description.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Network shape.
+    pub topology: TopologyKind,
+    /// Switch buffer organization.
+    pub arch: SwitchArch,
+    /// Host multicast scheme.
+    pub mcast: McastImpl,
+    /// Per-switch parameters (`ports` is overridden from the topology).
+    pub switch: SwitchConfig,
+    /// Link propagation delay in cycles.
+    pub link_delay: u32,
+    /// Credit window of switch→host ejection links.
+    pub host_eject_credits: u32,
+    /// Payload bits per flit.
+    pub bits_per_flit: usize,
+    /// Host software send overhead, cycles.
+    pub send_overhead: u32,
+    /// Host software receive(-and-forward) overhead, cycles.
+    pub recv_overhead: u32,
+    /// Master seed for all randomness.
+    pub seed: u64,
+    /// Enables barrier-gather combining in the switches (central-buffer
+    /// architecture only; the hardware-barrier extension of §9 / \[34\]).
+    pub barrier_combining: bool,
+}
+
+impl Default for SystemConfig {
+    /// The paper-style default: 64 processors (4-ary 3-tree of 8-port
+    /// switches), central-buffer switches, bit-string hardware multicast,
+    /// SP2-class buffer sizes, 1 µs send / 0.5 µs receive overheads at
+    /// 40 MHz (40 / 20 cycles).
+    fn default() -> Self {
+        SystemConfig {
+            topology: TopologyKind::KaryTree { k: 4, n: 3 },
+            arch: SwitchArch::CentralBuffer,
+            mcast: McastImpl::HwBitString,
+            switch: SwitchConfig::default(),
+            link_delay: 1,
+            host_eject_credits: 8,
+            bits_per_flit: 8,
+            send_overhead: 40,
+            recv_overhead: 20,
+            seed: 0xD0E5_1997,
+            barrier_combining: false,
+        }
+    }
+}
+
+impl SystemConfig {
+    /// Number of hosts.
+    pub fn n_hosts(&self) -> usize {
+        self.topology.n_hosts()
+    }
+
+    /// The switch configuration with the port count the topology dictates.
+    pub fn effective_switch(&self) -> SwitchConfig {
+        SwitchConfig {
+            ports: self.topology.switch_ports(),
+            ..self.switch.clone()
+        }
+    }
+
+    /// Validates cross-cutting constraints.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid combinations (multiport encoding off a k-ary tree,
+    /// switch sizing violations, bit-string header leaving no payload
+    /// room).
+    pub fn validate(&self) {
+        self.effective_switch().validate();
+        if self.mcast == McastImpl::HwMultiport {
+            assert!(
+                matches!(self.topology, TopologyKind::KaryTree { .. }),
+                "multiport encoding requires a k-ary tree topology"
+            );
+        }
+        if self.barrier_combining {
+            assert!(
+                self.arch == SwitchArch::CentralBuffer,
+                "barrier combining is implemented for the central-buffer switch"
+            );
+        }
+        let n = self.n_hosts();
+        let bitstring_header = 1 + n.div_ceil(self.bits_per_flit);
+        assert!(
+            usize::from(self.switch.max_packet_flits) > bitstring_header,
+            "bit-string header ({bitstring_header} flits) leaves no payload in \
+             {}-flit packets — grow max_packet_flits or the buffers",
+            self.switch.max_packet_flits
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid_64_procs() {
+        let c = SystemConfig::default();
+        c.validate();
+        assert_eq!(c.n_hosts(), 64);
+        assert_eq!(c.topology.switch_ports(), 8);
+        assert_eq!(c.effective_switch().ports, 8);
+    }
+
+    #[test]
+    fn topology_host_counts() {
+        assert_eq!(TopologyKind::KaryTree { k: 2, n: 4 }.n_hosts(), 16);
+        assert_eq!(TopologyKind::UniMin { k: 4, n: 2 }.n_hosts(), 16);
+        assert_eq!(
+            TopologyKind::Irregular {
+                switches: 6,
+                ports: 8,
+                hosts: 12,
+                extra_links: 3,
+                seed: 1
+            }
+            .n_hosts(),
+            12
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "multiport encoding requires")]
+    fn multiport_needs_tree() {
+        let c = SystemConfig {
+            mcast: McastImpl::HwMultiport,
+            topology: TopologyKind::UniMin { k: 2, n: 3 },
+            ..SystemConfig::default()
+        };
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "leaves no payload")]
+    fn bitstring_header_must_fit() {
+        let mut c = SystemConfig {
+            topology: TopologyKind::KaryTree { k: 4, n: 5 }, // 1024 hosts
+            ..SystemConfig::default()
+        };
+        // 1024-bit string = 128 header flits but packets are 128 flits.
+        c.switch.max_packet_flits = 128;
+        c.validate();
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(McastImpl::HwBitString.label(), "HW-bitstring");
+        assert_eq!(SwitchArch::InputBuffered.label(), "IB");
+    }
+}

@@ -1,0 +1,1034 @@
+//! The experiment suite (E1..E13 in DESIGN.md), reproducing every
+//! evaluation axis the paper's abstract enumerates: multiple multicast,
+//! bimodal traffic, degree of multicast, message length, and system size —
+//! plus parameter ablations, single-multicast latency, and the barrier /
+//! hot-spot / all-reduce extensions.
+//!
+//! Every experiment compares the three schemes of the paper:
+//!
+//! * **CB-HW** — central-buffer switch, bit-string hardware worms,
+//! * **IB-HW** — input-buffer switch, bit-string hardware worms,
+//! * **SW-CB** — U-Min binomial software multicast on the central-buffer
+//!   switch.
+
+use crate::build::build_system;
+use crate::config::{McastImpl, SwitchArch, SystemConfig, TopologyKind};
+use crate::report::{f, TableRow};
+use crate::sim::{run_experiment, RunConfig, RunOutcome};
+use crate::workload::TrafficSpec;
+use collectives::traffic::DeliveryHook;
+use collectives::{BarrierEngine, MessageSpec, ScheduledSource, SilentSource, TrafficSource};
+use mintopo::route::ReplicatePolicy;
+use netsim::ids::NodeId;
+use netsim::message::MessageKind;
+use netsim::rng::SimRng;
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::rc::Rc;
+use switches::UpSelect;
+
+/// The three schemes of the paper, derived from a base configuration.
+pub fn scheme_configs(base: &SystemConfig) -> Vec<(&'static str, SystemConfig)> {
+    vec![
+        (
+            "CB-HW",
+            SystemConfig {
+                arch: SwitchArch::CentralBuffer,
+                mcast: McastImpl::HwBitString,
+                ..base.clone()
+            },
+        ),
+        (
+            "IB-HW",
+            SystemConfig {
+                arch: SwitchArch::InputBuffered,
+                mcast: McastImpl::HwBitString,
+                ..base.clone()
+            },
+        ),
+        (
+            "SW-CB",
+            SystemConfig {
+                arch: SwitchArch::CentralBuffer,
+                mcast: McastImpl::SwBinomial,
+                ..base.clone()
+            },
+        ),
+    ]
+}
+
+// ---------------------------------------------------------------------
+// E1: parameter table
+// ---------------------------------------------------------------------
+
+/// One configuration parameter (E1).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ParamRow {
+    /// Parameter name.
+    pub name: String,
+    /// Its value.
+    pub value: String,
+}
+
+impl TableRow for ParamRow {
+    fn headers() -> Vec<&'static str> {
+        vec!["parameter", "value"]
+    }
+    fn cells(&self) -> Vec<String> {
+        vec![self.name.clone(), self.value.clone()]
+    }
+}
+
+/// E1: the default simulation parameters (the paper's parameter table).
+pub fn e1_parameters(cfg: &SystemConfig, run: &RunConfig) -> Vec<ParamRow> {
+    let sw = cfg.effective_switch();
+    let row = |name: &str, value: String| ParamRow {
+        name: name.to_string(),
+        value,
+    };
+    vec![
+        row("processors", cfg.n_hosts().to_string()),
+        row("topology", format!("{:?}", cfg.topology)),
+        row("switch ports", sw.ports.to_string()),
+        row("flit width (bits)", cfg.bits_per_flit.to_string()),
+        row("link delay (cycles)", cfg.link_delay.to_string()),
+        row("route decision delay (cycles)", sw.route_delay.to_string()),
+        row("central queue (chunks x flits)", format!("{} x {}", sw.cq_chunks, sw.chunk_flits)),
+        row("input buffer per port (flits)", sw.input_buf_flits.to_string()),
+        row("max packet (flits)", sw.max_packet_flits.to_string()),
+        row("send overhead (cycles)", cfg.send_overhead.to_string()),
+        row("receive overhead (cycles)", cfg.recv_overhead.to_string()),
+        row("up-path selection", format!("{:?}", sw.up_select)),
+        row("replication policy", format!("{:?}", sw.policy)),
+        row("warmup / measure (cycles)", format!("{} / {}", run.warmup, run.measure)),
+        row("seed", format!("{:#x}", cfg.seed)),
+    ]
+}
+
+// ---------------------------------------------------------------------
+// Sweep rows shared by E2/E3, E6, E7, E8
+// ---------------------------------------------------------------------
+
+/// One point of a latency/throughput sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepRow {
+    /// Scheme label (CB-HW / IB-HW / SW-CB).
+    pub scheme: String,
+    /// Sweep variable name.
+    pub x_name: String,
+    /// Sweep variable value.
+    pub x: f64,
+    /// Multicast latency to last destination, mean (cycles).
+    pub mcast_mean: f64,
+    /// Multicast latency, 95th percentile.
+    pub mcast_p95: u64,
+    /// Unicast latency mean (0 if no unicasts).
+    pub unicast_mean: f64,
+    /// Delivered payload flits / node / cycle.
+    pub throughput: f64,
+    /// Completed multicasts in the window.
+    pub mcasts: u64,
+    /// Saturated (could not drain)?
+    pub saturated: bool,
+    /// Deadlocked (watchdog fired)?
+    pub deadlocked: bool,
+}
+
+impl SweepRow {
+    fn from_outcome(scheme: &str, x_name: &str, x: f64, o: &RunOutcome) -> Self {
+        SweepRow {
+            scheme: scheme.to_string(),
+            x_name: x_name.to_string(),
+            x,
+            mcast_mean: o.mcast_last.mean,
+            mcast_p95: o.mcast_last.p95,
+            unicast_mean: o.unicast.mean,
+            throughput: o.throughput,
+            mcasts: o.completed_mcasts,
+            saturated: o.saturated,
+            deadlocked: o.deadlocked,
+        }
+    }
+}
+
+impl TableRow for SweepRow {
+    fn headers() -> Vec<&'static str> {
+        vec![
+            "scheme", "x_name", "x", "mcast_mean", "mcast_p95", "unicast_mean", "throughput",
+            "mcasts", "saturated", "deadlocked",
+        ]
+    }
+    fn cells(&self) -> Vec<String> {
+        vec![
+            self.scheme.clone(),
+            self.x_name.clone(),
+            f(self.x),
+            f(self.mcast_mean),
+            self.mcast_p95.to_string(),
+            f(self.unicast_mean),
+            f(self.throughput),
+            self.mcasts.to_string(),
+            self.saturated.to_string(),
+            self.deadlocked.to_string(),
+        ]
+    }
+}
+
+/// E2 + E3: multiple-multicast traffic — multicast latency and delivered
+/// throughput versus offered load, for all three schemes.
+pub fn e2_e3_multiple_multicast(
+    base: &SystemConfig,
+    run: &RunConfig,
+    loads: &[f64],
+    degree: usize,
+    len: u16,
+) -> Vec<SweepRow> {
+    let mut rows = Vec::new();
+    for (label, cfg) in scheme_configs(base) {
+        for &load in loads {
+            let spec = TrafficSpec::multiple_multicast(load, degree, len);
+            let out = run_experiment(&cfg, &spec, run);
+            rows.push(SweepRow::from_outcome(label, "load", load, &out));
+        }
+    }
+    rows
+}
+
+/// E6: multicast latency versus degree at a fixed load.
+pub fn e6_degree_sweep(
+    base: &SystemConfig,
+    run: &RunConfig,
+    load: f64,
+    degrees: &[usize],
+    len: u16,
+) -> Vec<SweepRow> {
+    let mut rows = Vec::new();
+    for (label, cfg) in scheme_configs(base) {
+        for &d in degrees {
+            let spec = TrafficSpec::multiple_multicast(load, d, len);
+            let out = run_experiment(&cfg, &spec, run);
+            rows.push(SweepRow::from_outcome(label, "degree", d as f64, &out));
+        }
+    }
+    rows
+}
+
+/// E7: multicast latency versus message length at a fixed load.
+pub fn e7_length_sweep(
+    base: &SystemConfig,
+    run: &RunConfig,
+    load: f64,
+    lens: &[u16],
+    degree: usize,
+) -> Vec<SweepRow> {
+    let mut rows = Vec::new();
+    for (label, cfg) in scheme_configs(base) {
+        for &len in lens {
+            let spec = TrafficSpec::multiple_multicast(load, degree, len);
+            let out = run_experiment(&cfg, &spec, run);
+            rows.push(SweepRow::from_outcome(label, "len", f64::from(len), &out));
+        }
+    }
+    rows
+}
+
+/// E8: multicast latency versus system size (4-ary trees of `n` stages;
+/// degree scales as N/4).
+pub fn e8_size_sweep(
+    base: &SystemConfig,
+    run: &RunConfig,
+    load: f64,
+    stages: &[usize],
+    len: u16,
+) -> Vec<SweepRow> {
+    let mut rows = Vec::new();
+    for &n in stages {
+        let size_base = SystemConfig {
+            topology: TopologyKind::KaryTree { k: 4, n },
+            ..base.clone()
+        };
+        let n_hosts = size_base.n_hosts();
+        let degree = (n_hosts / 4).max(1);
+        for (label, cfg) in scheme_configs(&size_base) {
+            let spec = TrafficSpec::multiple_multicast(load, degree, len);
+            let out = run_experiment(&cfg, &spec, run);
+            rows.push(SweepRow::from_outcome(label, "N", n_hosts as f64, &out));
+        }
+    }
+    rows
+}
+
+/// E12 (extension; the paper's §9 names hot-spot impact as follow-on
+/// work): unicast background with a fraction of messages converging on
+/// node 0 — how gracefully does each buffer organization degrade?
+pub fn e12_hotspot(
+    base: &SystemConfig,
+    run: &RunConfig,
+    load: f64,
+    fractions: &[f64],
+    len: u16,
+) -> Vec<SweepRow> {
+    let mut rows = Vec::new();
+    for (label, arch) in [
+        ("CB", SwitchArch::CentralBuffer),
+        ("IB", SwitchArch::InputBuffered),
+    ] {
+        let cfg = SystemConfig {
+            arch,
+            mcast: McastImpl::HwBitString,
+            ..base.clone()
+        };
+        for &frac in fractions {
+            let spec = TrafficSpec::unicast(load, len).with_hotspot(frac, 0);
+            let out = run_experiment(&cfg, &spec, run);
+            rows.push(SweepRow::from_outcome(label, "hotspot_frac", frac, &out));
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------
+// E4/E5: bimodal traffic
+// ---------------------------------------------------------------------
+
+/// One point of the bimodal-traffic comparison.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BimodalRow {
+    /// Scheme label; "CB-none" is the multicast-free reference.
+    pub scheme: String,
+    /// Offered load.
+    pub load: f64,
+    /// Background unicast latency, mean.
+    pub unicast_mean: f64,
+    /// Background unicast latency, 95th percentile.
+    pub unicast_p95: u64,
+    /// Multicast latency (last destination), mean.
+    pub mcast_mean: f64,
+    /// Delivered payload flits / node / cycle.
+    pub throughput: f64,
+    /// Saturated?
+    pub saturated: bool,
+    /// Deadlocked?
+    pub deadlocked: bool,
+}
+
+impl TableRow for BimodalRow {
+    fn headers() -> Vec<&'static str> {
+        vec![
+            "scheme", "load", "unicast_mean", "unicast_p95", "mcast_mean", "throughput",
+            "saturated", "deadlocked",
+        ]
+    }
+    fn cells(&self) -> Vec<String> {
+        vec![
+            self.scheme.clone(),
+            f(self.load),
+            f(self.unicast_mean),
+            self.unicast_p95.to_string(),
+            f(self.mcast_mean),
+            f(self.throughput),
+            self.saturated.to_string(),
+            self.deadlocked.to_string(),
+        ]
+    }
+}
+
+/// E4 + E5: bimodal traffic — how does each multicast implementation
+/// affect the *background unicast* latency (the abstract's headline
+/// bimodal claim), and what multicast latency does it achieve meanwhile?
+///
+/// A fourth series, `CB-none`, replaces the multicast fraction with
+/// nothing (same unicast background only) as the no-multicast reference.
+pub fn e4_e5_bimodal(
+    base: &SystemConfig,
+    run: &RunConfig,
+    loads: &[f64],
+    mcast_fraction: f64,
+    degree: usize,
+    len: u16,
+) -> Vec<BimodalRow> {
+    let mut rows = Vec::new();
+    let push = |rows: &mut Vec<BimodalRow>, label: &str, load: f64, o: &RunOutcome| {
+        rows.push(BimodalRow {
+            scheme: label.to_string(),
+            load,
+            unicast_mean: o.unicast.mean,
+            unicast_p95: o.unicast.p95,
+            mcast_mean: o.mcast_last.mean,
+            throughput: o.throughput,
+            saturated: o.saturated,
+            deadlocked: o.deadlocked,
+        });
+    };
+    for (label, cfg) in scheme_configs(base) {
+        for &load in loads {
+            let spec = TrafficSpec::bimodal(load, mcast_fraction, degree, len);
+            let out = run_experiment(&cfg, &spec, run);
+            push(&mut rows, label, load, &out);
+        }
+    }
+    // Reference: the same unicast background with the multicast share
+    // removed entirely.
+    let cfg = SystemConfig {
+        arch: SwitchArch::CentralBuffer,
+        mcast: McastImpl::HwBitString,
+        ..base.clone()
+    };
+    for &load in loads {
+        let spec = TrafficSpec::unicast(load * (1.0 - mcast_fraction), len);
+        let out = run_experiment(&cfg, &spec, run);
+        push(&mut rows, "CB-none", load, &out);
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------
+// E9: ablations
+// ---------------------------------------------------------------------
+
+/// One ablation variant's outcome.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AblationRow {
+    /// Variant description.
+    pub variant: String,
+    /// Multicast latency (last destination), mean.
+    pub mcast_mean: f64,
+    /// Unicast latency, mean.
+    pub unicast_mean: f64,
+    /// Delivered payload flits / node / cycle.
+    pub throughput: f64,
+    /// Saturated?
+    pub saturated: bool,
+    /// Deadlocked?
+    pub deadlocked: bool,
+}
+
+impl TableRow for AblationRow {
+    fn headers() -> Vec<&'static str> {
+        vec!["variant", "mcast_mean", "unicast_mean", "throughput", "saturated", "deadlocked"]
+    }
+    fn cells(&self) -> Vec<String> {
+        vec![
+            self.variant.clone(),
+            f(self.mcast_mean),
+            f(self.unicast_mean),
+            f(self.throughput),
+            self.saturated.to_string(),
+            self.deadlocked.to_string(),
+        ]
+    }
+}
+
+/// E9: design-choice ablations of the central-buffer switch under a fixed
+/// bimodal workload: bypass crossbar, up-path selection, replication
+/// policy, central-queue sizing, chunk size, and the multiport encoding.
+pub fn e9_ablations(base: &SystemConfig, run: &RunConfig, load: f64) -> Vec<AblationRow> {
+    let degree = 16.min(base.n_hosts() / 2).max(1);
+    let spec = TrafficSpec::bimodal(load, 0.1, degree, 64);
+    let mut variants: Vec<(String, SystemConfig)> = Vec::new();
+    let cb = SystemConfig {
+        arch: SwitchArch::CentralBuffer,
+        mcast: McastImpl::HwBitString,
+        ..base.clone()
+    };
+    variants.push(("CB baseline".into(), cb.clone()));
+    {
+        let mut c = cb.clone();
+        c.switch.bypass_crossbar = false;
+        variants.push(("CB no bypass crossbar".into(), c));
+    }
+    {
+        let mut c = cb.clone();
+        c.switch.up_select = UpSelect::Deterministic;
+        variants.push(("CB deterministic up-path".into(), c));
+    }
+    {
+        let mut c = cb.clone();
+        c.switch.policy = ReplicatePolicy::ForwardAndReturn;
+        variants.push(("CB forward-and-return replication".into(), c));
+    }
+    for chunks in [32usize, 64, 256] {
+        let mut c = cb.clone();
+        c.switch.cq_chunks = chunks;
+        if c.switch.cq_flits() < u32::from(c.switch.max_packet_flits) {
+            c.switch.max_packet_flits = c.switch.cq_flits() as u16;
+        }
+        variants.push((format!("CB central queue {chunks} chunks"), c));
+    }
+    for chunk_flits in [4u16, 16] {
+        let mut c = cb.clone();
+        c.switch.chunk_flits = chunk_flits;
+        c.switch.cq_chunks = 1024 / usize::from(chunk_flits); // keep 1 KB total
+        variants.push((format!("CB chunk size {chunk_flits} flits"), c));
+    }
+    if matches!(base.topology, TopologyKind::KaryTree { .. }) {
+        let mut c = cb.clone();
+        c.mcast = McastImpl::HwMultiport;
+        variants.push(("CB multiport encoding".into(), c));
+    }
+    {
+        // Wider flits halve the bit-string header's serialization cost
+        // (and double every payload's, in flit terms — lengths here are in
+        // flits, so this isolates the header-size effect).
+        let mut c = cb.clone();
+        c.bits_per_flit = 16;
+        variants.push(("CB 16-bit flits (half-size headers)".into(), c));
+    }
+    {
+        let mut c = cb.clone();
+        c.arch = SwitchArch::InputBuffered;
+        variants.push(("IB same-storage reference".into(), c));
+    }
+    {
+        // The rejected alternative of §3: lock-step branch progress. This
+        // variant is *expected* to report deadlocked=true under multicast
+        // load — crossed partial grants between overlapping worms — which
+        // is the paper's argument for asynchronous replication.
+        let mut c = cb.clone();
+        c.arch = SwitchArch::InputBuffered;
+        c.switch.replication = switches::ReplicationMode::Synchronous;
+        variants.push(("IB synchronous replication (rejected; may deadlock)".into(), c));
+    }
+
+    variants
+        .into_iter()
+        .map(|(variant, cfg)| {
+            let out = run_experiment(&cfg, &spec, run);
+            AblationRow {
+                variant,
+                mcast_mean: out.mcast_last.mean,
+                unicast_mean: out.unicast.mean,
+                throughput: out.throughput,
+                saturated: out.saturated,
+                deadlocked: out.deadlocked,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// E10: single multicast, unloaded network
+// ---------------------------------------------------------------------
+
+/// Latency of one multicast on an otherwise idle network.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SingleRow {
+    /// Scheme label.
+    pub scheme: String,
+    /// Destinations.
+    pub degree: usize,
+    /// Latency to the last destination (cycles).
+    pub latency: u64,
+    /// Ratio of this scheme's latency to CB-HW's at the same degree.
+    pub ratio_vs_cbhw: f64,
+}
+
+impl TableRow for SingleRow {
+    fn headers() -> Vec<&'static str> {
+        vec!["scheme", "degree", "latency", "ratio_vs_cbhw"]
+    }
+    fn cells(&self) -> Vec<String> {
+        vec![
+            self.scheme.clone(),
+            self.degree.to_string(),
+            self.latency.to_string(),
+            f(self.ratio_vs_cbhw),
+        ]
+    }
+}
+
+/// Measures one multicast from host 0 to a uniformly random destination
+/// set of the given degree, on an idle network.
+///
+/// # Panics
+///
+/// Panics if the multicast fails to complete within a generous bound.
+pub fn single_multicast_latency(cfg: &SystemConfig, degree: usize, len: u16) -> u64 {
+    let mut rng = SimRng::new(cfg.seed ^ 0xE10);
+    let dests = rng.dest_set(cfg.n_hosts(), degree, NodeId(0));
+    single_multicast_latency_to(cfg, dests, len)
+}
+
+/// Measures one multicast from host 0 to an explicit destination set, on an
+/// idle network.
+///
+/// # Panics
+///
+/// Panics if the multicast fails to complete within a generous bound.
+pub fn single_multicast_latency_to(cfg: &SystemConfig, dests: netsim::DestSet, len: u16) -> u64 {
+    let n = cfg.n_hosts();
+    let mut sources: Vec<Box<dyn TrafficSource>> = (0..n)
+        .map(|_| Box::new(SilentSource) as Box<dyn TrafficSource>)
+        .collect();
+    sources[0] = Box::new(ScheduledSource::new(vec![(
+        1,
+        MessageSpec {
+            kind: MessageKind::Multicast(dests),
+            payload_flits: len,
+        },
+    )]));
+    let mut sys = build_system(cfg.clone(), sources, None);
+    let cap = 2_000_000;
+    loop {
+        sys.engine.run_for(200);
+        let t = sys.tracker();
+        let done = t.borrow().completed_total() > 0 && t.borrow().outstanding() == 0;
+        if done || sys.engine.now() >= cap {
+            break;
+        }
+    }
+    assert_eq!(
+        sys.tracker().borrow().outstanding(),
+        0,
+        "single multicast failed to complete"
+    );
+    sys.tracker().borrow().mcast_last.summary().max
+}
+
+/// E10: single-multicast latency for each scheme across degrees, with the
+/// SW/HW ratio the companion work quotes ("up to a factor of 4").
+pub fn e10_single_multicast(base: &SystemConfig, degrees: &[usize], len: u16) -> Vec<SingleRow> {
+    let mut rows = Vec::new();
+    for &d in degrees {
+        let mut cbhw = 0u64;
+        for (label, cfg) in scheme_configs(base) {
+            let latency = single_multicast_latency(&cfg, d, len);
+            if label == "CB-HW" {
+                cbhw = latency;
+            }
+            rows.push(SingleRow {
+                scheme: label.to_string(),
+                degree: d,
+                latency,
+                ratio_vs_cbhw: latency as f64 / cbhw as f64,
+            });
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------
+// E11: barrier extension
+// ---------------------------------------------------------------------
+
+/// Barrier-round latency for one configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BarrierRow {
+    /// Scheme label for the release multicast.
+    pub scheme: String,
+    /// System size.
+    pub n: usize,
+    /// Rounds completed.
+    pub rounds: u64,
+    /// Mean round latency (cycles).
+    pub mean_latency: f64,
+}
+
+impl TableRow for BarrierRow {
+    fn headers() -> Vec<&'static str> {
+        vec!["scheme", "n", "rounds", "mean_latency"]
+    }
+    fn cells(&self) -> Vec<String> {
+        vec![
+            self.scheme.clone(),
+            self.n.to_string(),
+            self.rounds.to_string(),
+            f(self.mean_latency),
+        ]
+    }
+}
+
+/// Runs `rounds` barrier rounds; returns (completed rounds, mean latency).
+///
+/// # Panics
+///
+/// Panics if no round completes within a generous cycle bound.
+pub fn run_barrier(cfg: &SystemConfig, rounds: u64) -> (u64, f64) {
+    let n = cfg.n_hosts();
+    let engine = BarrierEngine::new(n, NodeId(0), rounds);
+    let sources: Vec<Box<dyn TrafficSource>> = (0..n)
+        .map(|h| {
+            Box::new(BarrierEngine::source_for(&engine, NodeId::from(h)))
+                as Box<dyn TrafficSource>
+        })
+        .collect();
+    let hook: Rc<RefCell<dyn DeliveryHook>> = engine.clone();
+    let mut sys = build_system(cfg.clone(), sources, Some(hook));
+    let cap = 4_000_000;
+    while !engine.borrow().done() && sys.engine.now() < cap {
+        sys.engine.run_for(500);
+    }
+    let e = engine.borrow();
+    assert!(e.completed_rounds() > 0, "no barrier round completed");
+    (
+        e.completed_rounds(),
+        e.latencies.mean().expect("rounds completed"),
+    )
+}
+
+/// E11: barrier latency, hardware-worm release versus software-multicast
+/// release, across system sizes (4-ary trees of the given stages).
+pub fn e11_barrier(base: &SystemConfig, stages: &[usize], rounds: u64) -> Vec<BarrierRow> {
+    let mut rows = Vec::new();
+    for &n in stages {
+        let size_base = SystemConfig {
+            topology: TopologyKind::KaryTree { k: 4, n },
+            ..base.clone()
+        };
+        for (label, mcast) in [
+            ("HW release", McastImpl::HwBitString),
+            ("SW release", McastImpl::SwBinomial),
+        ] {
+            let cfg = SystemConfig {
+                arch: SwitchArch::CentralBuffer,
+                mcast,
+                ..size_base.clone()
+            };
+            let (done, mean) = run_barrier(&cfg, rounds);
+            rows.push(BarrierRow {
+                scheme: label.to_string(),
+                n: cfg.n_hosts(),
+                rounds: done,
+                mean_latency: mean,
+            });
+        }
+    }
+    rows
+}
+
+/// E15 (extension; "other traffic patterns" in the paper's §9 outlook):
+/// permutation unicast traffic — how each buffer organization handles the
+/// classic MIN stress patterns at a fixed load.
+pub fn e15_patterns(base: &SystemConfig, run: &RunConfig, load: f64, len: u16) -> Vec<SweepRow> {
+    use crate::workload::Pattern;
+    let mut rows = Vec::new();
+    for (pi, (pname, pattern)) in [
+        ("uniform", Pattern::Uniform),
+        ("bit-reversal", Pattern::BitReversal),
+        ("transpose", Pattern::Transpose),
+        ("near-neighbor", Pattern::NearNeighbor),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        for (label, arch) in [
+            ("CB", SwitchArch::CentralBuffer),
+            ("IB", SwitchArch::InputBuffered),
+        ] {
+            let cfg = SystemConfig {
+                arch,
+                mcast: McastImpl::HwBitString,
+                ..base.clone()
+            };
+            let spec = TrafficSpec::unicast(load, len).with_pattern(pattern);
+            let out = run_experiment(&cfg, &spec, run);
+            rows.push(SweepRow::from_outcome(
+                &format!("{label}/{pname}"),
+                "pattern",
+                pi as f64,
+                &out,
+            ));
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------
+// E13: reduction / all-reduce extension
+// ---------------------------------------------------------------------
+
+/// All-reduce round latency for one configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReduceRow {
+    /// Scheme label for the broadcast phase.
+    pub scheme: String,
+    /// System size.
+    pub n: usize,
+    /// Rounds completed.
+    pub rounds: u64,
+    /// Mean round latency (cycles).
+    pub mean_latency: f64,
+    /// The combined result matched the expected sum.
+    pub result_ok: bool,
+}
+
+impl TableRow for ReduceRow {
+    fn headers() -> Vec<&'static str> {
+        vec!["scheme", "n", "rounds", "mean_latency", "result_ok"]
+    }
+    fn cells(&self) -> Vec<String> {
+        vec![
+            self.scheme.clone(),
+            self.n.to_string(),
+            self.rounds.to_string(),
+            f(self.mean_latency),
+            self.result_ok.to_string(),
+        ]
+    }
+}
+
+/// Runs `rounds` all-reduce rounds; returns (completed, mean latency,
+/// result correct).
+///
+/// # Panics
+///
+/// Panics if no round completes within a generous cycle bound.
+pub fn run_allreduce(cfg: &SystemConfig, rounds: u64, payload: u16) -> (u64, f64, bool) {
+    use collectives::ReduceEngine;
+    let n = cfg.n_hosts();
+    let engine = ReduceEngine::new(n, NodeId(0), rounds, payload, true);
+    let sources: Vec<Box<dyn TrafficSource>> = (0..n)
+        .map(|h| {
+            Box::new(ReduceEngine::source_for(&engine, NodeId::from(h)))
+                as Box<dyn TrafficSource>
+        })
+        .collect();
+    let hook: Rc<RefCell<dyn DeliveryHook>> = engine.clone();
+    let mut sys = build_system(cfg.clone(), sources, Some(hook));
+    let cap = 4_000_000;
+    while !engine.borrow().done() && sys.engine.now() < cap {
+        sys.engine.run_for(500);
+    }
+    let e = engine.borrow();
+    assert!(e.completed_rounds() > 0, "no all-reduce round completed");
+    let ok = e.last_result == Some(e.expected_sum());
+    (
+        e.completed_rounds(),
+        e.latencies.mean().expect("rounds completed"),
+        ok,
+    )
+}
+
+/// E13 (extension): all-reduce latency — combine up the binomial tree,
+/// broadcast the result with hardware worms vs software multicast.
+pub fn e13_allreduce(base: &SystemConfig, stages: &[usize], rounds: u64) -> Vec<ReduceRow> {
+    let mut rows = Vec::new();
+    for &n in stages {
+        let size_base = SystemConfig {
+            topology: TopologyKind::KaryTree { k: 4, n },
+            ..base.clone()
+        };
+        for (label, mcast) in [
+            ("HW broadcast", McastImpl::HwBitString),
+            ("SW broadcast", McastImpl::SwBinomial),
+        ] {
+            let cfg = SystemConfig {
+                arch: SwitchArch::CentralBuffer,
+                mcast,
+                ..size_base.clone()
+            };
+            let (done, mean, ok) = run_allreduce(&cfg, rounds, 8);
+            rows.push(ReduceRow {
+                scheme: label.to_string(),
+                n: cfg.n_hosts(),
+                rounds: done,
+                mean_latency: mean,
+                result_ok: ok,
+            });
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------
+// E14: switch-combining hardware barrier
+// ---------------------------------------------------------------------
+
+/// Runs `rounds` switch-combining barrier rounds; returns (completed,
+/// mean latency).
+///
+/// # Panics
+///
+/// Panics if the configuration does not enable `barrier_combining`, or if
+/// no round completes within a generous cycle bound.
+pub fn run_combining_barrier(cfg: &SystemConfig, rounds: u64) -> (u64, f64) {
+    use collectives::CombiningBarrierEngine;
+    assert!(cfg.barrier_combining, "config must enable barrier combining");
+    let n = cfg.n_hosts();
+    let engine = CombiningBarrierEngine::new(n, rounds);
+    let sources: Vec<Box<dyn TrafficSource>> = (0..n)
+        .map(|h| {
+            Box::new(CombiningBarrierEngine::source_for(&engine, NodeId::from(h)))
+                as Box<dyn TrafficSource>
+        })
+        .collect();
+    let hook: Rc<RefCell<dyn DeliveryHook>> = engine.clone();
+    let mut sys = build_system(cfg.clone(), sources, Some(hook));
+    let cap = 4_000_000;
+    while !engine.borrow().done() && sys.engine.now() < cap {
+        sys.engine.run_for(200);
+    }
+    let e = engine.borrow();
+    assert!(e.completed_rounds() > 0, "no combining-barrier round completed");
+    (
+        e.completed_rounds(),
+        e.latencies.mean().expect("rounds completed"),
+    )
+}
+
+/// E14 (extension; the full vision of the paper's §9 / companion work
+/// \[34\]): barrier latency with **switch-combining** gathers versus the
+/// host-level gather + multicast-release protocol of E11.
+pub fn e14_combining_barrier(base: &SystemConfig, stages: &[usize], rounds: u64) -> Vec<BarrierRow> {
+    let mut rows = Vec::new();
+    for &n in stages {
+        let size_base = SystemConfig {
+            topology: TopologyKind::KaryTree { k: 4, n },
+            arch: SwitchArch::CentralBuffer,
+            ..base.clone()
+        };
+        // Switch-combining hardware barrier.
+        let comb_cfg = SystemConfig {
+            barrier_combining: true,
+            ..size_base.clone()
+        };
+        let (done, mean) = run_combining_barrier(&comb_cfg, rounds);
+        rows.push(BarrierRow {
+            scheme: "switch-combining".to_string(),
+            n: comb_cfg.n_hosts(),
+            rounds: done,
+            mean_latency: mean,
+        });
+        // Host-level references (same as E11).
+        for (label, mcast) in [
+            ("host gather + HW release", McastImpl::HwBitString),
+            ("host gather + SW release", McastImpl::SwBinomial),
+        ] {
+            let cfg = SystemConfig {
+                mcast,
+                ..size_base.clone()
+            };
+            let (done, mean) = run_barrier(&cfg, rounds);
+            rows.push(BarrierRow {
+                scheme: label.to_string(),
+                n: cfg.n_hosts(),
+                rounds: done,
+                mean_latency: mean,
+            });
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_base() -> SystemConfig {
+        SystemConfig {
+            topology: TopologyKind::KaryTree { k: 2, n: 3 }, // 8 hosts
+            ..SystemConfig::default()
+        }
+    }
+
+    #[test]
+    fn e1_lists_core_parameters() {
+        let rows = e1_parameters(&SystemConfig::default(), &RunConfig::default());
+        assert!(rows.iter().any(|r| r.name == "processors" && r.value == "64"));
+        assert!(rows.iter().any(|r| r.name.contains("central queue")));
+    }
+
+    #[test]
+    fn e2_rows_cover_all_schemes_and_loads() {
+        let rows = e2_e3_multiple_multicast(
+            &tiny_base(),
+            &RunConfig::quick(),
+            &[0.02, 0.05],
+            4,
+            16,
+        );
+        assert_eq!(rows.len(), 6);
+        assert!(rows.iter().all(|r| !r.deadlocked));
+        assert!(rows.iter().all(|r| r.mcasts > 0));
+    }
+
+    #[test]
+    fn e10_software_is_slower_than_hardware() {
+        let rows = e10_single_multicast(&tiny_base(), &[4], 32);
+        let get = |s: &str| rows.iter().find(|r| r.scheme == s).unwrap().latency;
+        let (cb, ib, sw) = (get("CB-HW"), get("IB-HW"), get("SW-CB"));
+        assert!(sw > cb, "SW {sw} must exceed CB-HW {cb}");
+        assert!(sw > ib, "SW {sw} must exceed IB-HW {ib}");
+        let ratio = rows
+            .iter()
+            .find(|r| r.scheme == "SW-CB")
+            .unwrap()
+            .ratio_vs_cbhw;
+        assert!(ratio > 1.5, "SW/HW ratio {ratio} too small");
+    }
+
+    #[test]
+    fn e11_barrier_completes_and_hw_wins() {
+        let rows = e11_barrier(&tiny_base(), &[2], 3); // 16 hosts
+        assert_eq!(rows.len(), 2);
+        let hw = rows.iter().find(|r| r.scheme == "HW release").unwrap();
+        let sw = rows.iter().find(|r| r.scheme == "SW release").unwrap();
+        assert_eq!(hw.rounds, 3);
+        assert_eq!(sw.rounds, 3);
+        assert!(
+            hw.mean_latency < sw.mean_latency,
+            "hardware barrier ({}) must beat software ({})",
+            hw.mean_latency,
+            sw.mean_latency
+        );
+    }
+
+    #[test]
+    fn e15_patterns_run_clean_on_16_hosts() {
+        let rows = e15_patterns(&tiny_base(), &RunConfig::quick(), 0.2, 32);
+        assert_eq!(rows.len(), 8);
+        assert!(rows.iter().all(|r| !r.deadlocked), "{rows:?}");
+        assert!(rows.iter().all(|r| r.unicast_mean > 0.0));
+    }
+
+    #[test]
+    fn e14_combining_barrier_beats_host_level() {
+        let rows = e14_combining_barrier(&tiny_base(), &[2], 3); // 16 hosts
+        assert_eq!(rows.len(), 3);
+        let get = |s: &str| {
+            rows.iter()
+                .find(|r| r.scheme == s)
+                .unwrap_or_else(|| panic!("{s} row missing"))
+        };
+        let comb = get("switch-combining");
+        let host_hw = get("host gather + HW release");
+        let host_sw = get("host gather + SW release");
+        assert_eq!(comb.rounds, 3);
+        assert!(
+            comb.mean_latency < host_hw.mean_latency,
+            "combining ({}) must beat host-level HW ({})",
+            comb.mean_latency,
+            host_hw.mean_latency
+        );
+        assert!(host_hw.mean_latency < host_sw.mean_latency);
+    }
+
+    #[test]
+    fn e13_allreduce_correct_and_hw_faster() {
+        let rows = e13_allreduce(&tiny_base(), &[2], 3); // 16 hosts
+        assert_eq!(rows.len(), 2);
+        assert!(rows.iter().all(|r| r.result_ok && r.rounds == 3));
+        let hw = rows.iter().find(|r| r.scheme == "HW broadcast").unwrap();
+        let sw = rows.iter().find(|r| r.scheme == "SW broadcast").unwrap();
+        assert!(
+            hw.mean_latency < sw.mean_latency,
+            "hardware all-reduce ({}) must beat software ({})",
+            hw.mean_latency,
+            sw.mean_latency
+        );
+    }
+
+    #[test]
+    fn e9_ablations_all_run_clean() {
+        let rows = e9_ablations(&tiny_base(), &RunConfig::quick(), 0.05);
+        assert!(rows.len() >= 8);
+        // Every variant except the deliberately unsafe synchronous-
+        // replication one must be deadlock-free.
+        assert!(
+            rows.iter()
+                .filter(|r| !r.variant.contains("synchronous"))
+                .all(|r| !r.deadlocked),
+            "{rows:?}"
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! # mdworm — reproduction of *Implementing Multidestination Worms in
+//! Switch-Based Parallel Systems: Architectural Alternatives and their
+//! Impact* (Stunkel, Sivaram & Panda, ISCA 1997)
+//!
+//! This crate ties the substrates together into runnable systems and
+//! experiments:
+//!
+//! * [`config::SystemConfig`] — topology (k-ary tree / butterfly /
+//!   irregular), switch architecture (central-buffer / input-buffer),
+//!   multicast scheme (bit-string HW / multiport HW / U-Min SW), timing;
+//! * [`build::build_system`] — wires hosts, switches and links into a
+//!   deterministic [`netsim::engine::Engine`];
+//! * [`workload`] — the paper's traffic mixes (multiple multicast,
+//!   bimodal, degree/length/size sweeps);
+//! * [`sim::run_experiment`] — warm-up / measure / drain harness with a
+//!   deadlock watchdog;
+//! * [`experiments`] — the E1..E11 suite mapped to the paper's evaluation
+//!   (see DESIGN.md and EXPERIMENTS.md);
+//! * [`report`] — markdown/CSV result tables.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use mdworm::config::{SystemConfig, TopologyKind};
+//! use mdworm::sim::{run_experiment, RunConfig};
+//! use mdworm::workload::TrafficSpec;
+//!
+//! // 8-processor tree, light multiple-multicast traffic, short run.
+//! let cfg = SystemConfig {
+//!     topology: TopologyKind::KaryTree { k: 2, n: 3 },
+//!     ..SystemConfig::default()
+//! };
+//! let spec = TrafficSpec::multiple_multicast(0.02, 4, 16);
+//! let out = run_experiment(&cfg, &spec, &RunConfig::quick());
+//! assert!(!out.deadlocked);
+//! assert!(out.completed_mcasts > 0);
+//! ```
+
+pub mod build;
+pub mod config;
+pub mod experiments;
+pub mod report;
+pub mod sim;
+pub mod workload;
+
+pub use build::{build_system, System};
+pub use config::{McastImpl, SwitchArch, SystemConfig, TopologyKind};
+pub use sim::{run_experiment, RunConfig, RunOutcome};
+pub use workload::{make_sources, RandomTraffic, TrafficSpec};

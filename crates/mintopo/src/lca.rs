@@ -1,0 +1,126 @@
+//! Base-`k` digit utilities and least-common-ancestor arithmetic for
+//! k-ary n-trees.
+//!
+//! In a k-ary n-tree, host addresses are `n` base-`k` digits; two hosts'
+//! least common ancestor sits at the stage of their highest differing
+//! digit. These helpers back both the analytic latency models used in tests
+//! and the multiport-encoding planner.
+
+use netsim::destset::DestSet;
+use netsim::ids::NodeId;
+
+/// Decomposes `x` into `n` base-`k` digits, least significant first.
+///
+/// # Panics
+///
+/// Panics if `x >= k^n` or `k < 2`.
+pub fn to_digits(x: usize, k: usize, n: usize) -> Vec<usize> {
+    assert!(k >= 2, "arity must be at least 2");
+    let mut digits = Vec::with_capacity(n);
+    let mut rest = x;
+    for _ in 0..n {
+        digits.push(rest % k);
+        rest /= k;
+    }
+    assert_eq!(rest, 0, "{x} does not fit in {n} base-{k} digits");
+    digits
+}
+
+/// Recomposes digits (least significant first) into a number.
+pub fn from_digits(digits: &[usize], k: usize) -> usize {
+    digits.iter().rev().fold(0, |acc, &d| acc * k + d)
+}
+
+/// Stage of the least common ancestor of hosts `a` and `b` in a k-ary
+/// n-tree: the index of their highest differing digit (0 = both under the
+/// same leaf switch).
+///
+/// # Panics
+///
+/// Panics if `a == b` (a host is its own ancestor; no network stage is
+/// involved) or either host is out of range.
+pub fn lca_stage(a: NodeId, b: NodeId, k: usize, n: usize) -> usize {
+    assert_ne!(a, b, "lca_stage of a host with itself is undefined");
+    let da = to_digits(a.index(), k, n);
+    let db = to_digits(b.index(), k, n);
+    (0..n)
+        .rev()
+        .find(|&i| da[i] != db[i])
+        .expect("hosts differ in some digit")
+}
+
+/// Stage a multidestination worm from `src` must climb to before it can
+/// cover all of `dests` on the way down: the maximum pairwise LCA stage.
+///
+/// A destination equal to the source contributes stage 0 (deliverable at
+/// the leaf switch).
+///
+/// # Panics
+///
+/// Panics if `dests` is empty.
+pub fn lca_stage_set(src: NodeId, dests: &DestSet, k: usize, n: usize) -> usize {
+    assert!(!dests.is_empty(), "empty destination set has no LCA");
+    dests
+        .iter()
+        .map(|d| if d == src { 0 } else { lca_stage(src, d, k, n) })
+        .max()
+        .expect("non-empty")
+}
+
+/// Number of link hops (including both host cables) of a unicast route from
+/// `src` to `dst` in a k-ary n-tree: `2 * (lca_stage + 1)`.
+pub fn unicast_hops(src: NodeId, dst: NodeId, k: usize, n: usize) -> usize {
+    2 * (lca_stage(src, dst, k, n) + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digit_round_trip() {
+        for x in 0..64 {
+            let d = to_digits(x, 4, 3);
+            assert_eq!(from_digits(&d, 4), x);
+        }
+        assert_eq!(to_digits(11, 4, 3), vec![3, 2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn overflow_digits_panics() {
+        let _ = to_digits(64, 4, 3);
+    }
+
+    #[test]
+    fn lca_same_leaf() {
+        // Hosts 0 and 3 differ only in digit 0 -> stage 0.
+        assert_eq!(lca_stage(NodeId(0), NodeId(3), 4, 3), 0);
+    }
+
+    #[test]
+    fn lca_top_stage() {
+        // Hosts 0 and 63 differ in digit 2 -> stage 2.
+        assert_eq!(lca_stage(NodeId(0), NodeId(63), 4, 3), 2);
+        assert_eq!(unicast_hops(NodeId(0), NodeId(63), 4, 3), 6);
+    }
+
+    #[test]
+    fn lca_set_takes_max() {
+        let dests = DestSet::from_nodes(64, [1, 4].map(NodeId));
+        // 0 vs 1 -> stage 0; 0 vs 4 -> stage 1 (4 = 1 in digit position 1).
+        assert_eq!(lca_stage_set(NodeId(0), &dests, 4, 3), 1);
+    }
+
+    #[test]
+    fn source_in_set_contributes_zero() {
+        let dests = DestSet::from_nodes(64, [0].map(NodeId));
+        assert_eq!(lca_stage_set(NodeId(0), &dests, 4, 3), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined")]
+    fn lca_self_panics() {
+        let _ = lca_stage(NodeId(5), NodeId(5), 4, 3);
+    }
+}

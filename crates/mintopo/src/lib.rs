@@ -1,0 +1,49 @@
+//! # mintopo — switch-based network topologies, reachability and routing
+//!
+//! The paper targets three classes of switch-based systems (its §2):
+//! bidirectional MINs / fat-trees (the class it evaluates), unidirectional
+//! MINs, and irregular switch networks (NOWs). This crate builds all three
+//! and derives from each the two data structures the paper's switches need:
+//!
+//! * per-output-port **reachability strings** (an `N`-bit [`netsim::DestSet`]
+//!   per port — exactly the decode tables the paper describes for bit-string
+//!   headers), and
+//! * a **port classification** (down / up / unused) that encodes the
+//!   up*/down*-style routing discipline: a worm descends whenever its
+//!   remaining destinations are all reachable downward, and ascends toward
+//!   the least common ancestor (LCA) otherwise.
+//!
+//! Routing is therefore entirely table-driven ([`route::SwitchTable`]):
+//! the same switch logic serves fat-trees, butterflies and irregular
+//! networks.
+//!
+//! ```
+//! use mintopo::karytree::KaryTree;
+//! use mintopo::route::{RouteTables, UnicastRoute};
+//! use netsim::ids::NodeId;
+//!
+//! // 64 processors: 4-ary 3-tree built from 8-port switches.
+//! let tree = KaryTree::new(4, 3);
+//! let tables = RouteTables::build(tree.topology());
+//! // A stage-0 switch routes hosts under it downward, everything else up.
+//! let sw = tree.switch_at(0, 0);
+//! match tables.table(sw).route_unicast(NodeId(2)) {
+//!     UnicastRoute::Down(port) => assert_eq!(port, 2),
+//!     _ => panic!("host 2 sits below this switch"),
+//! }
+//! ```
+
+pub mod combining;
+pub mod irregular;
+pub mod karytree;
+pub mod lca;
+pub mod multiport;
+pub mod reach;
+pub mod route;
+pub mod topology;
+pub mod unimin;
+
+pub use karytree::KaryTree;
+pub use reach::{PortClass, PortInfo};
+pub use route::{McastRoute, ReplicatePolicy, RouteTables, SwitchTable, UnicastRoute};
+pub use topology::{Attach, Topology, TopologyBuilder};

@@ -1,0 +1,273 @@
+//! Multiport-encoding planner for k-ary n-trees.
+//!
+//! The multiport encoding (\[32\], the authors' companion work) carries one
+//! output-port mask per switch hop instead of an `N`-bit string: decode at
+//! the switch is trivial and topology-independent, and headers are short.
+//! The price is expressiveness — every branch created at a hop shares the
+//! *same* residual header, so one worm can only cover a **product set** of
+//! down-port digits below the LCA stage. Arbitrary destination sets must be
+//! split across several worms (the "multiple phases" the paper contrasts
+//! with single-phase bit-string multicast).
+//!
+//! [`plan_multiport`] performs that split: a greedy product-set grower that
+//! partitions the destination set into as few worms as it can find, each
+//! expressed as a per-hop [`PortMask`] list ready to inject.
+
+use crate::karytree::KaryTree;
+use crate::lca::to_digits;
+use crate::route::pick_deterministic;
+use crate::topology::{Attach, Topology};
+use netsim::destset::DestSet;
+use netsim::header::PortMask;
+use netsim::ids::NodeId;
+use std::collections::BTreeSet;
+
+/// One planned multiport worm.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WormPlan {
+    /// Per-hop output-port masks (hop 0 = the source's leaf switch).
+    pub masks: Vec<PortMask>,
+    /// Destinations this worm delivers to.
+    pub covers: DestSet,
+}
+
+/// A multicast expressed as one or more multiport worms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MultiportPlan {
+    /// The worms, covering pairwise-disjoint destination subsets whose
+    /// union is the requested set.
+    pub worms: Vec<WormPlan>,
+}
+
+impl MultiportPlan {
+    /// Number of worms (the paper's "phases" for this encoding).
+    pub fn n_worms(&self) -> usize {
+        self.worms.len()
+    }
+}
+
+/// Plans multiport worms from `src` covering exactly `dests` on a k-ary
+/// n-tree.
+///
+/// Every worm ascends to the destination set's LCA stage on a
+/// deterministically chosen up-path and then fans out downward over a
+/// product set of digits. Worm destination subsets are pairwise disjoint
+/// (each destination gets exactly one copy).
+///
+/// # Panics
+///
+/// Panics if `dests` is empty or its universe differs from the tree's host
+/// count.
+pub fn plan_multiport(tree: &KaryTree, src: NodeId, dests: &DestSet) -> MultiportPlan {
+    assert!(!dests.is_empty(), "cannot plan an empty multicast");
+    assert_eq!(
+        dests.universe(),
+        tree.n_hosts(),
+        "destination universe must match the tree"
+    );
+    let k = tree.k();
+    let n = tree.stages();
+    let l = tree.lca_stage_set(src, dests);
+
+    // Destinations as digit tuples over positions 0..=l (higher digits all
+    // match the source by definition of the LCA stage).
+    let mut uncovered: BTreeSet<Vec<usize>> = dests
+        .iter()
+        .map(|d| to_digits(d.index(), k, n)[..=l].to_vec())
+        .collect();
+    let src_digits = to_digits(src.index(), k, n);
+
+    let mut worms = Vec::new();
+    while let Some(seed) = uncovered.iter().next().cloned() {
+        // Grow a product set around `seed`, constrained to uncovered tuples
+        // (disjointness ⇒ exactly-once delivery).
+        let mut digit_sets: Vec<BTreeSet<usize>> =
+            seed.iter().map(|&d| BTreeSet::from([d])).collect();
+        let mut grew = true;
+        while grew {
+            grew = false;
+            for pos in 0..=l {
+                for v in 0..k {
+                    if digit_sets[pos].contains(&v) {
+                        continue;
+                    }
+                    let mut candidate = digit_sets.clone();
+                    candidate[pos].insert(v);
+                    if product_subset_of(&candidate, &uncovered) {
+                        digit_sets = candidate;
+                        grew = true;
+                    }
+                }
+            }
+        }
+        // Remove the product from `uncovered` and record coverage.
+        let mut covers = DestSet::empty(tree.n_hosts());
+        for combo in enumerate_product(&digit_sets) {
+            assert!(uncovered.remove(&combo), "product left the uncovered set");
+            let mut digits = src_digits.clone();
+            digits[..=l].copy_from_slice(&combo);
+            covers.insert(NodeId::from(crate::lca::from_digits(&digits, k)));
+        }
+
+        // Mask list: l up-hops, then l+1 down-hops (stage l down to 0).
+        let mut masks = Vec::with_capacity(2 * l + 1);
+        for s in 0..l {
+            let up: Vec<usize> = (0..k).collect();
+            let u = pick_deterministic(&up, src.index() as u64 ^ (s as u64) << 32);
+            masks.push(PortMask::single(k + u));
+        }
+        for stage in (0..=l).rev() {
+            masks.push(PortMask::from_ports(digit_sets[stage].iter().copied()));
+        }
+        worms.push(WormPlan { masks, covers });
+    }
+    MultiportPlan { worms }
+}
+
+/// Checks whether every combination of the digit sets is present in `set`.
+fn product_subset_of(digit_sets: &[BTreeSet<usize>], set: &BTreeSet<Vec<usize>>) -> bool {
+    enumerate_product(digit_sets).all(|combo| set.contains(&combo))
+}
+
+/// Iterates over the cartesian product of the digit sets.
+fn enumerate_product(digit_sets: &[BTreeSet<usize>]) -> impl Iterator<Item = Vec<usize>> + '_ {
+    let sizes: Vec<usize> = digit_sets.iter().map(BTreeSet::len).collect();
+    let total: usize = sizes.iter().product();
+    let values: Vec<Vec<usize>> = digit_sets
+        .iter()
+        .map(|s| s.iter().copied().collect())
+        .collect();
+    (0..total).map(move |mut idx| {
+        let mut combo = Vec::with_capacity(values.len());
+        for (pos, vals) in values.iter().enumerate() {
+            combo.push(vals[idx % sizes[pos]]);
+            idx /= sizes[pos];
+        }
+        combo
+    })
+}
+
+/// Traces a multiport worm's replication tree without simulating time,
+/// returning the delivered host set.
+///
+/// # Errors
+///
+/// Returns a description of the failure on malformed mask lists (running
+/// out of masks at a switch, masking an unused port, or delivering twice).
+pub fn trace_multiport(
+    topo: &Topology,
+    src: NodeId,
+    masks: &[PortMask],
+) -> Result<DestSet, String> {
+    let (start, _) = topo.host_inject(src);
+    let mut delivered = DestSet::empty(topo.n_hosts());
+    let mut queue = vec![(start, masks)];
+    while let Some((sw, rest)) = queue.pop() {
+        let Some((mask, tail)) = rest.split_first() else {
+            return Err(format!("worm at {sw} ran out of masks"));
+        };
+        for p in mask.iter() {
+            if p >= topo.ports(sw) {
+                return Err(format!("mask selects nonexistent port {p} at {sw}"));
+            }
+            match topo.attach(sw, p) {
+                Attach::Host(h) => {
+                    if !delivered.insert(h) {
+                        return Err(format!("duplicate delivery to {h}"));
+                    }
+                }
+                Attach::Switch(next, _) => queue.push((next, tail)),
+                Attach::Unused => return Err(format!("mask selects unused port {p} at {sw}")),
+            }
+        }
+    }
+    Ok(delivered)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::rng::SimRng;
+
+    fn assert_plan_valid(tree: &KaryTree, src: NodeId, dests: &DestSet) -> MultiportPlan {
+        let plan = plan_multiport(tree, src, dests);
+        let mut all = DestSet::empty(tree.n_hosts());
+        for worm in &plan.worms {
+            // Disjoint coverage.
+            assert!(!all.intersects(&worm.covers), "overlapping worms");
+            all.union_with(&worm.covers);
+            // The masks actually deliver exactly the claimed subset.
+            let delivered =
+                trace_multiport(tree.topology(), src, &worm.masks).expect("worm traces");
+            assert_eq!(delivered, worm.covers);
+        }
+        assert_eq!(&all, dests, "plan covers exactly the request");
+        plan
+    }
+
+    #[test]
+    fn broadcast_is_a_single_worm() {
+        let tree = KaryTree::new(2, 3);
+        let all = DestSet::full(8);
+        let plan = assert_plan_valid(&tree, NodeId(0), &all);
+        assert_eq!(plan.n_worms(), 1, "full product set");
+        // 2 up hops + 3 down masks.
+        assert_eq!(plan.worms[0].masks.len(), 5);
+    }
+
+    #[test]
+    fn single_destination_single_worm() {
+        let tree = KaryTree::new(4, 3);
+        let d = DestSet::singleton(64, NodeId(63));
+        let plan = assert_plan_valid(&tree, NodeId(0), &d);
+        assert_eq!(plan.n_worms(), 1);
+    }
+
+    #[test]
+    fn diagonal_set_needs_multiple_worms() {
+        // k=2, n=2: hosts 0..4. {0b00, 0b11} = {0, 3} is not a product set.
+        let tree = KaryTree::new(2, 2);
+        let d = DestSet::from_nodes(4, [0, 3].map(NodeId));
+        let plan = assert_plan_valid(&tree, NodeId(1), &d);
+        assert_eq!(plan.n_worms(), 2);
+    }
+
+    #[test]
+    fn product_set_is_one_worm() {
+        // {0,1,2,3} under one leaf pair: digits position1 in {0,1}, pos0 in {0,1}.
+        let tree = KaryTree::new(2, 3);
+        let d = DestSet::from_nodes(8, [0, 1, 2, 3].map(NodeId));
+        let plan = assert_plan_valid(&tree, NodeId(4), &d);
+        assert_eq!(plan.n_worms(), 1);
+    }
+
+    #[test]
+    fn random_sets_are_partitioned_correctly() {
+        let tree = KaryTree::new(4, 3);
+        let mut rng = SimRng::new(2024);
+        for _ in 0..30 {
+            let src = NodeId::from(rng.below(64));
+            let k = 1 + rng.below(20);
+            let dests = rng.dest_set(64, k, src);
+            let plan = assert_plan_valid(&tree, src, &dests);
+            assert!(plan.n_worms() <= dests.count());
+        }
+    }
+
+    #[test]
+    fn leaf_local_multicast_has_short_masks() {
+        let tree = KaryTree::new(4, 3);
+        // Destinations under the source's own leaf switch: LCA stage 0.
+        let d = DestSet::from_nodes(64, [1, 2].map(NodeId));
+        let plan = assert_plan_valid(&tree, NodeId(0), &d);
+        assert_eq!(plan.n_worms(), 1);
+        assert_eq!(plan.worms[0].masks.len(), 1, "one hop: the leaf switch");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty multicast")]
+    fn empty_plan_panics() {
+        let tree = KaryTree::new(2, 2);
+        let _ = plan_multiport(&tree, NodeId(0), &DestSet::empty(4));
+    }
+}

@@ -1,0 +1,191 @@
+//! Per-output-port reachability strings and port classification.
+//!
+//! The paper's bit-string decode requires each switch to know, for every
+//! output port, the set of processors reachable through it — an `N`-bit
+//! string per port. This module derives those strings from the topology:
+//!
+//! * a **down** port's reachability is the set of hosts reachable using
+//!   down-hops only (for trees this is the subtree; for irregular networks
+//!   it is the up*/down*-legal downward cone),
+//! * an **up** port reaches every host (one can always climb to a common
+//!   ancestor in the topologies considered),
+//! * ports with nothing useful behind them (unconnected, or a host's
+//!   injection-only cable in a unidirectional MIN) are **unused**.
+
+use crate::topology::{Attach, Topology};
+use netsim::destset::DestSet;
+use netsim::ids::SwitchId;
+
+/// Routing role of a switch output port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortClass {
+    /// Leads toward hosts; has a meaningful reachability string.
+    Down,
+    /// Leads toward the roots; reaches every host.
+    Up,
+    /// Never carries output traffic.
+    Unused,
+}
+
+/// Classification and reachability string of one output port.
+#[derive(Debug, Clone)]
+pub struct PortInfo {
+    /// Routing role.
+    pub class: PortClass,
+    /// Hosts reachable through this port (the paper's reachability string).
+    pub reach: DestSet,
+}
+
+/// Computes [`PortInfo`] for every `(switch, port)` of the topology.
+///
+/// Down-hops strictly increase the `(depth, switch id)` order (see
+/// [`Topology::is_down_hop`]), so the downward reach relation is acyclic and
+/// is evaluated in one pass over switches sorted deepest-first.
+#[allow(clippy::needless_range_loop)] // port loop indexes parallel structures
+pub fn build_port_info(topo: &Topology) -> Vec<Vec<PortInfo>> {
+    let n = topo.n_hosts();
+    let n_sw = topo.n_switches();
+
+    // Hosts whose ejection cable lands on each switch, keyed by (switch, port).
+    let mut eject_at = vec![Vec::new(); n_sw];
+    for h in 0..n {
+        let node = netsim::ids::NodeId::from(h);
+        let (sw, port) = topo.host_eject(node);
+        eject_at[sw.index()].push((port, node));
+    }
+
+    // Process switches in decreasing (depth, id): every down-neighbor of a
+    // switch comes earlier, so its cone is already known.
+    let mut order: Vec<usize> = (0..n_sw).collect();
+    order.sort_by_key(|&s| {
+        (
+            std::cmp::Reverse(topo.depth(SwitchId::from(s))),
+            std::cmp::Reverse(s),
+        )
+    });
+
+    // Downward cone of each switch (hosts reachable via down-hops only).
+    let mut cone: Vec<DestSet> = vec![DestSet::empty(n); n_sw];
+    let mut info: Vec<Vec<PortInfo>> = (0..n_sw)
+        .map(|s| {
+            let ports = topo.ports(SwitchId::from(s));
+            (0..ports)
+                .map(|_| PortInfo {
+                    class: PortClass::Unused,
+                    reach: DestSet::empty(n),
+                })
+                .collect()
+        })
+        .collect();
+
+    for &s in &order {
+        let sw = SwitchId::from(s);
+        let mut my_cone = DestSet::empty(n);
+        for (port, node) in &eject_at[s] {
+            my_cone.insert(*node);
+            info[s][*port] = PortInfo {
+                class: PortClass::Down,
+                reach: DestSet::singleton(n, *node),
+            };
+        }
+        for port in 0..topo.ports(sw) {
+            match topo.attach(sw, port) {
+                Attach::Switch(other, _) if topo.is_down_hop(sw, port) => {
+                    let reach = cone[other.index()].clone();
+                    my_cone.union_with(&reach);
+                    info[s][port] = PortInfo {
+                        class: PortClass::Down,
+                        reach,
+                    };
+                }
+                Attach::Switch(..) => {
+                    info[s][port] = PortInfo {
+                        class: PortClass::Up,
+                        reach: DestSet::full(n),
+                    };
+                }
+                Attach::Host(_) | Attach::Unused => {
+                    // Host ports were handled via eject_at (injection-only
+                    // host cables stay Unused); unconnected ports stay
+                    // Unused.
+                }
+            }
+        }
+        cone[s] = my_cone;
+    }
+
+    info
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::TopologyBuilder;
+    use netsim::ids::NodeId;
+
+    /// h0,h1 under s0 (depth 1); h2,h3 under s1 (depth 1); s2 root (depth 0).
+    fn small_tree() -> Topology {
+        let mut b = TopologyBuilder::new(4);
+        let s0 = b.add_switch(4, 1);
+        let s1 = b.add_switch(4, 1);
+        let s2 = b.add_switch(4, 0);
+        b.attach_host(NodeId(0), s0, 0);
+        b.attach_host(NodeId(1), s0, 1);
+        b.attach_host(NodeId(2), s1, 0);
+        b.attach_host(NodeId(3), s1, 1);
+        b.connect(s0, 3, s2, 0);
+        b.connect(s1, 3, s2, 1);
+        b.build()
+    }
+
+    #[test]
+    fn leaf_switch_ports() {
+        let t = small_tree();
+        let info = build_port_info(&t);
+        // s0 port 0 reaches exactly h0.
+        assert_eq!(info[0][0].class, PortClass::Down);
+        assert_eq!(info[0][0].reach, DestSet::singleton(4, NodeId(0)));
+        // s0 port 3 is up and reaches everything.
+        assert_eq!(info[0][3].class, PortClass::Up);
+        assert_eq!(info[0][3].reach, DestSet::full(4));
+        // s0 port 2 is unconnected.
+        assert_eq!(info[0][2].class, PortClass::Unused);
+    }
+
+    #[test]
+    fn root_switch_sees_both_subtrees() {
+        let t = small_tree();
+        let info = build_port_info(&t);
+        assert_eq!(info[2][0].class, PortClass::Down);
+        assert_eq!(
+            info[2][0].reach,
+            DestSet::from_nodes(4, [0, 1].map(NodeId))
+        );
+        assert_eq!(
+            info[2][1].reach,
+            DestSet::from_nodes(4, [2, 3].map(NodeId))
+        );
+        // Root's down reaches are disjoint and cover all hosts.
+        let union = info[2][0].reach.or(&info[2][1].reach);
+        assert_eq!(union, DestSet::full(4));
+        assert!(!info[2][0].reach.intersects(&info[2][1].reach));
+    }
+
+    #[test]
+    fn injection_only_host_cable_is_unused() {
+        // Unidirectional style: host 0 injects at s0, ejects at s1.
+        let mut b = TopologyBuilder::new(1);
+        let s0 = b.add_switch(2, 0);
+        let s1 = b.add_switch(2, 1);
+        b.connect(s0, 1, s1, 0);
+        b.attach_host_inject(NodeId(0), s0, 0);
+        b.set_host_eject(NodeId(0), s1, 1);
+        let t = b.build();
+        let info = build_port_info(&t);
+        assert_eq!(info[0][0].class, PortClass::Unused, "inject-only cable");
+        assert_eq!(info[1][1].class, PortClass::Down, "ejection cable");
+        // s0's forward port (down, since s1 is deeper) reaches h0.
+        assert_eq!(info[0][1].class, PortClass::Down);
+        assert!(info[0][1].reach.contains(NodeId(0)));
+    }
+}

@@ -1,0 +1,195 @@
+//! Unidirectional multistage interconnection network (butterfly) generator.
+//!
+//! In a unidirectional MIN every worm crosses all `n` stages (paper §2).
+//! Hosts inject into stage 0 and eject from stage `n-1`; each stage corrects
+//! one base-`k` address digit. All forward ports are *down* ports with
+//! disjoint reachability strings, so the same table-driven switch logic that
+//! serves fat-trees replicates multicast worms here in a single forward
+//! pass — the mechanism of the authors' companion work \[32\].
+
+use crate::lca;
+use crate::topology::{Topology, TopologyBuilder};
+use netsim::ids::{NodeId, SwitchId};
+
+/// A k-ary butterfly with `k^n` hosts and `n` stages.
+#[derive(Debug, Clone)]
+pub struct UniMin {
+    k: usize,
+    n: usize,
+    topo: Topology,
+}
+
+impl UniMin {
+    /// Builds the butterfly.
+    ///
+    /// Switch ports `0..k` are the input side, `k..2k` the output side.
+    /// Between stage `s` and `s+1` the wiring corrects switch-index digit
+    /// `n-2-s`; the final output level corrects host digit 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2`, `n < 1`, or the system exceeds 1 Mi hosts.
+    pub fn new(k: usize, n: usize) -> Self {
+        assert!(k >= 2, "arity must be at least 2");
+        assert!(n >= 1, "need at least one stage");
+        let n_hosts = k.checked_pow(n as u32).expect("system size overflow");
+        assert!(n_hosts <= 1 << 20, "system size {n_hosts} too large");
+        let per_stage = n_hosts / k;
+        let mut b = TopologyBuilder::new(n_hosts);
+
+        // Depth grows along the flow so forward hops classify as "down".
+        let mut ids = vec![vec![SwitchId(0); per_stage]; n];
+        for (s, stage_ids) in ids.iter_mut().enumerate() {
+            for w in stage_ids.iter_mut() {
+                *w = b.add_switch(2 * k, s as u32);
+            }
+        }
+
+        // Hosts: inject at stage 0 input ports, eject at stage n-1 outputs.
+        for h in 0..n_hosts {
+            let node = NodeId::from(h);
+            b.attach_host_inject(node, ids[0][h / k], h % k);
+            b.set_host_eject(node, ids[n - 1][h / k], k + h % k);
+        }
+
+        // Inter-stage wiring: stage s output j corrects digit n-2-s.
+        for s in 0..n.saturating_sub(1) {
+            let pos = n - 2 - s;
+            for w in 0..per_stage {
+                let digits = lca::to_digits(w, k, n - 1);
+                for j in 0..k {
+                    let mut upper = digits.clone();
+                    upper[pos] = j;
+                    let upper_idx = lca::from_digits(&upper, k);
+                    b.connect(ids[s][w], k + j, ids[s + 1][upper_idx], digits[pos]);
+                }
+            }
+        }
+
+        UniMin {
+            k,
+            n,
+            topo: b.build(),
+        }
+    }
+
+    /// Switch arity `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of stages `n`.
+    pub fn stages(&self) -> usize {
+        self.n
+    }
+
+    /// Number of hosts `k^n`.
+    pub fn n_hosts(&self) -> usize {
+        self.topo.n_hosts()
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Consumes the MIN, returning the topology.
+    pub fn into_topology(self) -> Topology {
+        self.topo
+    }
+
+    /// Id of the switch at `(stage, index)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn switch_at(&self, stage: usize, index: usize) -> SwitchId {
+        assert!(stage < self.n && index < self.n_hosts() / self.k);
+        SwitchId::from(stage * (self.n_hosts() / self.k) + index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::route::{trace_bitstring, trace_unicast, ReplicatePolicy, RouteTables};
+    use netsim::destset::DestSet;
+
+    #[test]
+    fn sizes() {
+        let m = UniMin::new(2, 3);
+        assert_eq!(m.n_hosts(), 8);
+        assert_eq!(m.topology().n_switches(), 12);
+    }
+
+    #[test]
+    fn all_pairs_route_through_all_stages() {
+        let m = UniMin::new(2, 3);
+        let tables = RouteTables::build(m.topology());
+        for src in 0..8u32 {
+            for dst in 0..8u32 {
+                let path =
+                    trace_unicast(&tables, m.topology(), NodeId(src), NodeId(dst), 16).unwrap();
+                assert_eq!(path.len(), 3, "every route crosses all 3 stages");
+            }
+        }
+    }
+
+    #[test]
+    fn all_pairs_route_4ary() {
+        let m = UniMin::new(4, 2);
+        let tables = RouteTables::build(m.topology());
+        for src in 0..16u32 {
+            for dst in 0..16u32 {
+                let path =
+                    trace_unicast(&tables, m.topology(), NodeId(src), NodeId(dst), 8).unwrap();
+                assert_eq!(path.len(), 2);
+            }
+        }
+    }
+
+    #[test]
+    fn multicast_is_single_forward_pass() {
+        let m = UniMin::new(2, 3);
+        let tables = RouteTables::build(m.topology());
+        let dests = DestSet::from_nodes(8, [0, 3, 5, 6].map(NodeId));
+        let trace = trace_bitstring(
+            &tables,
+            m.topology(),
+            NodeId(1),
+            &dests,
+            ReplicatePolicy::ReturnOnly,
+            8,
+        )
+        .expect("replicates");
+        assert_eq!(trace.delivered, dests);
+        assert_eq!(trace.depth, 3, "no turnaround: forward pass only");
+    }
+
+    #[test]
+    fn broadcast_from_any_source() {
+        let m = UniMin::new(2, 2);
+        let tables = RouteTables::build(m.topology());
+        let all = DestSet::full(4);
+        for src in 0..4u32 {
+            let trace = trace_bitstring(
+                &tables,
+                m.topology(),
+                NodeId(src),
+                &all,
+                ReplicatePolicy::ReturnOnly,
+                8,
+            )
+            .unwrap();
+            assert_eq!(trace.delivered, all);
+        }
+    }
+
+    #[test]
+    fn stage0_covers_everything_downward() {
+        let m = UniMin::new(4, 2);
+        let tables = RouteTables::build(m.topology());
+        let t = tables.table(m.switch_at(0, 0));
+        assert_eq!(t.down_union().count(), 16);
+    }
+}

@@ -1,0 +1,458 @@
+//! Destination sets as fixed-universe bitsets.
+//!
+//! The paper's bit-string header encoding is literally an `N`-bit vector with
+//! bit `i` set iff processor `i` is a destination, and every switch output
+//! port carries an `N`-bit *reachability string*. [`DestSet`] is that bit
+//! vector: a dense bitset over a fixed universe of `N` nodes, with the set
+//! algebra (union, intersection, difference) the decode logic needs.
+
+use crate::ids::NodeId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+const WORD_BITS: usize = 64;
+
+/// A set of destination nodes over a fixed universe `0..len`.
+///
+/// Mirrors the paper's bit-string encoding: `len` is the system size `N`.
+/// Operations between two sets require equal universes and panic otherwise —
+/// mixing reachability strings from differently sized systems is always a
+/// bug.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DestSet {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl DestSet {
+    /// Creates an empty set over the universe `0..len`.
+    pub fn empty(len: usize) -> Self {
+        DestSet {
+            len,
+            words: vec![0; len.div_ceil(WORD_BITS)],
+        }
+    }
+
+    /// Creates the full set `{0, 1, .., len-1}`.
+    pub fn full(len: usize) -> Self {
+        let mut s = Self::empty(len);
+        for w in &mut s.words {
+            *w = u64::MAX;
+        }
+        s.trim();
+        s
+    }
+
+    /// Creates a singleton set `{node}` over the universe `0..len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node.index() >= len`.
+    pub fn singleton(len: usize, node: NodeId) -> Self {
+        let mut s = Self::empty(len);
+        s.insert(node);
+        s
+    }
+
+    /// Builds a set from an iterator of nodes over the universe `0..len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any node index is `>= len`.
+    pub fn from_nodes<I: IntoIterator<Item = NodeId>>(len: usize, nodes: I) -> Self {
+        let mut s = Self::empty(len);
+        for n in nodes {
+            s.insert(n);
+        }
+        s
+    }
+
+    /// The universe size `N` (number of addressable nodes, *not* the number
+    /// of members).
+    #[inline]
+    pub fn universe(&self) -> usize {
+        self.len
+    }
+
+    /// Number of members in the set.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Returns `true` if the set has no members.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Tests membership.
+    ///
+    /// Out-of-universe nodes are reported as absent rather than panicking, so
+    /// that membership tests against a header from a larger universe degrade
+    /// gracefully in assertions.
+    #[inline]
+    pub fn contains(&self, node: NodeId) -> bool {
+        let i = node.index();
+        if i >= self.len {
+            return false;
+        }
+        self.words[i / WORD_BITS] & (1u64 << (i % WORD_BITS)) != 0
+    }
+
+    /// Inserts a node. Returns `true` if it was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node.index() >= universe()`.
+    pub fn insert(&mut self, node: NodeId) -> bool {
+        let i = node.index();
+        assert!(
+            i < self.len,
+            "node {} out of destination-set universe {}",
+            i,
+            self.len
+        );
+        let w = &mut self.words[i / WORD_BITS];
+        let mask = 1u64 << (i % WORD_BITS);
+        let newly = *w & mask == 0;
+        *w |= mask;
+        newly
+    }
+
+    /// Removes a node. Returns `true` if it was present.
+    pub fn remove(&mut self, node: NodeId) -> bool {
+        let i = node.index();
+        if i >= self.len {
+            return false;
+        }
+        let w = &mut self.words[i / WORD_BITS];
+        let mask = 1u64 << (i % WORD_BITS);
+        let present = *w & mask != 0;
+        *w &= !mask;
+        present
+    }
+
+    /// Removes all members.
+    pub fn clear(&mut self) {
+        for w in &mut self.words {
+            *w = 0;
+        }
+    }
+
+    /// Set intersection, returning a new set (`self ∩ other`).
+    ///
+    /// This is the paper's header-decode operation: header bit-string AND
+    /// output-port reachability string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn and(&self, other: &DestSet) -> DestSet {
+        self.check_universe(other);
+        DestSet {
+            len: self.len,
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a & b)
+                .collect(),
+        }
+    }
+
+    /// Set union, returning a new set (`self ∪ other`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn or(&self, other: &DestSet) -> DestSet {
+        self.check_universe(other);
+        DestSet {
+            len: self.len,
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a | b)
+                .collect(),
+        }
+    }
+
+    /// Set difference, returning a new set (`self \ other`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn minus(&self, other: &DestSet) -> DestSet {
+        self.check_universe(other);
+        DestSet {
+            len: self.len,
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a & !b)
+                .collect(),
+        }
+    }
+
+    /// In-place union.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn union_with(&mut self, other: &DestSet) {
+        self.check_universe(other);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place intersection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn intersect_with(&mut self, other: &DestSet) {
+        self.check_universe(other);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// In-place difference (`self \ other`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn subtract(&mut self, other: &DestSet) {
+        self.check_universe(other);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// Returns `true` if the sets share at least one member.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn intersects(&self, other: &DestSet) -> bool {
+        self.check_universe(other);
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
+    /// Returns `true` if every member of `self` is also in `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn is_subset_of(&self, other: &DestSet) -> bool {
+        self.check_universe(other);
+        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+    }
+
+    /// Iterates over members in ascending node order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            set: self,
+            word: 0,
+            bits: if self.words.is_empty() { 0 } else { self.words[0] },
+        }
+    }
+
+    /// Smallest member, if any.
+    pub fn first(&self) -> Option<NodeId> {
+        self.iter().next()
+    }
+
+    /// Number of flits needed to carry this set as a bit-string header
+    /// payload, given `bits_per_flit` payload bits per flit.
+    pub fn bitstring_flits(&self, bits_per_flit: usize) -> usize {
+        assert!(bits_per_flit > 0, "flit must carry at least one bit");
+        self.len.div_ceil(bits_per_flit)
+    }
+
+    fn check_universe(&self, other: &DestSet) {
+        assert_eq!(
+            self.len, other.len,
+            "destination-set universe mismatch: {} vs {}",
+            self.len, other.len
+        );
+    }
+
+    /// Clears any bits above `len` (keeps `full` well-formed).
+    fn trim(&mut self) {
+        let extra = self.words.len() * WORD_BITS - self.len;
+        if extra > 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= u64::MAX >> extra;
+            }
+        }
+    }
+}
+
+impl fmt::Debug for DestSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DestSet(N={}){{", self.len)?;
+        for (i, n) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", n.0)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Display for DestSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl<'a> IntoIterator for &'a DestSet {
+    type Item = NodeId;
+    type IntoIter = Iter<'a>;
+
+    fn into_iter(self) -> Iter<'a> {
+        self.iter()
+    }
+}
+
+impl Extend<NodeId> for DestSet {
+    fn extend<T: IntoIterator<Item = NodeId>>(&mut self, iter: T) {
+        for n in iter {
+            self.insert(n);
+        }
+    }
+}
+
+/// Iterator over the members of a [`DestSet`], produced by [`DestSet::iter`].
+pub struct Iter<'a> {
+    set: &'a DestSet,
+    word: usize,
+    bits: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        loop {
+            if self.bits != 0 {
+                let bit = self.bits.trailing_zeros() as usize;
+                self.bits &= self.bits - 1;
+                return Some(NodeId::from(self.word * WORD_BITS + bit));
+            }
+            self.word += 1;
+            if self.word >= self.set.words.len() {
+                return None;
+            }
+            self.bits = self.set.words[self.word];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(len: usize, items: &[u32]) -> DestSet {
+        DestSet::from_nodes(len, items.iter().map(|&i| NodeId(i)))
+    }
+
+    #[test]
+    fn empty_and_full() {
+        let e = DestSet::empty(100);
+        assert!(e.is_empty());
+        assert_eq!(e.count(), 0);
+        let f = DestSet::full(100);
+        assert_eq!(f.count(), 100);
+        assert!(f.contains(NodeId(0)));
+        assert!(f.contains(NodeId(99)));
+        assert!(!f.contains(NodeId(100)));
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = DestSet::empty(70);
+        assert!(s.insert(NodeId(3)));
+        assert!(!s.insert(NodeId(3)));
+        assert!(s.insert(NodeId(64)));
+        assert!(s.contains(NodeId(3)));
+        assert!(s.contains(NodeId(64)));
+        assert!(!s.contains(NodeId(65)));
+        assert!(s.remove(NodeId(3)));
+        assert!(!s.remove(NodeId(3)));
+        assert_eq!(s.count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of destination-set universe")]
+    fn insert_out_of_universe_panics() {
+        DestSet::empty(16).insert(NodeId(16));
+    }
+
+    #[test]
+    fn algebra() {
+        let a = set(128, &[1, 2, 3, 100]);
+        let b = set(128, &[2, 3, 4]);
+        assert_eq!(a.and(&b), set(128, &[2, 3]));
+        assert_eq!(a.or(&b), set(128, &[1, 2, 3, 4, 100]));
+        assert_eq!(a.minus(&b), set(128, &[1, 100]));
+        assert!(a.intersects(&b));
+        assert!(!set(128, &[9]).intersects(&b));
+        assert!(set(128, &[2, 3]).is_subset_of(&a));
+        assert!(!a.is_subset_of(&b));
+    }
+
+    #[test]
+    fn in_place_algebra() {
+        let mut a = set(64, &[0, 5]);
+        a.union_with(&set(64, &[5, 9]));
+        assert_eq!(a, set(64, &[0, 5, 9]));
+        a.intersect_with(&set(64, &[5, 9, 11]));
+        assert_eq!(a, set(64, &[5, 9]));
+        a.subtract(&set(64, &[9]));
+        assert_eq!(a, set(64, &[5]));
+        a.clear();
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "universe mismatch")]
+    fn universe_mismatch_panics() {
+        let _ = set(64, &[1]).and(&set(65, &[1]));
+    }
+
+    #[test]
+    fn iteration_order_is_ascending() {
+        let s = set(256, &[200, 3, 64, 65, 0]);
+        let got: Vec<u32> = s.iter().map(|n| n.0).collect();
+        assert_eq!(got, vec![0, 3, 64, 65, 200]);
+        assert_eq!(s.first(), Some(NodeId(0)));
+        assert_eq!(DestSet::empty(8).first(), None);
+    }
+
+    #[test]
+    fn bitstring_flit_count() {
+        // 64-node system, 8-bit flits => 8 flits of bit-string.
+        assert_eq!(DestSet::empty(64).bitstring_flits(8), 8);
+        // 65 nodes round up.
+        assert_eq!(DestSet::empty(65).bitstring_flits(8), 9);
+        assert_eq!(DestSet::empty(16).bitstring_flits(16), 1);
+    }
+
+    #[test]
+    fn extend_and_from_nodes() {
+        let mut s = DestSet::empty(32);
+        s.extend([NodeId(1), NodeId(2)]);
+        assert_eq!(s, set(32, &[1, 2]));
+    }
+
+    #[test]
+    fn debug_format_lists_members() {
+        let s = set(16, &[1, 5]);
+        assert_eq!(format!("{s:?}"), "DestSet(N=16){1,5}");
+    }
+}

@@ -1,0 +1,164 @@
+//! Flits: the flow-control unit moving across links, one per cycle.
+//!
+//! A flit is a cheap `(Rc<Packet>, index)` pair. Replicating a worm at a
+//! switch replicates flits, which is just a reference-count bump — matching
+//! the hardware reality that replication copies pointers/flits inside the
+//! switch, not whole packets.
+
+use crate::packet::Packet;
+use std::fmt;
+use std::rc::Rc;
+
+/// Classification of a flit's position within its packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FlitKind {
+    /// First flit of the packet (begins the routing header).
+    Head,
+    /// Subsequent header flits.
+    Header,
+    /// Data flits.
+    Payload,
+    /// Final flit of the packet (releases resources as it drains).
+    Tail,
+}
+
+/// One flit of a packet.
+#[derive(Clone)]
+pub struct Flit {
+    pkt: Rc<Packet>,
+    idx: u16,
+}
+
+impl Flit {
+    /// Creates the `idx`-th flit of `pkt`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range for the packet.
+    pub fn new(pkt: Rc<Packet>, idx: u16) -> Self {
+        assert!(
+            idx < pkt.total_flits(),
+            "flit index {idx} out of range for {} flits",
+            pkt.total_flits()
+        );
+        Flit { pkt, idx }
+    }
+
+    /// The packet this flit belongs to.
+    pub fn packet(&self) -> &Rc<Packet> {
+        &self.pkt
+    }
+
+    /// Zero-based position within the packet.
+    pub fn idx(&self) -> u16 {
+        self.idx
+    }
+
+    /// Position classification.
+    pub fn kind(&self) -> FlitKind {
+        if self.idx + 1 == self.pkt.total_flits() {
+            FlitKind::Tail
+        } else if self.idx == 0 {
+            FlitKind::Head
+        } else if self.idx < self.pkt.header_flits() {
+            FlitKind::Header
+        } else {
+            FlitKind::Payload
+        }
+    }
+
+    /// `true` for the packet's first flit.
+    pub fn is_head(&self) -> bool {
+        self.idx == 0
+    }
+
+    /// `true` for the packet's last flit.
+    pub fn is_tail(&self) -> bool {
+        self.idx + 1 == self.pkt.total_flits()
+    }
+
+    /// `true` while the flit is part of the routing header.
+    pub fn is_header(&self) -> bool {
+        self.idx < self.pkt.header_flits()
+    }
+
+    /// Returns the same flit position re-bound to a (branch-rewritten) packet
+    /// descriptor — the header-rewrite operation of the central-buffer switch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the replacement packet has a different flit count.
+    pub fn rebind(&self, pkt: Rc<Packet>) -> Flit {
+        assert_eq!(
+            pkt.total_flits(),
+            self.pkt.total_flits(),
+            "rebind must preserve packet length"
+        );
+        Flit { pkt, idx: self.idx }
+    }
+}
+
+impl fmt::Debug for Flit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Flit({} {}/{} {:?})",
+            self.pkt.id(),
+            self.idx,
+            self.pkt.total_flits(),
+            self.kind()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::NodeId;
+    use crate::packet::PacketBuilder;
+
+    fn pkt(payload: u16) -> Rc<Packet> {
+        Rc::new(PacketBuilder::unicast(NodeId(0), NodeId(1), payload, 64).build())
+    }
+
+    #[test]
+    fn kinds_along_packet() {
+        let p = pkt(3); // 2 header + 3 payload
+        assert_eq!(Flit::new(p.clone(), 0).kind(), FlitKind::Head);
+        assert_eq!(Flit::new(p.clone(), 1).kind(), FlitKind::Header);
+        assert_eq!(Flit::new(p.clone(), 2).kind(), FlitKind::Payload);
+        assert_eq!(Flit::new(p.clone(), 3).kind(), FlitKind::Payload);
+        assert_eq!(Flit::new(p.clone(), 4).kind(), FlitKind::Tail);
+        assert!(Flit::new(p.clone(), 0).is_head());
+        assert!(Flit::new(p.clone(), 4).is_tail());
+        assert!(Flit::new(p.clone(), 1).is_header());
+        assert!(!Flit::new(p, 2).is_header());
+    }
+
+    #[test]
+    fn single_flit_packet_is_tail() {
+        // Degenerate: header-only worm of one flit cannot exist with the
+        // default encodings (min 2), but a 0-payload packet's last header
+        // flit is the tail.
+        let p = pkt(0); // 2 header flits total
+        let f = Flit::new(p, 1);
+        assert_eq!(f.kind(), FlitKind::Tail);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_index_panics() {
+        let p = pkt(1);
+        let _ = Flit::new(p, 100);
+    }
+
+    #[test]
+    fn rebind_keeps_position() {
+        let p = pkt(2);
+        let f = Flit::new(p.clone(), 3);
+        let q = Rc::new(p.with_header(p.header().clone()));
+        let g = f.rebind(q);
+        assert_eq!(g.idx(), 3);
+        assert!(g.is_tail());
+    }
+}

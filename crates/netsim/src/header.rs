@@ -1,0 +1,337 @@
+//! Routing-header encodings for unicast and multidestination worms.
+//!
+//! The paper (§3) treats the header encoding as orthogonal to the replication
+//! mechanism. Three encodings are modeled:
+//!
+//! * [`RoutingHeader::Unicast`] — a single destination identifier, as used by
+//!   ordinary point-to-point worms.
+//! * [`RoutingHeader::BitString`] — the paper's preferred single-phase
+//!   multicast encoding: `N` bits, bit `i` set iff node `i` is a destination.
+//!   Switches decode it by ANDing with per-output-port reachability strings
+//!   and rewrite the header on every replication.
+//! * [`RoutingHeader::Multiport`] — the multiport (source-routed port-mask)
+//!   encoding of the authors' companion work \[32\]: the header carries one
+//!   port mask per switch hop, consumed hop by hop. Decode logic is trivial
+//!   and needs no topology knowledge in the switch, but all branches created
+//!   at a hop share the *same* remaining header, which restricts the
+//!   destination sets one worm can cover — arbitrary sets need multiple
+//!   phases.
+//!
+//! Header size is accounted in flits (the paper charges the `N`-bit string's
+//! transmission time); see [`RoutingHeader::header_flits`].
+
+use crate::destset::DestSet;
+use crate::ids::NodeId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A set of switch output ports, encoded as a bitmask (ports `0..=15`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct PortMask(pub u16);
+
+impl PortMask {
+    /// The empty port mask.
+    pub const EMPTY: PortMask = PortMask(0);
+
+    /// Mask containing the single port `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p >= 16`.
+    pub fn single(p: usize) -> Self {
+        assert!(p < 16, "port {p} out of range for PortMask");
+        PortMask(1 << p)
+    }
+
+    /// Builds a mask from an iterator of port indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any port is `>= 16`.
+    pub fn from_ports<I: IntoIterator<Item = usize>>(ports: I) -> Self {
+        let mut m = PortMask(0);
+        for p in ports {
+            m.set(p);
+        }
+        m
+    }
+
+    /// Adds port `p` to the mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p >= 16`.
+    pub fn set(&mut self, p: usize) {
+        assert!(p < 16, "port {p} out of range for PortMask");
+        self.0 |= 1 << p;
+    }
+
+    /// Tests whether port `p` is in the mask.
+    pub fn contains(&self, p: usize) -> bool {
+        p < 16 && self.0 & (1 << p) != 0
+    }
+
+    /// Number of ports in the mask.
+    pub fn count(&self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Returns `true` if no ports are selected.
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates over the selected port indices in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        let bits = self.0;
+        (0..16).filter(move |p| bits & (1 << p) != 0)
+    }
+}
+
+impl fmt::Debug for PortMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PortMask[")?;
+        for (i, p) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// The routing information carried in a worm's header flits.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RoutingHeader {
+    /// Point-to-point worm addressed to a single node.
+    Unicast {
+        /// The destination node.
+        dest: NodeId,
+    },
+    /// Bit-string-encoded multidestination worm (paper §3): one bit per node.
+    BitString {
+        /// The remaining destination set. Switches shrink this on the way by
+        /// ANDing with per-port reachability strings.
+        dests: DestSet,
+    },
+    /// Multiport-encoded multidestination worm (\[32\]): one output-port mask
+    /// per remaining switch hop, consumed front-first.
+    Multiport {
+        /// `masks[0]` selects this hop's output ports; branches continue with
+        /// `masks[1..]`.
+        masks: Vec<PortMask>,
+    },
+    /// Dataless barrier-gather worm, *combined inside switches* rather than
+    /// routed: a switch consumes arriving gather worms of a round, and once
+    /// every child port has reported it emits one merged gather upward (or
+    /// the release broadcast at the combining root). The switch-combining
+    /// extension of the paper's §9 outlook \[34\].
+    BarrierGather {
+        /// The barrier round this gather belongs to.
+        round: u32,
+    },
+}
+
+impl RoutingHeader {
+    /// Convenience constructor for a bit-string header.
+    pub fn bitstring(dests: DestSet) -> Self {
+        RoutingHeader::BitString { dests }
+    }
+
+    /// Returns `true` for multidestination (multicast-capable) headers.
+    pub fn is_multidestination(&self) -> bool {
+        !matches!(
+            self,
+            RoutingHeader::Unicast { .. } | RoutingHeader::BarrierGather { .. }
+        )
+    }
+
+    /// Number of destinations still encoded in the header, when that is
+    /// locally decidable (`Multiport` headers don't know their fan-out
+    /// without the topology, so they report `None`).
+    pub fn dest_count(&self) -> Option<usize> {
+        match self {
+            RoutingHeader::Unicast { .. } => Some(1),
+            RoutingHeader::BitString { dests } => Some(dests.count()),
+            RoutingHeader::Multiport { .. } => None,
+            RoutingHeader::BarrierGather { .. } => Some(0),
+        }
+    }
+
+    /// Number of header flits this encoding occupies on the wire.
+    ///
+    /// Every header starts with one control flit (packet kind, length, and —
+    /// for unicast — the `ceil(log2 N / bits)` destination id is folded into
+    /// additional flits). Bit-string headers then carry `ceil(N / bits)`
+    /// flits; multiport headers carry one mask per hop, `ceil(ports/bits)`
+    /// flits each.
+    ///
+    /// This is the quantity the paper charges against multicast headers: for
+    /// `N = 256` and 8-bit flits a bit-string header alone is 32 flits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits_per_flit` or `system_size` is zero.
+    pub fn header_flits(&self, system_size: usize, bits_per_flit: usize) -> usize {
+        assert!(bits_per_flit > 0, "flit must carry at least one bit");
+        assert!(system_size > 0, "system must have at least one node");
+        let id_bits = usize::BITS as usize - (system_size.max(2) - 1).leading_zeros() as usize;
+        match self {
+            RoutingHeader::Unicast { .. } => 1 + id_bits.div_ceil(bits_per_flit),
+            RoutingHeader::BitString { dests } => 1 + dests.bitstring_flits(bits_per_flit),
+            RoutingHeader::Multiport { masks } => {
+                // One mask per hop; each mask is at most 16 bits wide.
+                1 + masks.len() * 16usize.div_ceil(bits_per_flit)
+            }
+            // Control flit plus a 32-bit round number.
+            RoutingHeader::BarrierGather { .. } => 1 + 32usize.div_ceil(bits_per_flit),
+        }
+    }
+
+    /// For bit-string headers, the residual header after replication out of a
+    /// port with reachability `reach`: `dests ∩ reach`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a non-bit-string header, or if universes differ.
+    pub fn restrict_to(&self, reach: &DestSet) -> RoutingHeader {
+        match self {
+            RoutingHeader::BitString { dests } => RoutingHeader::BitString {
+                dests: dests.and(reach),
+            },
+            _ => panic!("restrict_to is only defined for bit-string headers"),
+        }
+    }
+
+    /// For multiport headers, splits off this hop's port mask and returns it
+    /// together with the residual header for the next hop.
+    ///
+    /// Returns `None` if no masks remain (the worm should already have been
+    /// consumed).
+    pub fn advance_multiport(&self) -> Option<(PortMask, RoutingHeader)> {
+        match self {
+            RoutingHeader::Multiport { masks } => masks.split_first().map(|(first, rest)| {
+                (
+                    *first,
+                    RoutingHeader::Multiport {
+                        masks: rest.to_vec(),
+                    },
+                )
+            }),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Debug for RoutingHeader {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RoutingHeader::Unicast { dest } => write!(f, "Unicast({dest})"),
+            RoutingHeader::BitString { dests } => write!(f, "BitString({dests:?})"),
+            RoutingHeader::Multiport { masks } => write!(f, "Multiport({masks:?})"),
+            RoutingHeader::BarrierGather { round } => write!(f, "BarrierGather(r{round})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn portmask_basics() {
+        let mut m = PortMask::from_ports([0, 3, 7]);
+        assert_eq!(m.count(), 3);
+        assert!(m.contains(3));
+        assert!(!m.contains(2));
+        m.set(2);
+        assert_eq!(m.iter().collect::<Vec<_>>(), vec![0, 2, 3, 7]);
+        assert!(PortMask::EMPTY.is_empty());
+        assert_eq!(PortMask::single(5).iter().collect::<Vec<_>>(), vec![5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn portmask_range_checked() {
+        PortMask::single(16);
+    }
+
+    #[test]
+    fn unicast_header_size() {
+        let h = RoutingHeader::Unicast { dest: NodeId(5) };
+        // 64 nodes -> 6 id bits -> 1 flit of id + 1 control flit.
+        assert_eq!(h.header_flits(64, 8), 2);
+        // 256 nodes -> 8 id bits -> still 2 flits.
+        assert_eq!(h.header_flits(256, 8), 2);
+        // 1024 nodes -> 10 id bits -> 2 id flits + control.
+        assert_eq!(h.header_flits(1024, 8), 3);
+        assert_eq!(h.dest_count(), Some(1));
+        assert!(!h.is_multidestination());
+    }
+
+    #[test]
+    fn bitstring_header_size_scales_with_system() {
+        let h64 = RoutingHeader::bitstring(DestSet::empty(64));
+        assert_eq!(h64.header_flits(64, 8), 1 + 8);
+        let h256 = RoutingHeader::bitstring(DestSet::empty(256));
+        assert_eq!(h256.header_flits(256, 8), 1 + 32);
+        assert!(h64.is_multidestination());
+    }
+
+    #[test]
+    fn multiport_header_size_scales_with_hops() {
+        let h = RoutingHeader::Multiport {
+            masks: vec![PortMask::single(0); 5],
+        };
+        // 5 hops, 16-bit masks in 8-bit flits -> 2 flits per hop + control.
+        assert_eq!(h.header_flits(64, 8), 1 + 10);
+        assert_eq!(h.dest_count(), None);
+    }
+
+    #[test]
+    fn barrier_gather_header() {
+        let h = RoutingHeader::BarrierGather { round: 7 };
+        assert!(!h.is_multidestination(), "gathers are not replicated");
+        assert_eq!(h.dest_count(), Some(0), "consumed by switches, not hosts");
+        // Control flit + 4 flits of round number at 8 bits per flit.
+        assert_eq!(h.header_flits(64, 8), 5);
+        assert!(h.advance_multiport().is_none());
+        assert_eq!(format!("{h:?}"), "BarrierGather(r7)");
+    }
+
+    #[test]
+    fn restrict_to_is_decode_and() {
+        let dests = DestSet::from_nodes(16, [1, 2, 9].map(NodeId));
+        let reach = DestSet::from_nodes(16, [2, 3, 9].map(NodeId));
+        let h = RoutingHeader::bitstring(dests);
+        match h.restrict_to(&reach) {
+            RoutingHeader::BitString { dests } => {
+                assert_eq!(dests, DestSet::from_nodes(16, [2, 9].map(NodeId)));
+            }
+            other => panic!("unexpected header {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "only defined for bit-string")]
+    fn restrict_unicast_panics() {
+        let h = RoutingHeader::Unicast { dest: NodeId(0) };
+        let _ = h.restrict_to(&DestSet::empty(4));
+    }
+
+    #[test]
+    fn multiport_advance() {
+        let h = RoutingHeader::Multiport {
+            masks: vec![PortMask::from_ports([1, 2]), PortMask::single(0)],
+        };
+        let (first, rest) = h.advance_multiport().expect("has masks");
+        assert_eq!(first, PortMask::from_ports([1, 2]));
+        let (second, tail) = rest.advance_multiport().expect("one more");
+        assert_eq!(second, PortMask::single(0));
+        assert!(tail.advance_multiport().is_none());
+        assert!(RoutingHeader::Unicast { dest: NodeId(0) }
+            .advance_multiport()
+            .is_none());
+    }
+}

@@ -1,0 +1,246 @@
+//! Unidirectional links with fixed propagation delay and credit-based flow
+//! control.
+//!
+//! Each link moves at most one flit per cycle in the forward direction and
+//! one credit per cycle in the reverse direction. The credit window equals
+//! the receiver-side staging buffer the downstream component exposes: the
+//! sender spends one credit per flit, and the receiver returns a credit when
+//! it frees the corresponding staging slot. A full-duplex physical cable is
+//! modeled as two `Link`s.
+
+use crate::flit::Flit;
+use crate::Cycle;
+use std::collections::VecDeque;
+
+/// A unidirectional, credit flow-controlled link.
+///
+/// Links are owned by the [`crate::engine::Engine`]; components access them
+/// through [`crate::engine::PortIo`].
+#[derive(Debug)]
+pub struct Link {
+    delay: u32,
+    credits: u32,
+    max_credits: u32,
+    flit_q: VecDeque<(Cycle, Flit)>,
+    credit_q: VecDeque<Cycle>,
+    last_recv: Option<Cycle>,
+    last_send: Option<Cycle>,
+    total_flits: u64,
+}
+
+impl Link {
+    /// Creates a link with `delay ≥ 1` cycles of propagation and a credit
+    /// window of `credits` flits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay == 0` (same-cycle visibility would make component
+    /// ordering observable) or `credits == 0`.
+    pub fn new(delay: u32, credits: u32) -> Self {
+        assert!(delay >= 1, "link delay must be at least one cycle");
+        assert!(credits >= 1, "credit window must be at least one flit");
+        Link {
+            delay,
+            credits,
+            max_credits: credits,
+            flit_q: VecDeque::new(),
+            credit_q: VecDeque::new(),
+            last_recv: None,
+            last_send: None,
+            total_flits: 0,
+        }
+    }
+
+    /// Propagation delay in cycles.
+    pub fn delay(&self) -> u32 {
+        self.delay
+    }
+
+    /// Credits currently available to the sender.
+    pub fn credits(&self) -> u32 {
+        self.credits
+    }
+
+    /// Configured credit window.
+    pub fn max_credits(&self) -> u32 {
+        self.max_credits
+    }
+
+    /// Total flits ever sent on this link.
+    pub fn total_flits(&self) -> u64 {
+        self.total_flits
+    }
+
+    /// Number of flits currently in flight (sent but not received).
+    pub fn in_flight(&self) -> usize {
+        self.flit_q.len()
+    }
+
+    /// Makes credits that have propagated back available to the sender.
+    ///
+    /// The [`crate::engine::Engine`] calls this at the start of every
+    /// cycle; call it yourself only when driving a standalone `Link`
+    /// (e.g. in tests).
+    pub fn begin_cycle(&mut self, now: Cycle) {
+        while let Some(&arr) = self.credit_q.front() {
+            if arr <= now {
+                self.credit_q.pop_front();
+                self.credits += 1;
+                debug_assert!(
+                    self.credits <= self.max_credits,
+                    "credit overflow: more credits returned than spent"
+                );
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Sender side: `true` if a flit may be sent this cycle.
+    pub fn can_send(&self, now: Cycle) -> bool {
+        self.credits > 0 && self.last_send != Some(now)
+    }
+
+    /// Sender side: sends a flit, consuming a credit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no credit is available or a flit was already sent this
+    /// cycle (bandwidth is one flit per cycle).
+    pub fn send(&mut self, now: Cycle, flit: Flit) {
+        assert!(self.credits > 0, "send without credit");
+        assert_ne!(self.last_send, Some(now), "link bandwidth exceeded");
+        self.credits -= 1;
+        self.last_send = Some(now);
+        self.total_flits += 1;
+        self.flit_q.push_back((now + self.delay as Cycle, flit));
+    }
+
+    /// Receiver side: the flit arriving this cycle, if any, without
+    /// consuming it.
+    pub fn peek(&self, now: Cycle) -> Option<&Flit> {
+        match self.flit_q.front() {
+            Some((arr, flit)) if *arr <= now => Some(flit),
+            _ => None,
+        }
+    }
+
+    /// Receiver side: consumes the arrived flit (at most one per cycle).
+    ///
+    /// The receiver must eventually call [`Link::return_credit`] once per
+    /// consumed flit, when the staging slot it occupied frees up.
+    pub fn recv(&mut self, now: Cycle) -> Option<Flit> {
+        if self.last_recv == Some(now) {
+            return None;
+        }
+        match self.flit_q.front() {
+            Some((arr, _)) if *arr <= now => {
+                self.last_recv = Some(now);
+                Some(self.flit_q.pop_front().expect("front exists").1)
+            }
+            _ => None,
+        }
+    }
+
+    /// Receiver side: returns one credit toward the sender; it becomes
+    /// usable after the propagation delay.
+    pub fn return_credit(&mut self, now: Cycle) {
+        self.credit_q.push_back(now + self.delay as Cycle);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::NodeId;
+    use crate::packet::PacketBuilder;
+    use std::rc::Rc;
+
+    fn flit() -> Flit {
+        let p = Rc::new(PacketBuilder::unicast(NodeId(0), NodeId(1), 4, 16).build());
+        Flit::new(p, 0)
+    }
+
+    #[test]
+    fn delivery_respects_delay() {
+        let mut l = Link::new(3, 4);
+        l.begin_cycle(0);
+        assert!(l.can_send(0));
+        l.send(0, flit());
+        assert_eq!(l.in_flight(), 1);
+        for now in 1..3 {
+            l.begin_cycle(now);
+            assert!(l.peek(now).is_none());
+            assert!(l.recv(now).is_none());
+        }
+        l.begin_cycle(3);
+        assert!(l.peek(3).is_some());
+        assert!(l.recv(3).is_some());
+        assert_eq!(l.in_flight(), 0);
+        assert_eq!(l.total_flits(), 1);
+    }
+
+    #[test]
+    fn bandwidth_is_one_flit_per_cycle() {
+        let mut l = Link::new(1, 4);
+        l.begin_cycle(0);
+        l.send(0, flit());
+        assert!(!l.can_send(0), "second send same cycle must be refused");
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth exceeded")]
+    fn double_send_panics() {
+        let mut l = Link::new(1, 4);
+        l.send(0, flit());
+        l.send(0, flit());
+    }
+
+    #[test]
+    fn credits_block_and_return() {
+        let mut l = Link::new(1, 2);
+        l.begin_cycle(0);
+        l.send(0, flit());
+        l.begin_cycle(1);
+        l.send(1, flit());
+        assert_eq!(l.credits(), 0);
+        assert!(!l.can_send(2));
+        // Receiver consumes and frees one slot at cycle 2.
+        l.begin_cycle(2);
+        assert!(l.recv(2).is_some());
+        l.return_credit(2);
+        // Credit arrives at sender at cycle 3.
+        l.begin_cycle(3);
+        assert!(l.can_send(3));
+        assert_eq!(l.credits(), 1);
+    }
+
+    #[test]
+    fn recv_limited_to_one_per_cycle() {
+        let mut l = Link::new(1, 4);
+        l.begin_cycle(0);
+        l.send(0, flit());
+        l.begin_cycle(1);
+        l.send(1, flit());
+        l.begin_cycle(2);
+        assert!(l.recv(2).is_some());
+        assert!(l.recv(2).is_none(), "only one flit per cycle may arrive");
+        l.begin_cycle(3);
+        assert!(l.recv(3).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "delay must be at least one")]
+    fn zero_delay_rejected() {
+        let _ = Link::new(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "send without credit")]
+    fn send_without_credit_panics() {
+        let mut l = Link::new(1, 1);
+        l.send(0, flit());
+        l.begin_cycle(1);
+        l.send(1, flit());
+    }
+}

@@ -1,0 +1,403 @@
+//! Packets: the unit that travels the network as a single worm.
+//!
+//! A [`Packet`] is one wormhole packet — header flits followed by payload
+//! flits. Deadlock freedom of asynchronous replication requires every packet
+//! to fit completely inside a switch buffer (paper §3), so messages longer
+//! than the maximum packet payload are segmented into several packets; see
+//! [`packetize`].
+
+use crate::destset::DestSet;
+use crate::header::RoutingHeader;
+use crate::ids::{MessageId, NodeId, PacketId};
+use crate::message::{Message, MessageKind};
+use crate::Cycle;
+use serde::{Deserialize, Serialize};
+
+/// An immutable packet descriptor.
+///
+/// Flits reference their packet through an `Rc<Packet>`, so a flit is just a
+/// (packet, index) pair and replication is cheap. When a switch rewrites a
+/// bit-string header for a branch (paper §4), it clones the descriptor with
+/// [`Packet::with_header`] — the clone keeps the same identity and flit
+/// counts, because physically the bit-string occupies the same wire slots
+/// regardless of how many bits are set.
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Packet {
+    id: PacketId,
+    msg: MessageId,
+    src: NodeId,
+    header: RoutingHeader,
+    header_flits: u16,
+    payload_flits: u16,
+    seq: u16,
+    n_packets: u16,
+    created: Cycle,
+}
+
+impl Packet {
+    /// Packet identity (unique per worm; branch rewrites preserve it).
+    pub fn id(&self) -> PacketId {
+        self.id
+    }
+
+    /// The message this packet is a segment of.
+    pub fn msg(&self) -> MessageId {
+        self.msg
+    }
+
+    /// Originating node.
+    pub fn src(&self) -> NodeId {
+        self.src
+    }
+
+    /// Routing header (possibly already restricted by upstream replication).
+    pub fn header(&self) -> &RoutingHeader {
+        &self.header
+    }
+
+    /// Number of header flits on the wire.
+    pub fn header_flits(&self) -> u16 {
+        self.header_flits
+    }
+
+    /// Number of payload flits.
+    pub fn payload_flits(&self) -> u16 {
+        self.payload_flits
+    }
+
+    /// Total flits on the wire (header + payload).
+    pub fn total_flits(&self) -> u16 {
+        self.header_flits + self.payload_flits
+    }
+
+    /// Zero-based segment index within the message.
+    pub fn seq(&self) -> u16 {
+        self.seq
+    }
+
+    /// Number of segments the message was split into.
+    pub fn n_packets(&self) -> u16 {
+        self.n_packets
+    }
+
+    /// Returns `true` for the final segment of its message.
+    pub fn is_last(&self) -> bool {
+        self.seq + 1 == self.n_packets
+    }
+
+    /// Cycle at which the owning message was generated.
+    pub fn created(&self) -> Cycle {
+        self.created
+    }
+
+    /// Returns a copy of this packet with a replaced (e.g. branch-restricted)
+    /// header. Identity, sizes and timing are preserved.
+    pub fn with_header(&self, header: RoutingHeader) -> Packet {
+        Packet {
+            header,
+            ..self.clone()
+        }
+    }
+}
+
+impl std::fmt::Debug for Packet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Packet({} of {} seg {}/{} src {} hdr {:?} {}h+{}p flits)",
+            self.id,
+            self.msg,
+            self.seq + 1,
+            self.n_packets,
+            self.src,
+            self.header,
+            self.header_flits,
+            self.payload_flits
+        )
+    }
+}
+
+/// Monotonic generator of unique [`PacketId`]s.
+#[derive(Debug, Default, Clone)]
+pub struct PacketIdGen(u64);
+
+impl PacketIdGen {
+    /// Creates a generator starting at id 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the next unused id.
+    pub fn next_id(&mut self) -> PacketId {
+        let id = PacketId(self.0);
+        self.0 += 1;
+        id
+    }
+}
+
+/// Builder for [`Packet`]s (C-BUILDER).
+///
+/// ```
+/// use netsim::ids::NodeId;
+/// use netsim::packet::PacketBuilder;
+///
+/// let pkt = PacketBuilder::unicast(NodeId(0), NodeId(9), 64, 64)
+///     .created(100)
+///     .build();
+/// assert_eq!(pkt.payload_flits(), 64);
+/// assert_eq!(pkt.header_flits(), 2); // control flit + 6-bit id in one flit
+/// ```
+#[derive(Debug, Clone)]
+pub struct PacketBuilder {
+    id: PacketId,
+    msg: MessageId,
+    src: NodeId,
+    header: RoutingHeader,
+    payload_flits: u16,
+    seq: u16,
+    n_packets: u16,
+    created: Cycle,
+    system_size: usize,
+    bits_per_flit: usize,
+}
+
+impl PacketBuilder {
+    /// Starts a builder for a packet with an arbitrary header.
+    pub fn new(src: NodeId, header: RoutingHeader, payload_flits: u16, system_size: usize) -> Self {
+        PacketBuilder {
+            id: PacketId(0),
+            msg: MessageId(0),
+            src,
+            header,
+            payload_flits,
+            seq: 0,
+            n_packets: 1,
+            created: 0,
+            system_size,
+            bits_per_flit: 8,
+        }
+    }
+
+    /// Starts a builder for a unicast packet.
+    pub fn unicast(src: NodeId, dest: NodeId, payload_flits: u16, system_size: usize) -> Self {
+        Self::new(
+            src,
+            RoutingHeader::Unicast { dest },
+            payload_flits,
+            system_size,
+        )
+    }
+
+    /// Starts a builder for a bit-string multidestination packet.
+    pub fn multicast(src: NodeId, dests: DestSet, payload_flits: u16) -> Self {
+        let system_size = dests.universe();
+        Self::new(
+            src,
+            RoutingHeader::BitString { dests },
+            payload_flits,
+            system_size,
+        )
+    }
+
+    /// Sets the packet id (defaults to 0; use [`PacketIdGen`] in real runs).
+    pub fn id(mut self, id: PacketId) -> Self {
+        self.id = id;
+        self
+    }
+
+    /// Sets the owning message id.
+    pub fn msg(mut self, msg: MessageId) -> Self {
+        self.msg = msg;
+        self
+    }
+
+    /// Sets the segment position (`seq` of `n_packets`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq >= n_packets`.
+    pub fn segment(mut self, seq: u16, n_packets: u16) -> Self {
+        assert!(seq < n_packets, "segment {seq} out of {n_packets}");
+        self.seq = seq;
+        self.n_packets = n_packets;
+        self
+    }
+
+    /// Sets the generation cycle of the owning message.
+    pub fn created(mut self, cycle: Cycle) -> Self {
+        self.created = cycle;
+        self
+    }
+
+    /// Sets payload bits per flit (default 8, the SP2's byte-wide flit).
+    pub fn bits_per_flit(mut self, bits: usize) -> Self {
+        self.bits_per_flit = bits;
+        self
+    }
+
+    /// Finalizes the packet, computing the header flit count from the
+    /// encoding, system size and flit width.
+    pub fn build(self) -> Packet {
+        let header_flits = self.header.header_flits(self.system_size, self.bits_per_flit) as u16;
+        Packet {
+            id: self.id,
+            msg: self.msg,
+            src: self.src,
+            header: self.header,
+            header_flits,
+            payload_flits: self.payload_flits,
+            seq: self.seq,
+            n_packets: self.n_packets,
+            created: self.created,
+        }
+    }
+}
+
+/// Segments a message into packets under a maximum packet payload.
+///
+/// `max_payload` is dictated by the switch buffer capacity (paper §3: a
+/// packet must be completely bufferable at a switch). The header encoding is
+/// cloned into every segment. Packet ids are drawn from `ids`.
+///
+/// # Panics
+///
+/// Panics if `max_payload == 0`.
+///
+/// ```
+/// use netsim::ids::{MessageId, NodeId};
+/// use netsim::message::{Message, MessageKind};
+/// use netsim::packet::{packetize, PacketIdGen};
+///
+/// let msg = Message::new(MessageId(0), NodeId(3), MessageKind::Unicast(NodeId(7)), 300, 0);
+/// let mut ids = PacketIdGen::new();
+/// let pkts = packetize(&msg, 128, 64, 8, &mut ids);
+/// assert_eq!(pkts.len(), 3);
+/// assert_eq!(pkts.iter().map(|p| p.payload_flits() as u32).sum::<u32>(), 300);
+/// assert!(pkts[2].is_last());
+/// ```
+pub fn packetize(
+    msg: &Message,
+    max_payload: u16,
+    system_size: usize,
+    bits_per_flit: usize,
+    ids: &mut PacketIdGen,
+) -> Vec<Packet> {
+    assert!(max_payload > 0, "max packet payload must be positive");
+    let header = match msg.kind() {
+        MessageKind::Unicast(dest) => RoutingHeader::Unicast { dest: *dest },
+        MessageKind::Multicast(dests) => RoutingHeader::BitString {
+            dests: dests.clone(),
+        },
+        MessageKind::BarrierGather { round } => RoutingHeader::BarrierGather { round: *round },
+    };
+    let total = msg.payload_flits();
+    // Even zero-payload (dataless) messages occupy one packet.
+    let n_packets = (total.div_ceil(max_payload)).max(1);
+    let mut out = Vec::with_capacity(n_packets as usize);
+    for seq in 0..n_packets {
+        let start = seq as u32 * max_payload as u32;
+        let payload = (total as u32 - start).min(max_payload as u32) as u16;
+        out.push(
+            PacketBuilder::new(msg.src(), header.clone(), payload, system_size)
+                .bits_per_flit(bits_per_flit)
+                .id(ids.next_id())
+                .msg(msg.id())
+                .segment(seq, n_packets)
+                .created(msg.created())
+                .build(),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_and_fields() {
+        let p = PacketBuilder::unicast(NodeId(1), NodeId(2), 10, 64)
+            .id(PacketId(9))
+            .msg(MessageId(4))
+            .created(55)
+            .build();
+        assert_eq!(p.id(), PacketId(9));
+        assert_eq!(p.msg(), MessageId(4));
+        assert_eq!(p.src(), NodeId(1));
+        assert_eq!(p.payload_flits(), 10);
+        assert_eq!(p.header_flits(), 2);
+        assert_eq!(p.total_flits(), 12);
+        assert_eq!(p.created(), 55);
+        assert!(p.is_last());
+        assert_eq!(p.seq(), 0);
+        assert_eq!(p.n_packets(), 1);
+    }
+
+    #[test]
+    fn multicast_header_flits_counted() {
+        let dests = DestSet::from_nodes(64, [1, 2, 3].map(NodeId));
+        let p = PacketBuilder::multicast(NodeId(0), dests, 16).build();
+        // 64-bit string in 8-bit flits = 8 flits + 1 control.
+        assert_eq!(p.header_flits(), 9);
+        assert!(p.header().is_multidestination());
+    }
+
+    #[test]
+    fn with_header_preserves_identity_and_sizes() {
+        let dests = DestSet::from_nodes(64, [1, 2, 3].map(NodeId));
+        let p = PacketBuilder::multicast(NodeId(0), dests, 16)
+            .id(PacketId(7))
+            .build();
+        let reach = DestSet::from_nodes(64, [2].map(NodeId));
+        let q = p.with_header(p.header().restrict_to(&reach));
+        assert_eq!(q.id(), p.id());
+        assert_eq!(q.header_flits(), p.header_flits());
+        assert_eq!(q.total_flits(), p.total_flits());
+        assert_eq!(q.header().dest_count(), Some(1));
+    }
+
+    #[test]
+    fn packetize_segments_exactly() {
+        let msg = Message::new(
+            MessageId(1),
+            NodeId(0),
+            MessageKind::Unicast(NodeId(5)),
+            129,
+            7,
+        );
+        let mut ids = PacketIdGen::new();
+        let pkts = packetize(&msg, 64, 64, 8, &mut ids);
+        assert_eq!(pkts.len(), 3);
+        assert_eq!(pkts[0].payload_flits(), 64);
+        assert_eq!(pkts[1].payload_flits(), 64);
+        assert_eq!(pkts[2].payload_flits(), 1);
+        assert!(!pkts[0].is_last());
+        assert!(pkts[2].is_last());
+        assert!(pkts.iter().all(|p| p.created() == 7));
+        // Unique ids.
+        assert_ne!(pkts[0].id(), pkts[1].id());
+    }
+
+    #[test]
+    fn packetize_dataless_message_gets_one_packet() {
+        let msg = Message::new(
+            MessageId(1),
+            NodeId(0),
+            MessageKind::Multicast(DestSet::from_nodes(16, [3, 4].map(NodeId))),
+            0,
+            0,
+        );
+        let mut ids = PacketIdGen::new();
+        let pkts = packetize(&msg, 64, 16, 8, &mut ids);
+        assert_eq!(pkts.len(), 1);
+        assert_eq!(pkts[0].payload_flits(), 0);
+        assert!(pkts[0].total_flits() > 0, "header still occupies the wire");
+    }
+
+    #[test]
+    fn id_gen_is_monotonic() {
+        let mut g = PacketIdGen::new();
+        assert_eq!(g.next_id(), PacketId(0));
+        assert_eq!(g.next_id(), PacketId(1));
+    }
+}

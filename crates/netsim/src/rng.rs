@@ -1,0 +1,213 @@
+//! Seeded randomness for workload generation.
+//!
+//! All simulation randomness flows through [`SimRng`] so that a single
+//! top-level seed fully determines a run. Per-host generators are derived
+//! with [`SimRng::fork`], which mixes a stream index into the seed (SplitMix
+//! finalizer) so host streams are decorrelated but reproducible.
+
+use crate::destset::DestSet;
+use crate::ids::NodeId;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic random-number generator for simulations.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    rng: SmallRng,
+    seed: u64,
+}
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        SimRng {
+            rng: SmallRng::seed_from_u64(seed),
+            seed,
+        }
+    }
+
+    /// The seed this generator was created with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derives an independent generator for stream `stream` (e.g. one per
+    /// host). Forks of the same (seed, stream) pair are identical.
+    pub fn fork(&self, stream: u64) -> SimRng {
+        SimRng::new(splitmix(self.seed ^ splitmix(stream.wrapping_add(1))))
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.rng.gen_bool(p)
+        }
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0) is empty");
+        self.rng.gen_range(0..n)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.rng.gen_range(0.0..1.0)
+    }
+
+    /// Uniformly random node other than `exclude`, from `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn other_node(&mut self, n: usize, exclude: NodeId) -> NodeId {
+        assert!(n >= 2, "need at least two nodes to pick another");
+        let pick = self.below(n - 1);
+        let pick = if pick >= exclude.index() { pick + 1 } else { pick };
+        NodeId::from(pick)
+    }
+
+    /// Uniformly random destination set of exactly `k` nodes drawn from
+    /// `0..n`, never containing `exclude` (the source).
+    ///
+    /// Uses a partial Fisher–Yates over an implicit index range, so cost is
+    /// `O(k)` expected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` destinations (excluding the source) don't exist,
+    /// i.e. `k > n - 1`, or `k == 0`.
+    pub fn dest_set(&mut self, n: usize, k: usize, exclude: NodeId) -> DestSet {
+        assert!(k >= 1, "destination set must be non-empty");
+        assert!(
+            k <= n.saturating_sub(1),
+            "cannot pick {k} distinct destinations from {n} nodes excluding the source"
+        );
+        let mut set = DestSet::empty(n);
+        // Robert Floyd's sampling algorithm over the n-1 candidates.
+        let m = n - 1; // candidates: all nodes except `exclude`, re-indexed
+        let unmap = |i: usize| -> NodeId {
+            let v = if i >= exclude.index() { i + 1 } else { i };
+            NodeId::from(v)
+        };
+        for j in (m - k)..m {
+            let t = self.below(j + 1);
+            let cand = unmap(t);
+            if set.contains(cand) {
+                set.insert(unmap(j));
+            } else {
+                set.insert(cand);
+            }
+        }
+        debug_assert_eq!(set.count(), k);
+        debug_assert!(!set.contains(exclude));
+        set
+    }
+
+    /// Shuffles a slice in place (Fisher–Yates).
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.below(i + 1);
+            slice.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.below(1000), b.below(1000));
+        }
+    }
+
+    #[test]
+    fn forks_are_reproducible_and_distinct() {
+        let root = SimRng::new(7);
+        let mut f1 = root.fork(1);
+        let mut f1b = root.fork(1);
+        let mut f2 = root.fork(2);
+        let s1: Vec<usize> = (0..20).map(|_| f1.below(100)).collect();
+        let s1b: Vec<usize> = (0..20).map(|_| f1b.below(100)).collect();
+        let s2: Vec<usize> = (0..20).map(|_| f2.below(100)).collect();
+        assert_eq!(s1, s1b);
+        assert_ne!(s1, s2);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::new(1);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        assert!(!r.chance(-0.5));
+        assert!(r.chance(1.5));
+    }
+
+    #[test]
+    fn other_node_never_returns_excluded() {
+        let mut r = SimRng::new(3);
+        for _ in 0..500 {
+            let n = r.other_node(8, NodeId(5));
+            assert_ne!(n, NodeId(5));
+            assert!(n.index() < 8);
+        }
+    }
+
+    #[test]
+    fn dest_set_has_exact_size_and_excludes_source() {
+        let mut r = SimRng::new(11);
+        for k in 1..=15 {
+            let s = r.dest_set(16, k, NodeId(4));
+            assert_eq!(s.count(), k);
+            assert!(!s.contains(NodeId(4)));
+        }
+    }
+
+    #[test]
+    fn dest_set_covers_universe_over_many_draws() {
+        let mut r = SimRng::new(5);
+        let mut seen = DestSet::empty(16);
+        for _ in 0..200 {
+            seen.union_with(&r.dest_set(16, 4, NodeId(0)));
+        }
+        // Every non-source node should appear eventually.
+        assert_eq!(seen.count(), 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot pick")]
+    fn dest_set_too_large_panics() {
+        let mut r = SimRng::new(1);
+        let _ = r.dest_set(8, 8, NodeId(0));
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = SimRng::new(9);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<u32>>());
+    }
+}

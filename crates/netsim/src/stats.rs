@@ -1,0 +1,423 @@
+//! Latency/throughput statistics and end-to-end delivery tracking.
+//!
+//! The [`DeliveryTracker`] is the shared bookkeeper hosts report into: it
+//! knows which destinations each message still owes a delivery to, measures
+//! multicast latency both ways the literature defines it — time to the
+//! *last* destination (Nupairoj & Ni's preferred definition, which the paper
+//! adopts) and the *average* over destinations — and counts delivered
+//! payload for throughput.
+
+use crate::destset::DestSet;
+use crate::ids::{MessageId, NodeId};
+use crate::message::{Message, MessageKind};
+use crate::Cycle;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Order statistics of a latency sample set.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median.
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Minimum.
+    pub min: u64,
+    /// Maximum.
+    pub max: u64,
+}
+
+/// A growing collection of latency samples (in cycles).
+#[derive(Debug, Clone, Default)]
+pub struct LatencyStats {
+    samples: Vec<u64>,
+}
+
+impl LatencyStats {
+    /// Creates an empty collection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn push(&mut self, value: u64) {
+        self.samples.push(value);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.samples.len() as u64
+    }
+
+    /// Returns `true` if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(self.samples.iter().sum::<u64>() as f64 / self.samples.len() as f64)
+        }
+    }
+
+    /// Computes order statistics. Returns the all-zero summary when empty.
+    pub fn summary(&self) -> Summary {
+        if self.samples.is_empty() {
+            return Summary::default();
+        }
+        let mut v = self.samples.clone();
+        v.sort_unstable();
+        let pct = |p: f64| -> u64 {
+            let idx = ((v.len() as f64 - 1.0) * p).round() as usize;
+            v[idx]
+        };
+        Summary {
+            count: v.len() as u64,
+            mean: v.iter().sum::<u64>() as f64 / v.len() as f64,
+            p50: pct(0.50),
+            p95: pct(0.95),
+            p99: pct(0.99),
+            min: v[0],
+            max: *v.last().expect("non-empty"),
+        }
+    }
+
+    /// Appends all samples from `other`.
+    pub fn merge(&mut self, other: &LatencyStats) {
+        self.samples.extend_from_slice(&other.samples);
+    }
+}
+
+/// Time-averaged occupancy gauge (e.g. central-queue fill level).
+#[derive(Debug, Clone, Default)]
+pub struct OccupancyStats {
+    sum: u128,
+    samples: u64,
+    max: u64,
+}
+
+impl OccupancyStats {
+    /// Creates an empty gauge.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the occupancy observed this cycle.
+    pub fn observe(&mut self, value: u64) {
+        self.sum += value as u128;
+        self.samples += 1;
+        self.max = self.max.max(value);
+    }
+
+    /// Mean occupancy over all observations, or `None` if none.
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.samples as f64)
+        }
+    }
+
+    /// Peak occupancy observed.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Number of observations.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+}
+
+#[derive(Debug)]
+struct PendingMessage {
+    created: Cycle,
+    remaining: DestSet,
+    n_dests: usize,
+    latency_sum: u64,
+    is_multicast: bool,
+    payload_flits: u64,
+}
+
+/// Tracks every in-flight message and aggregates delivery statistics.
+///
+/// Hosts call [`DeliveryTracker::register`] when a message is generated and
+/// [`DeliveryTracker::deliver`] when a destination has fully reassembled it.
+/// Messages created before the measurement window (see
+/// [`DeliveryTracker::set_measure_from`]) are tracked for correctness but
+/// excluded from the statistics.
+#[derive(Debug)]
+pub struct DeliveryTracker {
+    universe: usize,
+    pending: HashMap<MessageId, PendingMessage>,
+    measure_from: Cycle,
+    /// Latency to the last destination of each completed multicast.
+    pub mcast_last: LatencyStats,
+    /// Mean per-destination latency of each completed multicast.
+    pub mcast_avg: LatencyStats,
+    /// Latency of completed unicasts.
+    pub unicast: LatencyStats,
+    completed_mcasts: u64,
+    completed_unicasts: u64,
+    completed_total: u64,
+    payload_delivered: u64,
+    deliveries: u64,
+}
+
+impl DeliveryTracker {
+    /// Creates a tracker for a system of `universe` nodes.
+    pub fn new(universe: usize) -> Self {
+        DeliveryTracker {
+            universe,
+            pending: HashMap::new(),
+            measure_from: 0,
+            mcast_last: LatencyStats::new(),
+            mcast_avg: LatencyStats::new(),
+            unicast: LatencyStats::new(),
+            completed_mcasts: 0,
+            completed_unicasts: 0,
+            completed_total: 0,
+            payload_delivered: 0,
+            deliveries: 0,
+        }
+    }
+
+    /// Universe size the tracker was created for.
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Excludes messages created before `cycle` from the statistics.
+    pub fn set_measure_from(&mut self, cycle: Cycle) {
+        self.measure_from = cycle;
+    }
+
+    /// Registers a freshly generated message.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is already pending, or if the destination set is
+    /// empty.
+    pub fn register(&mut self, msg: &Message) {
+        let remaining = msg.kind().dest_set(self.universe);
+        assert!(!remaining.is_empty(), "message with no destinations");
+        let n_dests = remaining.count();
+        let prev = self.pending.insert(
+            msg.id(),
+            PendingMessage {
+                created: msg.created(),
+                remaining,
+                n_dests,
+                latency_sum: 0,
+                is_multicast: msg.kind().is_multicast(),
+                payload_flits: msg.payload_flits() as u64,
+            },
+        );
+        assert!(prev.is_none(), "duplicate message id {:?}", msg.id());
+    }
+
+    /// Records that `host` has fully received message `id` at `now`.
+    ///
+    /// Duplicate or unexpected deliveries panic — exactly-once delivery to
+    /// exactly the addressed set is a correctness invariant of every scheme.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the message is unknown or the host was not (or no longer
+    /// is) one of its outstanding destinations.
+    pub fn deliver(&mut self, id: MessageId, host: NodeId, now: Cycle) {
+        let p = self
+            .pending
+            .get_mut(&id)
+            .unwrap_or_else(|| panic!("delivery for unknown message {id:?}"));
+        assert!(
+            p.remaining.remove(host),
+            "duplicate or misdirected delivery of {id:?} to {host}"
+        );
+        let latency = now.saturating_sub(p.created);
+        p.latency_sum += latency;
+        let measured = p.created >= self.measure_from;
+        if measured {
+            self.deliveries += 1;
+            self.payload_delivered += p.payload_flits;
+        }
+        if p.remaining.is_empty() {
+            let p = self.pending.remove(&id).expect("present");
+            self.completed_total += 1;
+            if measured {
+                if p.is_multicast {
+                    self.completed_mcasts += 1;
+                    self.mcast_last.push(latency);
+                    self.mcast_avg.push(p.latency_sum / p.n_dests as u64);
+                } else {
+                    self.completed_unicasts += 1;
+                    self.unicast.push(latency);
+                }
+            }
+        }
+    }
+
+    /// Messages still owed at least one delivery.
+    pub fn outstanding(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Completed multicasts within the measurement window.
+    pub fn completed_mcasts(&self) -> u64 {
+        self.completed_mcasts
+    }
+
+    /// Completed unicasts within the measurement window.
+    pub fn completed_unicasts(&self) -> u64 {
+        self.completed_unicasts
+    }
+
+    /// All messages ever completed (including warm-up).
+    pub fn completed_total(&self) -> u64 {
+        self.completed_total
+    }
+
+    /// Payload flits delivered within the measurement window (each
+    /// destination's copy counts).
+    pub fn payload_delivered(&self) -> u64 {
+        self.payload_delivered
+    }
+
+    /// Per-destination deliveries within the measurement window.
+    pub fn deliveries(&self) -> u64 {
+        self.deliveries
+    }
+}
+
+/// Convenience: builds a [`MessageKind`]-appropriate expected-delivery count.
+pub fn expected_deliveries(kind: &MessageKind) -> usize {
+    kind.dest_count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(id: u64, kind: MessageKind, created: Cycle) -> Message {
+        Message::new(MessageId(id), NodeId(0), kind, 32, created)
+    }
+
+    #[test]
+    fn summary_of_known_samples() {
+        let mut s = LatencyStats::new();
+        for v in [10u64, 20, 30, 40, 50] {
+            s.push(v);
+        }
+        let sum = s.summary();
+        assert_eq!(sum.count, 5);
+        assert!((sum.mean - 30.0).abs() < 1e-9);
+        assert_eq!(sum.p50, 30);
+        assert_eq!(sum.min, 10);
+        assert_eq!(sum.max, 50);
+    }
+
+    #[test]
+    fn empty_summary_is_zero() {
+        assert_eq!(LatencyStats::new().summary(), Summary::default());
+        assert!(LatencyStats::new().mean().is_none());
+    }
+
+    #[test]
+    fn merge_concatenates() {
+        let mut a = LatencyStats::new();
+        a.push(1);
+        let mut b = LatencyStats::new();
+        b.push(3);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.mean(), Some(2.0));
+    }
+
+    #[test]
+    fn occupancy_gauge() {
+        let mut g = OccupancyStats::new();
+        g.observe(10);
+        g.observe(20);
+        assert_eq!(g.mean(), Some(15.0));
+        assert_eq!(g.max(), 20);
+        assert_eq!(g.samples(), 2);
+        assert!(OccupancyStats::new().mean().is_none());
+    }
+
+    #[test]
+    fn unicast_tracking() {
+        let mut t = DeliveryTracker::new(16);
+        let m = msg(1, MessageKind::Unicast(NodeId(5)), 100);
+        t.register(&m);
+        assert_eq!(t.outstanding(), 1);
+        t.deliver(MessageId(1), NodeId(5), 150);
+        assert_eq!(t.outstanding(), 0);
+        assert_eq!(t.completed_unicasts(), 1);
+        assert_eq!(t.unicast.summary().max, 50);
+        assert_eq!(t.payload_delivered(), 32);
+    }
+
+    #[test]
+    fn multicast_last_and_avg() {
+        let mut t = DeliveryTracker::new(16);
+        let dests = DestSet::from_nodes(16, [1, 2].map(NodeId));
+        let m = msg(7, MessageKind::Multicast(dests), 0);
+        t.register(&m);
+        t.deliver(MessageId(7), NodeId(1), 10);
+        assert_eq!(t.completed_mcasts(), 0, "not complete yet");
+        t.deliver(MessageId(7), NodeId(2), 30);
+        assert_eq!(t.completed_mcasts(), 1);
+        assert_eq!(t.mcast_last.summary().max, 30);
+        assert_eq!(t.mcast_avg.summary().max, 20);
+        assert_eq!(t.deliveries(), 2);
+    }
+
+    #[test]
+    fn warmup_messages_excluded_from_stats() {
+        let mut t = DeliveryTracker::new(16);
+        t.set_measure_from(1000);
+        let m = msg(1, MessageKind::Unicast(NodeId(3)), 500);
+        t.register(&m);
+        t.deliver(MessageId(1), NodeId(3), 600);
+        assert_eq!(t.completed_unicasts(), 0);
+        assert_eq!(t.completed_total(), 1);
+        assert_eq!(t.payload_delivered(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate or misdirected")]
+    fn duplicate_delivery_panics() {
+        let mut t = DeliveryTracker::new(16);
+        let m = msg(1, MessageKind::Unicast(NodeId(3)), 0);
+        t.register(&m);
+        t.deliver(MessageId(1), NodeId(3), 10);
+        // Message completed and removed: second delivery is "unknown".
+        let m2 = msg(2, MessageKind::Multicast(DestSet::from_nodes(16, [3, 4].map(NodeId))), 0);
+        t.register(&m2);
+        t.deliver(MessageId(2), NodeId(3), 20);
+        t.deliver(MessageId(2), NodeId(3), 21);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown message")]
+    fn unknown_delivery_panics() {
+        let mut t = DeliveryTracker::new(16);
+        t.deliver(MessageId(1), NodeId(3), 10);
+    }
+
+    #[test]
+    fn expected_deliveries_counts() {
+        assert_eq!(expected_deliveries(&MessageKind::Unicast(NodeId(0))), 1);
+        let d = DestSet::from_nodes(8, [0, 1, 2].map(NodeId));
+        assert_eq!(expected_deliveries(&MessageKind::Multicast(d)), 3);
+    }
+}

@@ -1,0 +1,170 @@
+//! Property-based tests for the netsim substrate: destination-set algebra,
+//! packetization, and link flow-control invariants.
+
+use netsim::destset::DestSet;
+use netsim::flit::Flit;
+use netsim::header::{PortMask, RoutingHeader};
+use netsim::ids::{MessageId, NodeId};
+use netsim::link::Link;
+use netsim::message::{Message, MessageKind};
+use netsim::packet::{packetize, PacketBuilder, PacketIdGen};
+use proptest::collection::{btree_set, vec};
+use proptest::prelude::*;
+
+const N: usize = 96; // non-power-of-two universe to stress word boundaries
+
+fn destset(n: usize) -> impl Strategy<Value = DestSet> {
+    btree_set(0..n as u32, 0..n).prop_map(move |s| DestSet::from_nodes(n, s.into_iter().map(NodeId)))
+}
+
+proptest! {
+    #[test]
+    fn destset_union_commutes(a in destset(N), b in destset(N)) {
+        prop_assert_eq!(a.or(&b), b.or(&a));
+    }
+
+    #[test]
+    fn destset_intersection_commutes(a in destset(N), b in destset(N)) {
+        prop_assert_eq!(a.and(&b), b.and(&a));
+    }
+
+    #[test]
+    fn destset_minus_partitions(a in destset(N), b in destset(N)) {
+        // a = (a\b) ∪ (a∩b), disjointly.
+        let diff = a.minus(&b);
+        let inter = a.and(&b);
+        prop_assert!(!diff.intersects(&inter) || diff.is_empty() || inter.is_empty());
+        prop_assert_eq!(diff.or(&inter), a.clone());
+        prop_assert_eq!(diff.count() + inter.count(), a.count());
+    }
+
+    #[test]
+    fn destset_iter_roundtrip(a in destset(N)) {
+        let rebuilt = DestSet::from_nodes(N, a.iter());
+        prop_assert_eq!(rebuilt, a.clone());
+        // Iteration is strictly ascending.
+        let ids: Vec<u32> = a.iter().map(|n| n.0).collect();
+        prop_assert!(ids.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn destset_subset_laws(a in destset(N), b in destset(N)) {
+        prop_assert!(a.and(&b).is_subset_of(&a));
+        prop_assert!(a.is_subset_of(&a.or(&b)));
+        prop_assert_eq!(a.intersects(&b), !a.and(&b).is_empty());
+    }
+
+    #[test]
+    fn portmask_roundtrip(ports in btree_set(0usize..16, 0..16)) {
+        let mask = PortMask::from_ports(ports.iter().copied());
+        prop_assert_eq!(mask.count(), ports.len());
+        let back: std::collections::BTreeSet<usize> = mask.iter().collect();
+        prop_assert_eq!(back, ports);
+    }
+
+    #[test]
+    fn bitstring_restrict_shrinks(a in destset(N), b in destset(N)) {
+        let h = RoutingHeader::bitstring(a.clone());
+        match h.restrict_to(&b) {
+            RoutingHeader::BitString { dests } => {
+                prop_assert!(dests.is_subset_of(&a));
+                prop_assert!(dests.is_subset_of(&b));
+                prop_assert_eq!(dests, a.and(&b));
+            }
+            other => prop_assert!(false, "unexpected header {:?}", other),
+        }
+    }
+
+    #[test]
+    fn packetize_preserves_payload(
+        payload in 0u16..2000,
+        max in 1u16..256,
+        src in 0u32..16,
+        dst in 0u32..16,
+    ) {
+        let msg = Message::new(
+            MessageId(1),
+            NodeId(src),
+            MessageKind::Unicast(NodeId(dst)),
+            payload,
+            0,
+        );
+        let mut ids = PacketIdGen::new();
+        let pkts = packetize(&msg, max, 16, 8, &mut ids);
+        let total: u32 = pkts.iter().map(|p| u32::from(p.payload_flits())).sum();
+        prop_assert_eq!(total, u32::from(payload));
+        prop_assert!(pkts.iter().all(|p| p.payload_flits() <= max));
+        // Sequence numbers are contiguous and sized consistently.
+        for (i, p) in pkts.iter().enumerate() {
+            prop_assert_eq!(usize::from(p.seq()), i);
+            prop_assert_eq!(usize::from(p.n_packets()), pkts.len());
+        }
+        prop_assert!(pkts.last().unwrap().is_last());
+        // Ids unique.
+        let mut seen: Vec<_> = pkts.iter().map(|p| p.id()).collect();
+        seen.dedup();
+        prop_assert_eq!(seen.len(), pkts.len());
+    }
+
+    /// Link invariants under an arbitrary receiver schedule: flits arrive
+    /// in order, exactly once, never before their delay, and all credits
+    /// come back.
+    #[test]
+    fn link_flow_control_invariants(
+        delay in 1u32..5,
+        credits in 1u32..8,
+        recv_pattern in vec(any::<bool>(), 10..200),
+    ) {
+        let mut link = Link::new(delay, credits);
+        let pkt = std::rc::Rc::new(
+            PacketBuilder::unicast(NodeId(0), NodeId(1), 60, 16).build(),
+        );
+        let total = pkt.total_flits();
+        let mut sent = 0u16;
+        let mut received = 0u16;
+        let mut outstanding_credits = 0u32;
+        for (now, &recv_now) in recv_pattern.iter().enumerate() {
+            let now = now as u64;
+            link.begin_cycle(now);
+            if sent < total && link.can_send(now) {
+                link.send(now, Flit::new(pkt.clone(), sent));
+                sent += 1;
+                outstanding_credits += 1;
+            }
+            if recv_now {
+                if let Some(f) = link.recv(now) {
+                    prop_assert_eq!(f.idx(), received, "in-order delivery");
+                    received += 1;
+                    link.return_credit(now);
+                    outstanding_credits -= 1;
+                }
+            }
+        }
+        // Drain: consume everything left.
+        let start = recv_pattern.len() as u64;
+        // With a window of one credit a flit's slot recycles only after a
+        // full round trip (2·delay + epsilon cycles).
+        for extra in 0..(u64::from(total) * (2 * u64::from(delay) + 4) + 40) {
+            let now = start + extra;
+            link.begin_cycle(now);
+            if sent < total && link.can_send(now) {
+                link.send(now, Flit::new(pkt.clone(), sent));
+                sent += 1;
+                outstanding_credits += 1;
+            }
+            if let Some(f) = link.recv(now) {
+                prop_assert_eq!(f.idx(), received);
+                received += 1;
+                link.return_credit(now);
+                outstanding_credits -= 1;
+            }
+        }
+        prop_assert_eq!(sent, total, "everything sent");
+        prop_assert_eq!(received, total, "everything received exactly once");
+        prop_assert_eq!(outstanding_credits, 0);
+        prop_assert_eq!(link.in_flight(), 0);
+        // All credits returned to the sender after propagation.
+        link.begin_cycle(start + 10_000);
+        prop_assert_eq!(link.credits(), credits);
+    }
+}

@@ -1,0 +1,1115 @@
+//! The central-buffer switch architecture (paper §4).
+//!
+//! Modeled on the IBM SP2 High Performance Switch / SP Switch: each of the
+//! `P` input ports has a small receiver staging FIFO; an unbuffered *bypass
+//! crossbar* cuts unicast worms through to idle outputs; everything else
+//! flows through a dynamically shared **central queue** organized as
+//! fixed-size chunks chained into per-output lists.
+//!
+//! Multidestination enhancements (the paper's contribution):
+//!
+//! * a multidestination worm is **admitted only when the central queue can
+//!   guarantee buffering the whole packet** — chunks are reserved up front,
+//!   which realizes the deadlock-freedom condition "a packet accepted for
+//!   transmission can eventually be completely buffered";
+//! * its chunks are stored **once** and appended to *every* requested
+//!   output's list; a per-chunk **reference count** frees a chunk when the
+//!   slowest branch has drained it (asynchronous replication: granted
+//!   branches stream while blocked branches wait, with no cross-branch
+//!   dependence);
+//! * the header is **rewritten per branch** at transmit time — each branch
+//!   carries the original bit-string ANDed with its port's reachability
+//!   string.
+//!
+//! Because the central queue is shared by all ports, the up*/down*
+//! acyclicity of the routes alone does not prevent store-and-forward
+//! deadlock between neighboring switches. Space accounting therefore
+//! distinguishes *descending* packets (arriving from a parent; guaranteed
+//! to drain toward hosts) from *ascending* ones: one maximum packet's worth
+//! of chunks is reserved for descending traffic, and reservations are
+//! granted through per-class accumulators (`CqAccounting`, internal) so
+//! streams of small packets cannot starve a large worm and partial
+//! reservations can never block each other.
+
+use crate::config::SwitchConfig;
+use crate::decode::{resolve_branches, HeaderClock};
+use crate::stats::SwitchStats;
+use mintopo::reach::PortClass;
+use mintopo::route::RouteTables;
+use netsim::destset::DestSet;
+use netsim::engine::{Component, PortIo};
+use netsim::flit::Flit;
+use netsim::header::RoutingHeader;
+use netsim::ids::{MessageId, NodeId, PacketId, SwitchId, SWITCH_MSG_BIT};
+use netsim::packet::{Packet, PacketBuilder};
+use netsim::Cycle;
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+
+/// Shared writer-side state of one packet inside the central queue.
+///
+/// Branch readers never overtake `written` (cut-through at flit
+/// granularity); chunk reference counts start at the branch fan-out and the
+/// last reader frees the chunk.
+#[derive(Debug)]
+struct WriteState {
+    total: u16,
+    written: u16,
+    chunk_flits: u16,
+    n_branches: u8,
+    /// Remaining readers per chunk sequence number.
+    refs: Vec<u8>,
+}
+
+impl WriteState {
+    fn new(total: u16, chunk_flits: u16) -> Self {
+        WriteState {
+            total,
+            written: 0,
+            chunk_flits,
+            n_branches: 0,
+            refs: Vec::new(),
+        }
+    }
+
+    /// Builds the write state of a switch-synthesized packet: fully
+    /// written, ready for its branches to stream.
+    fn synthesized(total: u16, chunk_flits: u16, n_branches: usize) -> Self {
+        let mut w = WriteState::new(total, chunk_flits);
+        w.set_branches(n_branches);
+        for _ in 0..(total as usize).div_ceil(chunk_flits as usize) {
+            w.push_chunk();
+        }
+        w.written = total;
+        w
+    }
+
+    /// `true` when writing the next flit requires allocating a fresh chunk.
+    fn needs_chunk(&self) -> bool {
+        self.written < self.total && self.written.is_multiple_of(self.chunk_flits)
+    }
+
+    fn push_chunk(&mut self) {
+        self.refs.push(self.n_branches);
+    }
+
+    /// Sets the branch fan-out once the routing decision is made; chunks
+    /// already written (absorption may precede decision) are fixed up.
+    fn set_branches(&mut self, n: usize) {
+        let n = u8::try_from(n).expect("fan-out fits in u8");
+        self.n_branches = n;
+        for r in &mut self.refs {
+            *r = n;
+        }
+    }
+
+    /// One branch finished reading chunk `idx`; returns `true` if the chunk
+    /// is now free.
+    fn release(&mut self, idx: usize) -> bool {
+        let r = &mut self.refs[idx];
+        assert!(*r > 0, "chunk {idx} over-released");
+        *r -= 1;
+        *r == 0
+    }
+}
+
+/// One output branch of a packet stored in the central queue.
+#[derive(Debug)]
+struct CqBranch {
+    /// Branch-rewritten packet descriptor (restricted bit-string header).
+    pkt: Rc<Packet>,
+    read: u16,
+    write: Rc<RefCell<WriteState>>,
+}
+
+/// Per-input receiver state.
+#[derive(Debug)]
+enum InState {
+    /// Waiting for a packet head at the staging front.
+    Idle,
+    /// Multidestination worm waiting for its full-packet reservation.
+    AwaitReservation { pkt: Rc<Packet> },
+    /// Unicast worm waiting for the routing decision.
+    AwaitDecision { pkt: Rc<Packet>, entered: Cycle },
+    /// Routed unicast worm waiting for its full-packet reservation.
+    AwaitCqSpace { pkt: Rc<Packet>, port: usize },
+    /// Streaming flits into the central queue.
+    Absorbing {
+        pkt: Rc<Packet>,
+        write: Rc<RefCell<WriteState>>,
+        entered: Cycle,
+        decided: bool,
+    },
+    /// Streaming flits straight through the bypass crossbar.
+    Bypass { pkt: Rc<Packet>, port: usize, sent: u16 },
+    /// Consuming a barrier-gather worm (combined at this switch, not
+    /// routed).
+    ConsumeGather { pkt: Rc<Packet> },
+}
+
+#[derive(Debug)]
+struct InputPort {
+    staging: VecDeque<Flit>,
+    clock: HeaderClock,
+    state: InState,
+}
+
+#[derive(Debug)]
+enum TxState {
+    Idle,
+    Stream(CqBranch),
+    /// Held by an input streaming through the bypass crossbar.
+    Bypass { input: usize },
+}
+
+#[derive(Debug)]
+struct OutputPort {
+    queue: VecDeque<CqBranch>,
+    state: TxState,
+}
+
+/// A pending full-packet reservation accumulating freed chunks.
+#[derive(Debug)]
+struct ResvWait {
+    input: usize,
+    need: usize,
+    got: usize,
+}
+
+/// Central-queue space accounting with a descending-traffic reserve and one
+/// reservation accumulator per traffic class.
+///
+/// * `reserve` chunks can never be consumed by *ascending* packets (those
+///   arriving from hosts or children), so a descending packet — which is
+///   guaranteed to drain toward the hosts — can always eventually buffer
+///   here. This breaks the store-and-forward cycles a shared queue would
+///   otherwise allow (see [`crate::config::SwitchConfig::cq_down_reserve`]).
+/// * Each class has a single-waiter accumulator: the first worm of a class
+///   that cannot reserve immediately claims freed chunks (descending
+///   waiters first; ascending waiters only above the reserve floor) until
+///   its demand is met, so streams of small packets cannot starve a large
+///   worm and two worms never hold mutually blocking partial reservations.
+#[derive(Debug)]
+struct CqAccounting {
+    capacity: usize,
+    free: usize,
+    reserve: usize,
+    resv_desc: Option<ResvWait>,
+    resv_asc: Option<ResvWait>,
+}
+
+impl CqAccounting {
+    fn new(capacity: usize, reserve: usize) -> Self {
+        assert!(capacity >= 2 * reserve, "validated by SwitchConfig");
+        CqAccounting {
+            capacity,
+            free: capacity,
+            reserve,
+            resv_desc: None,
+            resv_asc: None,
+        }
+    }
+
+    /// Chunks neither allocated nor accumulated by a waiter.
+    fn free(&self) -> usize {
+        self.free
+    }
+
+    /// Chunks holding data or accumulated by waiters.
+    fn used(&self) -> usize {
+        let held = self.resv_desc.as_ref().map_or(0, |r| r.got)
+            + self.resv_asc.as_ref().map_or(0, |r| r.got);
+        self.capacity - self.free - held
+    }
+
+    /// Routes a freed chunk: descending waiter first, then (above the
+    /// reserve floor) the ascending waiter, then the pool.
+    fn release_chunk(&mut self) {
+        if let Some(r) = &mut self.resv_desc {
+            if r.got < r.need {
+                r.got += 1;
+                return;
+            }
+        }
+        if self.free >= self.reserve {
+            if let Some(r) = &mut self.resv_asc {
+                if r.got < r.need {
+                    r.got += 1;
+                    return;
+                }
+            }
+        }
+        self.free += 1;
+    }
+
+    /// Attempts the full-packet reservation for input `i` needing `need`
+    /// chunks of the given class, via the class's accumulator.
+    fn try_reserve(&mut self, i: usize, need: usize, descending: bool) -> bool {
+        let avail = if descending {
+            self.free
+        } else {
+            self.free.saturating_sub(self.reserve)
+        };
+        let slot = if descending {
+            &mut self.resv_desc
+        } else {
+            &mut self.resv_asc
+        };
+        match slot {
+            Some(r) if r.input == i => {
+                if r.got == r.need {
+                    *slot = None;
+                    true
+                } else {
+                    false
+                }
+            }
+            Some(_) => false,
+            None => {
+                if avail >= need {
+                    self.free -= need;
+                    true
+                } else {
+                    self.free -= avail;
+                    *slot = Some(ResvWait {
+                        input: i,
+                        need,
+                        got: avail,
+                    });
+                    false
+                }
+            }
+        }
+    }
+}
+
+/// Per-switch barrier-gather combining state (the hardware-barrier
+/// extension: §9 outlook / companion work \[34\]).
+///
+/// Gather worms arriving for a round are counted; once all `expected`
+/// contributors (attached hosts plus child switches) have reported, the
+/// switch emits — after the decode delay — one merged gather through its
+/// first up port, or, at the combining root, the release broadcast to
+/// every host.
+#[derive(Debug)]
+struct BarrierCombiner {
+    expected: usize,
+    n_hosts: usize,
+    bits_per_flit: usize,
+    counts: HashMap<u32, usize>,
+    /// Emissions waiting for their combine delay and central-queue space.
+    ready: VecDeque<(Cycle, u32)>,
+    seq: u64,
+}
+
+impl BarrierCombiner {
+    fn on_gather(&mut self, round: u32, emit_at: Cycle) {
+        let c = self.counts.entry(round).or_insert(0);
+        *c += 1;
+        if *c == self.expected {
+            self.counts.remove(&round);
+            self.ready.push_back((emit_at, round));
+        }
+    }
+}
+
+/// A central-buffer switch with multidestination-worm support.
+pub struct CentralBufferSwitch {
+    id: SwitchId,
+    cfg: SwitchConfig,
+    tables: Rc<RouteTables>,
+    inputs: Vec<InputPort>,
+    outputs: Vec<OutputPort>,
+    cq: CqAccounting,
+    barrier: Option<BarrierCombiner>,
+    stats: Rc<RefCell<SwitchStats>>,
+    rr: usize,
+}
+
+impl CentralBufferSwitch {
+    /// Creates the switch.
+    ///
+    /// `io` port `i` of the engine binding must be the link arriving at /
+    /// leaving switch port `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`SwitchConfig::validate`] or its
+    /// port count disagrees with the routing table.
+    pub fn new(
+        id: SwitchId,
+        cfg: SwitchConfig,
+        tables: Rc<RouteTables>,
+        stats: Rc<RefCell<SwitchStats>>,
+    ) -> Self {
+        cfg.validate();
+        assert_eq!(
+            tables.table(id).n_ports(),
+            cfg.ports,
+            "routing table port count mismatch for {id}"
+        );
+        CentralBufferSwitch {
+            id,
+            cq: CqAccounting::new(cfg.cq_chunks, cfg.cq_down_reserve()),
+            barrier: None,
+            inputs: (0..cfg.ports)
+                .map(|_| InputPort {
+                    staging: VecDeque::new(),
+                    clock: HeaderClock::default(),
+                    state: InState::Idle,
+                })
+                .collect(),
+            outputs: (0..cfg.ports)
+                .map(|_| OutputPort {
+                    queue: VecDeque::new(),
+                    state: TxState::Idle,
+                })
+                .collect(),
+            cfg,
+            tables,
+            stats,
+            rr: 0,
+        }
+    }
+
+    /// Switch identity.
+    pub fn id(&self) -> SwitchId {
+        self.id
+    }
+
+    /// Chunks currently free (not holding data, not reserved).
+    pub fn free_chunks(&self) -> usize {
+        self.cq.free()
+    }
+
+    /// Enables barrier-gather combining at this switch: it will consume
+    /// arriving gather worms and, once `expected` contributors of a round
+    /// have reported, emit one merged gather upward — or, if this switch
+    /// has no up ports (the combining root), a release broadcast to all
+    /// `n_hosts` hosts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `expected == 0`.
+    pub fn enable_barrier_combining(
+        &mut self,
+        expected: usize,
+        n_hosts: usize,
+        bits_per_flit: usize,
+    ) {
+        assert!(expected > 0, "combining switch must expect gathers");
+        self.barrier = Some(BarrierCombiner {
+            expected,
+            n_hosts,
+            bits_per_flit,
+            counts: HashMap::new(),
+            ready: VecDeque::new(),
+            seq: 0,
+        });
+    }
+}
+
+impl Component for CentralBufferSwitch {
+    #[allow(clippy::needless_range_loop)] // index loops enable split borrows across ports
+    fn tick(&mut self, now: Cycle, io: &mut PortIo<'_>) {
+        let ports = self.cfg.ports;
+        let chunk_flits = self.cfg.chunk_flits;
+        let CentralBufferSwitch {
+            cfg,
+            tables,
+            inputs,
+            outputs,
+            cq,
+            barrier,
+            stats,
+            rr,
+            id,
+        } = self;
+        let table = tables.table(*id);
+
+        // --- Transmitters first: they observe last cycle's write progress,
+        // modeling one cycle of latency through the central queue RAM.
+        for p in 0..ports {
+            let out = &mut outputs[p];
+            if matches!(out.state, TxState::Idle) {
+                if let Some(branch) = out.queue.pop_front() {
+                    out.state = TxState::Stream(branch);
+                }
+            }
+            if let TxState::Stream(branch) = &mut out.state {
+                if io.can_send(p) {
+                    let written = branch.write.borrow().written;
+                    if branch.read < written {
+                        io.send(p, Flit::new(branch.pkt.clone(), branch.read));
+                        branch.read += 1;
+                        let mut st = stats.borrow_mut();
+                        st.flits_sent += 1;
+                        drop(st);
+                        let total = branch.pkt.total_flits();
+                        if branch.read % chunk_flits == 0 || branch.read == total {
+                            let idx = usize::from((branch.read - 1) / chunk_flits);
+                            if branch.write.borrow_mut().release(idx) {
+                                cq.release_chunk();
+                            }
+                        }
+                        if branch.read == total {
+                            out.state = TxState::Idle;
+                        }
+                    }
+                }
+            }
+        }
+
+        // --- Barrier-combiner emissions: merged gathers / the release
+        //     broadcast, subject to the usual full-packet reservation. The
+        //     virtual input id `cfg.ports` keeps the reservation
+        //     accumulator slots distinct from real inputs.
+        if let Some(bar) = barrier.as_mut() {
+            while let Some(&(at, round)) = bar.ready.front() {
+                if at > now {
+                    break;
+                }
+                let is_root = table.up_ports().is_empty();
+                let header = if is_root {
+                    RoutingHeader::BitString {
+                        dests: DestSet::full(bar.n_hosts),
+                    }
+                } else {
+                    RoutingHeader::BarrierGather { round }
+                };
+                let total = header.header_flits(bar.n_hosts, bar.bits_per_flit) as u16;
+                let need = cfg.chunks_for(total);
+                if !cq.try_reserve(cfg.ports, need, true) {
+                    break; // retry next cycle; order within the queue holds
+                }
+                bar.ready.pop_front();
+                bar.seq += 1;
+                let tag = SWITCH_MSG_BIT | (u64::from(id.0) << 32) | (bar.seq & 0xFFFF_FFFF);
+                let pkt = Rc::new(
+                    PacketBuilder::new(NodeId(0), header, 0, bar.n_hosts)
+                        .bits_per_flit(bar.bits_per_flit)
+                        .id(PacketId(tag))
+                        .msg(MessageId(tag))
+                        .created(now)
+                        .build(),
+                );
+                let branches = if is_root {
+                    let metrics: Vec<u64> = outputs
+                        .iter()
+                        .map(|o| {
+                            o.queue.len() as u64 * 4
+                                + match o.state {
+                                    TxState::Idle => 0,
+                                    _ => 2,
+                                }
+                        })
+                        .collect();
+                    resolve_branches(&pkt, table, cfg.policy, cfg.up_select, |p| metrics[p])
+                } else {
+                    vec![(table.up_ports()[0], pkt.clone())]
+                };
+                let write = Rc::new(RefCell::new(WriteState::synthesized(
+                    total,
+                    chunk_flits,
+                    branches.len(),
+                )));
+                let mut st = stats.borrow_mut();
+                st.branches_created += branches.len() as u64;
+                if branches.len() > 1 {
+                    st.packets_replicated += 1;
+                }
+                drop(st);
+                for (port, bpkt) in branches {
+                    outputs[port].queue.push_back(CqBranch {
+                        pkt: bpkt,
+                        read: 0,
+                        write: write.clone(),
+                    });
+                }
+            }
+        }
+
+        // --- Inputs, starting at a rotating offset for fairness.
+        for k in 0..ports {
+            let i = (k + *rr) % ports;
+            let InputPort {
+                staging,
+                clock,
+                state,
+            } = &mut inputs[i];
+
+            // Accept at most one arriving flit (link bandwidth).
+            if let Some(flit) = io.recv(i) {
+                clock.on_arrival(&flit, now);
+                staging.push_back(flit);
+                debug_assert!(
+                    staging.len() <= cfg.staging_flits as usize,
+                    "staging overflow: credit window violated"
+                );
+            }
+
+            // Idle -> start processing the packet at the staging front.
+            if matches!(state, InState::Idle) {
+                if let Some(front) = staging.front() {
+                    assert!(front.is_head(), "staging front must be a packet head");
+                    let pkt = front.packet().clone();
+                    assert!(
+                        pkt.total_flits() <= cfg.max_packet_flits,
+                        "packet {} exceeds the configured max packet size",
+                        pkt.id()
+                    );
+                    *state = if matches!(pkt.header(), RoutingHeader::BarrierGather { .. }) {
+                        assert!(
+                            barrier.is_some(),
+                            "barrier gather arrived at non-combining switch {id}"
+                        );
+                        InState::ConsumeGather { pkt }
+                    } else if pkt.header().is_multidestination() {
+                        InState::AwaitReservation { pkt }
+                    } else {
+                        InState::AwaitDecision { pkt, entered: now }
+                    };
+                }
+            }
+
+            // Barrier gathers are combined, not routed: swallow the flits
+            // and bump the round counter at the tail.
+            if let InState::ConsumeGather { pkt } = state {
+                let belongs = staging
+                    .front()
+                    .is_some_and(|f| f.packet().id() == pkt.id());
+                if belongs {
+                    let flit = staging.pop_front().expect("front present");
+                    io.return_credit(i);
+                    if flit.is_tail() {
+                        let RoutingHeader::BarrierGather { round } = pkt.header() else {
+                            unreachable!("ConsumeGather holds a gather packet");
+                        };
+                        barrier
+                            .as_mut()
+                            .expect("checked at interception")
+                            .on_gather(*round, now + u64::from(cfg.route_delay));
+                        clock.forget(pkt.id());
+                        *state = InState::Idle;
+                    }
+                }
+            }
+
+            // Reservation for multidestination worms.
+            if let InState::AwaitReservation { pkt } = state {
+                let need = cfg.chunks_for(pkt.total_flits());
+                let descending = table.port(i).class == PortClass::Up;
+                if cq.try_reserve(i, need, descending) {
+                    let write = Rc::new(RefCell::new(WriteState::new(
+                        pkt.total_flits(),
+                        chunk_flits,
+                    )));
+                    *state = InState::Absorbing {
+                        pkt: pkt.clone(),
+                        write,
+                        entered: now,
+                        decided: false,
+                    };
+                } else {
+                    stats.borrow_mut().reservation_wait_cycles += 1;
+                }
+            }
+
+            // Unicast routing decision: bypass or central queue.
+            if let InState::AwaitDecision { pkt, entered } = state {
+                let ready = clock
+                    .done_at(pkt.id())
+                    .is_some_and(|t| now >= t.max(*entered) + u64::from(cfg.route_delay));
+                if ready {
+                    let metrics: Vec<u64> = outputs
+                        .iter()
+                        .map(|o| {
+                            o.queue.len() as u64 * 4
+                                + match o.state {
+                                    TxState::Idle => 0,
+                                    _ => 2,
+                                }
+                        })
+                        .collect();
+                    let branches =
+                        resolve_branches(pkt, table, cfg.policy, cfg.up_select, |p| metrics[p]);
+                    debug_assert_eq!(branches.len(), 1, "unicast has one branch");
+                    let (port, bpkt) = branches.into_iter().next().expect("one branch");
+                    stats.borrow_mut().branches_created += 1;
+                    let out = &mut outputs[port];
+                    let can_bypass = cfg.bypass_crossbar
+                        && out.queue.is_empty()
+                        && matches!(out.state, TxState::Idle);
+                    if can_bypass {
+                        out.state = TxState::Bypass { input: i };
+                        *state = InState::Bypass {
+                            pkt: bpkt,
+                            port,
+                            sent: 0,
+                        };
+                    } else {
+                        *state = InState::AwaitCqSpace { pkt: bpkt, port };
+                    }
+                }
+            }
+
+            // Unicast central-queue admission: the same full-packet
+            // reservation multidestination worms get — the paper's
+            // "accepted implies completely bufferable" condition applied
+            // uniformly, which is what keeps the shared queue live (a
+            // partially absorbed packet stalling mid-write could otherwise
+            // wedge an upstream bypass and cycle between stages).
+            if let InState::AwaitCqSpace { pkt, port } = state {
+                let need = cfg.chunks_for(pkt.total_flits());
+                let descending = table.port(i).class == PortClass::Up;
+                if cq.try_reserve(i, need, descending) {
+                    let write = Rc::new(RefCell::new(WriteState::new(
+                        pkt.total_flits(),
+                        chunk_flits,
+                    )));
+                    write.borrow_mut().set_branches(1);
+                    outputs[*port].queue.push_back(CqBranch {
+                        pkt: pkt.clone(),
+                        read: 0,
+                        write: write.clone(),
+                    });
+                    *state = InState::Absorbing {
+                        pkt: pkt.clone(),
+                        write,
+                        entered: now,
+                        decided: true,
+                    };
+                } else {
+                    stats.borrow_mut().reservation_wait_cycles += 1;
+                }
+            }
+
+            // Absorption into the central queue (and the deferred
+            // replication decision for multidestination worms).
+            if let InState::Absorbing {
+                pkt,
+                write,
+                entered,
+                decided,
+            } = state
+            {
+                if !*decided {
+                    let ready = clock
+                        .done_at(pkt.id())
+                        .is_some_and(|t| now >= t.max(*entered) + u64::from(cfg.route_delay));
+                    if ready {
+                        let metrics: Vec<u64> = outputs
+                            .iter()
+                            .map(|o| {
+                                o.queue.len() as u64 * 4
+                                    + match o.state {
+                                        TxState::Idle => 0,
+                                        _ => 2,
+                                    }
+                            })
+                            .collect();
+                        let branches =
+                            resolve_branches(pkt, table, cfg.policy, cfg.up_select, |p| metrics[p]);
+                        write.borrow_mut().set_branches(branches.len());
+                        let mut st = stats.borrow_mut();
+                        st.branches_created += branches.len() as u64;
+                        if branches.len() > 1 {
+                            st.packets_replicated += 1;
+                        }
+                        drop(st);
+                        for (port, bpkt) in branches {
+                            outputs[port].queue.push_back(CqBranch {
+                                pkt: bpkt,
+                                read: 0,
+                                write: write.clone(),
+                            });
+                        }
+                        *decided = true;
+                    }
+                }
+                // Move one flit staging -> central queue.
+                let belongs = staging
+                    .front()
+                    .is_some_and(|f| f.packet().id() == pkt.id());
+                if belongs {
+                    let mut w = write.borrow_mut();
+                    if w.needs_chunk() {
+                        // Space is guaranteed: every packet reserved its
+                        // full chunk demand at admission.
+                        w.push_chunk();
+                    }
+                    w.written += 1;
+                    drop(w);
+                    staging.pop_front();
+                    io.return_credit(i);
+                }
+                // Retire only once fully absorbed AND the replication
+                // decision has been made — a short worm can finish
+                // absorbing before its header-decode delay elapses, and
+                // leaving early would orphan it in the central queue.
+                let complete = {
+                    let w = write.borrow();
+                    w.written == w.total
+                };
+                if *decided && complete {
+                    clock.forget(pkt.id());
+                    *state = InState::Idle;
+                }
+            }
+
+            // Bypass streaming: staging straight onto the output link.
+            if let InState::Bypass { pkt, port, sent } = state {
+                let belongs = staging
+                    .front()
+                    .is_some_and(|f| f.packet().id() == pkt.id());
+                if belongs && io.can_send(*port) {
+                    let flit = staging.pop_front().expect("front present");
+                    io.send(*port, flit);
+                    io.return_credit(i);
+                    *sent += 1;
+                    let mut st = stats.borrow_mut();
+                    st.flits_sent += 1;
+                    st.bypass_flits += 1;
+                    drop(st);
+                    if *sent == pkt.total_flits() {
+                        if let TxState::Bypass { input } = outputs[*port].state {
+                            debug_assert_eq!(input, i, "bypass owner mismatch");
+                        }
+                        outputs[*port].state = TxState::Idle;
+                        clock.forget(pkt.id());
+                        *state = InState::Idle;
+                    }
+                }
+            }
+        }
+
+        *rr = (*rr + 1) % ports;
+        let mut st = stats.borrow_mut();
+        st.cq_used_chunks.observe(cq.used() as u64);
+        st.cq_free_now = cq.free();
+    }
+}
+
+impl std::fmt::Debug for CentralBufferSwitch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "CentralBufferSwitch({}, {} ports, {}/{} chunks free)",
+            self.id, self.cfg.ports, self.cq.free(), self.cfg.cq_chunks
+        )
+    }
+}
+
+#[cfg(test)]
+mod accounting_tests {
+    use super::CqAccounting;
+
+    #[test]
+    fn immediate_grant_when_space_allows() {
+        let mut cq = CqAccounting::new(32, 8);
+        // Descending can take everything.
+        assert!(cq.try_reserve(0, 32, true));
+        assert_eq!(cq.free(), 0);
+        assert_eq!(cq.used(), 32);
+    }
+
+    #[test]
+    fn ascending_respects_the_reserve_floor() {
+        let mut cq = CqAccounting::new(32, 8);
+        // Ascending can use at most capacity - reserve = 24.
+        assert!(cq.try_reserve(0, 24, false));
+        assert_eq!(cq.free(), 8);
+        // Next ascending worm must wait even though 8 chunks are free...
+        assert!(!cq.try_reserve(1, 4, false));
+        // ...but a descending worm takes them immediately.
+        assert!(cq.try_reserve(2, 8, true));
+        assert_eq!(cq.free(), 0);
+    }
+
+    #[test]
+    fn descending_waiter_accumulates_first() {
+        let mut cq = CqAccounting::new(32, 8);
+        assert!(cq.try_reserve(0, 32, true));
+        // Descending waiter for 4 chunks.
+        assert!(!cq.try_reserve(1, 4, true));
+        // Ascending waiter for 2 chunks queues behind in its own class.
+        assert!(!cq.try_reserve(2, 2, false));
+        // Four releases feed the descending waiter exclusively.
+        for _ in 0..4 {
+            cq.release_chunk();
+        }
+        assert!(cq.try_reserve(1, 4, true), "descending waiter satisfied");
+        // Further releases first refill free up to the reserve, then feed
+        // the ascending waiter.
+        for _ in 0..8 {
+            cq.release_chunk();
+        }
+        assert_eq!(cq.free(), 8, "reserve refilled");
+        assert!(!cq.try_reserve(2, 2, false), "still accumulating");
+        cq.release_chunk();
+        cq.release_chunk();
+        assert!(cq.try_reserve(2, 2, false), "ascending waiter satisfied");
+    }
+
+    #[test]
+    fn waiter_slots_are_single_occupancy_per_class() {
+        let mut cq = CqAccounting::new(32, 8);
+        assert!(cq.try_reserve(0, 24, false));
+        assert!(!cq.try_reserve(1, 4, false), "input 1 takes the slot");
+        assert!(!cq.try_reserve(2, 4, false), "input 2 must wait for it");
+        for _ in 0..4 {
+            cq.release_chunk();
+        }
+        assert!(!cq.try_reserve(2, 4, false), "slot still belongs to input 1");
+        assert!(cq.try_reserve(1, 4, false), "owner collects");
+        assert!(!cq.try_reserve(2, 4, false), "input 2 now owns the slot");
+    }
+
+    #[test]
+    fn used_counts_waiter_holdings_as_not_used_data() {
+        let mut cq = CqAccounting::new(16, 4);
+        assert!(cq.try_reserve(0, 10, true));
+        assert!(!cq.try_reserve(1, 8, true)); // waiter grabs the free 6
+        assert_eq!(cq.free(), 0);
+        assert_eq!(cq.used(), 10, "waiter holdings are held, not data");
+        cq.release_chunk();
+        assert_eq!(cq.used(), 9);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{sink_flits, single_switch_world, TestWorld};
+    use mintopo::route::ReplicatePolicy;
+    use netsim::destset::DestSet;
+    use netsim::ids::NodeId;
+    use netsim::packet::PacketBuilder;
+
+    fn world(cfg: SwitchConfig) -> TestWorld {
+        let credits = cfg.staging_flits;
+        single_switch_world(4, cfg, credits, |id, cfg, tables, stats| {
+            Box::new(CentralBufferSwitch::new(id, cfg, tables, stats))
+        })
+    }
+
+    #[test]
+    fn unicast_delivery_via_bypass() {
+        let mut w = world(SwitchConfig {
+            ports: 4,
+            ..SwitchConfig::default()
+        });
+        let pkt = PacketBuilder::unicast(NodeId(0), NodeId(2), 16, 4)
+            .id(netsim::ids::PacketId(1))
+            .build();
+        w.inject(0, pkt);
+        w.engine.run_for(100);
+        assert_eq!(sink_flits(&w, 2), 18); // 2 header + 16 payload
+        assert_eq!(sink_flits(&w, 1), 0);
+        let st = w.stats.borrow();
+        assert!(st.bypass_flits > 0, "idle output should use the bypass");
+    }
+
+    #[test]
+    fn unicast_without_bypass_goes_through_cq() {
+        let mut w = world(SwitchConfig {
+            ports: 4,
+            bypass_crossbar: false,
+            ..SwitchConfig::default()
+        });
+        let pkt = PacketBuilder::unicast(NodeId(0), NodeId(2), 16, 4).build();
+        w.inject(0, pkt);
+        w.engine.run_for(100);
+        assert_eq!(sink_flits(&w, 2), 18);
+        assert_eq!(w.stats.borrow().bypass_flits, 0);
+        assert!(w.stats.borrow().cq_used_chunks.max() > 0);
+    }
+
+    #[test]
+    fn multicast_replicates_to_all_destinations() {
+        let mut w = world(SwitchConfig {
+            ports: 4,
+            ..SwitchConfig::default()
+        });
+        let dests = DestSet::from_nodes(4, [1, 2, 3].map(NodeId));
+        let pkt = PacketBuilder::multicast(NodeId(0), dests, 32).build();
+        let total = pkt.total_flits() as usize;
+        w.inject(0, pkt);
+        w.engine.run_for(200);
+        for h in 1..4 {
+            assert_eq!(sink_flits(&w, h), total, "host {h}");
+        }
+        assert_eq!(sink_flits(&w, 0), 0, "source gets no copy");
+        let st = w.stats.borrow();
+        assert_eq!(st.packets_replicated, 1);
+        assert_eq!(st.branches_created, 3);
+    }
+
+    #[test]
+    fn chunks_are_all_freed_after_multicast() {
+        let cfg = SwitchConfig {
+            ports: 4,
+            ..SwitchConfig::default()
+        };
+        let total_chunks = cfg.cq_chunks;
+        let mut w = world(cfg);
+        let dests = DestSet::from_nodes(4, [1, 2, 3].map(NodeId));
+        w.inject(0, PacketBuilder::multicast(NodeId(0), dests, 40).build());
+        w.engine.run_for(300);
+        assert_eq!(
+            w.stats.borrow().cq_free_now,
+            total_chunks,
+            "all chunks returned to the pool"
+        );
+    }
+
+    #[test]
+    fn tiny_central_queue_still_delivers_multicast() {
+        // Queue barely fits one packet: reservation must serialize worms,
+        // not deadlock.
+        let cfg = SwitchConfig {
+            ports: 4,
+            cq_chunks: 12,
+            chunk_flits: 8,
+            max_packet_flits: 48,
+            input_buf_flits: 48,
+            ..SwitchConfig::default()
+        };
+        let mut w = world(cfg);
+        let d1 = DestSet::from_nodes(4, [2, 3].map(NodeId));
+        let d2 = DestSet::from_nodes(4, [0, 3].map(NodeId));
+        let p1 = PacketBuilder::multicast(NodeId(0), d1, 32)
+            .id(netsim::ids::PacketId(1))
+            .build();
+        let p2 = PacketBuilder::multicast(NodeId(1), d2, 32)
+            .id(netsim::ids::PacketId(2))
+            .build();
+        let (t1, t2) = (p1.total_flits() as usize, p2.total_flits() as usize);
+        w.inject(0, p1);
+        w.inject(1, p2);
+        w.engine.run_for(600);
+        assert_eq!(sink_flits(&w, 2), t1);
+        assert_eq!(sink_flits(&w, 3), t1 + t2);
+        assert_eq!(sink_flits(&w, 0), t2);
+        assert!(w.stats.borrow().reservation_wait_cycles > 0);
+    }
+
+    #[test]
+    fn forward_and_return_policy_accepted() {
+        let mut w = world(SwitchConfig {
+            ports: 4,
+            policy: ReplicatePolicy::ForwardAndReturn,
+            ..SwitchConfig::default()
+        });
+        let dests = DestSet::from_nodes(4, [1, 3].map(NodeId));
+        let pkt = PacketBuilder::multicast(NodeId(0), dests, 8).build();
+        let total = pkt.total_flits() as usize;
+        w.inject(0, pkt);
+        w.engine.run_for(100);
+        assert_eq!(sink_flits(&w, 1), total);
+        assert_eq!(sink_flits(&w, 3), total);
+    }
+
+    #[test]
+    fn barrier_combining_single_switch_round_trip() {
+        // Four hosts on one combining switch (it has no up ports, so it is
+        // the combining root): four gather worms in, one broadcast release
+        // out to every host.
+        use netsim::header::RoutingHeader;
+        let cfg = SwitchConfig {
+            ports: 4,
+            ..SwitchConfig::default()
+        };
+        let credits = cfg.staging_flits;
+        let mut w = single_switch_world(4, cfg, credits, |id, cfg, tables, stats| {
+            let mut sw = CentralBufferSwitch::new(id, cfg, tables, stats);
+            sw.enable_barrier_combining(4, 4, 8);
+            Box::new(sw)
+        });
+        for h in 0..4u32 {
+            let pkt = PacketBuilder::new(
+                NodeId(h),
+                RoutingHeader::BarrierGather { round: 0 },
+                0,
+                4,
+            )
+            .id(netsim::ids::PacketId(u64::from(h) + 1))
+            .build();
+            w.inject(h as usize, pkt);
+        }
+        w.engine.run_for(200);
+        // Release = BitString to 4 hosts over a 4-node universe: 1 control
+        // + 1 bit-string flit = 2 flits per copy; gathers are consumed.
+        for h in 0..4 {
+            assert_eq!(sink_flits(&w, h), 2, "host {h} got exactly the release");
+        }
+        let st = w.stats.borrow();
+        assert_eq!(st.packets_replicated, 1, "one release broadcast");
+        assert_eq!(st.cq_free_now, 128, "all chunks recycled");
+    }
+
+    #[test]
+    fn gathers_of_distinct_rounds_do_not_mix() {
+        use netsim::header::RoutingHeader;
+        let cfg = SwitchConfig {
+            ports: 4,
+            ..SwitchConfig::default()
+        };
+        let credits = cfg.staging_flits;
+        let mut w = single_switch_world(4, cfg, credits, |id, cfg, tables, stats| {
+            let mut sw = CentralBufferSwitch::new(id, cfg, tables, stats);
+            sw.enable_barrier_combining(4, 4, 8);
+            Box::new(sw)
+        });
+        // Three gathers of round 0 and one of round 1: no release yet.
+        for (i, round) in [(0u32, 0u32), (1, 0), (2, 0), (3, 1)] {
+            let pkt = PacketBuilder::new(
+                NodeId(i),
+                RoutingHeader::BarrierGather { round },
+                0,
+                4,
+            )
+            .id(netsim::ids::PacketId(u64::from(i) + 10))
+            .build();
+            w.inject(i as usize, pkt);
+        }
+        w.engine.run_for(200);
+        for h in 0..4 {
+            assert_eq!(sink_flits(&w, h), 0, "no round completed");
+        }
+        // The missing round-0 gather completes round 0 only.
+        let pkt = PacketBuilder::new(
+            NodeId(3),
+            RoutingHeader::BarrierGather { round: 0 },
+            0,
+            4,
+        )
+        .id(netsim::ids::PacketId(99))
+        .build();
+        w.inject(3, pkt);
+        w.engine.run_for(200);
+        for h in 0..4 {
+            assert_eq!(sink_flits(&w, h), 2, "round 0 released once");
+        }
+    }
+
+    #[test]
+    fn two_unicasts_to_same_output_serialize() {
+        let mut w = world(SwitchConfig {
+            ports: 4,
+            ..SwitchConfig::default()
+        });
+        let a = PacketBuilder::unicast(NodeId(0), NodeId(3), 24, 4)
+            .id(netsim::ids::PacketId(10))
+            .build();
+        let b = PacketBuilder::unicast(NodeId(1), NodeId(3), 24, 4)
+            .id(netsim::ids::PacketId(11))
+            .build();
+        let per = a.total_flits() as usize;
+        w.inject(0, a);
+        w.inject(1, b);
+        w.engine.run_for(300);
+        assert_eq!(sink_flits(&w, 3), 2 * per);
+    }
+}

@@ -1,0 +1,254 @@
+//! Header decode shared by both switch architectures.
+//!
+//! Turning an arriving worm's header into a set of `(output port,
+//! branch-rewritten packet)` pairs is identical for the central-buffer and
+//! input-buffer switches — only *where* the replicated flits are buffered
+//! differs. This module implements that decode for all three encodings,
+//! plus the small clock that models header-serialization latency (the
+//! decision is available `route_delay` cycles after the last header flit
+//! arrives).
+
+use crate::config::UpSelect;
+use mintopo::route::{pick_deterministic, ReplicatePolicy, SwitchTable, UnicastRoute};
+use netsim::flit::Flit;
+use netsim::header::RoutingHeader;
+use netsim::ids::PacketId;
+use netsim::packet::Packet;
+use netsim::Cycle;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Records when each packet's final header flit arrived at this input.
+#[derive(Debug, Default)]
+pub(crate) struct HeaderClock {
+    done: HashMap<PacketId, Cycle>,
+}
+
+impl HeaderClock {
+    /// Notes a flit arrival; remembers the cycle the header completed.
+    pub fn on_arrival(&mut self, flit: &Flit, now: Cycle) {
+        if flit.idx() + 1 == flit.packet().header_flits() {
+            self.done.insert(flit.packet().id(), now);
+        }
+    }
+
+    /// Cycle at which the packet's header finished arriving, if known.
+    pub fn done_at(&self, id: PacketId) -> Option<Cycle> {
+        self.done.get(&id).copied()
+    }
+
+    /// Drops bookkeeping for a finished packet.
+    pub fn forget(&mut self, id: PacketId) {
+        self.done.remove(&id);
+    }
+}
+
+/// Resolves the output branches of a packet at a switch.
+///
+/// `metric(port)` supplies the adaptive congestion estimate (lower is
+/// better) used to pick among up-port candidates when `up_select` is
+/// [`UpSelect::Adaptive`]; ties and the deterministic mode fall back to a
+/// stateless flow hash so a given flow keeps one path.
+///
+/// Returns `(port, packet-for-that-branch)` pairs. Bit-string branches get
+/// their headers restricted by the port's reachability string (the header
+/// rewrite of paper §4); multiport branches get the residual mask list.
+///
+/// # Panics
+///
+/// Panics if a multiport worm has run out of masks (malformed plan), or the
+/// routing tables cannot cover a destination (disconnected topology).
+pub(crate) fn resolve_branches(
+    pkt: &Rc<Packet>,
+    table: &SwitchTable,
+    policy: ReplicatePolicy,
+    up_select: UpSelect,
+    metric: impl Fn(usize) -> u64,
+) -> Vec<(usize, Rc<Packet>)> {
+    let salt = pkt.id().0;
+    let pick = |cands: &[usize]| -> usize {
+        match up_select {
+            UpSelect::Deterministic => pick_deterministic(cands, salt),
+            UpSelect::Adaptive => {
+                let best = cands.iter().map(|&p| metric(p)).min().expect("candidates");
+                let tied: Vec<usize> = cands.iter().copied().filter(|&p| metric(p) == best).collect();
+                pick_deterministic(&tied, salt)
+            }
+        }
+    };
+    match pkt.header() {
+        RoutingHeader::Unicast { dest } => match table.route_unicast(*dest) {
+            UnicastRoute::Down(p) => vec![(p, pkt.clone())],
+            UnicastRoute::Up(cands) => vec![(pick(&cands), pkt.clone())],
+        },
+        RoutingHeader::BitString { dests } => {
+            let route = table.route_bitstring(dests, policy);
+            let mut out: Vec<(usize, Rc<Packet>)> = route
+                .down
+                .iter()
+                .map(|(p, set)| {
+                    (
+                        *p,
+                        Rc::new(pkt.with_header(RoutingHeader::BitString { dests: set.clone() })),
+                    )
+                })
+                .collect();
+            if let Some((cands, set)) = route.up {
+                let p = pick(&cands);
+                out.push((
+                    p,
+                    Rc::new(pkt.with_header(RoutingHeader::BitString { dests: set })),
+                ));
+            }
+            out
+        }
+        RoutingHeader::Multiport { .. } => {
+            let (mask, rest) = pkt
+                .header()
+                .advance_multiport()
+                .expect("multiport worm ran out of masks");
+            let residual = Rc::new(pkt.with_header(rest));
+            mask.iter().map(|p| (p, residual.clone())).collect()
+        }
+        RoutingHeader::BarrierGather { .. } => {
+            unreachable!("barrier gathers are combined at the switch, never routed")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mintopo::route::RouteTables;
+    use mintopo::topology::TopologyBuilder;
+    use netsim::destset::DestSet;
+    use netsim::header::PortMask;
+    use netsim::ids::{NodeId, SwitchId};
+    use netsim::packet::PacketBuilder;
+
+    fn tables() -> RouteTables {
+        // Leaf s0 (hosts 0,1), leaf s1 (hosts 2,3), roots s2 and s3.
+        let mut b = TopologyBuilder::new(4);
+        let s0 = b.add_switch(4, 1);
+        let s1 = b.add_switch(4, 1);
+        let s2 = b.add_switch(4, 0);
+        let s3 = b.add_switch(4, 0);
+        for h in 0..2 {
+            b.attach_host(NodeId(h), s0, h as usize);
+            b.attach_host(NodeId(h + 2), s1, h as usize);
+        }
+        b.connect(s0, 2, s2, 0);
+        b.connect(s0, 3, s3, 0);
+        b.connect(s1, 2, s2, 1);
+        b.connect(s1, 3, s3, 1);
+        RouteTables::build(&b.build())
+    }
+
+    #[test]
+    fn header_clock_marks_completion() {
+        let pkt = Rc::new(PacketBuilder::unicast(NodeId(0), NodeId(3), 4, 4).build());
+        let mut clock = HeaderClock::default();
+        clock.on_arrival(&Flit::new(pkt.clone(), 0), 10);
+        assert_eq!(clock.done_at(pkt.id()), None, "header not complete yet");
+        clock.on_arrival(&Flit::new(pkt.clone(), 1), 11);
+        assert_eq!(clock.done_at(pkt.id()), Some(11));
+        clock.forget(pkt.id());
+        assert_eq!(clock.done_at(pkt.id()), None);
+    }
+
+    #[test]
+    fn unicast_down_branch() {
+        let t = tables();
+        let pkt = Rc::new(PacketBuilder::unicast(NodeId(0), NodeId(1), 4, 4).build());
+        let branches = resolve_branches(
+            &pkt,
+            t.table(SwitchId(0)),
+            ReplicatePolicy::ReturnOnly,
+            UpSelect::Deterministic,
+            |_| 0,
+        );
+        assert_eq!(branches.len(), 1);
+        assert_eq!(branches[0].0, 1);
+    }
+
+    #[test]
+    fn adaptive_prefers_low_metric_up_port() {
+        let t = tables();
+        let pkt = Rc::new(PacketBuilder::unicast(NodeId(0), NodeId(3), 4, 4).build());
+        // Port 2 congested, port 3 free -> adaptive must pick 3.
+        let branches = resolve_branches(
+            &pkt,
+            t.table(SwitchId(0)),
+            ReplicatePolicy::ReturnOnly,
+            UpSelect::Adaptive,
+            |p| if p == 2 { 100 } else { 0 },
+        );
+        assert_eq!(branches[0].0, 3);
+    }
+
+    #[test]
+    fn bitstring_branches_get_restricted_headers() {
+        let t = tables();
+        let dests = DestSet::from_nodes(4, [0, 1, 3].map(NodeId));
+        let pkt = Rc::new(PacketBuilder::multicast(NodeId(2), dests, 8).build());
+        // At root s2 everything is below: three host-port branches via leafs.
+        let branches = resolve_branches(
+            &pkt,
+            t.table(SwitchId(2)),
+            ReplicatePolicy::ReturnOnly,
+            UpSelect::Deterministic,
+            |_| 0,
+        );
+        assert_eq!(branches.len(), 2, "one per leaf switch");
+        for (_, bp) in &branches {
+            match bp.header() {
+                RoutingHeader::BitString { dests } => assert!(!dests.is_empty()),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        let covered: usize = branches
+            .iter()
+            .map(|(_, bp)| bp.header().dest_count().unwrap())
+            .sum();
+        assert_eq!(covered, 3);
+    }
+
+    #[test]
+    fn return_only_multicast_goes_up_whole() {
+        let t = tables();
+        let dests = DestSet::from_nodes(4, [1, 2].map(NodeId));
+        let pkt = Rc::new(PacketBuilder::multicast(NodeId(0), dests.clone(), 8).build());
+        let branches = resolve_branches(
+            &pkt,
+            t.table(SwitchId(0)),
+            ReplicatePolicy::ReturnOnly,
+            UpSelect::Deterministic,
+            |_| 0,
+        );
+        assert_eq!(branches.len(), 1, "no early branching under ReturnOnly");
+        assert_eq!(branches[0].1.header().dest_count(), Some(2));
+    }
+
+    #[test]
+    fn multiport_fans_out_and_consumes_mask() {
+        let t = tables();
+        let header = RoutingHeader::Multiport {
+            masks: vec![PortMask::from_ports([0, 1]), PortMask::single(0)],
+        };
+        let pkt = Rc::new(PacketBuilder::new(NodeId(2), header, 8, 4).build());
+        let branches = resolve_branches(
+            &pkt,
+            t.table(SwitchId(2)),
+            ReplicatePolicy::ReturnOnly,
+            UpSelect::Deterministic,
+            |_| 0,
+        );
+        assert_eq!(branches.len(), 2);
+        for (_, bp) in &branches {
+            match bp.header() {
+                RoutingHeader::Multiport { masks } => assert_eq!(masks.len(), 1),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,532 @@
+//! The input-buffer switch architecture (paper §5).
+//!
+//! Each input port owns a private FIFO at least one maximum-size packet
+//! deep (the paper gives both architectures the same *total* storage, so
+//! the central queue's capacity is split evenly across inputs). A worm at
+//! the buffer head decodes its header and requests its output set; under
+//! **asynchronous replication** each granted branch streams out
+//! independently through per-branch read cursors while blocked branches
+//! simply wait — no cross-branch dependence. Buffer space is recycled in
+//! FIFO order as the *slowest* branch advances, and because the head packet
+//! always fits completely in its buffer, an accepted packet can always be
+//! fully buffered: the paper's deadlock-freedom condition.
+//!
+//! Compared to the central-buffer switch this design statically partitions
+//! storage and suffers head-of-line blocking (only the head packet of each
+//! input can move) — the structural disadvantages the paper's evaluation
+//! quantifies. Branch read-out is modeled optimistically (all branches may
+//! read the buffer in the same cycle); even so the architecture loses to
+//! the shared central buffer, which strengthens that conclusion.
+
+use crate::config::{ReplicationMode, SwitchConfig};
+use crate::decode::{resolve_branches, HeaderClock};
+use crate::stats::SwitchStats;
+use mintopo::route::RouteTables;
+use netsim::engine::{Component, PortIo};
+use netsim::flit::Flit;
+use netsim::ids::SwitchId;
+use netsim::packet::Packet;
+use netsim::Cycle;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+/// One packet resident in (or arriving into) an input buffer.
+#[derive(Debug)]
+struct IbPacket {
+    pkt: Rc<Packet>,
+    received: u16,
+}
+
+/// One output branch of the head packet.
+#[derive(Debug)]
+struct IbBranch {
+    port: usize,
+    pkt: Rc<Packet>,
+    read: u16,
+    granted: bool,
+    done: bool,
+}
+
+#[derive(Debug)]
+struct IbInput {
+    packets: VecDeque<IbPacket>,
+    clock: HeaderClock,
+    /// Branch state of the head packet once its route is decided.
+    branches: Option<Vec<IbBranch>>,
+    became_head: Cycle,
+    freed_of_head: u16,
+    occupied: u32,
+}
+
+#[derive(Debug, Default)]
+struct IbOutput {
+    /// Input index whose branch currently owns this transmitter.
+    owner: Option<usize>,
+    /// Round-robin pointer for grant arbitration.
+    rr: usize,
+}
+
+/// An input-buffer switch with multidestination-worm support.
+pub struct InputBufferedSwitch {
+    id: SwitchId,
+    cfg: SwitchConfig,
+    tables: Rc<RouteTables>,
+    inputs: Vec<IbInput>,
+    outputs: Vec<IbOutput>,
+    stats: Rc<RefCell<SwitchStats>>,
+}
+
+impl InputBufferedSwitch {
+    /// Creates the switch. The host/neighbor links feeding each input must
+    /// use a credit window equal to `cfg.input_buf_flits` — the credit loop
+    /// *is* the input buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`SwitchConfig::validate`] or its
+    /// port count disagrees with the routing table.
+    pub fn new(
+        id: SwitchId,
+        cfg: SwitchConfig,
+        tables: Rc<RouteTables>,
+        stats: Rc<RefCell<SwitchStats>>,
+    ) -> Self {
+        cfg.validate();
+        assert_eq!(
+            tables.table(id).n_ports(),
+            cfg.ports,
+            "routing table port count mismatch for {id}"
+        );
+        InputBufferedSwitch {
+            id,
+            inputs: (0..cfg.ports)
+                .map(|_| IbInput {
+                    packets: VecDeque::new(),
+                    clock: HeaderClock::default(),
+                    branches: None,
+                    became_head: 0,
+                    freed_of_head: 0,
+                    occupied: 0,
+                })
+                .collect(),
+            outputs: (0..cfg.ports).map(|_| IbOutput::default()).collect(),
+            cfg,
+            tables,
+            stats,
+        }
+    }
+
+    /// Switch identity.
+    pub fn id(&self) -> SwitchId {
+        self.id
+    }
+}
+
+impl Component for InputBufferedSwitch {
+    #[allow(clippy::needless_range_loop)] // index loops enable split borrows across ports
+    fn tick(&mut self, now: Cycle, io: &mut PortIo<'_>) {
+        let ports = self.cfg.ports;
+        let InputBufferedSwitch {
+            cfg,
+            tables,
+            inputs,
+            outputs,
+            stats,
+            id,
+        } = self;
+        let table = tables.table(*id);
+
+        // --- 1. Receive one flit per input.
+        for (i, input) in inputs.iter_mut().enumerate() {
+            if let Some(flit) = io.recv(i) {
+                input.clock.on_arrival(&flit, now);
+                input.occupied += 1;
+                debug_assert!(
+                    input.occupied <= cfg.input_buf_flits,
+                    "input buffer overflow: credit window violated"
+                );
+                if flit.is_head() {
+                    let pkt = flit.packet().clone();
+                    assert!(
+                        pkt.total_flits() <= cfg.max_packet_flits,
+                        "packet {} exceeds the configured max packet size",
+                        pkt.id()
+                    );
+                    if input.packets.is_empty() {
+                        input.became_head = now;
+                    }
+                    input.packets.push_back(IbPacket { pkt, received: 1 });
+                } else {
+                    input
+                        .packets
+                        .back_mut()
+                        .expect("body flit without head")
+                        .received += 1;
+                }
+            }
+        }
+
+        // --- 2. Decode the head packet where the header has arrived.
+        for i in 0..ports {
+            let needs_decode = inputs[i].branches.is_none() && !inputs[i].packets.is_empty();
+            if !needs_decode {
+                continue;
+            }
+            let pkt = inputs[i].packets.front().expect("head exists").pkt.clone();
+            let ready = inputs[i]
+                .clock
+                .done_at(pkt.id())
+                .is_some_and(|t| now >= t.max(inputs[i].became_head) + u64::from(cfg.route_delay));
+            if !ready {
+                continue;
+            }
+            let metrics: Vec<u64> = outputs
+                .iter()
+                .map(|o| if o.owner.is_some() { 2 } else { 0 })
+                .collect();
+            let branches = resolve_branches(&pkt, table, cfg.policy, cfg.up_select, |p| metrics[p]);
+            let mut st = stats.borrow_mut();
+            st.branches_created += branches.len() as u64;
+            if branches.len() > 1 {
+                st.packets_replicated += 1;
+            }
+            drop(st);
+            inputs[i].branches = Some(
+                branches
+                    .into_iter()
+                    .map(|(port, bpkt)| IbBranch {
+                        port,
+                        pkt: bpkt,
+                        read: 0,
+                        granted: false,
+                        done: false,
+                    })
+                    .collect(),
+            );
+        }
+
+        // --- 3. Grant free transmitters round-robin among requesting inputs.
+        for p in 0..ports {
+            if outputs[p].owner.is_some() {
+                continue;
+            }
+            let start = outputs[p].rr;
+            for k in 0..ports {
+                let i = (start + k) % ports;
+                let requests = inputs[i].branches.as_ref().is_some_and(|bs| {
+                    bs.iter().any(|b| b.port == p && !b.granted && !b.done)
+                });
+                if requests {
+                    outputs[p].owner = Some(i);
+                    outputs[p].rr = (i + 1) % ports;
+                    let b = inputs[i]
+                        .branches
+                        .as_mut()
+                        .expect("checked")
+                        .iter_mut()
+                        .find(|b| b.port == p && !b.granted && !b.done)
+                        .expect("checked");
+                    b.granted = true;
+                    break;
+                }
+            }
+        }
+
+        // --- 4. Transmit.
+        match cfg.replication {
+            // Asynchronous replication (the paper's choice): one flit per
+            // owned output; branches advance independently.
+            ReplicationMode::Asynchronous => {
+                for p in 0..ports {
+                    let Some(i) = outputs[p].owner else { continue };
+                    let received =
+                        inputs[i].packets.front().expect("owner has head").received;
+                    let branch = inputs[i]
+                        .branches
+                        .as_mut()
+                        .expect("owner has branches")
+                        .iter_mut()
+                        .find(|b| b.port == p && b.granted && !b.done)
+                        .expect("owner has an active branch");
+                    if io.can_send(p) && branch.read < received {
+                        io.send(p, Flit::new(branch.pkt.clone(), branch.read));
+                        branch.read += 1;
+                        stats.borrow_mut().flits_sent += 1;
+                        if branch.read == branch.pkt.total_flits() {
+                            branch.done = true;
+                            outputs[p].owner = None;
+                        }
+                    }
+                }
+            }
+            // Synchronous replication (the rejected alternative): a worm
+            // moves only once *every* branch holds its output, and flits
+            // advance in lock-step across all branches. Partially granted
+            // worms hold their outputs while waiting — the hold-and-wait
+            // that deadlocks without an extra avoidance protocol [6].
+            ReplicationMode::Synchronous => {
+                for input in inputs.iter_mut() {
+                    let Some(branches) = &mut input.branches else { continue };
+                    if branches.iter().any(|b| !b.granted || b.done) {
+                        continue;
+                    }
+                    let received = input.packets.front().expect("head exists").received;
+                    let read = branches[0].read;
+                    debug_assert!(
+                        branches.iter().all(|b| b.read == read),
+                        "lock-step branches diverged"
+                    );
+                    let total = branches[0].pkt.total_flits();
+                    if read < received && branches.iter().all(|b| io.can_send(b.port)) {
+                        for b in branches.iter_mut() {
+                            io.send(b.port, Flit::new(b.pkt.clone(), read));
+                            b.read += 1;
+                            if b.read == total {
+                                b.done = true;
+                                outputs[b.port].owner = None;
+                            }
+                        }
+                        stats.borrow_mut().flits_sent += branches.len() as u64;
+                    }
+                }
+            }
+        }
+
+        // --- 5. Recycle buffer space as the slowest branch advances;
+        //        retire fully drained head packets.
+        let mut occupancy_sum = 0u64;
+        for (i, input) in inputs.iter_mut().enumerate() {
+            if let Some(branches) = &input.branches {
+                let min_read = branches
+                    .iter()
+                    .map(|b| b.read)
+                    .min()
+                    .expect("at least one branch");
+                let newly = min_read - input.freed_of_head;
+                for _ in 0..newly {
+                    io.return_credit(i);
+                }
+                input.occupied -= u32::from(newly);
+                input.freed_of_head = min_read;
+                if branches.iter().all(|b| b.done) {
+                    let head = input.packets.pop_front().expect("head exists");
+                    input.clock.forget(head.pkt.id());
+                    input.branches = None;
+                    input.freed_of_head = 0;
+                    input.became_head = now;
+                }
+            }
+            occupancy_sum += u64::from(input.occupied);
+        }
+        stats.borrow_mut().ib_used_flits.observe(occupancy_sum);
+    }
+}
+
+impl std::fmt::Debug for InputBufferedSwitch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "InputBufferedSwitch({}, {} ports, {} flits/input)",
+            self.id, self.cfg.ports, self.cfg.input_buf_flits
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{sink_flits, single_switch_world, TestWorld};
+    use netsim::destset::DestSet;
+    use netsim::ids::{NodeId, PacketId};
+    use netsim::packet::PacketBuilder;
+
+    fn world(cfg: SwitchConfig) -> TestWorld {
+        let credits = cfg.input_buf_flits;
+        single_switch_world(4, cfg, credits, |id, cfg, tables, stats| {
+            Box::new(InputBufferedSwitch::new(id, cfg, tables, stats))
+        })
+    }
+
+    fn cfg4() -> SwitchConfig {
+        SwitchConfig {
+            ports: 4,
+            ..SwitchConfig::default()
+        }
+    }
+
+    #[test]
+    fn unicast_delivery() {
+        let mut w = world(cfg4());
+        let pkt = PacketBuilder::unicast(NodeId(0), NodeId(2), 16, 4).build();
+        w.inject(0, pkt);
+        w.engine.run_for(100);
+        assert_eq!(sink_flits(&w, 2), 18);
+        assert_eq!(sink_flits(&w, 3), 0);
+    }
+
+    #[test]
+    fn multicast_replicates_to_all_destinations() {
+        let mut w = world(cfg4());
+        let dests = DestSet::from_nodes(4, [1, 2, 3].map(NodeId));
+        let pkt = PacketBuilder::multicast(NodeId(0), dests, 32).build();
+        let total = pkt.total_flits() as usize;
+        w.inject(0, pkt);
+        w.engine.run_for(200);
+        for h in 1..4 {
+            assert_eq!(sink_flits(&w, h), total, "host {h}");
+        }
+        assert_eq!(sink_flits(&w, 0), 0);
+        let st = w.stats.borrow();
+        assert_eq!(st.packets_replicated, 1);
+        assert_eq!(st.branches_created, 3);
+    }
+
+    #[test]
+    fn two_unicasts_to_same_output_serialize() {
+        let mut w = world(cfg4());
+        let a = PacketBuilder::unicast(NodeId(0), NodeId(3), 24, 4)
+            .id(PacketId(1))
+            .build();
+        let b = PacketBuilder::unicast(NodeId(1), NodeId(3), 24, 4)
+            .id(PacketId(2))
+            .build();
+        let per = a.total_flits() as usize;
+        w.inject(0, a);
+        w.inject(1, b);
+        w.engine.run_for(300);
+        assert_eq!(sink_flits(&w, 3), 2 * per);
+    }
+
+    #[test]
+    fn head_of_line_blocking_delays_second_packet() {
+        // Input 0 queues p1 -> host2 then p2 -> host3. Even though host3 is
+        // idle, p2 cannot start until p1 fully drains: HOL blocking.
+        let mut w = world(cfg4());
+        let p1 = PacketBuilder::unicast(NodeId(0), NodeId(2), 40, 4)
+            .id(PacketId(1))
+            .build();
+        let p2 = PacketBuilder::unicast(NodeId(0), NodeId(3), 4, 4)
+            .id(PacketId(2))
+            .build();
+        w.inject(0, p1);
+        w.inject(0, p2);
+        // After 30 cycles p1 (42 flits) is still draining, so host3 has
+        // nothing yet.
+        w.engine.run_for(30);
+        assert_eq!(sink_flits(&w, 3), 0, "HOL blocking holds p2 back");
+        w.engine.run_for(200);
+        assert_eq!(sink_flits(&w, 3), 6);
+    }
+
+    #[test]
+    fn buffer_occupancy_recycles_fully() {
+        let mut w = world(cfg4());
+        let dests = DestSet::from_nodes(4, [1, 2].map(NodeId));
+        w.inject(3, PacketBuilder::multicast(NodeId(3), dests, 50).build());
+        w.engine.run_for(300);
+        // After everything drained the occupancy gauge must have returned
+        // to zero; its mean is therefore below its max.
+        let st = w.stats.borrow();
+        assert!(st.ib_used_flits.max() > 0);
+        assert_eq!(sink_flits(&w, 1), sink_flits(&w, 2));
+    }
+
+    #[test]
+    fn synchronous_replication_works_uncontended() {
+        let mut w = world(SwitchConfig {
+            ports: 4,
+            replication: ReplicationMode::Synchronous,
+            ..SwitchConfig::default()
+        });
+        let dests = DestSet::from_nodes(4, [1, 2, 3].map(NodeId));
+        let pkt = PacketBuilder::multicast(NodeId(0), dests, 32).build();
+        let total = pkt.total_flits() as usize;
+        w.inject(0, pkt);
+        w.engine.run_for(200);
+        for h in 1..4 {
+            assert_eq!(sink_flits(&w, h), total, "host {h}");
+        }
+    }
+
+    #[test]
+    fn synchronous_replication_deadlocks_on_crossed_grants() {
+        // The paper's §3 argument for asynchronous replication, staged
+        // deterministically: a warm-up unicast rotates output 3's grant
+        // pointer past input 0, so when two overlapping multicasts decode
+        // together, m1 (input 0) wins output 2 while m2 (input 2) wins
+        // output 3. Under lock-step replication each holds what the other
+        // needs: classic hold-and-wait, forever.
+        let run_mode = |mode: ReplicationMode| -> (usize, usize) {
+            let mut w = world(SwitchConfig {
+                ports: 4,
+                replication: mode,
+                ..SwitchConfig::default()
+            });
+            // Warm-up: input 1 -> output 3 (advances out3.rr to 2).
+            w.inject(
+                1,
+                PacketBuilder::unicast(NodeId(1), NodeId(3), 8, 4)
+                    .id(PacketId(1))
+                    .build(),
+            );
+            w.engine.run_for(40);
+            let d = DestSet::from_nodes(4, [2, 3].map(NodeId));
+            w.inject(
+                0,
+                PacketBuilder::multicast(NodeId(0), d.clone(), 32)
+                    .id(PacketId(2))
+                    .build(),
+            );
+            w.inject(
+                2,
+                PacketBuilder::multicast(NodeId(2), d, 32)
+                    .id(PacketId(3))
+                    .build(),
+            );
+            w.engine.run_for(2_000);
+            (sink_flits(&w, 2), sink_flits(&w, 3))
+        };
+        let (h2_async, h3_async) = run_mode(ReplicationMode::Asynchronous);
+        // Asynchronous: both 34-flit multicasts complete; host 3 also got
+        // the 10-flit warm-up unicast.
+        assert_eq!(h2_async, 2 * 34, "async host2");
+        assert_eq!(h3_async, 2 * 34 + 10, "async host3");
+        let (h2_sync, h3_sync) = run_mode(ReplicationMode::Synchronous);
+        // Synchronous: neither multicast delivers a single flit.
+        assert_eq!(h2_sync, 0, "sync multicasts must be deadlocked");
+        assert_eq!(h3_sync, 10, "only the warm-up unicast got through");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the configured max packet")]
+    fn oversized_packet_is_rejected() {
+        let mut w = world(cfg4());
+        let pkt = PacketBuilder::unicast(NodeId(0), NodeId(1), 200, 4).build();
+        w.inject(0, pkt);
+        w.engine.run_for(50);
+    }
+
+    #[test]
+    fn concurrent_multicasts_from_all_inputs() {
+        let mut w = world(cfg4());
+        let mut totals = [0usize; 4];
+        for src in 0..4u32 {
+            let mut dests = DestSet::full(4);
+            dests.remove(NodeId(src));
+            let pkt = PacketBuilder::multicast(NodeId(src), dests, 16)
+                .id(PacketId(100 + u64::from(src)))
+                .build();
+            for (h, total) in totals.iter_mut().enumerate() {
+                if h != src as usize {
+                    *total += pkt.total_flits() as usize;
+                }
+            }
+            w.inject(src as usize, pkt);
+        }
+        w.engine.run_for(600);
+        for (h, total) in totals.iter().enumerate() {
+            assert_eq!(sink_flits(&w, h), *total, "host {h}");
+        }
+    }
+}

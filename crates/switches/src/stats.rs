@@ -1,0 +1,42 @@
+//! Per-switch statistics, shared with the experiment harness.
+
+use netsim::stats::OccupancyStats;
+
+/// Counters and gauges one switch exposes.
+///
+/// The harness holds a clone of the `Rc<RefCell<SwitchStats>>` given to each
+/// switch at construction and reads it after the run.
+#[derive(Debug, Default)]
+pub struct SwitchStats {
+    /// Central-queue occupancy in chunks, observed once per cycle
+    /// (central-buffer architecture only).
+    pub cq_used_chunks: OccupancyStats,
+    /// Input-buffer occupancy in flits summed over inputs, observed once
+    /// per cycle (input-buffer architecture only).
+    pub ib_used_flits: OccupancyStats,
+    /// Flits sent out of this switch.
+    pub flits_sent: u64,
+    /// Flits that used the unbuffered bypass crossbar.
+    pub bypass_flits: u64,
+    /// Packets that fanned out to more than one output here.
+    pub packets_replicated: u64,
+    /// Total output branches created (1 per unicast, fan-out for worms).
+    pub branches_created: u64,
+    /// Cycles some packet spent waiting for a central-queue reservation.
+    pub reservation_wait_cycles: u64,
+    /// Free central-queue chunks at the end of the last cycle (probe for
+    /// leak tests; central-buffer architecture only).
+    pub cq_free_now: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_zeroed() {
+        let s = SwitchStats::default();
+        assert_eq!(s.flits_sent, 0);
+        assert_eq!(s.cq_used_chunks.samples(), 0);
+    }
+}

@@ -1,0 +1,126 @@
+//! Test harness shared by the switch architecture unit tests: a single
+//! switch with simple flit sources and sinks attached to every port.
+
+#![cfg(test)]
+
+use crate::config::SwitchConfig;
+use crate::stats::SwitchStats;
+use mintopo::route::RouteTables;
+use mintopo::topology::TopologyBuilder;
+use netsim::engine::{Component, Engine, PortIo};
+use netsim::flit::Flit;
+use netsim::ids::{NodeId, SwitchId};
+use netsim::packet::Packet;
+use netsim::Cycle;
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+/// Injects queued packets flit-by-flit at link rate.
+struct TestSource {
+    queue: Rc<RefCell<VecDeque<Rc<Packet>>>>,
+    cur: Option<(Rc<Packet>, u16)>,
+}
+
+impl Component for TestSource {
+    fn tick(&mut self, _now: Cycle, io: &mut PortIo<'_>) {
+        if self.cur.is_none() {
+            self.cur = self.queue.borrow_mut().pop_front().map(|p| (p, 0));
+        }
+        if let Some((pkt, idx)) = &mut self.cur {
+            if io.can_send(0) {
+                io.send(0, Flit::new(pkt.clone(), *idx));
+                *idx += 1;
+                if *idx == pkt.total_flits() {
+                    self.cur = None;
+                }
+            }
+        }
+    }
+}
+
+/// Counts received flits, returning credits immediately.
+struct TestSink {
+    flits: Rc<Cell<usize>>,
+}
+
+impl Component for TestSink {
+    fn tick(&mut self, _now: Cycle, io: &mut PortIo<'_>) {
+        if io.recv(0).is_some() {
+            io.return_credit(0);
+            self.flits.set(self.flits.get() + 1);
+        }
+    }
+}
+
+/// A one-switch world: `n_hosts` sources/sinks on ports `0..n_hosts`.
+pub(crate) struct TestWorld {
+    pub engine: Engine,
+    queues: Vec<Rc<RefCell<VecDeque<Rc<Packet>>>>>,
+    sinks: Vec<Rc<Cell<usize>>>,
+    pub stats: Rc<RefCell<SwitchStats>>,
+}
+
+impl TestWorld {
+    /// Queues a packet for injection at `host`.
+    pub fn inject(&mut self, host: usize, pkt: Packet) {
+        self.queues[host].borrow_mut().push_back(Rc::new(pkt));
+    }
+}
+
+/// Flits received so far by `host`'s sink.
+pub(crate) fn sink_flits(w: &TestWorld, host: usize) -> usize {
+    w.sinks[host].get()
+}
+
+/// Builds the world around a switch produced by `factory`. `input_credits`
+/// is the credit window of the host→switch links (the receiver buffer the
+/// architecture exposes).
+pub(crate) fn single_switch_world(
+    n_hosts: usize,
+    cfg: SwitchConfig,
+    input_credits: u32,
+    factory: impl FnOnce(
+        SwitchId,
+        SwitchConfig,
+        Rc<RouteTables>,
+        Rc<RefCell<SwitchStats>>,
+    ) -> Box<dyn Component>,
+) -> TestWorld {
+    assert!(n_hosts <= cfg.ports);
+    let mut b = TopologyBuilder::new(n_hosts);
+    let sw = b.add_switch(cfg.ports, 0);
+    for h in 0..n_hosts {
+        b.attach_host(NodeId::from(h), sw, h);
+    }
+    let topo = b.build();
+    let tables = Rc::new(RouteTables::build(&topo));
+    let stats = Rc::new(RefCell::new(SwitchStats::default()));
+
+    let mut engine = Engine::new();
+    // Links: host h -> switch port h, and switch port h -> host h.
+    let to_switch: Vec<_> = (0..cfg.ports)
+        .map(|_| engine.add_link(1, input_credits))
+        .collect();
+    let to_host: Vec<_> = (0..cfg.ports).map(|_| engine.add_link(1, 8)).collect();
+
+    let switch = factory(sw, cfg, tables, stats.clone());
+    engine.add_component(switch, to_switch.clone(), to_host.clone());
+
+    let mut queues = Vec::new();
+    let mut sinks = Vec::new();
+    for h in 0..n_hosts {
+        let q = Rc::new(RefCell::new(VecDeque::new()));
+        queues.push(q.clone());
+        engine.add_component(Box::new(TestSource { queue: q, cur: None }), vec![], vec![to_switch[h]]);
+        let flits = Rc::new(Cell::new(0));
+        sinks.push(flits.clone());
+        engine.add_component(Box::new(TestSink { flits }), vec![to_host[h]], vec![]);
+    }
+    TestWorld {
+        engine,
+        queues,
+        sinks,
+        stats,
+    }
+}

@@ -1,0 +1,26 @@
+//! Barrier synchronization (extension experiment E11): gather +
+//! multicast-release rounds, with the release carried either by hardware
+//! multidestination worms or by U-Min software multicast.
+//!
+//! The paper's §9 outlook points at switch support for barriers as the
+//! natural next use of multidestination worms; this example quantifies the
+//! end-to-end benefit the worm-based release alone already provides.
+//!
+//! ```text
+//! cargo run --release --example barrier_sync
+//! ```
+
+use mdworm::experiments::e11_barrier;
+use mdworm::report::markdown_table;
+use mdworm::SystemConfig;
+
+fn main() {
+    let base = SystemConfig::default();
+    println!("# Barrier rounds (gather + multicast release), 10 rounds each\n");
+    let rows = e11_barrier(&base, &[2, 3], 10); // 16 and 64 processors
+    println!("{}", markdown_table(&rows));
+    println!(
+        "\nHW release sends one multidestination worm; SW release pays\n\
+         ceil(log2(N)) phases of software forwarding on the critical path."
+    );
+}

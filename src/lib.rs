@@ -1,0 +1,17 @@
+//! Facade crate for the mdworm reproduction workspace.
+//!
+//! Re-exports the member crates so the repository-level examples and
+//! integration tests can use a single dependency. See the individual crates
+//! for documentation:
+//!
+//! * [`netsim`] — flit-level simulation substrate
+//! * [`mintopo`] — topologies, routing, reachability
+//! * [`switches`] — central-buffer and input-buffer switch architectures
+//! * [`collectives`] — host model, software/hardware multicast, barriers
+//! * [`mdworm`] — system builder, workloads, experiment harness
+
+pub use collectives;
+pub use mdworm;
+pub use mintopo;
+pub use netsim;
+pub use switches;

@@ -1,0 +1,189 @@
+//! Integration tests for the collective protocols (barrier, reduce,
+//! all-reduce) across architectures and topologies.
+
+use collectives::traffic::DeliveryHook;
+use collectives::{BarrierEngine, ReduceEngine, TrafficSource};
+use mdworm::build::build_system;
+use mdworm::config::{McastImpl, SwitchArch, SystemConfig, TopologyKind};
+use mdworm::experiments::{run_allreduce, run_barrier};
+use netsim::ids::NodeId;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn cfg16(arch: SwitchArch, mcast: McastImpl) -> SystemConfig {
+    SystemConfig {
+        topology: TopologyKind::KaryTree { k: 4, n: 2 },
+        arch,
+        mcast,
+        ..SystemConfig::default()
+    }
+}
+
+#[test]
+fn barrier_works_on_both_architectures() {
+    for arch in [SwitchArch::CentralBuffer, SwitchArch::InputBuffered] {
+        let (rounds, latency) = run_barrier(&cfg16(arch, McastImpl::HwBitString), 4);
+        assert_eq!(rounds, 4, "{arch:?}");
+        assert!(latency > 0.0);
+    }
+}
+
+#[test]
+fn barrier_works_with_multiport_release() {
+    // The release to "everyone but the root" is one full product set short
+    // of a broadcast; the multiport planner must still cover it.
+    let (rounds, _) = run_barrier(&cfg16(SwitchArch::CentralBuffer, McastImpl::HwMultiport), 3);
+    assert_eq!(rounds, 3);
+}
+
+#[test]
+fn allreduce_is_correct_on_all_schemes() {
+    for mcast in [
+        McastImpl::HwBitString,
+        McastImpl::HwMultiport,
+        McastImpl::SwBinomial,
+    ] {
+        let (rounds, latency, ok) =
+            run_allreduce(&cfg16(SwitchArch::CentralBuffer, mcast), 3, 8);
+        assert_eq!(rounds, 3, "{mcast:?}");
+        assert!(ok, "{mcast:?} result wrong");
+        assert!(latency > 0.0);
+    }
+}
+
+#[test]
+fn allreduce_on_input_buffered_switches() {
+    let (rounds, _, ok) = run_allreduce(&cfg16(SwitchArch::InputBuffered, McastImpl::HwBitString), 3, 8);
+    assert_eq!(rounds, 3);
+    assert!(ok);
+}
+
+#[test]
+fn plain_reduce_completes_at_root_without_broadcast_traffic() {
+    let cfg = cfg16(SwitchArch::CentralBuffer, McastImpl::HwBitString);
+    let n = cfg.n_hosts();
+    let engine = ReduceEngine::new(n, NodeId(0), 2, 8, false);
+    engine.borrow_mut().set_value(NodeId(5), 1000);
+    let sources: Vec<Box<dyn TrafficSource>> = (0..n)
+        .map(|h| {
+            Box::new(ReduceEngine::source_for(&engine, NodeId::from(h)))
+                as Box<dyn TrafficSource>
+        })
+        .collect();
+    let hook: Rc<RefCell<dyn DeliveryHook>> = engine.clone();
+    let mut sys = build_system(cfg, sources, Some(hook));
+    while !engine.borrow().done() && sys.engine.now() < 200_000 {
+        sys.engine.run_for(200);
+    }
+    let e = engine.borrow();
+    assert_eq!(e.completed_rounds(), 2);
+    assert_eq!(e.last_result, Some(e.expected_sum()));
+    assert!(e.expected_sum() > 1000);
+    // A reduce round must be cheaper than the corresponding all-reduce
+    // round (no broadcast phase).
+    let reduce_mean = e.latencies.mean().unwrap();
+    drop(e);
+    let (_, allreduce_mean, _) = run_allreduce(
+        &cfg16(SwitchArch::CentralBuffer, McastImpl::HwBitString),
+        2,
+        8,
+    );
+    assert!(
+        reduce_mean < allreduce_mean,
+        "reduce {reduce_mean} vs all-reduce {allreduce_mean}"
+    );
+}
+
+#[test]
+fn combining_barrier_survives_background_traffic() {
+    // Switch-combining barrier rounds interleaved with a random bimodal
+    // background on every host: gathers and data worms share the central
+    // queues without deadlock, and the rounds still complete.
+    use collectives::{ChainSource, CombiningBarrierEngine};
+    use mdworm::workload::{make_sources, TrafficSpec};
+
+    let cfg = SystemConfig {
+        topology: TopologyKind::KaryTree { k: 4, n: 2 },
+        barrier_combining: true,
+        ..SystemConfig::default()
+    };
+    let n = cfg.n_hosts();
+    let engine = CombiningBarrierEngine::new(n, 5);
+    let spec = TrafficSpec::bimodal(0.4, 0.2, 6, 48);
+    let background = make_sources(&spec, n, cfg.seed, Some(40_000));
+    let sources: Vec<Box<dyn TrafficSource>> = background
+        .into_iter()
+        .enumerate()
+        .map(|(h, bg)| {
+            let barrier = CombiningBarrierEngine::source_for(&engine, NodeId::from(h));
+            Box::new(ChainSource::new(vec![Box::new(barrier), bg])) as Box<dyn TrafficSource>
+        })
+        .collect();
+    let hook: Rc<RefCell<dyn DeliveryHook>> = engine.clone();
+    let mut sys = build_system(cfg, sources, Some(hook));
+    let mut last_moves = 0;
+    while !engine.borrow().done() && sys.engine.now() < 500_000 {
+        sys.engine.run_for(1000);
+        let moves = sys.engine.total_flit_moves();
+        assert_ne!(moves, last_moves, "no progress at {}", sys.engine.now());
+        last_moves = moves;
+    }
+    assert_eq!(engine.borrow().completed_rounds(), 5);
+    // The background traffic itself also completed cleanly.
+    let tracker = sys.tracker();
+    let outstanding = tracker.borrow().outstanding();
+    assert!(
+        outstanding < 50,
+        "{outstanding} background messages still in flight after barrier rounds"
+    );
+}
+
+#[test]
+fn combining_barrier_on_irregular_network() {
+    use collectives::CombiningBarrierEngine;
+    let cfg = SystemConfig {
+        topology: TopologyKind::Irregular {
+            switches: 6,
+            ports: 8,
+            hosts: 12,
+            extra_links: 3,
+            seed: 17,
+        },
+        barrier_combining: true,
+        ..SystemConfig::default()
+    };
+    let n = cfg.n_hosts();
+    let engine = CombiningBarrierEngine::new(n, 3);
+    let sources: Vec<Box<dyn TrafficSource>> = (0..n)
+        .map(|h| {
+            Box::new(CombiningBarrierEngine::source_for(&engine, NodeId::from(h)))
+                as Box<dyn TrafficSource>
+        })
+        .collect();
+    let hook: Rc<RefCell<dyn DeliveryHook>> = engine.clone();
+    let mut sys = build_system(cfg, sources, Some(hook));
+    while !engine.borrow().done() && sys.engine.now() < 200_000 {
+        sys.engine.run_for(200);
+    }
+    assert_eq!(engine.borrow().completed_rounds(), 3);
+}
+
+#[test]
+fn barrier_root_placement_does_not_break_rounds() {
+    // Root in the middle of the id space exercises asymmetric gather trees.
+    let cfg = cfg16(SwitchArch::CentralBuffer, McastImpl::HwBitString);
+    let n = cfg.n_hosts();
+    let engine = BarrierEngine::new(n, NodeId(9), 3);
+    let sources: Vec<Box<dyn TrafficSource>> = (0..n)
+        .map(|h| {
+            Box::new(BarrierEngine::source_for(&engine, NodeId::from(h)))
+                as Box<dyn TrafficSource>
+        })
+        .collect();
+    let hook: Rc<RefCell<dyn DeliveryHook>> = engine.clone();
+    let mut sys = build_system(cfg, sources, Some(hook));
+    while !engine.borrow().done() && sys.engine.now() < 200_000 {
+        sys.engine.run_for(200);
+    }
+    assert_eq!(engine.borrow().completed_rounds(), 3);
+}

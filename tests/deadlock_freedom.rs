@@ -1,0 +1,151 @@
+//! Deadlock-freedom under saturating randomized traffic.
+//!
+//! The paper's central claim about implementability is that asynchronous
+//! replication is deadlock-free as long as every switch guarantees an
+//! accepted packet can be completely buffered. These tests drive every
+//! architecture far past saturation and assert the watchdog never fires
+//! and the network always drains once sources stop.
+
+use mdworm::config::{McastImpl, SwitchArch, SystemConfig, TopologyKind};
+use mdworm::sim::{run_experiment, RunConfig};
+use mdworm::workload::TrafficSpec;
+
+fn assert_clean(cfg: SystemConfig, spec: TrafficSpec, tag: &str) {
+    let run = RunConfig {
+        warmup: 500,
+        measure: 5_000,
+        drain_max: 400_000,
+        watchdog_grace: 30_000,
+    };
+    let out = run_experiment(&cfg, &spec, &run);
+    assert!(!out.deadlocked, "{tag}: watchdog fired");
+    assert_eq!(out.leftover, 0, "{tag}: {} messages stuck", out.leftover);
+}
+
+fn combos() -> Vec<(SwitchArch, McastImpl, &'static str)> {
+    vec![
+        (SwitchArch::CentralBuffer, McastImpl::HwBitString, "CB-HW"),
+        (SwitchArch::InputBuffered, McastImpl::HwBitString, "IB-HW"),
+        (SwitchArch::CentralBuffer, McastImpl::SwBinomial, "SW-CB"),
+        (SwitchArch::CentralBuffer, McastImpl::HwMultiport, "CB-MP"),
+    ]
+}
+
+#[test]
+fn overload_multicast_16_hosts() {
+    for (arch, mcast, tag) in combos() {
+        let cfg = SystemConfig {
+            topology: TopologyKind::KaryTree { k: 4, n: 2 },
+            arch,
+            mcast,
+            ..SystemConfig::default()
+        };
+        // Offered load 1.5: 50% beyond ejection capacity.
+        assert_clean(cfg, TrafficSpec::multiple_multicast(1.5, 8, 64), tag);
+    }
+}
+
+#[test]
+fn overload_bimodal_16_hosts() {
+    for (arch, mcast, tag) in combos() {
+        let cfg = SystemConfig {
+            topology: TopologyKind::KaryTree { k: 4, n: 2 },
+            arch,
+            mcast,
+            ..SystemConfig::default()
+        };
+        assert_clean(cfg, TrafficSpec::bimodal(1.2, 0.3, 6, 48), tag);
+    }
+}
+
+#[test]
+fn overload_unicast_both_arches() {
+    for (arch, tag) in [
+        (SwitchArch::CentralBuffer, "CB"),
+        (SwitchArch::InputBuffered, "IB"),
+    ] {
+        let cfg = SystemConfig {
+            topology: TopologyKind::KaryTree { k: 4, n: 2 },
+            arch,
+            ..SystemConfig::default()
+        };
+        assert_clean(cfg, TrafficSpec::unicast(1.5, 64), tag);
+    }
+}
+
+#[test]
+fn overload_with_tiny_central_queue() {
+    // Stress the reservation machinery: the central queue barely exceeds
+    // two max packets.
+    let mut cfg = SystemConfig {
+        topology: TopologyKind::KaryTree { k: 4, n: 2 },
+        ..SystemConfig::default()
+    };
+    cfg.switch.cq_chunks = 34;
+    assert_clean(cfg, TrafficSpec::multiple_multicast(1.2, 8, 64), "CB-tinyCQ");
+}
+
+#[test]
+fn overload_broadcastish_degree() {
+    // Near-broadcast multicasts maximize fan-out pressure.
+    for (arch, mcast, tag) in combos() {
+        let cfg = SystemConfig {
+            topology: TopologyKind::KaryTree { k: 4, n: 2 },
+            arch,
+            mcast,
+            ..SystemConfig::default()
+        };
+        assert_clean(cfg, TrafficSpec::multiple_multicast(1.2, 15, 32), tag);
+    }
+}
+
+#[test]
+fn overload_unimin() {
+    for arch in [SwitchArch::CentralBuffer, SwitchArch::InputBuffered] {
+        let cfg = SystemConfig {
+            topology: TopologyKind::UniMin { k: 4, n: 2 },
+            arch,
+            ..SystemConfig::default()
+        };
+        assert_clean(
+            cfg,
+            TrafficSpec::multiple_multicast(1.2, 8, 48),
+            "unimin",
+        );
+    }
+}
+
+#[test]
+fn overload_irregular() {
+    for arch in [SwitchArch::CentralBuffer, SwitchArch::InputBuffered] {
+        let cfg = SystemConfig {
+            topology: TopologyKind::Irregular {
+                switches: 6,
+                ports: 8,
+                hosts: 12,
+                extra_links: 3,
+                seed: 3,
+            },
+            arch,
+            ..SystemConfig::default()
+        };
+        assert_clean(
+            cfg,
+            TrafficSpec::bimodal(1.2, 0.25, 6, 48),
+            "irregular",
+        );
+    }
+}
+
+#[test]
+fn overload_64_hosts_all_schemes() {
+    for (arch, mcast, tag) in combos() {
+        let cfg = SystemConfig {
+            topology: TopologyKind::KaryTree { k: 4, n: 3 },
+            arch,
+            mcast,
+            ..SystemConfig::default()
+        };
+        assert_clean(cfg, TrafficSpec::multiple_multicast(1.1, 16, 64), tag);
+    }
+}

@@ -1,0 +1,185 @@
+//! Cross-crate integration: every (topology, architecture, scheme)
+//! combination delivers scheduled messages exactly once, end to end.
+
+use collectives::{MessageSpec, ScheduledSource, SilentSource, TrafficSource};
+use mdworm::build::build_system;
+use mdworm::config::{McastImpl, SwitchArch, SystemConfig, TopologyKind};
+use netsim::destset::DestSet;
+use netsim::ids::NodeId;
+use netsim::message::MessageKind;
+use netsim::rng::SimRng;
+
+fn silent(n: usize) -> Vec<Box<dyn TrafficSource>> {
+    (0..n)
+        .map(|_| Box::new(SilentSource) as Box<dyn TrafficSource>)
+        .collect()
+}
+
+/// Runs a fixed batch of messages and checks exactly-once delivery.
+fn run_batch(cfg: SystemConfig, batch: Vec<(usize, Vec<(u64, MessageSpec)>)>, max_cycles: u64) {
+    let n = cfg.n_hosts();
+    let mut sources = silent(n);
+    let mut expected_msgs = 0;
+    for (host, schedule) in batch {
+        expected_msgs += schedule.len() as u64;
+        sources[host] = Box::new(ScheduledSource::new(schedule));
+    }
+    let mut sys = build_system(cfg.clone(), sources, None);
+    while sys.engine.now() < max_cycles {
+        sys.engine.run_for(500);
+        let t = sys.tracker();
+        let done =
+            t.borrow().completed_total() == expected_msgs && t.borrow().outstanding() == 0;
+        if done {
+            return;
+        }
+    }
+    let t = sys.tracker();
+    panic!(
+        "{:?}/{:?}/{:?}: only {}/{} messages completed, {} outstanding",
+        cfg.topology,
+        cfg.arch,
+        cfg.mcast,
+        t.borrow().completed_total(),
+        expected_msgs,
+        t.borrow().outstanding()
+    );
+}
+
+fn mixed_batch(n: usize, seed: u64) -> Vec<(usize, Vec<(u64, MessageSpec)>)> {
+    let mut rng = SimRng::new(seed);
+    let mut batch = Vec::new();
+    for host in 0..n.min(6) {
+        let mut schedule = Vec::new();
+        for i in 0..4u64 {
+            let src = NodeId::from(host);
+            let spec = if i % 2 == 0 {
+                MessageSpec {
+                    kind: MessageKind::Unicast(rng.other_node(n, src)),
+                    payload_flits: 16 + 10 * i as u16,
+                }
+            } else {
+                let k = 2 + rng.below(n / 2);
+                MessageSpec {
+                    kind: MessageKind::Multicast(rng.dest_set(n, k, src)),
+                    payload_flits: 32,
+                }
+            };
+            schedule.push((1 + i * 50, spec));
+        }
+        batch.push((host, schedule));
+    }
+    batch
+}
+
+#[test]
+fn karytree_all_arch_scheme_combos() {
+    for arch in [SwitchArch::CentralBuffer, SwitchArch::InputBuffered] {
+        for mcast in [
+            McastImpl::HwBitString,
+            McastImpl::HwMultiport,
+            McastImpl::SwBinomial,
+        ] {
+            let cfg = SystemConfig {
+                topology: TopologyKind::KaryTree { k: 2, n: 4 }, // 16 hosts
+                arch,
+                mcast,
+                ..SystemConfig::default()
+            };
+            run_batch(cfg, mixed_batch(16, 42), 100_000);
+        }
+    }
+}
+
+#[test]
+fn unimin_both_arches() {
+    for arch in [SwitchArch::CentralBuffer, SwitchArch::InputBuffered] {
+        let cfg = SystemConfig {
+            topology: TopologyKind::UniMin { k: 4, n: 2 }, // 16 hosts
+            arch,
+            mcast: McastImpl::HwBitString,
+            ..SystemConfig::default()
+        };
+        run_batch(cfg, mixed_batch(16, 7), 100_000);
+    }
+}
+
+#[test]
+fn irregular_both_arches() {
+    for arch in [SwitchArch::CentralBuffer, SwitchArch::InputBuffered] {
+        let cfg = SystemConfig {
+            topology: TopologyKind::Irregular {
+                switches: 6,
+                ports: 8,
+                hosts: 12,
+                extra_links: 3,
+                seed: 5,
+            },
+            arch,
+            mcast: McastImpl::HwBitString,
+            ..SystemConfig::default()
+        };
+        run_batch(cfg, mixed_batch(12, 13), 100_000);
+    }
+}
+
+#[test]
+fn software_multicast_on_irregular() {
+    let cfg = SystemConfig {
+        topology: TopologyKind::Irregular {
+            switches: 6,
+            ports: 8,
+            hosts: 12,
+            extra_links: 2,
+            seed: 9,
+        },
+        arch: SwitchArch::CentralBuffer,
+        mcast: McastImpl::SwBinomial,
+        ..SystemConfig::default()
+    };
+    run_batch(cfg, mixed_batch(12, 21), 200_000);
+}
+
+#[test]
+fn broadcast_to_everyone_else() {
+    for mcast in [McastImpl::HwBitString, McastImpl::SwBinomial] {
+        let cfg = SystemConfig {
+            topology: TopologyKind::KaryTree { k: 4, n: 2 }, // 16 hosts
+            mcast,
+            ..SystemConfig::default()
+        };
+        let mut dests = DestSet::full(16);
+        dests.remove(NodeId(3));
+        let batch = vec![(
+            3usize,
+            vec![(
+                1u64,
+                MessageSpec {
+                    kind: MessageKind::Multicast(dests),
+                    payload_flits: 64,
+                },
+            )],
+        )];
+        run_batch(cfg, batch, 100_000);
+    }
+}
+
+#[test]
+fn long_messages_segment_across_packets() {
+    let cfg = SystemConfig {
+        topology: TopologyKind::KaryTree { k: 2, n: 3 },
+        ..SystemConfig::default()
+    };
+    // 500-flit multicast must travel as multiple worms and reassemble.
+    let batch = vec![(
+        0usize,
+        vec![(
+            1u64,
+            MessageSpec {
+                kind: MessageKind::Multicast(DestSet::from_nodes(8, [2, 5, 7].map(NodeId))),
+                payload_flits: 500,
+            },
+        )],
+    )];
+    run_batch(cfg, batch, 100_000);
+}

@@ -1,0 +1,147 @@
+//! Property-based tests (proptest) on the end-to-end system and the core
+//! routing invariants.
+
+use collectives::{MessageSpec, ScheduledSource, SilentSource, TrafficSource};
+use mdworm::build::build_system;
+use mdworm::config::{McastImpl, SwitchArch, SystemConfig, TopologyKind};
+use mintopo::karytree::KaryTree;
+use mintopo::multiport::plan_multiport;
+use mintopo::route::{trace_bitstring, ReplicatePolicy, RouteTables};
+use netsim::destset::DestSet;
+use netsim::ids::NodeId;
+use netsim::message::MessageKind;
+use proptest::collection::btree_set;
+use proptest::prelude::*;
+
+const N: usize = 16; // 4-ary 2-tree
+
+fn dest_set_strategy(n: usize) -> impl Strategy<Value = (u32, DestSet)> {
+    (0..n as u32, btree_set(0..n as u32, 1..n)).prop_filter_map(
+        "destinations must exclude the source",
+        move |(src, set)| {
+            let dests: Vec<NodeId> = set
+                .into_iter()
+                .filter(|&d| d != src)
+                .map(NodeId)
+                .collect();
+            if dests.is_empty() {
+                None
+            } else {
+                Some((src, DestSet::from_nodes(n, dests)))
+            }
+        },
+    )
+}
+
+/// Runs one multicast end-to-end; returns true if it fully delivered.
+fn one_multicast_delivers(cfg: SystemConfig, src: u32, dests: DestSet, payload: u16) -> bool {
+    let n = cfg.n_hosts();
+    let mut sources: Vec<Box<dyn TrafficSource>> = (0..n)
+        .map(|_| Box::new(SilentSource) as Box<dyn TrafficSource>)
+        .collect();
+    sources[src as usize] = Box::new(ScheduledSource::new(vec![(
+        1,
+        MessageSpec {
+            kind: MessageKind::Multicast(dests),
+            payload_flits: payload,
+        },
+    )]));
+    let mut sys = build_system(cfg, sources, None);
+    for _ in 0..300 {
+        sys.engine.run_for(200);
+        let t = sys.tracker();
+        // DeliveryTracker panics on duplicate or misdirected deliveries, so
+        // reaching completion proves exactly-once semantics.
+        if t.borrow().completed_total() == 1 && t.borrow().outstanding() == 0 {
+            return true;
+        }
+    }
+    false
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Exactly-once delivery of arbitrary multicasts through the
+    /// central-buffer switch fabric.
+    #[test]
+    fn cb_multicast_exactly_once((src, dests) in dest_set_strategy(N), payload in 1u16..100) {
+        let cfg = SystemConfig {
+            topology: TopologyKind::KaryTree { k: 4, n: 2 },
+            arch: SwitchArch::CentralBuffer,
+            mcast: McastImpl::HwBitString,
+            ..SystemConfig::default()
+        };
+        prop_assert!(one_multicast_delivers(cfg, src, dests, payload));
+    }
+
+    /// Same property for the input-buffer architecture.
+    #[test]
+    fn ib_multicast_exactly_once((src, dests) in dest_set_strategy(N), payload in 1u16..100) {
+        let cfg = SystemConfig {
+            topology: TopologyKind::KaryTree { k: 4, n: 2 },
+            arch: SwitchArch::InputBuffered,
+            mcast: McastImpl::HwBitString,
+            ..SystemConfig::default()
+        };
+        prop_assert!(one_multicast_delivers(cfg, src, dests, payload));
+    }
+
+    /// Same property for software multicast (hop forwarding included).
+    #[test]
+    fn sw_multicast_exactly_once((src, dests) in dest_set_strategy(N), payload in 1u16..100) {
+        let cfg = SystemConfig {
+            topology: TopologyKind::KaryTree { k: 4, n: 2 },
+            arch: SwitchArch::CentralBuffer,
+            mcast: McastImpl::SwBinomial,
+            ..SystemConfig::default()
+        };
+        prop_assert!(one_multicast_delivers(cfg, src, dests, payload));
+    }
+
+    /// Same property for the multiport encoding (multi-worm plans).
+    #[test]
+    fn multiport_multicast_exactly_once((src, dests) in dest_set_strategy(N), payload in 1u16..100) {
+        let cfg = SystemConfig {
+            topology: TopologyKind::KaryTree { k: 4, n: 2 },
+            arch: SwitchArch::CentralBuffer,
+            mcast: McastImpl::HwMultiport,
+            ..SystemConfig::default()
+        };
+        prop_assert!(one_multicast_delivers(cfg, src, dests, payload));
+    }
+
+    /// The static replication-tree trace covers exactly the destination set
+    /// under both replication policies (routing-level invariant, no engine).
+    #[test]
+    fn bitstring_trace_covers_exactly((src, dests) in dest_set_strategy(N)) {
+        let tree = KaryTree::new(4, 2);
+        let tables = RouteTables::build(tree.topology());
+        for policy in [ReplicatePolicy::ReturnOnly, ReplicatePolicy::ForwardAndReturn] {
+            let trace = trace_bitstring(
+                &tables,
+                tree.topology(),
+                NodeId(src),
+                &dests,
+                policy,
+                32,
+            ).expect("trace succeeds");
+            prop_assert_eq!(&trace.delivered, &dests);
+        }
+    }
+
+    /// The multiport planner partitions arbitrary sets into worms that
+    /// cover exactly the request.
+    #[test]
+    fn multiport_plan_partitions((src, dests) in dest_set_strategy(64)) {
+        let tree = KaryTree::new(4, 3);
+        let plan = plan_multiport(&tree, NodeId(src), &dests);
+        let mut all = DestSet::empty(64);
+        for worm in &plan.worms {
+            prop_assert!(!all.intersects(&worm.covers), "overlapping worms");
+            all.union_with(&worm.covers);
+        }
+        prop_assert_eq!(&all, &dests);
+        prop_assert!(plan.n_worms() <= dests.count());
+    }
+}
