@@ -11,7 +11,12 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e4_bimodal");
     g.sample_size(10);
     let run = Scale::Quick.run();
-    let spec = TrafficSpec::bimodal(0.4, defaults::MCAST_FRACTION, defaults::DEGREE, defaults::LEN);
+    let spec = TrafficSpec::bimodal(
+        0.4,
+        defaults::MCAST_FRACTION,
+        defaults::DEGREE,
+        defaults::LEN,
+    );
     for (label, cfg) in scheme_configs(&base_system()) {
         g.bench_function(label, |b| {
             b.iter(|| {

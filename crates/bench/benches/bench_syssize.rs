@@ -17,8 +17,7 @@ fn bench(c: &mut Criterion) {
             ..base_system()
         };
         let hosts = cfg.n_hosts();
-        let spec =
-            TrafficSpec::multiple_multicast(defaults::SWEEP_LOAD, hosts / 4, defaults::LEN);
+        let spec = TrafficSpec::multiple_multicast(defaults::SWEEP_LOAD, hosts / 4, defaults::LEN);
         g.bench_with_input(BenchmarkId::new("CB-HW", hosts), &spec, |b, spec| {
             b.iter(|| run_experiment(&cfg, spec, &run))
         });

@@ -1,5 +1,5 @@
 //! Regenerates every evaluation table/figure of the reproduction
-//! (E1..E15, see DESIGN.md) and writes markdown + CSV into `results/`.
+//! (E1..E16, see DESIGN.md) and writes markdown + CSV into `results/`.
 //!
 //! ```text
 //! cargo run --release -p mdw-bench --bin figures -- --exp all --scale full
@@ -230,6 +230,23 @@ fn main() {
             &args.out,
             "e15_patterns",
             "E15 (extension): permutation unicast patterns at load 0.5 — CB vs IB",
+            &rows,
+        );
+    }
+
+    if want("e16") {
+        let rows = exp::e16_fault_sweep(
+            &base,
+            &run,
+            0.2,
+            &args.scale.drop_rates(),
+            defaults::DEGREE,
+            defaults::LEN,
+        );
+        emit(
+            &args.out,
+            "e16_fault_sweep",
+            "E16 (robustness extension): degradation vs per-flit drop rate with end-to-end recovery (load 0.2)",
             &rows,
         );
     }

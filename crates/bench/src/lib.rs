@@ -35,12 +35,14 @@ impl Scale {
                 measure: 40_000,
                 drain_max: 300_000,
                 watchdog_grace: 30_000,
+                faults: None,
             },
             Scale::Quick => RunConfig {
                 warmup: 1_000,
                 measure: 5_000,
                 drain_max: 80_000,
                 watchdog_grace: 20_000,
+                faults: None,
             },
         }
     }
@@ -106,6 +108,14 @@ impl Scale {
         match self {
             Scale::Full => vec![0.0, 0.02, 0.05, 0.08],
             Scale::Quick => vec![0.0, 0.05],
+        }
+    }
+
+    /// Per-flit drop rates for the E16 fault-degradation sweep.
+    pub fn drop_rates(self) -> Vec<f64> {
+        match self {
+            Scale::Full => vec![0.0, 1e-5, 1e-4, 3e-4, 1e-3, 3e-3],
+            Scale::Quick => vec![0.0, 1e-4, 1e-3],
         }
     }
 }

@@ -124,10 +124,7 @@ mod tests {
         for h in 0..4u32 {
             let mut s = CombiningBarrierEngine::source_for(&e, NodeId(h));
             let spec = s.poll(0).expect("gather");
-            assert!(matches!(
-                spec.kind,
-                MessageKind::BarrierGather { round: 0 }
-            ));
+            assert!(matches!(spec.kind, MessageKind::BarrierGather { round: 0 }));
             assert!(s.poll(1).is_none(), "only one gather per round");
         }
     }

@@ -19,6 +19,7 @@
 //!   phases of unicast hop messages, forwarded (and re-charged overheads)
 //!   at every intermediate destination.
 
+use crate::recovery::{RecoveryConfig, RecoveryShared};
 use crate::swmcast::{SwContext, SwCoordinator};
 use crate::traffic::{DeliveryHook, MessageSpec, TrafficSource};
 use crate::umin;
@@ -95,6 +96,9 @@ pub struct HostConfig {
     pub recv_overhead: u32,
     /// Multicast implementation.
     pub scheme: McastScheme,
+    /// End-to-end recovery parameters; `None` keeps the zero-overhead
+    /// fast path (no dedup map, no timers) for fault-free runs.
+    pub recovery: Option<RecoveryConfig>,
 }
 
 #[derive(Debug)]
@@ -102,6 +106,19 @@ struct RxState {
     expected: u16,
     seqs: HashSet<u16>,
 }
+
+/// A sent message awaiting acknowledgement from some destinations.
+#[derive(Debug)]
+struct OutstandingSend {
+    msg: Message,
+    remaining: DestSet,
+    attempts: u32,
+    deadline: Cycle,
+}
+
+/// How often (in cycles) a host scans its outstanding sends for expired
+/// retransmission deadlines. Power of two so the check is a mask.
+const RETRY_SCAN_INTERVAL: Cycle = 16;
 
 /// Shared generators and bookkeeping every host needs.
 #[derive(Clone)]
@@ -114,6 +131,9 @@ pub struct HostShared {
     pub msg_ids: Rc<RefCell<MessageIdGen>>,
     /// Packet-id generator.
     pub pkt_ids: Rc<RefCell<PacketIdGen>>,
+    /// Out-of-band ACK ledger and recovery counters (only consulted by
+    /// hosts whose config enables recovery).
+    pub recovery: Rc<RefCell<RecoveryShared>>,
 }
 
 impl HostShared {
@@ -124,6 +144,7 @@ impl HostShared {
             coord: Rc::new(RefCell::new(SwCoordinator::new())),
             msg_ids: Rc::new(RefCell::new(MessageIdGen::new())),
             pkt_ids: Rc::new(RefCell::new(PacketIdGen::new())),
+            recovery: Rc::new(RefCell::new(RecoveryShared::new())),
         }
     }
 }
@@ -139,6 +160,10 @@ pub struct Host {
     nic: VecDeque<Rc<Packet>>,
     tx: Option<(Rc<Packet>, u16)>,
     rx: HashMap<MessageId, RxState>,
+    /// Whether any flit of the worm currently draining from the ejection
+    /// port carried a corruption mark (worms arrive contiguously).
+    worm_corrupt: bool,
+    outstanding: HashMap<MessageId, OutstandingSend>,
 }
 
 impl Host {
@@ -166,6 +191,8 @@ impl Host {
             nic: VecDeque::new(),
             tx: None,
             rx: HashMap::new(),
+            worm_corrupt: false,
+            outstanding: HashMap::new(),
         }
     }
 
@@ -209,18 +236,42 @@ impl Host {
             .push_back((ready, packets.into_iter().map(Rc::new).collect()));
     }
 
+    /// Puts a freshly sent message on the retransmission wheel, awaiting
+    /// ACKs from `dests`. No-op unless recovery is enabled.
+    fn track_send(&mut self, now: Cycle, msg: &Message, dests: DestSet) {
+        if let Some(rcfg) = &self.cfg.recovery {
+            self.outstanding.insert(
+                msg.id(),
+                OutstandingSend {
+                    msg: msg.clone(),
+                    remaining: dests,
+                    attempts: 0,
+                    deadline: rcfg.deadline_after(now, 0),
+                },
+            );
+        }
+    }
+
     /// Handles a message the workload asked us to send.
     fn send_message(&mut self, now: Cycle, spec: MessageSpec) {
         let id = self.shared.msg_ids.borrow_mut().next_id();
-        let msg = Message::new(id, self.cfg.node, spec.kind.clone(), spec.payload_flits, now);
+        let msg = Message::new(
+            id,
+            self.cfg.node,
+            spec.kind.clone(),
+            spec.payload_flits,
+            now,
+        );
         // Barrier gathers are consumed inside the network; they never
         // produce a host delivery, so the tracker must not expect one.
         if !matches!(spec.kind, MessageKind::BarrierGather { .. }) {
             self.shared.tracker.borrow_mut().register(&msg);
         }
         match (&spec.kind, self.cfg.scheme.clone()) {
-            (MessageKind::Unicast(_), _) => {
-                let max = self.max_payload(&RoutingHeader::Unicast { dest: self.cfg.node });
+            (MessageKind::Unicast(dest), _) => {
+                let max = self.max_payload(&RoutingHeader::Unicast {
+                    dest: self.cfg.node,
+                });
                 let pkts = packetize(
                     &msg,
                     max,
@@ -229,6 +280,7 @@ impl Host {
                     &mut self.shared.pkt_ids.borrow_mut(),
                 );
                 self.schedule_packets(now, pkts);
+                self.track_send(now, &msg, DestSet::from_nodes(self.cfg.n_hosts, [*dest]));
             }
             (MessageKind::Multicast(dests), McastScheme::HardwareBitString) => {
                 let max = self.max_payload(&RoutingHeader::BitString {
@@ -242,9 +294,11 @@ impl Host {
                     &mut self.shared.pkt_ids.borrow_mut(),
                 );
                 self.schedule_packets(now, pkts);
+                self.track_send(now, &msg, dests.clone());
             }
             (MessageKind::Multicast(dests), McastScheme::HardwareMultiport(tree)) => {
                 self.send_multiport(now, &msg, dests, &tree);
+                self.track_send(now, &msg, dests.clone());
             }
             (MessageKind::Multicast(dests), McastScheme::SoftwareBinomial) => {
                 // A root that addresses itself "delivers" locally: the
@@ -342,6 +396,13 @@ impl Host {
             &mut self.shared.pkt_ids.borrow_mut(),
         );
         self.schedule_packets(now, pkts);
+        // Each hop is an independently recoverable unicast; the forwarding
+        // context stays registered until the (sole surviving) copy claims it.
+        self.track_send(
+            now,
+            &hop_msg,
+            DestSet::from_nodes(self.cfg.n_hosts, [child]),
+        );
     }
 
     /// A message finished reassembling at this host.
@@ -352,6 +413,19 @@ impl Host {
             if let Some(hook) = &self.hook {
                 hook.borrow_mut().on_delivered(id, self.cfg.node, now);
             }
+            return;
+        }
+        // With recovery on, a retransmitted copy of an already-completed
+        // message must be discarded before it reaches the tracker (which
+        // treats double delivery as a protocol bug) or claims a forwarding
+        // context a second time.
+        if self.cfg.recovery.is_some()
+            && !self
+                .shared
+                .recovery
+                .borrow_mut()
+                .first_delivery(id, self.cfg.node)
+        {
             return;
         }
         let ctx = self.shared.coord.borrow_mut().claim(id);
@@ -371,7 +445,14 @@ impl Host {
                     .cpu_free_at
                     .max(now + Cycle::from(self.cfg.recv_overhead));
                 for h in handoffs {
-                    self.send_hop(now, ctx.root, ctx.root_created, &ctx.list, h, ctx.payload_flits);
+                    self.send_hop(
+                        now,
+                        ctx.root,
+                        ctx.root_created,
+                        &ctx.list,
+                        h,
+                        ctx.payload_flits,
+                    );
                 }
             }
         } else {
@@ -384,6 +465,113 @@ impl Host {
             }
         }
     }
+
+    /// Scans the retransmission wheel: clears acknowledged destinations,
+    /// resends expired messages to whoever is still missing, and abandons
+    /// messages that exhausted their retries.
+    fn service_retries(&mut self, now: Cycle) {
+        let Some(rcfg) = self.cfg.recovery.clone() else {
+            return;
+        };
+        if self.outstanding.is_empty() {
+            return;
+        }
+        let mut fire = Vec::new();
+        {
+            let mut rec = self.shared.recovery.borrow_mut();
+            self.outstanding.retain(|id, o| {
+                let acked: Vec<NodeId> = o
+                    .remaining
+                    .iter()
+                    .filter(|&n| rec.is_acked(*id, n))
+                    .collect();
+                for n in acked {
+                    o.remaining.remove(n);
+                }
+                if o.remaining.is_empty() {
+                    return false;
+                }
+                if now >= o.deadline {
+                    if o.attempts >= rcfg.max_retries {
+                        rec.counters.gave_up += 1;
+                        return false;
+                    }
+                    fire.push(*id);
+                }
+                true
+            });
+        }
+        for id in fire {
+            let (msg, remaining) = {
+                let o = self.outstanding.get_mut(&id).expect("entry retained");
+                o.attempts += 1;
+                o.deadline = rcfg.deadline_after(now, o.attempts);
+                (o.msg.clone(), o.remaining.clone())
+            };
+            let n_packets = self.retransmit(now, &msg, &remaining);
+            let mut rec = self.shared.recovery.borrow_mut();
+            rec.counters.retransmits += 1;
+            rec.counters.packets_retransmitted += n_packets;
+        }
+    }
+
+    /// Re-injects `msg` toward exactly `remaining`; returns the number of
+    /// worms scheduled. The resend carries the original message id (so
+    /// receivers dedup and latency is charged from the first attempt) and
+    /// pays the software send overhead again.
+    fn retransmit(&mut self, now: Cycle, msg: &Message, remaining: &DestSet) -> u64 {
+        match (msg.kind(), self.cfg.scheme.clone()) {
+            (MessageKind::Unicast(_), _) => {
+                let max = self.max_payload(&RoutingHeader::Unicast {
+                    dest: self.cfg.node,
+                });
+                let pkts = packetize(
+                    msg,
+                    max,
+                    self.cfg.n_hosts,
+                    self.cfg.bits_per_flit,
+                    &mut self.shared.pkt_ids.borrow_mut(),
+                );
+                let n = pkts.len() as u64;
+                self.schedule_packets(now, pkts);
+                n
+            }
+            (MessageKind::Multicast(_), McastScheme::HardwareBitString) => {
+                // One worm per segment, addressed only to the laggards.
+                let narrowed = Message::new(
+                    msg.id(),
+                    msg.src(),
+                    MessageKind::Multicast(remaining.clone()),
+                    msg.payload_flits(),
+                    msg.created(),
+                );
+                let max = self.max_payload(&RoutingHeader::BitString {
+                    dests: remaining.clone(),
+                });
+                let pkts = packetize(
+                    &narrowed,
+                    max,
+                    self.cfg.n_hosts,
+                    self.cfg.bits_per_flit,
+                    &mut self.shared.pkt_ids.borrow_mut(),
+                );
+                let n = pkts.len() as u64;
+                self.schedule_packets(now, pkts);
+                n
+            }
+            (MessageKind::Multicast(_), McastScheme::HardwareMultiport(tree)) => {
+                // Replan worms over the shrunken set.
+                let before = self.pending.iter().map(|(_, p)| p.len()).sum::<usize>();
+                self.send_multiport(now, msg, remaining, &tree);
+                let after = self.pending.iter().map(|(_, p)| p.len()).sum::<usize>();
+                (after - before) as u64
+            }
+            (MessageKind::Multicast(_), McastScheme::SoftwareBinomial)
+            | (MessageKind::BarrierGather { .. }, _) => {
+                unreachable!("no retransmission wheel entries exist for this kind")
+            }
+        }
+    }
 }
 
 impl Component for Host {
@@ -391,18 +579,33 @@ impl Component for Host {
         // Ejection: consume at link rate, reassemble.
         if let Some(flit) = io.recv(0) {
             io.return_credit(0);
+            if flit.is_head() {
+                self.worm_corrupt = false;
+            }
+            self.worm_corrupt |= flit.corrupted();
             if flit.is_tail() {
                 let pkt = flit.packet().clone();
-                let entry = self.rx.entry(pkt.msg()).or_insert_with(|| RxState {
-                    expected: pkt.n_packets(),
-                    seqs: HashSet::new(),
-                });
-                entry.seqs.insert(pkt.seq());
-                if entry.seqs.len() == usize::from(entry.expected) {
-                    self.rx.remove(&pkt.msg());
-                    self.on_message_complete(pkt.msg(), now);
+                if self.cfg.recovery.is_some() && !pkt.checksum_ok(self.worm_corrupt) {
+                    // Failed CRC: drop the packet; the sender's timeout
+                    // will resend it.
+                    self.shared.recovery.borrow_mut().counters.corrupt_discards += 1;
+                } else {
+                    let entry = self.rx.entry(pkt.msg()).or_insert_with(|| RxState {
+                        expected: pkt.n_packets(),
+                        seqs: HashSet::new(),
+                    });
+                    entry.seqs.insert(pkt.seq());
+                    if entry.seqs.len() == usize::from(entry.expected) {
+                        self.rx.remove(&pkt.msg());
+                        self.on_message_complete(pkt.msg(), now);
+                    }
                 }
             }
+        }
+
+        // Recovery: periodically service the retransmission wheel.
+        if self.cfg.recovery.is_some() && now.is_multiple_of(RETRY_SCAN_INTERVAL) {
+            self.service_retries(now);
         }
 
         // Generation.
@@ -411,11 +614,7 @@ impl Component for Host {
         }
 
         // Software-ready packets move to the NIC queue.
-        while self
-            .pending
-            .front()
-            .is_some_and(|(ready, _)| *ready <= now)
-        {
+        while self.pending.front().is_some_and(|(ready, _)| *ready <= now) {
             let (_, pkts) = self.pending.pop_front().expect("front exists");
             self.nic.extend(pkts);
         }
@@ -499,8 +698,13 @@ mod tests {
                 send_overhead: 40,
                 recv_overhead: 20,
                 scheme: scheme.clone(),
+                recovery: None,
             };
-            let host = Host::new(cfg, shared.clone(), Box::new(ScheduledSource::new(schedule)));
+            let host = Host::new(
+                cfg,
+                shared.clone(),
+                Box::new(ScheduledSource::new(schedule)),
+            );
             engine.add_component(Box::new(host), vec![to_host[h]], vec![to_switch[h]]);
         }
         World { engine, shared }

@@ -14,19 +14,25 @@
 //! * [`barrier`] — gather + multicast-release barrier rounds (extension
 //!   experiment, cf. the paper's §9 outlook on hardware barriers \[34\]);
 //! * [`reduce`] — reduction / all-reduce rounds over the mirrored binomial
-//!   tree (extension experiment E13).
+//!   tree (extension experiment E13);
+//! * [`recovery`] — end-to-end fault recovery: checksum validation,
+//!   duplicate suppression, and timeout-driven retransmission.
 
 pub mod barrier;
 pub mod combining;
-pub mod reduce;
 pub mod host;
+pub mod recovery;
+pub mod reduce;
 pub mod swmcast;
 pub mod traffic;
 pub mod umin;
 
 pub use barrier::{BarrierEngine, BarrierSource};
 pub use combining::{CombiningBarrierEngine, CombiningBarrierSource};
-pub use reduce::{ReduceEngine, ReduceSource};
 pub use host::{Host, HostConfig, HostShared, McastScheme, MessageIdGen};
+pub use recovery::{RecoveryConfig, RecoveryCounters, RecoveryShared};
+pub use reduce::{ReduceEngine, ReduceSource};
 pub use swmcast::{SwContext, SwCoordinator};
-pub use traffic::{ChainSource, DeliveryHook, MessageSpec, ScheduledSource, SilentSource, TrafficSource};
+pub use traffic::{
+    ChainSource, DeliveryHook, MessageSpec, ScheduledSource, SilentSource, TrafficSource,
+};

@@ -1,0 +1,135 @@
+//! End-to-end recovery: acknowledgements, duplicate suppression, and
+//! sender-side retransmission.
+//!
+//! The fault layer ([`netsim::fault`]) can swallow whole worms, corrupt
+//! flits, and leak credits. This module gives hosts the protocol to survive
+//! it: receivers validate the packet checksum and discard corrupt or
+//! duplicate packets; senders keep every un-acknowledged message on a
+//! timeout wheel and retransmit — with bounded exponential backoff — to
+//! exactly the destinations that have not acknowledged yet.
+//!
+//! Acknowledgements travel out of band through [`RecoveryShared`], a map
+//! the receiving host marks and the sending host polls. This models a
+//! dedicated low-bandwidth service network (as on the SP2), so ACK traffic
+//! does not perturb the data network being measured; data-network faults
+//! therefore never delay or destroy ACKs, only the data worms themselves.
+//!
+//! Recovery is opt-in per run: without a [`RecoveryConfig`] the hosts keep
+//! their zero-overhead fast path and behave bit-identically to builds
+//! before this module existed.
+
+use netsim::ids::{MessageId, NodeId};
+use netsim::Cycle;
+use std::collections::{HashMap, HashSet};
+
+/// Sender-side retransmission parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryConfig {
+    /// Cycles to wait for a destination's ACK before the first resend.
+    /// Must comfortably exceed the fault-free delivery latency.
+    pub timeout: Cycle,
+    /// Backoff cap: the doubled timeout never exceeds this.
+    pub timeout_cap: Cycle,
+    /// Resend attempts per message before giving up.
+    pub max_retries: u32,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig {
+            timeout: 2_000,
+            timeout_cap: 32_000,
+            max_retries: 10,
+        }
+    }
+}
+
+impl RecoveryConfig {
+    /// Retransmission deadline for attempt number `attempts` (0-based),
+    /// with exponential backoff capped at `timeout_cap`.
+    pub fn deadline_after(&self, now: Cycle, attempts: u32) -> Cycle {
+        let backoff = self
+            .timeout
+            .saturating_mul(1u64.checked_shl(attempts).unwrap_or(u64::MAX))
+            .min(self.timeout_cap);
+        now + backoff
+    }
+}
+
+/// Running totals of recovery activity, summed across all hosts.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryCounters {
+    /// Retransmission events (one per message-level timeout that fired).
+    pub retransmits: u64,
+    /// Worms re-injected by retransmissions.
+    pub packets_retransmitted: u64,
+    /// Packets discarded at a receiver for checksum failure.
+    pub corrupt_discards: u64,
+    /// Completed messages discarded at a receiver as duplicates.
+    pub duplicate_discards: u64,
+    /// Messages abandoned after exhausting every retry.
+    pub gave_up: u64,
+}
+
+/// Shared ACK ledger and counters (the out-of-band service network).
+#[derive(Debug, Default)]
+pub struct RecoveryShared {
+    acked: HashMap<MessageId, HashSet<NodeId>>,
+    /// Aggregated recovery activity.
+    pub counters: RecoveryCounters,
+}
+
+impl RecoveryShared {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that `node` completed `msg`. Returns `false` — and counts a
+    /// duplicate — if it had already been recorded, in which case the
+    /// caller must not deliver the message again.
+    pub fn first_delivery(&mut self, msg: MessageId, node: NodeId) -> bool {
+        if self.acked.entry(msg).or_default().insert(node) {
+            true
+        } else {
+            self.counters.duplicate_discards += 1;
+            false
+        }
+    }
+
+    /// `true` once `node` has acknowledged `msg`.
+    pub fn is_acked(&self, msg: MessageId, node: NodeId) -> bool {
+        self.acked.get(&msg).is_some_and(|s| s.contains(&node))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_delivery_dedupes() {
+        let mut r = RecoveryShared::new();
+        assert!(r.first_delivery(MessageId(7), NodeId(3)));
+        assert!(r.is_acked(MessageId(7), NodeId(3)));
+        assert!(!r.first_delivery(MessageId(7), NodeId(3)));
+        assert_eq!(r.counters.duplicate_discards, 1);
+        // A different node on the same message is not a duplicate.
+        assert!(r.first_delivery(MessageId(7), NodeId(4)));
+        assert!(!r.is_acked(MessageId(7), NodeId(5)));
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let cfg = RecoveryConfig {
+            timeout: 100,
+            timeout_cap: 350,
+            max_retries: 5,
+        };
+        assert_eq!(cfg.deadline_after(1_000, 0), 1_100);
+        assert_eq!(cfg.deadline_after(1_000, 1), 1_200);
+        assert_eq!(cfg.deadline_after(1_000, 2), 1_350, "capped");
+        assert_eq!(cfg.deadline_after(1_000, 63), 1_350);
+        assert_eq!(cfg.deadline_after(1_000, 64), 1_350, "shift overflow safe");
+    }
+}

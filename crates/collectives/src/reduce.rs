@@ -90,7 +90,10 @@ impl ReduceEngine {
         let mut parent = vec![None; n_hosts];
         for idx in 0..n_hosts {
             let node = node_of(idx);
-            children[node.index()] = children_idx[idx].iter().map(|&c| node_of(c).index()).collect();
+            children[node.index()] = children_idx[idx]
+                .iter()
+                .map(|&c| node_of(c).index())
+                .collect();
             parent[node.index()] = parent_idx[idx].map(|p| node_of(p).index());
         }
         let pending: Vec<usize> = (0..n_hosts).map(|h| children[h].len()).collect();
@@ -152,9 +155,7 @@ impl ReduceEngine {
         self.latencies.push(now - self.round_start);
         self.round += 1;
         self.round_start = now;
-        self.pending_children = (0..self.n_hosts)
-            .map(|h| self.children[h].len())
-            .collect();
+        self.pending_children = (0..self.n_hosts).map(|h| self.children[h].len()).collect();
         self.sent_up = vec![false; self.n_hosts];
         self.bcast_pending = false;
         self.bcast_msg = None;
@@ -304,7 +305,8 @@ mod tests {
         assert!(matches!(spec.kind, MessageKind::Multicast(_)));
         assert!(root.poll(27).is_none(), "broadcast only once");
         for h in [1u32, 2, 3] {
-            e.borrow_mut().on_delivered(MessageId(9), NodeId(h), 40 + u64::from(h));
+            e.borrow_mut()
+                .on_delivered(MessageId(9), NodeId(h), 40 + u64::from(h));
         }
         assert_eq!(e.borrow().completed_rounds(), 1);
         assert!(e.borrow().done());

@@ -80,7 +80,8 @@ mod tests {
         let mut max_phase = 0;
         while let Some((me, hi)) = ranges.pop() {
             for h in handoffs(me, hi) {
-                let phase = informed[me] + 1 + handoffs(me, hi).iter().position(|x| x == &h).unwrap();
+                let phase =
+                    informed[me] + 1 + handoffs(me, hi).iter().position(|x| x == &h).unwrap();
                 informed[h.child] = informed[h.child].min(phase);
                 ranges.push((h.child, h.hi));
             }

@@ -6,9 +6,11 @@
 //!     --load 0.5 --mcast-fraction 0.1 --degree 16 --len 64
 //! ```
 
+use collectives::RecoveryConfig;
 use mdworm::config::{McastImpl, SwitchArch, SystemConfig, TopologyKind};
 use mdworm::sim::{run_experiment, RunConfig};
 use mdworm::workload::{Pattern, TrafficSpec};
+use netsim::FaultPlan;
 
 struct Args {
     arch: SwitchArch,
@@ -23,6 +25,13 @@ struct Args {
     measure: u64,
     seed: u64,
     pattern: Pattern,
+    drop_rate: f64,
+    corrupt_rate: f64,
+    down_every: u64,
+    down_len: u64,
+    credit_leak: f64,
+    fault_seed: u64,
+    recovery_timeout: u64,
 }
 
 impl Default for Args {
@@ -40,6 +49,13 @@ impl Default for Args {
             measure: 40_000,
             seed: 0xD0E5_1997,
             pattern: Pattern::Uniform,
+            drop_rate: 0.0,
+            corrupt_rate: 0.0,
+            down_every: 0,
+            down_len: 0,
+            credit_leak: 0.0,
+            fault_seed: 0xFA17,
+            recovery_timeout: 0,
         }
     }
 }
@@ -51,7 +67,9 @@ fn parse_args() -> Args {
     let usage = "flags: --arch cb|ib  --mcast hw|mp|sw  --k N --stages N \
                  --load F --mcast-fraction F --degree N --len N \
                  --warmup N --measure N --seed N \
-                 --pattern uniform|bitrev|transpose|neighbor";
+                 --pattern uniform|bitrev|transpose|neighbor \
+                 --drop-rate F --corrupt-rate F --down-every N --down-len N \
+                 --credit-leak F --fault-seed N --recovery-timeout N";
     while i < argv.len() {
         let flag = argv[i].as_str();
         let value = argv
@@ -83,6 +101,15 @@ fn parse_args() -> Args {
             "--warmup" => args.warmup = value.parse().expect("--warmup"),
             "--measure" => args.measure = value.parse().expect("--measure"),
             "--seed" => args.seed = value.parse().expect("--seed"),
+            "--drop-rate" => args.drop_rate = value.parse().expect("--drop-rate"),
+            "--corrupt-rate" => args.corrupt_rate = value.parse().expect("--corrupt-rate"),
+            "--down-every" => args.down_every = value.parse().expect("--down-every"),
+            "--down-len" => args.down_len = value.parse().expect("--down-len"),
+            "--credit-leak" => args.credit_leak = value.parse().expect("--credit-leak"),
+            "--fault-seed" => args.fault_seed = value.parse().expect("--fault-seed"),
+            "--recovery-timeout" => {
+                args.recovery_timeout = value.parse().expect("--recovery-timeout");
+            }
             "--pattern" => {
                 args.pattern = match value.as_str() {
                     "uniform" => Pattern::Uniform,
@@ -101,6 +128,10 @@ fn parse_args() -> Args {
 
 fn main() {
     let a = parse_args();
+    let recovery = (a.recovery_timeout > 0).then(|| RecoveryConfig {
+        timeout: a.recovery_timeout,
+        ..RecoveryConfig::default()
+    });
     let cfg = SystemConfig {
         topology: TopologyKind::KaryTree {
             k: a.k,
@@ -109,13 +140,23 @@ fn main() {
         arch: a.arch,
         mcast: a.mcast,
         seed: a.seed,
+        recovery,
         ..SystemConfig::default()
+    };
+    let faults = FaultPlan {
+        seed: a.fault_seed,
+        flit_drop: a.drop_rate,
+        flit_corrupt: a.corrupt_rate,
+        down_every: a.down_every,
+        down_len: a.down_len,
+        credit_leak: a.credit_leak,
     };
     let spec =
         TrafficSpec::bimodal(a.load, a.mcast_fraction, a.degree, a.len).with_pattern(a.pattern);
     let run = RunConfig {
         warmup: a.warmup,
         measure: a.measure,
+        faults: (!faults.is_noop()).then_some(faults),
         ..RunConfig::default()
     };
     println!(
@@ -153,13 +194,45 @@ fn main() {
             out.unicast.mean, out.unicast.p50, out.unicast.p95, out.unicast.p99, out.unicast.max
         );
     }
-    println!("throughput:           {:.4} payload flits/node/cycle", out.throughput);
+    println!(
+        "throughput:           {:.4} payload flits/node/cycle",
+        out.throughput
+    );
     println!(
         "link utilization:     eject {:.4}, fabric {:.4}",
         out.eject_utilization, out.fabric_utilization
     );
-    if out.deadlocked {
-        println!("!! DEADLOCK detected by the watchdog");
+    let rec = &out.recovery;
+    if rec.retransmits + rec.corrupt_discards + rec.duplicate_discards + rec.gave_up > 0 {
+        println!(
+            "recovery:             {} retransmits ({} worms), {} corrupt and {} duplicate discards, {} gave up",
+            rec.retransmits,
+            rec.packets_retransmitted,
+            rec.corrupt_discards,
+            rec.duplicate_discards,
+            rec.gave_up
+        );
+    }
+    if !out.faults.is_clean() {
+        println!(
+            "faults injected:      {} worms dropped ({} flits), {} flits corrupted, {} link-down cycles, {} credits leaked",
+            out.faults.worms_dropped,
+            out.faults.flits_dropped,
+            out.faults.flits_corrupted,
+            out.faults.down_cycles,
+            out.faults.credits_leaked
+        );
+    }
+    if let Some(report) = &out.deadlock {
+        println!("!! DEADLOCK detected by the watchdog — forensic report:");
+        print!("{}", mdworm::report::deadlock_json(report));
+        if report.switches.is_empty() && out.faults.worms_dropped > 0 && a.recovery_timeout == 0 {
+            println!(
+                "   (no worms blocked in the fabric: these messages were lost to \
+                 injected faults with recovery disabled, not to a circular wait — \
+                 rerun with --recovery-timeout to retransmit them)"
+            );
+        }
     } else if out.saturated {
         println!("!! saturated: {} messages undelivered", out.leftover);
     }

@@ -2,8 +2,8 @@
 //! hosts, wired into a [`netsim::engine::Engine`].
 
 use crate::config::{McastImpl, SwitchArch, SystemConfig, TopologyKind};
-use collectives::{Host, HostConfig, HostShared, McastScheme, TrafficSource};
 use collectives::traffic::DeliveryHook;
+use collectives::{Host, HostConfig, HostShared, McastScheme, TrafficSource};
 use mintopo::irregular::Irregular;
 use mintopo::karytree::KaryTree;
 use mintopo::route::RouteTables;
@@ -12,9 +12,9 @@ use mintopo::unimin::UniMin;
 use netsim::engine::Engine;
 use netsim::ids::{LinkId, NodeId, SwitchId};
 use netsim::stats::DeliveryTracker;
-use switches::{CentralBufferSwitch, InputBufferedSwitch, SwitchConfig, SwitchStats};
 use std::cell::RefCell;
 use std::rc::Rc;
+use switches::{CentralBufferSwitch, InputBufferedSwitch, SwitchConfig, SwitchStats};
 
 /// Link ids grouped by role, for utilization accounting.
 #[derive(Debug, Default, Clone)]
@@ -55,6 +55,12 @@ pub struct System {
     pub topology: Rc<Topology>,
     /// Links grouped by role.
     pub links: LinkMap,
+    /// Per switch, per port: the link feeding that input port. Used by
+    /// deadlock forensics to translate "waiting on output port p" into a
+    /// link-level wait-for edge.
+    pub sw_in: Vec<Vec<LinkId>>,
+    /// Per switch, per port: the link driven by that output port.
+    pub sw_out: Vec<Vec<LinkId>>,
 }
 
 impl System {
@@ -133,7 +139,9 @@ pub fn build_system(
     sources: Vec<Box<dyn TrafficSource>>,
     hook: Option<Rc<RefCell<dyn DeliveryHook>>>,
 ) -> System {
-    config.validate();
+    config
+        .validate()
+        .unwrap_or_else(|e| panic!("invalid system config: {e}"));
     let (topology, tree) = build_topology(config.topology);
     assert_eq!(
         sources.len(),
@@ -266,6 +274,7 @@ pub fn build_system(
             send_overhead: config.send_overhead,
             recv_overhead: config.recv_overhead,
             scheme: scheme.clone(),
+            recovery: config.recovery.clone(),
         };
         let mut host = Host::new(hcfg, shared.clone(), source);
         if let Some(hook) = &hook {
@@ -278,6 +287,11 @@ pub fn build_system(
         );
     }
 
+    let dense = |m: Vec<Vec<Option<LinkId>>>| -> Vec<Vec<LinkId>> {
+        m.into_iter()
+            .map(|v| v.into_iter().map(|l| l.expect("dense")).collect())
+            .collect()
+    };
     System {
         engine,
         shared,
@@ -285,6 +299,8 @@ pub fn build_system(
         config,
         topology,
         links,
+        sw_in: dense(sw_in),
+        sw_out: dense(sw_out),
     }
 }
 

@@ -1,11 +1,19 @@
 //! Whole-system configuration: topology, switch architecture, multicast
 //! scheme, timing.
 
-use serde::{Deserialize, Serialize};
-use switches::SwitchConfig;
+use collectives::RecoveryConfig;
+use switches::{ConfigError, SwitchConfig};
+
+macro_rules! ensure {
+    ($cond:expr, $($msg:tt)+) => {
+        if !$cond {
+            return Err(ConfigError(format!($($msg)+)));
+        }
+    };
+}
 
 /// Which network to build.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TopologyKind {
     /// Bidirectional MIN / fat-tree with `k^n` hosts (the paper's
     /// evaluation topology; `k = 4`, `n = 3` is the 64-processor default).
@@ -56,7 +64,7 @@ impl TopologyKind {
 }
 
 /// Which switch architecture to instantiate (the paper's alternatives).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SwitchArch {
     /// Shared central queue with chunk-refcount replication (paper §4).
     #[default]
@@ -66,7 +74,7 @@ pub enum SwitchArch {
 }
 
 /// Which multicast implementation hosts use.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum McastImpl {
     /// Single-phase bit-string multidestination worms.
     #[default]
@@ -99,7 +107,7 @@ impl SwitchArch {
 }
 
 /// Complete system description.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SystemConfig {
     /// Network shape.
     pub topology: TopologyKind,
@@ -124,6 +132,10 @@ pub struct SystemConfig {
     /// Enables barrier-gather combining in the switches (central-buffer
     /// architecture only; the hardware-barrier extension of §9 / \[34\]).
     pub barrier_combining: bool,
+    /// End-to-end recovery (ACK/timeout/retransmit) parameters for the
+    /// hosts; `None` disables recovery, keeping fault-free runs
+    /// bit-identical to builds without the fault layer.
+    pub recovery: Option<RecoveryConfig>,
 }
 
 impl Default for SystemConfig {
@@ -144,6 +156,7 @@ impl Default for SystemConfig {
             recv_overhead: 20,
             seed: 0xD0E5_1997,
             barrier_combining: false,
+            recovery: None,
         }
     }
 }
@@ -162,35 +175,45 @@ impl SystemConfig {
         }
     }
 
-    /// Validates cross-cutting constraints.
-    ///
-    /// # Panics
-    ///
-    /// Panics on invalid combinations (multiport encoding off a k-ary tree,
-    /// switch sizing violations, bit-string header leaving no payload
-    /// room).
-    pub fn validate(&self) {
-        self.effective_switch().validate();
+    /// Validates cross-cutting constraints, returning a descriptive
+    /// [`ConfigError`] on the first violation (multiport encoding off a
+    /// k-ary tree, switch sizing violations, bit-string header leaving no
+    /// payload room, degenerate recovery timers).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.effective_switch().validate()?;
         if self.mcast == McastImpl::HwMultiport {
-            assert!(
+            ensure!(
                 matches!(self.topology, TopologyKind::KaryTree { .. }),
-                "multiport encoding requires a k-ary tree topology"
+                "multiport encoding requires a k-ary tree topology, got {:?}",
+                self.topology
             );
         }
         if self.barrier_combining {
-            assert!(
+            ensure!(
                 self.arch == SwitchArch::CentralBuffer,
-                "barrier combining is implemented for the central-buffer switch"
+                "barrier combining is implemented for the central-buffer switch, \
+                 not {:?}",
+                self.arch
             );
         }
         let n = self.n_hosts();
         let bitstring_header = 1 + n.div_ceil(self.bits_per_flit);
-        assert!(
+        ensure!(
             usize::from(self.switch.max_packet_flits) > bitstring_header,
             "bit-string header ({bitstring_header} flits) leaves no payload in \
              {}-flit packets — grow max_packet_flits or the buffers",
             self.switch.max_packet_flits
         );
+        if let Some(r) = &self.recovery {
+            ensure!(r.timeout >= 1, "recovery timeout must be positive");
+            ensure!(
+                r.timeout_cap >= r.timeout,
+                "recovery timeout cap ({}) below base timeout ({})",
+                r.timeout_cap,
+                r.timeout
+            );
+        }
+        Ok(())
     }
 }
 
@@ -201,7 +224,7 @@ mod tests {
     #[test]
     fn default_is_valid_64_procs() {
         let c = SystemConfig::default();
-        c.validate();
+        c.validate().expect("defaults are valid");
         assert_eq!(c.n_hosts(), 64);
         assert_eq!(c.topology.switch_ports(), 8);
         assert_eq!(c.effective_switch().ports, 8);
@@ -225,18 +248,20 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "multiport encoding requires")]
     fn multiport_needs_tree() {
         let c = SystemConfig {
             mcast: McastImpl::HwMultiport,
             topology: TopologyKind::UniMin { k: 2, n: 3 },
             ..SystemConfig::default()
         };
-        c.validate();
+        let err = c.validate().unwrap_err();
+        assert!(
+            err.to_string().contains("multiport encoding requires"),
+            "{err}"
+        );
     }
 
     #[test]
-    #[should_panic(expected = "leaves no payload")]
     fn bitstring_header_must_fit() {
         let mut c = SystemConfig {
             topology: TopologyKind::KaryTree { k: 4, n: 5 }, // 1024 hosts
@@ -244,7 +269,27 @@ mod tests {
         };
         // 1024-bit string = 128 header flits but packets are 128 flits.
         c.switch.max_packet_flits = 128;
-        c.validate();
+        let err = c.validate().unwrap_err();
+        assert!(err.to_string().contains("leaves no payload"), "{err}");
+    }
+
+    #[test]
+    fn switch_errors_propagate_and_recovery_is_checked() {
+        let mut c = SystemConfig::default();
+        c.switch.input_buf_flits = 4;
+        let err = c.validate().unwrap_err();
+        assert!(err.to_string().contains("exceeds input buffer"), "{err}");
+
+        let c = SystemConfig {
+            recovery: Some(collectives::RecoveryConfig {
+                timeout: 100,
+                timeout_cap: 10,
+                max_retries: 3,
+            }),
+            ..SystemConfig::default()
+        };
+        let err = c.validate().unwrap_err();
+        assert!(err.to_string().contains("timeout cap"), "{err}");
     }
 
     #[test]

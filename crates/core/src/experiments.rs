@@ -1,8 +1,8 @@
-//! The experiment suite (E1..E13 in DESIGN.md), reproducing every
+//! The experiment suite (E1..E16 in DESIGN.md), reproducing every
 //! evaluation axis the paper's abstract enumerates: multiple multicast,
 //! bimodal traffic, degree of multicast, message length, and system size —
 //! plus parameter ablations, single-multicast latency, and the barrier /
-//! hot-spot / all-reduce extensions.
+//! hot-spot / all-reduce / fault-resilience extensions.
 //!
 //! Every experiment compares the three schemes of the paper:
 //!
@@ -17,12 +17,14 @@ use crate::report::{f, TableRow};
 use crate::sim::{run_experiment, RunConfig, RunOutcome};
 use crate::workload::TrafficSpec;
 use collectives::traffic::DeliveryHook;
-use collectives::{BarrierEngine, MessageSpec, ScheduledSource, SilentSource, TrafficSource};
+use collectives::{
+    BarrierEngine, MessageSpec, RecoveryConfig, ScheduledSource, SilentSource, TrafficSource,
+};
 use mintopo::route::ReplicatePolicy;
 use netsim::ids::NodeId;
 use netsim::message::MessageKind;
 use netsim::rng::SimRng;
-use serde::{Deserialize, Serialize};
+use netsim::FaultPlan;
 use std::cell::RefCell;
 use std::rc::Rc;
 use switches::UpSelect;
@@ -62,7 +64,7 @@ pub fn scheme_configs(base: &SystemConfig) -> Vec<(&'static str, SystemConfig)> 
 // ---------------------------------------------------------------------
 
 /// One configuration parameter (E1).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ParamRow {
     /// Parameter name.
     pub name: String,
@@ -93,14 +95,23 @@ pub fn e1_parameters(cfg: &SystemConfig, run: &RunConfig) -> Vec<ParamRow> {
         row("flit width (bits)", cfg.bits_per_flit.to_string()),
         row("link delay (cycles)", cfg.link_delay.to_string()),
         row("route decision delay (cycles)", sw.route_delay.to_string()),
-        row("central queue (chunks x flits)", format!("{} x {}", sw.cq_chunks, sw.chunk_flits)),
-        row("input buffer per port (flits)", sw.input_buf_flits.to_string()),
+        row(
+            "central queue (chunks x flits)",
+            format!("{} x {}", sw.cq_chunks, sw.chunk_flits),
+        ),
+        row(
+            "input buffer per port (flits)",
+            sw.input_buf_flits.to_string(),
+        ),
         row("max packet (flits)", sw.max_packet_flits.to_string()),
         row("send overhead (cycles)", cfg.send_overhead.to_string()),
         row("receive overhead (cycles)", cfg.recv_overhead.to_string()),
         row("up-path selection", format!("{:?}", sw.up_select)),
         row("replication policy", format!("{:?}", sw.policy)),
-        row("warmup / measure (cycles)", format!("{} / {}", run.warmup, run.measure)),
+        row(
+            "warmup / measure (cycles)",
+            format!("{} / {}", run.warmup, run.measure),
+        ),
         row("seed", format!("{:#x}", cfg.seed)),
     ]
 }
@@ -110,7 +121,7 @@ pub fn e1_parameters(cfg: &SystemConfig, run: &RunConfig) -> Vec<ParamRow> {
 // ---------------------------------------------------------------------
 
 /// One point of a latency/throughput sweep.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SweepRow {
     /// Scheme label (CB-HW / IB-HW / SW-CB).
     pub scheme: String,
@@ -154,8 +165,16 @@ impl SweepRow {
 impl TableRow for SweepRow {
     fn headers() -> Vec<&'static str> {
         vec![
-            "scheme", "x_name", "x", "mcast_mean", "mcast_p95", "unicast_mean", "throughput",
-            "mcasts", "saturated", "deadlocked",
+            "scheme",
+            "x_name",
+            "x",
+            "mcast_mean",
+            "mcast_p95",
+            "unicast_mean",
+            "throughput",
+            "mcasts",
+            "saturated",
+            "deadlocked",
         ]
     }
     fn cells(&self) -> Vec<String> {
@@ -292,7 +311,7 @@ pub fn e12_hotspot(
 // ---------------------------------------------------------------------
 
 /// One point of the bimodal-traffic comparison.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct BimodalRow {
     /// Scheme label; "CB-none" is the multicast-free reference.
     pub scheme: String,
@@ -315,8 +334,14 @@ pub struct BimodalRow {
 impl TableRow for BimodalRow {
     fn headers() -> Vec<&'static str> {
         vec![
-            "scheme", "load", "unicast_mean", "unicast_p95", "mcast_mean", "throughput",
-            "saturated", "deadlocked",
+            "scheme",
+            "load",
+            "unicast_mean",
+            "unicast_p95",
+            "mcast_mean",
+            "throughput",
+            "saturated",
+            "deadlocked",
         ]
     }
     fn cells(&self) -> Vec<String> {
@@ -387,7 +412,7 @@ pub fn e4_e5_bimodal(
 // ---------------------------------------------------------------------
 
 /// One ablation variant's outcome.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct AblationRow {
     /// Variant description.
     pub variant: String,
@@ -405,7 +430,14 @@ pub struct AblationRow {
 
 impl TableRow for AblationRow {
     fn headers() -> Vec<&'static str> {
-        vec!["variant", "mcast_mean", "unicast_mean", "throughput", "saturated", "deadlocked"]
+        vec![
+            "variant",
+            "mcast_mean",
+            "unicast_mean",
+            "throughput",
+            "saturated",
+            "deadlocked",
+        ]
     }
     fn cells(&self) -> Vec<String> {
         vec![
@@ -487,7 +519,10 @@ pub fn e9_ablations(base: &SystemConfig, run: &RunConfig, load: f64) -> Vec<Abla
         let mut c = cb.clone();
         c.arch = SwitchArch::InputBuffered;
         c.switch.replication = switches::ReplicationMode::Synchronous;
-        variants.push(("IB synchronous replication (rejected; may deadlock)".into(), c));
+        variants.push((
+            "IB synchronous replication (rejected; may deadlock)".into(),
+            c,
+        ));
     }
 
     variants
@@ -511,7 +546,7 @@ pub fn e9_ablations(base: &SystemConfig, run: &RunConfig, load: f64) -> Vec<Abla
 // ---------------------------------------------------------------------
 
 /// Latency of one multicast on an otherwise idle network.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SingleRow {
     /// Scheme label.
     pub scheme: String,
@@ -612,7 +647,7 @@ pub fn e10_single_multicast(base: &SystemConfig, degrees: &[usize], len: u16) ->
 // ---------------------------------------------------------------------
 
 /// Barrier-round latency for one configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct BarrierRow {
     /// Scheme label for the release multicast.
     pub scheme: String,
@@ -648,8 +683,7 @@ pub fn run_barrier(cfg: &SystemConfig, rounds: u64) -> (u64, f64) {
     let engine = BarrierEngine::new(n, NodeId(0), rounds);
     let sources: Vec<Box<dyn TrafficSource>> = (0..n)
         .map(|h| {
-            Box::new(BarrierEngine::source_for(&engine, NodeId::from(h)))
-                as Box<dyn TrafficSource>
+            Box::new(BarrierEngine::source_for(&engine, NodeId::from(h))) as Box<dyn TrafficSource>
         })
         .collect();
     let hook: Rc<RefCell<dyn DeliveryHook>> = engine.clone();
@@ -738,7 +772,7 @@ pub fn e15_patterns(base: &SystemConfig, run: &RunConfig, load: f64, len: u16) -
 // ---------------------------------------------------------------------
 
 /// All-reduce round latency for one configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ReduceRow {
     /// Scheme label for the broadcast phase.
     pub scheme: String,
@@ -779,8 +813,7 @@ pub fn run_allreduce(cfg: &SystemConfig, rounds: u64, payload: u16) -> (u64, f64
     let engine = ReduceEngine::new(n, NodeId(0), rounds, payload, true);
     let sources: Vec<Box<dyn TrafficSource>> = (0..n)
         .map(|h| {
-            Box::new(ReduceEngine::source_for(&engine, NodeId::from(h)))
-                as Box<dyn TrafficSource>
+            Box::new(ReduceEngine::source_for(&engine, NodeId::from(h))) as Box<dyn TrafficSource>
         })
         .collect();
     let hook: Rc<RefCell<dyn DeliveryHook>> = engine.clone();
@@ -843,7 +876,10 @@ pub fn e13_allreduce(base: &SystemConfig, stages: &[usize], rounds: u64) -> Vec<
 /// no round completes within a generous cycle bound.
 pub fn run_combining_barrier(cfg: &SystemConfig, rounds: u64) -> (u64, f64) {
     use collectives::CombiningBarrierEngine;
-    assert!(cfg.barrier_combining, "config must enable barrier combining");
+    assert!(
+        cfg.barrier_combining,
+        "config must enable barrier combining"
+    );
     let n = cfg.n_hosts();
     let engine = CombiningBarrierEngine::new(n, rounds);
     let sources: Vec<Box<dyn TrafficSource>> = (0..n)
@@ -859,7 +895,10 @@ pub fn run_combining_barrier(cfg: &SystemConfig, rounds: u64) -> (u64, f64) {
         sys.engine.run_for(200);
     }
     let e = engine.borrow();
-    assert!(e.completed_rounds() > 0, "no combining-barrier round completed");
+    assert!(
+        e.completed_rounds() > 0,
+        "no combining-barrier round completed"
+    );
     (
         e.completed_rounds(),
         e.latencies.mean().expect("rounds completed"),
@@ -869,7 +908,11 @@ pub fn run_combining_barrier(cfg: &SystemConfig, rounds: u64) -> (u64, f64) {
 /// E14 (extension; the full vision of the paper's §9 / companion work
 /// \[34\]): barrier latency with **switch-combining** gathers versus the
 /// host-level gather + multicast-release protocol of E11.
-pub fn e14_combining_barrier(base: &SystemConfig, stages: &[usize], rounds: u64) -> Vec<BarrierRow> {
+pub fn e14_combining_barrier(
+    base: &SystemConfig,
+    stages: &[usize],
+    rounds: u64,
+) -> Vec<BarrierRow> {
     let mut rows = Vec::new();
     for &n in stages {
         let size_base = SystemConfig {
@@ -910,6 +953,110 @@ pub fn e14_combining_barrier(base: &SystemConfig, stages: &[usize], rounds: u64)
     rows
 }
 
+// ---------------------------------------------------------------------
+// E16: graceful degradation under link faults
+// ---------------------------------------------------------------------
+
+/// One point of the fault-rate degradation sweep.
+#[derive(Debug, Clone)]
+pub struct FaultRow {
+    /// Scheme label (CB-HW / IB-HW).
+    pub scheme: String,
+    /// Per-flit drop probability injected on every link.
+    pub drop_rate: f64,
+    /// Multicast latency to last destination, mean (cycles).
+    pub mcast_mean: f64,
+    /// Delivered payload flits / node / cycle.
+    pub throughput: f64,
+    /// Worms condemned by the injector.
+    pub worms_dropped: u64,
+    /// Sender-side retransmissions triggered by ACK timeouts.
+    pub retransmits: u64,
+    /// Messages abandoned after exhausting retries.
+    pub gave_up: u64,
+    /// Messages still undelivered after the drain (must stay 0 while
+    /// recovery keeps up).
+    pub leftover: usize,
+    /// Saturated (could not drain)?
+    pub saturated: bool,
+}
+
+impl TableRow for FaultRow {
+    fn headers() -> Vec<&'static str> {
+        vec![
+            "scheme",
+            "drop_rate",
+            "mcast_mean",
+            "throughput",
+            "worms_dropped",
+            "retransmits",
+            "gave_up",
+            "leftover",
+            "saturated",
+        ]
+    }
+    fn cells(&self) -> Vec<String> {
+        vec![
+            self.scheme.clone(),
+            format!("{:e}", self.drop_rate),
+            f(self.mcast_mean),
+            f(self.throughput),
+            self.worms_dropped.to_string(),
+            self.retransmits.to_string(),
+            self.gave_up.to_string(),
+            self.leftover.to_string(),
+            self.saturated.to_string(),
+        ]
+    }
+}
+
+/// E16 (robustness extension): latency and delivered throughput versus the
+/// per-flit drop rate, with end-to-end recovery enabled, for both buffer
+/// organizations. Shows how gracefully each architecture degrades as links
+/// get lossy — and that the retransmission protocol keeps delivery
+/// lossless until it can no longer keep up.
+pub fn e16_fault_sweep(
+    base: &SystemConfig,
+    run: &RunConfig,
+    load: f64,
+    drop_rates: &[f64],
+    degree: usize,
+    len: u16,
+) -> Vec<FaultRow> {
+    let mut rows = Vec::new();
+    for (label, arch) in [
+        ("CB-HW", SwitchArch::CentralBuffer),
+        ("IB-HW", SwitchArch::InputBuffered),
+    ] {
+        let cfg = SystemConfig {
+            arch,
+            mcast: McastImpl::HwBitString,
+            recovery: Some(RecoveryConfig::default()),
+            ..base.clone()
+        };
+        for &rate in drop_rates {
+            let spec = TrafficSpec::multiple_multicast(load, degree, len);
+            let frun = RunConfig {
+                faults: (rate > 0.0).then(|| FaultPlan::drops(base.seed ^ 0xE16, rate)),
+                ..run.clone()
+            };
+            let out = run_experiment(&cfg, &spec, &frun);
+            rows.push(FaultRow {
+                scheme: label.to_string(),
+                drop_rate: rate,
+                mcast_mean: out.mcast_last.mean,
+                throughput: out.throughput,
+                worms_dropped: out.faults.worms_dropped,
+                retransmits: out.recovery.retransmits,
+                gave_up: out.recovery.gave_up,
+                leftover: out.leftover,
+                saturated: out.saturated,
+            });
+        }
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -924,19 +1071,16 @@ mod tests {
     #[test]
     fn e1_lists_core_parameters() {
         let rows = e1_parameters(&SystemConfig::default(), &RunConfig::default());
-        assert!(rows.iter().any(|r| r.name == "processors" && r.value == "64"));
+        assert!(rows
+            .iter()
+            .any(|r| r.name == "processors" && r.value == "64"));
         assert!(rows.iter().any(|r| r.name.contains("central queue")));
     }
 
     #[test]
     fn e2_rows_cover_all_schemes_and_loads() {
-        let rows = e2_e3_multiple_multicast(
-            &tiny_base(),
-            &RunConfig::quick(),
-            &[0.02, 0.05],
-            4,
-            16,
-        );
+        let rows =
+            e2_e3_multiple_multicast(&tiny_base(), &RunConfig::quick(), &[0.02, 0.05], 4, 16);
         assert_eq!(rows.len(), 6);
         assert!(rows.iter().all(|r| !r.deadlocked));
         assert!(rows.iter().all(|r| r.mcasts > 0));
@@ -1015,6 +1159,35 @@ mod tests {
             "hardware all-reduce ({}) must beat software ({})",
             hw.mean_latency,
             sw.mean_latency
+        );
+    }
+
+    #[test]
+    fn e16_recovery_keeps_delivery_lossless_under_drops() {
+        let run = RunConfig {
+            warmup: 500,
+            measure: 4_000,
+            drain_max: 400_000,
+            ..RunConfig::default()
+        };
+        let rows = e16_fault_sweep(&tiny_base(), &run, 0.05, &[0.0, 1e-4, 1e-3], 4, 32);
+        assert_eq!(rows.len(), 6);
+        // Lossless delivery at every probed rate, for both architectures.
+        assert!(
+            rows.iter().all(|r| r.leftover == 0 && r.gave_up == 0),
+            "{rows:?}"
+        );
+        // The clean baseline needs no retransmissions...
+        assert!(rows
+            .iter()
+            .filter(|r| r.drop_rate == 0.0)
+            .all(|r| r.worms_dropped == 0 && r.retransmits == 0));
+        // ...while the lossy points actually exercised the protocol.
+        assert!(
+            rows.iter()
+                .filter(|r| r.drop_rate >= 1e-3)
+                .all(|r| r.worms_dropped > 0 && r.retransmits > 0),
+            "{rows:?}"
         );
     }
 

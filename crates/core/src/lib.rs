@@ -13,7 +13,10 @@
 //! * [`workload`] — the paper's traffic mixes (multiple multicast,
 //!   bimodal, degree/length/size sweeps);
 //! * [`sim::run_experiment`] — warm-up / measure / drain harness with a
-//!   deadlock watchdog;
+//!   deadlock watchdog, optional link-fault injection and end-to-end
+//!   recovery;
+//! * [`forensics`] — structured [`forensics::DeadlockReport`] (buffer
+//!   occupancy, blocked worms, wait-for cycle) when the watchdog fires;
 //! * [`experiments`] — the E1..E11 suite mapped to the paper's evaluation
 //!   (see DESIGN.md and EXPERIMENTS.md);
 //! * [`report`] — markdown/CSV result tables.
@@ -39,11 +42,13 @@
 pub mod build;
 pub mod config;
 pub mod experiments;
+pub mod forensics;
 pub mod report;
 pub mod sim;
 pub mod workload;
 
 pub use build::{build_system, System};
 pub use config::{McastImpl, SwitchArch, SystemConfig, TopologyKind};
+pub use forensics::{capture_deadlock_report, DeadlockReport};
 pub use sim::{run_experiment, RunConfig, RunOutcome};
 pub use workload::{make_sources, RandomTraffic, TrafficSpec};

@@ -1,4 +1,7 @@
-//! Result-table rendering: markdown for the console, CSV for files.
+//! Result-table rendering: markdown for the console, CSV for files, and
+//! JSON for deadlock forensics.
+
+use crate::forensics::DeadlockReport;
 
 /// A result row that knows how to print itself.
 pub trait TableRow {
@@ -59,6 +62,80 @@ pub fn csv<T: TableRow>(rows: &[T]) -> String {
         out.push_str(&cells.join(","));
         out.push('\n');
     }
+    out
+}
+
+/// Serializes a [`DeadlockReport`] as pretty-printed JSON.
+///
+/// Hand-rolled (the workspace carries no serde dependency); every value is
+/// a number, an array of numbers, or one of a fixed set of state labels,
+/// so no string escaping is needed.
+pub fn deadlock_json(r: &DeadlockReport) -> String {
+    fn ints<T: ToString, I: IntoIterator<Item = T>>(v: I) -> String {
+        let body: Vec<String> = v.into_iter().map(|x| x.to_string()).collect();
+        format!("[{}]", body.join(","))
+    }
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"at_cycle\": {},\n", r.at_cycle));
+    out.push_str(&format!(
+        "  \"outstanding_messages\": {},\n",
+        r.outstanding_messages
+    ));
+    out.push_str(&format!("  \"cycle\": {},\n", ints(r.cycle.iter())));
+    let edges: Vec<String> = r
+        .wait_edges
+        .iter()
+        .map(|e| {
+            format!(
+                "    {{\"from_link\": {}, \"to_link\": {}, \"switch\": {}}}",
+                e.from_link, e.to_link, e.switch
+            )
+        })
+        .collect();
+    out.push_str(&format!(
+        "  \"wait_edges\": [\n{}\n  ],\n",
+        edges.join(",\n")
+    ));
+    let switches: Vec<String> = r
+        .switches
+        .iter()
+        .map(|d| {
+            let worms: Vec<String> = d
+                .snapshot
+                .blocked
+                .iter()
+                .map(|w| {
+                    format!(
+                        "      {{\"input\": {}, \"packet\": {}, \"msg\": {}, \
+                         \"src\": {}, \"state\": \"{}\", \"remaining_dests\": {}, \
+                         \"holds_outputs\": {}, \"waits_outputs\": {}}}",
+                        w.input.map_or("null".to_string(), |i| i.to_string()),
+                        w.packet,
+                        w.msg,
+                        w.src,
+                        w.state,
+                        ints(w.remaining_dests.iter()),
+                        ints(w.holds_outputs.iter()),
+                        ints(w.waits_outputs.iter()),
+                    )
+                })
+                .collect();
+            format!(
+                "    {{\"switch\": {}, \"cq_used_chunks\": {}, \
+                 \"cq_free_chunks\": {}, \"input_occupancy\": {},\n\
+                 \"blocked_worms\": [\n{}\n    ]}}",
+                d.switch,
+                d.snapshot.cq_used_chunks,
+                d.snapshot.cq_free_chunks,
+                ints(d.snapshot.input_occupancy.iter()),
+                worms.join(",\n"),
+            )
+        })
+        .collect();
+    out.push_str(&format!(
+        "  \"switches\": [\n{}\n  ]\n}}\n",
+        switches.join(",\n")
+    ));
     out
 }
 

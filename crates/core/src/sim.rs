@@ -3,13 +3,14 @@
 
 use crate::build::build_system;
 use crate::config::SystemConfig;
+use crate::forensics::{capture_deadlock_report, DeadlockReport};
 use crate::workload::{make_sources, TrafficSpec};
+use collectives::RecoveryCounters;
 use netsim::stats::Summary;
-use netsim::Cycle;
-use serde::{Deserialize, Serialize};
+use netsim::{Cycle, FaultCounters, FaultPlan};
 
 /// Run-length parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunConfig {
     /// Cycles before measurement starts (messages created earlier are
     /// excluded from statistics).
@@ -21,6 +22,9 @@ pub struct RunConfig {
     /// Watchdog: if in-flight messages exist but no flit moves for this
     /// many cycles, declare deadlock.
     pub watchdog_grace: Cycle,
+    /// Fault plan injected into every link; `None` (and no-op plans) keep
+    /// the fault-free fast path.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for RunConfig {
@@ -30,6 +34,7 @@ impl Default for RunConfig {
             measure: 40_000,
             drain_max: 200_000,
             watchdog_grace: 20_000,
+            faults: None,
         }
     }
 }
@@ -42,12 +47,13 @@ impl RunConfig {
             measure: 6_000,
             drain_max: 60_000,
             watchdog_grace: 10_000,
+            faults: None,
         }
     }
 }
 
 /// Aggregated outcome of one simulation run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RunOutcome {
     /// Offered load the workload was configured for.
     pub offered_load: f64,
@@ -71,6 +77,9 @@ pub struct RunOutcome {
     pub saturated: bool,
     /// The watchdog saw in-flight traffic make no progress.
     pub deadlocked: bool,
+    /// Forensic snapshot captured when the watchdog fired: buffer
+    /// occupancy, blocked worms, and the wait-for cycle.
+    pub deadlock: Option<DeadlockReport>,
     /// Total simulated cycles.
     pub cycles: Cycle,
     /// Mean ejection-link utilization over the whole run (flits per link
@@ -78,6 +87,10 @@ pub struct RunOutcome {
     pub eject_utilization: f64,
     /// Mean inter-switch fabric-link utilization over the whole run.
     pub fabric_utilization: f64,
+    /// Faults the links actually injected (all zero on fault-free runs).
+    pub faults: FaultCounters,
+    /// Host-side recovery activity (all zero when recovery is disabled).
+    pub recovery: RecoveryCounters,
 }
 
 /// Builds the system, applies the workload and measures it.
@@ -91,19 +104,26 @@ pub fn run_experiment(config: &SystemConfig, spec: &TrafficSpec, run: &RunConfig
     let stop_at = run.warmup + run.measure;
     let sources = make_sources(spec, n, config.seed, Some(stop_at));
     let mut sys = build_system(config.clone(), sources, None);
+    if let Some(plan) = &run.faults {
+        sys.engine.install_faults(plan);
+    }
     sys.shared.tracker.borrow_mut().set_measure_from(run.warmup);
 
     sys.engine.run_until(stop_at);
 
-    // Drain with watchdog.
+    // Drain with watchdog. The probe step is clamped both by the watchdog
+    // grace (so stalls are noticed promptly) and by the cycles left in the
+    // drain budget (so the run never overshoots `stop_at + drain_max`).
+    let drain_end = stop_at + run.drain_max;
     let mut deadlocked = false;
     let mut last_moves = sys.engine.total_flit_moves();
     let mut last_progress = sys.engine.now();
-    while sys.tracker().borrow().outstanding() > 0
-        && sys.engine.now() < stop_at + run.drain_max
-        && !deadlocked
-    {
-        sys.engine.run_for(500.min(run.watchdog_grace / 2).max(1));
+    while sys.tracker().borrow().outstanding() > 0 && sys.engine.now() < drain_end && !deadlocked {
+        let step = 500
+            .min(run.watchdog_grace / 2)
+            .max(1)
+            .min(drain_end - sys.engine.now());
+        sys.engine.run_for(step);
         let moves = sys.engine.total_flit_moves();
         if moves != last_moves {
             last_moves = moves;
@@ -113,7 +133,9 @@ pub fn run_experiment(config: &SystemConfig, spec: &TrafficSpec, run: &RunConfig
         }
     }
 
+    let deadlock = deadlocked.then(|| capture_deadlock_report(&mut sys));
     let utilization = sys.link_utilization();
+    let recovery = sys.shared.recovery.borrow().counters;
     let tracker = sys.tracker();
     let tracker = tracker.borrow();
     let leftover = tracker.outstanding();
@@ -128,9 +150,12 @@ pub fn run_experiment(config: &SystemConfig, spec: &TrafficSpec, run: &RunConfig
         leftover,
         saturated: leftover > 0 && !deadlocked,
         deadlocked,
+        deadlock,
         cycles: sys.engine.now(),
         eject_utilization: utilization.eject,
         fabric_utilization: utilization.fabric,
+        faults: sys.engine.fault_counters(),
+        recovery,
     }
 }
 
@@ -186,6 +211,7 @@ mod tests {
             measure: 4_000,
             drain_max: 2_000, // deliberately too short to drain
             watchdog_grace: 10_000,
+            faults: None,
         };
         let out = run_experiment(&cfg, &spec, &run);
         assert!(!out.deadlocked, "watchdog fired under saturation");
@@ -208,6 +234,86 @@ mod tests {
             out.eject_utilization
         );
         assert!(out.fabric_utilization > 0.0);
+    }
+
+    #[test]
+    fn drain_probe_never_overshoots_the_budget() {
+        // With an odd, tiny drain budget the probe step must shrink to the
+        // remaining cycles instead of sailing past `stop_at + drain_max`.
+        let cfg = small_cfg(SwitchArch::CentralBuffer, McastImpl::HwBitString);
+        let spec = TrafficSpec::multiple_multicast(0.9, 7, 64);
+        let run = RunConfig {
+            warmup: 500,
+            measure: 4_000,
+            drain_max: 123,
+            watchdog_grace: 10_000,
+            faults: None,
+        };
+        let out = run_experiment(&cfg, &spec, &run);
+        assert!(
+            out.saturated,
+            "load 0.9 with a 123-cycle drain must saturate"
+        );
+        assert_eq!(
+            out.cycles,
+            run.warmup + run.measure + run.drain_max,
+            "drain ran past its budget"
+        );
+    }
+
+    #[test]
+    fn faulty_links_with_recovery_still_deliver_everything() {
+        let mut cfg = small_cfg(SwitchArch::CentralBuffer, McastImpl::HwBitString);
+        cfg.recovery = Some(collectives::RecoveryConfig {
+            timeout: 1_500,
+            timeout_cap: 12_000,
+            max_retries: 10,
+        });
+        let spec = TrafficSpec::multiple_multicast(0.03, 4, 32);
+        let run = RunConfig {
+            faults: Some(netsim::FaultPlan::drops(9, 1e-3)),
+            ..RunConfig::quick()
+        };
+        let out = run_experiment(&cfg, &spec, &run);
+        assert!(!out.deadlocked);
+        assert_eq!(out.leftover, 0, "recovery must re-deliver dropped worms");
+        assert!(out.faults.worms_dropped > 0, "fault plan never fired");
+        assert!(out.recovery.retransmits > 0, "drops must trigger resends");
+        assert_eq!(out.recovery.gave_up, 0);
+    }
+
+    #[test]
+    fn permanent_outage_wedges_and_watchdog_reports() {
+        // Every link dies within ~100 cycles and never comes back; without
+        // recovery the network freezes and the watchdog must produce a
+        // forensic report through the run_experiment path.
+        let cfg = small_cfg(SwitchArch::CentralBuffer, McastImpl::HwBitString);
+        let spec = TrafficSpec::multiple_multicast(0.1, 4, 32);
+        let run = RunConfig {
+            warmup: 500,
+            measure: 2_000,
+            drain_max: 60_000,
+            watchdog_grace: 3_000,
+            faults: Some(netsim::FaultPlan {
+                down_every: 50,
+                down_len: 1 << 40,
+                ..netsim::FaultPlan::none(5)
+            }),
+        };
+        let out = run_experiment(&cfg, &spec, &run);
+        assert!(out.deadlocked, "a fully cut network cannot drain");
+        assert!(out.faults.down_cycles > 0);
+        let report = out.deadlock.expect("deadlock implies a report");
+        assert!(report.outstanding_messages > 0);
+        assert_eq!(report.outstanding_messages, out.leftover);
+        // An outage stall is not a circular wait, so `cycle` may well be
+        // empty — but any reported cycle must be made of real edges.
+        for pair in report.cycle.windows(2) {
+            assert!(report
+                .wait_edges
+                .iter()
+                .any(|e| e.from_link == pair[0] && e.to_link == pair[1]));
+        }
     }
 
     #[test]

@@ -21,14 +21,13 @@ use netsim::ids::NodeId;
 use netsim::message::MessageKind;
 use netsim::rng::SimRng;
 use netsim::Cycle;
-use serde::{Deserialize, Serialize};
 
 /// Unicast destination pattern.
 ///
 /// `Uniform` is the paper's default; the permutations are the classic MIN
 /// stress patterns ("other traffic patterns" in the paper's §9 outlook).
 /// Permutation patterns require a power-of-two system size.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Pattern {
     /// Uniformly random destination (excluding the source).
     #[default]
@@ -78,7 +77,7 @@ impl Pattern {
 }
 
 /// Parameters of the random traffic mix.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrafficSpec {
     /// Offered load in payload flits per node per cycle (0.0 ..= 1.0).
     pub load: f64,
@@ -366,9 +365,7 @@ mod tests {
         ] {
             let mut seen = std::collections::HashSet::new();
             for m in 0..n {
-                let d = pattern
-                    .dest(NodeId::from(m), n)
-                    .map_or(m, |d| d.index());
+                let d = pattern.dest(NodeId::from(m), n).map_or(m, |d| d.index());
                 seen.insert(d);
             }
             assert_eq!(seen.len(), n, "{pattern:?} over {n} is a bijection");

@@ -34,7 +34,13 @@ impl Irregular {
     ///
     /// Panics if the port budget cannot accommodate the hosts plus a
     /// spanning tree.
-    pub fn new(n_switches: usize, ports: usize, n_hosts: usize, extra_links: usize, seed: u64) -> Self {
+    pub fn new(
+        n_switches: usize,
+        ports: usize,
+        n_hosts: usize,
+        extra_links: usize,
+        seed: u64,
+    ) -> Self {
         assert!(n_switches >= 1, "need at least one switch");
         assert!(n_hosts >= 1, "need at least one host");
         assert!(
@@ -58,10 +64,10 @@ impl Irregular {
 
         let mut adjacency: Vec<Vec<usize>> = vec![Vec::new(); n_switches];
         let link = |b: &mut TopologyBuilder,
-                        next_free: &mut Vec<usize>,
-                        adjacency: &mut Vec<Vec<usize>>,
-                        x: usize,
-                        y: usize| {
+                    next_free: &mut Vec<usize>,
+                    adjacency: &mut Vec<Vec<usize>>,
+                    x: usize,
+                    y: usize| {
             b.connect(switches[x], next_free[x], switches[y], next_free[y]);
             next_free[x] += 1;
             next_free[y] += 1;
@@ -191,10 +197,12 @@ mod tests {
                 let src = NodeId::from(rng.below(12));
                 let k = 1 + rng.below(8);
                 let dests = rng.dest_set(12, k, src);
-                for policy in [ReplicatePolicy::ReturnOnly, ReplicatePolicy::ForwardAndReturn] {
-                    let trace =
-                        trace_bitstring(&tables, net.topology(), src, &dests, policy, 32)
-                            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+                for policy in [
+                    ReplicatePolicy::ReturnOnly,
+                    ReplicatePolicy::ForwardAndReturn,
+                ] {
+                    let trace = trace_bitstring(&tables, net.topology(), src, &dests, policy, 32)
+                        .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
                     assert_eq!(trace.delivered, dests);
                 }
             }

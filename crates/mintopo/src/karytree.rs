@@ -156,13 +156,12 @@ mod tests {
                     Attach::Switch(next, _) => sw = next,
                     Attach::Unused => panic!("routed into unused port"),
                 },
-                UnicastRoute::Up(cands) => match topo.attach(
-                    sw,
-                    pick_deterministic(&cands, dst.index() as u64),
-                ) {
-                    Attach::Switch(next, _) => sw = next,
-                    other => panic!("up port leads to {other:?}"),
-                },
+                UnicastRoute::Up(cands) => {
+                    match topo.attach(sw, pick_deterministic(&cands, dst.index() as u64)) {
+                        Attach::Switch(next, _) => sw = next,
+                        other => panic!("up port leads to {other:?}"),
+                    }
+                }
             }
         }
     }

@@ -157,14 +157,8 @@ mod tests {
         let t = small_tree();
         let info = build_port_info(&t);
         assert_eq!(info[2][0].class, PortClass::Down);
-        assert_eq!(
-            info[2][0].reach,
-            DestSet::from_nodes(4, [0, 1].map(NodeId))
-        );
-        assert_eq!(
-            info[2][1].reach,
-            DestSet::from_nodes(4, [2, 3].map(NodeId))
-        );
+        assert_eq!(info[2][0].reach, DestSet::from_nodes(4, [0, 1].map(NodeId)));
+        assert_eq!(info[2][1].reach, DestSet::from_nodes(4, [2, 3].map(NodeId)));
         // Root's down reaches are disjoint and cover all hosts.
         let union = info[2][0].reach.or(&info[2][1].reach);
         assert_eq!(union, DestSet::full(4));

@@ -21,10 +21,9 @@ use crate::reach::{build_port_info, PortClass, PortInfo};
 use crate::topology::Topology;
 use netsim::destset::DestSet;
 use netsim::ids::{NodeId, SwitchId};
-use serde::{Deserialize, Serialize};
 
 /// When a multidestination worm may begin replicating (paper §3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ReplicatePolicy {
     /// Travel to the LCA stage first, then cover all destinations on the
     /// way back down (single worm, no forward-path branching).
@@ -415,7 +414,10 @@ mod tests {
         let t = tables();
         let leaf = t.table(SwitchId(0));
         let dests = DestSet::from_nodes(4, [0, 1].map(NodeId));
-        for policy in [ReplicatePolicy::ReturnOnly, ReplicatePolicy::ForwardAndReturn] {
+        for policy in [
+            ReplicatePolicy::ReturnOnly,
+            ReplicatePolicy::ForwardAndReturn,
+        ] {
             let r = leaf.route_bitstring(&dests, policy);
             assert!(r.up.is_none());
             assert_eq!(r.down.len(), 2);
@@ -466,7 +468,10 @@ mod tests {
         let topo = b.build();
         let t = RouteTables::build(&topo);
         let dests = DestSet::from_nodes(4, [1, 2, 3].map(NodeId));
-        for policy in [ReplicatePolicy::ReturnOnly, ReplicatePolicy::ForwardAndReturn] {
+        for policy in [
+            ReplicatePolicy::ReturnOnly,
+            ReplicatePolicy::ForwardAndReturn,
+        ] {
             let trace =
                 trace_bitstring(&t, &topo, NodeId(0), &dests, policy, 16).expect("replicates");
             assert_eq!(trace.delivered, dests, "policy {policy:?}");

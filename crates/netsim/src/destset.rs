@@ -7,7 +7,6 @@
 //! algebra (union, intersection, difference) the decode logic needs.
 
 use crate::ids::NodeId;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 const WORD_BITS: usize = 64;
@@ -18,7 +17,7 @@ const WORD_BITS: usize = 64;
 /// Operations between two sets require equal universes and panic otherwise —
 /// mixing reachability strings from differently sized systems is always a
 /// bug.
-#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash)]
 pub struct DestSet {
     len: usize,
     words: Vec<u64>,
@@ -248,7 +247,10 @@ impl DestSet {
     /// Panics if the universes differ.
     pub fn is_subset_of(&self, other: &DestSet) -> bool {
         self.check_universe(other);
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Iterates over members in ascending node order.
@@ -256,7 +258,11 @@ impl DestSet {
         Iter {
             set: self,
             word: 0,
-            bits: if self.words.is_empty() { 0 } else { self.words[0] },
+            bits: if self.words.is_empty() {
+                0
+            } else {
+                self.words[0]
+            },
         }
     }
 

@@ -7,6 +7,7 @@
 //! observes another component's same-cycle output, so the tick order is not
 //! semantically observable — runs are deterministic and order-independent.
 
+use crate::fault::{FaultCounters, FaultPlan};
 use crate::flit::Flit;
 use crate::ids::LinkId;
 use crate::link::Link;
@@ -159,6 +160,38 @@ impl Engine {
     /// Number of registered components.
     pub fn n_components(&self) -> usize {
         self.comps.len()
+    }
+
+    /// Number of registered links.
+    pub fn n_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Installs a fault plan on every registered link.
+    ///
+    /// Each link gets its own deterministic random stream derived from the
+    /// plan's seed and the link's id, so fault timing is independent of
+    /// traffic and identical across same-seed runs. A no-op plan installs
+    /// nothing, keeping fault-free runs on the fast path. Call after all
+    /// links are registered.
+    pub fn install_faults(&mut self, plan: &FaultPlan) {
+        if plan.is_noop() {
+            return;
+        }
+        for (i, link) in self.links.iter_mut().enumerate() {
+            link.install_faults(plan.for_link(LinkId::from(i)));
+        }
+    }
+
+    /// Sum of injected-fault counters across all links.
+    pub fn fault_counters(&self) -> FaultCounters {
+        let mut total = FaultCounters::default();
+        for link in &self.links {
+            if let Some(c) = link.fault_counters() {
+                total.merge(c);
+            }
+        }
+        total
     }
 
     /// Total flits sent over all links since the start of the run — the

@@ -1,0 +1,281 @@
+//! Deterministic fault injection for links.
+//!
+//! A [`FaultPlan`] describes a stochastic fault environment; every link
+//! derives its own [`LinkFaults`] stream from the plan's seed (via the
+//! [`SimRng`] splitter), so two runs with the same plan perturb the network
+//! identically regardless of traffic. Fault-free links carry no plan at all
+//! — the hot paths branch on an `Option` that is `None` by default.
+//!
+//! Three fault classes are modeled, matching what endpoint recovery can
+//! plausibly survive in a wormhole network:
+//!
+//! * **Worm loss** (`flit_drop`): each flit entering a link faces an
+//!   independent hazard; a condemned flit takes the *rest of its worm* with
+//!   it on that link (a real link CRC failure poisons the whole packet).
+//!   To keep switch pipelines sound — a worm missing its tail would hold
+//!   paths forever — the roll is made at the head flit with the compounded
+//!   per-packet probability, and every flit of a condemned worm is silently
+//!   discarded at the receiving end of the link, with credits returned as
+//!   if consumed. Downstream components never see any part of the worm.
+//! * **Flit corruption** (`flit_corrupt`): the flit is delivered but marked
+//!   corrupt; endpoints detect this with the packet checksum and discard
+//!   the packet (switches forward corrupt flits unknowingly, as real ones
+//!   do).
+//! * **Link outages** (`down_every` / `down_len`): the link periodically
+//!   refuses new flits for an interval — in-flight flits still arrive, so
+//!   worms stall but are not torn.
+//! * **Credit leaks** (`credit_leak`): a returned credit occasionally
+//!   vanishes, permanently shrinking the link's window. Leaks are capped at
+//!   `max_credits - 1` so the link retains forward progress (a fully wedged
+//!   link is indistinguishable from a cut cable, which recovery cannot and
+//!   should not mask).
+
+use crate::ids::LinkId;
+use crate::rng::SimRng;
+use crate::Cycle;
+
+/// A seeded description of the fault environment, shared by all links.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for all fault randomness (independent of workload seeds).
+    pub seed: u64,
+    /// Per-flit hazard of losing the worm on a link traversal.
+    pub flit_drop: f64,
+    /// Per-flit probability of corruption in transit.
+    pub flit_corrupt: f64,
+    /// Mean cycles between outages on a link (`0` disables outages).
+    pub down_every: Cycle,
+    /// Length of each outage in cycles.
+    pub down_len: Cycle,
+    /// Probability that a returned credit is lost.
+    pub credit_leak: f64,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (useful as a sweep baseline).
+    pub fn none(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            flit_drop: 0.0,
+            flit_corrupt: 0.0,
+            down_every: 0,
+            down_len: 0,
+            credit_leak: 0.0,
+        }
+    }
+
+    /// A drop-only plan, the common sweep axis.
+    pub fn drops(seed: u64, flit_drop: f64) -> Self {
+        FaultPlan {
+            flit_drop,
+            ..FaultPlan::none(seed)
+        }
+    }
+
+    /// `true` if the plan can never inject a fault.
+    pub fn is_noop(&self) -> bool {
+        self.flit_drop <= 0.0
+            && self.flit_corrupt <= 0.0
+            && (self.down_every == 0 || self.down_len == 0)
+            && self.credit_leak <= 0.0
+    }
+
+    /// Derives the per-link fault state for `link`.
+    pub fn for_link(&self, link: LinkId) -> LinkFaults {
+        let mut rng = SimRng::new(self.seed).fork(0xFA01_7000 ^ link.index() as u64);
+        let first_down = if self.down_every > 0 && self.down_len > 0 {
+            1 + rng.below(2 * self.down_every as usize) as Cycle
+        } else {
+            Cycle::MAX
+        };
+        LinkFaults {
+            plan: self.clone(),
+            rng,
+            next_down: first_down,
+            down_until: 0,
+            condemn_worm: false,
+            counters: FaultCounters::default(),
+        }
+    }
+}
+
+/// Running totals of injected faults (per link; summed by the engine).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Worms condemned on a link (each loses all its flits there).
+    pub worms_dropped: u64,
+    /// Individual flits discarded as part of condemned worms.
+    pub flits_dropped: u64,
+    /// Flits delivered with a corruption mark.
+    pub flits_corrupted: u64,
+    /// Cycles of scheduled link outage.
+    pub down_cycles: u64,
+    /// Credits swallowed on the return path.
+    pub credits_leaked: u64,
+}
+
+impl FaultCounters {
+    /// Accumulates another counter set into this one.
+    pub fn merge(&mut self, other: &FaultCounters) {
+        self.worms_dropped += other.worms_dropped;
+        self.flits_dropped += other.flits_dropped;
+        self.flits_corrupted += other.flits_corrupted;
+        self.down_cycles += other.down_cycles;
+        self.credits_leaked += other.credits_leaked;
+    }
+
+    /// `true` if nothing was ever injected.
+    pub fn is_clean(&self) -> bool {
+        *self == FaultCounters::default()
+    }
+}
+
+/// Per-link fault state, installed by [`crate::engine::Engine`].
+#[derive(Debug, Clone)]
+pub struct LinkFaults {
+    plan: FaultPlan,
+    rng: SimRng,
+    next_down: Cycle,
+    down_until: Cycle,
+    condemn_worm: bool,
+    /// Injection totals for this link.
+    pub counters: FaultCounters,
+}
+
+impl LinkFaults {
+    /// Advances the outage schedule; returns `true` if the link is down.
+    pub fn tick_outages(&mut self, now: Cycle) -> bool {
+        if now >= self.next_down {
+            self.down_until = now + self.plan.down_len;
+            self.counters.down_cycles += self.plan.down_len;
+            // Next outage a uniformly jittered interval later.
+            self.next_down =
+                self.down_until + 1 + self.rng.below(2 * self.plan.down_every as usize) as Cycle;
+        }
+        now < self.down_until
+    }
+
+    /// `true` while an outage is in effect (no schedule advance).
+    pub fn is_down(&self, now: Cycle) -> bool {
+        now < self.down_until
+    }
+
+    /// Rolls the fate of a flit entering the link. Returns `true` if the
+    /// flit (and, from the head roll, its whole worm) must be discarded at
+    /// the far end.
+    ///
+    /// `is_head` starts a new worm: the drop roll compounds the per-flit
+    /// hazard over `worm_flits` so condemnation is always whole-worm.
+    pub fn roll_drop(&mut self, is_head: bool, worm_flits: u16) -> bool {
+        if is_head {
+            self.condemn_worm = if self.plan.flit_drop > 0.0 {
+                let p_keep = (1.0 - self.plan.flit_drop).powi(i32::from(worm_flits.max(1)));
+                self.rng.chance(1.0 - p_keep)
+            } else {
+                false
+            };
+            if self.condemn_worm {
+                self.counters.worms_dropped += 1;
+            }
+        }
+        if self.condemn_worm {
+            self.counters.flits_dropped += 1;
+        }
+        self.condemn_worm
+    }
+
+    /// Rolls corruption for a delivered flit.
+    pub fn roll_corrupt(&mut self) -> bool {
+        if self.plan.flit_corrupt > 0.0 && self.rng.chance(self.plan.flit_corrupt) {
+            self.counters.flits_corrupted += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Rolls a credit leak; `leak_budget` is how many more credits this
+    /// link may lose. Returns `true` if the credit vanishes.
+    pub fn roll_credit_leak(&mut self, leak_budget: u64) -> bool {
+        if self.plan.credit_leak > 0.0
+            && self.counters.credits_leaked < leak_budget
+            && self.rng.chance(self.plan.credit_leak)
+        {
+            self.counters.credits_leaked += 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_plan_is_noop() {
+        assert!(FaultPlan::none(1).is_noop());
+        assert!(!FaultPlan::drops(1, 1e-3).is_noop());
+    }
+
+    #[test]
+    fn per_link_streams_are_deterministic_and_distinct() {
+        // Modest rate: compounded over 10-flit worms this is ~p = 0.4, so
+        // 64-draw sequences from distinct streams differ with certainty.
+        let plan = FaultPlan::drops(42, 0.05);
+        let mut a = plan.for_link(LinkId::from(3usize));
+        let mut a2 = plan.for_link(LinkId::from(3usize));
+        let mut b = plan.for_link(LinkId::from(4usize));
+        let seq =
+            |f: &mut LinkFaults| -> Vec<bool> { (0..64).map(|_| f.roll_drop(true, 10)).collect() };
+        let sa = seq(&mut a);
+        assert_eq!(sa, seq(&mut a2));
+        assert_ne!(sa, seq(&mut b));
+    }
+
+    #[test]
+    fn whole_worm_is_condemned_together() {
+        let plan = FaultPlan::drops(7, 0.9);
+        let mut f = plan.for_link(LinkId::from(0usize));
+        for _ in 0..32 {
+            let head = f.roll_drop(true, 8);
+            for _ in 1..8 {
+                assert_eq!(f.roll_drop(false, 8), head, "mid-worm fate must match head");
+            }
+        }
+    }
+
+    #[test]
+    fn outage_schedule_advances() {
+        let plan = FaultPlan {
+            down_every: 100,
+            down_len: 10,
+            ..FaultPlan::none(3)
+        };
+        let mut f = plan.for_link(LinkId::from(0usize));
+        let mut down = 0u64;
+        for now in 0..10_000 {
+            if f.tick_outages(now) {
+                down += 1;
+            }
+        }
+        assert_eq!(down, f.counters.down_cycles);
+        assert!(
+            down > 100,
+            "expected multiple outages, saw {down} down cycles"
+        );
+        assert!(down < 5_000);
+    }
+
+    #[test]
+    fn credit_leaks_respect_budget() {
+        let plan = FaultPlan {
+            credit_leak: 1.0,
+            ..FaultPlan::none(9)
+        };
+        let mut f = plan.for_link(LinkId::from(0usize));
+        let leaked = (0..100).filter(|_| f.roll_credit_leak(3)).count();
+        assert_eq!(leaked, 3, "budget caps leaks");
+    }
+}

@@ -27,6 +27,7 @@ pub enum FlitKind {
 pub struct Flit {
     pkt: Rc<Packet>,
     idx: u16,
+    corrupt: bool,
 }
 
 impl Flit {
@@ -41,7 +42,11 @@ impl Flit {
             "flit index {idx} out of range for {} flits",
             pkt.total_flits()
         );
-        Flit { pkt, idx }
+        Flit {
+            pkt,
+            idx,
+            corrupt: false,
+        }
     }
 
     /// The packet this flit belongs to.
@@ -82,6 +87,19 @@ impl Flit {
         self.idx < self.pkt.header_flits()
     }
 
+    /// `true` if the flit was corrupted in transit (fault injection).
+    ///
+    /// Switches forward corrupt flits unknowingly — only endpoints check,
+    /// via the packet checksum, when the worm completes.
+    pub fn corrupted(&self) -> bool {
+        self.corrupt
+    }
+
+    /// Marks the flit as corrupted (called by a faulty [`crate::link::Link`]).
+    pub fn mark_corrupt(&mut self) {
+        self.corrupt = true;
+    }
+
     /// Returns the same flit position re-bound to a (branch-rewritten) packet
     /// descriptor — the header-rewrite operation of the central-buffer switch.
     ///
@@ -94,7 +112,11 @@ impl Flit {
             self.pkt.total_flits(),
             "rebind must preserve packet length"
         );
-        Flit { pkt, idx: self.idx }
+        Flit {
+            pkt,
+            idx: self.idx,
+            corrupt: self.corrupt,
+        }
     }
 }
 
@@ -160,5 +182,17 @@ mod tests {
         let g = f.rebind(q);
         assert_eq!(g.idx(), 3);
         assert!(g.is_tail());
+    }
+
+    #[test]
+    fn corruption_survives_rebind_and_clone() {
+        let p = pkt(2);
+        let mut f = Flit::new(p.clone(), 1);
+        assert!(!f.corrupted());
+        f.mark_corrupt();
+        assert!(f.corrupted());
+        assert!(f.clone().corrupted());
+        let q = Rc::new(p.with_header(p.header().clone()));
+        assert!(f.rebind(q).corrupted());
     }
 }

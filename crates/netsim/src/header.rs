@@ -22,11 +22,10 @@
 
 use crate::destset::DestSet;
 use crate::ids::NodeId;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A set of switch output ports, encoded as a bitmask (ports `0..=15`).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct PortMask(pub u16);
 
 impl PortMask {
@@ -102,7 +101,7 @@ impl fmt::Debug for PortMask {
 }
 
 /// The routing information carried in a worm's header flits.
-#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash)]
 pub enum RoutingHeader {
     /// Point-to-point worm addressed to a single node.
     Unicast {

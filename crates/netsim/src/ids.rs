@@ -4,7 +4,6 @@
 //! mixed up at compile time (C-NEWTYPE). All of them are cheap `Copy` types
 //! with ordering and hashing, so they work as map keys and sort keys.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Bit set in [`MessageId`]s and [`PacketId`]s synthesized *inside
@@ -15,10 +14,7 @@ pub const SWITCH_MSG_BIT: u64 = 1 << 62;
 macro_rules! id_type {
     ($(#[$meta:meta])* $name:ident, $inner:ty, $prefix:expr) => {
         $(#[$meta])*
-        #[derive(
-            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-            Serialize, Deserialize,
-        )]
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
         pub struct $name(pub $inner);
 
         impl $name {

@@ -10,7 +10,9 @@
 //! * unidirectional, credit flow-controlled, fixed-delay links ([`link`]),
 //! * a deterministic single-threaded cycle engine ([`engine`]),
 //! * latency/throughput statistics and delivery tracking ([`stats`]),
-//! * a seeded random-number helper for workload generation ([`rng`]).
+//! * a seeded random-number helper for workload generation ([`rng`]),
+//! * deterministic link-fault injection — worm drops, flit corruption,
+//!   outages, credit leaks ([`fault`]).
 //!
 //! Everything is single-threaded and deterministic: components tick in a fixed
 //! order, links impose at least one cycle of delay so that no component
@@ -71,6 +73,7 @@
 
 pub mod destset;
 pub mod engine;
+pub mod fault;
 pub mod flit;
 pub mod header;
 pub mod ids;
@@ -89,6 +92,7 @@ pub type Cycle = u64;
 
 pub use destset::DestSet;
 pub use engine::{Component, Engine, PortIo};
+pub use fault::{FaultCounters, FaultPlan};
 pub use flit::Flit;
 pub use header::RoutingHeader;
 pub use ids::{LinkId, MessageId, NodeId, PacketId, SwitchId};

@@ -8,24 +8,39 @@
 //! it frees the corresponding staging slot. A full-duplex physical cable is
 //! modeled as two `Link`s.
 
+use crate::fault::{FaultCounters, LinkFaults};
 use crate::flit::Flit;
 use crate::Cycle;
 use std::collections::VecDeque;
+
+/// One queued flit with its arrival time and injected fate.
+#[derive(Debug)]
+struct InFlight {
+    arrives: Cycle,
+    flit: Flit,
+    dropped: bool,
+}
 
 /// A unidirectional, credit flow-controlled link.
 ///
 /// Links are owned by the [`crate::engine::Engine`]; components access them
 /// through [`crate::engine::PortIo`].
+///
+/// An optional [`LinkFaults`] stream (installed via
+/// [`Link::install_faults`]) can condemn worms, corrupt flits, take the
+/// link down for intervals, and leak returned credits. Fault-free links
+/// pay only an `Option` check on these paths.
 #[derive(Debug)]
 pub struct Link {
     delay: u32,
     credits: u32,
     max_credits: u32,
-    flit_q: VecDeque<(Cycle, Flit)>,
+    flit_q: VecDeque<InFlight>,
     credit_q: VecDeque<Cycle>,
     last_recv: Option<Cycle>,
     last_send: Option<Cycle>,
     total_flits: u64,
+    faults: Option<Box<LinkFaults>>,
 }
 
 impl Link {
@@ -48,7 +63,18 @@ impl Link {
             last_recv: None,
             last_send: None,
             total_flits: 0,
+            faults: None,
         }
+    }
+
+    /// Installs a fault stream on this link (see [`crate::fault`]).
+    pub fn install_faults(&mut self, faults: LinkFaults) {
+        self.faults = Some(Box::new(faults));
+    }
+
+    /// Injection totals for this link, if faults are installed.
+    pub fn fault_counters(&self) -> Option<&FaultCounters> {
+        self.faults.as_deref().map(|f| &f.counters)
     }
 
     /// Propagation delay in cycles.
@@ -94,11 +120,24 @@ impl Link {
                 break;
             }
         }
+        if let Some(f) = self.faults.as_deref_mut() {
+            f.tick_outages(now);
+            // Condemned flits evaporate on arrival: the link consumes them
+            // itself and frees their staging slots, so downstream never sees
+            // any part of a dropped worm. Arrival times are monotone, so
+            // only front entries can have arrived.
+            while matches!(self.flit_q.front(), Some(q) if q.arrives <= now && q.dropped) {
+                self.flit_q.pop_front();
+                self.credit_q.push_back(now + self.delay as Cycle);
+            }
+        }
     }
 
     /// Sender side: `true` if a flit may be sent this cycle.
     pub fn can_send(&self, now: Cycle) -> bool {
-        self.credits > 0 && self.last_send != Some(now)
+        self.credits > 0
+            && self.last_send != Some(now)
+            && !self.faults.as_deref().is_some_and(|f| f.is_down(now))
     }
 
     /// Sender side: sends a flit, consuming a credit.
@@ -107,20 +146,31 @@ impl Link {
     ///
     /// Panics if no credit is available or a flit was already sent this
     /// cycle (bandwidth is one flit per cycle).
-    pub fn send(&mut self, now: Cycle, flit: Flit) {
+    pub fn send(&mut self, now: Cycle, mut flit: Flit) {
         assert!(self.credits > 0, "send without credit");
         assert_ne!(self.last_send, Some(now), "link bandwidth exceeded");
+        let mut dropped = false;
+        if let Some(f) = self.faults.as_deref_mut() {
+            dropped = f.roll_drop(flit.is_head(), flit.packet().total_flits());
+            if !dropped && f.roll_corrupt() {
+                flit.mark_corrupt();
+            }
+        }
         self.credits -= 1;
         self.last_send = Some(now);
         self.total_flits += 1;
-        self.flit_q.push_back((now + self.delay as Cycle, flit));
+        self.flit_q.push_back(InFlight {
+            arrives: now + self.delay as Cycle,
+            flit,
+            dropped,
+        });
     }
 
     /// Receiver side: the flit arriving this cycle, if any, without
     /// consuming it.
     pub fn peek(&self, now: Cycle) -> Option<&Flit> {
         match self.flit_q.front() {
-            Some((arr, flit)) if *arr <= now => Some(flit),
+            Some(q) if q.arrives <= now && !q.dropped => Some(&q.flit),
             _ => None,
         }
     }
@@ -134,9 +184,9 @@ impl Link {
             return None;
         }
         match self.flit_q.front() {
-            Some((arr, _)) if *arr <= now => {
+            Some(q) if q.arrives <= now && !q.dropped => {
                 self.last_recv = Some(now);
-                Some(self.flit_q.pop_front().expect("front exists").1)
+                Some(self.flit_q.pop_front().expect("front exists").flit)
             }
             _ => None,
         }
@@ -144,7 +194,18 @@ impl Link {
 
     /// Receiver side: returns one credit toward the sender; it becomes
     /// usable after the propagation delay.
+    ///
+    /// Under an installed fault stream the credit may leak (vanish), but
+    /// never below a window of one — a fully wedged link would be a cut
+    /// cable, which is outside the recoverable fault model.
     pub fn return_credit(&mut self, now: Cycle) {
+        if let Some(f) = self.faults.as_deref_mut() {
+            // At most max_credits - 1 may ever leak, so one credit always
+            // keeps circulating and the link retains forward progress.
+            if f.roll_credit_leak(u64::from(self.max_credits - 1)) {
+                return;
+            }
+        }
         self.credit_q.push_back(now + self.delay as Cycle);
     }
 }
@@ -242,5 +303,109 @@ mod tests {
         l.send(0, flit());
         l.begin_cycle(1);
         l.send(1, flit());
+    }
+
+    mod faults {
+        use super::*;
+        use crate::fault::FaultPlan;
+        use crate::ids::LinkId;
+
+        /// Sends every flit of one worm through `l`, consuming arrivals each
+        /// cycle; returns (flits received, any corrupt, credits at rest),
+        /// handing the link back for counter inspection.
+        fn push_worm_through(mut l: Link, payload: u16) -> ((u16, bool, u32), Link) {
+            let p = Rc::new(PacketBuilder::unicast(NodeId(0), NodeId(1), payload, 16).build());
+            let total = p.total_flits();
+            let mut sent = 0u16;
+            let mut got = 0u16;
+            let mut corrupt = false;
+            for now in 0..10_000u64 {
+                l.begin_cycle(now);
+                if sent < total && l.can_send(now) {
+                    l.send(now, Flit::new(p.clone(), sent));
+                    sent += 1;
+                }
+                if let Some(f) = l.recv(now) {
+                    corrupt |= f.corrupted();
+                    got += 1;
+                    l.return_credit(now);
+                }
+                if sent == total && l.in_flight() == 0 && now > 200 {
+                    l.begin_cycle(now + 100);
+                    let credits = l.credits();
+                    return ((got, corrupt, credits), l);
+                }
+            }
+            panic!("worm never drained");
+        }
+
+        #[test]
+        fn certain_drop_swallows_whole_worm_and_returns_credits() {
+            let mut l = Link::new(2, 3);
+            l.install_faults(FaultPlan::drops(5, 1.0).for_link(LinkId::from(0usize)));
+            let ((got, _, credits), l) = push_worm_through(l, 6);
+            assert_eq!(got, 0, "condemned worm must not surface");
+            assert_eq!(credits, 3, "link self-returns credits for dropped flits");
+            let c = l.fault_counters().unwrap();
+            assert_eq!(c.worms_dropped, 1);
+            assert_eq!(c.flits_dropped, 8);
+        }
+
+        #[test]
+        fn certain_corruption_marks_but_delivers() {
+            let mut l = Link::new(1, 4);
+            let plan = FaultPlan {
+                flit_corrupt: 1.0,
+                ..FaultPlan::none(5)
+            };
+            l.install_faults(plan.for_link(LinkId::from(0usize)));
+            let ((got, corrupt, credits), l) = push_worm_through(l, 6);
+            assert_eq!(got, 8, "corrupt flits still arrive");
+            assert!(corrupt);
+            assert_eq!(credits, 4);
+            assert_eq!(l.fault_counters().unwrap().flits_corrupted, 8);
+        }
+
+        #[test]
+        fn outage_blocks_sender_but_preserves_flits() {
+            let mut l = Link::new(1, 8);
+            let plan = FaultPlan {
+                down_every: 20,
+                down_len: 10,
+                ..FaultPlan::none(11)
+            };
+            l.install_faults(plan.for_link(LinkId::from(0usize)));
+            let ((got, corrupt, credits), l) = push_worm_through(l, 6);
+            assert_eq!(got, 8, "outages delay but never lose flits");
+            assert!(!corrupt);
+            assert_eq!(credits, 8);
+            assert!(l.fault_counters().unwrap().down_cycles > 0);
+        }
+
+        #[test]
+        fn credit_leaks_shrink_window_but_never_wedge() {
+            let mut l = Link::new(1, 3);
+            let plan = FaultPlan {
+                credit_leak: 1.0,
+                ..FaultPlan::none(13)
+            };
+            l.install_faults(plan.for_link(LinkId::from(0usize)));
+            let ((got, _, credits), l) = push_worm_through(l, 6);
+            assert_eq!(got, 8, "leaky link still delivers, just slower");
+            assert_eq!(
+                credits, 1,
+                "all but one credit leak at certainty, one survives"
+            );
+            assert_eq!(l.fault_counters().unwrap().credits_leaked, 2);
+        }
+
+        #[test]
+        fn noop_faults_change_nothing() {
+            let (clean, _) = push_worm_through(Link::new(2, 3), 6);
+            let mut l = Link::new(2, 3);
+            l.install_faults(FaultPlan::none(99).for_link(LinkId::from(0usize)));
+            let (faulty, _) = push_worm_through(l, 6);
+            assert_eq!(faulty, clean);
+        }
     }
 }

@@ -11,7 +11,6 @@ use crate::header::RoutingHeader;
 use crate::ids::{MessageId, NodeId, PacketId};
 use crate::message::{Message, MessageKind};
 use crate::Cycle;
-use serde::{Deserialize, Serialize};
 
 /// An immutable packet descriptor.
 ///
@@ -21,7 +20,7 @@ use serde::{Deserialize, Serialize};
 /// [`Packet::with_header`] — the clone keeps the same identity and flit
 /// counts, because physically the bit-string occupies the same wire slots
 /// regardless of how many bits are set.
-#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq)]
 pub struct Packet {
     id: PacketId,
     msg: MessageId,
@@ -32,6 +31,27 @@ pub struct Packet {
     seq: u16,
     n_packets: u16,
     created: Cycle,
+    checksum: u64,
+}
+
+/// FNV-1a over the identity fields a real NIC would checksum. Stable
+/// across retransmissions of the same segment (the packet id is excluded:
+/// a resend carries a fresh worm id but the same protected contents).
+fn packet_checksum(msg: MessageId, src: NodeId, seq: u16, n_packets: u16, payload: u16) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for word in [
+        msg.0,
+        u64::from(src.0),
+        u64::from(seq),
+        u64::from(n_packets),
+        u64::from(payload),
+    ] {
+        for b in word.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
 }
 
 impl Packet {
@@ -88,6 +108,30 @@ impl Packet {
     /// Cycle at which the owning message was generated.
     pub fn created(&self) -> Cycle {
         self.created
+    }
+
+    /// End-to-end checksum over the protected fields, stamped at build
+    /// time. Receivers recompute it (see [`Packet::checksum_ok`]) to model
+    /// CRC validation; transit corruption is modeled by the corrupt mark on
+    /// flits, which makes the check fail.
+    pub fn checksum(&self) -> u64 {
+        self.checksum
+    }
+
+    /// Receiver-side checksum validation. `saw_corrupt_flit` is whether any
+    /// flit of the worm arrived with a corruption mark: a corrupt wire image
+    /// fails the CRC even though the descriptor fields survive simulation
+    /// intact.
+    pub fn checksum_ok(&self, saw_corrupt_flit: bool) -> bool {
+        !saw_corrupt_flit
+            && self.checksum
+                == packet_checksum(
+                    self.msg,
+                    self.src,
+                    self.seq,
+                    self.n_packets,
+                    self.payload_flits,
+                )
     }
 
     /// Returns a copy of this packet with a replaced (e.g. branch-restricted)
@@ -238,7 +282,9 @@ impl PacketBuilder {
     /// Finalizes the packet, computing the header flit count from the
     /// encoding, system size and flit width.
     pub fn build(self) -> Packet {
-        let header_flits = self.header.header_flits(self.system_size, self.bits_per_flit) as u16;
+        let header_flits = self
+            .header
+            .header_flits(self.system_size, self.bits_per_flit) as u16;
         Packet {
             id: self.id,
             msg: self.msg,
@@ -249,6 +295,13 @@ impl PacketBuilder {
             seq: self.seq,
             n_packets: self.n_packets,
             created: self.created,
+            checksum: packet_checksum(
+                self.msg,
+                self.src,
+                self.seq,
+                self.n_packets,
+                self.payload_flits,
+            ),
         }
     }
 }
@@ -399,5 +452,26 @@ mod tests {
         let mut g = PacketIdGen::new();
         assert_eq!(g.next_id(), PacketId(0));
         assert_eq!(g.next_id(), PacketId(1));
+    }
+
+    #[test]
+    fn checksum_stable_across_retransmission_ids() {
+        let msg = Message::new(
+            MessageId(3),
+            NodeId(1),
+            MessageKind::Unicast(NodeId(2)),
+            40,
+            0,
+        );
+        let mut ids = PacketIdGen::new();
+        let first = packetize(&msg, 64, 16, 8, &mut ids);
+        let resend = packetize(&msg, 64, 16, 8, &mut ids);
+        assert_ne!(first[0].id(), resend[0].id());
+        assert_eq!(first[0].checksum(), resend[0].checksum());
+        assert!(first[0].checksum_ok(false));
+        assert!(!first[0].checksum_ok(true), "corrupt wire image fails CRC");
+        // Different segments of one message checksum differently.
+        let multi = packetize(&msg, 16, 16, 8, &mut ids);
+        assert_ne!(multi[0].checksum(), multi[1].checksum());
     }
 }

@@ -4,16 +4,20 @@
 //! top-level seed fully determines a run. Per-host generators are derived
 //! with [`SimRng::fork`], which mixes a stream index into the seed (SplitMix
 //! finalizer) so host streams are decorrelated but reproducible.
+//!
+//! The generator is a self-contained xoshiro256++ (public-domain algorithm
+//! by Blackman and Vigna), state-seeded through the SplitMix64 finalizer.
+//! Keeping the implementation in-tree pins the exact output sequence: runs
+//! are reproducible across toolchains and independent of any external
+//! crate's internal algorithm choices.
 
 use crate::destset::DestSet;
 use crate::ids::NodeId;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// Deterministic random-number generator for simulations.
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    rng: SmallRng,
+    state: [u64; 4],
     seed: u64,
 }
 
@@ -27,8 +31,16 @@ fn splitmix(mut z: u64) -> u64 {
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
+        // Expand the seed through SplitMix64, as the xoshiro authors
+        // recommend, so nearby seeds produce unrelated states and the
+        // all-zero state (a fixed point) is unreachable.
+        let mut s = seed;
+        let mut next = || {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            splitmix(s.wrapping_sub(0x9E37_79B9_7F4A_7C15))
+        };
         SimRng {
-            rng: SmallRng::seed_from_u64(seed),
+            state: [next(), next(), next(), next()],
             seed,
         }
     }
@@ -36,6 +48,20 @@ impl SimRng {
     /// The seed this generator was created with.
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+
+    /// Next raw 64-bit output (xoshiro256++).
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     /// Derives an independent generator for stream `stream` (e.g. one per
@@ -51,7 +77,7 @@ impl SimRng {
         } else if p >= 1.0 {
             true
         } else {
-            self.rng.gen_bool(p)
+            self.unit() < p
         }
     }
 
@@ -62,12 +88,27 @@ impl SimRng {
     /// Panics if `n == 0`.
     pub fn below(&mut self, n: usize) -> usize {
         assert!(n > 0, "below(0) is empty");
-        self.rng.gen_range(0..n)
+        // Lemire's unbiased bounded draw: widening multiply, rejecting the
+        // sliver of raw values that would over-represent low results.
+        let n = n as u64;
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (n as u128);
+        let mut low = m as u64;
+        if low < n {
+            let threshold = n.wrapping_neg() % n;
+            while low < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (n as u128);
+                low = m as u64;
+            }
+        }
+        (m >> 64) as usize
     }
 
     /// Uniform `f64` in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
-        self.rng.gen_range(0.0..1.0)
+        // 53 high bits → the standard max-precision float in [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniformly random node other than `exclude`, from `0..n`.
@@ -78,7 +119,11 @@ impl SimRng {
     pub fn other_node(&mut self, n: usize, exclude: NodeId) -> NodeId {
         assert!(n >= 2, "need at least two nodes to pick another");
         let pick = self.below(n - 1);
-        let pick = if pick >= exclude.index() { pick + 1 } else { pick };
+        let pick = if pick >= exclude.index() {
+            pick + 1
+        } else {
+            pick
+        };
         NodeId::from(pick)
     }
 
@@ -161,6 +206,32 @@ mod tests {
         assert!(r.chance(1.0));
         assert!(!r.chance(-0.5));
         assert!(r.chance(1.5));
+    }
+
+    #[test]
+    fn unit_stays_in_range_and_fills_it() {
+        let mut r = SimRng::new(77);
+        let mut lo = 1.0f64;
+        let mut hi = 0.0f64;
+        for _ in 0..10_000 {
+            let u = r.unit();
+            assert!((0.0..1.0).contains(&u));
+            lo = lo.min(u);
+            hi = hi.max(u);
+        }
+        assert!(lo < 0.01 && hi > 0.99);
+    }
+
+    #[test]
+    fn below_is_roughly_uniform() {
+        let mut r = SimRng::new(123);
+        let mut counts = [0usize; 10];
+        for _ in 0..100_000 {
+            counts[r.below(10)] += 1;
+        }
+        for &c in &counts {
+            assert!((8_500..11_500).contains(&c), "skewed bucket: {c}");
+        }
     }
 
     #[test]

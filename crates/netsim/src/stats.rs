@@ -11,11 +11,10 @@ use crate::destset::DestSet;
 use crate::ids::{MessageId, NodeId};
 use crate::message::{Message, MessageKind};
 use crate::Cycle;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Order statistics of a latency sample set.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Summary {
     /// Number of samples.
     pub count: u64,
@@ -401,7 +400,11 @@ mod tests {
         t.register(&m);
         t.deliver(MessageId(1), NodeId(3), 10);
         // Message completed and removed: second delivery is "unknown".
-        let m2 = msg(2, MessageKind::Multicast(DestSet::from_nodes(16, [3, 4].map(NodeId))), 0);
+        let m2 = msg(
+            2,
+            MessageKind::Multicast(DestSet::from_nodes(16, [3, 4].map(NodeId))),
+            0,
+        );
         t.register(&m2);
         t.deliver(MessageId(2), NodeId(3), 20);
         t.deliver(MessageId(2), NodeId(3), 21);

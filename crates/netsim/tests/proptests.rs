@@ -1,5 +1,10 @@
 //! Property-based tests for the netsim substrate: destination-set algebra,
 //! packetization, and link flow-control invariants.
+//!
+//! The cases are driven by hand-rolled seeded loops over [`SimRng`] streams
+//! rather than an external property-testing crate, so the sampled inputs are
+//! bit-for-bit reproducible from the constants below. On failure, the case
+//! index is in the panic message; re-run with that seed to shrink by hand.
 
 use netsim::destset::DestSet;
 use netsim::flit::Flit;
@@ -8,80 +13,130 @@ use netsim::ids::{MessageId, NodeId};
 use netsim::link::Link;
 use netsim::message::{Message, MessageKind};
 use netsim::packet::{packetize, PacketBuilder, PacketIdGen};
-use proptest::collection::{btree_set, vec};
-use proptest::prelude::*;
+use netsim::rng::SimRng;
 
 const N: usize = 96; // non-power-of-two universe to stress word boundaries
+const CASES: u64 = 64;
 
-fn destset(n: usize) -> impl Strategy<Value = DestSet> {
-    btree_set(0..n as u32, 0..n).prop_map(move |s| DestSet::from_nodes(n, s.into_iter().map(NodeId)))
+/// One deterministic generator per (test, case) pair.
+fn case_rng(test: u64, case: u64) -> SimRng {
+    SimRng::new(0x9672_0000 ^ test).fork(case)
 }
 
-proptest! {
-    #[test]
-    fn destset_union_commutes(a in destset(N), b in destset(N)) {
-        prop_assert_eq!(a.or(&b), b.or(&a));
+/// Random subset of `0..n`, possibly empty.
+fn random_destset(r: &mut SimRng, n: usize) -> DestSet {
+    let size = r.below(n);
+    let mut s = DestSet::empty(n);
+    for _ in 0..size {
+        s.insert(NodeId::from(r.below(n)));
     }
+    s
+}
 
-    #[test]
-    fn destset_intersection_commutes(a in destset(N), b in destset(N)) {
-        prop_assert_eq!(a.and(&b), b.and(&a));
+#[test]
+fn destset_union_commutes() {
+    for case in 0..CASES {
+        let mut r = case_rng(1, case);
+        let a = random_destset(&mut r, N);
+        let b = random_destset(&mut r, N);
+        assert_eq!(a.or(&b), b.or(&a), "case {case}");
     }
+}
 
-    #[test]
-    fn destset_minus_partitions(a in destset(N), b in destset(N)) {
+#[test]
+fn destset_intersection_commutes() {
+    for case in 0..CASES {
+        let mut r = case_rng(2, case);
+        let a = random_destset(&mut r, N);
+        let b = random_destset(&mut r, N);
+        assert_eq!(a.and(&b), b.and(&a), "case {case}");
+    }
+}
+
+#[test]
+fn destset_minus_partitions() {
+    for case in 0..CASES {
+        let mut r = case_rng(3, case);
+        let a = random_destset(&mut r, N);
+        let b = random_destset(&mut r, N);
         // a = (a\b) ∪ (a∩b), disjointly.
         let diff = a.minus(&b);
         let inter = a.and(&b);
-        prop_assert!(!diff.intersects(&inter) || diff.is_empty() || inter.is_empty());
-        prop_assert_eq!(diff.or(&inter), a.clone());
-        prop_assert_eq!(diff.count() + inter.count(), a.count());
+        assert!(
+            !diff.intersects(&inter) || diff.is_empty() || inter.is_empty(),
+            "case {case}"
+        );
+        assert_eq!(diff.or(&inter), a.clone(), "case {case}");
+        assert_eq!(diff.count() + inter.count(), a.count(), "case {case}");
     }
+}
 
-    #[test]
-    fn destset_iter_roundtrip(a in destset(N)) {
+#[test]
+fn destset_iter_roundtrip() {
+    for case in 0..CASES {
+        let mut r = case_rng(4, case);
+        let a = random_destset(&mut r, N);
         let rebuilt = DestSet::from_nodes(N, a.iter());
-        prop_assert_eq!(rebuilt, a.clone());
+        assert_eq!(rebuilt, a.clone(), "case {case}");
         // Iteration is strictly ascending.
         let ids: Vec<u32> = a.iter().map(|n| n.0).collect();
-        prop_assert!(ids.windows(2).all(|w| w[0] < w[1]));
+        assert!(ids.windows(2).all(|w| w[0] < w[1]), "case {case}");
     }
+}
 
-    #[test]
-    fn destset_subset_laws(a in destset(N), b in destset(N)) {
-        prop_assert!(a.and(&b).is_subset_of(&a));
-        prop_assert!(a.is_subset_of(&a.or(&b)));
-        prop_assert_eq!(a.intersects(&b), !a.and(&b).is_empty());
+#[test]
+fn destset_subset_laws() {
+    for case in 0..CASES {
+        let mut r = case_rng(5, case);
+        let a = random_destset(&mut r, N);
+        let b = random_destset(&mut r, N);
+        assert!(a.and(&b).is_subset_of(&a), "case {case}");
+        assert!(a.is_subset_of(&a.or(&b)), "case {case}");
+        assert_eq!(a.intersects(&b), !a.and(&b).is_empty(), "case {case}");
     }
+}
 
-    #[test]
-    fn portmask_roundtrip(ports in btree_set(0usize..16, 0..16)) {
+#[test]
+fn portmask_roundtrip() {
+    for case in 0..CASES {
+        let mut r = case_rng(6, case);
+        let mut ports = std::collections::BTreeSet::new();
+        for _ in 0..r.below(16) {
+            ports.insert(r.below(16));
+        }
         let mask = PortMask::from_ports(ports.iter().copied());
-        prop_assert_eq!(mask.count(), ports.len());
+        assert_eq!(mask.count(), ports.len(), "case {case}");
         let back: std::collections::BTreeSet<usize> = mask.iter().collect();
-        prop_assert_eq!(back, ports);
+        assert_eq!(back, ports, "case {case}");
     }
+}
 
-    #[test]
-    fn bitstring_restrict_shrinks(a in destset(N), b in destset(N)) {
+#[test]
+fn bitstring_restrict_shrinks() {
+    for case in 0..CASES {
+        let mut r = case_rng(7, case);
+        let a = random_destset(&mut r, N);
+        let b = random_destset(&mut r, N);
         let h = RoutingHeader::bitstring(a.clone());
         match h.restrict_to(&b) {
             RoutingHeader::BitString { dests } => {
-                prop_assert!(dests.is_subset_of(&a));
-                prop_assert!(dests.is_subset_of(&b));
-                prop_assert_eq!(dests, a.and(&b));
+                assert!(dests.is_subset_of(&a), "case {case}");
+                assert!(dests.is_subset_of(&b), "case {case}");
+                assert_eq!(dests, a.and(&b), "case {case}");
             }
-            other => prop_assert!(false, "unexpected header {:?}", other),
+            other => panic!("case {case}: unexpected header {other:?}"),
         }
     }
+}
 
-    #[test]
-    fn packetize_preserves_payload(
-        payload in 0u16..2000,
-        max in 1u16..256,
-        src in 0u32..16,
-        dst in 0u32..16,
-    ) {
+#[test]
+fn packetize_preserves_payload() {
+    for case in 0..CASES {
+        let mut r = case_rng(8, case);
+        let payload = r.below(2000) as u16;
+        let max = 1 + r.below(255) as u16;
+        let src = r.below(16) as u32;
+        let dst = r.below(16) as u32;
         let msg = Message::new(
             MessageId(1),
             NodeId(src),
@@ -92,33 +147,34 @@ proptest! {
         let mut ids = PacketIdGen::new();
         let pkts = packetize(&msg, max, 16, 8, &mut ids);
         let total: u32 = pkts.iter().map(|p| u32::from(p.payload_flits())).sum();
-        prop_assert_eq!(total, u32::from(payload));
-        prop_assert!(pkts.iter().all(|p| p.payload_flits() <= max));
+        assert_eq!(total, u32::from(payload), "case {case}");
+        assert!(pkts.iter().all(|p| p.payload_flits() <= max), "case {case}");
         // Sequence numbers are contiguous and sized consistently.
         for (i, p) in pkts.iter().enumerate() {
-            prop_assert_eq!(usize::from(p.seq()), i);
-            prop_assert_eq!(usize::from(p.n_packets()), pkts.len());
+            assert_eq!(usize::from(p.seq()), i, "case {case}");
+            assert_eq!(usize::from(p.n_packets()), pkts.len(), "case {case}");
         }
-        prop_assert!(pkts.last().unwrap().is_last());
+        assert!(pkts.last().unwrap().is_last(), "case {case}");
         // Ids unique.
         let mut seen: Vec<_> = pkts.iter().map(|p| p.id()).collect();
         seen.dedup();
-        prop_assert_eq!(seen.len(), pkts.len());
+        assert_eq!(seen.len(), pkts.len(), "case {case}");
     }
+}
 
-    /// Link invariants under an arbitrary receiver schedule: flits arrive
-    /// in order, exactly once, never before their delay, and all credits
-    /// come back.
-    #[test]
-    fn link_flow_control_invariants(
-        delay in 1u32..5,
-        credits in 1u32..8,
-        recv_pattern in vec(any::<bool>(), 10..200),
-    ) {
+/// Link invariants under an arbitrary receiver schedule: flits arrive
+/// in order, exactly once, never before their delay, and all credits
+/// come back.
+#[test]
+fn link_flow_control_invariants() {
+    for case in 0..CASES {
+        let mut r = case_rng(9, case);
+        let delay = 1 + r.below(4) as u32;
+        let credits = 1 + r.below(7) as u32;
+        let recv_pattern: Vec<bool> = (0..10 + r.below(190)).map(|_| r.chance(0.5)).collect();
+
         let mut link = Link::new(delay, credits);
-        let pkt = std::rc::Rc::new(
-            PacketBuilder::unicast(NodeId(0), NodeId(1), 60, 16).build(),
-        );
+        let pkt = std::rc::Rc::new(PacketBuilder::unicast(NodeId(0), NodeId(1), 60, 16).build());
         let total = pkt.total_flits();
         let mut sent = 0u16;
         let mut received = 0u16;
@@ -133,7 +189,7 @@ proptest! {
             }
             if recv_now {
                 if let Some(f) = link.recv(now) {
-                    prop_assert_eq!(f.idx(), received, "in-order delivery");
+                    assert_eq!(f.idx(), received, "case {case}: in-order delivery");
                     received += 1;
                     link.return_credit(now);
                     outstanding_credits -= 1;
@@ -153,18 +209,21 @@ proptest! {
                 outstanding_credits += 1;
             }
             if let Some(f) = link.recv(now) {
-                prop_assert_eq!(f.idx(), received);
+                assert_eq!(f.idx(), received, "case {case}");
                 received += 1;
                 link.return_credit(now);
                 outstanding_credits -= 1;
             }
         }
-        prop_assert_eq!(sent, total, "everything sent");
-        prop_assert_eq!(received, total, "everything received exactly once");
-        prop_assert_eq!(outstanding_credits, 0);
-        prop_assert_eq!(link.in_flight(), 0);
+        assert_eq!(sent, total, "case {case}: everything sent");
+        assert_eq!(
+            received, total,
+            "case {case}: everything received exactly once"
+        );
+        assert_eq!(outstanding_credits, 0, "case {case}");
+        assert_eq!(link.in_flight(), 0, "case {case}");
         // All credits returned to the sender after propagation.
         link.begin_cycle(start + 10_000);
-        prop_assert_eq!(link.credits(), credits);
+        assert_eq!(link.credits(), credits, "case {case}");
     }
 }

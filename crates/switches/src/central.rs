@@ -33,7 +33,7 @@
 
 use crate::config::SwitchConfig;
 use crate::decode::{resolve_branches, HeaderClock};
-use crate::stats::SwitchStats;
+use crate::stats::{header_dests, BlockedWormSnap, SwitchSnapshot, SwitchStats};
 use mintopo::reach::PortClass;
 use mintopo::route::RouteTables;
 use netsim::destset::DestSet;
@@ -142,7 +142,11 @@ enum InState {
         decided: bool,
     },
     /// Streaming flits straight through the bypass crossbar.
-    Bypass { pkt: Rc<Packet>, port: usize, sent: u16 },
+    Bypass {
+        pkt: Rc<Packet>,
+        port: usize,
+        sent: u16,
+    },
     /// Consuming a barrier-gather worm (combined at this switch, not
     /// routed).
     ConsumeGather { pkt: Rc<Packet> },
@@ -160,7 +164,9 @@ enum TxState {
     Idle,
     Stream(CqBranch),
     /// Held by an input streaming through the bypass crossbar.
-    Bypass { input: usize },
+    Bypass {
+        input: usize,
+    },
 }
 
 #[derive(Debug)]
@@ -343,7 +349,8 @@ impl CentralBufferSwitch {
         tables: Rc<RouteTables>,
         stats: Rc<RefCell<SwitchStats>>,
     ) -> Self {
-        cfg.validate();
+        cfg.validate()
+            .unwrap_or_else(|e| panic!("invalid switch config: {e}"));
         assert_eq!(
             tables.table(id).n_ports(),
             cfg.ports,
@@ -576,9 +583,7 @@ impl Component for CentralBufferSwitch {
             // Barrier gathers are combined, not routed: swallow the flits
             // and bump the round counter at the tail.
             if let InState::ConsumeGather { pkt } = state {
-                let belongs = staging
-                    .front()
-                    .is_some_and(|f| f.packet().id() == pkt.id());
+                let belongs = staging.front().is_some_and(|f| f.packet().id() == pkt.id());
                 if belongs {
                     let flit = staging.pop_front().expect("front present");
                     io.return_credit(i);
@@ -729,9 +734,7 @@ impl Component for CentralBufferSwitch {
                     }
                 }
                 // Move one flit staging -> central queue.
-                let belongs = staging
-                    .front()
-                    .is_some_and(|f| f.packet().id() == pkt.id());
+                let belongs = staging.front().is_some_and(|f| f.packet().id() == pkt.id());
                 if belongs {
                     let mut w = write.borrow_mut();
                     if w.needs_chunk() {
@@ -760,9 +763,7 @@ impl Component for CentralBufferSwitch {
 
             // Bypass streaming: staging straight onto the output link.
             if let InState::Bypass { pkt, port, sent } = state {
-                let belongs = staging
-                    .front()
-                    .is_some_and(|f| f.packet().id() == pkt.id());
+                let belongs = staging.front().is_some_and(|f| f.packet().id() == pkt.id());
                 if belongs && io.can_send(*port) {
                     let flit = staging.pop_front().expect("front present");
                     io.send(*port, flit);
@@ -785,6 +786,92 @@ impl Component for CentralBufferSwitch {
         }
 
         *rr = (*rr + 1) % ports;
+
+        if stats.borrow().forensics_requested {
+            let snap_worm = |input: Option<usize>,
+                             pkt: &Rc<Packet>,
+                             state: &'static str,
+                             holds: Vec<usize>,
+                             waits: Vec<usize>| BlockedWormSnap {
+                input,
+                packet: pkt.id().0,
+                msg: pkt.msg().0,
+                src: pkt.src().0,
+                state,
+                remaining_dests: header_dests(pkt),
+                holds_outputs: holds,
+                waits_outputs: waits,
+            };
+            // Worms waiting on central-queue space block until these outputs
+            // drain the chunks they hold.
+            let drain_outputs: Vec<usize> = (0..ports)
+                .filter(|&p| {
+                    !outputs[p].queue.is_empty() || !matches!(outputs[p].state, TxState::Idle)
+                })
+                .collect();
+            let mut blocked = Vec::new();
+            for (i, input) in inputs.iter().enumerate() {
+                match &input.state {
+                    InState::Idle | InState::ConsumeGather { .. } => {}
+                    InState::AwaitReservation { pkt } => blocked.push(snap_worm(
+                        Some(i),
+                        pkt,
+                        "await-cq-reservation",
+                        Vec::new(),
+                        drain_outputs.clone(),
+                    )),
+                    InState::AwaitDecision { pkt, .. } => blocked.push(snap_worm(
+                        Some(i),
+                        pkt,
+                        "await-route-decision",
+                        Vec::new(),
+                        Vec::new(),
+                    )),
+                    InState::AwaitCqSpace { pkt, .. } => blocked.push(snap_worm(
+                        Some(i),
+                        pkt,
+                        "await-cq-space",
+                        Vec::new(),
+                        drain_outputs.clone(),
+                    )),
+                    InState::Absorbing { pkt, .. } => {
+                        blocked.push(snap_worm(Some(i), pkt, "absorbing", Vec::new(), Vec::new()))
+                    }
+                    InState::Bypass { pkt, port, .. } => blocked.push(snap_worm(
+                        Some(i),
+                        pkt,
+                        "bypass-blocked",
+                        vec![*port],
+                        vec![*port],
+                    )),
+                }
+            }
+            for (p, out) in outputs.iter().enumerate() {
+                if let TxState::Stream(b) = &out.state {
+                    if !io.can_send(p) {
+                        blocked.push(snap_worm(
+                            None,
+                            &b.pkt,
+                            "cq-stream-blocked",
+                            Vec::new(),
+                            vec![p],
+                        ));
+                    }
+                }
+                for b in &out.queue {
+                    blocked.push(snap_worm(None, &b.pkt, "cq-queued", Vec::new(), vec![p]));
+                }
+            }
+            let mut st = stats.borrow_mut();
+            st.forensics_requested = false;
+            st.forensics = Some(SwitchSnapshot {
+                cq_used_chunks: cq.used(),
+                cq_free_chunks: cq.free(),
+                input_occupancy: inputs.iter().map(|i| i.staging.len() as u32).collect(),
+                blocked,
+            });
+        }
+
         let mut st = stats.borrow_mut();
         st.cq_used_chunks.observe(cq.used() as u64);
         st.cq_free_now = cq.free();
@@ -796,7 +883,10 @@ impl std::fmt::Debug for CentralBufferSwitch {
         write!(
             f,
             "CentralBufferSwitch({}, {} ports, {}/{} chunks free)",
-            self.id, self.cfg.ports, self.cq.free(), self.cfg.cq_chunks
+            self.id,
+            self.cfg.ports,
+            self.cq.free(),
+            self.cfg.cq_chunks
         )
     }
 }
@@ -861,7 +951,10 @@ mod accounting_tests {
         for _ in 0..4 {
             cq.release_chunk();
         }
-        assert!(!cq.try_reserve(2, 4, false), "slot still belongs to input 1");
+        assert!(
+            !cq.try_reserve(2, 4, false),
+            "slot still belongs to input 1"
+        );
         assert!(cq.try_reserve(1, 4, false), "owner collects");
         assert!(!cq.try_reserve(2, 4, false), "input 2 now owns the slot");
     }
@@ -881,7 +974,7 @@ mod accounting_tests {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::testutil::{sink_flits, single_switch_world, TestWorld};
+    use crate::testutil::{single_switch_world, sink_flits, TestWorld};
     use mintopo::route::ReplicatePolicy;
     use netsim::destset::DestSet;
     use netsim::ids::NodeId;
@@ -1028,14 +1121,10 @@ mod tests {
             Box::new(sw)
         });
         for h in 0..4u32 {
-            let pkt = PacketBuilder::new(
-                NodeId(h),
-                RoutingHeader::BarrierGather { round: 0 },
-                0,
-                4,
-            )
-            .id(netsim::ids::PacketId(u64::from(h) + 1))
-            .build();
+            let pkt =
+                PacketBuilder::new(NodeId(h), RoutingHeader::BarrierGather { round: 0 }, 0, 4)
+                    .id(netsim::ids::PacketId(u64::from(h) + 1))
+                    .build();
             w.inject(h as usize, pkt);
         }
         w.engine.run_for(200);
@@ -1064,14 +1153,9 @@ mod tests {
         });
         // Three gathers of round 0 and one of round 1: no release yet.
         for (i, round) in [(0u32, 0u32), (1, 0), (2, 0), (3, 1)] {
-            let pkt = PacketBuilder::new(
-                NodeId(i),
-                RoutingHeader::BarrierGather { round },
-                0,
-                4,
-            )
-            .id(netsim::ids::PacketId(u64::from(i) + 10))
-            .build();
+            let pkt = PacketBuilder::new(NodeId(i), RoutingHeader::BarrierGather { round }, 0, 4)
+                .id(netsim::ids::PacketId(u64::from(i) + 10))
+                .build();
             w.inject(i as usize, pkt);
         }
         w.engine.run_for(200);
@@ -1079,14 +1163,9 @@ mod tests {
             assert_eq!(sink_flits(&w, h), 0, "no round completed");
         }
         // The missing round-0 gather completes round 0 only.
-        let pkt = PacketBuilder::new(
-            NodeId(3),
-            RoutingHeader::BarrierGather { round: 0 },
-            0,
-            4,
-        )
-        .id(netsim::ids::PacketId(99))
-        .build();
+        let pkt = PacketBuilder::new(NodeId(3), RoutingHeader::BarrierGather { round: 0 }, 0, 4)
+            .id(netsim::ids::PacketId(99))
+            .build();
         w.inject(3, pkt);
         w.engine.run_for(200);
         for h in 0..4 {

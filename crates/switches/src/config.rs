@@ -1,7 +1,27 @@
 //! Switch configuration shared by both architectures.
 
 use mintopo::route::ReplicatePolicy;
-use serde::{Deserialize, Serialize};
+
+/// A configuration constraint violation, with a human-readable description
+/// of the offending parameter and the rule it breaks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError(pub String);
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+macro_rules! ensure {
+    ($cond:expr, $($msg:tt)+) => {
+        if !$cond {
+            return Err(ConfigError(format!($($msg)+)));
+        }
+    };
+}
 
 /// How worm branches advance relative to each other (paper §3).
 ///
@@ -14,7 +34,7 @@ use serde::{Deserialize, Serialize};
 /// \[6\]). The input-buffer switch implements both so the difference is
 /// measurable (ablation E13); the central-buffer switch is inherently
 /// asynchronous (branches are independent readers of shared chunks).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ReplicationMode {
     /// Independent branch progress (the paper's choice).
     #[default]
@@ -27,7 +47,7 @@ pub enum ReplicationMode {
 /// How a switch picks among candidate up ports (paper §3: "one can decide to
 /// deterministically route messages to the LCA stage or to make the choice
 /// adaptively").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum UpSelect {
     /// Stateless hash of the flow (destination / packet id): each flow stays
     /// on one path.
@@ -40,7 +60,7 @@ pub enum UpSelect {
 
 /// Parameters of one switch (defaults follow the SP2-class switch the paper
 /// bases its central-buffer architecture on; see DESIGN.md §5).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SwitchConfig {
     /// Number of ports (input/output pairs). SP2: 8.
     pub ports: usize,
@@ -119,34 +139,49 @@ impl SwitchConfig {
         self.chunks_for(self.max_packet_flits)
     }
 
-    /// Panics if the configuration violates the deadlock-freedom sizing
-    /// rules (a packet must fit in the central queue and in one input
-    /// buffer) or basic sanity bounds.
-    pub fn validate(&self) {
-        assert!(self.ports >= 2 && self.ports <= 16, "ports must be 2..=16");
-        assert!(self.chunk_flits >= 1, "chunks must hold at least one flit");
-        assert!(self.cq_chunks >= 1, "central queue needs capacity");
-        assert!(self.max_packet_flits >= 2, "packets have at least a header");
-        assert!(
+    /// Checks the deadlock-freedom sizing rules (a packet must fit in the
+    /// central queue and in one input buffer) and basic sanity bounds,
+    /// returning a descriptive [`ConfigError`] on the first violation.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        ensure!(
+            self.ports >= 2 && self.ports <= 16,
+            "ports must be 2..=16, got {}",
+            self.ports
+        );
+        ensure!(self.chunk_flits >= 1, "chunks must hold at least one flit");
+        ensure!(self.cq_chunks >= 1, "central queue needs capacity");
+        ensure!(
+            self.max_packet_flits >= 2,
+            "packets have at least a header; max_packet_flits {} is too small",
+            self.max_packet_flits
+        );
+        ensure!(
             u32::from(self.max_packet_flits) <= self.cq_flits(),
-            "max packet ({} flits) exceeds central queue ({} flits): deadlock-freedom guarantee impossible",
+            "max packet ({} flits) exceeds central queue ({} flits): \
+             deadlock-freedom guarantee impossible",
             self.max_packet_flits,
             self.cq_flits()
         );
-        assert!(
+        ensure!(
             self.cq_chunks >= 2 * self.cq_down_reserve(),
             "central queue ({} chunks) must hold at least two max packets \
              ({} chunks each): one is reserved for descending traffic",
             self.cq_chunks,
             self.cq_down_reserve()
         );
-        assert!(
+        ensure!(
             u32::from(self.max_packet_flits) <= self.input_buf_flits,
-            "max packet ({} flits) exceeds input buffer ({} flits): deadlock-freedom guarantee impossible",
+            "max packet ({} flits) exceeds input buffer ({} flits): \
+             deadlock-freedom guarantee impossible",
             self.max_packet_flits,
             self.input_buf_flits
         );
-        assert!(self.staging_flits >= 4, "staging must cover decode latency");
+        ensure!(
+            self.staging_flits >= 4,
+            "staging of {} flits cannot cover decode latency (need >= 4)",
+            self.staging_flits
+        );
+        Ok(())
     }
 }
 
@@ -157,7 +192,7 @@ mod tests {
     #[test]
     fn defaults_are_valid_and_sp2_sized() {
         let c = SwitchConfig::default();
-        c.validate();
+        c.validate().expect("defaults are valid");
         assert_eq!(c.cq_flits(), 1024);
         assert_eq!(c.input_buf_flits, 128, "same total storage split 8 ways");
     }
@@ -172,23 +207,33 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "exceeds central queue")]
     fn oversized_packet_rejected() {
         let c = SwitchConfig {
             max_packet_flits: 2048,
             input_buf_flits: 4096,
             ..SwitchConfig::default()
         };
-        c.validate();
+        let err = c.validate().unwrap_err();
+        assert!(err.to_string().contains("exceeds central queue"), "{err}");
     }
 
     #[test]
-    #[should_panic(expected = "exceeds input buffer")]
     fn oversized_for_input_buffer_rejected() {
         let c = SwitchConfig {
             input_buf_flits: 64,
             ..SwitchConfig::default()
         };
-        c.validate();
+        let err = c.validate().unwrap_err();
+        assert!(err.to_string().contains("exceeds input buffer"), "{err}");
+    }
+
+    #[test]
+    fn error_messages_name_the_offending_value() {
+        let c = SwitchConfig {
+            ports: 1,
+            ..SwitchConfig::default()
+        };
+        let err = c.validate().unwrap_err();
+        assert!(err.to_string().contains("got 1"), "{err}");
     }
 }

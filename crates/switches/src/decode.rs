@@ -71,7 +71,11 @@ pub(crate) fn resolve_branches(
             UpSelect::Deterministic => pick_deterministic(cands, salt),
             UpSelect::Adaptive => {
                 let best = cands.iter().map(|&p| metric(p)).min().expect("candidates");
-                let tied: Vec<usize> = cands.iter().copied().filter(|&p| metric(p) == best).collect();
+                let tied: Vec<usize> = cands
+                    .iter()
+                    .copied()
+                    .filter(|&p| metric(p) == best)
+                    .collect();
                 pick_deterministic(&tied, salt)
             }
         }

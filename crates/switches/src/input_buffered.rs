@@ -20,7 +20,7 @@
 
 use crate::config::{ReplicationMode, SwitchConfig};
 use crate::decode::{resolve_branches, HeaderClock};
-use crate::stats::SwitchStats;
+use crate::stats::{header_dests, BlockedWormSnap, SwitchSnapshot, SwitchStats};
 use mintopo::route::RouteTables;
 use netsim::engine::{Component, PortIo};
 use netsim::flit::Flit;
@@ -92,7 +92,8 @@ impl InputBufferedSwitch {
         tables: Rc<RouteTables>,
         stats: Rc<RefCell<SwitchStats>>,
     ) -> Self {
-        cfg.validate();
+        cfg.validate()
+            .unwrap_or_else(|e| panic!("invalid switch config: {e}"));
         assert_eq!(
             tables.table(id).n_ports(),
             cfg.ports,
@@ -214,9 +215,10 @@ impl Component for InputBufferedSwitch {
             let start = outputs[p].rr;
             for k in 0..ports {
                 let i = (start + k) % ports;
-                let requests = inputs[i].branches.as_ref().is_some_and(|bs| {
-                    bs.iter().any(|b| b.port == p && !b.granted && !b.done)
-                });
+                let requests = inputs[i]
+                    .branches
+                    .as_ref()
+                    .is_some_and(|bs| bs.iter().any(|b| b.port == p && !b.granted && !b.done));
                 if requests {
                     outputs[p].owner = Some(i);
                     outputs[p].rr = (i + 1) % ports;
@@ -240,8 +242,7 @@ impl Component for InputBufferedSwitch {
             ReplicationMode::Asynchronous => {
                 for p in 0..ports {
                     let Some(i) = outputs[p].owner else { continue };
-                    let received =
-                        inputs[i].packets.front().expect("owner has head").received;
+                    let received = inputs[i].packets.front().expect("owner has head").received;
                     let branch = inputs[i]
                         .branches
                         .as_mut()
@@ -267,7 +268,9 @@ impl Component for InputBufferedSwitch {
             // that deadlocks without an extra avoidance protocol [6].
             ReplicationMode::Synchronous => {
                 for input in inputs.iter_mut() {
-                    let Some(branches) = &mut input.branches else { continue };
+                    let Some(branches) = &mut input.branches else {
+                        continue;
+                    };
                     if branches.iter().any(|b| !b.granted || b.done) {
                         continue;
                     }
@@ -319,6 +322,65 @@ impl Component for InputBufferedSwitch {
             }
             occupancy_sum += u64::from(input.occupied);
         }
+
+        if stats.borrow().forensics_requested {
+            let mut blocked = Vec::new();
+            for (i, input) in inputs.iter().enumerate() {
+                let mut queued = input.packets.iter();
+                let Some(head) = queued.next() else { continue };
+                let snap_worm =
+                    |pkt: &Rc<Packet>,
+                     state: &'static str,
+                     holds: Vec<usize>,
+                     waits: Vec<usize>| BlockedWormSnap {
+                        input: Some(i),
+                        packet: pkt.id().0,
+                        msg: pkt.msg().0,
+                        src: pkt.src().0,
+                        state,
+                        remaining_dests: header_dests(pkt),
+                        holds_outputs: holds,
+                        waits_outputs: waits,
+                    };
+                match &input.branches {
+                    None => {
+                        blocked.push(snap_worm(&head.pkt, "await-decode", Vec::new(), Vec::new()))
+                    }
+                    Some(branches) => {
+                        let holds: Vec<usize> = branches
+                            .iter()
+                            .filter(|b| b.granted && !b.done)
+                            .map(|b| b.port)
+                            .collect();
+                        // A branch waits if it has no grant yet, or holds
+                        // its transmitter but the downstream link has no
+                        // credit. Under synchronous replication any
+                        // ungranted branch stalls the granted ones too.
+                        let waits: Vec<usize> = branches
+                            .iter()
+                            .filter(|b| !b.done && (!b.granted || !io.can_send(b.port)))
+                            .map(|b| b.port)
+                            .collect();
+                        if !waits.is_empty() {
+                            blocked.push(snap_worm(&head.pkt, "head-blocked", holds, waits));
+                        }
+                    }
+                }
+                // Packets behind the head: head-of-line blocked.
+                for q in queued {
+                    blocked.push(snap_worm(&q.pkt, "hol-queued", Vec::new(), Vec::new()));
+                }
+            }
+            let mut st = stats.borrow_mut();
+            st.forensics_requested = false;
+            st.forensics = Some(SwitchSnapshot {
+                cq_used_chunks: 0,
+                cq_free_chunks: 0,
+                input_occupancy: inputs.iter().map(|i| i.occupied).collect(),
+                blocked,
+            });
+        }
+
         stats.borrow_mut().ib_used_flits.observe(occupancy_sum);
     }
 }
@@ -336,7 +398,7 @@ impl std::fmt::Debug for InputBufferedSwitch {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::testutil::{sink_flits, single_switch_world, TestWorld};
+    use crate::testutil::{single_switch_world, sink_flits, TestWorld};
     use netsim::destset::DestSet;
     use netsim::ids::{NodeId, PacketId};
     use netsim::packet::PacketBuilder;

@@ -31,6 +31,6 @@ pub mod stats;
 mod testutil;
 
 pub use central::CentralBufferSwitch;
-pub use config::{ReplicationMode, SwitchConfig, UpSelect};
+pub use config::{ConfigError, ReplicationMode, SwitchConfig, UpSelect};
 pub use input_buffered::InputBufferedSwitch;
-pub use stats::SwitchStats;
+pub use stats::{BlockedWormSnap, SwitchSnapshot, SwitchStats};

@@ -2,6 +2,60 @@
 
 use netsim::stats::OccupancyStats;
 
+/// One worm that could not make progress when a forensics snapshot was
+/// taken, with the output resources it holds and the ones it waits for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockedWormSnap {
+    /// Input port the worm occupies (or arrived through); `None` for worms
+    /// resident only in the central queue.
+    pub input: Option<usize>,
+    /// Raw packet id.
+    pub packet: u64,
+    /// Raw message id.
+    pub msg: u64,
+    /// Source node index.
+    pub src: u32,
+    /// FSM state label (architecture-specific).
+    pub state: &'static str,
+    /// Destination node indices still encoded in the (possibly rewritten)
+    /// header.
+    pub remaining_dests: Vec<u32>,
+    /// Output ports this worm has acquired and not released.
+    pub holds_outputs: Vec<usize>,
+    /// Output ports this worm needs but cannot currently use.
+    pub waits_outputs: Vec<usize>,
+}
+
+/// Destination node indices a packet's header still encodes. Multiport
+/// masks are positional (the fan-out is not locally decidable), so they
+/// report an empty list.
+pub fn header_dests(pkt: &netsim::packet::Packet) -> Vec<u32> {
+    use netsim::header::RoutingHeader;
+    match pkt.header() {
+        RoutingHeader::Unicast { dest } => vec![dest.0],
+        RoutingHeader::BitString { dests } => dests.iter().map(|n| n.0).collect(),
+        RoutingHeader::Multiport { .. } | RoutingHeader::BarrierGather { .. } => Vec::new(),
+    }
+}
+
+/// State of one switch at the moment the deadlock watchdog fired.
+///
+/// Produced on demand: the harness sets [`SwitchStats::forensics_requested`]
+/// and runs one more cycle; the switch fills [`SwitchStats::forensics`] at
+/// the end of its tick (when nothing can move, one extra cycle changes no
+/// state).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct SwitchSnapshot {
+    /// Central-queue chunks holding data (central-buffer only).
+    pub cq_used_chunks: usize,
+    /// Central-queue chunks free (central-buffer only).
+    pub cq_free_chunks: usize,
+    /// Buffered flits per input port (staging FIFO or input buffer).
+    pub input_occupancy: Vec<u32>,
+    /// Every worm that was unable to advance this cycle.
+    pub blocked: Vec<BlockedWormSnap>,
+}
+
 /// Counters and gauges one switch exposes.
 ///
 /// The harness holds a clone of the `Rc<RefCell<SwitchStats>>` given to each
@@ -27,6 +81,11 @@ pub struct SwitchStats {
     /// Free central-queue chunks at the end of the last cycle (probe for
     /// leak tests; central-buffer architecture only).
     pub cq_free_now: usize,
+    /// Set by the harness to request a [`SwitchSnapshot`] at the end of the
+    /// switch's next tick.
+    pub forensics_requested: bool,
+    /// The snapshot the switch produced in response.
+    pub forensics: Option<SwitchSnapshot>,
 }
 
 #[cfg(test)]

@@ -112,7 +112,14 @@ pub(crate) fn single_switch_world(
     for h in 0..n_hosts {
         let q = Rc::new(RefCell::new(VecDeque::new()));
         queues.push(q.clone());
-        engine.add_component(Box::new(TestSource { queue: q, cur: None }), vec![], vec![to_switch[h]]);
+        engine.add_component(
+            Box::new(TestSource {
+                queue: q,
+                cur: None,
+            }),
+            vec![],
+            vec![to_switch[h]],
+        );
         let flits = Rc::new(Cell::new(0));
         sinks.push(flits.clone());
         engine.add_component(Box::new(TestSink { flits }), vec![to_host[h]], vec![]);

@@ -23,9 +23,7 @@ fn main() {
         measure: 12_000,
         ..RunConfig::default()
     };
-    println!(
-        "# Bimodal traffic: 90% unicast / 10% multicast (degree 16), 64-flit messages\n"
-    );
+    println!("# Bimodal traffic: 90% unicast / 10% multicast (degree 16), 64-flit messages\n");
     let rows = e4_e5_bimodal(&base, &run, &[0.05, 0.15, 0.30], 0.10, 16, 64);
     println!("{}", markdown_table(&rows));
     println!(

@@ -55,8 +55,14 @@ fn main() {
 
     // A multicast worm's replication tree.
     let dests = DestSet::from_nodes(64, [1, 7, 21, 22, 40, 63].map(NodeId));
-    println!("\n## Multicast {src} -> {dests:?} (LCA stage {})", tree.lca_stage_set(src, &dests));
-    for policy in [ReplicatePolicy::ReturnOnly, ReplicatePolicy::ForwardAndReturn] {
+    println!(
+        "\n## Multicast {src} -> {dests:?} (LCA stage {})",
+        tree.lca_stage_set(src, &dests)
+    );
+    for policy in [
+        ReplicatePolicy::ReturnOnly,
+        ReplicatePolicy::ForwardAndReturn,
+    ] {
         let trace = trace_bitstring(&tables, topo, src, &dests, policy, 16).expect("replicates");
         println!(
             "  {policy:?}: {} branch hops, deepest path {} switches, delivered {:?}",

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_ablation-68b8fcbcecc08f67.d: crates/bench/benches/bench_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_ablation-68b8fcbcecc08f67.rmeta: crates/bench/benches/bench_ablation.rs Cargo.toml
+
+crates/bench/benches/bench_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

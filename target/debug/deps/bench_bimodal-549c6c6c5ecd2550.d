@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_bimodal-549c6c6c5ecd2550.d: crates/bench/benches/bench_bimodal.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_bimodal-549c6c6c5ecd2550.rmeta: crates/bench/benches/bench_bimodal.rs Cargo.toml
+
+crates/bench/benches/bench_bimodal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_degree-46760f90e12d0f9f.d: crates/bench/benches/bench_degree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_degree-46760f90e12d0f9f.rmeta: crates/bench/benches/bench_degree.rs Cargo.toml
+
+crates/bench/benches/bench_degree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_msglen-3d5c53810f2ad099.d: crates/bench/benches/bench_msglen.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_msglen-3d5c53810f2ad099.rmeta: crates/bench/benches/bench_msglen.rs Cargo.toml
+
+crates/bench/benches/bench_msglen.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

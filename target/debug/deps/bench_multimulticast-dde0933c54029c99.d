@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_multimulticast-dde0933c54029c99.d: crates/bench/benches/bench_multimulticast.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_multimulticast-dde0933c54029c99.rmeta: crates/bench/benches/bench_multimulticast.rs Cargo.toml
+
+crates/bench/benches/bench_multimulticast.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

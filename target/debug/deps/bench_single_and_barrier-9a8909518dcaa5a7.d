@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_single_and_barrier-9a8909518dcaa5a7.d: crates/bench/benches/bench_single_and_barrier.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_single_and_barrier-9a8909518dcaa5a7.rmeta: crates/bench/benches/bench_single_and_barrier.rs Cargo.toml
+
+crates/bench/benches/bench_single_and_barrier.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

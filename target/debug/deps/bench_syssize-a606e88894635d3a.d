@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_syssize-a606e88894635d3a.d: crates/bench/benches/bench_syssize.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_syssize-a606e88894635d3a.rmeta: crates/bench/benches/bench_syssize.rs Cargo.toml
+
+crates/bench/benches/bench_syssize.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

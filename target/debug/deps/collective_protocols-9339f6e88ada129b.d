@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/collective_protocols-9339f6e88ada129b.d: tests/collective_protocols.rs
+
+/root/repo/target/debug/deps/collective_protocols-9339f6e88ada129b: tests/collective_protocols.rs
+
+tests/collective_protocols.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/collective_protocols-96d0b2d1466c28c8.d: tests/collective_protocols.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcollective_protocols-96d0b2d1466c28c8.rmeta: tests/collective_protocols.rs Cargo.toml
+
+tests/collective_protocols.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

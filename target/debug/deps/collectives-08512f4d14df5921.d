@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/collectives-08512f4d14df5921.d: crates/collectives/src/lib.rs crates/collectives/src/barrier.rs crates/collectives/src/combining.rs crates/collectives/src/host.rs crates/collectives/src/recovery.rs crates/collectives/src/reduce.rs crates/collectives/src/swmcast.rs crates/collectives/src/traffic.rs crates/collectives/src/umin.rs
+
+/root/repo/target/debug/deps/collectives-08512f4d14df5921: crates/collectives/src/lib.rs crates/collectives/src/barrier.rs crates/collectives/src/combining.rs crates/collectives/src/host.rs crates/collectives/src/recovery.rs crates/collectives/src/reduce.rs crates/collectives/src/swmcast.rs crates/collectives/src/traffic.rs crates/collectives/src/umin.rs
+
+crates/collectives/src/lib.rs:
+crates/collectives/src/barrier.rs:
+crates/collectives/src/combining.rs:
+crates/collectives/src/host.rs:
+crates/collectives/src/recovery.rs:
+crates/collectives/src/reduce.rs:
+crates/collectives/src/swmcast.rs:
+crates/collectives/src/traffic.rs:
+crates/collectives/src/umin.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/collectives-fb98a8802eb1abb0.d: crates/collectives/src/lib.rs crates/collectives/src/barrier.rs crates/collectives/src/combining.rs crates/collectives/src/host.rs crates/collectives/src/recovery.rs crates/collectives/src/reduce.rs crates/collectives/src/swmcast.rs crates/collectives/src/traffic.rs crates/collectives/src/umin.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcollectives-fb98a8802eb1abb0.rmeta: crates/collectives/src/lib.rs crates/collectives/src/barrier.rs crates/collectives/src/combining.rs crates/collectives/src/host.rs crates/collectives/src/recovery.rs crates/collectives/src/reduce.rs crates/collectives/src/swmcast.rs crates/collectives/src/traffic.rs crates/collectives/src/umin.rs Cargo.toml
+
+crates/collectives/src/lib.rs:
+crates/collectives/src/barrier.rs:
+crates/collectives/src/combining.rs:
+crates/collectives/src/host.rs:
+crates/collectives/src/recovery.rs:
+crates/collectives/src/reduce.rs:
+crates/collectives/src/swmcast.rs:
+crates/collectives/src/traffic.rs:
+crates/collectives/src/umin.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/deadlock_freedom-4e99fcf985d71e37.d: tests/deadlock_freedom.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeadlock_freedom-4e99fcf985d71e37.rmeta: tests/deadlock_freedom.rs Cargo.toml
+
+tests/deadlock_freedom.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

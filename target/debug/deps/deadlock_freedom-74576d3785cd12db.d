@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/deadlock_freedom-74576d3785cd12db.d: tests/deadlock_freedom.rs
+
+/root/repo/target/debug/deps/deadlock_freedom-74576d3785cd12db: tests/deadlock_freedom.rs
+
+tests/deadlock_freedom.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-6427a24e52b84c10.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-6427a24e52b84c10: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-4e96adf116e1f66d.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-4e96adf116e1f66d: tests/end_to_end.rs
+
+tests/end_to_end.rs:

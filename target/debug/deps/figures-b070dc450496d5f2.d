@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-b070dc450496d5f2.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-b070dc450496d5f2: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

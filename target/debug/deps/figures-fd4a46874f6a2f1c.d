@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-fd4a46874f6a2f1c.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-fd4a46874f6a2f1c: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mdw_bench-707230789ec7462e.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/mdw_bench-707230789ec7462e: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mdw_bench-dcaabf1b437613a3.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmdw_bench-dcaabf1b437613a3.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmdw_bench-dcaabf1b437613a3.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mdworm-21ed29c5408c0482.d: crates/core/src/lib.rs crates/core/src/build.rs crates/core/src/config.rs crates/core/src/experiments.rs crates/core/src/forensics.rs crates/core/src/report.rs crates/core/src/sim.rs crates/core/src/workload.rs
+
+/root/repo/target/debug/deps/mdworm-21ed29c5408c0482: crates/core/src/lib.rs crates/core/src/build.rs crates/core/src/config.rs crates/core/src/experiments.rs crates/core/src/forensics.rs crates/core/src/report.rs crates/core/src/sim.rs crates/core/src/workload.rs
+
+crates/core/src/lib.rs:
+crates/core/src/build.rs:
+crates/core/src/config.rs:
+crates/core/src/experiments.rs:
+crates/core/src/forensics.rs:
+crates/core/src/report.rs:
+crates/core/src/sim.rs:
+crates/core/src/workload.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/mdworm-ebe28e5fba354b4d.d: crates/core/src/lib.rs crates/core/src/build.rs crates/core/src/config.rs crates/core/src/experiments.rs crates/core/src/forensics.rs crates/core/src/report.rs crates/core/src/sim.rs crates/core/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmdworm-ebe28e5fba354b4d.rmeta: crates/core/src/lib.rs crates/core/src/build.rs crates/core/src/config.rs crates/core/src/experiments.rs crates/core/src/forensics.rs crates/core/src/report.rs crates/core/src/sim.rs crates/core/src/workload.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/build.rs:
+crates/core/src/config.rs:
+crates/core/src/experiments.rs:
+crates/core/src/forensics.rs:
+crates/core/src/report.rs:
+crates/core/src/sim.rs:
+crates/core/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

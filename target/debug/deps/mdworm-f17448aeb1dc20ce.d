@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/mdworm-f17448aeb1dc20ce.d: crates/core/src/lib.rs crates/core/src/build.rs crates/core/src/config.rs crates/core/src/experiments.rs crates/core/src/forensics.rs crates/core/src/report.rs crates/core/src/sim.rs crates/core/src/workload.rs
+
+/root/repo/target/debug/deps/libmdworm-f17448aeb1dc20ce.rlib: crates/core/src/lib.rs crates/core/src/build.rs crates/core/src/config.rs crates/core/src/experiments.rs crates/core/src/forensics.rs crates/core/src/report.rs crates/core/src/sim.rs crates/core/src/workload.rs
+
+/root/repo/target/debug/deps/libmdworm-f17448aeb1dc20ce.rmeta: crates/core/src/lib.rs crates/core/src/build.rs crates/core/src/config.rs crates/core/src/experiments.rs crates/core/src/forensics.rs crates/core/src/report.rs crates/core/src/sim.rs crates/core/src/workload.rs
+
+crates/core/src/lib.rs:
+crates/core/src/build.rs:
+crates/core/src/config.rs:
+crates/core/src/experiments.rs:
+crates/core/src/forensics.rs:
+crates/core/src/report.rs:
+crates/core/src/sim.rs:
+crates/core/src/workload.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mdworm_repro-091c627e5151332e.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmdworm_repro-091c627e5151332e.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

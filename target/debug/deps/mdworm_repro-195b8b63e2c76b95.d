@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mdworm_repro-195b8b63e2c76b95.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmdworm_repro-195b8b63e2c76b95.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmdworm_repro-195b8b63e2c76b95.rmeta: src/lib.rs
+
+src/lib.rs:

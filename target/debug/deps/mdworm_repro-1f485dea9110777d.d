@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mdworm_repro-1f485dea9110777d.d: src/lib.rs
+
+/root/repo/target/debug/deps/mdworm_repro-1f485dea9110777d: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mdworm_repro-bb9c9598952e784d.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmdworm_repro-bb9c9598952e784d.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/mintopo-d4753ea309c468b5.d: crates/mintopo/src/lib.rs crates/mintopo/src/combining.rs crates/mintopo/src/irregular.rs crates/mintopo/src/karytree.rs crates/mintopo/src/lca.rs crates/mintopo/src/multiport.rs crates/mintopo/src/reach.rs crates/mintopo/src/route.rs crates/mintopo/src/topology.rs crates/mintopo/src/unimin.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmintopo-d4753ea309c468b5.rmeta: crates/mintopo/src/lib.rs crates/mintopo/src/combining.rs crates/mintopo/src/irregular.rs crates/mintopo/src/karytree.rs crates/mintopo/src/lca.rs crates/mintopo/src/multiport.rs crates/mintopo/src/reach.rs crates/mintopo/src/route.rs crates/mintopo/src/topology.rs crates/mintopo/src/unimin.rs Cargo.toml
+
+crates/mintopo/src/lib.rs:
+crates/mintopo/src/combining.rs:
+crates/mintopo/src/irregular.rs:
+crates/mintopo/src/karytree.rs:
+crates/mintopo/src/lca.rs:
+crates/mintopo/src/multiport.rs:
+crates/mintopo/src/reach.rs:
+crates/mintopo/src/route.rs:
+crates/mintopo/src/topology.rs:
+crates/mintopo/src/unimin.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

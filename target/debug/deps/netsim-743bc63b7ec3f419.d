@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/netsim-743bc63b7ec3f419.d: crates/netsim/src/lib.rs crates/netsim/src/destset.rs crates/netsim/src/engine.rs crates/netsim/src/fault.rs crates/netsim/src/flit.rs crates/netsim/src/header.rs crates/netsim/src/ids.rs crates/netsim/src/link.rs crates/netsim/src/message.rs crates/netsim/src/packet.rs crates/netsim/src/rng.rs crates/netsim/src/stats.rs crates/netsim/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnetsim-743bc63b7ec3f419.rmeta: crates/netsim/src/lib.rs crates/netsim/src/destset.rs crates/netsim/src/engine.rs crates/netsim/src/fault.rs crates/netsim/src/flit.rs crates/netsim/src/header.rs crates/netsim/src/ids.rs crates/netsim/src/link.rs crates/netsim/src/message.rs crates/netsim/src/packet.rs crates/netsim/src/rng.rs crates/netsim/src/stats.rs crates/netsim/src/trace.rs Cargo.toml
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/destset.rs:
+crates/netsim/src/engine.rs:
+crates/netsim/src/fault.rs:
+crates/netsim/src/flit.rs:
+crates/netsim/src/header.rs:
+crates/netsim/src/ids.rs:
+crates/netsim/src/link.rs:
+crates/netsim/src/message.rs:
+crates/netsim/src/packet.rs:
+crates/netsim/src/rng.rs:
+crates/netsim/src/stats.rs:
+crates/netsim/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

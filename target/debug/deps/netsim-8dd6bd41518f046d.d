@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/netsim-8dd6bd41518f046d.d: crates/netsim/src/lib.rs crates/netsim/src/destset.rs crates/netsim/src/engine.rs crates/netsim/src/fault.rs crates/netsim/src/flit.rs crates/netsim/src/header.rs crates/netsim/src/ids.rs crates/netsim/src/link.rs crates/netsim/src/message.rs crates/netsim/src/packet.rs crates/netsim/src/rng.rs crates/netsim/src/stats.rs crates/netsim/src/trace.rs
+
+/root/repo/target/debug/deps/libnetsim-8dd6bd41518f046d.rlib: crates/netsim/src/lib.rs crates/netsim/src/destset.rs crates/netsim/src/engine.rs crates/netsim/src/fault.rs crates/netsim/src/flit.rs crates/netsim/src/header.rs crates/netsim/src/ids.rs crates/netsim/src/link.rs crates/netsim/src/message.rs crates/netsim/src/packet.rs crates/netsim/src/rng.rs crates/netsim/src/stats.rs crates/netsim/src/trace.rs
+
+/root/repo/target/debug/deps/libnetsim-8dd6bd41518f046d.rmeta: crates/netsim/src/lib.rs crates/netsim/src/destset.rs crates/netsim/src/engine.rs crates/netsim/src/fault.rs crates/netsim/src/flit.rs crates/netsim/src/header.rs crates/netsim/src/ids.rs crates/netsim/src/link.rs crates/netsim/src/message.rs crates/netsim/src/packet.rs crates/netsim/src/rng.rs crates/netsim/src/stats.rs crates/netsim/src/trace.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/destset.rs:
+crates/netsim/src/engine.rs:
+crates/netsim/src/fault.rs:
+crates/netsim/src/flit.rs:
+crates/netsim/src/header.rs:
+crates/netsim/src/ids.rs:
+crates/netsim/src/link.rs:
+crates/netsim/src/message.rs:
+crates/netsim/src/packet.rs:
+crates/netsim/src/rng.rs:
+crates/netsim/src/stats.rs:
+crates/netsim/src/trace.rs:

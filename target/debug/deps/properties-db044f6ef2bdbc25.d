@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-db044f6ef2bdbc25.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-db044f6ef2bdbc25: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-1be0ec8b2544ba02.d: crates/mintopo/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-1be0ec8b2544ba02: crates/mintopo/tests/proptests.rs
+
+crates/mintopo/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-96c66202f9cc93c1.d: crates/mintopo/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-96c66202f9cc93c1.rmeta: crates/mintopo/tests/proptests.rs Cargo.toml
+
+crates/mintopo/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-a4b73dfef9073ba9.d: crates/netsim/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-a4b73dfef9073ba9: crates/netsim/tests/proptests.rs
+
+crates/netsim/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-ba5d62f1db0ca152.d: crates/netsim/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-ba5d62f1db0ca152.rmeta: crates/netsim/tests/proptests.rs Cargo.toml
+
+crates/netsim/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

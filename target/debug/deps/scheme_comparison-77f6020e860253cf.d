@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scheme_comparison-77f6020e860253cf.d: tests/scheme_comparison.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscheme_comparison-77f6020e860253cf.rmeta: tests/scheme_comparison.rs Cargo.toml
+
+tests/scheme_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

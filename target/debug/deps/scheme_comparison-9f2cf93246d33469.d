@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scheme_comparison-9f2cf93246d33469.d: tests/scheme_comparison.rs
+
+/root/repo/target/debug/deps/scheme_comparison-9f2cf93246d33469: tests/scheme_comparison.rs
+
+tests/scheme_comparison.rs:

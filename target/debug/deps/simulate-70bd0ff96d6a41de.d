@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simulate-70bd0ff96d6a41de.d: crates/core/src/bin/simulate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimulate-70bd0ff96d6a41de.rmeta: crates/core/src/bin/simulate.rs Cargo.toml
+
+crates/core/src/bin/simulate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

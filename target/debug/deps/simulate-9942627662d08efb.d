@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simulate-9942627662d08efb.d: crates/core/src/bin/simulate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimulate-9942627662d08efb.rmeta: crates/core/src/bin/simulate.rs Cargo.toml
+
+crates/core/src/bin/simulate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulate-fdf9cacf2e03f820.d: crates/core/src/bin/simulate.rs
+
+/root/repo/target/debug/deps/simulate-fdf9cacf2e03f820: crates/core/src/bin/simulate.rs
+
+crates/core/src/bin/simulate.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/switches-176b0da7e6d178c0.d: crates/switches/src/lib.rs crates/switches/src/central.rs crates/switches/src/config.rs crates/switches/src/decode.rs crates/switches/src/input_buffered.rs crates/switches/src/stats.rs crates/switches/src/testutil.rs Cargo.toml
+
+/root/repo/target/debug/deps/libswitches-176b0da7e6d178c0.rmeta: crates/switches/src/lib.rs crates/switches/src/central.rs crates/switches/src/config.rs crates/switches/src/decode.rs crates/switches/src/input_buffered.rs crates/switches/src/stats.rs crates/switches/src/testutil.rs Cargo.toml
+
+crates/switches/src/lib.rs:
+crates/switches/src/central.rs:
+crates/switches/src/config.rs:
+crates/switches/src/decode.rs:
+crates/switches/src/input_buffered.rs:
+crates/switches/src/stats.rs:
+crates/switches/src/testutil.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/switches-40dcbead3f339ac9.d: crates/switches/src/lib.rs crates/switches/src/central.rs crates/switches/src/config.rs crates/switches/src/decode.rs crates/switches/src/input_buffered.rs crates/switches/src/stats.rs crates/switches/src/testutil.rs
+
+/root/repo/target/debug/deps/switches-40dcbead3f339ac9: crates/switches/src/lib.rs crates/switches/src/central.rs crates/switches/src/config.rs crates/switches/src/decode.rs crates/switches/src/input_buffered.rs crates/switches/src/stats.rs crates/switches/src/testutil.rs
+
+crates/switches/src/lib.rs:
+crates/switches/src/central.rs:
+crates/switches/src/config.rs:
+crates/switches/src/decode.rs:
+crates/switches/src/input_buffered.rs:
+crates/switches/src/stats.rs:
+crates/switches/src/testutil.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/switches-44eb16b823d9f51f.d: crates/switches/src/lib.rs crates/switches/src/central.rs crates/switches/src/config.rs crates/switches/src/decode.rs crates/switches/src/input_buffered.rs crates/switches/src/stats.rs crates/switches/src/testutil.rs
+
+/root/repo/target/debug/deps/libswitches-44eb16b823d9f51f.rlib: crates/switches/src/lib.rs crates/switches/src/central.rs crates/switches/src/config.rs crates/switches/src/decode.rs crates/switches/src/input_buffered.rs crates/switches/src/stats.rs crates/switches/src/testutil.rs
+
+/root/repo/target/debug/deps/libswitches-44eb16b823d9f51f.rmeta: crates/switches/src/lib.rs crates/switches/src/central.rs crates/switches/src/config.rs crates/switches/src/decode.rs crates/switches/src/input_buffered.rs crates/switches/src/stats.rs crates/switches/src/testutil.rs
+
+crates/switches/src/lib.rs:
+crates/switches/src/central.rs:
+crates/switches/src/config.rs:
+crates/switches/src/decode.rs:
+crates/switches/src/input_buffered.rs:
+crates/switches/src/stats.rs:
+crates/switches/src/testutil.rs:

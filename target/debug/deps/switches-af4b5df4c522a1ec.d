@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/switches-af4b5df4c522a1ec.d: crates/switches/src/lib.rs crates/switches/src/central.rs crates/switches/src/config.rs crates/switches/src/decode.rs crates/switches/src/input_buffered.rs crates/switches/src/stats.rs crates/switches/src/testutil.rs Cargo.toml
+
+/root/repo/target/debug/deps/libswitches-af4b5df4c522a1ec.rmeta: crates/switches/src/lib.rs crates/switches/src/central.rs crates/switches/src/config.rs crates/switches/src/decode.rs crates/switches/src/input_buffered.rs crates/switches/src/stats.rs crates/switches/src/testutil.rs Cargo.toml
+
+crates/switches/src/lib.rs:
+crates/switches/src/central.rs:
+crates/switches/src/config.rs:
+crates/switches/src/decode.rs:
+crates/switches/src/input_buffered.rs:
+crates/switches/src/stats.rs:
+crates/switches/src/testutil.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/barrier_sync-4ee433827bfedae1.d: examples/barrier_sync.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbarrier_sync-4ee433827bfedae1.rmeta: examples/barrier_sync.rs Cargo.toml
+
+examples/barrier_sync.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/barrier_sync-71ebee6869d6df77.d: examples/barrier_sync.rs
+
+/root/repo/target/debug/examples/barrier_sync-71ebee6869d6df77: examples/barrier_sync.rs
+
+examples/barrier_sync.rs:

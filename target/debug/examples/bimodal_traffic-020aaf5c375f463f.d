@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/bimodal_traffic-020aaf5c375f463f.d: examples/bimodal_traffic.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbimodal_traffic-020aaf5c375f463f.rmeta: examples/bimodal_traffic.rs Cargo.toml
+
+examples/bimodal_traffic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

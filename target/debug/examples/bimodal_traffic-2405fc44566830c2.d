@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/bimodal_traffic-2405fc44566830c2.d: examples/bimodal_traffic.rs
+
+/root/repo/target/debug/examples/bimodal_traffic-2405fc44566830c2: examples/bimodal_traffic.rs
+
+examples/bimodal_traffic.rs:

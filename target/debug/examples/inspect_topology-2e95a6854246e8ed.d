@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/inspect_topology-2e95a6854246e8ed.d: examples/inspect_topology.rs
+
+/root/repo/target/debug/examples/inspect_topology-2e95a6854246e8ed: examples/inspect_topology.rs
+
+examples/inspect_topology.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/inspect_topology-59a2e67469a041e4.d: examples/inspect_topology.rs Cargo.toml
+
+/root/repo/target/debug/examples/libinspect_topology-59a2e67469a041e4.rmeta: examples/inspect_topology.rs Cargo.toml
+
+examples/inspect_topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

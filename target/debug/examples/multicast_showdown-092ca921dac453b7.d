@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/multicast_showdown-092ca921dac453b7.d: examples/multicast_showdown.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmulticast_showdown-092ca921dac453b7.rmeta: examples/multicast_showdown.rs Cargo.toml
+
+examples/multicast_showdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

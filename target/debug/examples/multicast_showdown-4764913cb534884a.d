@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multicast_showdown-4764913cb534884a.d: examples/multicast_showdown.rs
+
+/root/repo/target/debug/examples/multicast_showdown-4764913cb534884a: examples/multicast_showdown.rs
+
+examples/multicast_showdown.rs:

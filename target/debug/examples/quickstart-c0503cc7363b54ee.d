@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-c0503cc7363b54ee.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-c0503cc7363b54ee: examples/quickstart.rs
+
+examples/quickstart.rs:

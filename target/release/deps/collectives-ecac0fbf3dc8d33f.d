@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/collectives-ecac0fbf3dc8d33f.d: crates/collectives/src/lib.rs crates/collectives/src/barrier.rs crates/collectives/src/combining.rs crates/collectives/src/host.rs crates/collectives/src/recovery.rs crates/collectives/src/reduce.rs crates/collectives/src/swmcast.rs crates/collectives/src/traffic.rs crates/collectives/src/umin.rs
+
+/root/repo/target/release/deps/libcollectives-ecac0fbf3dc8d33f.rlib: crates/collectives/src/lib.rs crates/collectives/src/barrier.rs crates/collectives/src/combining.rs crates/collectives/src/host.rs crates/collectives/src/recovery.rs crates/collectives/src/reduce.rs crates/collectives/src/swmcast.rs crates/collectives/src/traffic.rs crates/collectives/src/umin.rs
+
+/root/repo/target/release/deps/libcollectives-ecac0fbf3dc8d33f.rmeta: crates/collectives/src/lib.rs crates/collectives/src/barrier.rs crates/collectives/src/combining.rs crates/collectives/src/host.rs crates/collectives/src/recovery.rs crates/collectives/src/reduce.rs crates/collectives/src/swmcast.rs crates/collectives/src/traffic.rs crates/collectives/src/umin.rs
+
+crates/collectives/src/lib.rs:
+crates/collectives/src/barrier.rs:
+crates/collectives/src/combining.rs:
+crates/collectives/src/host.rs:
+crates/collectives/src/recovery.rs:
+crates/collectives/src/reduce.rs:
+crates/collectives/src/swmcast.rs:
+crates/collectives/src/traffic.rs:
+crates/collectives/src/umin.rs:

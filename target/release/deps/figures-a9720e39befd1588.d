@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-a9720e39befd1588.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/release/deps/figures-a9720e39befd1588: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

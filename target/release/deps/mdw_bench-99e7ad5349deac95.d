@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mdw_bench-99e7ad5349deac95.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmdw_bench-99e7ad5349deac95.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmdw_bench-99e7ad5349deac95.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

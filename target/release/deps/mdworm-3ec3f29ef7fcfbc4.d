@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/mdworm-3ec3f29ef7fcfbc4.d: crates/core/src/lib.rs crates/core/src/build.rs crates/core/src/config.rs crates/core/src/experiments.rs crates/core/src/forensics.rs crates/core/src/report.rs crates/core/src/sim.rs crates/core/src/workload.rs
+
+/root/repo/target/release/deps/libmdworm-3ec3f29ef7fcfbc4.rlib: crates/core/src/lib.rs crates/core/src/build.rs crates/core/src/config.rs crates/core/src/experiments.rs crates/core/src/forensics.rs crates/core/src/report.rs crates/core/src/sim.rs crates/core/src/workload.rs
+
+/root/repo/target/release/deps/libmdworm-3ec3f29ef7fcfbc4.rmeta: crates/core/src/lib.rs crates/core/src/build.rs crates/core/src/config.rs crates/core/src/experiments.rs crates/core/src/forensics.rs crates/core/src/report.rs crates/core/src/sim.rs crates/core/src/workload.rs
+
+crates/core/src/lib.rs:
+crates/core/src/build.rs:
+crates/core/src/config.rs:
+crates/core/src/experiments.rs:
+crates/core/src/forensics.rs:
+crates/core/src/report.rs:
+crates/core/src/sim.rs:
+crates/core/src/workload.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mdworm_repro-979133412aa4bea2.d: src/lib.rs
+
+/root/repo/target/release/deps/libmdworm_repro-979133412aa4bea2.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmdworm_repro-979133412aa4bea2.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/mintopo-35ce38d643db902a.d: crates/mintopo/src/lib.rs crates/mintopo/src/combining.rs crates/mintopo/src/irregular.rs crates/mintopo/src/karytree.rs crates/mintopo/src/lca.rs crates/mintopo/src/multiport.rs crates/mintopo/src/reach.rs crates/mintopo/src/route.rs crates/mintopo/src/topology.rs crates/mintopo/src/unimin.rs
+
+/root/repo/target/release/deps/libmintopo-35ce38d643db902a.rlib: crates/mintopo/src/lib.rs crates/mintopo/src/combining.rs crates/mintopo/src/irregular.rs crates/mintopo/src/karytree.rs crates/mintopo/src/lca.rs crates/mintopo/src/multiport.rs crates/mintopo/src/reach.rs crates/mintopo/src/route.rs crates/mintopo/src/topology.rs crates/mintopo/src/unimin.rs
+
+/root/repo/target/release/deps/libmintopo-35ce38d643db902a.rmeta: crates/mintopo/src/lib.rs crates/mintopo/src/combining.rs crates/mintopo/src/irregular.rs crates/mintopo/src/karytree.rs crates/mintopo/src/lca.rs crates/mintopo/src/multiport.rs crates/mintopo/src/reach.rs crates/mintopo/src/route.rs crates/mintopo/src/topology.rs crates/mintopo/src/unimin.rs
+
+crates/mintopo/src/lib.rs:
+crates/mintopo/src/combining.rs:
+crates/mintopo/src/irregular.rs:
+crates/mintopo/src/karytree.rs:
+crates/mintopo/src/lca.rs:
+crates/mintopo/src/multiport.rs:
+crates/mintopo/src/reach.rs:
+crates/mintopo/src/route.rs:
+crates/mintopo/src/topology.rs:
+crates/mintopo/src/unimin.rs:

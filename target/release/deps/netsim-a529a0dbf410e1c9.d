@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/netsim-a529a0dbf410e1c9.d: crates/netsim/src/lib.rs crates/netsim/src/destset.rs crates/netsim/src/engine.rs crates/netsim/src/fault.rs crates/netsim/src/flit.rs crates/netsim/src/header.rs crates/netsim/src/ids.rs crates/netsim/src/link.rs crates/netsim/src/message.rs crates/netsim/src/packet.rs crates/netsim/src/rng.rs crates/netsim/src/stats.rs crates/netsim/src/trace.rs
+
+/root/repo/target/release/deps/libnetsim-a529a0dbf410e1c9.rlib: crates/netsim/src/lib.rs crates/netsim/src/destset.rs crates/netsim/src/engine.rs crates/netsim/src/fault.rs crates/netsim/src/flit.rs crates/netsim/src/header.rs crates/netsim/src/ids.rs crates/netsim/src/link.rs crates/netsim/src/message.rs crates/netsim/src/packet.rs crates/netsim/src/rng.rs crates/netsim/src/stats.rs crates/netsim/src/trace.rs
+
+/root/repo/target/release/deps/libnetsim-a529a0dbf410e1c9.rmeta: crates/netsim/src/lib.rs crates/netsim/src/destset.rs crates/netsim/src/engine.rs crates/netsim/src/fault.rs crates/netsim/src/flit.rs crates/netsim/src/header.rs crates/netsim/src/ids.rs crates/netsim/src/link.rs crates/netsim/src/message.rs crates/netsim/src/packet.rs crates/netsim/src/rng.rs crates/netsim/src/stats.rs crates/netsim/src/trace.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/destset.rs:
+crates/netsim/src/engine.rs:
+crates/netsim/src/fault.rs:
+crates/netsim/src/flit.rs:
+crates/netsim/src/header.rs:
+crates/netsim/src/ids.rs:
+crates/netsim/src/link.rs:
+crates/netsim/src/message.rs:
+crates/netsim/src/packet.rs:
+crates/netsim/src/rng.rs:
+crates/netsim/src/stats.rs:
+crates/netsim/src/trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/simulate-424e896ec9c002c2.d: crates/core/src/bin/simulate.rs
+
+/root/repo/target/release/deps/simulate-424e896ec9c002c2: crates/core/src/bin/simulate.rs
+
+crates/core/src/bin/simulate.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/switches-8b4518ca52fb9258.d: crates/switches/src/lib.rs crates/switches/src/central.rs crates/switches/src/config.rs crates/switches/src/decode.rs crates/switches/src/input_buffered.rs crates/switches/src/stats.rs crates/switches/src/testutil.rs
+
+/root/repo/target/release/deps/libswitches-8b4518ca52fb9258.rlib: crates/switches/src/lib.rs crates/switches/src/central.rs crates/switches/src/config.rs crates/switches/src/decode.rs crates/switches/src/input_buffered.rs crates/switches/src/stats.rs crates/switches/src/testutil.rs
+
+/root/repo/target/release/deps/libswitches-8b4518ca52fb9258.rmeta: crates/switches/src/lib.rs crates/switches/src/central.rs crates/switches/src/config.rs crates/switches/src/decode.rs crates/switches/src/input_buffered.rs crates/switches/src/stats.rs crates/switches/src/testutil.rs
+
+crates/switches/src/lib.rs:
+crates/switches/src/central.rs:
+crates/switches/src/config.rs:
+crates/switches/src/decode.rs:
+crates/switches/src/input_buffered.rs:
+crates/switches/src/stats.rs:
+crates/switches/src/testutil.rs:

@@ -43,8 +43,7 @@ fn allreduce_is_correct_on_all_schemes() {
         McastImpl::HwMultiport,
         McastImpl::SwBinomial,
     ] {
-        let (rounds, latency, ok) =
-            run_allreduce(&cfg16(SwitchArch::CentralBuffer, mcast), 3, 8);
+        let (rounds, latency, ok) = run_allreduce(&cfg16(SwitchArch::CentralBuffer, mcast), 3, 8);
         assert_eq!(rounds, 3, "{mcast:?}");
         assert!(ok, "{mcast:?} result wrong");
         assert!(latency > 0.0);
@@ -53,7 +52,11 @@ fn allreduce_is_correct_on_all_schemes() {
 
 #[test]
 fn allreduce_on_input_buffered_switches() {
-    let (rounds, _, ok) = run_allreduce(&cfg16(SwitchArch::InputBuffered, McastImpl::HwBitString), 3, 8);
+    let (rounds, _, ok) = run_allreduce(
+        &cfg16(SwitchArch::InputBuffered, McastImpl::HwBitString),
+        3,
+        8,
+    );
     assert_eq!(rounds, 3);
     assert!(ok);
 }
@@ -66,8 +69,7 @@ fn plain_reduce_completes_at_root_without_broadcast_traffic() {
     engine.borrow_mut().set_value(NodeId(5), 1000);
     let sources: Vec<Box<dyn TrafficSource>> = (0..n)
         .map(|h| {
-            Box::new(ReduceEngine::source_for(&engine, NodeId::from(h)))
-                as Box<dyn TrafficSource>
+            Box::new(ReduceEngine::source_for(&engine, NodeId::from(h))) as Box<dyn TrafficSource>
         })
         .collect();
     let hook: Rc<RefCell<dyn DeliveryHook>> = engine.clone();
@@ -176,8 +178,7 @@ fn barrier_root_placement_does_not_break_rounds() {
     let engine = BarrierEngine::new(n, NodeId(9), 3);
     let sources: Vec<Box<dyn TrafficSource>> = (0..n)
         .map(|h| {
-            Box::new(BarrierEngine::source_for(&engine, NodeId::from(h)))
-                as Box<dyn TrafficSource>
+            Box::new(BarrierEngine::source_for(&engine, NodeId::from(h))) as Box<dyn TrafficSource>
         })
         .collect();
     let hook: Rc<RefCell<dyn DeliveryHook>> = engine.clone();

@@ -16,6 +16,7 @@ fn assert_clean(cfg: SystemConfig, spec: TrafficSpec, tag: &str) {
         measure: 5_000,
         drain_max: 400_000,
         watchdog_grace: 30_000,
+        faults: None,
     };
     let out = run_experiment(&cfg, &spec, &run);
     assert!(!out.deadlocked, "{tag}: watchdog fired");
@@ -82,7 +83,11 @@ fn overload_with_tiny_central_queue() {
         ..SystemConfig::default()
     };
     cfg.switch.cq_chunks = 34;
-    assert_clean(cfg, TrafficSpec::multiple_multicast(1.2, 8, 64), "CB-tinyCQ");
+    assert_clean(
+        cfg,
+        TrafficSpec::multiple_multicast(1.2, 8, 64),
+        "CB-tinyCQ",
+    );
 }
 
 #[test]
@@ -107,11 +112,7 @@ fn overload_unimin() {
             arch,
             ..SystemConfig::default()
         };
-        assert_clean(
-            cfg,
-            TrafficSpec::multiple_multicast(1.2, 8, 48),
-            "unimin",
-        );
+        assert_clean(cfg, TrafficSpec::multiple_multicast(1.2, 8, 48), "unimin");
     }
 }
 
@@ -129,11 +130,7 @@ fn overload_irregular() {
             arch,
             ..SystemConfig::default()
         };
-        assert_clean(
-            cfg,
-            TrafficSpec::bimodal(1.2, 0.25, 6, 48),
-            "irregular",
-        );
+        assert_clean(cfg, TrafficSpec::bimodal(1.2, 0.25, 6, 48), "irregular");
     }
 }
 

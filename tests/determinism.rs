@@ -43,6 +43,42 @@ fn different_seeds_differ() {
 }
 
 #[test]
+fn faulty_runs_with_recovery_are_bit_identical() {
+    use collectives::RecoveryConfig;
+    use netsim::FaultPlan;
+
+    let c = SystemConfig {
+        recovery: Some(RecoveryConfig {
+            timeout: 1_500,
+            timeout_cap: 12_000,
+            max_retries: 10,
+        }),
+        ..cfg(21)
+    };
+    let spec = TrafficSpec::multiple_multicast(0.05, 4, 24);
+    let run = RunConfig {
+        warmup: 200,
+        measure: 2_500,
+        drain_max: 400_000,
+        faults: Some(FaultPlan::drops(77, 1e-3)),
+        ..RunConfig::default()
+    };
+    let a = run_experiment(&c, &spec, &run);
+    let b = run_experiment(&c, &spec, &run);
+    // The injected faults and the recovery protocol's reaction must both
+    // replay exactly from the same seeds.
+    assert_eq!(a.faults, b.faults);
+    assert_eq!(a.recovery, b.recovery);
+    assert_eq!(a.mcast_last, b.mcast_last);
+    assert_eq!(a.completed_mcasts, b.completed_mcasts);
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.leftover, b.leftover);
+    // And the plan really did something.
+    assert!(a.faults.worms_dropped > 0);
+    assert!(a.recovery.retransmits > 0);
+}
+
+#[test]
 fn determinism_holds_for_every_scheme() {
     let run = RunConfig::quick();
     for (arch, mcast) in [

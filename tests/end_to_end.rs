@@ -28,8 +28,7 @@ fn run_batch(cfg: SystemConfig, batch: Vec<(usize, Vec<(u64, MessageSpec)>)>, ma
     while sys.engine.now() < max_cycles {
         sys.engine.run_for(500);
         let t = sys.tracker();
-        let done =
-            t.borrow().completed_total() == expected_msgs && t.borrow().outstanding() == 0;
+        let done = t.borrow().completed_total() == expected_msgs && t.borrow().outstanding() == 0;
         if done {
             return;
         }

@@ -1,5 +1,9 @@
-//! Property-based tests (proptest) on the end-to-end system and the core
-//! routing invariants.
+//! Property-based tests on the end-to-end system and the core routing
+//! invariants.
+//!
+//! Driven by hand-rolled seeded case loops over [`SimRng`] streams (no
+//! external property-testing crate), so sampled inputs are reproducible
+//! from the constants below.
 
 use collectives::{MessageSpec, ScheduledSource, SilentSource, TrafficSource};
 use mdworm::build::build_system;
@@ -10,27 +14,20 @@ use mintopo::route::{trace_bitstring, ReplicatePolicy, RouteTables};
 use netsim::destset::DestSet;
 use netsim::ids::NodeId;
 use netsim::message::MessageKind;
-use proptest::collection::btree_set;
-use proptest::prelude::*;
+use netsim::rng::SimRng;
 
 const N: usize = 16; // 4-ary 2-tree
+const CASES: u64 = 24;
 
-fn dest_set_strategy(n: usize) -> impl Strategy<Value = (u32, DestSet)> {
-    (0..n as u32, btree_set(0..n as u32, 1..n)).prop_filter_map(
-        "destinations must exclude the source",
-        move |(src, set)| {
-            let dests: Vec<NodeId> = set
-                .into_iter()
-                .filter(|&d| d != src)
-                .map(NodeId)
-                .collect();
-            if dests.is_empty() {
-                None
-            } else {
-                Some((src, DestSet::from_nodes(n, dests)))
-            }
-        },
-    )
+fn case_rng(test: u64, case: u64) -> SimRng {
+    SimRng::new(0xE2E0_0000 ^ test).fork(case)
+}
+
+/// Random (source, non-empty destination set excluding the source).
+fn random_src_dests(r: &mut SimRng, n: usize) -> (u32, DestSet) {
+    let src = NodeId(r.below(n) as u32);
+    let k = 1 + r.below(n - 1);
+    (src.0, r.dest_set(n, k, src))
 }
 
 /// Runs one multicast end-to-end; returns true if it fully delivered.
@@ -59,89 +56,145 @@ fn one_multicast_delivers(cfg: SystemConfig, src: u32, dests: DestSet, payload: 
     false
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Exactly-once delivery of arbitrary multicasts through the
-    /// central-buffer switch fabric.
-    #[test]
-    fn cb_multicast_exactly_once((src, dests) in dest_set_strategy(N), payload in 1u16..100) {
+fn multicast_exactly_once(test: u64, arch: SwitchArch, mcast: McastImpl) {
+    for case in 0..CASES {
+        let mut r = case_rng(test, case);
+        let (src, dests) = random_src_dests(&mut r, N);
+        let payload = 1 + r.below(99) as u16;
         let cfg = SystemConfig {
             topology: TopologyKind::KaryTree { k: 4, n: 2 },
-            arch: SwitchArch::CentralBuffer,
+            arch,
+            mcast,
+            ..SystemConfig::default()
+        };
+        assert!(
+            one_multicast_delivers(cfg, src, dests.clone(), payload),
+            "case {case}: multicast from {src} to {dests:?} did not deliver"
+        );
+    }
+}
+
+/// Exactly-once delivery of arbitrary multicasts through the
+/// central-buffer switch fabric.
+#[test]
+fn cb_multicast_exactly_once() {
+    multicast_exactly_once(1, SwitchArch::CentralBuffer, McastImpl::HwBitString);
+}
+
+/// Same property for the input-buffer architecture.
+#[test]
+fn ib_multicast_exactly_once() {
+    multicast_exactly_once(2, SwitchArch::InputBuffered, McastImpl::HwBitString);
+}
+
+/// Same property for software multicast (hop forwarding included).
+#[test]
+fn sw_multicast_exactly_once() {
+    multicast_exactly_once(3, SwitchArch::CentralBuffer, McastImpl::SwBinomial);
+}
+
+/// Same property for the multiport encoding (multi-worm plans).
+#[test]
+fn multiport_multicast_exactly_once() {
+    multicast_exactly_once(4, SwitchArch::CentralBuffer, McastImpl::HwMultiport);
+}
+
+/// Under any light-load fault plan (drops, corruption, intermittent
+/// outages), end-to-end recovery still delivers every message: nothing is
+/// left outstanding and no sender gives up.
+#[test]
+fn recovery_delivers_under_random_fault_plans() {
+    use collectives::RecoveryConfig;
+    use mdworm::sim::{run_experiment, RunConfig};
+    use mdworm::workload::TrafficSpec;
+    use netsim::FaultPlan;
+
+    for case in 0..8 {
+        let mut r = case_rng(7, case);
+        let plan = FaultPlan {
+            seed: 0xF417 + case,
+            flit_drop: r.unit() * 2e-3,
+            flit_corrupt: r.unit() * 2e-3,
+            down_every: if r.chance(0.5) { 2_000 } else { 0 },
+            down_len: 1 + r.below(30) as u64,
+            credit_leak: 0.0,
+        };
+        let cfg = SystemConfig {
+            topology: TopologyKind::KaryTree { k: 2, n: 3 },
+            arch: if case % 2 == 0 {
+                SwitchArch::CentralBuffer
+            } else {
+                SwitchArch::InputBuffered
+            },
             mcast: McastImpl::HwBitString,
+            recovery: Some(RecoveryConfig {
+                timeout: 1_500,
+                timeout_cap: 12_000,
+                max_retries: 12,
+            }),
+            seed: 0xCA5E + case,
             ..SystemConfig::default()
         };
-        prop_assert!(one_multicast_delivers(cfg, src, dests, payload));
-    }
-
-    /// Same property for the input-buffer architecture.
-    #[test]
-    fn ib_multicast_exactly_once((src, dests) in dest_set_strategy(N), payload in 1u16..100) {
-        let cfg = SystemConfig {
-            topology: TopologyKind::KaryTree { k: 4, n: 2 },
-            arch: SwitchArch::InputBuffered,
-            mcast: McastImpl::HwBitString,
-            ..SystemConfig::default()
+        let run = RunConfig {
+            warmup: 200,
+            measure: 2_500,
+            drain_max: 400_000,
+            faults: (!plan.is_noop()).then_some(plan.clone()),
+            ..RunConfig::default()
         };
-        prop_assert!(one_multicast_delivers(cfg, src, dests, payload));
+        let spec = TrafficSpec::multiple_multicast(0.04, 4, 24);
+        let out = run_experiment(&cfg, &spec, &run);
+        assert_eq!(
+            out.leftover, 0,
+            "case {case}: {} messages lost under plan {plan:?}",
+            out.leftover
+        );
+        assert_eq!(
+            out.recovery.gave_up, 0,
+            "case {case}: sender gave up under {plan:?}"
+        );
+        assert!(!out.deadlocked, "case {case}");
     }
+}
 
-    /// Same property for software multicast (hop forwarding included).
-    #[test]
-    fn sw_multicast_exactly_once((src, dests) in dest_set_strategy(N), payload in 1u16..100) {
-        let cfg = SystemConfig {
-            topology: TopologyKind::KaryTree { k: 4, n: 2 },
-            arch: SwitchArch::CentralBuffer,
-            mcast: McastImpl::SwBinomial,
-            ..SystemConfig::default()
-        };
-        prop_assert!(one_multicast_delivers(cfg, src, dests, payload));
-    }
-
-    /// Same property for the multiport encoding (multi-worm plans).
-    #[test]
-    fn multiport_multicast_exactly_once((src, dests) in dest_set_strategy(N), payload in 1u16..100) {
-        let cfg = SystemConfig {
-            topology: TopologyKind::KaryTree { k: 4, n: 2 },
-            arch: SwitchArch::CentralBuffer,
-            mcast: McastImpl::HwMultiport,
-            ..SystemConfig::default()
-        };
-        prop_assert!(one_multicast_delivers(cfg, src, dests, payload));
-    }
-
-    /// The static replication-tree trace covers exactly the destination set
-    /// under both replication policies (routing-level invariant, no engine).
-    #[test]
-    fn bitstring_trace_covers_exactly((src, dests) in dest_set_strategy(N)) {
+/// The static replication-tree trace covers exactly the destination set
+/// under both replication policies (routing-level invariant, no engine).
+#[test]
+fn bitstring_trace_covers_exactly() {
+    for case in 0..CASES {
+        let mut r = case_rng(5, case);
+        let (src, dests) = random_src_dests(&mut r, N);
         let tree = KaryTree::new(4, 2);
         let tables = RouteTables::build(tree.topology());
-        for policy in [ReplicatePolicy::ReturnOnly, ReplicatePolicy::ForwardAndReturn] {
-            let trace = trace_bitstring(
-                &tables,
-                tree.topology(),
-                NodeId(src),
-                &dests,
-                policy,
-                32,
-            ).expect("trace succeeds");
-            prop_assert_eq!(&trace.delivered, &dests);
+        for policy in [
+            ReplicatePolicy::ReturnOnly,
+            ReplicatePolicy::ForwardAndReturn,
+        ] {
+            let trace = trace_bitstring(&tables, tree.topology(), NodeId(src), &dests, policy, 32)
+                .expect("trace succeeds");
+            assert_eq!(&trace.delivered, &dests, "case {case}");
         }
     }
+}
 
-    /// The multiport planner partitions arbitrary sets into worms that
-    /// cover exactly the request.
-    #[test]
-    fn multiport_plan_partitions((src, dests) in dest_set_strategy(64)) {
+/// The multiport planner partitions arbitrary sets into worms that
+/// cover exactly the request.
+#[test]
+fn multiport_plan_partitions() {
+    for case in 0..CASES {
+        let mut r = case_rng(6, case);
+        let (src, dests) = random_src_dests(&mut r, 64);
         let tree = KaryTree::new(4, 3);
         let plan = plan_multiport(&tree, NodeId(src), &dests);
         let mut all = DestSet::empty(64);
         for worm in &plan.worms {
-            prop_assert!(!all.intersects(&worm.covers), "overlapping worms");
+            assert!(
+                !all.intersects(&worm.covers),
+                "case {case}: overlapping worms"
+            );
             all.union_with(&worm.covers);
         }
-        prop_assert_eq!(&all, &dests);
-        prop_assert!(plan.n_worms() <= dests.count());
+        assert_eq!(&all, &dests, "case {case}");
+        assert!(plan.n_worms() <= dests.count(), "case {case}");
     }
 }

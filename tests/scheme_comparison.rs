@@ -96,14 +96,7 @@ fn multiport_on_clustered_set_sits_between_bitstring_and_software() {
     use netsim::ids::NodeId;
     let cluster = DestSet::from_nodes(64, (16..32).map(NodeId));
     let lat = |mcast: McastImpl| {
-        single_multicast_latency_to(
-            &SystemConfig {
-                mcast,
-                ..base64()
-            },
-            cluster.clone(),
-            64,
-        )
+        single_multicast_latency_to(&SystemConfig { mcast, ..base64() }, cluster.clone(), 64)
     };
     let bit = lat(McastImpl::HwBitString);
     let multi = lat(McastImpl::HwMultiport);
@@ -175,10 +168,7 @@ fn input_buffer_hol_blocking_shows_in_unicast_tail_latency() {
     };
     let spec = TrafficSpec::unicast(0.7, 64);
     let p95 = |arch: SwitchArch| {
-        let cfg = SystemConfig {
-            arch,
-            ..base64()
-        };
+        let cfg = SystemConfig { arch, ..base64() };
         run_experiment(&cfg, &spec, &run).unicast.p95
     };
     let cb = p95(SwitchArch::CentralBuffer);
