@@ -4,24 +4,39 @@
 //! ```text
 //! cargo run --release -p mdw-bench --bin figures -- --exp all --scale full
 //! cargo run --release -p mdw-bench --bin figures -- --exp e2 --scale quick
+//! cargo run --release -p mdw-bench --bin figures -- --scale quick --jobs 4 --bench
 //! ```
+//!
+//! `--jobs N` sizes the sweep worker pool (default: `MDWORM_JOBS`, else
+//! available parallelism). `--bench` runs the selected suite twice —
+//! serial then parallel — verifies the outputs are byte-identical, times
+//! the raw engine, and writes `BENCH_sweep.json` next to the tables.
 
-use mdw_bench::{base_system, defaults, Scale};
-use mdworm::experiments as exp;
-use mdworm::report::{csv, markdown_table, TableRow};
+use mdw_bench::perf::bench_sweep;
+use mdw_bench::suite::{run_suite, Table};
+use mdw_bench::{base_system, Scale};
+use mdworm::sweep;
 use std::fs;
 use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Engine-microbench length for `--bench` (cycles).
+const ENGINE_BENCH_CYCLES: u64 = 200_000;
 
 struct Args {
     exp: String,
     scale: Scale,
     out: PathBuf,
+    jobs: Option<usize>,
+    bench: bool,
 }
 
 fn parse_args() -> Args {
     let mut exp = "all".to_string();
     let mut scale = Scale::Full;
     let mut out = PathBuf::from("results");
+    let mut jobs = None;
+    let mut bench = false;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
@@ -39,223 +54,87 @@ fn parse_args() -> Args {
                 out = PathBuf::from(argv.get(i + 1).expect("--out needs a value"));
                 i += 2;
             }
-            other => panic!("unknown argument {other} (use --exp/--scale/--out)"),
+            "--jobs" => {
+                let v = argv.get(i + 1).expect("--jobs needs a value");
+                let n: usize = v.parse().unwrap_or_else(|_| panic!("bad --jobs value {v}"));
+                assert!(n > 0, "--jobs must be at least 1");
+                jobs = Some(n);
+                i += 2;
+            }
+            "--bench" => {
+                bench = true;
+                i += 1;
+            }
+            other => panic!("unknown argument {other} (use --exp/--scale/--out/--jobs/--bench)"),
         }
     }
-    Args { exp, scale, out }
+    Args {
+        exp,
+        scale,
+        out,
+        jobs,
+        bench,
+    }
 }
 
-fn emit<T: TableRow>(out: &PathBuf, name: &str, title: &str, rows: &[T]) {
-    let md = markdown_table(rows);
-    println!("\n## {title}\n\n{md}");
+fn emit(out: &PathBuf, tables: &[Table]) {
     fs::create_dir_all(out).expect("create output directory");
-    fs::write(out.join(format!("{name}.csv")), csv(rows)).expect("write csv");
-    fs::write(
-        out.join(format!("{name}.md")),
-        format!("## {title}\n\n{md}"),
-    )
-    .expect("write md");
+    for t in tables {
+        println!("\n## {}\n\n{}", t.title, t.md);
+        fs::write(out.join(format!("{}.csv", t.name)), &t.csv).expect("write csv");
+        fs::write(
+            out.join(format!("{}.md", t.name)),
+            format!("## {}\n\n{}", t.title, t.md),
+        )
+        .expect("write md");
+    }
 }
 
-fn main() {
+fn main() -> ExitCode {
     let args = parse_args();
     let base = base_system();
-    let run = args.scale.run();
-    let want = |e: &str| args.exp == "all" || args.exp == e;
+    if let Some(n) = args.jobs {
+        sweep::set_jobs(n);
+    }
     let started = std::time::Instant::now();
 
-    if want("e1") {
-        emit(
-            &args.out,
-            "e1_parameters",
-            "E1: simulation parameters",
-            &exp::e1_parameters(&base, &run),
-        );
-    }
-    if want("e2") || want("e3") {
-        let rows = exp::e2_e3_multiple_multicast(
+    if args.bench {
+        let jobs_parallel = args.jobs.unwrap_or_else(sweep::jobs).max(2);
+        let (report, tables) = bench_sweep(
             &base,
-            &run,
-            &args.scale.loads(),
-            defaults::DEGREE,
-            defaults::LEN,
+            args.scale,
+            &args.exp,
+            jobs_parallel,
+            ENGINE_BENCH_CYCLES,
         );
-        emit(
-            &args.out,
-            "e2_e3_multiple_multicast",
-            "E2+E3: multiple multicast — latency & throughput vs offered load (64 procs, degree 16, 64 flits)",
-            &rows,
+        emit(&args.out, &tables);
+        let json = report.json();
+        fs::create_dir_all(&args.out).expect("create output directory");
+        fs::write(args.out.join("BENCH_sweep.json"), &json).expect("write BENCH_sweep.json");
+        eprintln!("bench: {json}");
+        eprintln!(
+            "figures: bench done in {:.1}s (exp={}, scale={:?}, out={})",
+            started.elapsed().as_secs_f64(),
+            args.exp,
+            args.scale,
+            args.out.display()
         );
-    }
-    if want("e4") || want("e5") {
-        let rows = exp::e4_e5_bimodal(
-            &base,
-            &run,
-            &args.scale.bimodal_loads(),
-            defaults::MCAST_FRACTION,
-            defaults::DEGREE,
-            defaults::LEN,
-        );
-        emit(
-            &args.out,
-            "e4_e5_bimodal",
-            "E4+E5: bimodal traffic — background unicast & multicast latency vs load (10% multicast, degree 16)",
-            &rows,
-        );
-    }
-    if want("e6") {
-        let rows = exp::e6_degree_sweep(
-            &base,
-            &run,
-            defaults::SWEEP_LOAD,
-            &args.scale.degrees(),
-            defaults::LEN,
-        );
-        emit(
-            &args.out,
-            "e6_degree",
-            "E6: multicast latency vs degree (load 0.4, 64 flits)",
-            &rows,
-        );
-    }
-    if want("e7") {
-        let rows = exp::e7_length_sweep(
-            &base,
-            &run,
-            defaults::SWEEP_LOAD,
-            &args.scale.lengths(),
-            defaults::DEGREE,
-        );
-        emit(
-            &args.out,
-            "e7_msglen",
-            "E7: multicast latency vs message length (load 0.4, degree 16)",
-            &rows,
-        );
-    }
-    if want("e8") {
-        let rows = exp::e8_size_sweep(
-            &base,
-            &run,
-            defaults::SWEEP_LOAD,
-            &args.scale.stages(),
-            defaults::LEN,
-        );
-        emit(
-            &args.out,
-            "e8_syssize",
-            "E8: multicast latency vs system size (4-ary trees, degree N/4, load 0.4)",
-            &rows,
-        );
-    }
-    if want("e9") {
-        let rows = exp::e9_ablations(&base, &run, defaults::SWEEP_LOAD);
-        emit(
-            &args.out,
-            "e9_ablations",
-            "E9: central-buffer design ablations (bimodal load 0.4)",
-            &rows,
-        );
-    }
-    if want("e10") {
-        let rows = exp::e10_single_multicast(&base, &args.scale.degrees(), defaults::LEN);
-        emit(
-            &args.out,
-            "e10_single_multicast",
-            "E10: single multicast on an idle network — latency vs degree",
-            &rows,
-        );
-    }
-    if want("e11") {
-        let rows = exp::e11_barrier(
-            &base,
-            &args.scale.barrier_stages(),
-            args.scale.barrier_rounds(),
-        );
-        emit(
-            &args.out,
-            "e11_barrier",
-            "E11: barrier rounds — hardware vs software release",
-            &rows,
-        );
+        if !report.outputs_identical {
+            eprintln!("bench: FAILURE — serial and parallel outputs diverge");
+            return ExitCode::FAILURE;
+        }
+        return ExitCode::SUCCESS;
     }
 
-    if want("e12") {
-        let rows = exp::e12_hotspot(
-            &base,
-            &run,
-            0.2,
-            &args.scale.hotspot_fractions(),
-            defaults::LEN,
-        );
-        emit(
-            &args.out,
-            "e12_hotspot",
-            "E12 (extension): hot-spot unicast traffic — latency vs hot-spot fraction (load 0.2)",
-            &rows,
-        );
-    }
-
-    if want("e13") {
-        let rows = exp::e13_allreduce(
-            &base,
-            &args.scale.barrier_stages(),
-            args.scale.barrier_rounds(),
-        );
-        emit(
-            &args.out,
-            "e13_allreduce",
-            "E13 (extension): all-reduce rounds — hardware vs software broadcast phase",
-            &rows,
-        );
-    }
-
-    if want("e14") {
-        let rows = exp::e14_combining_barrier(
-            &base,
-            &args.scale.barrier_stages(),
-            args.scale.barrier_rounds(),
-        );
-        emit(
-            &args.out,
-            "e14_combining_barrier",
-            "E14 (extension): switch-combining barrier vs host-level barrier protocols",
-            &rows,
-        );
-    }
-
-    if want("e15") {
-        let rows = exp::e15_patterns(&base, &run, 0.5, defaults::LEN);
-        emit(
-            &args.out,
-            "e15_patterns",
-            "E15 (extension): permutation unicast patterns at load 0.5 — CB vs IB",
-            &rows,
-        );
-    }
-
-    if want("e16") {
-        let rows = exp::e16_fault_sweep(
-            &base,
-            &run,
-            0.2,
-            &args.scale.drop_rates(),
-            defaults::DEGREE,
-            defaults::LEN,
-        );
-        emit(
-            &args.out,
-            "e16_fault_sweep",
-            "E16 (robustness extension): degradation vs per-flit drop rate with end-to-end recovery (load 0.2)",
-            &rows,
-        );
-    }
-
+    let tables = run_suite(&base, args.scale, &args.exp);
+    emit(&args.out, &tables);
     eprintln!(
-        "figures: done in {:.1}s (exp={}, scale={:?}, out={})",
+        "figures: done in {:.1}s (exp={}, scale={:?}, jobs={}, out={})",
         started.elapsed().as_secs_f64(),
         args.exp,
         args.scale,
+        sweep::jobs(),
         args.out.display()
     );
+    ExitCode::SUCCESS
 }

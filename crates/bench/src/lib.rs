@@ -8,6 +8,9 @@
 use mdworm::sim::RunConfig;
 use mdworm::SystemConfig;
 
+pub mod perf;
+pub mod suite;
+
 /// How much work to spend per experiment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {

@@ -1,0 +1,157 @@
+//! Perf measurement: times the sweep suite serial vs parallel and the raw
+//! engine cycle rate, and serializes the result as `BENCH_sweep.json` —
+//! the repo's recorded performance trajectory.
+
+use crate::suite::{run_suite, Table};
+use crate::Scale;
+use mdworm::{build_system, make_sources, sweep, SystemConfig, TrafficSpec};
+use std::time::Instant;
+
+/// Outcome of one `figures --bench` run.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Scale the suite ran at (`full` / `quick`).
+    pub scale: String,
+    /// Experiment filter (`all` or one id).
+    pub exp: String,
+    /// Worker-pool size of the parallel pass.
+    pub jobs_parallel: usize,
+    /// CPUs available on the benchmarking host — the speedup ceiling.
+    /// On a single-core host the parallel pass cannot beat serial.
+    pub host_cpus: usize,
+    /// Wall-clock of the serial pass (jobs = 1), seconds.
+    pub serial_secs: f64,
+    /// Wall-clock of the parallel pass, seconds.
+    pub parallel_secs: f64,
+    /// serial_secs / parallel_secs.
+    pub speedup: f64,
+    /// Serial and parallel passes produced byte-identical tables.
+    pub outputs_identical: bool,
+    /// Number of tables rendered per pass.
+    pub tables: usize,
+    /// Cycles simulated by the single-engine microbench.
+    pub engine_cycles: u64,
+    /// Wall-clock of the microbench, seconds.
+    pub engine_secs: f64,
+    /// Simulated cycles per wall-clock second (single engine, one core).
+    pub engine_cycles_per_sec: f64,
+}
+
+impl BenchReport {
+    /// Serializes the report as pretty-printed JSON (hand-rolled; the
+    /// workspace carries no serde dependency).
+    pub fn json(&self) -> String {
+        format!(
+            "{{\n  \"scale\": \"{}\",\n  \"exp\": \"{}\",\n  \"jobs_serial\": 1,\n  \
+             \"jobs_parallel\": {},\n  \"host_cpus\": {},\n  \"serial_secs\": {:.3},\n  \
+             \"parallel_secs\": {:.3},\n  \"speedup\": {:.3},\n  \
+             \"outputs_identical\": {},\n  \"tables\": {},\n  \
+             \"engine_cycles\": {},\n  \"engine_secs\": {:.3},\n  \
+             \"engine_cycles_per_sec\": {:.0}\n}}\n",
+            self.scale,
+            self.exp,
+            self.jobs_parallel,
+            self.host_cpus,
+            self.serial_secs,
+            self.parallel_secs,
+            self.speedup,
+            self.outputs_identical,
+            self.tables,
+            self.engine_cycles,
+            self.engine_secs,
+            self.engine_cycles_per_sec,
+        )
+    }
+}
+
+/// Times one 64-processor engine under the default multiple-multicast
+/// workload for `cycles` cycles; returns elapsed seconds.
+///
+/// This is the engine hot-path number: one engine, one core, no sweep
+/// parallelism — it moves when `begin_cycle` skipping, counter
+/// maintenance, and buffer preallocation move, not when the worker pool
+/// grows.
+pub fn engine_secs(cycles: u64) -> f64 {
+    let cfg = SystemConfig::default();
+    let spec = TrafficSpec::multiple_multicast(0.3, 16, 64);
+    let sources = make_sources(&spec, cfg.n_hosts(), cfg.seed, None);
+    let mut sys = build_system(cfg, sources, None);
+    let t = Instant::now();
+    sys.engine.run_for(cycles);
+    t.elapsed().as_secs_f64()
+}
+
+/// Runs the suite serially (jobs = 1), then with `jobs_parallel` workers,
+/// verifies the outputs are byte-identical, and times the raw engine.
+/// Returns the report and the parallel pass's tables (for writing to
+/// `results/`).
+///
+/// Restores the worker-pool override to `jobs_parallel` on return.
+pub fn bench_sweep(
+    base: &SystemConfig,
+    scale: Scale,
+    exp: &str,
+    jobs_parallel: usize,
+    engine_cycles: u64,
+) -> (BenchReport, Vec<Table>) {
+    sweep::set_jobs(1);
+    let t = Instant::now();
+    let serial = run_suite(base, scale, exp);
+    let serial_secs = t.elapsed().as_secs_f64();
+
+    sweep::set_jobs(jobs_parallel);
+    let t = Instant::now();
+    let parallel = run_suite(base, scale, exp);
+    let parallel_secs = t.elapsed().as_secs_f64();
+
+    let outputs_identical = serial == parallel;
+    let eng_secs = engine_secs(engine_cycles);
+    let report = BenchReport {
+        scale: format!("{scale:?}").to_lowercase(),
+        exp: exp.to_string(),
+        jobs_parallel,
+        host_cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        serial_secs,
+        parallel_secs,
+        speedup: serial_secs / parallel_secs.max(1e-9),
+        outputs_identical,
+        tables: parallel.len(),
+        engine_cycles,
+        engine_secs: eng_secs,
+        engine_cycles_per_sec: engine_cycles as f64 / eng_secs.max(1e-9),
+    };
+    (report, parallel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_json_is_wellformed() {
+        let r = BenchReport {
+            scale: "quick".into(),
+            exp: "all".into(),
+            jobs_parallel: 4,
+            host_cpus: 8,
+            serial_secs: 10.0,
+            parallel_secs: 4.0,
+            speedup: 2.5,
+            outputs_identical: true,
+            tables: 14,
+            engine_cycles: 30_000,
+            engine_secs: 0.5,
+            engine_cycles_per_sec: 60_000.0,
+        };
+        let j = r.json();
+        assert!(j.contains("\"speedup\": 2.500"));
+        assert!(j.contains("\"outputs_identical\": true"));
+        assert!(j.contains("\"jobs_serial\": 1"));
+        assert!(j.ends_with("}\n"));
+    }
+
+    #[test]
+    fn engine_microbench_runs() {
+        assert!(engine_secs(200) > 0.0);
+    }
+}

@@ -1,0 +1,171 @@
+//! The full E1..E16 table suite as data: every experiment rendered to
+//! markdown + CSV strings, with no file IO.
+//!
+//! The `figures` binary writes these tables to `results/`; the bench mode
+//! (`figures --bench`) renders the suite twice — serial and parallel — and
+//! compares the strings byte-for-byte to prove the parallel sweep harness
+//! changes nothing but wall-clock time.
+
+use crate::{defaults, Scale};
+use mdworm::experiments as exp;
+use mdworm::report::{csv, markdown_table, TableRow};
+use mdworm::SystemConfig;
+
+/// One rendered result table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// File stem (`results/<name>.{md,csv}`).
+    pub name: &'static str,
+    /// Human-readable heading.
+    pub title: &'static str,
+    /// GitHub-flavored markdown rendering.
+    pub md: String,
+    /// CSV rendering.
+    pub csv: String,
+}
+
+fn table<T: TableRow>(name: &'static str, title: &'static str, rows: &[T]) -> Table {
+    Table {
+        name,
+        title,
+        md: markdown_table(rows),
+        csv: csv(rows),
+    }
+}
+
+/// Renders every experiment selected by `exp_filter` (`"all"` or an
+/// experiment id like `"e2"`) at the given scale.
+///
+/// Runs fan out over the sweep worker pool configured through
+/// [`mdworm::sweep::set_jobs`] / `MDWORM_JOBS`; table contents are
+/// identical for every pool size.
+pub fn run_suite(base: &SystemConfig, scale: Scale, exp_filter: &str) -> Vec<Table> {
+    let run = scale.run();
+    let want = |e: &str| exp_filter == "all" || exp_filter == e;
+    let mut tables = Vec::new();
+
+    if want("e1") {
+        tables.push(table(
+            "e1_parameters",
+            "E1: simulation parameters",
+            &exp::e1_parameters(base, &run),
+        ));
+    }
+    if want("e2") || want("e3") {
+        tables.push(table(
+            "e2_e3_multiple_multicast",
+            "E2+E3: multiple multicast — latency & throughput vs offered load (64 procs, degree 16, 64 flits)",
+            &exp::e2_e3_multiple_multicast(base, &run, &scale.loads(), defaults::DEGREE, defaults::LEN),
+        ));
+    }
+    if want("e4") || want("e5") {
+        tables.push(table(
+            "e4_e5_bimodal",
+            "E4+E5: bimodal traffic — background unicast & multicast latency vs load (10% multicast, degree 16)",
+            &exp::e4_e5_bimodal(
+                base,
+                &run,
+                &scale.bimodal_loads(),
+                defaults::MCAST_FRACTION,
+                defaults::DEGREE,
+                defaults::LEN,
+            ),
+        ));
+    }
+    if want("e6") {
+        tables.push(table(
+            "e6_degree",
+            "E6: multicast latency vs degree (load 0.4, 64 flits)",
+            &exp::e6_degree_sweep(
+                base,
+                &run,
+                defaults::SWEEP_LOAD,
+                &scale.degrees(),
+                defaults::LEN,
+            ),
+        ));
+    }
+    if want("e7") {
+        tables.push(table(
+            "e7_msglen",
+            "E7: multicast latency vs message length (load 0.4, degree 16)",
+            &exp::e7_length_sweep(
+                base,
+                &run,
+                defaults::SWEEP_LOAD,
+                &scale.lengths(),
+                defaults::DEGREE,
+            ),
+        ));
+    }
+    if want("e8") {
+        tables.push(table(
+            "e8_syssize",
+            "E8: multicast latency vs system size (4-ary trees, degree N/4, load 0.4)",
+            &exp::e8_size_sweep(
+                base,
+                &run,
+                defaults::SWEEP_LOAD,
+                &scale.stages(),
+                defaults::LEN,
+            ),
+        ));
+    }
+    if want("e9") {
+        tables.push(table(
+            "e9_ablations",
+            "E9: central-buffer design ablations (bimodal load 0.4)",
+            &exp::e9_ablations(base, &run, defaults::SWEEP_LOAD),
+        ));
+    }
+    if want("e10") {
+        tables.push(table(
+            "e10_single_multicast",
+            "E10: single multicast on an idle network — latency vs degree",
+            &exp::e10_single_multicast(base, &scale.degrees(), defaults::LEN),
+        ));
+    }
+    if want("e11") {
+        tables.push(table(
+            "e11_barrier",
+            "E11: barrier rounds — hardware vs software release",
+            &exp::e11_barrier(base, &scale.barrier_stages(), scale.barrier_rounds()),
+        ));
+    }
+    if want("e12") {
+        tables.push(table(
+            "e12_hotspot",
+            "E12 (extension): hot-spot unicast traffic — latency vs hot-spot fraction (load 0.2)",
+            &exp::e12_hotspot(base, &run, 0.2, &scale.hotspot_fractions(), defaults::LEN),
+        ));
+    }
+    if want("e13") {
+        tables.push(table(
+            "e13_allreduce",
+            "E13 (extension): all-reduce rounds — hardware vs software broadcast phase",
+            &exp::e13_allreduce(base, &scale.barrier_stages(), scale.barrier_rounds()),
+        ));
+    }
+    if want("e14") {
+        tables.push(table(
+            "e14_combining_barrier",
+            "E14 (extension): switch-combining barrier vs host-level barrier protocols",
+            &exp::e14_combining_barrier(base, &scale.barrier_stages(), scale.barrier_rounds()),
+        ));
+    }
+    if want("e15") {
+        tables.push(table(
+            "e15_patterns",
+            "E15 (extension): permutation unicast patterns at load 0.5 — CB vs IB",
+            &exp::e15_patterns(base, &run, 0.5, defaults::LEN),
+        ));
+    }
+    if want("e16") {
+        tables.push(table(
+            "e16_fault_sweep",
+            "E16 (robustness extension): degradation vs per-flit drop rate with end-to-end recovery (load 0.2)",
+            &exp::e16_fault_sweep(base, &run, 0.2, &scale.drop_rates(), defaults::DEGREE, defaults::LEN),
+        ));
+    }
+    tables
+}

@@ -501,6 +501,10 @@ impl Host {
                 true
             });
         }
+        // `retain` visits entries in hash order, which varies per process
+        // and per thread; retransmission order feeds the shared packet-id
+        // stream, so it must not. Fire in message-id order.
+        fire.sort_unstable();
         for id in fire {
             let (msg, remaining) = {
                 let o = self.outstanding.get_mut(&id).expect("entry retained");

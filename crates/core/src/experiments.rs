@@ -10,11 +10,18 @@
 //! * **IB-HW** — input-buffer switch, bit-string hardware worms,
 //! * **SW-CB** — U-Min binomial software multicast on the central-buffer
 //!   switch.
+//!
+//! Every sweep is a cross-product of *independent* deterministic runs, so
+//! each experiment builds its full job list up front and fans it out over
+//! the [`crate::sweep`] worker pool (`figures --jobs N` / `MDWORM_JOBS`;
+//! defaults to available parallelism). Results return in submission order,
+//! so tables are bit-identical to a serial run.
 
 use crate::build::build_system;
 use crate::config::{McastImpl, SwitchArch, SystemConfig, TopologyKind};
 use crate::report::{f, TableRow};
-use crate::sim::{run_experiment, RunConfig, RunOutcome};
+use crate::sim::{RunConfig, RunOutcome};
+use crate::sweep::{self, SweepJob};
 use crate::workload::TrafficSpec;
 use collectives::traffic::DeliveryHook;
 use collectives::{
@@ -57,6 +64,15 @@ pub fn scheme_configs(base: &SystemConfig) -> Vec<(&'static str, SystemConfig)> 
             },
         ),
     ]
+}
+
+/// Fans a labeled [`run_experiment`] job list out over the sweep worker
+/// pool and zips each outcome back to its metadata, in submission order.
+fn sweep_outcomes<M>(labeled: Vec<(M, SweepJob)>) -> Vec<(M, RunOutcome)> {
+    let (meta, jobs_list): (Vec<M>, Vec<SweepJob>) = labeled.into_iter().unzip();
+    meta.into_iter()
+        .zip(sweep::run_sweep_auto(jobs_list))
+        .collect()
 }
 
 // ---------------------------------------------------------------------
@@ -202,15 +218,17 @@ pub fn e2_e3_multiple_multicast(
     degree: usize,
     len: u16,
 ) -> Vec<SweepRow> {
-    let mut rows = Vec::new();
+    let mut jobs = Vec::new();
     for (label, cfg) in scheme_configs(base) {
         for &load in loads {
             let spec = TrafficSpec::multiple_multicast(load, degree, len);
-            let out = run_experiment(&cfg, &spec, run);
-            rows.push(SweepRow::from_outcome(label, "load", load, &out));
+            jobs.push(((label, load), SweepJob::new(cfg.clone(), spec, run.clone())));
         }
     }
-    rows
+    sweep_outcomes(jobs)
+        .iter()
+        .map(|((label, load), o)| SweepRow::from_outcome(label, "load", *load, o))
+        .collect()
 }
 
 /// E6: multicast latency versus degree at a fixed load.
@@ -221,15 +239,17 @@ pub fn e6_degree_sweep(
     degrees: &[usize],
     len: u16,
 ) -> Vec<SweepRow> {
-    let mut rows = Vec::new();
+    let mut jobs = Vec::new();
     for (label, cfg) in scheme_configs(base) {
         for &d in degrees {
             let spec = TrafficSpec::multiple_multicast(load, d, len);
-            let out = run_experiment(&cfg, &spec, run);
-            rows.push(SweepRow::from_outcome(label, "degree", d as f64, &out));
+            jobs.push(((label, d), SweepJob::new(cfg.clone(), spec, run.clone())));
         }
     }
-    rows
+    sweep_outcomes(jobs)
+        .iter()
+        .map(|((label, d), o)| SweepRow::from_outcome(label, "degree", *d as f64, o))
+        .collect()
 }
 
 /// E7: multicast latency versus message length at a fixed load.
@@ -240,15 +260,17 @@ pub fn e7_length_sweep(
     lens: &[u16],
     degree: usize,
 ) -> Vec<SweepRow> {
-    let mut rows = Vec::new();
+    let mut jobs = Vec::new();
     for (label, cfg) in scheme_configs(base) {
         for &len in lens {
             let spec = TrafficSpec::multiple_multicast(load, degree, len);
-            let out = run_experiment(&cfg, &spec, run);
-            rows.push(SweepRow::from_outcome(label, "len", f64::from(len), &out));
+            jobs.push(((label, len), SweepJob::new(cfg.clone(), spec, run.clone())));
         }
     }
-    rows
+    sweep_outcomes(jobs)
+        .iter()
+        .map(|((label, len), o)| SweepRow::from_outcome(label, "len", f64::from(*len), o))
+        .collect()
 }
 
 /// E8: multicast latency versus system size (4-ary trees of `n` stages;
@@ -260,7 +282,7 @@ pub fn e8_size_sweep(
     stages: &[usize],
     len: u16,
 ) -> Vec<SweepRow> {
-    let mut rows = Vec::new();
+    let mut jobs = Vec::new();
     for &n in stages {
         let size_base = SystemConfig {
             topology: TopologyKind::KaryTree { k: 4, n },
@@ -270,11 +292,13 @@ pub fn e8_size_sweep(
         let degree = (n_hosts / 4).max(1);
         for (label, cfg) in scheme_configs(&size_base) {
             let spec = TrafficSpec::multiple_multicast(load, degree, len);
-            let out = run_experiment(&cfg, &spec, run);
-            rows.push(SweepRow::from_outcome(label, "N", n_hosts as f64, &out));
+            jobs.push(((label, n_hosts), SweepJob::new(cfg, spec, run.clone())));
         }
     }
-    rows
+    sweep_outcomes(jobs)
+        .iter()
+        .map(|((label, n_hosts), o)| SweepRow::from_outcome(label, "N", *n_hosts as f64, o))
+        .collect()
 }
 
 /// E12 (extension; the paper's §9 names hot-spot impact as follow-on
@@ -287,7 +311,7 @@ pub fn e12_hotspot(
     fractions: &[f64],
     len: u16,
 ) -> Vec<SweepRow> {
-    let mut rows = Vec::new();
+    let mut jobs = Vec::new();
     for (label, arch) in [
         ("CB", SwitchArch::CentralBuffer),
         ("IB", SwitchArch::InputBuffered),
@@ -299,11 +323,13 @@ pub fn e12_hotspot(
         };
         for &frac in fractions {
             let spec = TrafficSpec::unicast(load, len).with_hotspot(frac, 0);
-            let out = run_experiment(&cfg, &spec, run);
-            rows.push(SweepRow::from_outcome(label, "hotspot_frac", frac, &out));
+            jobs.push(((label, frac), SweepJob::new(cfg.clone(), spec, run.clone())));
         }
     }
-    rows
+    sweep_outcomes(jobs)
+        .iter()
+        .map(|((label, frac), o)| SweepRow::from_outcome(label, "hotspot_frac", *frac, o))
+        .collect()
 }
 
 // ---------------------------------------------------------------------
@@ -372,24 +398,11 @@ pub fn e4_e5_bimodal(
     degree: usize,
     len: u16,
 ) -> Vec<BimodalRow> {
-    let mut rows = Vec::new();
-    let push = |rows: &mut Vec<BimodalRow>, label: &str, load: f64, o: &RunOutcome| {
-        rows.push(BimodalRow {
-            scheme: label.to_string(),
-            load,
-            unicast_mean: o.unicast.mean,
-            unicast_p95: o.unicast.p95,
-            mcast_mean: o.mcast_last.mean,
-            throughput: o.throughput,
-            saturated: o.saturated,
-            deadlocked: o.deadlocked,
-        });
-    };
+    let mut jobs = Vec::new();
     for (label, cfg) in scheme_configs(base) {
         for &load in loads {
             let spec = TrafficSpec::bimodal(load, mcast_fraction, degree, len);
-            let out = run_experiment(&cfg, &spec, run);
-            push(&mut rows, label, load, &out);
+            jobs.push(((label, load), SweepJob::new(cfg.clone(), spec, run.clone())));
         }
     }
     // Reference: the same unicast background with the multicast share
@@ -401,10 +414,24 @@ pub fn e4_e5_bimodal(
     };
     for &load in loads {
         let spec = TrafficSpec::unicast(load * (1.0 - mcast_fraction), len);
-        let out = run_experiment(&cfg, &spec, run);
-        push(&mut rows, "CB-none", load, &out);
+        jobs.push((
+            ("CB-none", load),
+            SweepJob::new(cfg.clone(), spec, run.clone()),
+        ));
     }
-    rows
+    sweep_outcomes(jobs)
+        .iter()
+        .map(|((label, load), o)| BimodalRow {
+            scheme: label.to_string(),
+            load: *load,
+            unicast_mean: o.unicast.mean,
+            unicast_p95: o.unicast.p95,
+            mcast_mean: o.mcast_last.mean,
+            throughput: o.throughput,
+            saturated: o.saturated,
+            deadlocked: o.deadlocked,
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------------
@@ -525,18 +552,19 @@ pub fn e9_ablations(base: &SystemConfig, run: &RunConfig, load: f64) -> Vec<Abla
         ));
     }
 
-    variants
+    let jobs = variants
         .into_iter()
-        .map(|(variant, cfg)| {
-            let out = run_experiment(&cfg, &spec, run);
-            AblationRow {
-                variant,
-                mcast_mean: out.mcast_last.mean,
-                unicast_mean: out.unicast.mean,
-                throughput: out.throughput,
-                saturated: out.saturated,
-                deadlocked: out.deadlocked,
-            }
+        .map(|(variant, cfg)| (variant, SweepJob::new(cfg, spec.clone(), run.clone())))
+        .collect();
+    sweep_outcomes(jobs)
+        .into_iter()
+        .map(|(variant, out)| AblationRow {
+            variant,
+            mcast_mean: out.mcast_last.mean,
+            unicast_mean: out.unicast.mean,
+            throughput: out.throughput,
+            saturated: out.saturated,
+            deadlocked: out.deadlocked,
         })
         .collect()
 }
@@ -623,21 +651,29 @@ pub fn single_multicast_latency_to(cfg: &SystemConfig, dests: netsim::DestSet, l
 /// E10: single-multicast latency for each scheme across degrees, with the
 /// SW/HW ratio the companion work quotes ("up to a factor of 4").
 pub fn e10_single_multicast(base: &SystemConfig, degrees: &[usize], len: u16) -> Vec<SingleRow> {
-    let mut rows = Vec::new();
+    let mut jobs = Vec::new();
     for &d in degrees {
-        let mut cbhw = 0u64;
         for (label, cfg) in scheme_configs(base) {
-            let latency = single_multicast_latency(&cfg, d, len);
-            if label == "CB-HW" {
-                cbhw = latency;
-            }
-            rows.push(SingleRow {
-                scheme: label.to_string(),
-                degree: d,
-                latency,
-                ratio_vs_cbhw: latency as f64 / cbhw as f64,
-            });
+            jobs.push((label, d, cfg));
         }
+    }
+    let latencies = sweep::parallel_map(jobs, sweep::jobs(), |(label, d, cfg)| {
+        (label, d, single_multicast_latency(&cfg, d, len))
+    });
+    // Submission order puts CB-HW first within each degree, so the
+    // reference latency for the ratio is always the most recent CB-HW row.
+    let mut rows = Vec::new();
+    let mut cbhw = 0u64;
+    for (label, degree, latency) in latencies {
+        if label == "CB-HW" {
+            cbhw = latency;
+        }
+        rows.push(SingleRow {
+            scheme: label.to_string(),
+            degree,
+            latency,
+            ratio_vs_cbhw: latency as f64 / cbhw as f64,
+        });
     }
     rows
 }
@@ -703,7 +739,7 @@ pub fn run_barrier(cfg: &SystemConfig, rounds: u64) -> (u64, f64) {
 /// E11: barrier latency, hardware-worm release versus software-multicast
 /// release, across system sizes (4-ary trees of the given stages).
 pub fn e11_barrier(base: &SystemConfig, stages: &[usize], rounds: u64) -> Vec<BarrierRow> {
-    let mut rows = Vec::new();
+    let mut jobs = Vec::new();
     for &n in stages {
         let size_base = SystemConfig {
             topology: TopologyKind::KaryTree { k: 4, n },
@@ -718,16 +754,18 @@ pub fn e11_barrier(base: &SystemConfig, stages: &[usize], rounds: u64) -> Vec<Ba
                 mcast,
                 ..size_base.clone()
             };
-            let (done, mean) = run_barrier(&cfg, rounds);
-            rows.push(BarrierRow {
-                scheme: label.to_string(),
-                n: cfg.n_hosts(),
-                rounds: done,
-                mean_latency: mean,
-            });
+            jobs.push((label, cfg));
         }
     }
-    rows
+    sweep::parallel_map(jobs, sweep::jobs(), |(label, cfg)| {
+        let (done, mean) = run_barrier(&cfg, rounds);
+        BarrierRow {
+            scheme: label.to_string(),
+            n: cfg.n_hosts(),
+            rounds: done,
+            mean_latency: mean,
+        }
+    })
 }
 
 /// E15 (extension; "other traffic patterns" in the paper's §9 outlook):
@@ -735,7 +773,7 @@ pub fn e11_barrier(base: &SystemConfig, stages: &[usize], rounds: u64) -> Vec<Ba
 /// classic MIN stress patterns at a fixed load.
 pub fn e15_patterns(base: &SystemConfig, run: &RunConfig, load: f64, len: u16) -> Vec<SweepRow> {
     use crate::workload::Pattern;
-    let mut rows = Vec::new();
+    let mut jobs = Vec::new();
     for (pi, (pname, pattern)) in [
         ("uniform", Pattern::Uniform),
         ("bit-reversal", Pattern::BitReversal),
@@ -755,16 +793,16 @@ pub fn e15_patterns(base: &SystemConfig, run: &RunConfig, load: f64, len: u16) -
                 ..base.clone()
             };
             let spec = TrafficSpec::unicast(load, len).with_pattern(pattern);
-            let out = run_experiment(&cfg, &spec, run);
-            rows.push(SweepRow::from_outcome(
-                &format!("{label}/{pname}"),
-                "pattern",
-                pi as f64,
-                &out,
+            jobs.push((
+                (format!("{label}/{pname}"), pi),
+                SweepJob::new(cfg, spec, run.clone()),
             ));
         }
     }
-    rows
+    sweep_outcomes(jobs)
+        .iter()
+        .map(|((scheme, pi), o)| SweepRow::from_outcome(scheme, "pattern", *pi as f64, o))
+        .collect()
 }
 
 // ---------------------------------------------------------------------
@@ -835,7 +873,7 @@ pub fn run_allreduce(cfg: &SystemConfig, rounds: u64, payload: u16) -> (u64, f64
 /// E13 (extension): all-reduce latency — combine up the binomial tree,
 /// broadcast the result with hardware worms vs software multicast.
 pub fn e13_allreduce(base: &SystemConfig, stages: &[usize], rounds: u64) -> Vec<ReduceRow> {
-    let mut rows = Vec::new();
+    let mut jobs = Vec::new();
     for &n in stages {
         let size_base = SystemConfig {
             topology: TopologyKind::KaryTree { k: 4, n },
@@ -850,17 +888,19 @@ pub fn e13_allreduce(base: &SystemConfig, stages: &[usize], rounds: u64) -> Vec<
                 mcast,
                 ..size_base.clone()
             };
-            let (done, mean, ok) = run_allreduce(&cfg, rounds, 8);
-            rows.push(ReduceRow {
-                scheme: label.to_string(),
-                n: cfg.n_hosts(),
-                rounds: done,
-                mean_latency: mean,
-                result_ok: ok,
-            });
+            jobs.push((label, cfg));
         }
     }
-    rows
+    sweep::parallel_map(jobs, sweep::jobs(), |(label, cfg)| {
+        let (done, mean, ok) = run_allreduce(&cfg, rounds, 8);
+        ReduceRow {
+            scheme: label.to_string(),
+            n: cfg.n_hosts(),
+            rounds: done,
+            mean_latency: mean,
+            result_ok: ok,
+        }
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -913,7 +953,7 @@ pub fn e14_combining_barrier(
     stages: &[usize],
     rounds: u64,
 ) -> Vec<BarrierRow> {
-    let mut rows = Vec::new();
+    let mut jobs = Vec::new();
     for &n in stages {
         let size_base = SystemConfig {
             topology: TopologyKind::KaryTree { k: 4, n },
@@ -925,13 +965,7 @@ pub fn e14_combining_barrier(
             barrier_combining: true,
             ..size_base.clone()
         };
-        let (done, mean) = run_combining_barrier(&comb_cfg, rounds);
-        rows.push(BarrierRow {
-            scheme: "switch-combining".to_string(),
-            n: comb_cfg.n_hosts(),
-            rounds: done,
-            mean_latency: mean,
-        });
+        jobs.push(("switch-combining", comb_cfg, true));
         // Host-level references (same as E11).
         for (label, mcast) in [
             ("host gather + HW release", McastImpl::HwBitString),
@@ -941,16 +975,22 @@ pub fn e14_combining_barrier(
                 mcast,
                 ..size_base.clone()
             };
-            let (done, mean) = run_barrier(&cfg, rounds);
-            rows.push(BarrierRow {
-                scheme: label.to_string(),
-                n: cfg.n_hosts(),
-                rounds: done,
-                mean_latency: mean,
-            });
+            jobs.push((label, cfg, false));
         }
     }
-    rows
+    sweep::parallel_map(jobs, sweep::jobs(), |(label, cfg, combining)| {
+        let (done, mean) = if combining {
+            run_combining_barrier(&cfg, rounds)
+        } else {
+            run_barrier(&cfg, rounds)
+        };
+        BarrierRow {
+            scheme: label.to_string(),
+            n: cfg.n_hosts(),
+            rounds: done,
+            mean_latency: mean,
+        }
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -1023,7 +1063,7 @@ pub fn e16_fault_sweep(
     degree: usize,
     len: u16,
 ) -> Vec<FaultRow> {
-    let mut rows = Vec::new();
+    let mut jobs = Vec::new();
     for (label, arch) in [
         ("CB-HW", SwitchArch::CentralBuffer),
         ("IB-HW", SwitchArch::InputBuffered),
@@ -1040,21 +1080,23 @@ pub fn e16_fault_sweep(
                 faults: (rate > 0.0).then(|| FaultPlan::drops(base.seed ^ 0xE16, rate)),
                 ..run.clone()
             };
-            let out = run_experiment(&cfg, &spec, &frun);
-            rows.push(FaultRow {
-                scheme: label.to_string(),
-                drop_rate: rate,
-                mcast_mean: out.mcast_last.mean,
-                throughput: out.throughput,
-                worms_dropped: out.faults.worms_dropped,
-                retransmits: out.recovery.retransmits,
-                gave_up: out.recovery.gave_up,
-                leftover: out.leftover,
-                saturated: out.saturated,
-            });
+            jobs.push(((label, rate), SweepJob::new(cfg.clone(), spec, frun)));
         }
     }
-    rows
+    sweep_outcomes(jobs)
+        .iter()
+        .map(|((label, rate), out)| FaultRow {
+            scheme: label.to_string(),
+            drop_rate: *rate,
+            mcast_mean: out.mcast_last.mean,
+            throughput: out.throughput,
+            worms_dropped: out.faults.worms_dropped,
+            retransmits: out.recovery.retransmits,
+            gave_up: out.recovery.gave_up,
+            leftover: out.leftover,
+            saturated: out.saturated,
+        })
+        .collect()
 }
 
 #[cfg(test)]

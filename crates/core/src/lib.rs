@@ -17,6 +17,8 @@
 //!   recovery;
 //! * [`forensics`] — structured [`forensics::DeadlockReport`] (buffer
 //!   occupancy, blocked worms, wait-for cycle) when the watchdog fires;
+//! * [`sweep`] — parallel fan-out of independent runs over a worker pool
+//!   (thread-confined engines, deterministic result order);
 //! * [`experiments`] — the E1..E11 suite mapped to the paper's evaluation
 //!   (see DESIGN.md and EXPERIMENTS.md);
 //! * [`report`] — markdown/CSV result tables.
@@ -45,10 +47,12 @@ pub mod experiments;
 pub mod forensics;
 pub mod report;
 pub mod sim;
+pub mod sweep;
 pub mod workload;
 
 pub use build::{build_system, System};
 pub use config::{McastImpl, SwitchArch, SystemConfig, TopologyKind};
 pub use forensics::{capture_deadlock_report, DeadlockReport};
 pub use sim::{run_experiment, RunConfig, RunOutcome};
+pub use sweep::{parallel_map, run_sweep, SweepJob};
 pub use workload::{make_sources, RandomTraffic, TrafficSpec};

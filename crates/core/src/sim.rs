@@ -39,6 +39,20 @@ impl Default for RunConfig {
     }
 }
 
+/// Upper bound on the drain-phase probe step: how many cycles the engine
+/// runs between checks of the outstanding-message count and the deadlock
+/// watchdog.
+const PROBE: Cycle = 500;
+
+/// The drain probe step actually taken: at most [`PROBE`] cycles, but
+/// never more than half the watchdog grace (so stalls are noticed
+/// promptly), at least 1 (so degenerate graces still make progress), and
+/// never more than the cycles `remaining` in the drain budget (so the run
+/// cannot overshoot `stop_at + drain_max`).
+fn drain_probe_step(watchdog_grace: Cycle, remaining: Cycle) -> Cycle {
+    PROBE.min(watchdog_grace / 2).max(1).min(remaining)
+}
+
 impl RunConfig {
     /// A small run for tests and smoke benchmarks.
     pub fn quick() -> Self {
@@ -119,10 +133,7 @@ pub fn run_experiment(config: &SystemConfig, spec: &TrafficSpec, run: &RunConfig
     let mut last_moves = sys.engine.total_flit_moves();
     let mut last_progress = sys.engine.now();
     while sys.tracker().borrow().outstanding() > 0 && sys.engine.now() < drain_end && !deadlocked {
-        let step = 500
-            .min(run.watchdog_grace / 2)
-            .max(1)
-            .min(drain_end - sys.engine.now());
+        let step = drain_probe_step(run.watchdog_grace, drain_end - sys.engine.now());
         sys.engine.run_for(step);
         let moves = sys.engine.total_flit_moves();
         if moves != last_moves {
@@ -234,6 +245,24 @@ mod tests {
             out.eject_utilization
         );
         assert!(out.fabric_utilization > 0.0);
+    }
+
+    #[test]
+    fn drain_probe_step_clamps() {
+        // Nominal: a generous grace leaves the full PROBE step.
+        assert_eq!(drain_probe_step(20_000, 1 << 30), PROBE);
+        // Tight grace halves the step so stalls are noticed in time.
+        assert_eq!(drain_probe_step(600, 1 << 30), 300);
+        // Degenerate graces still make progress.
+        assert_eq!(drain_probe_step(0, 1 << 30), 1);
+        assert_eq!(drain_probe_step(1, 1 << 30), 1);
+        // The drain_max < watchdog_grace/2 edge: the remaining budget is
+        // the binding clamp, never the grace-derived step.
+        assert_eq!(drain_probe_step(20_000, 123), 123);
+        assert_eq!(drain_probe_step(20_000, 1), 1);
+        // ...and a remaining budget above the grace clamp leaves the
+        // grace clamp binding.
+        assert_eq!(drain_probe_step(100, 123), 50);
     }
 
     #[test]

@@ -23,12 +23,38 @@ pub trait Component {
     fn tick(&mut self, now: Cycle, io: &mut PortIo<'_>);
 }
 
-/// Port bindings of one component: which engine links serve as its numbered
-/// input and output ports.
-#[derive(Debug, Clone)]
+/// Port bindings of one component: ranges into the engine's flat port
+/// arena (`Engine::ports`). Flattening all bindings into one arena keeps
+/// the per-cycle component loop on two contiguous arrays instead of
+/// chasing a `Vec<Vec<LinkId>>` per component.
+#[derive(Debug, Clone, Copy)]
 struct Binding {
-    inputs: Vec<LinkId>,
-    outputs: Vec<LinkId>,
+    in_start: u32,
+    in_len: u32,
+    out_start: u32,
+    out_len: u32,
+}
+
+/// Engine-side bookkeeping that [`PortIo`] maintains incrementally so the
+/// engine never scans all links: the active-link set (which links need
+/// [`Link::begin_cycle`]) and O(1) flit-movement counters.
+#[derive(Debug, Default)]
+struct Ledger {
+    /// Indices of links with `Link::active` set.
+    active: Vec<u32>,
+    /// Flits ever sent over any link (see [`Engine::total_flit_moves`]).
+    total_moves: u64,
+    /// Flits currently propagating inside links.
+    in_flight: usize,
+}
+
+impl Ledger {
+    fn mark_active(&mut self, idx: usize, link: &mut Link) {
+        if !link.active {
+            link.active = true;
+            self.active.push(idx as u32);
+        }
+    }
 }
 
 /// Access to a component's ports during its tick.
@@ -38,18 +64,20 @@ struct Binding {
 pub struct PortIo<'a> {
     now: Cycle,
     links: &'a mut [Link],
-    binding: &'a Binding,
+    inputs: &'a [LinkId],
+    outputs: &'a [LinkId],
+    ledger: &'a mut Ledger,
 }
 
 impl PortIo<'_> {
     /// Number of input ports.
     pub fn n_inputs(&self) -> usize {
-        self.binding.inputs.len()
+        self.inputs.len()
     }
 
     /// Number of output ports.
     pub fn n_outputs(&self) -> usize {
-        self.binding.outputs.len()
+        self.outputs.len()
     }
 
     /// Peeks at the flit arriving on input `port` this cycle, if any.
@@ -58,7 +86,7 @@ impl PortIo<'_> {
     ///
     /// Panics if `port` is out of range.
     pub fn peek(&self, port: usize) -> Option<&Flit> {
-        self.links[self.binding.inputs[port].index()].peek(self.now)
+        self.links[self.inputs[port].index()].peek(self.now)
     }
 
     /// Consumes the flit arriving on input `port` (at most one per cycle).
@@ -70,7 +98,11 @@ impl PortIo<'_> {
     ///
     /// Panics if `port` is out of range.
     pub fn recv(&mut self, port: usize) -> Option<Flit> {
-        self.links[self.binding.inputs[port].index()].recv(self.now)
+        let flit = self.links[self.inputs[port].index()].recv(self.now);
+        if flit.is_some() {
+            self.ledger.in_flight -= 1;
+        }
+        flit
     }
 
     /// Returns one credit on input `port` (a staging slot freed).
@@ -79,7 +111,9 @@ impl PortIo<'_> {
     ///
     /// Panics if `port` is out of range.
     pub fn return_credit(&mut self, port: usize) {
-        self.links[self.binding.inputs[port].index()].return_credit(self.now);
+        let idx = self.inputs[port].index();
+        self.links[idx].return_credit(self.now);
+        self.ledger.mark_active(idx, &mut self.links[idx]);
     }
 
     /// `true` if output `port` can accept a flit this cycle.
@@ -88,7 +122,7 @@ impl PortIo<'_> {
     ///
     /// Panics if `port` is out of range.
     pub fn can_send(&self, port: usize) -> bool {
-        self.links[self.binding.outputs[port].index()].can_send(self.now)
+        self.links[self.outputs[port].index()].can_send(self.now)
     }
 
     /// Sends a flit on output `port`.
@@ -98,13 +132,17 @@ impl PortIo<'_> {
     /// Panics if the link has no credit or was already used this cycle —
     /// guard with [`PortIo::can_send`].
     pub fn send(&mut self, port: usize, flit: Flit) {
-        self.links[self.binding.outputs[port].index()].send(self.now, flit);
+        let idx = self.outputs[port].index();
+        self.links[idx].send(self.now, flit);
+        self.ledger.total_moves += 1;
+        self.ledger.in_flight += 1;
+        self.ledger.mark_active(idx, &mut self.links[idx]);
     }
 
     /// Credits currently available on output `port` (how much more the
     /// downstream staging buffer can take).
     pub fn credits(&self, port: usize) -> u32 {
-        self.links[self.binding.outputs[port].index()].credits()
+        self.links[self.outputs[port].index()].credits()
     }
 }
 
@@ -115,6 +153,9 @@ pub struct Engine {
     links: Vec<Link>,
     comps: Vec<Box<dyn Component>>,
     bindings: Vec<Binding>,
+    /// Flat arena of all components' port→link bindings.
+    ports: Vec<LinkId>,
+    ledger: Ledger,
 }
 
 impl Engine {
@@ -152,8 +193,17 @@ impl Engine {
         inputs: Vec<LinkId>,
         outputs: Vec<LinkId>,
     ) -> usize {
+        let in_start = self.ports.len() as u32;
+        self.ports.extend_from_slice(&inputs);
+        let out_start = self.ports.len() as u32;
+        self.ports.extend_from_slice(&outputs);
         self.comps.push(component);
-        self.bindings.push(Binding { inputs, outputs });
+        self.bindings.push(Binding {
+            in_start,
+            in_len: inputs.len() as u32,
+            out_start,
+            out_len: outputs.len() as u32,
+        });
         self.comps.len() - 1
     }
 
@@ -180,6 +230,9 @@ impl Engine {
         }
         for (i, link) in self.links.iter_mut().enumerate() {
             link.install_faults(plan.for_link(LinkId::from(i)));
+            // Faulty links stay permanently in the active set: outage
+            // schedules and condemned-flit evaporation advance every cycle.
+            self.ledger.mark_active(i, link);
         }
     }
 
@@ -195,9 +248,14 @@ impl Engine {
     }
 
     /// Total flits sent over all links since the start of the run — the
-    /// engine-level progress measure used by deadlock watchdogs.
+    /// engine-level progress measure used by deadlock watchdogs. O(1):
+    /// maintained on every [`PortIo::send`] instead of scanning all links.
     pub fn total_flit_moves(&self) -> u64 {
-        self.links.iter().map(Link::total_flits).sum()
+        debug_assert_eq!(
+            self.ledger.total_moves,
+            self.links.iter().map(Link::total_flits).sum::<u64>()
+        );
+        self.ledger.total_moves
     }
 
     /// Flits ever sent over one specific link (utilization accounting).
@@ -205,24 +263,46 @@ impl Engine {
         self.links[link.index()].total_flits()
     }
 
-    /// Number of flits currently propagating inside links.
+    /// Number of flits currently propagating inside links. O(1):
+    /// maintained on send/recv/evaporation instead of scanning all links.
     pub fn flits_in_links(&self) -> usize {
-        self.links.iter().map(Link::in_flight).sum()
+        debug_assert_eq!(
+            self.ledger.in_flight,
+            self.links.iter().map(Link::in_flight).sum::<usize>()
+        );
+        self.ledger.in_flight
     }
 
     /// Advances the simulation by one cycle.
     pub fn step(&mut self) {
         self.now += 1;
         let now = self.now;
-        for link in &mut self.links {
-            link.begin_cycle(now);
+        // Only links with credits propagating back (or faults installed)
+        // pay `begin_cycle`; idle links cost nothing. A link leaves the set
+        // the moment its credit queue drains and re-enters on the next
+        // `send`/`return_credit` through its PortIo.
+        let mut i = 0;
+        while i < self.ledger.active.len() {
+            let idx = self.ledger.active[i] as usize;
+            let link = &mut self.links[idx];
+            self.ledger.in_flight -= link.begin_cycle(now);
+            if link.needs_begin_cycle() {
+                i += 1;
+            } else {
+                link.active = false;
+                self.ledger.active.swap_remove(i);
+            }
         }
         let links = &mut self.links[..];
-        for (comp, binding) in self.comps.iter_mut().zip(&self.bindings) {
+        let ports = &self.ports[..];
+        let ledger = &mut self.ledger;
+        for (comp, b) in self.comps.iter_mut().zip(&self.bindings) {
             let mut io = PortIo {
                 now,
-                links,
-                binding,
+                links: &mut *links,
+                inputs: &ports[b.in_start as usize..(b.in_start + b.in_len) as usize],
+                outputs: &ports[b.out_start as usize..(b.out_start + b.out_len) as usize],
+                ledger: &mut *ledger,
             };
             comp.tick(now, &mut io);
         }

@@ -41,6 +41,9 @@ pub struct Link {
     last_send: Option<Cycle>,
     total_flits: u64,
     faults: Option<Box<LinkFaults>>,
+    /// Membership flag for the engine's active-link set (the engine calls
+    /// [`Link::begin_cycle`] only on links where this is set).
+    pub(crate) active: bool,
 }
 
 impl Link {
@@ -58,12 +61,16 @@ impl Link {
             delay,
             credits,
             max_credits: credits,
-            flit_q: VecDeque::new(),
-            credit_q: VecDeque::new(),
+            // At most `credits` flits can be in flight (each send spends a
+            // credit) and at most `credits` credits can be propagating
+            // back, so both queues never reallocate after this.
+            flit_q: VecDeque::with_capacity(credits as usize),
+            credit_q: VecDeque::with_capacity(credits as usize),
             last_recv: None,
             last_send: None,
             total_flits: 0,
             faults: None,
+            active: false,
         }
     }
 
@@ -103,11 +110,16 @@ impl Link {
     }
 
     /// Makes credits that have propagated back available to the sender.
+    /// Returns the number of condemned flits that evaporated this cycle
+    /// (always 0 on fault-free links) so callers can maintain in-flight
+    /// counters.
     ///
-    /// The [`crate::engine::Engine`] calls this at the start of every
-    /// cycle; call it yourself only when driving a standalone `Link`
-    /// (e.g. in tests).
-    pub fn begin_cycle(&mut self, now: Cycle) {
+    /// The [`crate::engine::Engine`] calls this only on *active* links —
+    /// ones with credits propagating back or a fault stream installed (see
+    /// [`Link::needs_begin_cycle`]); skipped cycles are free because all
+    /// processing here is keyed on absolute arrival times. Call it yourself
+    /// only when driving a standalone `Link` (e.g. in tests).
+    pub fn begin_cycle(&mut self, now: Cycle) -> usize {
         while let Some(&arr) = self.credit_q.front() {
             if arr <= now {
                 self.credit_q.pop_front();
@@ -120,6 +132,7 @@ impl Link {
                 break;
             }
         }
+        let mut evaporated = 0;
         if let Some(f) = self.faults.as_deref_mut() {
             f.tick_outages(now);
             // Condemned flits evaporate on arrival: the link consumes them
@@ -129,8 +142,17 @@ impl Link {
             while matches!(self.flit_q.front(), Some(q) if q.arrives <= now && q.dropped) {
                 self.flit_q.pop_front();
                 self.credit_q.push_back(now + self.delay as Cycle);
+                evaporated += 1;
             }
         }
+        evaporated
+    }
+
+    /// `true` while this link still needs [`Link::begin_cycle`] every
+    /// cycle: credits are propagating back, or a fault stream is installed
+    /// (outage schedules and condemned-flit evaporation advance with time).
+    pub fn needs_begin_cycle(&self) -> bool {
+        !self.credit_q.is_empty() || self.faults.is_some()
     }
 
     /// Sender side: `true` if a flit may be sent this cycle.
