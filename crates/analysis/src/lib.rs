@@ -1,0 +1,131 @@
+//! # mdw-analysis — static deadlock-freedom & protocol-invariant analysis
+//!
+//! The paper's key correctness claim is *static*: multidestination worms
+//! are deadlock-free iff a packet accepted for transmission can
+//! eventually be completely buffered — a condition that depends only on
+//! topology, routing function, switch architecture, and buffer sizing.
+//! The runtime watchdog (DESIGN.md §7) detects a deadlock *after* the
+//! fabric wedges; this crate rejects unsafe configurations *before a
+//! single cycle runs*:
+//!
+//! 1. [`cdg`] enumerates the channel-dependency graph induced by the LCA
+//!    routing function over every worm shape class, reusing
+//!    `mintopo::route`/`mintopo::reach`;
+//! 2. [`scc`] runs iterative Tarjan cycle detection over it — a
+//!    dependency cycle is reported with the switches, ports, and worm
+//!    shapes that induce it;
+//! 3. [`checks`] applies the paper's buffer-sufficiency condition per
+//!    switch architecture (central-queue chunk capacity vs. maximum worm
+//!    length; input-FIFO depth and the asynchronous-replication
+//!    constraint);
+//! 4. [`roundtrip`] cross-validates header encoding: reachability
+//!    bit-strings from `mintopo::reach` must round-trip through the
+//!    production decode in `switches`.
+//!
+//! Everything lands in one [`report::ConfigReport`] — errors for provably
+//! unsafe configurations, warnings for workload-dependent hazards — which
+//! `core` surfaces from `SystemConfig` validation and the `mdw-lint` CLI
+//! renders as human-readable text or JSON.
+#![deny(unreachable_pub, missing_debug_implementations, missing_docs)]
+
+pub mod cdg;
+pub mod checks;
+pub mod report;
+pub mod roundtrip;
+pub mod scc;
+
+pub use cdg::{build_cdg, Channel, ChannelGraph, Dependency, ShapeClass};
+pub use checks::{switch_sizing, ArchClass};
+pub use report::{AnalysisStats, ConfigReport, CycleReport, Diagnostic, Severity};
+pub use roundtrip::lint_roundtrips;
+pub use scc::tarjan_sccs;
+
+use mintopo::route::{ReplicatePolicy, RouteTables};
+use mintopo::topology::Topology;
+
+/// Runs the fabric-level analyses — CDG construction + SCC cycle
+/// detection, and the header round-trip lint — appending findings and
+/// coverage counters to `report`.
+///
+/// Switch-sizing checks ([`switch_sizing`]) are separate because they
+/// need only a `SwitchConfig`, not a built topology; callers typically
+/// run them first and skip the fabric pass when sizing is already broken.
+pub fn analyze_fabric(
+    topo: &Topology,
+    tables: &RouteTables,
+    policy: ReplicatePolicy,
+    report: &mut ConfigReport,
+) {
+    let graph = build_cdg(topo, tables);
+    report.stats.channels = graph.channels.len();
+    report.stats.dependencies = graph.deps.len();
+
+    let sccs = scc::tarjan_sccs(graph.channels.len(), &graph.adj);
+    report.stats.sccs = sccs.len();
+    for component in &sccs {
+        if !scc::scc_is_cyclic(&graph.adj, component) {
+            continue;
+        }
+        let cycle = scc::cycle_in_scc(&graph.adj, component);
+        let on_cycle: std::collections::HashSet<usize> = cycle.iter().copied().collect();
+        let channels: Vec<String> = cycle
+            .iter()
+            .map(|&c| graph.channels[c].describe())
+            .collect();
+        let edges: Vec<String> = graph
+            .deps
+            .iter()
+            .filter(|d| {
+                on_cycle.contains(&d.from)
+                    && on_cycle.contains(&d.to)
+                    && cycle
+                        .iter()
+                        .position(|&c| c == d.from)
+                        .is_some_and(|i| cycle[(i + 1) % cycle.len()] == d.to)
+            })
+            .map(|d| d.describe(&graph.channels))
+            .collect();
+        report.error(
+            "cdg-cycle",
+            format!(
+                "channel-dependency cycle through {} channel(s): {} — worms can \
+                 each hold a channel while waiting on the next, forever",
+                cycle.len(),
+                channels.join(" -> ")
+            ),
+        );
+        report.cycles.push(CycleReport { channels, edges });
+    }
+
+    roundtrip::lint_roundtrips(tables, policy, report);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mintopo::topology::TopologyBuilder;
+    use netsim::ids::NodeId;
+
+    #[test]
+    fn valid_tree_fabric_analyzes_clean() {
+        let mut b = TopologyBuilder::new(4);
+        let s0 = b.add_switch(4, 1);
+        let s1 = b.add_switch(4, 1);
+        let s2 = b.add_switch(4, 0);
+        for h in 0..2 {
+            b.attach_host(NodeId(h), s0, h as usize);
+            b.attach_host(NodeId(h + 2), s1, h as usize);
+        }
+        b.connect(s0, 3, s2, 0);
+        b.connect(s1, 3, s2, 1);
+        let topo = b.build();
+        let tables = RouteTables::build(&topo);
+        let mut report = ConfigReport::new();
+        analyze_fabric(&topo, &tables, ReplicatePolicy::ReturnOnly, &mut report);
+        assert!(report.is_clean(), "{:?}", report.diagnostics);
+        assert!(report.cycles.is_empty());
+        assert!(report.stats.channels > 0);
+        assert!(report.stats.dependencies > 0);
+        assert!(report.stats.roundtrips > 0);
+    }
+}

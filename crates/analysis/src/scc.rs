@@ -1,0 +1,186 @@
+//! Strongly connected components of the channel-dependency graph.
+//!
+//! Deadlock freedom reduces to acyclicity of the CDG (Dally–Seitz): a
+//! dependency cycle means a set of worms can each hold a channel while
+//! waiting on the next, forever. Tarjan's algorithm finds every SCC in
+//! `O(V + E)`; a component with more than one channel — or a channel that
+//! depends on itself — contains at least one cycle.
+//!
+//! The recursion is unrolled into an explicit stack so that large fabrics
+//! (thousands of channels) cannot overflow the thread stack, and the
+//! traversal visits nodes and successors in index order so reports are
+//! deterministic.
+
+/// Computes all strongly connected components of the directed graph with
+/// nodes `0..n` and successor lists `adj`.
+///
+/// Components are returned in reverse topological order (a component only
+/// depends on components listed before it), with node indices inside each
+/// component sorted ascending.
+pub fn tarjan_sccs(n: usize, adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    assert_eq!(adj.len(), n, "adjacency list length mismatch");
+
+    const UNVISITED: usize = usize::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut sccs: Vec<Vec<usize>> = Vec::new();
+
+    // Explicit DFS frame: (node, next successor position to examine).
+    let mut frames: Vec<(usize, usize)> = Vec::new();
+
+    for root in 0..n {
+        if index[root] != UNVISITED {
+            continue;
+        }
+        frames.push((root, 0));
+        index[root] = next_index;
+        lowlink[root] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root] = true;
+
+        while let Some(&mut (v, ref mut succ_pos)) = frames.last_mut() {
+            if let Some(&w) = adj[v].get(*succ_pos) {
+                *succ_pos += 1;
+                if index[w] == UNVISITED {
+                    index[w] = next_index;
+                    lowlink[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    frames.push((w, 0));
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                }
+                if lowlink[v] == index[v] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("Tarjan stack underflow");
+                        on_stack[w] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp.sort_unstable();
+                    sccs.push(comp);
+                }
+            }
+        }
+    }
+    sccs
+}
+
+/// `true` if the component `scc` of the graph `adj` contains a cycle: more
+/// than one node, or a single node with a self-loop.
+pub fn scc_is_cyclic(adj: &[Vec<usize>], scc: &[usize]) -> bool {
+    scc.len() > 1 || {
+        let v = scc[0];
+        adj[v].contains(&v)
+    }
+}
+
+/// Extracts one concrete cycle (as a node sequence, first node repeated
+/// implicitly) from a cyclic SCC by walking successors inside the
+/// component until a node repeats.
+pub fn cycle_in_scc(adj: &[Vec<usize>], scc: &[usize]) -> Vec<usize> {
+    debug_assert!(scc_is_cyclic(adj, scc));
+    let members: std::collections::HashSet<usize> = scc.iter().copied().collect();
+    let start = scc[0];
+    let mut path = vec![start];
+    let mut seen_at = std::collections::HashMap::new();
+    seen_at.insert(start, 0usize);
+    let mut v = start;
+    loop {
+        // Every node of a cyclic SCC has at least one successor inside it.
+        let w = *adj[v]
+            .iter()
+            .find(|w| members.contains(w))
+            .expect("cyclic SCC node with no internal successor");
+        if let Some(&pos) = seen_at.get(&w) {
+            return path.split_off(pos);
+        }
+        seen_at.insert(w, path.len());
+        path.push(w);
+        v = w;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph_has_no_components() {
+        assert!(tarjan_sccs(0, &[]).is_empty());
+    }
+
+    #[test]
+    fn dag_yields_singletons_in_reverse_topo_order() {
+        // 0 -> 1 -> 2, 0 -> 2.
+        let adj = vec![vec![1, 2], vec![2], vec![]];
+        let sccs = tarjan_sccs(3, &adj);
+        assert_eq!(sccs, vec![vec![2], vec![1], vec![0]]);
+        for scc in &sccs {
+            assert!(!scc_is_cyclic(&adj, scc));
+        }
+    }
+
+    #[test]
+    fn simple_cycle_is_one_component() {
+        // 0 -> 1 -> 2 -> 0, plus a tail 2 -> 3.
+        let adj = vec![vec![1], vec![2], vec![0, 3], vec![]];
+        let sccs = tarjan_sccs(4, &adj);
+        let cyclic: Vec<_> = sccs.iter().filter(|s| scc_is_cyclic(&adj, s)).collect();
+        assert_eq!(cyclic, vec![&vec![0, 1, 2]]);
+        let cyc = cycle_in_scc(&adj, cyclic[0]);
+        assert_eq!(cyc.len(), 3);
+        // Consecutive cycle nodes are connected, and it closes.
+        for (i, &v) in cyc.iter().enumerate() {
+            let w = cyc[(i + 1) % cyc.len()];
+            assert!(adj[v].contains(&w), "{v} -> {w} missing");
+        }
+    }
+
+    #[test]
+    fn self_loop_is_cyclic() {
+        let adj = vec![vec![0], vec![]];
+        let sccs = tarjan_sccs(2, &adj);
+        let cyclic: Vec<_> = sccs.iter().filter(|s| scc_is_cyclic(&adj, s)).collect();
+        assert_eq!(cyclic, vec![&vec![0]]);
+        assert_eq!(cycle_in_scc(&adj, cyclic[0]), vec![0]);
+    }
+
+    #[test]
+    fn two_disjoint_cycles_are_separate_components() {
+        // 0 <-> 1 and 2 <-> 3.
+        let adj = vec![vec![1], vec![0], vec![3], vec![2]];
+        let sccs = tarjan_sccs(4, &adj);
+        let mut cyclic: Vec<_> = sccs
+            .into_iter()
+            .filter(|s| scc_is_cyclic(&adj, s))
+            .collect();
+        cyclic.sort();
+        assert_eq!(cyclic, vec![vec![0, 1], vec![2, 3]]);
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow_the_stack() {
+        // 0 -> 1 -> ... -> 9999 -> 0: one big cycle, found iteratively.
+        let n = 10_000;
+        let adj: Vec<Vec<usize>> = (0..n).map(|v| vec![(v + 1) % n]).collect();
+        let sccs = tarjan_sccs(n, &adj);
+        assert_eq!(sccs.len(), 1);
+        assert_eq!(sccs[0].len(), n);
+        assert!(scc_is_cyclic(&adj, &sccs[0]));
+        assert_eq!(cycle_in_scc(&adj, &sccs[0]).len(), n);
+    }
+}

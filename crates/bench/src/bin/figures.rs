@@ -90,11 +90,36 @@ fn emit(out: &PathBuf, tables: &[Table]) {
     }
 }
 
+/// Statically lints every scheme configuration the suite will sweep
+/// (CB-HW, IB-HW, SW-CB over the base system) before a single cycle
+/// runs. Errors abort the whole suite — a provably-deadlocking config
+/// would only waste hours before the watchdog fired; warnings are
+/// printed and tolerated.
+fn prelint(base: &mdworm::SystemConfig) -> Result<(), ()> {
+    let mut failed = false;
+    for (label, cfg) in mdworm::experiments::scheme_configs(base) {
+        let report = cfg.report();
+        for d in &report.diagnostics {
+            eprintln!("prelint {label}: {d}");
+        }
+        failed |= report.has_errors();
+    }
+    if failed {
+        eprintln!("prelint: provably unsafe configuration — refusing to run the suite");
+        Err(())
+    } else {
+        Ok(())
+    }
+}
+
 fn main() -> ExitCode {
     let args = parse_args();
     let base = base_system();
     if let Some(n) = args.jobs {
         sweep::set_jobs(n);
+    }
+    if prelint(&base).is_err() {
+        return ExitCode::FAILURE;
     }
     let started = std::time::Instant::now();
 

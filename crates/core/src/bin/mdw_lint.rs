@@ -1,0 +1,267 @@
+//! Static deadlock-freedom & protocol-invariant linter for system configs.
+//!
+//! Runs the full `mdw-analysis` pass — switch buffer sizing, system-level
+//! consistency, channel-dependency-graph cycle detection, and header
+//! round-trip checks — over one or more config files *without simulating
+//! a single cycle*, and reports the findings human-readably or as JSON.
+//!
+//! ```text
+//! cargo run --release -p mdworm --bin mdw-lint -- configs/sp2-default.mdw
+//! cargo run --release -p mdworm --bin mdw-lint -- --json configs/*.mdw
+//! cargo run --release -p mdworm --bin mdw-lint -- --default
+//! ```
+//!
+//! Config files are `key = value` lines (`#` starts a comment); unknown
+//! keys are rejected. See `configs/` for annotated examples. Exit status
+//! is non-zero iff any linted config has an error-severity finding, so
+//! the tool slots directly into CI and sweep-launcher scripts.
+
+use mdworm::config::{McastImpl, SwitchArch, SystemConfig, TopologyKind};
+use mintopo::route::ReplicatePolicy;
+use switches::{ReplicationMode, UpSelect};
+
+/// Parses `key = value` config text into a [`SystemConfig`], starting
+/// from the paper-style defaults.
+fn parse_config(text: &str) -> Result<SystemConfig, String> {
+    let mut cfg = SystemConfig::default();
+    // Topology fields are gathered first so the kind can be assembled
+    // whichever order the keys appear in.
+    let mut kind = "karytree".to_string();
+    let (mut k, mut stages) = (4usize, 3usize);
+    let (mut switches_n, mut ports, mut hosts, mut extra_links, mut topo_seed) =
+        (8usize, 8usize, 16usize, 4usize, 1u64);
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| format!("line {}: expected `key = value`, got `{line}`", lineno + 1))?;
+        let (key, value) = (key.trim(), value.trim());
+        let bad = |what: &str| format!("line {}: bad {what} value `{value}`", lineno + 1);
+        let parse_usize = |what: &str| value.parse::<usize>().map_err(|_| bad(what));
+        let parse_u64 = |what: &str| value.parse::<u64>().map_err(|_| bad(what));
+        match key {
+            "topology" => kind = value.to_string(),
+            "k" => k = parse_usize("k")?,
+            "stages" => stages = parse_usize("stages")?,
+            "switches" => switches_n = parse_usize("switches")?,
+            "ports" => ports = parse_usize("ports")?,
+            "hosts" => hosts = parse_usize("hosts")?,
+            "extra_links" => extra_links = parse_usize("extra_links")?,
+            "topo_seed" => topo_seed = parse_u64("topo_seed")?,
+            "arch" => {
+                cfg.arch = match value {
+                    "cb" | "central-buffer" => SwitchArch::CentralBuffer,
+                    "ib" | "input-buffered" => SwitchArch::InputBuffered,
+                    _ => return Err(bad("arch (cb|ib)")),
+                }
+            }
+            "mcast" => {
+                cfg.mcast = match value {
+                    "hw" | "bitstring" => McastImpl::HwBitString,
+                    "mp" | "multiport" => McastImpl::HwMultiport,
+                    "sw" | "binomial" => McastImpl::SwBinomial,
+                    _ => return Err(bad("mcast (hw|mp|sw)")),
+                }
+            }
+            "replication" => {
+                cfg.switch.replication = match value {
+                    "async" | "asynchronous" => ReplicationMode::Asynchronous,
+                    "sync" | "synchronous" => ReplicationMode::Synchronous,
+                    _ => return Err(bad("replication (async|sync)")),
+                }
+            }
+            "policy" => {
+                cfg.switch.policy = match value {
+                    "return-only" => ReplicatePolicy::ReturnOnly,
+                    "forward-and-return" => ReplicatePolicy::ForwardAndReturn,
+                    _ => return Err(bad("policy (return-only|forward-and-return)")),
+                }
+            }
+            "up_select" => {
+                cfg.switch.up_select = match value {
+                    "deterministic" => UpSelect::Deterministic,
+                    "adaptive" => UpSelect::Adaptive,
+                    _ => return Err(bad("up_select (deterministic|adaptive)")),
+                }
+            }
+            "chunk_flits" => cfg.switch.chunk_flits = value.parse().map_err(|_| bad(key))?,
+            "cq_chunks" => cfg.switch.cq_chunks = parse_usize(key)?,
+            "input_buf_flits" => {
+                cfg.switch.input_buf_flits = value.parse().map_err(|_| bad(key))?
+            }
+            "max_packet_flits" => {
+                cfg.switch.max_packet_flits = value.parse().map_err(|_| bad(key))?
+            }
+            "staging_flits" => cfg.switch.staging_flits = value.parse().map_err(|_| bad(key))?,
+            "route_delay" => cfg.switch.route_delay = value.parse().map_err(|_| bad(key))?,
+            "bypass_crossbar" => {
+                cfg.switch.bypass_crossbar = value.parse().map_err(|_| bad(key))?
+            }
+            "link_delay" => cfg.link_delay = value.parse().map_err(|_| bad(key))?,
+            "host_eject_credits" => cfg.host_eject_credits = value.parse().map_err(|_| bad(key))?,
+            "bits_per_flit" => cfg.bits_per_flit = parse_usize(key)?,
+            "barrier_combining" => cfg.barrier_combining = value.parse().map_err(|_| bad(key))?,
+            "seed" => cfg.seed = parse_u64(key)?,
+            _ => return Err(format!("line {}: unknown key `{key}`", lineno + 1)),
+        }
+    }
+
+    cfg.topology = match kind.as_str() {
+        "karytree" | "tree" => TopologyKind::KaryTree { k, n: stages },
+        "unimin" | "butterfly" => TopologyKind::UniMin { k, n: stages },
+        "irregular" => TopologyKind::Irregular {
+            switches: switches_n,
+            ports,
+            hosts,
+            extra_links,
+            seed: topo_seed,
+        },
+        other => {
+            return Err(format!(
+                "unknown topology `{other}` (karytree|unimin|irregular)"
+            ))
+        }
+    };
+    Ok(cfg)
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut json = false;
+    let mut lint_default = false;
+    let mut files: Vec<String> = Vec::new();
+    for arg in &argv {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--default" => lint_default = true,
+            "--help" | "-h" => {
+                eprintln!("usage: mdw-lint [--json] [--default] <config.mdw>...");
+                return;
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!(
+                    "unknown flag {flag}\nusage: mdw-lint [--json] [--default] <config.mdw>..."
+                );
+                std::process::exit(2);
+            }
+            file => files.push(file.to_string()),
+        }
+    }
+    if files.is_empty() && !lint_default {
+        eprintln!("no config files given\nusage: mdw-lint [--json] [--default] <config.mdw>...");
+        std::process::exit(2);
+    }
+
+    let mut targets: Vec<(String, SystemConfig)> = Vec::new();
+    if lint_default {
+        targets.push(("<default>".to_string(), SystemConfig::default()));
+    }
+    for file in &files {
+        let text = std::fs::read_to_string(file).unwrap_or_else(|e| {
+            eprintln!("{file}: {e}");
+            std::process::exit(2);
+        });
+        match parse_config(&text) {
+            Ok(cfg) => targets.push((file.clone(), cfg)),
+            Err(e) => {
+                eprintln!("{file}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut any_errors = false;
+    for (i, (name, cfg)) in targets.iter().enumerate() {
+        let report = cfg.report();
+        any_errors |= report.has_errors();
+        if json {
+            if targets.len() > 1 && i > 0 {
+                println!();
+            }
+            print!("{}", report.render_json());
+        } else {
+            print!("{name}: {}", report.render_human());
+        }
+    }
+    if any_errors {
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_text_is_the_default_config() {
+        let cfg = parse_config("").expect("parses");
+        assert_eq!(cfg.n_hosts(), 64);
+        assert_eq!(cfg.arch, SwitchArch::CentralBuffer);
+    }
+
+    #[test]
+    fn full_config_roundtrips_values() {
+        let text = "
+            # an input-buffered 16-host tree with lock-step replication
+            topology = karytree
+            k = 2          # arity
+            stages = 4
+            arch = ib
+            mcast = hw
+            replication = sync
+            policy = forward-and-return
+            up_select = deterministic
+            input_buf_flits = 256
+            max_packet_flits = 100
+            seed = 42
+        ";
+        let cfg = parse_config(text).expect("parses");
+        assert_eq!(cfg.topology, TopologyKind::KaryTree { k: 2, n: 4 });
+        assert_eq!(cfg.arch, SwitchArch::InputBuffered);
+        assert_eq!(cfg.switch.replication, ReplicationMode::Synchronous);
+        assert_eq!(cfg.switch.policy, ReplicatePolicy::ForwardAndReturn);
+        assert_eq!(cfg.switch.up_select, UpSelect::Deterministic);
+        assert_eq!(cfg.switch.input_buf_flits, 256);
+        assert_eq!(cfg.switch.max_packet_flits, 100);
+        assert_eq!(cfg.seed, 42);
+    }
+
+    #[test]
+    fn irregular_topology_keys() {
+        let text = "
+            topology = irregular
+            switches = 6
+            ports = 8
+            hosts = 12
+            extra_links = 3
+            topo_seed = 7
+        ";
+        let cfg = parse_config(text).expect("parses");
+        assert_eq!(
+            cfg.topology,
+            TopologyKind::Irregular {
+                switches: 6,
+                ports: 8,
+                hosts: 12,
+                extra_links: 3,
+                seed: 7
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_keys_and_bad_values_are_rejected_with_line_numbers() {
+        let err = parse_config("typo_key = 3").unwrap_err();
+        assert!(err.contains("line 1") && err.contains("typo_key"), "{err}");
+        let err = parse_config("\nk = many").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        let err = parse_config("just words").unwrap_err();
+        assert!(err.contains("key = value"), "{err}");
+        let err = parse_config("topology = moebius").unwrap_err();
+        assert!(err.contains("moebius"), "{err}");
+    }
+}

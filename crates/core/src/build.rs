@@ -105,7 +105,7 @@ impl System {
 
 /// Builds the topology object for a config, returning the generic topology
 /// plus the tree handle multiport encoding needs.
-fn build_topology(kind: TopologyKind) -> (Rc<Topology>, Option<Rc<KaryTree>>) {
+pub(crate) fn build_topology(kind: TopologyKind) -> (Rc<Topology>, Option<Rc<KaryTree>>) {
     match kind {
         TopologyKind::KaryTree { k, n } => {
             let tree = Rc::new(KaryTree::new(k, n));

@@ -1,16 +1,17 @@
 //! Whole-system configuration: topology, switch architecture, multicast
 //! scheme, timing.
+//!
+//! Validation is layered on the static analyzer (`mdw-analysis`):
+//! [`SystemConfig::report`] runs every check — switch buffer sizing,
+//! system-level consistency, channel-dependency-graph acyclicity, header
+//! round-trips — into one [`ConfigReport`], and the legacy
+//! [`SystemConfig::validate`] surfaces that report's first error as a
+//! [`ConfigError`] so `Result`-based callers keep working unchanged.
 
 use collectives::RecoveryConfig;
+use mdw_analysis::{analyze_fabric, switch_sizing, ArchClass, ConfigReport};
+use mintopo::route::RouteTables;
 use switches::{ConfigError, SwitchConfig};
-
-macro_rules! ensure {
-    ($cond:expr, $($msg:tt)+) => {
-        if !$cond {
-            return Err(ConfigError(format!($($msg)+)));
-        }
-    };
-}
 
 /// Which network to build.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -175,45 +176,94 @@ impl SystemConfig {
         }
     }
 
-    /// Validates cross-cutting constraints, returning a descriptive
-    /// [`ConfigError`] on the first violation (multiport encoding off a
-    /// k-ary tree, switch sizing violations, bit-string header leaving no
-    /// payload room, degenerate recovery timers).
-    pub fn validate(&self) -> Result<(), ConfigError> {
-        self.effective_switch().validate()?;
-        if self.mcast == McastImpl::HwMultiport {
-            ensure!(
-                matches!(self.topology, TopologyKind::KaryTree { .. }),
-                "multiport encoding requires a k-ary tree topology, got {:?}",
-                self.topology
+    /// Runs the full static analysis — switch buffer sizing, system-level
+    /// consistency, and (when the cheap checks pass) the fabric pass:
+    /// channel-dependency-graph cycle detection and header round-trip
+    /// linting over the actual topology — into one unified
+    /// [`ConfigReport`].
+    ///
+    /// Check order matches the historical `validate()` behavior, so
+    /// [`ConfigReport::first_error`] names the same violation the legacy
+    /// `Result` interface always has. The fabric pass is skipped when an
+    /// earlier check already failed (building routing tables for a config
+    /// with broken sizing would only bury the root cause).
+    pub fn report(&self) -> ConfigReport {
+        let mut report = ConfigReport::new();
+        let arch_class = match self.arch {
+            SwitchArch::CentralBuffer => ArchClass::CentralBuffer,
+            SwitchArch::InputBuffered => ArchClass::InputBuffered,
+        };
+        switch_sizing(&self.effective_switch(), arch_class, &mut report);
+
+        if self.mcast == McastImpl::HwMultiport
+            && !matches!(self.topology, TopologyKind::KaryTree { .. })
+        {
+            report.error(
+                "multiport-needs-tree",
+                format!(
+                    "multiport encoding requires a k-ary tree topology, got {:?}",
+                    self.topology
+                ),
             );
         }
-        if self.barrier_combining {
-            ensure!(
-                self.arch == SwitchArch::CentralBuffer,
-                "barrier combining is implemented for the central-buffer switch, \
-                 not {:?}",
-                self.arch
+        if self.barrier_combining && self.arch != SwitchArch::CentralBuffer {
+            report.error(
+                "barrier-combining-needs-cb",
+                format!(
+                    "barrier combining is implemented for the central-buffer switch, \
+                     not {:?}",
+                    self.arch
+                ),
             );
         }
         let n = self.n_hosts();
         let bitstring_header = 1 + n.div_ceil(self.bits_per_flit);
-        ensure!(
-            usize::from(self.switch.max_packet_flits) > bitstring_header,
-            "bit-string header ({bitstring_header} flits) leaves no payload in \
-             {}-flit packets — grow max_packet_flits or the buffers",
-            self.switch.max_packet_flits
-        );
-        if let Some(r) = &self.recovery {
-            ensure!(r.timeout >= 1, "recovery timeout must be positive");
-            ensure!(
-                r.timeout_cap >= r.timeout,
-                "recovery timeout cap ({}) below base timeout ({})",
-                r.timeout_cap,
-                r.timeout
+        if usize::from(self.switch.max_packet_flits) <= bitstring_header {
+            report.error(
+                "bitstring-header-overflow",
+                format!(
+                    "bit-string header ({bitstring_header} flits) leaves no payload in \
+                     {}-flit packets — grow max_packet_flits or the buffers",
+                    self.switch.max_packet_flits
+                ),
             );
         }
-        Ok(())
+        if let Some(r) = &self.recovery {
+            if r.timeout < 1 {
+                report.error("recovery-timeout-zero", "recovery timeout must be positive");
+            } else if r.timeout_cap < r.timeout {
+                report.error(
+                    "recovery-cap-below-base",
+                    format!(
+                        "recovery timeout cap ({}) below base timeout ({})",
+                        r.timeout_cap, r.timeout
+                    ),
+                );
+            }
+        }
+
+        if !report.has_errors() {
+            let (topology, _) = crate::build::build_topology(self.topology);
+            let tables = RouteTables::build(&topology);
+            analyze_fabric(&topology, &tables, self.switch.policy, &mut report);
+        }
+        report
+    }
+
+    /// Validates cross-cutting constraints, returning a descriptive
+    /// [`ConfigError`] on the first violation (multiport encoding off a
+    /// k-ary tree, switch sizing violations, bit-string header leaving no
+    /// payload room, degenerate recovery timers, dependency cycles or
+    /// header-encoding mismatches in the built fabric).
+    ///
+    /// Thin wrapper over [`SystemConfig::report`]: the first
+    /// error-severity diagnostic becomes the [`ConfigError`]. Warnings
+    /// (e.g. the synchronous-replication hazard) do not fail validation.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        match self.report().first_error() {
+            Some(d) => Err(ConfigError(d.message.clone())),
+            None => Ok(()),
+        }
     }
 }
 
@@ -296,5 +346,74 @@ mod tests {
     fn labels() {
         assert_eq!(McastImpl::HwBitString.label(), "HW-bitstring");
         assert_eq!(SwitchArch::InputBuffered.label(), "IB");
+    }
+
+    #[test]
+    fn report_on_default_config_is_clean_with_fabric_coverage() {
+        let r = SystemConfig::default().report();
+        assert!(r.is_clean(), "{:?}", r.diagnostics);
+        assert!(r.cycles.is_empty());
+        // The fabric pass actually ran: channels, dependencies and header
+        // round-trips were all enumerated on the 64-host tree.
+        assert!(r.stats.channels > 64, "{:?}", r.stats);
+        assert!(r.stats.dependencies > 0);
+        assert!(r.stats.roundtrips > 0);
+    }
+
+    #[test]
+    fn report_first_error_matches_validate() {
+        let mut c = SystemConfig::default();
+        c.switch.input_buf_flits = 4;
+        let report_err = c.report().first_error().expect("broken").message.clone();
+        let validate_err = c.validate().unwrap_err().to_string();
+        assert_eq!(report_err, validate_err);
+    }
+
+    #[test]
+    fn broken_sizing_skips_fabric_pass() {
+        let mut c = SystemConfig::default();
+        c.switch.cq_chunks = 0;
+        let r = c.report();
+        assert!(r.has_errors());
+        assert_eq!(r.stats.channels, 0, "fabric pass must not run");
+    }
+
+    #[test]
+    fn sync_replication_warns_but_validates() {
+        let c = SystemConfig {
+            arch: SwitchArch::InputBuffered,
+            switch: SwitchConfig {
+                replication: switches::ReplicationMode::Synchronous,
+                ..SwitchConfig::default()
+            },
+            ..SystemConfig::default()
+        };
+        let r = c.report();
+        assert!(!r.has_errors());
+        assert!(r.warnings().any(|w| w.code == "sync-replication-hazard"));
+        c.validate().expect("warnings do not fail validation");
+    }
+
+    #[test]
+    fn report_covers_all_topology_kinds() {
+        for topology in [
+            TopologyKind::KaryTree { k: 2, n: 3 },
+            TopologyKind::UniMin { k: 2, n: 3 },
+            TopologyKind::Irregular {
+                switches: 6,
+                ports: 8,
+                hosts: 12,
+                extra_links: 3,
+                seed: 1,
+            },
+        ] {
+            let c = SystemConfig {
+                topology,
+                ..SystemConfig::default()
+            };
+            let r = c.report();
+            assert!(!r.has_errors(), "{topology:?}: {:?}", r.diagnostics);
+            assert!(r.stats.channels > 0, "{topology:?}");
+        }
     }
 }

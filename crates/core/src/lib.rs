@@ -53,6 +53,7 @@ pub mod workload;
 pub use build::{build_system, System};
 pub use config::{McastImpl, SwitchArch, SystemConfig, TopologyKind};
 pub use forensics::{capture_deadlock_report, DeadlockReport};
+pub use mdw_analysis::{ConfigReport, Diagnostic, Severity};
 pub use sim::{run_experiment, RunConfig, RunOutcome};
 pub use sweep::{parallel_map, run_sweep, SweepJob};
 pub use workload::{make_sources, RandomTraffic, TrafficSpec};

@@ -334,6 +334,7 @@ impl Extend<NodeId> for DestSet {
 }
 
 /// Iterator over the members of a [`DestSet`], produced by [`DestSet::iter`].
+#[derive(Debug)]
 pub struct Iter<'a> {
     set: &'a DestSet,
     word: usize,

@@ -61,6 +61,7 @@ impl Ledger {
 ///
 /// Input ports are numbered `0..n_inputs()`, output ports `0..n_outputs()`,
 /// in the order given to [`Engine::add_component`].
+#[derive(Debug)]
 pub struct PortIo<'a> {
     now: Cycle,
     links: &'a mut [Link],
@@ -250,11 +251,17 @@ impl Engine {
     /// Total flits sent over all links since the start of the run — the
     /// engine-level progress measure used by deadlock watchdogs. O(1):
     /// maintained on every [`PortIo::send`] instead of scanning all links.
+    ///
+    /// Debug builds — and any build with the `invariant-audit` feature —
+    /// cross-check the ledger against a full link scan.
     pub fn total_flit_moves(&self) -> u64 {
-        debug_assert_eq!(
-            self.ledger.total_moves,
-            self.links.iter().map(Link::total_flits).sum::<u64>()
-        );
+        if cfg!(any(debug_assertions, feature = "invariant-audit")) {
+            assert_eq!(
+                self.ledger.total_moves,
+                self.links.iter().map(Link::total_flits).sum::<u64>(),
+                "flit conservation violated: ledger total_moves out of sync"
+            );
+        }
         self.ledger.total_moves
     }
 
@@ -265,11 +272,17 @@ impl Engine {
 
     /// Number of flits currently propagating inside links. O(1):
     /// maintained on send/recv/evaporation instead of scanning all links.
+    ///
+    /// Debug builds — and any build with the `invariant-audit` feature —
+    /// cross-check the ledger against a full link scan.
     pub fn flits_in_links(&self) -> usize {
-        debug_assert_eq!(
-            self.ledger.in_flight,
-            self.links.iter().map(Link::in_flight).sum::<usize>()
-        );
+        if cfg!(any(debug_assertions, feature = "invariant-audit")) {
+            assert_eq!(
+                self.ledger.in_flight,
+                self.links.iter().map(Link::in_flight).sum::<usize>(),
+                "flit conservation violated: ledger in_flight out of sync"
+            );
+        }
         self.ledger.in_flight
     }
 
@@ -306,6 +319,22 @@ impl Engine {
             };
             comp.tick(now, &mut io);
         }
+        #[cfg(feature = "invariant-audit")]
+        self.audit_invariants();
+    }
+
+    /// Full-fabric invariant sweep, run after every cycle under the
+    /// `invariant-audit` feature: per-link credit conservation plus the
+    /// flit-conservation ledger cross-checks. O(links) per cycle, so it is
+    /// feature-gated rather than tied to `debug_assertions` — quick-scale
+    /// sweeps run under it in CI, full-scale ones don't pay for it.
+    #[cfg(feature = "invariant-audit")]
+    fn audit_invariants(&self) {
+        for link in &self.links {
+            link.audit_credit_conservation();
+        }
+        let _ = self.total_flit_moves();
+        let _ = self.flits_in_links();
     }
 
     /// Runs for `cycles` additional cycles.

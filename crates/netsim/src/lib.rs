@@ -70,6 +70,7 @@
 //! engine.run_for(64);
 //! assert_eq!(seen.get(), 10); // 2 header flits + 8 payload flits
 //! ```
+#![deny(unreachable_pub, missing_debug_implementations)]
 
 pub mod destset;
 pub mod engine;

@@ -214,6 +214,35 @@ impl Link {
         }
     }
 
+    /// Asserts the credit-conservation invariant: every credit of the
+    /// configured window is either available to the sender, travelling in
+    /// one of the two queues, permanently leaked by an injected fault, or
+    /// held by the receiver for a consumed-but-unfreed staging slot. The
+    /// receiver-held share is not observable from the link, so the check is
+    /// an inequality — anything *above* the window means a credit was
+    /// forged.
+    ///
+    /// Called by the engine every cycle under the `invariant-audit`
+    /// feature; cheap enough to call from tests directly.
+    pub fn audit_credit_conservation(&self) {
+        let leaked = self.fault_counters().map_or(0, |c| c.credits_leaked);
+        let accounted = u64::from(self.credits)
+            + self.flit_q.len() as u64
+            + self.credit_q.len() as u64
+            + leaked;
+        assert!(
+            accounted <= u64::from(self.max_credits),
+            "credit conservation violated: {} credits accounted \
+             (available {} + in-flight {} + returning {} + leaked {leaked}) \
+             exceed window {}",
+            accounted,
+            self.credits,
+            self.flit_q.len(),
+            self.credit_q.len(),
+            self.max_credits,
+        );
+    }
+
     /// Receiver side: returns one credit toward the sender; it becomes
     /// usable after the propagation delay.
     ///

@@ -26,19 +26,19 @@ pub(crate) struct HeaderClock {
 
 impl HeaderClock {
     /// Notes a flit arrival; remembers the cycle the header completed.
-    pub fn on_arrival(&mut self, flit: &Flit, now: Cycle) {
+    pub(crate) fn on_arrival(&mut self, flit: &Flit, now: Cycle) {
         if flit.idx() + 1 == flit.packet().header_flits() {
             self.done.insert(flit.packet().id(), now);
         }
     }
 
     /// Cycle at which the packet's header finished arriving, if known.
-    pub fn done_at(&self, id: PacketId) -> Option<Cycle> {
+    pub(crate) fn done_at(&self, id: PacketId) -> Option<Cycle> {
         self.done.get(&id).copied()
     }
 
     /// Drops bookkeeping for a finished packet.
-    pub fn forget(&mut self, id: PacketId) {
+    pub(crate) fn forget(&mut self, id: PacketId) {
         self.done.remove(&id);
     }
 }
@@ -118,6 +118,99 @@ pub(crate) fn resolve_branches(
             unreachable!("barrier gathers are combined at the switch, never routed")
         }
     }
+}
+
+/// Statically round-trips one reachability bit-string through this
+/// switch's *actual* decode path and checks the branch headers it
+/// produces are consistent with the routing tables.
+///
+/// `mintopo::reach` produces the per-port reachability strings and
+/// `switches` consumes them through [`resolve_branches`]; the two crates
+/// agree only by convention. This lint makes the convention checkable: a
+/// synthetic bit-string worm carrying `dests` is decoded at `table`, and
+/// every resulting branch must (a) still be a bit-string header, (b) land
+/// on a port the tables classify as usable, (c) stay within a down port's
+/// reachability string, and (d) partition `dests` exactly — every
+/// destination on exactly one branch.
+///
+/// Returns the `(port, residual set)` branches on success, or a
+/// description of the first inconsistency.
+///
+/// # Errors
+///
+/// Returns `Err` when the decoded branches violate any of the conditions
+/// above — i.e. when the reach strings and the decode logic disagree.
+pub fn verify_bitstring_roundtrip(
+    table: &SwitchTable,
+    dests: &netsim::destset::DestSet,
+    policy: ReplicatePolicy,
+) -> Result<Vec<(usize, netsim::destset::DestSet)>, String> {
+    use mintopo::reach::PortClass;
+    use netsim::destset::DestSet;
+    use netsim::packet::PacketBuilder;
+
+    if dests.is_empty() {
+        return Err("empty destination set".to_string());
+    }
+    let src = netsim::ids::NodeId(0);
+    let pkt = Rc::new(PacketBuilder::multicast(src, dests.clone(), 4).build());
+    let branches = resolve_branches(&pkt, table, policy, UpSelect::Deterministic, |_| 0);
+    if branches.is_empty() {
+        return Err(format!("decode produced no branches for {dests:?}"));
+    }
+    let mut covered = DestSet::empty(dests.universe());
+    let mut out = Vec::with_capacity(branches.len());
+    for (port, bp) in &branches {
+        let set = match bp.header() {
+            RoutingHeader::BitString { dests } => dests.clone(),
+            other => {
+                return Err(format!(
+                    "branch on port {port} decoded to non-bit-string header {other:?}"
+                ))
+            }
+        };
+        if set.is_empty() {
+            return Err(format!("branch on port {port} carries an empty set"));
+        }
+        let info = table.port(*port);
+        match info.class {
+            PortClass::Down => {
+                if !set.is_subset_of(&info.reach) {
+                    return Err(format!(
+                        "branch on down port {port} carries {set:?} outside its \
+                         reachability string {:?}",
+                        info.reach
+                    ));
+                }
+            }
+            PortClass::Up => {
+                if !set.is_subset_of(dests) {
+                    return Err(format!(
+                        "up branch on port {port} carries {set:?} not within the \
+                         original set {dests:?}"
+                    ));
+                }
+            }
+            PortClass::Unused => {
+                return Err(format!("branch routed onto unused port {port}"));
+            }
+        }
+        if covered.intersects(&set) {
+            return Err(format!(
+                "branch on port {port} duplicates destinations already covered \
+                 ({:?} ∩ {set:?})",
+                covered
+            ));
+        }
+        covered.union_with(&set);
+        out.push((*port, set));
+    }
+    if &covered != dests {
+        return Err(format!(
+            "branches cover {covered:?} but the worm carried {dests:?}"
+        ));
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -231,6 +324,36 @@ mod tests {
         );
         assert_eq!(branches.len(), 1, "no early branching under ReturnOnly");
         assert_eq!(branches[0].1.header().dest_count(), Some(2));
+    }
+
+    #[test]
+    fn roundtrip_accepts_consistent_tables() {
+        let t = tables();
+        for sw in 0..4 {
+            let table = t.table(SwitchId(sw));
+            for policy in [
+                ReplicatePolicy::ReturnOnly,
+                ReplicatePolicy::ForwardAndReturn,
+            ] {
+                let dests = DestSet::from_nodes(4, [0, 2, 3].map(NodeId));
+                let branches = verify_bitstring_roundtrip(table, &dests, policy)
+                    .unwrap_or_else(|e| panic!("switch {sw}, {policy:?}: {e}"));
+                let total: usize = branches.iter().map(|(_, s)| s.count()).sum();
+                assert_eq!(total, 3);
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_rejects_empty_set() {
+        let t = tables();
+        let err = verify_bitstring_roundtrip(
+            t.table(SwitchId(0)),
+            &DestSet::empty(4),
+            ReplicatePolicy::ReturnOnly,
+        )
+        .unwrap_err();
+        assert!(err.contains("empty"), "{err}");
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //! construction: the central-buffer switch reserves a worm's full chunk
 //! demand before absorbing it, and the input-buffer switch sizes each FIFO
 //! to one maximum packet ([`config::SwitchConfig::validate`]).
+#![deny(unreachable_pub, missing_debug_implementations)]
 
 pub mod central;
 pub mod config;
@@ -32,5 +33,6 @@ mod testutil;
 
 pub use central::CentralBufferSwitch;
 pub use config::{ConfigError, ReplicationMode, SwitchConfig, UpSelect};
+pub use decode::verify_bitstring_roundtrip;
 pub use input_buffered::InputBufferedSwitch;
 pub use stats::{BlockedWormSnap, SwitchSnapshot, SwitchStats};

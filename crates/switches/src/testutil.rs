@@ -55,15 +55,15 @@ impl Component for TestSink {
 
 /// A one-switch world: `n_hosts` sources/sinks on ports `0..n_hosts`.
 pub(crate) struct TestWorld {
-    pub engine: Engine,
+    pub(crate) engine: Engine,
     queues: Vec<Rc<RefCell<VecDeque<Rc<Packet>>>>>,
     sinks: Vec<Rc<Cell<usize>>>,
-    pub stats: Rc<RefCell<SwitchStats>>,
+    pub(crate) stats: Rc<RefCell<SwitchStats>>,
 }
 
 impl TestWorld {
     /// Queues a packet for injection at `host`.
-    pub fn inject(&mut self, host: usize, pkt: Packet) {
+    pub(crate) fn inject(&mut self, host: usize, pkt: Packet) {
         self.queues[host].borrow_mut().push_back(Rc::new(pkt));
     }
 }
