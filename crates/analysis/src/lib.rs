@@ -100,6 +100,37 @@ pub fn analyze_fabric(
     roundtrip::lint_roundtrips(tables, policy, report);
 }
 
+/// Activation gate for online reroute candidates (DESIGN.md §10): runs the
+/// full fabric analysis — CDG construction + Tarjan cycle detection and the
+/// header round-trip lint — over the *candidate* tables and accepts only a
+/// report free of errors.
+///
+/// An honest masked rebuild (`RouteTables::build_masked`) cannot introduce
+/// a dependency cycle: masking only removes channels and shrinks reach
+/// strings, while the up/down orientation comes from the topology, which a
+/// link failure does not change. The gate still runs unconditionally —
+/// reroute candidates may come from other sources (incremental table
+/// patches, operator overrides, bugs), and the static check costs
+/// microseconds next to the fabric quiesce it guards.
+///
+/// # Errors
+///
+/// Returns the full report when any error-severity finding exists; the
+/// caller must stay on the old tables and degrade instead of activating.
+pub fn vet_reroute(
+    topo: &Topology,
+    candidate: &RouteTables,
+    policy: ReplicatePolicy,
+) -> Result<AnalysisStats, Box<ConfigReport>> {
+    let mut report = ConfigReport::new();
+    analyze_fabric(topo, candidate, policy, &mut report);
+    if report.has_errors() {
+        Err(Box::new(report))
+    } else {
+        Ok(report.stats)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -127,5 +158,85 @@ mod tests {
         assert!(report.stats.channels > 0);
         assert!(report.stats.dependencies > 0);
         assert!(report.stats.roundtrips > 0);
+    }
+
+    /// Two leaves under two roots — the path diversity a reroute needs.
+    fn two_root_net() -> Topology {
+        let mut b = TopologyBuilder::new(4);
+        let s0 = b.add_switch(4, 1);
+        let s1 = b.add_switch(4, 1);
+        let r0 = b.add_switch(2, 0);
+        let r1 = b.add_switch(2, 0);
+        b.attach_host(NodeId(0), s0, 0);
+        b.attach_host(NodeId(1), s0, 1);
+        b.attach_host(NodeId(2), s1, 0);
+        b.attach_host(NodeId(3), s1, 1);
+        b.connect(s0, 2, r0, 0);
+        b.connect(s0, 3, r1, 0);
+        b.connect(s1, 2, r0, 1);
+        b.connect(s1, 3, r1, 1);
+        b.build()
+    }
+
+    #[test]
+    fn honest_masked_reroute_passes_the_gate() {
+        use netsim::ids::SwitchId;
+        let topo = two_root_net();
+        // Kill both directions of the s0 <-> r0 cable and rebuild.
+        let candidate = RouteTables::build_masked(&topo, &[(SwitchId(0), 2), (SwitchId(2), 0)]);
+        let stats = vet_reroute(&topo, &candidate, ReplicatePolicy::ReturnOnly)
+            .expect("masked rebuild must be deadlock-free");
+        assert!(stats.channels > 0);
+        assert!(stats.dependencies > 0);
+    }
+
+    #[test]
+    fn cyclic_reroute_candidate_is_rejected() {
+        use mintopo::reach::{PortClass, PortInfo};
+        use mintopo::route::SwitchTable;
+        use netsim::destset::DestSet;
+
+        // Two switches at the same depth, cross-connected, one host each.
+        let mut b = TopologyBuilder::new(2);
+        let a = b.add_switch(2, 1);
+        let c = b.add_switch(2, 1);
+        b.attach_host(NodeId(0), a, 1);
+        b.attach_host(NodeId(1), c, 1);
+        b.connect(a, 0, c, 0);
+        let topo = b.build();
+
+        // Pathological candidate: *both* tables classify the shared cable
+        // as Down with full reach — the "each side believes the other is
+        // deeper" bug an incremental reroute patch could introduce. A worm
+        // held on a.out0 can extend onto c.out0 and vice versa: a 2-cycle.
+        let full = DestSet::full(2);
+        let mk = |own: u32| {
+            SwitchTable::from_ports(
+                vec![
+                    PortInfo {
+                        class: PortClass::Down,
+                        reach: full.clone(),
+                    },
+                    PortInfo {
+                        class: PortClass::Down,
+                        reach: DestSet::singleton(2, NodeId(own)),
+                    },
+                ],
+                2,
+            )
+        };
+        let candidate = RouteTables::from_tables(vec![mk(0), mk(1)], 2);
+
+        let report = vet_reroute(&topo, &candidate, ReplicatePolicy::ReturnOnly)
+            .expect_err("crossed-down candidate must be rejected");
+        assert!(
+            report.errors().any(|d| d.code == "cdg-cycle"),
+            "{:?}",
+            report.diagnostics
+        );
+        assert!(!report.cycles.is_empty());
+        // The cycle names both switch output channels.
+        let channels = report.cycles[0].channels.join(" ");
+        assert!(channels.contains("out0"), "{channels}");
     }
 }

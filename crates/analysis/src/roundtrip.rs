@@ -16,28 +16,35 @@ use mintopo::route::{ReplicatePolicy, RouteTables};
 use netsim::destset::DestSet;
 use netsim::ids::SwitchId;
 
-/// Destination-set shapes exercised per switch: the widest set the
+/// Destination-set shapes exercised per switch: the widest sets the
 /// switch can legally see, each down port's own reachability string, and
 /// the pairwise union of neighboring down-port strings (the cross-subtree
 /// shape that forces a fan-out).
 ///
-/// A switch with an up port can carry any residual set; a switch without
-/// one (e.g. an interior stage of a unidirectional MIN) only ever sees
-/// residuals inside its down-union — headers are restricted at every
-/// upstream hop — so the widest legal shape there is the down-union
-/// itself.
+/// A worm either resolves entirely into the down cones (widest such
+/// shape: the down-union) or ascends through *one* up port — and under
+/// `ReturnOnly` an ascending worm carries its whole destination set, so
+/// the widest legal ascending shape is that port's reach string alone.
+/// On tables from [`RouteTables::build`] every up port reaches every
+/// host and the ascending shapes collapse to the full destination set;
+/// on masked tables ([`RouteTables::build_masked`]) the exact reach
+/// strings keep the shapes inside what the degraded routing can actually
+/// cover, so legitimate coverage holes are not reported as decode
+/// failures. A switch without up ports (a root, or an interior stage of
+/// a unidirectional MIN) only ever sees residuals inside its down-union.
 fn shapes_for(tables: &RouteTables, sw: SwitchId) -> Vec<DestSet> {
-    let n = tables.n_hosts();
     let table = tables.table(sw);
-    let widest = if table.up_ports().is_empty() {
-        table.down_union().clone()
-    } else {
-        DestSet::full(n)
+    let down_union = table.down_union();
+    let mut shapes: Vec<DestSet> = Vec::new();
+    let push = |shapes: &mut Vec<DestSet>, s: DestSet| {
+        if !s.is_empty() && !shapes.contains(&s) {
+            shapes.push(s);
+        }
     };
-    if widest.is_empty() {
-        return Vec::new();
+    push(&mut shapes, down_union.clone());
+    for &u in table.up_ports() {
+        push(&mut shapes, table.port(u).reach.clone());
     }
-    let mut shapes = vec![widest];
     let down_reaches: Vec<&DestSet> = (0..table.n_ports())
         .filter_map(|p| {
             let info = table.port(p);
@@ -45,10 +52,10 @@ fn shapes_for(tables: &RouteTables, sw: SwitchId) -> Vec<DestSet> {
         })
         .collect();
     for r in &down_reaches {
-        shapes.push((*r).clone());
+        push(&mut shapes, (*r).clone());
     }
     for pair in down_reaches.windows(2) {
-        shapes.push(pair[0].or(pair[1]));
+        push(&mut shapes, pair[0].or(pair[1]));
     }
     shapes
 }
@@ -114,6 +121,8 @@ mod tests {
         // Root's two subtree strings and their union.
         assert!(shapes.contains(&DestSet::from_nodes(4, [0, 1].map(NodeId))));
         assert!(shapes.contains(&DestSet::from_nodes(4, [2, 3].map(NodeId))));
-        assert!(shapes.len() >= 4);
+        // Shapes are deduplicated: the two subtree strings plus their
+        // union (= the root's full down-union) make three distinct sets.
+        assert!(shapes.len() >= 3);
     }
 }

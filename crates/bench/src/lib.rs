@@ -121,6 +121,15 @@ impl Scale {
             Scale::Quick => vec![0.0, 1e-4, 1e-3],
         }
     }
+
+    /// Per-phase window length for the E17 fault-response timeline
+    /// (healthy / rerouted / degraded / healed).
+    pub fn fault_phase_len(self) -> u64 {
+        match self {
+            Scale::Full => 8_000,
+            Scale::Quick => 2_500,
+        }
+    }
 }
 
 /// The paper's default 64-processor base system.

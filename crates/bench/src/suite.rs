@@ -1,4 +1,4 @@
-//! The full E1..E16 table suite as data: every experiment rendered to
+//! The full E1..E17 table suite as data: every experiment rendered to
 //! markdown + CSV strings, with no file IO.
 //!
 //! The `figures` binary writes these tables to `results/`; the bench mode
@@ -9,7 +9,7 @@
 use crate::{defaults, Scale};
 use mdworm::experiments as exp;
 use mdworm::report::{csv, markdown_table, TableRow};
-use mdworm::SystemConfig;
+use mdworm::{SystemConfig, TopologyKind};
 
 /// One rendered result table.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -165,6 +165,19 @@ pub fn run_suite(base: &SystemConfig, scale: Scale, exp_filter: &str) -> Vec<Tab
             "e16_fault_sweep",
             "E16 (robustness extension): degradation vs per-flit drop rate with end-to-end recovery (load 0.2)",
             &exp::e16_fault_sweep(base, &run, 0.2, &scale.drop_rates(), defaults::DEGREE, defaults::LEN),
+        ));
+    }
+    if want("e17") {
+        // The four-phase outage script runs on a 2-stage tree so that a
+        // crossed root cut can defeat every single-worm covering.
+        let e17_base = SystemConfig {
+            topology: TopologyKind::KaryTree { k: 4, n: 2 },
+            ..base.clone()
+        };
+        tables.push(table(
+            "e17_fault_response",
+            "E17 (robustness extension): online fault response — healthy / rerouted / degraded / healed phases (16 procs, load 0.04)",
+            &exp::e17_fault_response(&e17_base, scale.fault_phase_len(), 0.04, 4, 16),
         ));
     }
     tables

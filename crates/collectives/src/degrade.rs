@@ -1,0 +1,206 @@
+//! Graceful degradation of hardware multicast under link failures
+//! (DESIGN.md §10).
+//!
+//! When the fault-response orchestrator reroutes around dead links, some
+//! destinations may become unreachable by *any* single bit-string worm from
+//! a given source (the masked routing tables cannot cover them without
+//! violating the up*/down* discipline), while still being reachable by
+//! plain unicast over surviving paths. [`FabricMode`] is the shared cell
+//! through which the orchestrator tells every host how to cope:
+//!
+//! * **gate** — raised during the quiesce window; hosts abort the worm they
+//!   are mid-injection on (the switches are about to purge it anyway) and
+//!   stop injecting until the gate drops. Aborted and dropped packets are
+//!   counted; their payloads come back through the end-to-end
+//!   retransmission ledger ([`crate::recovery`]).
+//! * **degraded planner** — installed when the reroute leaves worm-coverage
+//!   holes. Each hardware multicast is split by
+//!   [`mintopo::route::plan_mcast_coverage`]: the coverable part still goes
+//!   as one multidestination worm, and the peeled remainder is served by
+//!   binomial-tree U-Min unicasts ([`crate::umin`]) over the surviving
+//!   paths, acknowledged through the same ACK ledger. On heal the
+//!   orchestrator clears the planner and hosts return to pure hardware
+//!   multicast.
+
+use mintopo::route::{plan_mcast_coverage, McastPlan, ReplicatePolicy, RouteTables};
+use mintopo::topology::Topology;
+use netsim::destset::DestSet;
+use netsim::ids::NodeId;
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+/// Coverage planner over the currently active (masked) routing tables.
+#[derive(Debug, Clone)]
+pub struct DegradePlanner {
+    /// The rerouted tables hosts' worms will actually be decoded against.
+    pub tables: Rc<RouteTables>,
+    /// Topology the tables were built for.
+    pub topo: Rc<Topology>,
+    /// Replication policy of the deployed switches.
+    pub policy: ReplicatePolicy,
+    /// Trace hop budget (protects against malformed tables looping).
+    pub max_hops: usize,
+}
+
+impl DegradePlanner {
+    /// Splits `dests` into the part one worm from `src` can cover and the
+    /// part that must fall back to unicast. A malformed-table trace error
+    /// degrades the whole set rather than panicking mid-run.
+    pub fn split(&self, src: NodeId, dests: &DestSet) -> McastPlan {
+        plan_mcast_coverage(
+            &self.tables,
+            &self.topo,
+            src,
+            dests,
+            self.policy,
+            self.max_hops,
+        )
+        .unwrap_or_else(|_| McastPlan {
+            worm: DestSet::empty(self.tables.n_hosts()),
+            peeled: dests.clone(),
+        })
+    }
+}
+
+/// Running totals of degradation activity, summed across all hosts.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct DegradeCounters {
+    /// Worms aborted mid-injection when the gate went up.
+    pub aborted_tx: u64,
+    /// Queued (not yet injected) packets dropped at the gate.
+    pub dropped_queued: u64,
+    /// Multicasts whose destination set was split by the planner.
+    pub split_mcasts: u64,
+    /// Destinations served through the U-Min unicast fallback.
+    pub peeled_dests: u64,
+}
+
+/// Shared fault-response mode cell between the orchestrator and all hosts.
+#[derive(Debug, Default)]
+pub struct FabricMode {
+    gated: Cell<bool>,
+    planner: RefCell<Option<DegradePlanner>>,
+    counters: RefCell<DegradeCounters>,
+}
+
+impl FabricMode {
+    /// Creates a healthy, ungated mode cell.
+    pub fn new() -> Rc<Self> {
+        Rc::new(FabricMode::default())
+    }
+
+    /// Raises the injection gate (quiesce drain window).
+    pub fn gate(&self) {
+        self.gated.set(true);
+    }
+
+    /// Lowers the injection gate.
+    pub fn ungate(&self) {
+        self.gated.set(false);
+    }
+
+    /// `true` while hosts must not inject.
+    pub fn gated(&self) -> bool {
+        self.gated.get()
+    }
+
+    /// Enters degraded mode: multicasts are split through `planner`.
+    pub fn degrade(&self, planner: DegradePlanner) {
+        *self.planner.borrow_mut() = Some(planner);
+    }
+
+    /// Leaves degraded mode (fabric healed): back to pure hardware worms.
+    pub fn heal(&self) {
+        *self.planner.borrow_mut() = None;
+    }
+
+    /// `true` while a degradation planner is installed.
+    pub fn degraded(&self) -> bool {
+        self.planner.borrow().is_some()
+    }
+
+    /// Splits a multicast under the installed planner; `None` when healthy
+    /// (callers send the whole set as one worm).
+    pub fn split(&self, src: NodeId, dests: &DestSet) -> Option<McastPlan> {
+        let plan = self
+            .planner
+            .borrow()
+            .as_ref()
+            .map(|p| p.split(src, dests))?;
+        if !plan.peeled.is_empty() {
+            let mut c = self.counters.borrow_mut();
+            c.split_mcasts += 1;
+            c.peeled_dests += plan.peeled.count() as u64;
+        }
+        Some(plan)
+    }
+
+    /// Snapshot of the degradation counters.
+    pub fn counters(&self) -> DegradeCounters {
+        *self.counters.borrow()
+    }
+
+    pub(crate) fn count_aborted_tx(&self) {
+        self.counters.borrow_mut().aborted_tx += 1;
+    }
+
+    pub(crate) fn count_dropped_queued(&self, n: u64) {
+        self.counters.borrow_mut().dropped_queued += n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_and_planner_toggles() {
+        let m = FabricMode::new();
+        assert!(!m.gated());
+        m.gate();
+        assert!(m.gated());
+        m.ungate();
+        assert!(!m.gated());
+        assert!(!m.degraded());
+        assert!(m.split(NodeId(0), &DestSet::full(4)).is_none());
+    }
+
+    #[test]
+    fn degraded_split_peels_unreachable_dests() {
+        use mintopo::topology::TopologyBuilder;
+        use netsim::ids::SwitchId;
+        // Two leaf switches under two roots; kill the crossing links so
+        // worms from host 0 cannot cover {h2} together with {h1}.
+        let mut b = TopologyBuilder::new(4);
+        let s0 = b.add_switch(4, 1);
+        let s1 = b.add_switch(4, 1);
+        let r0 = b.add_switch(2, 0);
+        let r1 = b.add_switch(2, 0);
+        b.attach_host(NodeId(0), s0, 0);
+        b.attach_host(NodeId(1), s0, 1);
+        b.attach_host(NodeId(2), s1, 0);
+        b.attach_host(NodeId(3), s1, 1);
+        b.connect(s0, 2, r0, 0);
+        b.connect(s0, 3, r1, 0);
+        b.connect(s1, 2, r0, 1);
+        b.connect(s1, 3, r1, 1);
+        let topo = Rc::new(b.build());
+        let dead = [(SwitchId(2), 1), (SwitchId(3), 0)];
+        let tables = Rc::new(RouteTables::build_masked(&topo, &dead));
+        let m = FabricMode::new();
+        m.degrade(DegradePlanner {
+            tables,
+            topo,
+            policy: ReplicatePolicy::ReturnOnly,
+            max_hops: 32,
+        });
+        let dests = DestSet::from_nodes(4, [1, 2].map(NodeId));
+        let plan = m.split(NodeId(0), &dests).expect("degraded");
+        assert_eq!(plan.worm, DestSet::from_nodes(4, [1].map(NodeId)));
+        assert_eq!(plan.peeled, DestSet::from_nodes(4, [2].map(NodeId)));
+        assert_eq!(m.counters().split_mcasts, 1);
+        assert_eq!(m.counters().peeled_dests, 1);
+        m.heal();
+        assert!(m.split(NodeId(0), &dests).is_none());
+    }
+}

@@ -19,6 +19,7 @@
 //!   phases of unicast hop messages, forwarded (and re-charged overheads)
 //!   at every intermediate destination.
 
+use crate::degrade::FabricMode;
 use crate::recovery::{RecoveryConfig, RecoveryShared};
 use crate::swmcast::{SwContext, SwCoordinator};
 use crate::traffic::{DeliveryHook, MessageSpec, TrafficSource};
@@ -164,6 +165,9 @@ pub struct Host {
     /// port carried a corruption mark (worms arrive contiguously).
     worm_corrupt: bool,
     outstanding: HashMap<MessageId, OutstandingSend>,
+    /// Fault-response mode (injection gate + degradation planner); `None`
+    /// keeps the fault-oblivious fast path.
+    mode: Option<Rc<FabricMode>>,
 }
 
 impl Host {
@@ -193,12 +197,22 @@ impl Host {
             rx: HashMap::new(),
             worm_corrupt: false,
             outstanding: HashMap::new(),
+            mode: None,
         }
     }
 
     /// Installs a delivery observer (e.g. a barrier engine).
     pub fn set_hook(&mut self, hook: Rc<RefCell<dyn DeliveryHook>>) {
         self.hook = Some(hook);
+    }
+
+    /// Attaches the shared fault-response mode cell. While its gate is up
+    /// this host aborts/holds injection; while its degradation planner is
+    /// installed, hardware multicasts are split into a coverable worm plus
+    /// U-Min unicast fallback for the peeled remainder. Payloads dropped at
+    /// the gate are only recovered when [`HostConfig::recovery`] is on.
+    pub fn set_fabric_mode(&mut self, mode: Rc<FabricMode>) {
+        self.mode = Some(mode);
     }
 
     /// This host's node id.
@@ -283,18 +297,25 @@ impl Host {
                 self.track_send(now, &msg, DestSet::from_nodes(self.cfg.n_hosts, [*dest]));
             }
             (MessageKind::Multicast(dests), McastScheme::HardwareBitString) => {
-                let max = self.max_payload(&RoutingHeader::BitString {
-                    dests: dests.clone(),
-                });
-                let pkts = packetize(
-                    &msg,
-                    max,
-                    self.cfg.n_hosts,
-                    self.cfg.bits_per_flit,
-                    &mut self.shared.pkt_ids.borrow_mut(),
-                );
-                self.schedule_packets(now, pkts);
-                self.track_send(now, &msg, dests.clone());
+                match self
+                    .mode
+                    .as_ref()
+                    .and_then(|m| m.split(self.cfg.node, dests))
+                {
+                    Some(plan) => {
+                        if !plan.worm.is_empty() {
+                            self.send_worm(now, &msg, &plan.worm);
+                            self.track_send(now, &msg, plan.worm.clone());
+                        }
+                        if !plan.peeled.is_empty() {
+                            self.send_peeled(now, id, now, &plan.peeled, spec.payload_flits);
+                        }
+                    }
+                    None => {
+                        self.send_worm(now, &msg, dests);
+                        self.track_send(now, &msg, dests.clone());
+                    }
+                }
             }
             (MessageKind::Multicast(dests), McastScheme::HardwareMultiport(tree)) => {
                 self.send_multiport(now, &msg, dests, &tree);
@@ -325,6 +346,58 @@ impl Host {
                 );
                 self.schedule_packets(now, pkts);
             }
+        }
+    }
+
+    /// Packetizes `msg` as one bit-string worm addressed to exactly `worm`
+    /// (a subset of the message's destinations when degraded) and schedules
+    /// it; returns the number of packets. Wheel tracking is the caller's
+    /// job — retransmissions must not reset their entry's backoff state.
+    fn send_worm(&mut self, now: Cycle, msg: &Message, worm: &DestSet) -> u64 {
+        let narrowed = Message::new(
+            msg.id(),
+            msg.src(),
+            MessageKind::Multicast(worm.clone()),
+            msg.payload_flits(),
+            msg.created(),
+        );
+        let max = self.max_payload(&RoutingHeader::BitString {
+            dests: worm.clone(),
+        });
+        let pkts = packetize(
+            &narrowed,
+            max,
+            self.cfg.n_hosts,
+            self.cfg.bits_per_flit,
+            &mut self.shared.pkt_ids.borrow_mut(),
+        );
+        let n = pkts.len() as u64;
+        self.schedule_packets(now, pkts);
+        n
+    }
+
+    /// Serves destinations no worm can reach through the U-Min binomial
+    /// unicast fallback. Each hop is an independently recoverable unicast
+    /// that delivers (and ACKs) the root message at its destination, so the
+    /// peeled destinations must NOT stay on the root's wheel entry.
+    fn send_peeled(
+        &mut self,
+        now: Cycle,
+        root: MessageId,
+        root_created: Cycle,
+        peeled: &DestSet,
+        payload_flits: u16,
+    ) {
+        if peeled.contains(self.cfg.node) {
+            self.shared
+                .tracker
+                .borrow_mut()
+                .deliver(root, self.cfg.node, now);
+        }
+        let list = Rc::new(umin::participant_list(self.cfg.node, peeled));
+        let n = list.len();
+        for h in umin::handoffs(0, n) {
+            self.send_hop(now, root, root_created, &list, h, payload_flits);
         }
     }
 
@@ -512,7 +585,19 @@ impl Host {
                 o.deadline = rcfg.deadline_after(now, o.attempts);
                 (o.msg.clone(), o.remaining.clone())
             };
-            let n_packets = self.retransmit(now, &msg, &remaining);
+            let (n_packets, offloaded) = self.retransmit(now, &msg, &remaining);
+            // Destinations handed to the U-Min fallback ride their own hop
+            // ledger entries; leaving them here would retransmit the worm
+            // (and respawn hops) forever, since hop deliveries ACK the hop
+            // id, not the root.
+            if !offloaded.is_empty() {
+                if let Some(o) = self.outstanding.get_mut(&id) {
+                    o.remaining.subtract(&offloaded);
+                    if o.remaining.is_empty() {
+                        self.outstanding.remove(&id);
+                    }
+                }
+            }
             let mut rec = self.shared.recovery.borrow_mut();
             rec.counters.retransmits += 1;
             rec.counters.packets_retransmitted += n_packets;
@@ -520,10 +605,13 @@ impl Host {
     }
 
     /// Re-injects `msg` toward exactly `remaining`; returns the number of
-    /// worms scheduled. The resend carries the original message id (so
-    /// receivers dedup and latency is charged from the first attempt) and
-    /// pays the software send overhead again.
-    fn retransmit(&mut self, now: Cycle, msg: &Message, remaining: &DestSet) -> u64 {
+    /// worms scheduled plus the destinations offloaded to the U-Min
+    /// fallback (which the caller must drop from the wheel entry). The
+    /// resend carries the original message id (so receivers dedup and
+    /// latency is charged from the first attempt) and pays the software
+    /// send overhead again.
+    fn retransmit(&mut self, now: Cycle, msg: &Message, remaining: &DestSet) -> (u64, DestSet) {
+        let none = DestSet::empty(self.cfg.n_hosts);
         match (msg.kind(), self.cfg.scheme.clone()) {
             (MessageKind::Unicast(_), _) => {
                 let max = self.max_payload(&RoutingHeader::Unicast {
@@ -538,37 +626,34 @@ impl Host {
                 );
                 let n = pkts.len() as u64;
                 self.schedule_packets(now, pkts);
-                n
+                (n, none)
             }
             (MessageKind::Multicast(_), McastScheme::HardwareBitString) => {
-                // One worm per segment, addressed only to the laggards.
-                let narrowed = Message::new(
-                    msg.id(),
-                    msg.src(),
-                    MessageKind::Multicast(remaining.clone()),
-                    msg.payload_flits(),
-                    msg.created(),
-                );
-                let max = self.max_payload(&RoutingHeader::BitString {
-                    dests: remaining.clone(),
-                });
-                let pkts = packetize(
-                    &narrowed,
-                    max,
-                    self.cfg.n_hosts,
-                    self.cfg.bits_per_flit,
-                    &mut self.shared.pkt_ids.borrow_mut(),
-                );
-                let n = pkts.len() as u64;
-                self.schedule_packets(now, pkts);
-                n
+                // One worm per segment, addressed only to the laggards —
+                // re-split when the fabric degraded since the first send.
+                let (worm, peeled) = match self
+                    .mode
+                    .as_ref()
+                    .and_then(|m| m.split(self.cfg.node, remaining))
+                {
+                    Some(plan) => (plan.worm, plan.peeled),
+                    None => (remaining.clone(), none),
+                };
+                let mut n = 0u64;
+                if !worm.is_empty() {
+                    n += self.send_worm(now, msg, &worm);
+                }
+                if !peeled.is_empty() {
+                    self.send_peeled(now, msg.id(), msg.created(), &peeled, msg.payload_flits());
+                }
+                (n, peeled)
             }
             (MessageKind::Multicast(_), McastScheme::HardwareMultiport(tree)) => {
                 // Replan worms over the shrunken set.
                 let before = self.pending.iter().map(|(_, p)| p.len()).sum::<usize>();
                 self.send_multiport(now, msg, remaining, &tree);
                 let after = self.pending.iter().map(|(_, p)| p.len()).sum::<usize>();
-                (after - before) as u64
+                ((after - before) as u64, none)
             }
             (MessageKind::Multicast(_), McastScheme::SoftwareBinomial)
             | (MessageKind::BarrierGather { .. }, _) => {
@@ -623,6 +708,26 @@ impl Component for Host {
             self.nic.extend(pkts);
         }
 
+        // Quiesce gate: abort the worm being injected (the switches are
+        // about to purge it) and toss queued packets — their headers were
+        // planned against tables that are being replaced, and a stale
+        // bit-string could be unroutable after the swap. Tracked messages
+        // come back through the retransmission wheel.
+        if self.mode.as_ref().is_some_and(|m| m.gated()) {
+            let mode = self.mode.as_ref().expect("checked").clone();
+            if self.tx.take().is_some() {
+                mode.count_aborted_tx();
+            }
+            let dropped =
+                (self.nic.len() + self.pending.iter().map(|(_, p)| p.len()).sum::<usize>()) as u64;
+            if dropped > 0 {
+                self.nic.clear();
+                self.pending.clear();
+                mode.count_dropped_queued(dropped);
+            }
+            return;
+        }
+
         // Injection at link rate.
         if self.tx.is_none() {
             self.tx = self.nic.pop_front().map(|p| (p, 0));
@@ -673,6 +778,15 @@ mod tests {
     }
 
     fn world(n: usize, scheme: McastScheme, schedules: Vec<Vec<(Cycle, MessageSpec)>>) -> World {
+        world_with(n, scheme, schedules, None)
+    }
+
+    fn world_with(
+        n: usize,
+        scheme: McastScheme,
+        schedules: Vec<Vec<(Cycle, MessageSpec)>>,
+        recovery: Option<RecoveryConfig>,
+    ) -> World {
         let mut b = TopologyBuilder::new(n);
         let sw = b.add_switch(8, 0);
         for h in 0..n {
@@ -702,7 +816,7 @@ mod tests {
                 send_overhead: 40,
                 recv_overhead: 20,
                 scheme: scheme.clone(),
-                recovery: None,
+                recovery: recovery.clone(),
             };
             let host = Host::new(
                 cfg,
@@ -818,6 +932,39 @@ mod tests {
         assert_eq!(t.completed_mcasts(), 1);
         assert_eq!(t.deliveries(), 2, "self + host 2");
         assert_eq!(t.outstanding(), 0);
+    }
+
+    #[test]
+    fn retransmit_race_dedups_and_settles() {
+        // Timeout far below the delivery latency: the sender retransmits
+        // while the original copy is still in flight, so the ACK lands
+        // after a retransmission already fired and the receivers see
+        // several copies of the same message.
+        let rcfg = RecoveryConfig {
+            timeout: 32,
+            timeout_cap: 32,
+            max_retries: 8,
+        };
+        let spec = mcast_spec(&[1, 2, 3], 4, 16);
+        let mut w = world_with(
+            4,
+            McastScheme::HardwareBitString,
+            vec![vec![(1, spec)], vec![], vec![], vec![]],
+            Some(rcfg),
+        );
+        w.engine.run_for(4_000);
+        let t = w.shared.tracker.borrow();
+        assert_eq!(t.completed_mcasts(), 1, "one logical completion");
+        assert_eq!(t.deliveries(), 3, "no double delivery");
+        assert_eq!(t.outstanding(), 0);
+        drop(t);
+        let rec = w.shared.recovery.borrow();
+        assert!(rec.counters.retransmits >= 1, "the race actually happened");
+        assert!(
+            rec.counters.duplicate_discards >= 1,
+            "duplicate copies were discarded, not re-delivered"
+        );
+        assert_eq!(rec.counters.gave_up, 0, "acks eventually stop the wheel");
     }
 
     #[test]

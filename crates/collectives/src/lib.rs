@@ -20,6 +20,7 @@
 
 pub mod barrier;
 pub mod combining;
+pub mod degrade;
 pub mod host;
 pub mod recovery;
 pub mod reduce;
@@ -29,6 +30,7 @@ pub mod umin;
 
 pub use barrier::{BarrierEngine, BarrierSource};
 pub use combining::{CombiningBarrierEngine, CombiningBarrierSource};
+pub use degrade::{DegradeCounters, DegradePlanner, FabricMode};
 pub use host::{Host, HostConfig, HostShared, McastScheme, MessageIdGen};
 pub use recovery::{RecoveryConfig, RecoveryCounters, RecoveryShared};
 pub use reduce::{ReduceEngine, ReduceSource};

@@ -85,11 +85,20 @@ impl RecoveryShared {
         Self::default()
     }
 
+    /// Records that `node` acknowledged `msg`. Idempotent: duplicate and
+    /// reordered ACKs (one per retransmitted copy, or arriving after the
+    /// sender already dropped its wheel entry) simply return `false` with
+    /// no side effect — an ACK can never be *un*-recorded. Returns `true`
+    /// only the first time.
+    pub fn ack(&mut self, msg: MessageId, node: NodeId) -> bool {
+        self.acked.entry(msg).or_default().insert(node)
+    }
+
     /// Records that `node` completed `msg`. Returns `false` — and counts a
     /// duplicate — if it had already been recorded, in which case the
     /// caller must not deliver the message again.
     pub fn first_delivery(&mut self, msg: MessageId, node: NodeId) -> bool {
-        if self.acked.entry(msg).or_default().insert(node) {
+        if self.ack(msg, node) {
             true
         } else {
             self.counters.duplicate_discards += 1;
@@ -117,6 +126,37 @@ mod tests {
         // A different node on the same message is not a duplicate.
         assert!(r.first_delivery(MessageId(7), NodeId(4)));
         assert!(!r.is_acked(MessageId(7), NodeId(5)));
+    }
+
+    #[test]
+    fn duplicate_and_reordered_acks_are_idempotent() {
+        let mut r = RecoveryShared::new();
+        // Dup ACK: the second (and third) report of the same ack is a
+        // no-op — recorded once, never counted as a data duplicate.
+        assert!(r.ack(MessageId(1), NodeId(0)));
+        assert!(!r.ack(MessageId(1), NodeId(0)));
+        assert!(!r.ack(MessageId(1), NodeId(0)));
+        assert!(r.is_acked(MessageId(1), NodeId(0)));
+        assert_eq!(r.counters.duplicate_discards, 0);
+        // Reordered across nodes/messages: order of arrival is irrelevant.
+        assert!(r.ack(MessageId(2), NodeId(1)));
+        assert!(r.ack(MessageId(1), NodeId(1)));
+        assert!(r.is_acked(MessageId(2), NodeId(1)));
+        assert!(r.is_acked(MessageId(1), NodeId(1)));
+        // A late ACK for a message the sender has long forgotten (gave up
+        // or completed) is accepted harmlessly and stays queryable.
+        assert!(r.ack(MessageId(999), NodeId(3)));
+        assert!(!r.ack(MessageId(999), NodeId(3)));
+    }
+
+    #[test]
+    fn delivery_after_ack_is_a_duplicate() {
+        // ACK-then-delivery interleaving: if the out-of-band ack beat the
+        // (retransmitted) data copy, the copy must be discarded.
+        let mut r = RecoveryShared::new();
+        assert!(r.ack(MessageId(5), NodeId(2)));
+        assert!(!r.first_delivery(MessageId(5), NodeId(2)));
+        assert_eq!(r.counters.duplicate_discards, 1);
     }
 
     #[test]

@@ -16,7 +16,9 @@
 //! is non-zero iff any linted config has an error-severity finding, so
 //! the tool slots directly into CI and sweep-launcher scripts.
 
+use collectives::RecoveryConfig;
 use mdworm::config::{McastImpl, SwitchArch, SystemConfig, TopologyKind};
+use mdworm::respond::ResponseConfig;
 use mintopo::route::ReplicatePolicy;
 use switches::{ReplicationMode, UpSelect};
 
@@ -106,6 +108,57 @@ fn parse_config(text: &str) -> Result<SystemConfig, String> {
             "bits_per_flit" => cfg.bits_per_flit = parse_usize(key)?,
             "barrier_combining" => cfg.barrier_combining = value.parse().map_err(|_| bad(key))?,
             "seed" => cfg.seed = parse_u64(key)?,
+            // End-to-end recovery (ACK ledger + retransmission).
+            "recovery" => match value {
+                "on" | "true" => {
+                    cfg.recovery.get_or_insert_with(RecoveryConfig::default);
+                }
+                "off" | "false" => cfg.recovery = None,
+                _ => return Err(bad("recovery (on|off)")),
+            },
+            "recovery_timeout" => {
+                cfg.recovery
+                    .get_or_insert_with(RecoveryConfig::default)
+                    .timeout = parse_u64(key)?
+            }
+            "recovery_timeout_cap" => {
+                cfg.recovery
+                    .get_or_insert_with(RecoveryConfig::default)
+                    .timeout_cap = parse_u64(key)?
+            }
+            "recovery_max_retries" => {
+                cfg.recovery
+                    .get_or_insert_with(RecoveryConfig::default)
+                    .max_retries = value.parse().map_err(|_| bad(key))?
+            }
+            // Online fault response (detect / reroute / quiesce / degrade).
+            "response" => match value {
+                "on" | "true" => {
+                    cfg.response.get_or_insert_with(ResponseConfig::default);
+                }
+                "off" | "false" => cfg.response = None,
+                _ => return Err(bad("response (on|off)")),
+            },
+            "response_debounce" => {
+                cfg.response
+                    .get_or_insert_with(ResponseConfig::default)
+                    .debounce = parse_u64(key)?
+            }
+            "response_drain_wait" => {
+                cfg.response
+                    .get_or_insert_with(ResponseConfig::default)
+                    .drain_wait = parse_u64(key)?
+            }
+            "response_purge_max" => {
+                cfg.response
+                    .get_or_insert_with(ResponseConfig::default)
+                    .purge_max = parse_u64(key)?
+            }
+            "response_max_hops" => {
+                cfg.response
+                    .get_or_insert_with(ResponseConfig::default)
+                    .max_hops = parse_usize(key)?
+            }
             _ => return Err(format!("line {}: unknown key `{key}`", lineno + 1)),
         }
     }
@@ -250,6 +303,53 @@ mod tests {
                 extra_links: 3,
                 seed: 7
             }
+        );
+    }
+
+    #[test]
+    fn recovery_and_response_keys_parse_in_any_order() {
+        // Tuning keys materialize the block even without an `= on` line.
+        let cfg = parse_config(
+            "
+            recovery_timeout = 5000
+            recovery = on
+            recovery_max_retries = 3
+            response_debounce = 128
+            response = on
+            response_purge_max = 512
+            response_max_hops = 32
+            ",
+        )
+        .expect("parses");
+        let rec = cfg.recovery.expect("recovery on");
+        assert_eq!(rec.timeout, 5_000);
+        assert_eq!(rec.max_retries, 3);
+        assert_eq!(rec.timeout_cap, RecoveryConfig::default().timeout_cap);
+        let resp = cfg.response.expect("response on");
+        assert_eq!(resp.debounce, 128);
+        assert_eq!(resp.purge_max, 512);
+        assert_eq!(resp.max_hops, 32);
+        assert_eq!(resp.drain_wait, ResponseConfig::default().drain_wait);
+
+        let cfg = parse_config("response = on\nresponse = off").expect("parses");
+        assert!(cfg.response.is_none(), "later `off` wins");
+        let err = parse_config("response = maybe").unwrap_err();
+        assert!(err.contains("response"), "{err}");
+    }
+
+    #[test]
+    fn response_config_lints_through_the_full_report() {
+        // `response = on` with multiport headers is a contradiction the
+        // static analyzer must catch without simulating.
+        let cfg = parse_config("response = on\nrecovery = on\nmcast = mp").expect("parses");
+        let report = cfg.report();
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .any(|d| d.code == "response-needs-bitstring"),
+            "{:?}",
+            report.diagnostics
         );
     }
 

@@ -3,7 +3,7 @@
 
 use crate::config::{McastImpl, SwitchArch, SystemConfig, TopologyKind};
 use collectives::traffic::DeliveryHook;
-use collectives::{Host, HostConfig, HostShared, McastScheme, TrafficSource};
+use collectives::{FabricMode, Host, HostConfig, HostShared, McastScheme, TrafficSource};
 use mintopo::irregular::Irregular;
 use mintopo::karytree::KaryTree;
 use mintopo::route::RouteTables;
@@ -14,7 +14,7 @@ use netsim::ids::{LinkId, NodeId, SwitchId};
 use netsim::stats::DeliveryTracker;
 use std::cell::RefCell;
 use std::rc::Rc;
-use switches::{CentralBufferSwitch, InputBufferedSwitch, SwitchConfig, SwitchStats};
+use switches::{CentralBufferSwitch, InputBufferedSwitch, SwitchConfig, SwitchCtl, SwitchStats};
 
 /// Link ids grouped by role, for utilization accounting.
 #[derive(Debug, Default, Clone)]
@@ -61,6 +61,15 @@ pub struct System {
     pub sw_in: Vec<Vec<LinkId>>,
     /// Per switch, per port: the link driven by that output port.
     pub sw_out: Vec<Vec<LinkId>>,
+    /// Per-switch out-of-band control cells (purge / table swap), indexed
+    /// by switch id. Held by the fault-response orchestrator.
+    pub switch_ctls: Vec<Rc<SwitchCtl>>,
+    /// Shared injection-gate / degradation cell every host watches.
+    pub fabric_mode: Rc<FabricMode>,
+    /// The routing tables currently active in the switches. The
+    /// fault-response orchestrator replaces this handle when a masked
+    /// reroute is installed.
+    pub tables: Rc<RouteTables>,
 }
 
 impl System {
@@ -220,10 +229,13 @@ pub fn build_system(
         None
     };
     let mut switch_stats = Vec::with_capacity(n_sw);
+    let mut switch_ctls = Vec::with_capacity(n_sw);
     for s in 0..n_sw {
         let id = SwitchId::from(s);
         let stats = Rc::new(RefCell::new(SwitchStats::default()));
         switch_stats.push(stats.clone());
+        let ctl = SwitchCtl::new();
+        switch_ctls.push(ctl.clone());
         let cfg = SwitchConfig {
             ports: topology.ports(id),
             ..swcfg.clone()
@@ -233,6 +245,7 @@ pub fn build_system(
         match config.arch {
             SwitchArch::CentralBuffer => {
                 let mut switch = CentralBufferSwitch::new(id, cfg, tables.clone(), stats);
+                switch.set_ctl(ctl);
                 if let Some(plan) = &combining_plan {
                     let expected = plan.expected[s];
                     if expected > 0 {
@@ -246,17 +259,16 @@ pub fn build_system(
                 engine.add_component(Box::new(switch), inputs, outputs);
             }
             SwitchArch::InputBuffered => {
-                engine.add_component(
-                    Box::new(InputBufferedSwitch::new(id, cfg, tables.clone(), stats)),
-                    inputs,
-                    outputs,
-                );
+                let mut switch = InputBufferedSwitch::new(id, cfg, tables.clone(), stats);
+                switch.set_ctl(ctl);
+                engine.add_component(Box::new(switch), inputs, outputs);
             }
         }
     }
 
     // Hosts.
     let shared = HostShared::new(topology.n_hosts());
+    let fabric_mode = FabricMode::new();
     let scheme = match config.mcast {
         McastImpl::HwBitString => McastScheme::HardwareBitString,
         McastImpl::HwMultiport => {
@@ -277,6 +289,7 @@ pub fn build_system(
             recovery: config.recovery.clone(),
         };
         let mut host = Host::new(hcfg, shared.clone(), source);
+        host.set_fabric_mode(fabric_mode.clone());
         if let Some(hook) = &hook {
             host.set_hook(hook.clone());
         }
@@ -301,6 +314,9 @@ pub fn build_system(
         links,
         sw_in: dense(sw_in),
         sw_out: dense(sw_out),
+        switch_ctls,
+        fabric_mode,
+        tables,
     }
 }
 

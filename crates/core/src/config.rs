@@ -8,6 +8,7 @@
 //! [`SystemConfig::validate`] surfaces that report's first error as a
 //! [`ConfigError`] so `Result`-based callers keep working unchanged.
 
+use crate::respond::ResponseConfig;
 use collectives::RecoveryConfig;
 use mdw_analysis::{analyze_fabric, switch_sizing, ArchClass, ConfigReport};
 use mintopo::route::RouteTables;
@@ -137,6 +138,9 @@ pub struct SystemConfig {
     /// hosts; `None` disables recovery, keeping fault-free runs
     /// bit-identical to builds without the fault layer.
     pub recovery: Option<RecoveryConfig>,
+    /// Online fault response (debounced detection, quiesce, vetted
+    /// reroute, graceful degradation); `None` disables the responder.
+    pub response: Option<ResponseConfig>,
 }
 
 impl Default for SystemConfig {
@@ -158,6 +162,7 @@ impl Default for SystemConfig {
             seed: 0xD0E5_1997,
             barrier_combining: false,
             recovery: None,
+            response: None,
         }
     }
 }
@@ -238,6 +243,45 @@ impl SystemConfig {
                         "recovery timeout cap ({}) below base timeout ({})",
                         r.timeout_cap, r.timeout
                     ),
+                );
+            }
+        }
+        if let Some(resp) = &self.response {
+            if self.mcast == McastImpl::HwMultiport {
+                report.error(
+                    "response-needs-bitstring",
+                    "fault response reroutes by re-deriving bit-string reach \
+                     tables; multiport-encoded headers bake port indices of the \
+                     unmasked tree into the worm and cannot survive a table swap",
+                );
+            }
+            if self.barrier_combining {
+                report.error(
+                    "response-excludes-combining",
+                    "switch barrier combining precomputes its gather plan \
+                     against the original tables; a masked reroute would \
+                     silently break the combining tree",
+                );
+            }
+            if resp.max_hops < 1 {
+                report.error(
+                    "response-hops-zero",
+                    "response max_hops must be positive for coverage traces",
+                );
+            }
+            if resp.purge_max < 1 {
+                report.error(
+                    "response-purge-zero",
+                    "response purge_max must be positive: a zero-cycle purge \
+                     window can never confirm the fabric drained",
+                );
+            }
+            if self.recovery.is_none() {
+                report.warning(
+                    "response-needs-recovery",
+                    "fault response without end-to-end recovery loses every \
+                     message the quiesce gate drops or the purge kills — \
+                     enable recovery for lossless outage handling",
                 );
             }
         }

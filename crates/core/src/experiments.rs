@@ -20,6 +20,7 @@
 use crate::build::build_system;
 use crate::config::{McastImpl, SwitchArch, SystemConfig, TopologyKind};
 use crate::report::{f, TableRow};
+use crate::respond::{FaultResponder, ResponseConfig};
 use crate::sim::{RunConfig, RunOutcome};
 use crate::sweep::{self, SweepJob};
 use crate::workload::TrafficSpec;
@@ -1099,6 +1100,222 @@ pub fn e16_fault_sweep(
         .collect()
 }
 
+// ---------------------------------------------------------------------
+// E17: online fault response (detect → reroute → degrade → heal)
+// ---------------------------------------------------------------------
+
+/// One phase of the fault-response sweep for one scheme (E17).
+#[derive(Debug, Clone)]
+pub struct FaultResponseRow {
+    /// Scheme label (CB-HW / IB-HW).
+    pub scheme: String,
+    /// Fabric phase: healthy / rerouted / degraded / healed.
+    pub phase: &'static str,
+    /// Multicasts completed during the phase.
+    pub mcasts: u64,
+    /// Mean multicast latency to last destination over the phase (cycles).
+    pub mcast_mean: f64,
+    /// Delivered payload flits / node / cycle over the phase.
+    pub throughput: f64,
+    /// Destinations served by the U-Min unicast fallback in the phase.
+    pub peeled: u64,
+    /// Retransmissions fired in the phase.
+    pub retransmits: u64,
+    /// Switch packet replications in the phase (hardware multicast alive).
+    pub replications: u64,
+    /// Masked reroutes staged in the phase.
+    pub reroutes: u64,
+    /// Reroute candidates the deadlock vet rejected in the phase.
+    pub rejected: u64,
+    /// Messages still undelivered at the end of the phase (only the final
+    /// phase may legitimately be non-zero, and only under saturation).
+    pub leftover: usize,
+}
+
+impl TableRow for FaultResponseRow {
+    fn headers() -> Vec<&'static str> {
+        vec![
+            "scheme",
+            "phase",
+            "mcasts",
+            "mcast_mean",
+            "throughput",
+            "peeled",
+            "retransmits",
+            "replications",
+            "reroutes",
+            "rejected",
+            "leftover",
+        ]
+    }
+    fn cells(&self) -> Vec<String> {
+        vec![
+            self.scheme.clone(),
+            self.phase.to_string(),
+            self.mcasts.to_string(),
+            f(self.mcast_mean),
+            f(self.throughput),
+            self.peeled.to_string(),
+            self.retransmits.to_string(),
+            self.replications.to_string(),
+            self.reroutes.to_string(),
+            self.rejected.to_string(),
+            self.leftover.to_string(),
+        ]
+    }
+}
+
+/// Cumulative counters captured at a phase boundary; rows are deltas
+/// between consecutive snapshots.
+#[derive(Debug, Clone, Copy)]
+struct PhaseSnap {
+    at: netsim::Cycle,
+    mcasts: u64,
+    latency_sum: f64,
+    payload: u64,
+    peeled: u64,
+    retransmits: u64,
+    replications: u64,
+    reroutes: u64,
+    rejected: u64,
+}
+
+fn phase_snap(sys: &crate::build::System, resp: &FaultResponder) -> PhaseSnap {
+    let tracker = sys.tracker();
+    let tracker = tracker.borrow();
+    let lat = tracker.mcast_last.summary();
+    PhaseSnap {
+        at: sys.engine.now(),
+        mcasts: lat.count,
+        latency_sum: lat.mean * lat.count as f64,
+        payload: tracker.payload_delivered(),
+        peeled: sys.fabric_mode.counters().peeled_dests,
+        retransmits: sys.shared.recovery.borrow().counters.retransmits,
+        replications: sys
+            .switch_stats
+            .iter()
+            .map(|s| s.borrow().packets_replicated)
+            .sum(),
+        reroutes: resp.counters().reroutes,
+        rejected: resp.counters().reroutes_rejected,
+    }
+}
+
+/// Drives one scheme through the four-phase outage script:
+/// `[0, P)` healthy, `[P, 2P)` one root→leaf cut (reroute keeps full worm
+/// coverage), `[2P, 3P)` a crossed cut (worm-coverage holes force the
+/// U-Min fallback), `[3P, 4P)` healed, then a drain for recovery to finish.
+fn e17_drive(
+    label: &str,
+    cfg: SystemConfig,
+    phase_len: netsim::Cycle,
+    load: f64,
+    degree: usize,
+    len: u16,
+) -> Vec<FaultResponseRow> {
+    let k = match cfg.topology {
+        TopologyKind::KaryTree { k, n: 2 } => k,
+        other => panic!("E17 runs on 2-stage k-ary trees, got {other:?}"),
+    };
+    let n = cfg.n_hosts();
+    let stop_at = 4 * phase_len;
+    let spec = TrafficSpec::multiple_multicast(load, degree, len);
+    let sources = crate::workload::make_sources(&spec, n, cfg.seed, Some(stop_at));
+    let mut sys = build_system(cfg, sources, None);
+
+    // Representative hosts on two distinct non-zero leaves.
+    let d1 = NodeId::from(k);
+    let d2 = NodeId::from(2 * k);
+    let (single, _) = crate::respond::outage::single_cut(&sys, d1);
+    sys.engine.script_outage(single, phase_len, 3 * phase_len);
+    for (link, _) in crate::respond::outage::crossed_cut(&sys, d1, d2) {
+        if link != single {
+            sys.engine.script_outage(link, 2 * phase_len, 3 * phase_len);
+        }
+    }
+
+    let mut responder = FaultResponder::new(ResponseConfig::default(), &mut sys);
+    let mut snaps = vec![phase_snap(&sys, &responder)];
+    for boundary in [phase_len, 2 * phase_len, 3 * phase_len, stop_at] {
+        while sys.engine.now() < boundary {
+            let step = 32.min(boundary - sys.engine.now());
+            sys.engine.run_for(step);
+            responder.poll(&mut sys);
+        }
+        if boundary < stop_at {
+            snaps.push(phase_snap(&sys, &responder));
+        }
+    }
+    // Drain: recovery re-delivers whatever the outages and purges cost.
+    let drain_end = sys.engine.now() + 50 * phase_len;
+    while sys.tracker().borrow().outstanding() > 0 && sys.engine.now() < drain_end {
+        sys.engine.run_for(100);
+        responder.poll(&mut sys);
+    }
+    snaps.push(phase_snap(&sys, &responder));
+    let leftover = sys.tracker().borrow().outstanding();
+
+    snaps
+        .windows(2)
+        .zip(["healthy", "rerouted", "degraded", "healed"])
+        .map(|(w, phase)| {
+            let (a, b) = (w[0], w[1]);
+            let mcasts = b.mcasts - a.mcasts;
+            FaultResponseRow {
+                scheme: label.to_string(),
+                phase,
+                mcasts,
+                mcast_mean: if mcasts > 0 {
+                    (b.latency_sum - a.latency_sum) / mcasts as f64
+                } else {
+                    0.0
+                },
+                throughput: (b.payload - a.payload) as f64 / n as f64 / (b.at - a.at).max(1) as f64,
+                peeled: b.peeled - a.peeled,
+                retransmits: b.retransmits - a.retransmits,
+                replications: b.replications - a.replications,
+                reroutes: b.reroutes - a.reroutes,
+                rejected: b.rejected - a.rejected,
+                leftover: if phase == "healed" { leftover } else { 0 },
+            }
+        })
+        .collect()
+}
+
+/// E17 (robustness extension): the full online fault-response pipeline
+/// measured phase by phase — healthy baseline, vetted reroute around a
+/// single cut, graceful degradation under a crossed cut that defeats every
+/// single-worm covering, and restoration after heal — for both buffer
+/// organizations.
+pub fn e17_fault_response(
+    base: &SystemConfig,
+    phase_len: netsim::Cycle,
+    load: f64,
+    degree: usize,
+    len: u16,
+) -> Vec<FaultResponseRow> {
+    let mut jobs = Vec::new();
+    for (label, arch) in [
+        ("CB-HW", SwitchArch::CentralBuffer),
+        ("IB-HW", SwitchArch::InputBuffered),
+    ] {
+        let cfg = SystemConfig {
+            arch,
+            mcast: McastImpl::HwBitString,
+            recovery: Some(RecoveryConfig::default()),
+            response: Some(crate::respond::ResponseConfig::default()),
+            ..base.clone()
+        };
+        jobs.push((label, cfg));
+    }
+    sweep::parallel_map(jobs, sweep::jobs(), |(label, cfg)| {
+        e17_drive(label, cfg, phase_len, load, degree, len)
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1107,6 +1324,46 @@ mod tests {
         SystemConfig {
             topology: TopologyKind::KaryTree { k: 2, n: 3 }, // 8 hosts
             ..SystemConfig::default()
+        }
+    }
+
+    #[test]
+    fn e17_phases_reroute_degrade_and_heal_losslessly() {
+        let base = SystemConfig {
+            topology: TopologyKind::KaryTree { k: 4, n: 2 }, // 16 hosts
+            ..SystemConfig::default()
+        };
+        let rows = e17_fault_response(&base, 2_500, 0.04, 4, 16);
+        assert_eq!(rows.len(), 8, "2 schemes x 4 phases");
+        for r in &rows {
+            assert_eq!(r.leftover, 0, "{}/{} lost messages", r.scheme, r.phase);
+            assert_eq!(
+                r.rejected, 0,
+                "honest masked rebuilds never fail the deadlock vet"
+            );
+            assert!(
+                r.mcasts > 0,
+                "{}/{} completed no multicasts",
+                r.scheme,
+                r.phase
+            );
+        }
+        for scheme in ["CB-HW", "IB-HW"] {
+            let get = |phase: &str| {
+                rows.iter()
+                    .find(|r| r.scheme == scheme && r.phase == phase)
+                    .expect("phase row")
+            };
+            assert!(get("rerouted").reroutes >= 1, "{scheme} must reroute");
+            assert_eq!(get("healthy").peeled, 0, "{scheme} healthy never peels");
+            assert!(
+                get("degraded").peeled > 0,
+                "{scheme} crossed cut must force the U-Min fallback"
+            );
+            assert!(
+                get("healed").replications > 0,
+                "{scheme} hardware replication must resume after heal"
+            );
         }
     }
 

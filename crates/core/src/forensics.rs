@@ -50,6 +50,10 @@ pub struct WaitEdge {
 pub struct DeadlockReport {
     /// Cycle at which the snapshot was taken.
     pub at_cycle: Cycle,
+    /// Cycle of the last observed global flit progress before the
+    /// watchdog fired. `at_cycle - last_progress_cycle` is how long the
+    /// fabric sat frozen before the harness gave up on it.
+    pub last_progress_cycle: Cycle,
     /// Messages still undelivered.
     pub outstanding_messages: usize,
     /// Per-switch state, omitting completely idle switches.
@@ -63,11 +67,12 @@ pub struct DeadlockReport {
     pub cycle: Vec<usize>,
 }
 
-/// Captures a [`DeadlockReport`] from a stuck system.
+/// Captures a [`DeadlockReport`] from a stuck system. `last_progress` is
+/// the cycle the caller's watchdog last saw a flit move.
 ///
 /// Runs the engine for one extra cycle so every switch can deposit its
 /// snapshot (harmless: nothing can move in a deadlock).
-pub fn capture_deadlock_report(sys: &mut System) -> DeadlockReport {
+pub fn capture_deadlock_report(sys: &mut System, last_progress: Cycle) -> DeadlockReport {
     for st in &sys.switch_stats {
         st.borrow_mut().forensics_requested = true;
     }
@@ -113,6 +118,7 @@ pub fn capture_deadlock_report(sys: &mut System) -> DeadlockReport {
     let cycle = find_cycle(&edges);
     DeadlockReport {
         at_cycle: sys.engine.now(),
+        last_progress_cycle: last_progress,
         outstanding_messages: sys.tracker().borrow().outstanding(),
         switches,
         wait_edges: edges,
@@ -237,8 +243,10 @@ mod system_tests {
             "the crossed multicasts must wedge"
         );
 
-        let report = capture_deadlock_report(&mut sys);
+        let report = capture_deadlock_report(&mut sys, last_progress);
         assert!(report.outstanding_messages > 0);
+        assert_eq!(report.last_progress_cycle, last_progress);
+        assert!(report.at_cycle > report.last_progress_cycle);
         assert!(!report.switches.is_empty());
         let worms: Vec<_> = report
             .switches
@@ -269,6 +277,7 @@ mod system_tests {
         let json = crate::report::deadlock_json(&report);
         assert!(json.contains("\"cycle\": ["));
         assert!(json.contains("head-blocked"));
+        assert!(json.contains(&format!("\"last_progress_cycle\": {last_progress}")));
     }
 }
 

@@ -78,6 +78,10 @@ pub fn deadlock_json(r: &DeadlockReport) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"at_cycle\": {},\n", r.at_cycle));
     out.push_str(&format!(
+        "  \"last_progress_cycle\": {},\n",
+        r.last_progress_cycle
+    ));
+    out.push_str(&format!(
         "  \"outstanding_messages\": {},\n",
         r.outstanding_messages
     ));

@@ -1,0 +1,410 @@
+//! Online fault response: detection → quiesce → reroute → degrade → heal
+//! (DESIGN.md §10).
+//!
+//! The [`FaultResponder`] models an SP2-style service processor sitting
+//! beside the fabric. It watches the engine's link up/down event stream
+//! through a debounced [`netsim::health::FabricHealth`] view and, whenever
+//! the set of confirmed-dead *fabric* ports changes, runs the response
+//! protocol:
+//!
+//! 1. **gate** — hosts stop injecting ([`collectives::FabricMode`]);
+//!    ejection keeps draining, so worms already past the cut complete;
+//! 2. **drain + purge** — after a grace window the per-switch
+//!    [`switches::SwitchCtl`] purge command kills whatever is still
+//!    resident (wedged against the dead link), returning credits so
+//!    link-level conservation holds; the killed payloads come back through
+//!    the end-to-end retransmission ledger;
+//! 3. **reroute** — new LCA tables are derived with the dead ports masked
+//!    ([`mintopo::route::RouteTables::build_masked`]) and vetted by the
+//!    static deadlock analyzer ([`mdw_analysis::vet_reroute`]). A candidate
+//!    whose channel-dependency graph has a cycle is *rejected*: the fabric
+//!    stays on the old tables and runs degraded rather than trade a dead
+//!    link for a deadlock;
+//! 4. **degrade** — while masked tables are active, each hardware
+//!    multicast is split into the worm-coverable part and a peeled
+//!    remainder served by binomial-tree unicast
+//!    ([`collectives::DegradePlanner`]);
+//! 5. **heal** — when every cut is confirmed back up the original tables
+//!    are re-derived, vetted and swapped in, and hosts return to pure
+//!    hardware multicast.
+//!
+//! Table swaps ride the switches' install-only-when-empty rule, so no worm
+//! ever decodes against a mix of old and new tables.
+//!
+//! Only switch→switch links are masked. A dead injection/ejection link
+//! makes a *host* unreachable — no reroute can fix that, exactly as no
+//! spare path exists to a dead adapter in a real machine — so those
+//! outages are left to the end-to-end recovery layer alone.
+
+use crate::build::System;
+use collectives::DegradePlanner;
+use mdw_analysis::vet_reroute;
+use mintopo::route::RouteTables;
+use mintopo::topology::Topology;
+use netsim::health::FabricHealth;
+use netsim::ids::{LinkId, SwitchId};
+use netsim::Cycle;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Tuning knobs of the online fault-response protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResponseConfig {
+    /// Cycles a link must hold a new state before the transition is
+    /// confirmed (absorbs fault-injector blips).
+    pub debounce: Cycle,
+    /// Gated grace window before the purge: in-flight worms get this many
+    /// cycles to complete on their own.
+    pub drain_wait: Cycle,
+    /// Maximum cycles the purge may take to empty the fabric before the
+    /// responder gives up waiting (and records the incident).
+    pub purge_max: Cycle,
+    /// Hop budget for coverage traces on the degraded planner.
+    pub max_hops: usize,
+}
+
+impl Default for ResponseConfig {
+    fn default() -> Self {
+        ResponseConfig {
+            debounce: 64,
+            drain_wait: 256,
+            purge_max: 256,
+            max_hops: 64,
+        }
+    }
+}
+
+/// One entry in the responder's event log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResponseEvent {
+    /// A link transition survived the debounce window.
+    LinkConfirmed {
+        /// The link that changed state.
+        link: LinkId,
+        /// `true` = confirmed down, `false` = confirmed back up.
+        down: bool,
+    },
+    /// New masked tables passed the deadlock vet and were staged.
+    Rerouted {
+        /// Directed dead fabric ports masked out of the new tables.
+        masked_ports: usize,
+    },
+    /// The candidate tables failed the deadlock vet; the fabric stays on
+    /// the previous tables and runs degraded.
+    RerouteRejected {
+        /// Diagnostic code of the first analyzer error (e.g. "cdg-cycle").
+        code: String,
+        /// Human-readable analyzer message.
+        message: String,
+    },
+    /// All cuts confirmed back up; original tables restored.
+    Healed,
+    /// The purge did not empty the fabric within `purge_max` cycles.
+    PurgeIncomplete {
+        /// Flits still sitting in links when the responder gave up.
+        flits_left: usize,
+    },
+}
+
+/// Running totals of responder activity.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ResponseCounters {
+    /// Debounce-confirmed link-down transitions.
+    pub links_down: u64,
+    /// Debounce-confirmed link-up transitions.
+    pub links_up: u64,
+    /// Masked reroutes vetted and staged.
+    pub reroutes: u64,
+    /// Reroute candidates rejected by the deadlock vet.
+    pub reroutes_rejected: u64,
+    /// Full heals (all cuts back up, original tables restored).
+    pub heals: u64,
+    /// Quiesce windows that purged the fabric.
+    pub purges: u64,
+    /// Purges that hit the `purge_max` budget with flits still in flight.
+    pub purges_incomplete: u64,
+}
+
+/// Builds candidate routing tables for a set of dead directed fabric
+/// ports. The default is the honest masked rebuild; tests substitute
+/// deliberately broken builders to exercise the rejection path (modelling
+/// a buggy out-of-band route-planner — exactly what the vet gate exists
+/// to catch).
+pub type CandidateBuilder = Box<dyn Fn(&Topology, &[(SwitchId, usize)]) -> RouteTables>;
+
+/// The fault-response orchestrator. Owns the debounced health view and
+/// drives the gate/purge/reroute/degrade protocol against a [`System`].
+pub struct FaultResponder {
+    cfg: ResponseConfig,
+    health: FabricHealth,
+    /// Directed fabric ports currently masked out of the active tables,
+    /// sorted; empty on a healthy fabric.
+    masked: Vec<(SwitchId, usize)>,
+    /// Fabric link → the directed (switch, out-port) that drives it.
+    fabric_ports: HashMap<LinkId, (SwitchId, usize)>,
+    builder: Option<CandidateBuilder>,
+    events: Vec<(Cycle, ResponseEvent)>,
+    counters: ResponseCounters,
+}
+
+impl std::fmt::Debug for FaultResponder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultResponder")
+            .field("cfg", &self.cfg)
+            .field("masked", &self.masked)
+            .field("counters", &self.counters)
+            .finish_non_exhaustive()
+    }
+}
+
+impl FaultResponder {
+    /// Attaches a responder to `sys` and enables link-event publication on
+    /// its engine.
+    pub fn new(cfg: ResponseConfig, sys: &mut System) -> Self {
+        sys.engine.publish_link_events();
+        let mut fabric_ports = HashMap::new();
+        for (s, outs) in sys.sw_out.iter().enumerate() {
+            for (p, &l) in outs.iter().enumerate() {
+                if sys.links.fabric.contains(&l) {
+                    fabric_ports.insert(l, (SwitchId::from(s), p));
+                }
+            }
+        }
+        let health = FabricHealth::new(cfg.debounce);
+        FaultResponder {
+            cfg,
+            health,
+            masked: Vec::new(),
+            fabric_ports,
+            builder: None,
+            events: Vec::new(),
+            counters: ResponseCounters::default(),
+        }
+    }
+
+    /// Substitutes the candidate-table builder (rejection-path tests).
+    pub fn set_candidate_builder(&mut self, builder: CandidateBuilder) {
+        self.builder = Some(builder);
+    }
+
+    /// The event log, in occurrence order, tagged with the cycle.
+    pub fn events(&self) -> &[(Cycle, ResponseEvent)] {
+        &self.events
+    }
+
+    /// Snapshot of the activity counters.
+    pub fn counters(&self) -> ResponseCounters {
+        self.counters
+    }
+
+    /// Directed fabric ports currently masked out of the active tables.
+    pub fn masked_ports(&self) -> &[(SwitchId, usize)] {
+        &self.masked
+    }
+
+    /// Drains the engine's link events, advances the debounce view, and —
+    /// when the confirmed-dead fabric-port set changed — runs the full
+    /// response protocol (which steps the engine through the quiesce
+    /// window). Returns `true` if a response ran.
+    pub fn poll(&mut self, sys: &mut System) -> bool {
+        for ev in sys.engine.drain_link_events() {
+            self.health.observe(ev);
+        }
+        let now = sys.engine.now();
+        for ev in self.health.poll(now) {
+            if ev.down {
+                self.counters.links_down += 1;
+            } else {
+                self.counters.links_up += 1;
+            }
+            self.events.push((
+                now,
+                ResponseEvent::LinkConfirmed {
+                    link: ev.link,
+                    down: ev.down,
+                },
+            ));
+        }
+        // Only confirmed-dead *fabric* ports are maskable; host adapter
+        // outages never change the route tables.
+        let mut dead: Vec<(SwitchId, usize)> = self
+            .health
+            .confirmed_down()
+            .into_iter()
+            .filter_map(|l| self.fabric_ports.get(&l).copied())
+            .collect();
+        dead.sort_unstable();
+        if dead == self.masked {
+            return false;
+        }
+        self.respond(sys, dead);
+        true
+    }
+
+    /// Runs gate → drain → purge → vet → swap → degrade/heal → ungate for
+    /// the new dead-port set.
+    fn respond(&mut self, sys: &mut System, dead: Vec<(SwitchId, usize)>) {
+        sys.fabric_mode.gate();
+        sys.engine.run_for(self.cfg.drain_wait);
+
+        for ctl in &sys.switch_ctls {
+            ctl.begin_purge();
+        }
+        self.counters.purges += 1;
+        let purge_end = sys.engine.now() + self.cfg.purge_max;
+        loop {
+            let empty =
+                sys.engine.flits_in_links() == 0 && sys.switch_ctls.iter().all(|c| c.is_empty());
+            if empty {
+                break;
+            }
+            if sys.engine.now() >= purge_end {
+                let flits_left = sys.engine.flits_in_links();
+                self.counters.purges_incomplete += 1;
+                self.events.push((
+                    sys.engine.now(),
+                    ResponseEvent::PurgeIncomplete { flits_left },
+                ));
+                break;
+            }
+            sys.engine.run_for(1);
+        }
+
+        let candidate = match &self.builder {
+            Some(b) => b(&sys.topology, &dead),
+            None => RouteTables::build_masked(&sys.topology, &dead),
+        };
+        let policy = sys.config.switch.policy;
+        match vet_reroute(&sys.topology, &candidate, policy) {
+            Ok(_) => {
+                let tables = Rc::new(candidate);
+                for ctl in &sys.switch_ctls {
+                    ctl.install_tables(tables.clone());
+                }
+                sys.tables = tables;
+                if dead.is_empty() {
+                    self.counters.heals += 1;
+                    self.events.push((sys.engine.now(), ResponseEvent::Healed));
+                } else {
+                    self.counters.reroutes += 1;
+                    self.events.push((
+                        sys.engine.now(),
+                        ResponseEvent::Rerouted {
+                            masked_ports: dead.len(),
+                        },
+                    ));
+                }
+                self.masked = dead;
+            }
+            Err(report) => {
+                // Stay on the proven-deadlock-free old tables; the
+                // degraded planner below still peels what they cannot
+                // cover. Remember the set so the same broken candidate is
+                // not re-vetted every poll.
+                let d = report.first_error().expect("vet failed with no error");
+                self.counters.reroutes_rejected += 1;
+                self.events.push((
+                    sys.engine.now(),
+                    ResponseEvent::RerouteRejected {
+                        code: d.code.to_string(),
+                        message: d.message.clone(),
+                    },
+                ));
+                self.masked = dead;
+            }
+        }
+
+        for ctl in &sys.switch_ctls {
+            ctl.end_purge();
+        }
+        // Degrade whenever masked tables are (or should be) active: the
+        // planner sends full-coverage sets as one worm anyway, so on cuts
+        // that leave coverage intact this only costs the plan check.
+        if self.masked.is_empty() {
+            sys.fabric_mode.heal();
+        } else {
+            sys.fabric_mode.degrade(DegradePlanner {
+                tables: sys.tables.clone(),
+                topo: sys.topology.clone(),
+                policy,
+                max_hops: self.cfg.max_hops,
+            });
+        }
+        sys.fabric_mode.ungate();
+    }
+}
+
+/// Helpers for scripting representative fabric outages in experiments and
+/// tests: finding the directed root→leaf links whose loss exercises the
+/// reroute (single cut) and degradation (crossed cut) paths.
+pub mod outage {
+    use super::System;
+    use mintopo::reach::PortClass;
+    use netsim::ids::{LinkId, NodeId, SwitchId};
+
+    /// Switches with no up ports — the tree roots.
+    pub fn roots(sys: &System) -> Vec<SwitchId> {
+        (0..sys.topology.n_switches())
+            .map(SwitchId::from)
+            .filter(|&s| sys.tables.table(s).up_ports().is_empty())
+            .collect()
+    }
+
+    /// The down output port of `sw` whose reach covers `host` and drives a
+    /// fabric (switch→switch) link, with that link. `None` if `sw` only
+    /// reaches `host` through an ejection port or not at all.
+    pub fn down_port_to(sys: &System, sw: SwitchId, host: NodeId) -> Option<(usize, LinkId)> {
+        let table = sys.tables.table(sw);
+        (0..sys.topology.ports(sw)).find_map(|p| {
+            let info = table.port(p);
+            let link = sys.sw_out[sw.index()][p];
+            (info.class == PortClass::Down
+                && info.reach.contains(host)
+                && sys.links.fabric.contains(&link))
+            .then_some((p, link))
+        })
+    }
+
+    /// One representative cut: the first root's down-link toward `host`'s
+    /// leaf. Masked reroutes keep full worm coverage (every other root
+    /// still reaches the leaf), so this exercises the pure reroute path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no root has a fabric down-link toward `host` (single-stage
+    /// trees attach hosts directly to the roots).
+    pub fn single_cut(sys: &System, host: NodeId) -> (LinkId, (SwitchId, usize)) {
+        roots(sys)
+            .into_iter()
+            .find_map(|r| down_port_to(sys, r, host).map(|(p, l)| (l, (r, p))))
+            .expect("some root must reach the host over a fabric link")
+    }
+
+    /// A crossed cut that leaves `d1` and `d2` (on different leaves)
+    /// unicast-reachable but impossible to cover with one worm: half the
+    /// roots lose their down-link toward `d1`'s leaf, the other half
+    /// toward `d2`'s. Every root then misses one of the two subtrees, so
+    /// no single ascent covers both — the degradation planner must peel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d1` and `d2` share a leaf or fewer than two roots exist.
+    pub fn crossed_cut(sys: &System, d1: NodeId, d2: NodeId) -> Vec<(LinkId, (SwitchId, usize))> {
+        assert_ne!(
+            sys.topology.host_inject(d1).0,
+            sys.topology.host_inject(d2).0,
+            "crossed cut needs destinations on different leaves"
+        );
+        let roots = roots(sys);
+        assert!(roots.len() >= 2, "crossed cut needs at least two roots");
+        let half = roots.len() / 2;
+        roots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &r)| {
+                let target = if i < half { d1 } else { d2 };
+                down_port_to(sys, r, target).map(|(p, l)| (l, (r, p)))
+            })
+            .collect()
+    }
+}

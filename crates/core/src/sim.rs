@@ -4,8 +4,9 @@
 use crate::build::build_system;
 use crate::config::SystemConfig;
 use crate::forensics::{capture_deadlock_report, DeadlockReport};
+use crate::respond::{FaultResponder, ResponseCounters};
 use crate::workload::{make_sources, TrafficSpec};
-use collectives::RecoveryCounters;
+use collectives::{DegradeCounters, RecoveryCounters};
 use netsim::stats::Summary;
 use netsim::{Cycle, FaultCounters, FaultPlan};
 
@@ -43,6 +44,11 @@ impl Default for RunConfig {
 /// runs between checks of the outstanding-message count and the deadlock
 /// watchdog.
 const PROBE: Cycle = 500;
+
+/// Cycles between fault-responder polls while a responder is attached.
+/// Half the default debounce window, so a confirmed transition is acted on
+/// at most one poll after it matures.
+const RESPONDER_POLL: Cycle = 32;
 
 /// The drain probe step actually taken: at most [`PROBE`] cycles, but
 /// never more than half the watchdog grace (so stalls are noticed
@@ -105,6 +111,10 @@ pub struct RunOutcome {
     pub faults: FaultCounters,
     /// Host-side recovery activity (all zero when recovery is disabled).
     pub recovery: RecoveryCounters,
+    /// Gate/split degradation activity (all zero without fault response).
+    pub degrade: DegradeCounters,
+    /// Fault-responder activity (all zero without fault response).
+    pub response: ResponseCounters,
 }
 
 /// Builds the system, applies the workload and measures it.
@@ -122,8 +132,25 @@ pub fn run_experiment(config: &SystemConfig, spec: &TrafficSpec, run: &RunConfig
         sys.engine.install_faults(plan);
     }
     sys.shared.tracker.borrow_mut().set_measure_from(run.warmup);
+    let mut responder = sys
+        .config
+        .response
+        .clone()
+        .map(|rc| FaultResponder::new(rc, &mut sys));
 
-    sys.engine.run_until(stop_at);
+    match &mut responder {
+        None => sys.engine.run_until(stop_at),
+        Some(r) => {
+            // The responder needs the engine paused at a steady cadence to
+            // drain link events and run quiesce windows; its own protocol
+            // phases advance the engine too, so re-check the clock.
+            while sys.engine.now() < stop_at {
+                let step = RESPONDER_POLL.min(stop_at - sys.engine.now());
+                sys.engine.run_for(step);
+                r.poll(&mut sys);
+            }
+        }
+    }
 
     // Drain with watchdog. The probe step is clamped both by the watchdog
     // grace (so stalls are noticed promptly) and by the cycles left in the
@@ -135,6 +162,9 @@ pub fn run_experiment(config: &SystemConfig, spec: &TrafficSpec, run: &RunConfig
     while sys.tracker().borrow().outstanding() > 0 && sys.engine.now() < drain_end && !deadlocked {
         let step = drain_probe_step(run.watchdog_grace, drain_end - sys.engine.now());
         sys.engine.run_for(step);
+        if let Some(r) = &mut responder {
+            r.poll(&mut sys);
+        }
         let moves = sys.engine.total_flit_moves();
         if moves != last_moves {
             last_moves = moves;
@@ -144,7 +174,7 @@ pub fn run_experiment(config: &SystemConfig, spec: &TrafficSpec, run: &RunConfig
         }
     }
 
-    let deadlock = deadlocked.then(|| capture_deadlock_report(&mut sys));
+    let deadlock = deadlocked.then(|| capture_deadlock_report(&mut sys, last_progress));
     let utilization = sys.link_utilization();
     let recovery = sys.shared.recovery.borrow().counters;
     let tracker = sys.tracker();
@@ -167,6 +197,8 @@ pub fn run_experiment(config: &SystemConfig, spec: &TrafficSpec, run: &RunConfig
         fabric_utilization: utilization.fabric,
         faults: sys.engine.fault_counters(),
         recovery,
+        degrade: sys.fabric_mode.counters(),
+        response: responder.map(|r| r.counters()).unwrap_or_default(),
     }
 }
 

@@ -130,7 +130,8 @@ fn sync_replication_warning_is_confirmed_by_the_watchdog() {
         wedged.tracker().borrow().outstanding() > 0,
         "the hazard the analyzer warned about must be demonstrable"
     );
-    let forensics = capture_deadlock_report(&mut wedged);
+    let last_progress = wedged.engine.now();
+    let forensics = capture_deadlock_report(&mut wedged, last_progress);
     assert!(
         !forensics.cycle.is_empty(),
         "the wedge is a genuine circular wait: {forensics:?}"

@@ -45,5 +45,7 @@ pub mod unimin;
 
 pub use karytree::KaryTree;
 pub use reach::{PortClass, PortInfo};
-pub use route::{McastRoute, ReplicatePolicy, RouteTables, SwitchTable, UnicastRoute};
+pub use route::{
+    McastPlan, McastRoute, ReplicatePolicy, RouteTables, SwitchTable, TraceError, UnicastRoute,
+};
 pub use topology::{Attach, Topology, TopologyBuilder};

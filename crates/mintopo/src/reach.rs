@@ -117,6 +117,127 @@ pub fn build_port_info(topo: &Topology) -> Vec<Vec<PortInfo>> {
     info
 }
 
+/// Computes [`PortInfo`] with a set of dead *directed* output ports masked
+/// out, and with **exact** up-port reachability strings.
+///
+/// `dead` lists `(switch, output port)` pairs that must carry no traffic;
+/// a failed bidirectional cable contributes one entry per direction.
+/// Masked ports become [`PortClass::Unused`]. Downward cones are
+/// recomputed on the surviving subgraph, and — unlike
+/// [`build_port_info`], which optimistically marks every up port as
+/// reaching all hosts — each up port's string is the exact set of hosts
+/// reachable by climbing through it and then descending along surviving
+/// links:
+///
+/// `R(s) = cone(s) ∪ ⋃ R(up-neighbors of s)`, up port toward `q` → `R(q)`.
+///
+/// Up-hops strictly decrease the `(depth, id)` order, so `R` is evaluated
+/// in one pass over switches sorted shallowest-first. On a healthy tree
+/// every up port degenerates to `full(N)`, making routing decisions
+/// identical to the unmasked tables; under masking the exact strings let
+/// [`crate::route::SwitchTable`] reject up ports that lead into cut-off
+/// regions instead of wedging a worm against a dead link.
+#[allow(clippy::needless_range_loop)] // port loop indexes parallel structures
+pub fn build_port_info_masked(topo: &Topology, dead: &[(SwitchId, usize)]) -> Vec<Vec<PortInfo>> {
+    let n = topo.n_hosts();
+    let n_sw = topo.n_switches();
+    let dead: std::collections::BTreeSet<(usize, usize)> =
+        dead.iter().map(|&(sw, p)| (sw.index(), p)).collect();
+
+    let mut eject_at = vec![Vec::new(); n_sw];
+    for h in 0..n {
+        let node = netsim::ids::NodeId::from(h);
+        let (sw, port) = topo.host_eject(node);
+        eject_at[sw.index()].push((port, node));
+    }
+
+    // Downward pass, deepest-first, exactly as the unmasked build but
+    // skipping dead ports so cut-off subtrees drop out of every cone above
+    // the failure.
+    let mut down_order: Vec<usize> = (0..n_sw).collect();
+    down_order.sort_by_key(|&s| {
+        (
+            std::cmp::Reverse(topo.depth(SwitchId::from(s))),
+            std::cmp::Reverse(s),
+        )
+    });
+
+    let mut cone: Vec<DestSet> = vec![DestSet::empty(n); n_sw];
+    let mut info: Vec<Vec<PortInfo>> = (0..n_sw)
+        .map(|s| {
+            let ports = topo.ports(SwitchId::from(s));
+            (0..ports)
+                .map(|_| PortInfo {
+                    class: PortClass::Unused,
+                    reach: DestSet::empty(n),
+                })
+                .collect()
+        })
+        .collect();
+
+    for &s in &down_order {
+        let sw = SwitchId::from(s);
+        let mut my_cone = DestSet::empty(n);
+        for (port, node) in &eject_at[s] {
+            if dead.contains(&(s, *port)) {
+                continue; // severed ejection cable: host unreachable here
+            }
+            my_cone.insert(*node);
+            info[s][*port] = PortInfo {
+                class: PortClass::Down,
+                reach: DestSet::singleton(n, *node),
+            };
+        }
+        for port in 0..topo.ports(sw) {
+            if dead.contains(&(s, port)) {
+                continue;
+            }
+            match topo.attach(sw, port) {
+                Attach::Switch(other, _) if topo.is_down_hop(sw, port) => {
+                    let reach = cone[other.index()].clone();
+                    my_cone.union_with(&reach);
+                    info[s][port] = PortInfo {
+                        class: PortClass::Down,
+                        reach,
+                    };
+                }
+                Attach::Switch(..) => {
+                    // Classified now; exact reach filled by the up pass.
+                    info[s][port] = PortInfo {
+                        class: PortClass::Up,
+                        reach: DestSet::empty(n),
+                    };
+                }
+                Attach::Host(_) | Attach::Unused => {}
+            }
+        }
+        cone[s] = my_cone;
+    }
+
+    // Upward pass, shallowest-first: every up-neighbor of a switch has a
+    // strictly smaller (depth, id), so its R is already final.
+    let mut up_order: Vec<usize> = (0..n_sw).collect();
+    up_order.sort_by_key(|&s| (topo.depth(SwitchId::from(s)), s));
+    let mut up_reach: Vec<DestSet> = vec![DestSet::empty(n); n_sw];
+    for &s in &up_order {
+        let sw = SwitchId::from(s);
+        let mut r = cone[s].clone();
+        for port in 0..topo.ports(sw) {
+            if info[s][port].class != PortClass::Up {
+                continue;
+            }
+            if let Attach::Switch(other, _) = topo.attach(sw, port) {
+                let reach = up_reach[other.index()].clone();
+                r.union_with(&reach);
+                info[s][port].reach = reach;
+            }
+        }
+        up_reach[s] = r;
+    }
+
+    info
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -163,6 +284,69 @@ mod tests {
         let union = info[2][0].reach.or(&info[2][1].reach);
         assert_eq!(union, DestSet::full(4));
         assert!(!info[2][0].reach.intersects(&info[2][1].reach));
+    }
+
+    /// Two leaf switches under two roots: every leaf has an up port to each
+    /// root, giving the path diversity a reroute needs.
+    fn two_root_net() -> Topology {
+        let mut b = TopologyBuilder::new(4);
+        let s0 = b.add_switch(4, 1);
+        let s1 = b.add_switch(4, 1);
+        let r0 = b.add_switch(2, 0);
+        let r1 = b.add_switch(2, 0);
+        b.attach_host(NodeId(0), s0, 0);
+        b.attach_host(NodeId(1), s0, 1);
+        b.attach_host(NodeId(2), s1, 0);
+        b.attach_host(NodeId(3), s1, 1);
+        b.connect(s0, 2, r0, 0);
+        b.connect(s0, 3, r1, 0);
+        b.connect(s1, 2, r0, 1);
+        b.connect(s1, 3, r1, 1);
+        b.build()
+    }
+
+    #[test]
+    fn masked_with_no_dead_links_matches_unmasked_on_trees() {
+        for topo in [small_tree(), two_root_net()] {
+            let plain = build_port_info(&topo);
+            let masked = build_port_info_masked(&topo, &[]);
+            for s in 0..topo.n_switches() {
+                for p in 0..topo.ports(SwitchId::from(s)) {
+                    assert_eq!(plain[s][p].class, masked[s][p].class, "sw {s} port {p}");
+                    assert_eq!(plain[s][p].reach, masked[s][p].reach, "sw {s} port {p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dead_directed_port_becomes_unused() {
+        let t = two_root_net();
+        // Kill s0's up link toward r0 (directed: s0 out only).
+        let info = build_port_info_masked(&t, &[(SwitchId(0), 2)]);
+        assert_eq!(info[0][2].class, PortClass::Unused);
+        // The reverse direction (r0 -> s0) is unaffected.
+        assert_eq!(info[2][0].class, PortClass::Down);
+        assert_eq!(info[2][0].reach, DestSet::from_nodes(4, [0, 1].map(NodeId)));
+        // The sibling up port still reaches everything.
+        assert_eq!(info[0][3].class, PortClass::Up);
+        assert_eq!(info[0][3].reach, DestSet::full(4));
+    }
+
+    #[test]
+    fn dead_root_down_link_shrinks_up_reach_exactly() {
+        let t = two_root_net();
+        // Kill r0 -> s1: r0 can no longer descend to the right subtree.
+        let info = build_port_info_masked(&t, &[(SwitchId(2), 1)]);
+        assert_eq!(info[2][1].class, PortClass::Unused);
+        // s0's up port to r0 now reaches only r0's surviving cone.
+        assert_eq!(info[0][2].class, PortClass::Up);
+        assert_eq!(info[0][2].reach, DestSet::from_nodes(4, [0, 1].map(NodeId)));
+        // s0's up port to the healthy root still reaches every host.
+        assert_eq!(info[0][3].reach, DestSet::full(4));
+        // s1's up port to r0 also shrinks (climbing to r0 only re-reaches
+        // what r0 can still cover).
+        assert_eq!(info[1][2].reach, DestSet::from_nodes(4, [0, 1].map(NodeId)));
     }
 
     #[test]

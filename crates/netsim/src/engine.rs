@@ -10,7 +10,7 @@
 use crate::fault::{FaultCounters, FaultPlan};
 use crate::flit::Flit;
 use crate::ids::LinkId;
-use crate::link::Link;
+use crate::link::{Link, LinkEvent};
 use crate::Cycle;
 
 /// A simulated hardware component (switch, host NIC, ...).
@@ -235,6 +235,56 @@ impl Engine {
             // schedules and condemned-flit evaporation advance every cycle.
             self.ledger.mark_active(i, link);
         }
+    }
+
+    /// Schedules a deterministic outage on one link: it refuses new flits
+    /// during `[from, until)` and publishes the down/up transitions
+    /// (drainable via [`Engine::drain_link_events`]). In-flight flits
+    /// still arrive and credits still propagate, so worms stall rather
+    /// than tear.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `until <= from`.
+    pub fn script_outage(&mut self, link: LinkId, from: Cycle, until: Cycle) {
+        let idx = link.index();
+        self.links[idx].script_outage(from, until);
+        // Edge detection needs begin_cycle every cycle from now on.
+        self.ledger.mark_active(idx, &mut self.links[idx]);
+    }
+
+    /// Enables up/down transition publication on every link (links that
+    /// can actually go down — fault streams or scripted windows — start
+    /// recording; healthy links never transition, so this costs nothing
+    /// for them). Call before or after [`Engine::install_faults`].
+    pub fn publish_link_events(&mut self) {
+        for link in &mut self.links {
+            link.publish_transitions();
+        }
+    }
+
+    /// Drains every link's recorded up/down transitions into one stream,
+    /// ordered by (cycle, link). Empty unless outages were scripted or
+    /// [`Engine::publish_link_events`] was enabled on a faulty fabric.
+    pub fn drain_link_events(&mut self) -> Vec<LinkEvent> {
+        let mut events = Vec::new();
+        for (i, link) in self.links.iter_mut().enumerate() {
+            for (at, down) in link.take_transitions() {
+                events.push(LinkEvent {
+                    link: LinkId::from(i),
+                    at,
+                    down,
+                });
+            }
+        }
+        events.sort_by_key(|e| (e.at, e.link.index()));
+        events
+    }
+
+    /// `true` if `link` refuses new flits this cycle (scripted or
+    /// fault-plan outage in effect).
+    pub fn link_is_down(&self, link: LinkId) -> bool {
+        self.links[link.index()].is_down(self.now)
     }
 
     /// Sum of injected-fault counters across all links.
@@ -488,6 +538,58 @@ mod tests {
         let end = e.run_while(|_| seen.get() < 5, 1, 1_000);
         assert!(seen.get() >= 5);
         assert!(end < 1_000);
+    }
+
+    #[test]
+    fn scripted_outage_stalls_and_publishes_events() {
+        let (mut e, seen) = pipeline(0, 4);
+        let link = LinkId::from(0usize);
+        e.script_outage(link, 5, 40);
+        e.run_for(30);
+        assert!(e.link_is_down(link));
+        let before = seen.get();
+        assert!(before < 10, "outage must stall the worm mid-flight");
+        e.run_for(40);
+        assert_eq!(seen.get(), 10, "all flits delivered after the heal");
+        let events = e.drain_link_events();
+        assert_eq!(
+            events,
+            vec![
+                LinkEvent {
+                    link,
+                    at: 5,
+                    down: true
+                },
+                LinkEvent {
+                    link,
+                    at: 40,
+                    down: false
+                },
+            ]
+        );
+        assert!(e.drain_link_events().is_empty());
+    }
+
+    #[test]
+    fn fault_plan_outages_publish_events_when_enabled() {
+        let (mut e, _) = pipeline(0, 4);
+        e.install_faults(&FaultPlan {
+            down_every: 20,
+            down_len: 5,
+            ..FaultPlan::none(3)
+        });
+        e.publish_link_events();
+        e.run_for(200);
+        let events = e.drain_link_events();
+        assert!(
+            events.iter().any(|ev| ev.down) && events.iter().any(|ev| !ev.down),
+            "periodic outages must publish both edges: {events:?}"
+        );
+        let mut last = 0;
+        for ev in &events {
+            assert!(ev.at >= last, "events sorted by cycle");
+            last = ev.at;
+        }
     }
 
     #[test]

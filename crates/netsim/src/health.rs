@@ -1,0 +1,199 @@
+//! Fabric health aggregation with transition debouncing.
+//!
+//! Raw link up/down transitions ([`crate::link::LinkEvent`], drained from
+//! [`crate::engine::Engine::drain_link_events`]) are too jittery to act on
+//! directly: the stochastic fault injector takes links down for windows as
+//! short as a few cycles, and triggering a route recomputation plus fabric
+//! quiesce for every blip would cost far more than the blip itself. A
+//! [`FabricHealth`] view therefore *debounces*: a raw transition is only
+//! **confirmed** after the link has stayed in its new state for a full
+//! debounce window. Transients shorter than the window are absorbed
+//! without ever surfacing.
+//!
+//! The view is deliberately engine-agnostic plain state, so one can be
+//! kept per host (each endpoint forming its own picture from the events it
+//! sees) or centrally by a fault-response orchestrator — the repo's
+//! [`mdworm`-level responder] does the latter, which models an SP2-style
+//! service processor collecting port error counters.
+
+use crate::ids::LinkId;
+use crate::link::LinkEvent;
+use crate::Cycle;
+use std::collections::BTreeMap;
+
+/// Per-link debounce state.
+#[derive(Debug, Clone, Copy)]
+struct LinkHealth {
+    /// Last state the view committed to (and reported).
+    confirmed_down: bool,
+    /// Raw state from the most recent event, with its onset cycle, when it
+    /// differs from the confirmed state.
+    pending: Option<(Cycle, bool)>,
+}
+
+/// A debounced view of which links are up, built from raw engine events.
+///
+/// Feed raw events in with [`FabricHealth::observe`], then call
+/// [`FabricHealth::poll`] to collect the transitions that have persisted
+/// past the debounce window. `BTreeMap` keeps iteration (and therefore
+/// confirmation order) deterministic.
+#[derive(Debug, Clone)]
+pub struct FabricHealth {
+    debounce: Cycle,
+    links: BTreeMap<LinkId, LinkHealth>,
+}
+
+impl FabricHealth {
+    /// Creates a view confirming transitions after `debounce` stable
+    /// cycles. `0` confirms immediately on the next poll.
+    pub fn new(debounce: Cycle) -> Self {
+        FabricHealth {
+            debounce,
+            links: BTreeMap::new(),
+        }
+    }
+
+    /// The configured debounce window.
+    pub fn debounce(&self) -> Cycle {
+        self.debounce
+    }
+
+    /// Records one raw transition. Events must arrive in per-link time
+    /// order (the engine's drain guarantees a globally sorted stream).
+    pub fn observe(&mut self, ev: LinkEvent) {
+        let entry = self.links.entry(ev.link).or_insert(LinkHealth {
+            confirmed_down: false,
+            pending: None,
+        });
+        if ev.down == entry.confirmed_down {
+            // Flapped back to the committed state inside the window: the
+            // transient is absorbed and the pending edge dissolves.
+            entry.pending = None;
+        } else {
+            // Keep the *earliest* onset of the current excursion so a
+            // down that stays down confirms exactly one window after it
+            // began, not after the last duplicate event.
+            match entry.pending {
+                Some((_, state)) if state == ev.down => {}
+                _ => entry.pending = Some((ev.at, ev.down)),
+            }
+        }
+    }
+
+    /// Confirms every pending transition that has persisted for the full
+    /// debounce window as of `now`, returning them as events ordered by
+    /// (onset cycle, link).
+    pub fn poll(&mut self, now: Cycle) -> Vec<LinkEvent> {
+        let mut confirmed = Vec::new();
+        for (&link, entry) in self.links.iter_mut() {
+            if let Some((at, down)) = entry.pending {
+                if now.saturating_sub(at) >= self.debounce {
+                    entry.confirmed_down = down;
+                    entry.pending = None;
+                    confirmed.push(LinkEvent { link, at, down });
+                }
+            }
+        }
+        confirmed.sort_by_key(|e| (e.at, e.link.index()));
+        confirmed
+    }
+
+    /// `true` if `link` is confirmed down.
+    pub fn is_down(&self, link: LinkId) -> bool {
+        self.links
+            .get(&link)
+            .is_some_and(|entry| entry.confirmed_down)
+    }
+
+    /// Every link currently confirmed down, in id order.
+    pub fn confirmed_down(&self) -> Vec<LinkId> {
+        self.links
+            .iter()
+            .filter(|(_, entry)| entry.confirmed_down)
+            .map(|(&link, _)| link)
+            .collect()
+    }
+
+    /// `true` while any transition is still inside its debounce window.
+    pub fn has_pending(&self) -> bool {
+        self.links.values().any(|entry| entry.pending.is_some())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(link: usize, at: Cycle, down: bool) -> LinkEvent {
+        LinkEvent {
+            link: LinkId::from(link),
+            at,
+            down,
+        }
+    }
+
+    #[test]
+    fn stable_outage_confirms_after_window() {
+        let mut h = FabricHealth::new(50);
+        h.observe(ev(3, 100, true));
+        assert!(h.poll(120).is_empty(), "inside the window");
+        assert!(!h.is_down(LinkId::from(3usize)));
+        let confirmed = h.poll(150);
+        assert_eq!(confirmed, vec![ev(3, 100, true)]);
+        assert!(h.is_down(LinkId::from(3usize)));
+        assert_eq!(h.confirmed_down(), vec![LinkId::from(3usize)]);
+    }
+
+    #[test]
+    fn transient_inside_window_is_absorbed() {
+        let mut h = FabricHealth::new(50);
+        h.observe(ev(1, 100, true));
+        h.observe(ev(1, 130, false)); // back up 30 cycles later
+        assert!(h.poll(200).is_empty(), "blip must never surface");
+        assert!(!h.is_down(LinkId::from(1usize)));
+        assert!(!h.has_pending());
+    }
+
+    #[test]
+    fn heal_confirms_like_an_outage() {
+        let mut h = FabricHealth::new(20);
+        h.observe(ev(2, 10, true));
+        assert_eq!(h.poll(30).len(), 1);
+        h.observe(ev(2, 100, false));
+        assert!(h.is_down(LinkId::from(2usize)), "heal not yet confirmed");
+        let confirmed = h.poll(120);
+        assert_eq!(confirmed, vec![ev(2, 100, false)]);
+        assert!(!h.is_down(LinkId::from(2usize)));
+        assert!(h.confirmed_down().is_empty());
+    }
+
+    #[test]
+    fn duplicate_events_keep_earliest_onset() {
+        let mut h = FabricHealth::new(50);
+        h.observe(ev(4, 100, true));
+        h.observe(ev(4, 140, true)); // duplicate down (e.g. two windows)
+        let confirmed = h.poll(151);
+        assert_eq!(
+            confirmed,
+            vec![ev(4, 100, true)],
+            "confirmation counts from the first onset"
+        );
+    }
+
+    #[test]
+    fn multiple_links_confirm_in_onset_order() {
+        let mut h = FabricHealth::new(10);
+        h.observe(ev(7, 20, true));
+        h.observe(ev(2, 15, true));
+        let confirmed = h.poll(100);
+        assert_eq!(confirmed, vec![ev(2, 15, true), ev(7, 20, true)]);
+    }
+
+    #[test]
+    fn zero_debounce_confirms_immediately() {
+        let mut h = FabricHealth::new(0);
+        h.observe(ev(0, 5, true));
+        assert_eq!(h.poll(5).len(), 1);
+        assert!(h.is_down(LinkId::from(0usize)));
+    }
+}

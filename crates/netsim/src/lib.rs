@@ -77,6 +77,7 @@ pub mod engine;
 pub mod fault;
 pub mod flit;
 pub mod header;
+pub mod health;
 pub mod ids;
 pub mod link;
 pub mod message;
@@ -96,7 +97,9 @@ pub use engine::{Component, Engine, PortIo};
 pub use fault::{FaultCounters, FaultPlan};
 pub use flit::Flit;
 pub use header::RoutingHeader;
+pub use health::FabricHealth;
 pub use ids::{LinkId, MessageId, NodeId, PacketId, SwitchId};
+pub use link::LinkEvent;
 pub use message::{Message, MessageKind};
 pub use packet::{Packet, PacketBuilder};
 pub use rng::SimRng;

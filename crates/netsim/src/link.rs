@@ -10,6 +10,7 @@
 
 use crate::fault::{FaultCounters, LinkFaults};
 use crate::flit::Flit;
+use crate::ids::LinkId;
 use crate::Cycle;
 use std::collections::VecDeque;
 
@@ -19,6 +20,23 @@ struct InFlight {
     arrives: Cycle,
     flit: Flit,
     dropped: bool,
+}
+
+/// One observed link up/down transition, published by the engine.
+///
+/// Events come from two sources: the stochastic outage schedule of an
+/// installed [`crate::fault::FaultPlan`], and scripted outage windows
+/// ([`Link::script_outage`]). Recording is opt-in per link
+/// ([`Link::publish_transitions`]) so runs that never drain the event
+/// stream do not accumulate unbounded history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkEvent {
+    /// The link that changed state.
+    pub link: LinkId,
+    /// Cycle at which the transition took effect.
+    pub at: Cycle,
+    /// `true` = the link went down, `false` = it came back up.
+    pub down: bool,
 }
 
 /// A unidirectional, credit flow-controlled link.
@@ -41,6 +59,14 @@ pub struct Link {
     last_send: Option<Cycle>,
     total_flits: u64,
     faults: Option<Box<LinkFaults>>,
+    /// Scripted outage windows `[from, until)`, in schedule order.
+    scripted: Vec<(Cycle, Cycle)>,
+    /// Raw up/down state at the last `begin_cycle`, for edge detection.
+    was_down: bool,
+    /// When set, up/down transitions are appended to `transitions`.
+    publish: bool,
+    /// Recorded transitions awaiting [`Link::take_transitions`].
+    transitions: Vec<(Cycle, bool)>,
     /// Membership flag for the engine's active-link set (the engine calls
     /// [`Link::begin_cycle`] only on links where this is set).
     pub(crate) active: bool,
@@ -70,6 +96,10 @@ impl Link {
             last_send: None,
             total_flits: 0,
             faults: None,
+            scripted: Vec::new(),
+            was_down: false,
+            publish: false,
+            transitions: Vec::new(),
             active: false,
         }
     }
@@ -77,6 +107,44 @@ impl Link {
     /// Installs a fault stream on this link (see [`crate::fault`]).
     pub fn install_faults(&mut self, faults: LinkFaults) {
         self.faults = Some(Box::new(faults));
+    }
+
+    /// Schedules a deterministic outage: the link refuses new flits during
+    /// `[from, until)`. In-flight flits still arrive and credits still
+    /// propagate, exactly like a stochastic [`crate::fault::FaultPlan`]
+    /// outage. Transition publication is enabled as a side effect so the
+    /// outage is observable through [`Link::take_transitions`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `until <= from`.
+    pub fn script_outage(&mut self, from: Cycle, until: Cycle) {
+        assert!(until > from, "outage window must be non-empty");
+        self.scripted.push((from, until));
+        self.publish = true;
+    }
+
+    /// Enables recording of up/down transitions on this link.
+    pub fn publish_transitions(&mut self) {
+        self.publish = true;
+    }
+
+    /// Drains the recorded up/down transitions as `(cycle, down)` pairs.
+    pub fn take_transitions(&mut self) -> Vec<(Cycle, bool)> {
+        std::mem::take(&mut self.transitions)
+    }
+
+    /// `true` while a scripted outage window covers `now`.
+    fn scripted_down(&self, now: Cycle) -> bool {
+        self.scripted
+            .iter()
+            .any(|&(from, until)| (from..until).contains(&now))
+    }
+
+    /// `true` if the link refuses new flits this cycle, from either a
+    /// scripted window or the installed fault stream's outage schedule.
+    pub fn is_down(&self, now: Cycle) -> bool {
+        self.scripted_down(now) || self.faults.as_deref().is_some_and(|f| f.is_down(now))
     }
 
     /// Injection totals for this link, if faults are installed.
@@ -145,21 +213,27 @@ impl Link {
                 evaporated += 1;
             }
         }
+        let down = self.is_down(now);
+        if down != self.was_down {
+            self.was_down = down;
+            if self.publish {
+                self.transitions.push((now, down));
+            }
+        }
         evaporated
     }
 
     /// `true` while this link still needs [`Link::begin_cycle`] every
-    /// cycle: credits are propagating back, or a fault stream is installed
-    /// (outage schedules and condemned-flit evaporation advance with time).
+    /// cycle: credits are propagating back, a fault stream is installed
+    /// (outage schedules and condemned-flit evaporation advance with time),
+    /// or scripted outage windows need edge detection.
     pub fn needs_begin_cycle(&self) -> bool {
-        !self.credit_q.is_empty() || self.faults.is_some()
+        !self.credit_q.is_empty() || self.faults.is_some() || !self.scripted.is_empty()
     }
 
     /// Sender side: `true` if a flit may be sent this cycle.
     pub fn can_send(&self, now: Cycle) -> bool {
-        self.credits > 0
-            && self.last_send != Some(now)
-            && !self.faults.as_deref().is_some_and(|f| f.is_down(now))
+        self.credits > 0 && self.last_send != Some(now) && !self.is_down(now)
     }
 
     /// Sender side: sends a flit, consuming a credit.
@@ -354,6 +428,52 @@ mod tests {
         l.send(0, flit());
         l.begin_cycle(1);
         l.send(1, flit());
+    }
+
+    mod scripted {
+        use super::*;
+
+        #[test]
+        fn window_blocks_sender_and_publishes_transitions() {
+            let mut l = Link::new(1, 4);
+            l.script_outage(10, 20);
+            for now in 0..30 {
+                l.begin_cycle(now);
+                let expect_down = (10..20).contains(&now);
+                assert_eq!(l.is_down(now), expect_down, "cycle {now}");
+                assert_eq!(l.can_send(now), !expect_down, "cycle {now}");
+            }
+            assert_eq!(l.take_transitions(), vec![(10, true), (20, false)]);
+            assert!(l.take_transitions().is_empty(), "drain empties the log");
+        }
+
+        #[test]
+        fn in_flight_flits_survive_the_outage() {
+            let mut l = Link::new(3, 4);
+            l.script_outage(1, 50);
+            l.begin_cycle(0);
+            l.send(0, flit());
+            for now in 1..=3 {
+                l.begin_cycle(now);
+            }
+            assert!(l.recv(3).is_some(), "flit sent before outage arrives");
+            assert!(!l.can_send(3), "but the sender is blocked");
+        }
+
+        #[test]
+        fn needs_begin_cycle_while_scripted() {
+            let mut l = Link::new(1, 4);
+            assert!(!l.needs_begin_cycle());
+            l.script_outage(5, 6);
+            assert!(l.needs_begin_cycle());
+        }
+
+        #[test]
+        #[should_panic(expected = "non-empty")]
+        fn empty_window_rejected() {
+            let mut l = Link::new(1, 1);
+            l.script_outage(7, 7);
+        }
     }
 
     mod faults {

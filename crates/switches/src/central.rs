@@ -32,6 +32,7 @@
 //! reservations can never block each other.
 
 use crate::config::SwitchConfig;
+use crate::ctl::SwitchCtl;
 use crate::decode::{resolve_branches, HeaderClock};
 use crate::stats::{header_dests, BlockedWormSnap, SwitchSnapshot, SwitchStats};
 use mintopo::reach::PortClass;
@@ -330,6 +331,7 @@ pub struct CentralBufferSwitch {
     cq: CqAccounting,
     barrier: Option<BarrierCombiner>,
     stats: Rc<RefCell<SwitchStats>>,
+    ctl: Option<Rc<SwitchCtl>>,
     rr: usize,
 }
 
@@ -376,7 +378,73 @@ impl CentralBufferSwitch {
             cfg,
             tables,
             stats,
+            ctl: None,
             rr: 0,
+        }
+    }
+
+    /// Attaches the out-of-band control cell (see [`SwitchCtl`]) through
+    /// which the fault-response orchestrator requests purges and stages
+    /// routing-table swaps.
+    pub fn set_ctl(&mut self, ctl: Rc<SwitchCtl>) {
+        self.ctl = Some(ctl);
+    }
+
+    /// No staged flits, no resident worms, every chunk free, no pending
+    /// barrier emission: safe to swap routing tables.
+    fn empty_now(&self) -> bool {
+        self.inputs
+            .iter()
+            .all(|inp| inp.staging.is_empty() && matches!(inp.state, InState::Idle))
+            && self
+                .outputs
+                .iter()
+                .all(|o| o.queue.is_empty() && matches!(o.state, TxState::Idle))
+            && self.cq.free() == self.cfg.cq_chunks
+            && self.barrier.as_ref().is_none_or(|b| b.ready.is_empty())
+    }
+
+    /// Kills every resident worm: staged flits are dropped with one credit
+    /// returned upstream each (link-level conservation holds), output
+    /// branches and accumulated reservations are discarded, and the chunk
+    /// pool is reset to pristine. Also swallows the at-most-one flit
+    /// arriving this cycle, so in-flight link stragglers cannot wedge a
+    /// half-dead worm back into the receiver FSM.
+    fn purge(&mut self, io: &mut PortIo<'_>) {
+        let mut flits = 0u64;
+        let mut worms = 0u64;
+        for (i, input) in self.inputs.iter_mut().enumerate() {
+            if io.recv(i).is_some() {
+                io.return_credit(i);
+                flits += 1;
+            }
+            while input.staging.pop_front().is_some() {
+                io.return_credit(i);
+                flits += 1;
+            }
+            if !matches!(input.state, InState::Idle) {
+                worms += 1;
+                input.state = InState::Idle;
+            }
+            input.clock = HeaderClock::default();
+        }
+        for out in self.outputs.iter_mut() {
+            worms += out.queue.len() as u64;
+            out.queue.clear();
+            if matches!(out.state, TxState::Stream(_)) {
+                worms += 1;
+            }
+            out.state = TxState::Idle;
+        }
+        if let Some(bar) = self.barrier.as_mut() {
+            worms += bar.ready.len() as u64;
+            bar.ready.clear();
+        }
+        self.cq = CqAccounting::new(self.cfg.cq_chunks, self.cfg.cq_down_reserve());
+        if flits + worms > 0 {
+            let mut st = self.stats.borrow_mut();
+            st.purged_flits += flits;
+            st.purged_worms += worms;
         }
     }
 
@@ -420,6 +488,26 @@ impl CentralBufferSwitch {
 impl Component for CentralBufferSwitch {
     #[allow(clippy::needless_range_loop)] // index loops enable split borrows across ports
     fn tick(&mut self, now: Cycle, io: &mut PortIo<'_>) {
+        if let Some(ctl) = self.ctl.clone() {
+            if ctl.purging() {
+                self.purge(io);
+                ctl.set_empty(true);
+                let mut st = self.stats.borrow_mut();
+                st.cq_used_chunks.observe(self.cq.used() as u64);
+                st.cq_free_now = self.cq.free();
+                return;
+            }
+            if ctl.tables_pending() && self.empty_now() {
+                let tables = ctl.take_tables().expect("pending checked");
+                assert_eq!(
+                    tables.table(self.id).n_ports(),
+                    self.cfg.ports,
+                    "swapped routing table port count mismatch for {}",
+                    self.id
+                );
+                self.tables = tables;
+            }
+        }
         let ports = self.cfg.ports;
         let chunk_flits = self.cfg.chunk_flits;
         let CentralBufferSwitch {
@@ -430,6 +518,7 @@ impl Component for CentralBufferSwitch {
             cq,
             barrier,
             stats,
+            ctl,
             rr,
             id,
         } = self;
@@ -875,6 +964,19 @@ impl Component for CentralBufferSwitch {
         let mut st = stats.borrow_mut();
         st.cq_used_chunks.observe(cq.used() as u64);
         st.cq_free_now = cq.free();
+        drop(st);
+
+        if let Some(ctl) = ctl {
+            let empty = inputs
+                .iter()
+                .all(|inp| inp.staging.is_empty() && matches!(inp.state, InState::Idle))
+                && outputs
+                    .iter()
+                    .all(|o| o.queue.is_empty() && matches!(o.state, TxState::Idle))
+                && cq.free() == cfg.cq_chunks
+                && barrier.as_ref().is_none_or(|b| b.ready.is_empty());
+            ctl.set_empty(empty);
+        }
     }
 }
 
@@ -1190,5 +1292,95 @@ mod tests {
         w.inject(1, b);
         w.engine.run_for(300);
         assert_eq!(sink_flits(&w, 3), 2 * per);
+    }
+
+    fn ctl_world(cfg: SwitchConfig) -> (Rc<SwitchCtl>, TestWorld) {
+        let credits = cfg.staging_flits;
+        let ctl = SwitchCtl::new();
+        let c = ctl.clone();
+        let w = single_switch_world(4, cfg, credits, move |id, cfg, tables, stats| {
+            let mut sw = CentralBufferSwitch::new(id, cfg, tables, stats);
+            sw.set_ctl(c);
+            Box::new(sw)
+        });
+        (ctl, w)
+    }
+
+    #[test]
+    fn purge_kills_resident_worm_and_restores_credits() {
+        let cfg = SwitchConfig {
+            ports: 4,
+            ..SwitchConfig::default()
+        };
+        let total_chunks = cfg.cq_chunks;
+        let (ctl, mut w) = ctl_world(cfg);
+        let dests = DestSet::from_nodes(4, [1, 2, 3].map(NodeId));
+        let pkt = PacketBuilder::multicast(NodeId(0), dests, 40).build();
+        let total = pkt.total_flits() as u64;
+        w.inject(0, pkt);
+        // Let the worm get partially absorbed, then purge. The source keeps
+        // streaming the rest of the packet; swallow mode must absorb every
+        // straggler (each one earns a credit back, so the source drains).
+        w.engine.run_for(10);
+        ctl.begin_purge();
+        w.engine.run_for(total + 20);
+        ctl.end_purge();
+        assert!(ctl.is_empty(), "purged switch reports empty");
+        {
+            let st = w.stats.borrow();
+            assert!(st.purged_flits > 0, "staged/straggler flits were killed");
+            assert!(st.purged_worms >= 1, "the resident worm was killed");
+            assert_eq!(st.cq_free_now, total_chunks, "chunk pool reset");
+        }
+        // Fresh traffic proves every upstream credit came back.
+        let before = sink_flits(&w, 2);
+        let pkt = PacketBuilder::unicast(NodeId(0), NodeId(2), 16, 4)
+            .id(netsim::ids::PacketId(77))
+            .build();
+        let t2 = pkt.total_flits() as usize;
+        w.inject(0, pkt);
+        w.engine.run_for(100);
+        assert_eq!(sink_flits(&w, 2) - before, t2, "post-purge delivery");
+    }
+
+    #[test]
+    fn pending_table_swap_waits_for_empty_then_reroutes() {
+        use mintopo::reach::{PortClass, PortInfo};
+        use mintopo::route::SwitchTable;
+        let (ctl, mut w) = ctl_world(SwitchConfig {
+            ports: 4,
+            ..SwitchConfig::default()
+        });
+        // Occupy the switch with a long multicast, then stage a swap in
+        // which ports 1 and 2 trade reach strings.
+        let dests = DestSet::from_nodes(4, [1, 2, 3].map(NodeId));
+        w.inject(0, PacketBuilder::multicast(NodeId(0), dests, 60).build());
+        w.engine.run_for(10);
+        let down = |n: u32| PortInfo {
+            class: PortClass::Down,
+            reach: DestSet::singleton(4, NodeId(n)),
+        };
+        let swapped = RouteTables::from_tables(
+            vec![SwitchTable::from_ports(
+                vec![down(0), down(2), down(1), down(3)],
+                4,
+            )],
+            4,
+        );
+        ctl.install_tables(Rc::new(swapped));
+        w.engine.run_for(3);
+        assert!(ctl.tables_pending(), "switch is busy; swap must wait");
+        w.engine.run_for(400);
+        assert!(!ctl.tables_pending(), "swap applied once empty");
+        assert!(ctl.is_empty());
+        // Traffic for host 1 now leaves through port 2.
+        let before = sink_flits(&w, 2);
+        let pkt = PacketBuilder::unicast(NodeId(0), NodeId(1), 8, 4)
+            .id(netsim::ids::PacketId(9))
+            .build();
+        let t = pkt.total_flits() as usize;
+        w.inject(0, pkt);
+        w.engine.run_for(100);
+        assert_eq!(sink_flits(&w, 2) - before, t, "rerouted by the new table");
     }
 }

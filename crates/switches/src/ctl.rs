@@ -1,0 +1,103 @@
+//! Out-of-band switch control for the online fault-response protocol
+//! (DESIGN.md §10): quiesce purges and pending routing-table swaps.
+//!
+//! A [`SwitchCtl`] is a small shared cell created per switch by the system
+//! builder and held by both the switch (which polls it at the top of every
+//! tick) and the fault-response orchestrator (which flips it from outside
+//! the engine). This models the SP2-style service interface — switches
+//! take management commands over a path separate from the data network —
+//! without threading new parameters through [`netsim::engine::Engine`].
+//!
+//! Two commands exist:
+//!
+//! * **purge** — while raised, the switch kills every resident worm
+//!   (returning one credit upstream per buffered flit, so link-level
+//!   credit conservation holds) and swallows arriving stragglers. The
+//!   orchestrator raises it only after a drain grace period, so whatever
+//!   a purge kills was wedged against a dead link; the end-to-end
+//!   retransmission ledger re-sends the payload later.
+//! * **table swap** — a pending `Rc<RouteTables>` the switch installs the
+//!   first tick it finds itself completely empty. Swapping only-when-empty
+//!   means no in-flight worm ever decodes against a mix of old and new
+//!   tables.
+
+use mintopo::route::RouteTables;
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+/// Shared control cell between one switch and the fault-response
+/// orchestrator.
+#[derive(Debug, Default)]
+pub struct SwitchCtl {
+    purging: Cell<bool>,
+    empty: Cell<bool>,
+    pending_tables: RefCell<Option<Rc<RouteTables>>>,
+}
+
+impl SwitchCtl {
+    /// Creates a control cell (no purge raised, no pending tables).
+    pub fn new() -> Rc<Self> {
+        Rc::new(SwitchCtl::default())
+    }
+
+    /// Raises the purge command; the switch clears itself on its next tick
+    /// and keeps swallowing arrivals until [`SwitchCtl::end_purge`].
+    pub fn begin_purge(&self) {
+        self.purging.set(true);
+    }
+
+    /// Lowers the purge command; the switch resumes normal operation.
+    pub fn end_purge(&self) {
+        self.purging.set(false);
+    }
+
+    /// `true` while the purge command is raised.
+    pub fn purging(&self) -> bool {
+        self.purging.get()
+    }
+
+    /// Stages `tables` for installation; the switch swaps them in on the
+    /// first tick it is completely empty. Overwrites any earlier pending
+    /// swap that has not been picked up yet.
+    pub fn install_tables(&self, tables: Rc<RouteTables>) {
+        *self.pending_tables.borrow_mut() = Some(tables);
+    }
+
+    /// `true` while a staged table swap has not been picked up.
+    pub fn tables_pending(&self) -> bool {
+        self.pending_tables.borrow().is_some()
+    }
+
+    pub(crate) fn take_tables(&self) -> Option<Rc<RouteTables>> {
+        self.pending_tables.borrow_mut().take()
+    }
+
+    /// `true` if the switch reported itself completely empty (no staged
+    /// flits, no resident worms, all buffer space free) at the end of its
+    /// most recent tick. `false` before the first tick.
+    ///
+    /// The quiesce orchestrator polls this after a purge to confirm the
+    /// fabric has drained before activating new tables.
+    pub fn is_empty(&self) -> bool {
+        self.empty.get()
+    }
+
+    pub(crate) fn set_empty(&self, empty: bool) {
+        self.empty.set(empty);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn purge_flag_toggles() {
+        let ctl = SwitchCtl::new();
+        assert!(!ctl.purging());
+        ctl.begin_purge();
+        assert!(ctl.purging());
+        ctl.end_purge();
+        assert!(!ctl.purging());
+    }
+}

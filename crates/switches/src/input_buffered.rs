@@ -19,6 +19,7 @@
 //! the shared central buffer, which strengthens that conclusion.
 
 use crate::config::{ReplicationMode, SwitchConfig};
+use crate::ctl::SwitchCtl;
 use crate::decode::{resolve_branches, HeaderClock};
 use crate::stats::{header_dests, BlockedWormSnap, SwitchSnapshot, SwitchStats};
 use mintopo::route::RouteTables;
@@ -75,6 +76,7 @@ pub struct InputBufferedSwitch {
     inputs: Vec<IbInput>,
     outputs: Vec<IbOutput>,
     stats: Rc<RefCell<SwitchStats>>,
+    ctl: Option<Rc<SwitchCtl>>,
 }
 
 impl InputBufferedSwitch {
@@ -115,6 +117,7 @@ impl InputBufferedSwitch {
             cfg,
             tables,
             stats,
+            ctl: None,
         }
     }
 
@@ -122,11 +125,80 @@ impl InputBufferedSwitch {
     pub fn id(&self) -> SwitchId {
         self.id
     }
+
+    /// Attaches the out-of-band control cell (see [`SwitchCtl`]) through
+    /// which the fault-response orchestrator requests purges and stages
+    /// routing-table swaps.
+    pub fn set_ctl(&mut self, ctl: Rc<SwitchCtl>) {
+        self.ctl = Some(ctl);
+    }
+
+    /// No buffered flits, no resident packets, no owned transmitters: safe
+    /// to swap routing tables.
+    fn empty_now(&self) -> bool {
+        self.inputs
+            .iter()
+            .all(|inp| inp.packets.is_empty() && inp.occupied == 0 && inp.branches.is_none())
+            && self.outputs.iter().all(|o| o.owner.is_none())
+    }
+
+    /// Kills every resident worm: one credit is returned upstream per
+    /// buffered flit (the credit loop *is* the input buffer, so this makes
+    /// the upstream sender whole), transmitter ownership is dropped, and
+    /// the at-most-one flit arriving this cycle is swallowed so in-flight
+    /// link stragglers cannot land a body flit with no head packet.
+    fn purge(&mut self, now: Cycle, io: &mut PortIo<'_>) {
+        let mut flits = 0u64;
+        let mut worms = 0u64;
+        for (i, input) in self.inputs.iter_mut().enumerate() {
+            if io.recv(i).is_some() {
+                io.return_credit(i);
+                flits += 1;
+            }
+            for _ in 0..input.occupied {
+                io.return_credit(i);
+            }
+            flits += u64::from(input.occupied);
+            worms += input.packets.len() as u64;
+            input.occupied = 0;
+            input.packets.clear();
+            input.branches = None;
+            input.freed_of_head = 0;
+            input.became_head = now;
+            input.clock = HeaderClock::default();
+        }
+        for out in self.outputs.iter_mut() {
+            out.owner = None;
+        }
+        if flits + worms > 0 {
+            let mut st = self.stats.borrow_mut();
+            st.purged_flits += flits;
+            st.purged_worms += worms;
+        }
+    }
 }
 
 impl Component for InputBufferedSwitch {
     #[allow(clippy::needless_range_loop)] // index loops enable split borrows across ports
     fn tick(&mut self, now: Cycle, io: &mut PortIo<'_>) {
+        if let Some(ctl) = self.ctl.clone() {
+            if ctl.purging() {
+                self.purge(now, io);
+                ctl.set_empty(true);
+                self.stats.borrow_mut().ib_used_flits.observe(0);
+                return;
+            }
+            if ctl.tables_pending() && self.empty_now() {
+                let tables = ctl.take_tables().expect("pending checked");
+                assert_eq!(
+                    tables.table(self.id).n_ports(),
+                    self.cfg.ports,
+                    "swapped routing table port count mismatch for {}",
+                    self.id
+                );
+                self.tables = tables;
+            }
+        }
         let ports = self.cfg.ports;
         let InputBufferedSwitch {
             cfg,
@@ -134,6 +206,7 @@ impl Component for InputBufferedSwitch {
             inputs,
             outputs,
             stats,
+            ctl,
             id,
         } = self;
         let table = tables.table(*id);
@@ -382,6 +455,14 @@ impl Component for InputBufferedSwitch {
         }
 
         stats.borrow_mut().ib_used_flits.observe(occupancy_sum);
+
+        if let Some(ctl) = ctl {
+            let empty = inputs
+                .iter()
+                .all(|inp| inp.packets.is_empty() && inp.occupied == 0 && inp.branches.is_none())
+                && outputs.iter().all(|o| o.owner.is_none());
+            ctl.set_empty(empty);
+        }
     }
 }
 
@@ -567,6 +648,82 @@ mod tests {
         let pkt = PacketBuilder::unicast(NodeId(0), NodeId(1), 200, 4).build();
         w.inject(0, pkt);
         w.engine.run_for(50);
+    }
+
+    fn ctl_world(cfg: SwitchConfig) -> (Rc<SwitchCtl>, TestWorld) {
+        let credits = cfg.input_buf_flits;
+        let ctl = SwitchCtl::new();
+        let c = ctl.clone();
+        let w = single_switch_world(4, cfg, credits, move |id, cfg, tables, stats| {
+            let mut sw = InputBufferedSwitch::new(id, cfg, tables, stats);
+            sw.set_ctl(c);
+            Box::new(sw)
+        });
+        (ctl, w)
+    }
+
+    #[test]
+    fn purge_kills_resident_worm_and_restores_credits() {
+        let (ctl, mut w) = ctl_world(cfg4());
+        let dests = DestSet::from_nodes(4, [1, 2, 3].map(NodeId));
+        let pkt = PacketBuilder::multicast(NodeId(0), dests, 40).build();
+        let total = pkt.total_flits() as u64;
+        w.inject(0, pkt);
+        // Purge mid-replication; the source streams the rest into the
+        // swallow (one credit back per straggler keeps it draining).
+        w.engine.run_for(10);
+        ctl.begin_purge();
+        w.engine.run_for(total + 20);
+        ctl.end_purge();
+        assert!(ctl.is_empty(), "purged switch reports empty");
+        {
+            let st = w.stats.borrow();
+            assert!(st.purged_flits > 0, "buffered/straggler flits were killed");
+            assert!(st.purged_worms >= 1, "the resident worm was killed");
+        }
+        // Fresh traffic proves the credit loop (= the input buffer) is whole.
+        let before = sink_flits(&w, 3);
+        let pkt = PacketBuilder::unicast(NodeId(0), NodeId(3), 16, 4)
+            .id(PacketId(50))
+            .build();
+        let t = pkt.total_flits() as usize;
+        w.inject(0, pkt);
+        w.engine.run_for(100);
+        assert_eq!(sink_flits(&w, 3) - before, t, "post-purge delivery");
+    }
+
+    #[test]
+    fn pending_table_swap_waits_for_empty_then_reroutes() {
+        use mintopo::reach::{PortClass, PortInfo};
+        use mintopo::route::{RouteTables, SwitchTable};
+        let (ctl, mut w) = ctl_world(cfg4());
+        let dests = DestSet::from_nodes(4, [1, 2, 3].map(NodeId));
+        w.inject(0, PacketBuilder::multicast(NodeId(0), dests, 40).build());
+        w.engine.run_for(10);
+        let down = |n: u32| PortInfo {
+            class: PortClass::Down,
+            reach: DestSet::singleton(4, NodeId(n)),
+        };
+        let swapped = RouteTables::from_tables(
+            vec![SwitchTable::from_ports(
+                vec![down(0), down(2), down(1), down(3)],
+                4,
+            )],
+            4,
+        );
+        ctl.install_tables(Rc::new(swapped));
+        w.engine.run_for(3);
+        assert!(ctl.tables_pending(), "switch is busy; swap must wait");
+        w.engine.run_for(400);
+        assert!(!ctl.tables_pending(), "swap applied once empty");
+        let before = sink_flits(&w, 2);
+        let pkt = PacketBuilder::unicast(NodeId(0), NodeId(1), 8, 4)
+            .id(PacketId(9))
+            .build();
+        let t = pkt.total_flits() as usize;
+        w.inject(0, pkt);
+        w.engine.run_for(100);
+        assert_eq!(sink_flits(&w, 2) - before, t, "rerouted by the new table");
     }
 
     #[test]

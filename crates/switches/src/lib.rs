@@ -26,6 +26,7 @@
 
 pub mod central;
 pub mod config;
+pub mod ctl;
 mod decode;
 pub mod input_buffered;
 pub mod stats;
@@ -33,6 +34,7 @@ mod testutil;
 
 pub use central::CentralBufferSwitch;
 pub use config::{ConfigError, ReplicationMode, SwitchConfig, UpSelect};
+pub use ctl::SwitchCtl;
 pub use decode::verify_bitstring_roundtrip;
 pub use input_buffered::InputBufferedSwitch;
 pub use stats::{BlockedWormSnap, SwitchSnapshot, SwitchStats};

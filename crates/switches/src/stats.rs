@@ -78,6 +78,12 @@ pub struct SwitchStats {
     pub branches_created: u64,
     /// Cycles some packet spent waiting for a central-queue reservation.
     pub reservation_wait_cycles: u64,
+    /// Flits destroyed by a quiesce purge (their credits were returned
+    /// upstream, so link-level conservation holds; the payload is the
+    /// retransmission ledger's problem).
+    pub purged_flits: u64,
+    /// Resident worms and queued branches killed by a quiesce purge.
+    pub purged_worms: u64,
     /// Free central-queue chunks at the end of the last cycle (probe for
     /// leak tests; central-buffer architecture only).
     pub cq_free_now: usize,

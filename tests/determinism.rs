@@ -79,6 +79,71 @@ fn faulty_runs_with_recovery_are_bit_identical() {
 }
 
 #[test]
+fn fault_response_sweep_is_identical_across_worker_counts() {
+    use collectives::RecoveryConfig;
+    use mdworm::respond::ResponseConfig;
+    use mdworm::sweep::{run_sweep, SweepJob};
+    use netsim::FaultPlan;
+
+    // Seeded link outages (longer than the responder's debounce window)
+    // with the full recovery + online-response pipeline armed: the
+    // detect/reroute/quiesce/degrade protocol must replay byte-identically
+    // whatever the sweep pool size.
+    let jobs = || -> Vec<SweepJob> {
+        [SwitchArch::CentralBuffer, SwitchArch::InputBuffered]
+            .into_iter()
+            .map(|arch| {
+                SweepJob::new(
+                    SystemConfig {
+                        // Wide leaves (4 up links each): the random
+                        // outages degrade paths without ever partitioning
+                        // a subtree outright, which no reroute can mask.
+                        topology: TopologyKind::KaryTree { k: 4, n: 2 },
+                        arch,
+                        recovery: Some(RecoveryConfig::default()),
+                        response: Some(ResponseConfig::default()),
+                        ..cfg(31)
+                    },
+                    TrafficSpec::multiple_multicast(0.04, 4, 16),
+                    RunConfig {
+                        warmup: 200,
+                        measure: 4_000,
+                        drain_max: 400_000,
+                        faults: Some(FaultPlan {
+                            seed: 99,
+                            flit_drop: 0.0,
+                            flit_corrupt: 0.0,
+                            down_every: 2_500,
+                            down_len: 200,
+                            credit_leak: 0.0,
+                        }),
+                        ..RunConfig::default()
+                    },
+                )
+            })
+            .collect()
+    };
+    let serial = run_sweep(jobs(), 1);
+    let parallel = run_sweep(jobs(), 4);
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.mcast_last, p.mcast_last);
+        assert_eq!(s.throughput.to_bits(), p.throughput.to_bits());
+        assert_eq!(s.completed_mcasts, p.completed_mcasts);
+        assert_eq!(s.cycles, p.cycles);
+        assert_eq!(s.leftover, p.leftover);
+        assert_eq!(s.faults, p.faults);
+        assert_eq!(s.recovery, p.recovery);
+        assert_eq!(s.response, p.response);
+        assert_eq!(s.degrade, p.degrade);
+    }
+    // And the pipeline really engaged: outages were confirmed and at
+    // least one masked reroute was installed.
+    assert!(serial.iter().any(|o| o.response.links_down > 0));
+    assert!(serial.iter().any(|o| o.response.reroutes > 0));
+}
+
+#[test]
 fn determinism_holds_for_every_scheme() {
     let run = RunConfig::quick();
     for (arch, mcast) in [

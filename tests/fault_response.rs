@@ -1,0 +1,246 @@
+//! End-to-end online fault response (DESIGN.md §10): scripted link
+//! outages against live collective traffic, driving the full
+//! detect → quiesce → reroute → degrade → heal pipeline.
+//!
+//! CI runs this file under `--features invariant-audit`, so every
+//! scenario here doubles as a flit/credit conservation check across
+//! gate, purge, and table-swap boundaries.
+
+use collectives::RecoveryConfig;
+use mdworm::build::{build_system, System};
+use mdworm::config::{McastImpl, SwitchArch, SystemConfig, TopologyKind};
+use mdworm::respond::{outage, FaultResponder, ResponseConfig, ResponseEvent};
+use mdworm::workload::{make_sources, TrafficSpec};
+use mintopo::reach::{PortClass, PortInfo};
+use mintopo::route::{RouteTables, SwitchTable};
+use mintopo::topology::{Attach, Topology};
+use netsim::destset::DestSet;
+use netsim::ids::{NodeId, SwitchId};
+
+fn fault_cfg(topology: TopologyKind, arch: SwitchArch) -> SystemConfig {
+    SystemConfig {
+        topology,
+        arch,
+        mcast: McastImpl::HwBitString,
+        recovery: Some(RecoveryConfig::default()),
+        response: Some(ResponseConfig::default()),
+        ..SystemConfig::default()
+    }
+}
+
+/// Builds a system offering multiple-multicast traffic until `stop_at`.
+fn build(cfg: SystemConfig, load: f64, degree: usize, stop_at: u64) -> System {
+    let n = cfg.n_hosts();
+    let spec = TrafficSpec::multiple_multicast(load, degree, 16);
+    let sources = make_sources(&spec, n, cfg.seed, Some(stop_at));
+    build_system(cfg, sources, None)
+}
+
+/// Steps the engine to `until`, polling the responder between slices.
+fn drive(sys: &mut System, resp: &mut FaultResponder, until: u64) {
+    while sys.engine.now() < until {
+        let step = 32.min(until - sys.engine.now());
+        sys.engine.run_for(step);
+        resp.poll(sys);
+    }
+}
+
+/// Drains until the delivery ledger is settled; returns leftover messages.
+fn drain(sys: &mut System, resp: &mut FaultResponder, budget: u64) -> usize {
+    let end = sys.engine.now() + budget;
+    while sys.tracker().borrow().outstanding() > 0 && sys.engine.now() < end {
+        sys.engine.run_for(100);
+        resp.poll(sys);
+    }
+    sys.tracker().borrow().outstanding()
+}
+
+fn replications(sys: &System) -> u64 {
+    sys.switch_stats
+        .iter()
+        .map(|s| s.borrow().packets_replicated)
+        .sum()
+}
+
+/// A mid-collective cut of one root→leaf link on the SP2-scale default
+/// tree: the vetted masked reroute keeps full worm coverage (every other
+/// root still reaches the leaf), and no payload is lost end to end.
+#[test]
+fn single_cut_mid_collective_is_lossless() {
+    for arch in [SwitchArch::CentralBuffer, SwitchArch::InputBuffered] {
+        let cfg = fault_cfg(TopologyKind::KaryTree { k: 4, n: 3 }, arch);
+        let mut sys = build(cfg, 0.03, 8, 5_000);
+        let (link, _) = outage::single_cut(&sys, NodeId::from(16usize));
+        sys.engine.script_outage(link, 1_000, 4_000);
+
+        let mut resp = FaultResponder::new(ResponseConfig::default(), &mut sys);
+        drive(&mut sys, &mut resp, 5_000);
+        let leftover = drain(&mut sys, &mut resp, 200_000);
+
+        let c = resp.counters();
+        assert_eq!(leftover, 0, "{arch:?}: lost payloads across the cut");
+        assert!(c.reroutes >= 1, "{arch:?}: cut must trigger a reroute");
+        assert!(c.heals >= 1, "{arch:?}: link restore must heal");
+        assert_eq!(c.reroutes_rejected, 0, "{arch:?}: honest rebuilds pass");
+        assert!(
+            sys.fabric_mode.counters().peeled_dests == 0,
+            "{arch:?}: a single cut never defeats worm coverage on 3 stages"
+        );
+        assert!(sys.engine.flits_in_links() == 0, "{arch:?}: fabric drained");
+    }
+}
+
+/// A crossed cut that severs every single-worm covering of two leaves:
+/// each root loses its down-link toward one of the two subtrees, so the
+/// degradation planner must peel the uncoverable destinations into the
+/// binomial-tree U-Min unicast fallback — and still nothing is lost.
+#[test]
+fn crossed_cut_completes_through_unicast_fallback() {
+    let cfg = fault_cfg(
+        TopologyKind::KaryTree { k: 4, n: 2 },
+        SwitchArch::CentralBuffer,
+    );
+    let mut sys = build(cfg, 0.04, 4, 4_000);
+    let (d1, d2) = (NodeId::from(4usize), NodeId::from(8usize));
+    for (link, _) in outage::crossed_cut(&sys, d1, d2) {
+        sys.engine.script_outage(link, 500, 3_000);
+    }
+
+    let mut resp = FaultResponder::new(ResponseConfig::default(), &mut sys);
+    drive(&mut sys, &mut resp, 3_000);
+    let at_heal = replications(&sys);
+    drive(&mut sys, &mut resp, 4_000);
+    let leftover = drain(&mut sys, &mut resp, 200_000);
+
+    assert_eq!(leftover, 0, "peeled destinations must still be served");
+    let d = sys.fabric_mode.counters();
+    assert!(d.peeled_dests > 0, "crossed cut must force the peel");
+    assert!(d.split_mcasts > 0, "peeling splits the multicast plan");
+    assert!(resp.counters().heals >= 1, "fabric must heal after restore");
+    // After heal, hardware replication picks back up in the switches.
+    assert!(
+        replications(&sys) > at_heal,
+        "switch replication counters must resume after heal"
+    );
+}
+
+/// The deadlock vet gate: a candidate table set whose channel-dependency
+/// graph has a cycle is rejected, the fabric stays on the proven-good old
+/// tables (running degraded), and traffic still completes after heal.
+#[test]
+fn cyclic_reroute_candidate_is_rejected_and_logged() {
+    let cfg = fault_cfg(
+        TopologyKind::KaryTree { k: 4, n: 2 },
+        SwitchArch::CentralBuffer,
+    );
+    let mut sys = build(cfg, 0.02, 4, 3_000);
+    let (link, _) = outage::single_cut(&sys, NodeId::from(4usize));
+    sys.engine.script_outage(link, 500, 2_000);
+
+    let mut resp = FaultResponder::new(ResponseConfig::default(), &mut sys);
+    // A buggy out-of-band route planner: the masked rebuild is patched so
+    // one leaf and its root each classify their shared cable as *down*
+    // with full reach ("the other side is deeper") — a 2-cycle in the
+    // channel-dependency graph. Healing (empty dead set) stays honest.
+    resp.set_candidate_builder(Box::new(corrupt_builder));
+
+    let before = sys.tables.clone();
+    drive(&mut sys, &mut resp, 3_000);
+    let leftover = drain(&mut sys, &mut resp, 200_000);
+
+    let c = resp.counters();
+    assert!(
+        c.reroutes_rejected >= 1,
+        "the cyclic candidate must be vetoed"
+    );
+    let rejection = resp
+        .events()
+        .iter()
+        .find_map(|(_, e)| match e {
+            ResponseEvent::RerouteRejected { code, message } => Some((code, message)),
+            _ => None,
+        })
+        .expect("rejection must be logged in the event stream");
+    assert_eq!(rejection.0, "cdg-cycle", "{}", rejection.1);
+    // The healed tables are a fresh (honest) rebuild; what matters is
+    // that the cyclic candidate itself was never installed mid-outage.
+    let installed_cyclic = resp
+        .events()
+        .iter()
+        .any(|(_, e)| matches!(e, ResponseEvent::Rerouted { .. }));
+    assert!(!installed_cyclic, "rejected candidates must never install");
+    assert!(!std::rc::Rc::ptr_eq(&before, &sys.tables) || leftover == 0);
+    assert_eq!(leftover, 0, "old tables + heal must still deliver all");
+    assert!(c.heals >= 1, "heal path must stay open after a rejection");
+}
+
+/// Patches the honest masked rebuild into a CDG-cyclic candidate whenever
+/// any port is actually dead (see
+/// `cyclic_reroute_candidate_is_rejected_and_logged`).
+fn corrupt_builder(topo: &Topology, dead: &[(SwitchId, usize)]) -> RouteTables {
+    let honest = RouteTables::build_masked(topo, dead);
+    if dead.is_empty() {
+        return honest;
+    }
+    let n = topo.n_hosts();
+    let (leaf, up, root, down) = (0..topo.n_switches())
+        .map(SwitchId::from)
+        .find_map(|s| {
+            honest
+                .table(s)
+                .up_ports()
+                .first()
+                .map(|&u| match topo.attach(s, u) {
+                    Attach::Switch(r, rp) => (s, u, r, rp),
+                    _ => unreachable!("up ports lead to switches"),
+                })
+        })
+        .expect("a multistage tree has a leaf with an up port");
+    let full = DestSet::full(n);
+    let tables = (0..topo.n_switches())
+        .map(SwitchId::from)
+        .map(|s| {
+            let t = honest.table(s);
+            let mut ports: Vec<PortInfo> = (0..t.n_ports()).map(|p| t.port(p).clone()).collect();
+            if s == leaf {
+                ports[up] = PortInfo {
+                    class: PortClass::Down,
+                    reach: full.clone(),
+                };
+            }
+            if s == root {
+                ports[down] = PortInfo {
+                    class: PortClass::Down,
+                    reach: full.clone(),
+                };
+            }
+            SwitchTable::from_ports(ports, n)
+        })
+        .collect();
+    RouteTables::from_tables(tables, n)
+}
+
+/// Miniature E17 timeline — the CI smoke target. Under
+/// `--features invariant-audit` every cycle of this four-phase script is
+/// audited for flit and credit conservation.
+#[test]
+fn miniature_e17_timeline_is_lossless() {
+    let base = SystemConfig {
+        topology: TopologyKind::KaryTree { k: 4, n: 2 },
+        ..SystemConfig::default()
+    };
+    let rows = mdworm::experiments::e17_fault_response(&base, 2_000, 0.04, 4, 16);
+    assert_eq!(rows.len(), 8, "2 schemes x 4 phases");
+    for r in &rows {
+        assert_eq!(r.leftover, 0, "{}/{}: lost payloads", r.scheme, r.phase);
+        assert_eq!(r.rejected, 0, "{}/{}: spurious veto", r.scheme, r.phase);
+    }
+    assert!(
+        rows.iter().any(|r| r.phase == "degraded" && r.peeled > 0),
+        "the crossed-cut phase must exercise the U-Min fallback"
+    );
+    assert!(
+        rows.iter().any(|r| r.phase == "rerouted" && r.reroutes > 0),
+        "the single-cut phase must exercise the vetted reroute"
+    );
+}
