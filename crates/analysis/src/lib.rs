@@ -30,12 +30,16 @@
 
 pub mod cdg;
 pub mod checks;
+pub mod model;
+pub mod replay;
 pub mod report;
 pub mod roundtrip;
 pub mod scc;
 
 pub use cdg::{build_cdg, Channel, ChannelGraph, Dependency, ShapeClass};
 pub use checks::{switch_sizing, ArchClass};
+pub use model::{check_model, CheckOutcome, ModelBounds, ModelStats, TraceStep, Violation};
+pub use replay::{replay_cq_trace, ReplayMismatch, ReplayReport};
 pub use report::{AnalysisStats, ConfigReport, CycleReport, Diagnostic, Severity};
 pub use roundtrip::lint_roundtrips;
 pub use scc::tarjan_sccs;
@@ -123,11 +127,53 @@ pub fn vet_reroute(
     policy: ReplicatePolicy,
 ) -> Result<AnalysisStats, Box<ConfigReport>> {
     let mut report = ConfigReport::new();
+    check_live_switches(topo, candidate, &mut report);
     analyze_fabric(topo, candidate, policy, &mut report);
     if report.has_errors() {
         Err(Box::new(report))
     } else {
         Ok(report.stats)
+    }
+}
+
+/// Rejects candidate tables that strand a live switch: one with a host
+/// still attached but whose masked reach strings are empty on *every*
+/// port. Such a table set induces no channels at that switch, so the
+/// channel-dependency graph is vacuously acyclic and the CDG pass alone
+/// would wave the candidate through — yet the attached host's first
+/// injected worm has nowhere to route and wedges the input forever.
+fn check_live_switches(topo: &Topology, candidate: &RouteTables, report: &mut ConfigReport) {
+    use mintopo::topology::Attach;
+    use netsim::ids::SwitchId;
+    for s in 0..topo.n_switches() {
+        let sw = SwitchId(s as u32);
+        let hosts: Vec<u32> = (0..topo.ports(sw))
+            .filter_map(|p| match topo.attach(sw, p) {
+                Attach::Host(h) => Some(h.0),
+                _ => None,
+            })
+            .collect();
+        if hosts.is_empty() {
+            continue; // transit switch fully masked off — legitimately dark
+        }
+        let table = candidate.table(sw);
+        let routable = (0..table.n_ports()).any(|p| !table.port(p).reach.is_empty());
+        if !routable {
+            report.error(
+                "unreachable-switch",
+                format!(
+                    "switch {s} still has {} attached host(s) ({}) but every port's \
+                     reach string is empty — the CDG is vacuously acyclic there, yet \
+                     any worm injected at the switch can never be routed",
+                    hosts.len(),
+                    hosts
+                        .iter()
+                        .map(|h| format!("h{h}"))
+                        .collect::<Vec<_>>()
+                        .join(","),
+                ),
+            );
+        }
     }
 }
 
@@ -238,5 +284,54 @@ mod tests {
         // The cycle names both switch output channels.
         let channels = report.cycles[0].channels.join(" ");
         assert!(channels.contains("out0"), "{channels}");
+    }
+
+    #[test]
+    fn stranded_live_switch_is_rejected_despite_acyclic_cdg() {
+        use mintopo::reach::PortInfo;
+        use mintopo::route::SwitchTable;
+        use netsim::destset::DestSet;
+        use netsim::ids::SwitchId;
+
+        let topo = two_root_net();
+        // Candidate that over-masks: every port of leaf s1 has an empty
+        // reach string, as if all its cables (and even its own hosts)
+        // were masked — but hosts h2/h3 are still attached in the
+        // topology and still inject there. With no channels at s1 the
+        // CDG is vacuously acyclic, so only the liveness check can
+        // catch this.
+        let honest = RouteTables::build(&topo);
+        let empty = DestSet::empty(4);
+        let dark = SwitchTable::from_ports(
+            (0..4)
+                .map(|p| PortInfo {
+                    class: honest.table(SwitchId(1)).port(p).class,
+                    reach: empty.clone(),
+                })
+                .collect(),
+            4,
+        );
+        let tables: Vec<SwitchTable> = (0..topo.n_switches())
+            .map(|s| {
+                if s == 1 {
+                    dark.clone()
+                } else {
+                    honest.table(SwitchId(s as u32)).clone()
+                }
+            })
+            .collect();
+        let candidate = RouteTables::from_tables(tables, 4);
+
+        let report = vet_reroute(&topo, &candidate, ReplicatePolicy::ReturnOnly)
+            .expect_err("stranded live switch must be rejected");
+        let diag = report
+            .errors()
+            .find(|d| d.code == "unreachable-switch")
+            .unwrap_or_else(|| panic!("missing unreachable-switch: {:?}", report.diagnostics));
+        assert!(diag.message.contains("switch 1"), "{}", diag.message);
+        assert!(diag.message.contains("h2"), "{}", diag.message);
+        // And no spurious cdg-cycle: the failure mode is exactly that
+        // the CDG pass alone sees nothing wrong.
+        assert!(report.cycles.is_empty());
     }
 }

@@ -1,0 +1,1200 @@
+//! `mdw-model` — bounded model checking of the switch state machines.
+//!
+//! The CDG/SCC analyzer ([`crate::cdg`], [`crate::scc`]) proves an
+//! *acyclic routing graph*, which rules out one class of deadlock but says
+//! nothing about chunk-allocation races, credit underflow, or
+//! replication stalls inside a switch. This module checks the *transition
+//! system* instead: it exhaustively explores every reachable state of
+//! small (1–4 switch) fabrics under a fixed worm alphabet — unicast,
+//! ascending and descending multidestination, and replicating worms —
+//! driving the **same pure step cores the live switches run**
+//! ([`switches::semantics::cq_step`] for the central queue,
+//! [`switches::semantics::ib_step`] for input-buffered heads).
+//!
+//! Per explored state it verifies the safety invariants (chunk
+//! conservation, no leak at quiescence, bounded replication fan-out), and
+//! over the full reachability graph it verifies the paper's
+//! *buffered-eventually* liveness condition via terminal-SCC analysis:
+//! every terminal strongly connected component must be the singleton
+//! all-delivered state. A violation comes with a **minimal counterexample
+//! trace** (BFS order guarantees minimality in transitions).
+//!
+//! ## Abstraction
+//!
+//! States are explored at *chunk* granularity. A worm is a list of
+//! `Visit`s — one per switch it crosses, precomputed by walking the real
+//! `mintopo` routing tables — and each visit advances through
+//! `Pending → (Waiting →) Stored → Done`. Cut-through is modeled by the
+//! *fill* constraint: a branch can forward chunk `k` only after its
+//! parent visit has forwarded chunk `k` into this switch. Central-buffer
+//! admission debits the full reservation through [`cq_step`]; released
+//! chunks flow back through the same function, so the descending-reserve
+//! and single-waiter-accumulator rules are checked exactly as
+//! implemented. Input-buffered visits carry a live [`IbHeadState`] and
+//! advance through [`ib_step`] — including the lock-step
+//! (synchronous-replication) variant, whose crossed-grant deadlock the
+//! checker finds with a 4-step counterexample.
+
+use crate::checks::ArchClass;
+use mintopo::reach::PortClass;
+use mintopo::route::{pick_deterministic, McastRoute, ReplicatePolicy, RouteTables, UnicastRoute};
+use mintopo::topology::{Attach, Topology, TopologyBuilder};
+use netsim::destset::DestSet;
+use netsim::ids::{NodeId, SwitchId};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use switches::semantics::{
+    cq_step, ib_step, CqEffect, CqEvent, CqState, IbEffect, IbEvent, IbHeadState,
+};
+
+/// Exploration bounds of the checker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelBounds {
+    /// Largest fabric explored (scenarios with more switches are skipped).
+    pub max_switches: usize,
+    /// Worm length in central-queue chunks (1–4).
+    pub worm_chunks: usize,
+    /// Abstract central-queue capacity in chunks.
+    pub cq_chunks: usize,
+    /// Descending-traffic reserve of the abstract central queue.
+    pub cq_reserve: usize,
+    /// Hard cap on explored states per scenario.
+    pub max_states: usize,
+}
+
+impl Default for ModelBounds {
+    fn default() -> Self {
+        ModelBounds {
+            max_switches: 2,
+            worm_chunks: 2,
+            cq_chunks: 4,
+            cq_reserve: 2,
+            max_states: 400_000,
+        }
+    }
+}
+
+/// One transition of a counterexample trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceStep {
+    /// Human-readable description of the transition.
+    pub label: String,
+}
+
+/// A property violation with its minimal counterexample.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Scenario (fabric + worm set) the violation occurred in.
+    pub scenario: String,
+    /// Violation class: `deadlock`, `livelock`, `invariant`, or
+    /// `state-bound`.
+    pub kind: String,
+    /// What went wrong in the violating state.
+    pub detail: String,
+    /// Minimal transition sequence from the initial state.
+    pub trace: Vec<TraceStep>,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{} in scenario '{}': {}",
+            self.kind, self.scenario, self.detail
+        )?;
+        writeln!(f, "counterexample ({} steps):", self.trace.len())?;
+        for (i, step) in self.trace.iter().enumerate() {
+            writeln!(f, "  {:>3}. {}", i + 1, step.label)?;
+        }
+        Ok(())
+    }
+}
+
+/// Coverage counters of a successful check.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ModelStats {
+    /// Scenarios (fabric + worm set combinations) explored.
+    pub scenarios: usize,
+    /// Reachable states across all scenarios.
+    pub states: usize,
+    /// Transitions across all scenarios.
+    pub transitions: usize,
+}
+
+/// Result of a model check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckOutcome {
+    /// Every scenario verified: invariants hold in every reachable state
+    /// and every terminal SCC is the all-delivered state.
+    Verified(ModelStats),
+    /// A property failed; the violation carries a minimal counterexample.
+    Violated(Box<Violation>),
+}
+
+impl CheckOutcome {
+    /// `true` when the check verified every scenario.
+    pub fn is_verified(&self) -> bool {
+        matches!(self, CheckOutcome::Verified(_))
+    }
+}
+
+/// Checks the given switch architecture (with synchronous or asynchronous
+/// replication) against every bounded scenario.
+///
+/// Scenarios cover a single switch with crossed multicasts, and a
+/// two-switch parent/child fabric with ascending, descending, and
+/// replicating worms (plus, when `bounds.max_switches >= 4`, a
+/// four-switch two-root fabric). The central-buffer architecture
+/// replicates from the shared queue and is inherently asynchronous, so
+/// `sync_replication` is ignored for it.
+pub fn check_model(
+    arch: ArchClass,
+    sync_replication: bool,
+    policy: ReplicatePolicy,
+    bounds: &ModelBounds,
+) -> CheckOutcome {
+    let sync = sync_replication && arch == ArchClass::InputBuffered;
+    let mut stats = ModelStats::default();
+    for scenario in scenarios(bounds.max_switches) {
+        let plan = match build_plan(&scenario, policy, bounds.worm_chunks) {
+            Ok(p) => p,
+            Err(e) => {
+                return CheckOutcome::Violated(Box::new(Violation {
+                    scenario: scenario.name.to_string(),
+                    kind: "plan".into(),
+                    detail: e,
+                    trace: Vec::new(),
+                }))
+            }
+        };
+        let ctx = Ctx {
+            plan: &plan,
+            arch,
+            sync,
+            len: bounds.worm_chunks as u16,
+            cq_chunks: bounds.cq_chunks,
+            cq_reserve: bounds.cq_reserve,
+            max_states: bounds.max_states,
+            scenario: scenario.name,
+        };
+        match ctx.explore() {
+            Ok(s) => {
+                stats.scenarios += 1;
+                stats.states += s.states;
+                stats.transitions += s.transitions;
+            }
+            Err(v) => return CheckOutcome::Violated(v),
+        }
+    }
+    CheckOutcome::Verified(stats)
+}
+
+// ---------------------------------------------------------------------
+// Scenarios: small fabrics + worm alphabets.
+// ---------------------------------------------------------------------
+
+#[derive(Clone)]
+enum WormKind {
+    Unicast(NodeId),
+    Mcast(DestSet),
+}
+
+struct Scenario {
+    name: &'static str,
+    topo: Topology,
+    n_switches: usize,
+    worms: Vec<(NodeId, WormKind)>,
+}
+
+/// One switch, four hosts: the crossed-multicast scenario that separates
+/// asynchronous from synchronous replication.
+fn single_switch() -> Topology {
+    let mut b = TopologyBuilder::new(4);
+    let s = b.add_switch(4, 0);
+    for h in 0..4 {
+        b.attach_host(NodeId(h), s, h as usize);
+    }
+    b.build()
+}
+
+/// A leaf (hosts 0, 1) under a root (hosts 2, 3): ascending, descending,
+/// and cross-stage traffic.
+fn pair() -> Topology {
+    let mut b = TopologyBuilder::new(4);
+    let s0 = b.add_switch(3, 1);
+    let s1 = b.add_switch(3, 0);
+    b.attach_host(NodeId(0), s0, 0);
+    b.attach_host(NodeId(1), s0, 1);
+    b.attach_host(NodeId(2), s1, 0);
+    b.attach_host(NodeId(3), s1, 1);
+    b.connect(s0, 2, s1, 2);
+    b.build()
+}
+
+/// Two leaves under two roots: path diversity and root-level replication.
+fn quad() -> Topology {
+    let mut b = TopologyBuilder::new(4);
+    let s0 = b.add_switch(4, 1);
+    let s1 = b.add_switch(4, 1);
+    let r0 = b.add_switch(2, 0);
+    let r1 = b.add_switch(2, 0);
+    b.attach_host(NodeId(0), s0, 0);
+    b.attach_host(NodeId(1), s0, 1);
+    b.attach_host(NodeId(2), s1, 0);
+    b.attach_host(NodeId(3), s1, 1);
+    b.connect(s0, 2, r0, 0);
+    b.connect(s0, 3, r1, 0);
+    b.connect(s1, 2, r0, 1);
+    b.connect(s1, 3, r1, 1);
+    b.build()
+}
+
+fn mcast(n: usize, nodes: &[u32]) -> WormKind {
+    WormKind::Mcast(DestSet::from_nodes(n, nodes.iter().map(|&h| NodeId(h))))
+}
+
+fn scenarios(max_switches: usize) -> Vec<Scenario> {
+    let mut v = vec![
+        Scenario {
+            name: "single-crossed-mcast",
+            topo: single_switch(),
+            n_switches: 1,
+            worms: vec![
+                (NodeId(0), mcast(4, &[2, 3])),
+                (NodeId(1), mcast(4, &[2, 3])),
+            ],
+        },
+        Scenario {
+            name: "pair-up-down",
+            topo: pair(),
+            n_switches: 2,
+            worms: vec![
+                (NodeId(0), mcast(4, &[2, 3])),
+                (NodeId(2), mcast(4, &[0, 1])),
+                (NodeId(1), WormKind::Unicast(NodeId(3))),
+            ],
+        },
+        Scenario {
+            name: "pair-replicate-revisit",
+            topo: pair(),
+            n_switches: 2,
+            worms: vec![
+                // Covers a destination under its own leaf plus two under
+                // the root: under ReturnOnly the worm climbs and then
+                // *revisits* its source switch descending — the case the
+                // descending-chunk reserve exists for.
+                (NodeId(0), mcast(4, &[1, 2, 3])),
+                (NodeId(3), WormKind::Unicast(NodeId(0))),
+            ],
+        },
+    ];
+    if max_switches >= 4 {
+        v.push(Scenario {
+            name: "quad-two-roots",
+            topo: quad(),
+            n_switches: 4,
+            worms: vec![
+                (NodeId(0), mcast(4, &[2, 3])),
+                (NodeId(2), mcast(4, &[0, 1])),
+            ],
+        });
+    }
+    v.retain(|s| s.n_switches <= max_switches);
+    v
+}
+
+// ---------------------------------------------------------------------
+// Visit plans: each worm's path precomputed from the real routing tables.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Target {
+    Host(NodeId),
+    Visit(usize),
+}
+
+#[derive(Debug, Clone)]
+struct PlanBranch {
+    out_port: usize,
+    target: Target,
+}
+
+#[derive(Debug, Clone)]
+struct Visit {
+    worm: usize,
+    sw: usize,
+    in_port: usize,
+    /// The packet arrived from a parent switch (uses the descending
+    /// central-queue reserve).
+    descending: bool,
+    branches: Vec<PlanBranch>,
+    /// `(visit, branch)` feeding this visit; `None` for host entry.
+    parent: Option<(usize, usize)>,
+}
+
+struct Plan {
+    visits: Vec<Visit>,
+    /// Entry visit of each worm.
+    entries: Vec<usize>,
+    /// Worm descriptions for trace labels.
+    worm_desc: Vec<String>,
+}
+
+fn build_plan(
+    scenario: &Scenario,
+    policy: ReplicatePolicy,
+    worm_chunks: usize,
+) -> Result<Plan, String> {
+    if !(1..=4).contains(&worm_chunks) {
+        return Err(format!("worm_chunks {worm_chunks} out of bounds 1..=4"));
+    }
+    let tables = RouteTables::build(&scenario.topo);
+    let mut plan = Plan {
+        visits: Vec::new(),
+        entries: Vec::new(),
+        worm_desc: Vec::new(),
+    };
+    for (w, (src, kind)) in scenario.worms.iter().enumerate() {
+        let (sw, port) = scenario.topo.host_inject(*src);
+        let entry = add_visit(
+            &mut plan,
+            &scenario.topo,
+            &tables,
+            policy,
+            w,
+            sw,
+            port,
+            kind,
+            None,
+            0,
+        )?;
+        plan.entries.push(entry);
+        plan.worm_desc.push(match kind {
+            WormKind::Unicast(d) => format!("h{} -> h{}", src.0, d.0),
+            WormKind::Mcast(d) => format!(
+                "h{} -> {{{}}}",
+                src.0,
+                d.iter()
+                    .map(|n| format!("h{}", n.0))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            ),
+        });
+    }
+    Ok(plan)
+}
+
+/// Recursively expands one switch visit of a worm, returning its index.
+#[allow(clippy::too_many_arguments)]
+fn add_visit(
+    plan: &mut Plan,
+    topo: &Topology,
+    tables: &RouteTables,
+    policy: ReplicatePolicy,
+    worm: usize,
+    sw: SwitchId,
+    in_port: usize,
+    kind: &WormKind,
+    parent: Option<(usize, usize)>,
+    depth: usize,
+) -> Result<usize, String> {
+    if depth > 16 {
+        return Err(format!("worm {worm} routing exceeds 16 hops"));
+    }
+    let table = tables.table(sw);
+    let descending = table.port(in_port).class == PortClass::Up;
+    let idx = plan.visits.len();
+    plan.visits.push(Visit {
+        worm,
+        sw: sw.index(),
+        in_port,
+        descending,
+        branches: Vec::new(),
+        parent,
+    });
+
+    // (out port, residual destination set or unicast dest) per branch.
+    let hops: Vec<(usize, WormKind)> = match kind {
+        WormKind::Unicast(dest) => match table.route_unicast(*dest) {
+            UnicastRoute::Down(p) => vec![(p, WormKind::Unicast(*dest))],
+            UnicastRoute::Up(cands) => {
+                let p = pick_deterministic(&cands, worm as u64);
+                vec![(p, WormKind::Unicast(*dest))]
+            }
+        },
+        WormKind::Mcast(dests) => {
+            let McastRoute { down, up } = table.route_bitstring(dests, policy);
+            let mut hops: Vec<(usize, WormKind)> = down
+                .into_iter()
+                .map(|(p, sub)| (p, WormKind::Mcast(sub)))
+                .collect();
+            if let Some((cands, updests)) = up {
+                let p = pick_deterministic(&cands, worm as u64);
+                hops.push((p, WormKind::Mcast(updests)));
+            }
+            hops
+        }
+    };
+    if hops.is_empty() {
+        return Err(format!("worm {worm} has no route at s{}", sw.index()));
+    }
+    // Bounded-replication-fanout invariant: a worm can never branch wider
+    // than the switch has ports.
+    if hops.len() > topo.ports(sw) {
+        return Err(format!(
+            "worm {worm} fans out {}-wide at s{} ({} ports)",
+            hops.len(),
+            sw.index(),
+            topo.ports(sw)
+        ));
+    }
+
+    for (branch_idx, (out_port, sub)) in hops.into_iter().enumerate() {
+        let target = match topo.attach(sw, out_port) {
+            Attach::Host(h) => Target::Host(h),
+            Attach::Switch(sw2, p2) => {
+                let child = add_visit(
+                    plan,
+                    topo,
+                    tables,
+                    policy,
+                    worm,
+                    sw2,
+                    p2,
+                    &sub,
+                    Some((idx, branch_idx)),
+                    depth + 1,
+                )?;
+                Target::Visit(child)
+            }
+            Attach::Unused => {
+                return Err(format!(
+                    "worm {worm} routed onto unused port {out_port} of s{}",
+                    sw.index()
+                ))
+            }
+        };
+        plan.visits[idx]
+            .branches
+            .push(PlanBranch { out_port, target });
+    }
+    Ok(idx)
+}
+
+// ---------------------------------------------------------------------
+// Exploration.
+// ---------------------------------------------------------------------
+
+/// Status of one planned visit inside a model state.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum VState {
+    /// Head has not reached this switch yet.
+    Pending,
+    /// Central buffer only: head presented, full-packet reservation not
+    /// yet granted.
+    Waiting,
+    /// Central buffer: packet admitted (reservation debited); per-branch
+    /// chunk read cursors.
+    StoredCb { reads: Vec<u16> },
+    /// Input buffer: packet (head) in the input FIFO, driven by the live
+    /// [`IbHeadState`] core.
+    StoredIb { head: IbHeadState },
+    /// Every branch drained; all buffer space returned.
+    Done,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct MState {
+    /// Per-switch central-queue accounting (central buffer only).
+    cq: Vec<CqState>,
+    visits: Vec<VState>,
+    /// Central buffer: per switch, per output port, FIFO of (visit,
+    /// branch) — the central-queue branch lists.
+    queues: Vec<Vec<VecDeque<(u32, u8)>>>,
+    /// Input buffer: per switch, per output port, owning (visit, branch).
+    owners: Vec<Vec<Option<(u32, u8)>>>,
+    /// Input buffer: per switch, per input port, resident visit.
+    occupants: Vec<Vec<Option<u32>>>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Label {
+    Inject(usize),
+    Present(usize),
+    Admit(usize),
+    Advance(usize, usize),
+    Grant(usize, usize),
+    AdvanceSync(usize),
+}
+
+struct ScenarioStats {
+    states: usize,
+    transitions: usize,
+}
+
+struct Ctx<'a> {
+    plan: &'a Plan,
+    arch: ArchClass,
+    sync: bool,
+    len: u16,
+    cq_chunks: usize,
+    cq_reserve: usize,
+    max_states: usize,
+    scenario: &'static str,
+}
+
+impl Ctx<'_> {
+    fn n_switches(&self) -> usize {
+        self.plan.visits.iter().map(|v| v.sw + 1).max().unwrap_or(0)
+    }
+
+    fn ports_of(&self, sw: usize) -> usize {
+        // Wide enough for every port a plan touches; exact port counts do
+        // not matter to the state machine.
+        self.plan
+            .visits
+            .iter()
+            .filter(|v| v.sw == sw)
+            .flat_map(|v| {
+                v.branches
+                    .iter()
+                    .map(|b| b.out_port + 1)
+                    .chain([v.in_port + 1])
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn initial(&self) -> MState {
+        let n_sw = self.n_switches();
+        let cb = self.arch == ArchClass::CentralBuffer;
+        MState {
+            cq: if cb {
+                (0..n_sw)
+                    .map(|_| CqState::new(self.cq_chunks, self.cq_reserve))
+                    .collect()
+            } else {
+                Vec::new()
+            },
+            visits: vec![VState::Pending; self.plan.visits.len()],
+            queues: if cb {
+                (0..n_sw)
+                    .map(|s| vec![VecDeque::new(); self.ports_of(s)])
+                    .collect()
+            } else {
+                Vec::new()
+            },
+            owners: if cb {
+                Vec::new()
+            } else {
+                (0..n_sw).map(|s| vec![None; self.ports_of(s)]).collect()
+            },
+            occupants: if cb {
+                Vec::new()
+            } else {
+                (0..n_sw).map(|s| vec![None; self.ports_of(s)]).collect()
+            },
+        }
+    }
+
+    /// Chunks of visit `v`'s packet that have arrived at its switch — the
+    /// cut-through bound on what its branches may forward.
+    fn fill(&self, visits: &[VState], v: usize) -> u16 {
+        match self.plan.visits[v].parent {
+            None => self.len,
+            Some((pv, pb)) => match &visits[pv] {
+                VState::StoredCb { reads } => reads[pb],
+                VState::StoredIb { head } => head.branches[pb].read,
+                VState::Done => self.len,
+                _ => 0,
+            },
+        }
+    }
+
+    fn all_done(&self, state: &MState) -> bool {
+        state.visits.iter().all(|v| *v == VState::Done)
+    }
+
+    fn label_text(&self, label: Label) -> String {
+        let vis = |v: usize| {
+            let visit = &self.plan.visits[v];
+            format!(
+                "worm {} ({}) at s{}",
+                visit.worm, self.plan.worm_desc[visit.worm], visit.sw
+            )
+        };
+        match label {
+            Label::Inject(v) => format!("inject {}", vis(v)),
+            Label::Present(v) => format!("present head of {}", vis(v)),
+            Label::Admit(v) => format!("reserve {} chunks for {}", self.len, vis(v)),
+            Label::Advance(v, b) => {
+                let br = &self.plan.visits[v].branches[b];
+                format!(
+                    "advance one chunk of {} through port {}",
+                    vis(v),
+                    br.out_port
+                )
+            }
+            Label::Grant(v, b) => {
+                let br = &self.plan.visits[v].branches[b];
+                format!("grant output port {} to {}", br.out_port, vis(v))
+            }
+            Label::AdvanceSync(v) => {
+                format!(
+                    "advance one chunk of {} on all branches in lock-step",
+                    vis(v)
+                )
+            }
+        }
+    }
+
+    /// Per-state safety invariants. Returns a violation description.
+    fn check_invariants(&self, state: &MState) -> Option<String> {
+        if self.arch == ArchClass::CentralBuffer {
+            let n_sw = state.cq.len();
+            for sw in 0..n_sw {
+                // Chunk conservation: capacity = free + waiter-held +
+                // Σ (len - min branch read) over admitted packets.
+                let stored: usize = state
+                    .visits
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| self.plan.visits[*i].sw == sw)
+                    .map(|(_, v)| match v {
+                        VState::StoredCb { reads } => {
+                            usize::from(self.len)
+                                - usize::from(*reads.iter().min().expect("branch"))
+                        }
+                        _ => 0,
+                    })
+                    .sum();
+                if state.cq[sw].used() != stored {
+                    return Some(format!(
+                        "chunk conservation broken at s{sw}: accounting says {} \
+                         chunks hold data, packets occupy {stored}",
+                        state.cq[sw].used()
+                    ));
+                }
+            }
+            if self.all_done(state) {
+                for (sw, cq) in state.cq.iter().enumerate() {
+                    if cq.free() != cq.capacity || cq.waiter_held() != 0 {
+                        return Some(format!(
+                            "chunk leak at s{sw}: {} of {} chunks free at \
+                             quiescence",
+                            cq.free(),
+                            cq.capacity
+                        ));
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    fn successors(&self, state: &MState) -> Vec<(Label, MState)> {
+        let mut out = Vec::new();
+        for (v, vs) in state.visits.iter().enumerate() {
+            if *vs != VState::Pending || self.plan.visits[v].parent.is_some() {
+                continue;
+            }
+            // Host injection of an entry visit.
+            match self.arch {
+                ArchClass::CentralBuffer => {
+                    let mut next = state.clone();
+                    next.visits[v] = VState::Waiting;
+                    out.push((Label::Inject(v), next));
+                }
+                ArchClass::InputBuffered => {
+                    let visit = &self.plan.visits[v];
+                    if state.occupants[visit.sw][visit.in_port].is_none() {
+                        let mut next = state.clone();
+                        next.occupants[visit.sw][visit.in_port] = Some(v as u32);
+                        next.visits[v] = self.fresh_ib(v);
+                        out.push((Label::Inject(v), next));
+                    }
+                }
+            }
+        }
+        match self.arch {
+            ArchClass::CentralBuffer => self.cb_successors(state, &mut out),
+            ArchClass::InputBuffered => self.ib_successors(state, &mut out),
+        }
+        out
+    }
+
+    fn fresh_ib(&self, v: usize) -> VState {
+        VState::StoredIb {
+            head: IbHeadState::new(
+                self.len,
+                self.plan.visits[v].branches.iter().map(|b| b.out_port),
+            ),
+        }
+    }
+
+    fn cb_successors(&self, state: &MState, out: &mut Vec<(Label, MState)>) {
+        // Present: the head branch of an output list wakes its pending
+        // downstream visit.
+        for queues in &state.queues {
+            for queue in queues {
+                let Some(&(v, b)) = queue.front() else {
+                    continue;
+                };
+                let Target::Visit(w) = self.plan.visits[v as usize].branches[b as usize].target
+                else {
+                    continue;
+                };
+                if state.visits[w] == VState::Pending {
+                    let mut next = state.clone();
+                    next.visits[w] = VState::Waiting;
+                    out.push((Label::Present(w), next));
+                }
+            }
+        }
+        // Admit: a waiting visit retries its full-packet reservation.
+        for (v, vs) in state.visits.iter().enumerate() {
+            if *vs != VState::Waiting {
+                continue;
+            }
+            let visit = &self.plan.visits[v];
+            let (cq, effect) = cq_step(
+                &state.cq[visit.sw],
+                CqEvent::Reserve {
+                    input: visit.in_port,
+                    need: usize::from(self.len),
+                    descending: visit.descending,
+                },
+            );
+            let granted = effect == CqEffect::Granted;
+            if !granted && cq == state.cq[visit.sw] {
+                continue; // pure retry-later, not a distinct transition
+            }
+            let mut next = state.clone();
+            next.cq[visit.sw] = cq;
+            if granted {
+                next.visits[v] = VState::StoredCb {
+                    reads: vec![0; visit.branches.len()],
+                };
+                for (b, branch) in visit.branches.iter().enumerate() {
+                    next.queues[visit.sw][branch.out_port].push_back((v as u32, b as u8));
+                }
+            }
+            out.push((Label::Admit(v), next));
+        }
+        // Advance: the head branch of an output list forwards one chunk.
+        for (sw, queues) in state.queues.iter().enumerate() {
+            for queue in queues {
+                let Some(&(v32, b8)) = queue.front() else {
+                    continue;
+                };
+                let (v, b) = (v32 as usize, usize::from(b8));
+                let VState::StoredCb { reads } = &state.visits[v] else {
+                    continue;
+                };
+                if reads[b] >= self.len || reads[b] >= self.fill(&state.visits, v) {
+                    continue;
+                }
+                let branch = &self.plan.visits[v].branches[b];
+                if let Target::Visit(w) = branch.target {
+                    if !matches!(state.visits[w], VState::StoredCb { .. }) {
+                        continue; // downstream not admitted yet
+                    }
+                }
+                let mut next = state.clone();
+                let VState::StoredCb { reads } = &mut next.visits[v] else {
+                    unreachable!()
+                };
+                let old_min = *reads.iter().min().expect("branch");
+                reads[b] += 1;
+                let done = reads[b] == self.len;
+                let new_min = *reads.iter().min().expect("branch");
+                if new_min == self.len {
+                    next.visits[v] = VState::Done;
+                }
+                for _ in old_min..new_min {
+                    let (cq, _) = cq_step(&next.cq[sw], CqEvent::Release);
+                    next.cq[sw] = cq;
+                }
+                if done {
+                    next.queues[sw][branch.out_port].pop_front();
+                }
+                out.push((Label::Advance(v, b), next));
+            }
+        }
+    }
+
+    fn ib_successors(&self, state: &MState, out: &mut Vec<(Label, MState)>) {
+        for (v, vs) in state.visits.iter().enumerate() {
+            let VState::StoredIb { head } = vs else {
+                continue;
+            };
+            let visit = &self.plan.visits[v];
+            // Grant: an undone branch wins its free output port.
+            for (b, bs) in head.branches.iter().enumerate() {
+                if bs.granted || bs.done {
+                    continue;
+                }
+                if state.owners[visit.sw][bs.port].is_some() {
+                    continue;
+                }
+                let mut next = state.clone();
+                next.owners[visit.sw][bs.port] = Some((v as u32, b as u8));
+                let (h2, _) = ib_step(head, IbEvent::Grant { branch: b });
+                next.visits[v] = VState::StoredIb { head: h2 };
+                out.push((Label::Grant(v, b), next));
+            }
+            let fill = self.fill(&state.visits, v);
+            if self.sync {
+                // Lock-step replication: every branch must hold its grant
+                // and every downstream must be able to accept the chunk.
+                let all_granted = head.branches.iter().all(|b| b.granted && !b.done);
+                let read = head.branches[0].read;
+                if !all_granted || read >= self.len || read >= fill {
+                    continue;
+                }
+                let Some(mut next) = self.ib_present_targets(state, v, usize::MAX) else {
+                    continue;
+                };
+                let (h2, effect) = ib_step(head, IbEvent::ReadLockStep);
+                self.ib_apply(&mut next, v, h2, effect);
+                out.push((Label::AdvanceSync(v), next));
+            } else {
+                // Asynchronous replication: granted branches stream
+                // independently.
+                for (b, bs) in head.branches.iter().enumerate() {
+                    if !bs.granted || bs.done || bs.read >= self.len || bs.read >= fill {
+                        continue;
+                    }
+                    let Some(mut next) = self.ib_present_targets(state, v, b) else {
+                        continue;
+                    };
+                    let (h2, effect) = ib_step(head, IbEvent::ReadFlit { branch: b });
+                    self.ib_apply(&mut next, v, h2, effect);
+                    out.push((Label::Advance(v, b), next));
+                }
+            }
+        }
+    }
+
+    /// Clones `state` with every pending downstream target of visit `v`
+    /// presented (branch `only`, or all branches when `only == usize::MAX`).
+    /// Returns `None` if a needed input buffer is occupied by another worm.
+    fn ib_present_targets(&self, state: &MState, v: usize, only: usize) -> Option<MState> {
+        let mut next = state.clone();
+        for (b, branch) in self.plan.visits[v].branches.iter().enumerate() {
+            if only != usize::MAX && b != only {
+                continue;
+            }
+            let Target::Visit(w) = branch.target else {
+                continue;
+            };
+            match &state.visits[w] {
+                VState::Pending => {
+                    let wv = &self.plan.visits[w];
+                    if next.occupants[wv.sw][wv.in_port].is_some() {
+                        return None;
+                    }
+                    next.occupants[wv.sw][wv.in_port] = Some(w as u32);
+                    next.visits[w] = self.fresh_ib(w);
+                }
+                VState::StoredIb { .. } => {}
+                // The head FIFO holds the whole packet, so a downstream
+                // visit can never complete before its feeder.
+                VState::Waiting | VState::StoredCb { .. } | VState::Done => unreachable!(),
+            }
+        }
+        Some(next)
+    }
+
+    fn ib_apply(&self, next: &mut MState, v: usize, head: IbHeadState, effect: IbEffect) {
+        let visit = &self.plan.visits[v];
+        if let IbEffect::BranchesDone(ports) = effect {
+            for port in ports {
+                next.owners[visit.sw][port] = None;
+            }
+        }
+        if head.all_done() {
+            next.occupants[visit.sw][visit.in_port] = None;
+            next.visits[v] = VState::Done;
+        } else {
+            next.visits[v] = VState::StoredIb { head };
+        }
+    }
+
+    fn violation(&self, kind: &str, detail: String, trace: Vec<TraceStep>) -> Box<Violation> {
+        Box::new(Violation {
+            scenario: self.scenario.to_string(),
+            kind: kind.to_string(),
+            detail,
+            trace,
+        })
+    }
+
+    fn explore(&self) -> Result<ScenarioStats, Box<Violation>> {
+        let initial = self.initial();
+        let mut ids: HashMap<MState, usize> = HashMap::new();
+        let mut parents: Vec<Option<(usize, Label)>> = vec![None];
+        let mut adj: Vec<Vec<usize>> = Vec::new();
+        let mut frontier = VecDeque::new();
+        let mut states: Vec<MState> = vec![initial.clone()];
+        ids.insert(initial, 0);
+        frontier.push_back(0usize);
+        let mut transitions = 0usize;
+
+        let trace_to = |parents: &[Option<(usize, Label)>], mut id: usize| {
+            let mut steps = Vec::new();
+            while let Some((p, label)) = parents[id] {
+                steps.push(TraceStep {
+                    label: self.label_text(label),
+                });
+                id = p;
+            }
+            steps.reverse();
+            steps
+        };
+
+        while let Some(id) = frontier.pop_front() {
+            let state = states[id].clone();
+            if let Some(detail) = self.check_invariants(&state) {
+                return Err(self.violation("invariant", detail, trace_to(&parents, id)));
+            }
+            let succs = self.successors(&state);
+            if succs.is_empty() && !self.all_done(&state) {
+                let undelivered: Vec<String> = state
+                    .visits
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, vs)| **vs != VState::Done)
+                    .map(|(v, _)| {
+                        let visit = &self.plan.visits[v];
+                        format!("worm {} at s{}", visit.worm, visit.sw)
+                    })
+                    .collect();
+                return Err(self.violation(
+                    "deadlock",
+                    format!(
+                        "no transition enabled but packets are undelivered \
+                         ({}): an accepted packet can no longer be completely \
+                         buffered",
+                        undelivered.join(", ")
+                    ),
+                    trace_to(&parents, id),
+                ));
+            }
+            let mut edges = Vec::with_capacity(succs.len());
+            for (label, next) in succs {
+                transitions += 1;
+                let next_id = match ids.get(&next) {
+                    Some(&n) => n,
+                    None => {
+                        let n = states.len();
+                        if n >= self.max_states {
+                            return Err(self.violation(
+                                "state-bound",
+                                format!(
+                                    "exploration exceeded the {}-state bound; \
+                                     raise ModelBounds::max_states",
+                                    self.max_states
+                                ),
+                                Vec::new(),
+                            ));
+                        }
+                        states.push(next.clone());
+                        ids.insert(next, n);
+                        parents.push(Some((id, label)));
+                        frontier.push_back(n);
+                        n
+                    }
+                };
+                edges.push(next_id);
+            }
+            adj.push(edges);
+            debug_assert_eq!(adj.len() - 1, id, "BFS visits states in id order");
+        }
+
+        // Buffered-eventually liveness: every terminal SCC must be the
+        // all-delivered quiescent state. (Deadlocks are caught above; this
+        // rules out livelocks — cycles no path escapes.)
+        let sccs = crate::scc::tarjan_sccs(states.len(), &adj);
+        for component in &sccs {
+            let escapes = component
+                .iter()
+                .any(|&s| adj[s].iter().any(|t| !component.contains(t)));
+            if escapes {
+                continue;
+            }
+            let bad = component.iter().find(|&&s| !self.all_done(&states[s]));
+            if let Some(&s) = bad {
+                return Err(self.violation(
+                    "livelock",
+                    format!(
+                        "terminal SCC of {} state(s) with undelivered packets: \
+                         the fabric cycles without making progress",
+                        component.len()
+                    ),
+                    trace_to(&parents, s),
+                ));
+            }
+        }
+
+        Ok(ScenarioStats {
+            states: states.len(),
+            transitions,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_follow_the_real_routing_tables() {
+        let scenario = &scenarios(2)[1]; // pair-up-down
+        let plan = build_plan(scenario, ReplicatePolicy::ReturnOnly, 2).expect("plan");
+        // Worm 0 (h0 -> {2,3}): ascends s0 then replicates at s1.
+        let entry = plan.entries[0];
+        assert_eq!(plan.visits[entry].sw, 0);
+        assert!(!plan.visits[entry].descending);
+        assert_eq!(plan.visits[entry].branches.len(), 1);
+        let Target::Visit(root) = plan.visits[entry].branches[0].target else {
+            panic!("worm 0 must continue to the root");
+        };
+        assert_eq!(plan.visits[root].sw, 1);
+        assert_eq!(plan.visits[root].branches.len(), 2);
+        assert!(plan.visits[root]
+            .branches
+            .iter()
+            .all(|b| matches!(b.target, Target::Host(_))));
+        // Worm 1 (h2 -> {0,1}) descends into s0: the revisit is flagged
+        // descending and draws from the reserve.
+        let w1root = plan.entries[1];
+        let Target::Visit(leaf) = plan.visits[w1root].branches[0].target else {
+            panic!("worm 1 must descend to the leaf");
+        };
+        assert!(plan.visits[leaf].descending);
+    }
+
+    #[test]
+    fn return_only_revisits_the_source_switch() {
+        let scenario = &scenarios(2)[2]; // pair-replicate-revisit
+        let plan = build_plan(scenario, ReplicatePolicy::ReturnOnly, 2).expect("plan");
+        // h0 -> {1,2,3} under ReturnOnly: s0 (ascending) -> s1 -> s0
+        // (descending) — three visits, two of them at s0.
+        let w0: Vec<_> = plan.visits.iter().filter(|v| v.worm == 0).collect();
+        assert_eq!(w0.len(), 3);
+        assert_eq!(w0.iter().filter(|v| v.sw == 0).count(), 2);
+        assert_eq!(w0.iter().filter(|v| v.descending).count(), 1);
+    }
+
+    #[test]
+    fn central_buffer_verifies_at_the_two_switch_bound() {
+        let out = check_model(
+            ArchClass::CentralBuffer,
+            false,
+            ReplicatePolicy::ReturnOnly,
+            &ModelBounds::default(),
+        );
+        let CheckOutcome::Verified(stats) = out else {
+            panic!("central buffer must verify: {out:?}");
+        };
+        assert_eq!(stats.scenarios, 3);
+        assert!(stats.states > 100, "exploration too shallow: {stats:?}");
+    }
+
+    #[test]
+    fn input_buffered_async_verifies() {
+        let out = check_model(
+            ArchClass::InputBuffered,
+            false,
+            ReplicatePolicy::ReturnOnly,
+            &ModelBounds::default(),
+        );
+        assert!(out.is_verified(), "{out:?}");
+    }
+
+    #[test]
+    fn sync_replication_deadlocks_with_minimal_counterexample() {
+        let out = check_model(
+            ArchClass::InputBuffered,
+            true,
+            ReplicatePolicy::ReturnOnly,
+            &ModelBounds::default(),
+        );
+        let CheckOutcome::Violated(v) = out else {
+            panic!("lock-step replication must deadlock");
+        };
+        assert_eq!(v.kind, "deadlock");
+        assert_eq!(v.scenario, "single-crossed-mcast");
+        // Minimal trace: inject both worms, then the two crossed grants.
+        assert_eq!(v.trace.len(), 4, "{v}");
+        assert!(
+            v.trace
+                .iter()
+                .filter(|s| s.label.starts_with("grant"))
+                .count()
+                == 2,
+            "{v}"
+        );
+    }
+
+    #[test]
+    fn sync_flag_is_ignored_for_the_central_buffer() {
+        let out = check_model(
+            ArchClass::CentralBuffer,
+            true,
+            ReplicatePolicy::ReturnOnly,
+            &ModelBounds::default(),
+        );
+        assert!(out.is_verified(), "{out:?}");
+    }
+
+    #[test]
+    fn forward_and_return_policy_also_verifies() {
+        for arch in [ArchClass::CentralBuffer, ArchClass::InputBuffered] {
+            let out = check_model(
+                arch,
+                false,
+                ReplicatePolicy::ForwardAndReturn,
+                &ModelBounds::default(),
+            );
+            assert!(out.is_verified(), "{arch:?}: {out:?}");
+        }
+    }
+
+    #[test]
+    fn quad_fabric_verifies_when_bounds_allow() {
+        let bounds = ModelBounds {
+            max_switches: 4,
+            ..ModelBounds::default()
+        };
+        let out = check_model(
+            ArchClass::CentralBuffer,
+            false,
+            ReplicatePolicy::ReturnOnly,
+            &bounds,
+        );
+        let CheckOutcome::Verified(stats) = out else {
+            panic!("quad fabric must verify");
+        };
+        assert_eq!(stats.scenarios, 4);
+    }
+
+    #[test]
+    fn state_bound_is_reported_not_overrun() {
+        let bounds = ModelBounds {
+            max_states: 10,
+            ..ModelBounds::default()
+        };
+        let out = check_model(
+            ArchClass::CentralBuffer,
+            false,
+            ReplicatePolicy::ReturnOnly,
+            &bounds,
+        );
+        let CheckOutcome::Violated(v) = out else {
+            panic!("a 10-state bound cannot cover the space");
+        };
+        assert_eq!(v.kind, "state-bound");
+    }
+}

@@ -1,0 +1,80 @@
+//! Checker timing: the bounded model check (DESIGN.md §11) that
+//! `mdw-lint --model-check` and the `FaultResponder`'s reroute gate run.
+//!
+//! The acceptance budget is "all shipped configs at the 2-switch bound
+//! in under 30 s"; these benches keep the real number visible so a
+//! regression in the state encoding (a hash blow-up, a lost symmetry)
+//! shows up as a timing cliff long before it threatens the budget.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mdw_analysis::{check_model, ArchClass, CheckOutcome, ModelBounds};
+use mintopo::route::ReplicatePolicy;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("model_check");
+    g.sample_size(10);
+    let bounds = ModelBounds::default();
+
+    // The two verifying architectures the shipped configs exercise.
+    g.bench_function("cb_async_return_only", |b| {
+        b.iter(|| {
+            let out = check_model(
+                ArchClass::CentralBuffer,
+                false,
+                ReplicatePolicy::ReturnOnly,
+                &bounds,
+            );
+            assert!(out.is_verified());
+            out
+        })
+    });
+    g.bench_function("ib_async_return_only", |b| {
+        b.iter(|| {
+            let out = check_model(
+                ArchClass::InputBuffered,
+                false,
+                ReplicatePolicy::ReturnOnly,
+                &bounds,
+            );
+            assert!(out.is_verified());
+            out
+        })
+    });
+
+    // The counterexample path: BFS must stop at the first violation and
+    // reconstruct a minimal trace, so this is expected to be the fastest.
+    g.bench_function("ib_sync_counterexample", |b| {
+        b.iter(|| {
+            let out = check_model(
+                ArchClass::InputBuffered,
+                true,
+                ReplicatePolicy::ReturnOnly,
+                &bounds,
+            );
+            assert!(matches!(out, CheckOutcome::Violated(_)));
+            out
+        })
+    });
+
+    // The deepest exploration: four switches, replication revisits.
+    let quad = ModelBounds {
+        max_switches: 4,
+        ..ModelBounds::default()
+    };
+    g.bench_function("cb_async_quad_fabric", |b| {
+        b.iter(|| {
+            let out = check_model(
+                ArchClass::CentralBuffer,
+                false,
+                ReplicatePolicy::ReturnOnly,
+                &quad,
+            );
+            assert!(out.is_verified());
+            out
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

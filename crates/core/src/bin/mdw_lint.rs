@@ -9,14 +9,24 @@
 //! cargo run --release -p mdworm --bin mdw-lint -- configs/sp2-default.mdw
 //! cargo run --release -p mdworm --bin mdw-lint -- --json configs/*.mdw
 //! cargo run --release -p mdworm --bin mdw-lint -- --default
+//! cargo run --release -p mdworm --bin mdw-lint -- --model-check configs/*.mdw
 //! ```
 //!
 //! Config files are `key = value` lines (`#` starts a comment); unknown
 //! keys are rejected. See `configs/` for annotated examples. Exit status
 //! is non-zero iff any linted config has an error-severity finding, so
 //! the tool slots directly into CI and sweep-launcher scripts.
+//!
+//! `--model-check` additionally runs the `mdw-model` bounded model
+//! checker (see `mdw_analysis::model`): the configured architecture,
+//! replication mode, and replication policy are explored exhaustively
+//! over small fabrics, verifying chunk conservation and the paper's
+//! buffered-eventually liveness condition on the state machines the
+//! simulator actually runs. A violation prints a minimal counterexample
+//! trace and fails the lint.
 
 use collectives::RecoveryConfig;
+use mdw_analysis::{check_model, ArchClass, CheckOutcome, ModelBounds};
 use mdworm::config::{McastImpl, SwitchArch, SystemConfig, TopologyKind};
 use mdworm::respond::ResponseConfig;
 use mintopo::route::ReplicatePolicy;
@@ -184,28 +194,29 @@ fn parse_config(text: &str) -> Result<SystemConfig, String> {
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    let usage = "usage: mdw-lint [--json] [--default] [--model-check] <config.mdw>...";
     let mut json = false;
     let mut lint_default = false;
+    let mut model_check = false;
     let mut files: Vec<String> = Vec::new();
     for arg in &argv {
         match arg.as_str() {
             "--json" => json = true,
             "--default" => lint_default = true,
+            "--model-check" => model_check = true,
             "--help" | "-h" => {
-                eprintln!("usage: mdw-lint [--json] [--default] <config.mdw>...");
+                eprintln!("{usage}");
                 return;
             }
             flag if flag.starts_with("--") => {
-                eprintln!(
-                    "unknown flag {flag}\nusage: mdw-lint [--json] [--default] <config.mdw>..."
-                );
+                eprintln!("unknown flag {flag}\n{usage}");
                 std::process::exit(2);
             }
             file => files.push(file.to_string()),
         }
     }
     if files.is_empty() && !lint_default {
-        eprintln!("no config files given\nusage: mdw-lint [--json] [--default] <config.mdw>...");
+        eprintln!("no config files given\n{usage}");
         std::process::exit(2);
     }
 
@@ -238,6 +249,34 @@ fn main() {
             print!("{}", report.render_json());
         } else {
             print!("{name}: {}", report.render_human());
+        }
+        if model_check && !report.has_errors() {
+            // Statically broken configs already fail the lint; only sound
+            // ones earn the (more expensive) state-space exploration.
+            let arch = match cfg.arch {
+                SwitchArch::CentralBuffer => ArchClass::CentralBuffer,
+                SwitchArch::InputBuffered => ArchClass::InputBuffered,
+            };
+            let sync = cfg.switch.replication == ReplicationMode::Synchronous;
+            match check_model(arch, sync, cfg.switch.policy, &ModelBounds::default()) {
+                CheckOutcome::Verified(stats) => {
+                    if !json {
+                        println!(
+                            "{name}: model check passed — {} states, {} \
+                             transitions over {} scenario(s)",
+                            stats.states, stats.transitions, stats.scenarios
+                        );
+                    }
+                }
+                CheckOutcome::Violated(v) => {
+                    any_errors = true;
+                    if json {
+                        eprintln!("{name}: model check FAILED: {v}");
+                    } else {
+                        println!("{name}: model check FAILED: {v}");
+                    }
+                }
+            }
         }
     }
     if any_errors {

@@ -15,9 +15,13 @@
 //!    link-level conservation holds; the killed payloads come back through
 //!    the end-to-end retransmission ledger;
 //! 3. **reroute** — new LCA tables are derived with the dead ports masked
-//!    ([`mintopo::route::RouteTables::build_masked`]) and vetted by the
-//!    static deadlock analyzer ([`mdw_analysis::vet_reroute`]). A candidate
-//!    whose channel-dependency graph has a cycle is *rejected*: the fabric
+//!    ([`mintopo::route::RouteTables::build_masked`]) and vetted in two
+//!    halves: structurally by the static deadlock analyzer
+//!    ([`mdw_analysis::vet_reroute`] — channel-dependency cycles, stranded
+//!    live switches, header round-trips) and behaviorally by the bounded
+//!    model checker ([`mdw_analysis::check_model`], memoized — the verdict
+//!    depends on architecture and replication mode, not on the candidate
+//!    tables). A candidate failing either half is *rejected*: the fabric
 //!    stays on the old tables and runs degraded rather than trade a dead
 //!    link for a deadlock;
 //! 4. **degrade** — while masked tables are active, each hardware
@@ -37,8 +41,9 @@
 //! outages are left to the end-to-end recovery layer alone.
 
 use crate::build::System;
+use crate::config::{SwitchArch, SystemConfig};
 use collectives::DegradePlanner;
-use mdw_analysis::vet_reroute;
+use mdw_analysis::{check_model, vet_reroute, ArchClass, CheckOutcome, ModelBounds};
 use mintopo::route::RouteTables;
 use mintopo::topology::Topology;
 use netsim::health::FabricHealth;
@@ -46,6 +51,7 @@ use netsim::ids::{LinkId, SwitchId};
 use netsim::Cycle;
 use std::collections::HashMap;
 use std::rc::Rc;
+use switches::ReplicationMode;
 
 /// Tuning knobs of the online fault-response protocol.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -145,6 +151,11 @@ pub struct FaultResponder {
     builder: Option<CandidateBuilder>,
     events: Vec<(Cycle, ResponseEvent)>,
     counters: ResponseCounters,
+    /// Cached verdict of the bounded model check (the deep half of the
+    /// reroute gate). It depends only on the system configuration —
+    /// architecture, replication mode, policy — not on the candidate
+    /// tables, so one exploration covers every reroute of the run.
+    deep_vetted: Option<Result<(), String>>,
 }
 
 impl std::fmt::Debug for FaultResponder {
@@ -179,7 +190,32 @@ impl FaultResponder {
             builder: None,
             events: Vec::new(),
             counters: ResponseCounters::default(),
+            deep_vetted: None,
         }
+    }
+
+    /// Runs (once) the `mdw-model` bounded model check of the configured
+    /// architecture and replication mode, caching the verdict. A reroute
+    /// may only activate when both the candidate's channel-dependency
+    /// graph (structural) and the switch state machines (behavioral) are
+    /// deadlock-free.
+    fn deep_vet(&mut self, config: &SystemConfig) -> Result<(), String> {
+        self.deep_vetted
+            .get_or_insert_with(|| {
+                let arch = match config.arch {
+                    SwitchArch::CentralBuffer => ArchClass::CentralBuffer,
+                    SwitchArch::InputBuffered => ArchClass::InputBuffered,
+                };
+                let sync = config.switch.replication == ReplicationMode::Synchronous;
+                match check_model(arch, sync, config.switch.policy, &ModelBounds::default()) {
+                    CheckOutcome::Verified(_) => Ok(()),
+                    CheckOutcome::Violated(v) => Err(format!(
+                        "bounded model check found a {} in scenario '{}': {}",
+                        v.kind, v.scenario, v.detail
+                    )),
+                }
+            })
+            .clone()
     }
 
     /// Substitutes the candidate-table builder (rejection-path tests).
@@ -275,8 +311,17 @@ impl FaultResponder {
             None => RouteTables::build_masked(&sys.topology, &dead),
         };
         let policy = sys.config.switch.policy;
-        match vet_reroute(&sys.topology, &candidate, policy) {
-            Ok(_) => {
+        let verdict = vet_reroute(&sys.topology, &candidate, policy)
+            .map_err(|report| {
+                let d = report.first_error().expect("vet failed with no error");
+                (d.code.to_string(), d.message.clone())
+            })
+            .and_then(|_| {
+                self.deep_vet(&sys.config)
+                    .map_err(|detail| ("model-check".to_string(), detail))
+            });
+        match verdict {
+            Ok(()) => {
                 let tables = Rc::new(candidate);
                 for ctl in &sys.switch_ctls {
                     ctl.install_tables(tables.clone());
@@ -296,19 +341,15 @@ impl FaultResponder {
                 }
                 self.masked = dead;
             }
-            Err(report) => {
+            Err((code, message)) => {
                 // Stay on the proven-deadlock-free old tables; the
                 // degraded planner below still peels what they cannot
                 // cover. Remember the set so the same broken candidate is
                 // not re-vetted every poll.
-                let d = report.first_error().expect("vet failed with no error");
                 self.counters.reroutes_rejected += 1;
                 self.events.push((
                     sys.engine.now(),
-                    ResponseEvent::RerouteRejected {
-                        code: d.code.to_string(),
-                        message: d.message.clone(),
-                    },
+                    ResponseEvent::RerouteRejected { code, message },
                 ));
                 self.masked = dead;
             }

@@ -128,6 +128,10 @@ pub fn run_experiment(config: &SystemConfig, spec: &TrafficSpec, run: &RunConfig
     let stop_at = run.warmup + run.measure;
     let sources = make_sources(spec, n, config.seed, Some(stop_at));
     let mut sys = build_system(config.clone(), sources, None);
+    #[cfg(feature = "invariant-audit")]
+    for trace in &sys.sem_traces {
+        trace.borrow_mut().set_enabled(true);
+    }
     if let Some(plan) = &run.faults {
         sys.engine.install_faults(plan);
     }
@@ -171,6 +175,23 @@ pub fn run_experiment(config: &SystemConfig, spec: &TrafficSpec, run: &RunConfig
             last_progress = sys.engine.now();
         } else if sys.engine.now() - last_progress >= run.watchdog_grace {
             deadlocked = true;
+        }
+    }
+
+    // Trace-conformance refinement check: every reservation/release the
+    // switches recorded must replay cleanly through the pure `cq_step`
+    // machine the model checker explores.
+    #[cfg(feature = "invariant-audit")]
+    {
+        let swcfg = config.effective_switch();
+        for trace in &sys.sem_traces {
+            if let Err(m) = mdw_analysis::replay_cq_trace(
+                trace.borrow().events(),
+                swcfg.cq_chunks,
+                swcfg.cq_down_reserve(),
+            ) {
+                panic!("trace-conformance replay failed: {m}");
+            }
         }
     }
 

@@ -1,0 +1,78 @@
+//! Loom model tests for the `mdworm::sweep` worker pool.
+//!
+//! Compiled only under `RUSTFLAGS="--cfg loom"`. The pool's contract has
+//! two halves the serial test suite cannot probe across interleavings:
+//!
+//! 1. **submission order** — results come back sorted by submission index
+//!    no matter which worker finishes which job first;
+//! 2. **shutdown** — every worker observes queue exhaustion and exits, no
+//!    job is run twice or dropped, and `parallel_map` returns only after
+//!    all results have landed.
+//!
+//! The bodies run under `loom::model`, so with the real loom crate they
+//! are explored over every interleaving of the pool's lock acquisitions;
+//! with the in-tree stand-in they run as a repeated stress test on the OS
+//! scheduler (see `crates/loom`).
+#![cfg(loom)]
+
+use loom::sync::atomic::{AtomicUsize, Ordering};
+use loom::sync::Arc;
+use mdworm::sweep::parallel_map;
+
+/// Results must come back in submission order even when later-submitted
+/// jobs finish first (workers grab jobs first-come-first-served, so the
+/// reversed busy-waits below make completion order fight submission
+/// order).
+#[test]
+fn results_are_in_submission_order_under_all_interleavings() {
+    loom::model(|| {
+        let jobs: Vec<usize> = (0..6).rev().collect();
+        let out = parallel_map(jobs.clone(), 3, |spin| {
+            for _ in 0..spin * 10 {
+                loom::thread::yield_now();
+            }
+            spin
+        });
+        assert_eq!(out, jobs, "submission order must survive any schedule");
+    });
+}
+
+/// Shutdown: each job runs exactly once, and by the time `parallel_map`
+/// returns every worker has drained the queue — no lost or duplicated
+/// work under any interleaving of the queue lock.
+#[test]
+fn shutdown_runs_every_job_exactly_once() {
+    loom::model(|| {
+        let n_jobs = 5;
+        let runs = Arc::new(AtomicUsize::new(0));
+        let per_job: Arc<Vec<AtomicUsize>> =
+            Arc::new((0..n_jobs).map(|_| AtomicUsize::new(0)).collect());
+
+        let r = runs.clone();
+        let pj = per_job.clone();
+        let out = parallel_map((0..n_jobs).collect::<Vec<_>>(), 2, move |i| {
+            r.fetch_add(1, Ordering::SeqCst);
+            pj[i].fetch_add(1, Ordering::SeqCst);
+            i * 2
+        });
+
+        assert_eq!(out, (0..n_jobs).map(|i| i * 2).collect::<Vec<_>>());
+        assert_eq!(runs.load(Ordering::SeqCst), n_jobs, "every job ran");
+        for (i, c) in per_job.iter().enumerate() {
+            assert_eq!(c.load(Ordering::SeqCst), 1, "job {i} ran exactly once");
+        }
+    });
+}
+
+/// Degenerate pool shapes must not wedge: more workers than jobs (some
+/// workers find the queue already empty and must still exit), and an
+/// empty job list (all workers shut down immediately).
+#[test]
+fn surplus_workers_and_empty_queues_shut_down() {
+    loom::model(|| {
+        let out = parallel_map(vec![7usize], 4, |x| x + 1);
+        assert_eq!(out, vec![8]);
+        let none: Vec<usize> = parallel_map(Vec::new(), 4, |x: usize| x);
+        assert!(none.is_empty());
+    });
+}

@@ -1,0 +1,80 @@
+//! Minimal in-tree stand-in for the `loom` concurrency model checker.
+//!
+//! The build environment has no network access to crates.io, so this crate
+//! provides the subset of loom's API that the `cfg(loom)` test targets use:
+//! [`model`] plus the [`thread`] and [`sync`] module facades. The real loom
+//! intercepts every `thread`/`sync` operation and exhaustively explores all
+//! interleavings; this stand-in maps them straight to `std` and instead
+//! runs the model body many times, relying on OS scheduling jitter for
+//! schedule diversity — a stress test, not a proof. The test *sources* are
+//! written against loom's API, so swapping the real crate back in upgrades
+//! them to exhaustive interleaving checks with no source change.
+
+/// How many times [`model`] re-executes the body. Real loom derives its
+/// iteration count from the interleaving space; the stand-in just re-runs
+/// under the OS scheduler, so more repetitions mean more distinct
+/// schedules observed.
+const STRESS_ITERATIONS: usize = 64;
+
+/// Explores executions of a concurrent model.
+///
+/// Real loom runs `f` once per distinct interleaving of the loom-wrapped
+/// primitives inside it; the stand-in runs `f` [`STRESS_ITERATIONS`] times
+/// on the plain OS scheduler. `f` must therefore be idempotent and
+/// self-contained, exactly as loom requires.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    for _ in 0..STRESS_ITERATIONS {
+        f();
+    }
+}
+
+/// Facade over [`std::thread`], matching `loom::thread`.
+pub mod thread {
+    pub use std::thread::{current, spawn, yield_now, JoinHandle};
+}
+
+/// Facade over [`std::sync`], matching `loom::sync`.
+pub mod sync {
+    pub use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
+
+    /// Facade over [`std::sync::atomic`], matching `loom::sync::atomic`.
+    pub mod atomic {
+        pub use std::sync::atomic::{
+            fence, AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering,
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicUsize, Ordering};
+    use super::sync::Arc;
+
+    #[test]
+    fn model_runs_the_body_repeatedly() {
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = hits.clone();
+        super::model(move || {
+            h.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), super::STRESS_ITERATIONS);
+    }
+
+    #[test]
+    fn thread_and_sync_facades_interoperate() {
+        let n = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let n = n.clone();
+                super::thread::spawn(move || n.fetch_add(1, Ordering::SeqCst))
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(n.load(Ordering::SeqCst), 4);
+    }
+}

@@ -27,13 +27,15 @@
 //! distinguishes *descending* packets (arriving from a parent; guaranteed
 //! to drain toward hosts) from *ascending* ones: one maximum packet's worth
 //! of chunks is reserved for descending traffic, and reservations are
-//! granted through per-class accumulators (`CqAccounting`, internal) so
+//! granted through per-class accumulators ([`crate::semantics::CqState`],
+//! the pure accounting core shared with the bounded model checker) so
 //! streams of small packets cannot starve a large worm and partial
 //! reservations can never block each other.
 
 use crate::config::SwitchConfig;
 use crate::ctl::SwitchCtl;
 use crate::decode::{resolve_branches, HeaderClock};
+use crate::semantics::{CqState, ReplState};
 use crate::stats::{header_dests, BlockedWormSnap, SwitchSnapshot, SwitchStats};
 use mintopo::reach::PortClass;
 use mintopo::route::RouteTables;
@@ -43,85 +45,24 @@ use netsim::flit::Flit;
 use netsim::header::RoutingHeader;
 use netsim::ids::{MessageId, NodeId, PacketId, SwitchId, SWITCH_MSG_BIT};
 use netsim::packet::{Packet, PacketBuilder};
+use netsim::trace::{SemEvent, SemHandle};
 use netsim::Cycle;
 use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 
-/// Shared writer-side state of one packet inside the central queue.
-///
-/// Branch readers never overtake `written` (cut-through at flit
-/// granularity); chunk reference counts start at the branch fan-out and the
-/// last reader frees the chunk.
-#[derive(Debug)]
-struct WriteState {
-    total: u16,
-    written: u16,
-    chunk_flits: u16,
-    n_branches: u8,
-    /// Remaining readers per chunk sequence number.
-    refs: Vec<u8>,
-}
-
-impl WriteState {
-    fn new(total: u16, chunk_flits: u16) -> Self {
-        WriteState {
-            total,
-            written: 0,
-            chunk_flits,
-            n_branches: 0,
-            refs: Vec::new(),
-        }
-    }
-
-    /// Builds the write state of a switch-synthesized packet: fully
-    /// written, ready for its branches to stream.
-    fn synthesized(total: u16, chunk_flits: u16, n_branches: usize) -> Self {
-        let mut w = WriteState::new(total, chunk_flits);
-        w.set_branches(n_branches);
-        for _ in 0..(total as usize).div_ceil(chunk_flits as usize) {
-            w.push_chunk();
-        }
-        w.written = total;
-        w
-    }
-
-    /// `true` when writing the next flit requires allocating a fresh chunk.
-    fn needs_chunk(&self) -> bool {
-        self.written < self.total && self.written.is_multiple_of(self.chunk_flits)
-    }
-
-    fn push_chunk(&mut self) {
-        self.refs.push(self.n_branches);
-    }
-
-    /// Sets the branch fan-out once the routing decision is made; chunks
-    /// already written (absorption may precede decision) are fixed up.
-    fn set_branches(&mut self, n: usize) {
-        let n = u8::try_from(n).expect("fan-out fits in u8");
-        self.n_branches = n;
-        for r in &mut self.refs {
-            *r = n;
-        }
-    }
-
-    /// One branch finished reading chunk `idx`; returns `true` if the chunk
-    /// is now free.
-    fn release(&mut self, idx: usize) -> bool {
-        let r = &mut self.refs[idx];
-        assert!(*r > 0, "chunk {idx} over-released");
-        *r -= 1;
-        *r == 0
-    }
-}
-
 /// One output branch of a packet stored in the central queue.
+///
+/// The shared writer-side state ([`ReplState`]) lives in
+/// [`crate::semantics`]: branch readers never overtake `written`
+/// (cut-through at flit granularity) and per-chunk reference counts free a
+/// chunk when the slowest branch has drained it.
 #[derive(Debug)]
 struct CqBranch {
     /// Branch-rewritten packet descriptor (restricted bit-string header).
     pkt: Rc<Packet>,
     read: u16,
-    write: Rc<RefCell<WriteState>>,
+    write: Rc<RefCell<ReplState>>,
 }
 
 /// Per-input receiver state.
@@ -138,7 +79,7 @@ enum InState {
     /// Streaming flits into the central queue.
     Absorbing {
         pkt: Rc<Packet>,
-        write: Rc<RefCell<WriteState>>,
+        write: Rc<RefCell<ReplState>>,
         entered: Cycle,
         decided: bool,
     },
@@ -174,121 +115,6 @@ enum TxState {
 struct OutputPort {
     queue: VecDeque<CqBranch>,
     state: TxState,
-}
-
-/// A pending full-packet reservation accumulating freed chunks.
-#[derive(Debug)]
-struct ResvWait {
-    input: usize,
-    need: usize,
-    got: usize,
-}
-
-/// Central-queue space accounting with a descending-traffic reserve and one
-/// reservation accumulator per traffic class.
-///
-/// * `reserve` chunks can never be consumed by *ascending* packets (those
-///   arriving from hosts or children), so a descending packet — which is
-///   guaranteed to drain toward the hosts — can always eventually buffer
-///   here. This breaks the store-and-forward cycles a shared queue would
-///   otherwise allow (see [`crate::config::SwitchConfig::cq_down_reserve`]).
-/// * Each class has a single-waiter accumulator: the first worm of a class
-///   that cannot reserve immediately claims freed chunks (descending
-///   waiters first; ascending waiters only above the reserve floor) until
-///   its demand is met, so streams of small packets cannot starve a large
-///   worm and two worms never hold mutually blocking partial reservations.
-#[derive(Debug)]
-struct CqAccounting {
-    capacity: usize,
-    free: usize,
-    reserve: usize,
-    resv_desc: Option<ResvWait>,
-    resv_asc: Option<ResvWait>,
-}
-
-impl CqAccounting {
-    fn new(capacity: usize, reserve: usize) -> Self {
-        assert!(capacity >= 2 * reserve, "validated by SwitchConfig");
-        CqAccounting {
-            capacity,
-            free: capacity,
-            reserve,
-            resv_desc: None,
-            resv_asc: None,
-        }
-    }
-
-    /// Chunks neither allocated nor accumulated by a waiter.
-    fn free(&self) -> usize {
-        self.free
-    }
-
-    /// Chunks holding data or accumulated by waiters.
-    fn used(&self) -> usize {
-        let held = self.resv_desc.as_ref().map_or(0, |r| r.got)
-            + self.resv_asc.as_ref().map_or(0, |r| r.got);
-        self.capacity - self.free - held
-    }
-
-    /// Routes a freed chunk: descending waiter first, then (above the
-    /// reserve floor) the ascending waiter, then the pool.
-    fn release_chunk(&mut self) {
-        if let Some(r) = &mut self.resv_desc {
-            if r.got < r.need {
-                r.got += 1;
-                return;
-            }
-        }
-        if self.free >= self.reserve {
-            if let Some(r) = &mut self.resv_asc {
-                if r.got < r.need {
-                    r.got += 1;
-                    return;
-                }
-            }
-        }
-        self.free += 1;
-    }
-
-    /// Attempts the full-packet reservation for input `i` needing `need`
-    /// chunks of the given class, via the class's accumulator.
-    fn try_reserve(&mut self, i: usize, need: usize, descending: bool) -> bool {
-        let avail = if descending {
-            self.free
-        } else {
-            self.free.saturating_sub(self.reserve)
-        };
-        let slot = if descending {
-            &mut self.resv_desc
-        } else {
-            &mut self.resv_asc
-        };
-        match slot {
-            Some(r) if r.input == i => {
-                if r.got == r.need {
-                    *slot = None;
-                    true
-                } else {
-                    false
-                }
-            }
-            Some(_) => false,
-            None => {
-                if avail >= need {
-                    self.free -= need;
-                    true
-                } else {
-                    self.free -= avail;
-                    *slot = Some(ResvWait {
-                        input: i,
-                        need,
-                        got: avail,
-                    });
-                    false
-                }
-            }
-        }
-    }
 }
 
 /// Per-switch barrier-gather combining state (the hardware-barrier
@@ -328,10 +154,11 @@ pub struct CentralBufferSwitch {
     tables: Rc<RouteTables>,
     inputs: Vec<InputPort>,
     outputs: Vec<OutputPort>,
-    cq: CqAccounting,
+    cq: CqState,
     barrier: Option<BarrierCombiner>,
     stats: Rc<RefCell<SwitchStats>>,
     ctl: Option<Rc<SwitchCtl>>,
+    sem: Option<SemHandle>,
     rr: usize,
 }
 
@@ -360,7 +187,7 @@ impl CentralBufferSwitch {
         );
         CentralBufferSwitch {
             id,
-            cq: CqAccounting::new(cfg.cq_chunks, cfg.cq_down_reserve()),
+            cq: CqState::new(cfg.cq_chunks, cfg.cq_down_reserve()),
             barrier: None,
             inputs: (0..cfg.ports)
                 .map(|_| InputPort {
@@ -379,6 +206,7 @@ impl CentralBufferSwitch {
             tables,
             stats,
             ctl: None,
+            sem: None,
             rr: 0,
         }
     }
@@ -388,6 +216,14 @@ impl CentralBufferSwitch {
     /// routing-table swaps.
     pub fn set_ctl(&mut self, ctl: Rc<SwitchCtl>) {
         self.ctl = Some(ctl);
+    }
+
+    /// Attaches a semantic trace buffer: every central-queue reservation
+    /// attempt, chunk release, and purge is recorded as a structured
+    /// [`SemEvent`] for the trace-conformance replay (refinement check
+    /// against the pure [`CqState`] machine).
+    pub fn set_sem_trace(&mut self, sem: SemHandle) {
+        self.sem = Some(sem);
     }
 
     /// No staged flits, no resident worms, every chunk free, no pending
@@ -410,7 +246,7 @@ impl CentralBufferSwitch {
     /// pool is reset to pristine. Also swallows the at-most-one flit
     /// arriving this cycle, so in-flight link stragglers cannot wedge a
     /// half-dead worm back into the receiver FSM.
-    fn purge(&mut self, io: &mut PortIo<'_>) {
+    fn purge(&mut self, now: Cycle, io: &mut PortIo<'_>) {
         let mut flits = 0u64;
         let mut worms = 0u64;
         for (i, input) in self.inputs.iter_mut().enumerate() {
@@ -440,7 +276,10 @@ impl CentralBufferSwitch {
             worms += bar.ready.len() as u64;
             bar.ready.clear();
         }
-        self.cq = CqAccounting::new(self.cfg.cq_chunks, self.cfg.cq_down_reserve());
+        self.cq = CqState::new(self.cfg.cq_chunks, self.cfg.cq_down_reserve());
+        if let Some(t) = &self.sem {
+            t.borrow_mut().log(now, SemEvent::CqPurge { sw: self.id.0 });
+        }
         if flits + worms > 0 {
             let mut st = self.stats.borrow_mut();
             st.purged_flits += flits;
@@ -490,7 +329,7 @@ impl Component for CentralBufferSwitch {
     fn tick(&mut self, now: Cycle, io: &mut PortIo<'_>) {
         if let Some(ctl) = self.ctl.clone() {
             if ctl.purging() {
-                self.purge(io);
+                self.purge(now, io);
                 ctl.set_empty(true);
                 let mut st = self.stats.borrow_mut();
                 st.cq_used_chunks.observe(self.cq.used() as u64);
@@ -519,6 +358,7 @@ impl Component for CentralBufferSwitch {
             barrier,
             stats,
             ctl,
+            sem,
             rr,
             id,
         } = self;
@@ -547,6 +387,15 @@ impl Component for CentralBufferSwitch {
                             let idx = usize::from((branch.read - 1) / chunk_flits);
                             if branch.write.borrow_mut().release(idx) {
                                 cq.release_chunk();
+                                if let Some(t) = sem {
+                                    t.borrow_mut().log(
+                                        now,
+                                        SemEvent::CqRelease {
+                                            sw: id.0,
+                                            free_after: cq.free(),
+                                        },
+                                    );
+                                }
                             }
                         }
                         if branch.read == total {
@@ -576,7 +425,21 @@ impl Component for CentralBufferSwitch {
                 };
                 let total = header.header_flits(bar.n_hosts, bar.bits_per_flit) as u16;
                 let need = cfg.chunks_for(total);
-                if !cq.try_reserve(cfg.ports, need, true) {
+                let granted = cq.try_reserve(cfg.ports, need, true);
+                if let Some(t) = sem {
+                    t.borrow_mut().log(
+                        now,
+                        SemEvent::CqReserve {
+                            sw: id.0,
+                            input: cfg.ports,
+                            need,
+                            descending: true,
+                            granted,
+                            free_after: cq.free(),
+                        },
+                    );
+                }
+                if !granted {
                     break; // retry next cycle; order within the queue holds
                 }
                 bar.ready.pop_front();
@@ -605,7 +468,7 @@ impl Component for CentralBufferSwitch {
                 } else {
                     vec![(table.up_ports()[0], pkt.clone())]
                 };
-                let write = Rc::new(RefCell::new(WriteState::synthesized(
+                let write = Rc::new(RefCell::new(ReplState::synthesized(
                     total,
                     chunk_flits,
                     branches.len(),
@@ -694,11 +557,23 @@ impl Component for CentralBufferSwitch {
             if let InState::AwaitReservation { pkt } = state {
                 let need = cfg.chunks_for(pkt.total_flits());
                 let descending = table.port(i).class == PortClass::Up;
-                if cq.try_reserve(i, need, descending) {
-                    let write = Rc::new(RefCell::new(WriteState::new(
-                        pkt.total_flits(),
-                        chunk_flits,
-                    )));
+                let granted = cq.try_reserve(i, need, descending);
+                if let Some(t) = sem {
+                    t.borrow_mut().log(
+                        now,
+                        SemEvent::CqReserve {
+                            sw: id.0,
+                            input: i,
+                            need,
+                            descending,
+                            granted,
+                            free_after: cq.free(),
+                        },
+                    );
+                }
+                if granted {
+                    let write =
+                        Rc::new(RefCell::new(ReplState::new(pkt.total_flits(), chunk_flits)));
                     *state = InState::Absorbing {
                         pkt: pkt.clone(),
                         write,
@@ -757,11 +632,23 @@ impl Component for CentralBufferSwitch {
             if let InState::AwaitCqSpace { pkt, port } = state {
                 let need = cfg.chunks_for(pkt.total_flits());
                 let descending = table.port(i).class == PortClass::Up;
-                if cq.try_reserve(i, need, descending) {
-                    let write = Rc::new(RefCell::new(WriteState::new(
-                        pkt.total_flits(),
-                        chunk_flits,
-                    )));
+                let granted = cq.try_reserve(i, need, descending);
+                if let Some(t) = sem {
+                    t.borrow_mut().log(
+                        now,
+                        SemEvent::CqReserve {
+                            sw: id.0,
+                            input: i,
+                            need,
+                            descending,
+                            granted,
+                            free_after: cq.free(),
+                        },
+                    );
+                }
+                if granted {
+                    let write =
+                        Rc::new(RefCell::new(ReplState::new(pkt.total_flits(), chunk_flits)));
                     write.borrow_mut().set_branches(1);
                     outputs[*port].queue.push_back(CqBranch {
                         pkt: pkt.clone(),
@@ -825,14 +712,9 @@ impl Component for CentralBufferSwitch {
                 // Move one flit staging -> central queue.
                 let belongs = staging.front().is_some_and(|f| f.packet().id() == pkt.id());
                 if belongs {
-                    let mut w = write.borrow_mut();
-                    if w.needs_chunk() {
-                        // Space is guaranteed: every packet reserved its
-                        // full chunk demand at admission.
-                        w.push_chunk();
-                    }
-                    w.written += 1;
-                    drop(w);
+                    // Chunk space is guaranteed: every packet reserved its
+                    // full chunk demand at admission.
+                    write.borrow_mut().write_flit();
                     staging.pop_front();
                     io.return_credit(i);
                 }
@@ -990,86 +872,6 @@ impl std::fmt::Debug for CentralBufferSwitch {
             self.cq.free(),
             self.cfg.cq_chunks
         )
-    }
-}
-
-#[cfg(test)]
-mod accounting_tests {
-    use super::CqAccounting;
-
-    #[test]
-    fn immediate_grant_when_space_allows() {
-        let mut cq = CqAccounting::new(32, 8);
-        // Descending can take everything.
-        assert!(cq.try_reserve(0, 32, true));
-        assert_eq!(cq.free(), 0);
-        assert_eq!(cq.used(), 32);
-    }
-
-    #[test]
-    fn ascending_respects_the_reserve_floor() {
-        let mut cq = CqAccounting::new(32, 8);
-        // Ascending can use at most capacity - reserve = 24.
-        assert!(cq.try_reserve(0, 24, false));
-        assert_eq!(cq.free(), 8);
-        // Next ascending worm must wait even though 8 chunks are free...
-        assert!(!cq.try_reserve(1, 4, false));
-        // ...but a descending worm takes them immediately.
-        assert!(cq.try_reserve(2, 8, true));
-        assert_eq!(cq.free(), 0);
-    }
-
-    #[test]
-    fn descending_waiter_accumulates_first() {
-        let mut cq = CqAccounting::new(32, 8);
-        assert!(cq.try_reserve(0, 32, true));
-        // Descending waiter for 4 chunks.
-        assert!(!cq.try_reserve(1, 4, true));
-        // Ascending waiter for 2 chunks queues behind in its own class.
-        assert!(!cq.try_reserve(2, 2, false));
-        // Four releases feed the descending waiter exclusively.
-        for _ in 0..4 {
-            cq.release_chunk();
-        }
-        assert!(cq.try_reserve(1, 4, true), "descending waiter satisfied");
-        // Further releases first refill free up to the reserve, then feed
-        // the ascending waiter.
-        for _ in 0..8 {
-            cq.release_chunk();
-        }
-        assert_eq!(cq.free(), 8, "reserve refilled");
-        assert!(!cq.try_reserve(2, 2, false), "still accumulating");
-        cq.release_chunk();
-        cq.release_chunk();
-        assert!(cq.try_reserve(2, 2, false), "ascending waiter satisfied");
-    }
-
-    #[test]
-    fn waiter_slots_are_single_occupancy_per_class() {
-        let mut cq = CqAccounting::new(32, 8);
-        assert!(cq.try_reserve(0, 24, false));
-        assert!(!cq.try_reserve(1, 4, false), "input 1 takes the slot");
-        assert!(!cq.try_reserve(2, 4, false), "input 2 must wait for it");
-        for _ in 0..4 {
-            cq.release_chunk();
-        }
-        assert!(
-            !cq.try_reserve(2, 4, false),
-            "slot still belongs to input 1"
-        );
-        assert!(cq.try_reserve(1, 4, false), "owner collects");
-        assert!(!cq.try_reserve(2, 4, false), "input 2 now owns the slot");
-    }
-
-    #[test]
-    fn used_counts_waiter_holdings_as_not_used_data() {
-        let mut cq = CqAccounting::new(16, 4);
-        assert!(cq.try_reserve(0, 10, true));
-        assert!(!cq.try_reserve(1, 8, true)); // waiter grabs the free 6
-        assert_eq!(cq.free(), 0);
-        assert_eq!(cq.used(), 10, "waiter holdings are held, not data");
-        cq.release_chunk();
-        assert_eq!(cq.used(), 9);
     }
 }
 

@@ -21,6 +21,7 @@
 use crate::config::{ReplicationMode, SwitchConfig};
 use crate::ctl::SwitchCtl;
 use crate::decode::{resolve_branches, HeaderClock};
+use crate::semantics::IbHeadState;
 use crate::stats::{header_dests, BlockedWormSnap, SwitchSnapshot, SwitchStats};
 use mintopo::route::RouteTables;
 use netsim::engine::{Component, PortIo};
@@ -39,14 +40,14 @@ struct IbPacket {
     received: u16,
 }
 
-/// One output branch of the head packet.
+/// The decoded head packet: branch-rewritten descriptors side by side
+/// with the pure progress core ([`IbHeadState`], shared with the bounded
+/// model checker). `pkts[b]` is the packet branch `b` streams;
+/// `sem.branches[b]` is its read cursor, grant, and done flag.
 #[derive(Debug)]
-struct IbBranch {
-    port: usize,
-    pkt: Rc<Packet>,
-    read: u16,
-    granted: bool,
-    done: bool,
+struct IbHead {
+    pkts: Vec<(usize, Rc<Packet>)>,
+    sem: IbHeadState,
 }
 
 #[derive(Debug)]
@@ -54,9 +55,8 @@ struct IbInput {
     packets: VecDeque<IbPacket>,
     clock: HeaderClock,
     /// Branch state of the head packet once its route is decided.
-    branches: Option<Vec<IbBranch>>,
+    head: Option<IbHead>,
     became_head: Cycle,
-    freed_of_head: u16,
     occupied: u32,
 }
 
@@ -107,9 +107,8 @@ impl InputBufferedSwitch {
                 .map(|_| IbInput {
                     packets: VecDeque::new(),
                     clock: HeaderClock::default(),
-                    branches: None,
+                    head: None,
                     became_head: 0,
-                    freed_of_head: 0,
                     occupied: 0,
                 })
                 .collect(),
@@ -138,7 +137,7 @@ impl InputBufferedSwitch {
     fn empty_now(&self) -> bool {
         self.inputs
             .iter()
-            .all(|inp| inp.packets.is_empty() && inp.occupied == 0 && inp.branches.is_none())
+            .all(|inp| inp.packets.is_empty() && inp.occupied == 0 && inp.head.is_none())
             && self.outputs.iter().all(|o| o.owner.is_none())
     }
 
@@ -162,8 +161,7 @@ impl InputBufferedSwitch {
             worms += input.packets.len() as u64;
             input.occupied = 0;
             input.packets.clear();
-            input.branches = None;
-            input.freed_of_head = 0;
+            input.head = None;
             input.became_head = now;
             input.clock = HeaderClock::default();
         }
@@ -243,7 +241,7 @@ impl Component for InputBufferedSwitch {
 
         // --- 2. Decode the head packet where the header has arrived.
         for i in 0..ports {
-            let needs_decode = inputs[i].branches.is_none() && !inputs[i].packets.is_empty();
+            let needs_decode = inputs[i].head.is_none() && !inputs[i].packets.is_empty();
             if !needs_decode {
                 continue;
             }
@@ -266,18 +264,11 @@ impl Component for InputBufferedSwitch {
                 st.packets_replicated += 1;
             }
             drop(st);
-            inputs[i].branches = Some(
-                branches
-                    .into_iter()
-                    .map(|(port, bpkt)| IbBranch {
-                        port,
-                        pkt: bpkt,
-                        read: 0,
-                        granted: false,
-                        done: false,
-                    })
-                    .collect(),
-            );
+            let total = pkt.total_flits();
+            inputs[i].head = Some(IbHead {
+                sem: IbHeadState::new(total, branches.iter().map(|&(port, _)| port)),
+                pkts: branches,
+            });
         }
 
         // --- 3. Grant free transmitters round-robin among requesting inputs.
@@ -288,21 +279,16 @@ impl Component for InputBufferedSwitch {
             let start = outputs[p].rr;
             for k in 0..ports {
                 let i = (start + k) % ports;
-                let requests = inputs[i]
-                    .branches
-                    .as_ref()
-                    .is_some_and(|bs| bs.iter().any(|b| b.port == p && !b.granted && !b.done));
-                if requests {
+                let request = inputs[i].head.as_ref().and_then(|h| {
+                    h.sem
+                        .branches
+                        .iter()
+                        .position(|b| b.port == p && !b.granted && !b.done)
+                });
+                if let Some(b) = request {
                     outputs[p].owner = Some(i);
                     outputs[p].rr = (i + 1) % ports;
-                    let b = inputs[i]
-                        .branches
-                        .as_mut()
-                        .expect("checked")
-                        .iter_mut()
-                        .find(|b| b.port == p && !b.granted && !b.done)
-                        .expect("checked");
-                    b.granted = true;
+                    inputs[i].head.as_mut().expect("checked").sem.grant(b);
                     break;
                 }
             }
@@ -316,19 +302,18 @@ impl Component for InputBufferedSwitch {
                 for p in 0..ports {
                     let Some(i) = outputs[p].owner else { continue };
                     let received = inputs[i].packets.front().expect("owner has head").received;
-                    let branch = inputs[i]
+                    let head = inputs[i].head.as_mut().expect("owner has branches");
+                    let b = head
+                        .sem
                         .branches
-                        .as_mut()
-                        .expect("owner has branches")
-                        .iter_mut()
-                        .find(|b| b.port == p && b.granted && !b.done)
+                        .iter()
+                        .position(|b| b.port == p && b.granted && !b.done)
                         .expect("owner has an active branch");
-                    if io.can_send(p) && branch.read < received {
-                        io.send(p, Flit::new(branch.pkt.clone(), branch.read));
-                        branch.read += 1;
+                    if io.can_send(p) && head.sem.branches[b].read < received {
+                        let read = head.sem.branches[b].read;
+                        io.send(p, Flit::new(head.pkts[b].1.clone(), read));
                         stats.borrow_mut().flits_sent += 1;
-                        if branch.read == branch.pkt.total_flits() {
-                            branch.done = true;
+                        if head.sem.read_flit(b) {
                             outputs[p].owner = None;
                         }
                     }
@@ -341,29 +326,24 @@ impl Component for InputBufferedSwitch {
             // that deadlocks without an extra avoidance protocol [6].
             ReplicationMode::Synchronous => {
                 for input in inputs.iter_mut() {
-                    let Some(branches) = &mut input.branches else {
+                    let Some(head) = &mut input.head else {
                         continue;
                     };
-                    if branches.iter().any(|b| !b.granted || b.done) {
+                    if head.sem.branches.iter().any(|b| !b.granted || b.done) {
                         continue;
                     }
                     let received = input.packets.front().expect("head exists").received;
-                    let read = branches[0].read;
-                    debug_assert!(
-                        branches.iter().all(|b| b.read == read),
-                        "lock-step branches diverged"
-                    );
-                    let total = branches[0].pkt.total_flits();
-                    if read < received && branches.iter().all(|b| io.can_send(b.port)) {
-                        for b in branches.iter_mut() {
-                            io.send(b.port, Flit::new(b.pkt.clone(), read));
-                            b.read += 1;
-                            if b.read == total {
-                                b.done = true;
-                                outputs[b.port].owner = None;
-                            }
+                    let read = head.sem.branches[0].read;
+                    let can =
+                        read < received && head.sem.branches.iter().all(|b| io.can_send(b.port));
+                    if can {
+                        for (port, pkt) in &head.pkts {
+                            io.send(*port, Flit::new(pkt.clone(), read));
                         }
-                        stats.borrow_mut().flits_sent += branches.len() as u64;
+                        for port in head.sem.read_lockstep() {
+                            outputs[port].owner = None;
+                        }
+                        stats.borrow_mut().flits_sent += head.pkts.len() as u64;
                     }
                 }
             }
@@ -373,23 +353,16 @@ impl Component for InputBufferedSwitch {
         //        retire fully drained head packets.
         let mut occupancy_sum = 0u64;
         for (i, input) in inputs.iter_mut().enumerate() {
-            if let Some(branches) = &input.branches {
-                let min_read = branches
-                    .iter()
-                    .map(|b| b.read)
-                    .min()
-                    .expect("at least one branch");
-                let newly = min_read - input.freed_of_head;
+            if let Some(head) = &mut input.head {
+                let newly = head.sem.recycle();
                 for _ in 0..newly {
                     io.return_credit(i);
                 }
                 input.occupied -= u32::from(newly);
-                input.freed_of_head = min_read;
-                if branches.iter().all(|b| b.done) {
-                    let head = input.packets.pop_front().expect("head exists");
-                    input.clock.forget(head.pkt.id());
-                    input.branches = None;
-                    input.freed_of_head = 0;
+                if head.sem.all_done() {
+                    let retired = input.packets.pop_front().expect("head exists");
+                    input.clock.forget(retired.pkt.id());
+                    input.head = None;
                     input.became_head = now;
                 }
             }
@@ -415,12 +388,14 @@ impl Component for InputBufferedSwitch {
                         holds_outputs: holds,
                         waits_outputs: waits,
                     };
-                match &input.branches {
+                match &input.head {
                     None => {
                         blocked.push(snap_worm(&head.pkt, "await-decode", Vec::new(), Vec::new()))
                     }
-                    Some(branches) => {
-                        let holds: Vec<usize> = branches
+                    Some(h) => {
+                        let holds: Vec<usize> = h
+                            .sem
+                            .branches
                             .iter()
                             .filter(|b| b.granted && !b.done)
                             .map(|b| b.port)
@@ -429,7 +404,9 @@ impl Component for InputBufferedSwitch {
                         // its transmitter but the downstream link has no
                         // credit. Under synchronous replication any
                         // ungranted branch stalls the granted ones too.
-                        let waits: Vec<usize> = branches
+                        let waits: Vec<usize> = h
+                            .sem
+                            .branches
                             .iter()
                             .filter(|b| !b.done && (!b.granted || !io.can_send(b.port)))
                             .map(|b| b.port)
@@ -459,7 +436,7 @@ impl Component for InputBufferedSwitch {
         if let Some(ctl) = ctl {
             let empty = inputs
                 .iter()
-                .all(|inp| inp.packets.is_empty() && inp.occupied == 0 && inp.branches.is_none())
+                .all(|inp| inp.packets.is_empty() && inp.occupied == 0 && inp.head.is_none())
                 && outputs.iter().all(|o| o.owner.is_none());
             ctl.set_empty(empty);
         }

@@ -15,7 +15,11 @@
 //! Both decode unicast, bit-string and multiport headers through the shared
 //! logic in `decode` (internal) and are parameterized by
 //! [`config::SwitchConfig`]. Per-switch counters land in
-//! [`stats::SwitchStats`].
+//! [`stats::SwitchStats`]. The chunk-allocate / replicate / credit-return
+//! step logic of both architectures is factored into pure
+//! `step(state, event) -> (state, effect)` cores in [`semantics`], which
+//! the `mdw-analysis` bounded model checker explores exhaustively and the
+//! trace-conformance replay re-drives from recorded simulator events.
 //!
 //! Deadlock freedom rests on the paper's condition — *a packet accepted for
 //! transmission can eventually be completely buffered* — enforced here by
@@ -29,6 +33,7 @@ pub mod config;
 pub mod ctl;
 mod decode;
 pub mod input_buffered;
+pub mod semantics;
 pub mod stats;
 mod testutil;
 
@@ -37,4 +42,5 @@ pub use config::{ConfigError, ReplicationMode, SwitchConfig, UpSelect};
 pub use ctl::SwitchCtl;
 pub use decode::verify_bitstring_roundtrip;
 pub use input_buffered::InputBufferedSwitch;
+pub use semantics::{CqEffect, CqEvent, CqState, IbHeadState, ReplState};
 pub use stats::{BlockedWormSnap, SwitchSnapshot, SwitchStats};

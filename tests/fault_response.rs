@@ -220,6 +220,123 @@ fn corrupt_builder(topo: &Topology, dead: &[(SwitchId, usize)]) -> RouteTables {
     RouteTables::from_tables(tables, n)
 }
 
+/// The liveness half of the vet gate: a candidate that over-masks a leaf
+/// — every reach string at a switch with live hosts emptied — induces a
+/// *vacuously* acyclic CDG, so only the dedicated stranded-switch check
+/// can veto it. Regression test for the gate accepting such tables.
+#[test]
+fn stranded_switch_candidate_is_rejected_not_vacuously_vetted() {
+    let cfg = fault_cfg(
+        TopologyKind::KaryTree { k: 4, n: 2 },
+        SwitchArch::CentralBuffer,
+    );
+    let mut sys = build(cfg, 0.02, 4, 3_000);
+    let (link, _) = outage::single_cut(&sys, NodeId::from(4usize));
+    sys.engine.script_outage(link, 500, 2_000);
+
+    let mut resp = FaultResponder::new(ResponseConfig::default(), &mut sys);
+    resp.set_candidate_builder(Box::new(overmasking_builder));
+
+    drive(&mut sys, &mut resp, 3_000);
+    let leftover = drain(&mut sys, &mut resp, 200_000);
+
+    let c = resp.counters();
+    assert!(c.reroutes_rejected >= 1, "over-masked candidate must veto");
+    let rejection = resp
+        .events()
+        .iter()
+        .find_map(|(_, e)| match e {
+            ResponseEvent::RerouteRejected { code, message } => Some((code, message)),
+            _ => None,
+        })
+        .expect("rejection must be logged");
+    assert_eq!(rejection.0, "unreachable-switch", "{}", rejection.1);
+    assert!(
+        !resp
+            .events()
+            .iter()
+            .any(|(_, e)| matches!(e, ResponseEvent::Rerouted { .. })),
+        "the stranding candidate must never install"
+    );
+    assert_eq!(leftover, 0, "old tables + heal must still deliver all");
+}
+
+/// Blanks every reach string of leaf switch 0 (which keeps its attached
+/// hosts) in the otherwise-honest masked rebuild. Healing stays honest.
+fn overmasking_builder(topo: &Topology, dead: &[(SwitchId, usize)]) -> RouteTables {
+    let honest = RouteTables::build_masked(topo, dead);
+    if dead.is_empty() {
+        return honest;
+    }
+    let n = topo.n_hosts();
+    let empty = DestSet::empty(n);
+    let tables = (0..topo.n_switches())
+        .map(SwitchId::from)
+        .map(|s| {
+            let t = honest.table(s);
+            let ports = (0..t.n_ports())
+                .map(|p| {
+                    let mut info = t.port(p).clone();
+                    if s == SwitchId(0) {
+                        info.reach = empty.clone();
+                    }
+                    info
+                })
+                .collect();
+            SwitchTable::from_ports(ports, n)
+        })
+        .collect();
+    RouteTables::from_tables(tables, n)
+}
+
+/// The behavioral half of the vet gate: under synchronous (lock-step)
+/// replication on the input-buffered switch, the bounded model check
+/// finds the paper's §3 crossed-grant deadlock, so the responder must
+/// refuse to activate *any* reroute — even a structurally honest masked
+/// rebuild whose CDG is acyclic — and log a `model-check` rejection.
+#[test]
+fn sync_replication_reroute_is_vetoed_by_model_check() {
+    let mut cfg = fault_cfg(
+        TopologyKind::KaryTree { k: 4, n: 2 },
+        SwitchArch::InputBuffered,
+    );
+    cfg.switch.replication = switches::ReplicationMode::Synchronous;
+    let mut sys = build(cfg, 0.01, 2, 2_000);
+    let (link, _) = outage::single_cut(&sys, NodeId::from(4usize));
+    sys.engine.script_outage(link, 500, 1_500);
+
+    let mut resp = FaultResponder::new(ResponseConfig::default(), &mut sys);
+    drive(&mut sys, &mut resp, 2_500);
+    let _ = drain(&mut sys, &mut resp, 100_000);
+
+    let c = resp.counters();
+    assert!(
+        c.reroutes_rejected >= 1,
+        "sync replication must fail deep vet"
+    );
+    let rejection = resp
+        .events()
+        .iter()
+        .find_map(|(_, e)| match e {
+            ResponseEvent::RerouteRejected { code, message } => Some((code, message)),
+            _ => None,
+        })
+        .expect("rejection must be logged");
+    assert_eq!(rejection.0, "model-check", "{}", rejection.1);
+    assert!(
+        rejection.1.contains("deadlock"),
+        "the verdict must name the hazard: {}",
+        rejection.1
+    );
+    assert!(
+        !resp
+            .events()
+            .iter()
+            .any(|(_, e)| matches!(e, ResponseEvent::Rerouted { .. })),
+        "no reroute may activate under an unverified architecture"
+    );
+}
+
 /// Miniature E17 timeline — the CI smoke target. Under
 /// `--features invariant-audit` every cycle of this four-phase script is
 /// audited for flit and credit conservation.
