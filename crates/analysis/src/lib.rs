@@ -35,6 +35,7 @@ pub mod replay;
 pub mod report;
 pub mod roundtrip;
 pub mod scc;
+pub mod timing;
 
 pub use cdg::{build_cdg, Channel, ChannelGraph, Dependency, ShapeClass};
 pub use checks::{switch_sizing, ArchClass};
@@ -43,6 +44,7 @@ pub use replay::{replay_cq_trace, ReplayMismatch, ReplayReport};
 pub use report::{AnalysisStats, ConfigReport, CycleReport, Diagnostic, Severity};
 pub use roundtrip::lint_roundtrips;
 pub use scc::tarjan_sccs;
+pub use timing::{check_model_timed, vet_reroute_timed, Samples, VetStats};
 
 use mintopo::route::{ReplicatePolicy, RouteTables};
 use mintopo::topology::Topology;

@@ -1,0 +1,221 @@
+//! Wall-clock accounting for the reroute admission-control path.
+//!
+//! The analyzer and model-check vets execute in **zero simulated cycles**
+//! — from the fabric's point of view they are instantaneous, which keeps
+//! runs deterministic. A resident control plane, however, budgets its
+//! detect→vet→install pipeline in *wall* time: a vet that takes tens of
+//! milliseconds on a big topology eats directly into the service's
+//! latency budget. This module times the vet entry points and provides
+//! the percentile accumulator ([`Samples`]) that `mdw-routed` uses for
+//! its p50/p99 service metrics — for wall-clock nanoseconds here and for
+//! cycle-domain detect→install latencies in `core`.
+//!
+//! Timing is *observability only*: durations are recorded beside the
+//! verdicts, never branched on, so identical runs still produce
+//! bit-identical simulation results.
+
+use crate::model::{check_model, CheckOutcome, ModelBounds};
+use crate::report::{AnalysisStats, ConfigReport};
+use crate::{checks::ArchClass, vet_reroute};
+use mintopo::route::{ReplicatePolicy, RouteTables};
+use mintopo::topology::Topology;
+use std::time::{Duration, Instant};
+
+/// An accumulator of `u64` latency samples with nearest-rank percentile
+/// extraction. Unit-agnostic: the vet path records wall-clock
+/// nanoseconds, the responder records cycle counts.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Samples {
+    values: Vec<u64>,
+}
+
+impl Samples {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Samples::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.values.push(value);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Largest sample, or 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.values.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Sum of all samples.
+    pub fn total(&self) -> u64 {
+        self.values.iter().sum()
+    }
+
+    /// Nearest-rank percentile (`p` in `[0, 100]`); 0 when empty. The
+    /// nearest-rank definition always returns an *observed* sample, so
+    /// p50/p99 readings correspond to real episodes rather than
+    /// interpolated values.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.values.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.values.clone();
+        sorted.sort_unstable();
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        sorted[rank.clamp(1, sorted.len()) - 1]
+    }
+
+    /// Folds another accumulator's samples into this one.
+    pub fn merge(&mut self, other: &Samples) {
+        self.values.extend_from_slice(&other.values);
+    }
+
+    /// The raw samples, in record order.
+    pub fn values(&self) -> &[u64] {
+        &self.values
+    }
+}
+
+/// Wall-clock totals of the two vet halves across a responder's lifetime.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct VetStats {
+    /// Per-invocation durations of the structural vet
+    /// ([`vet_reroute`]), in nanoseconds.
+    pub structural_ns: Samples,
+    /// Per-invocation durations of the behavioral vet
+    /// ([`check_model`]), in nanoseconds. With memoization this
+    /// typically holds exactly one sample per run.
+    pub model_ns: Samples,
+}
+
+impl VetStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        VetStats::default()
+    }
+
+    /// Total wall time spent in both vet halves.
+    pub fn total(&self) -> Duration {
+        Duration::from_nanos(self.structural_ns.total() + self.model_ns.total())
+    }
+}
+
+/// Runs [`vet_reroute`] under a timer, recording the duration into
+/// `stats` and returning the untouched verdict.
+///
+/// # Errors
+///
+/// Exactly as [`vet_reroute`]: the full report when any error-severity
+/// finding exists.
+pub fn vet_reroute_timed(
+    topo: &Topology,
+    candidate: &RouteTables,
+    policy: ReplicatePolicy,
+    stats: &mut VetStats,
+) -> Result<AnalysisStats, Box<ConfigReport>> {
+    let start = Instant::now();
+    let verdict = vet_reroute(topo, candidate, policy);
+    stats
+        .structural_ns
+        .record(start.elapsed().as_nanos() as u64);
+    verdict
+}
+
+/// Runs [`check_model`] under a timer, recording the duration into
+/// `stats` and returning the untouched outcome.
+pub fn check_model_timed(
+    arch: ArchClass,
+    sync_replication: bool,
+    policy: ReplicatePolicy,
+    bounds: &ModelBounds,
+    stats: &mut VetStats,
+) -> CheckOutcome {
+    let start = Instant::now();
+    let outcome = check_model(arch, sync_replication, policy, bounds);
+    stats.model_ns.record(start.elapsed().as_nanos() as u64);
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let mut s = Samples::new();
+        for v in [10, 20, 30, 40, 50, 60, 70, 80, 90, 100] {
+            s.record(v);
+        }
+        assert_eq!(s.percentile(50.0), 50);
+        assert_eq!(s.percentile(99.0), 100);
+        assert_eq!(s.percentile(100.0), 100);
+        assert_eq!(s.percentile(0.0), 10);
+        assert_eq!(s.max(), 100);
+        assert_eq!(s.total(), 550);
+        assert_eq!(s.count(), 10);
+    }
+
+    #[test]
+    fn empty_samples_read_zero() {
+        let s = Samples::new();
+        assert_eq!(s.percentile(50.0), 0);
+        assert_eq!(s.max(), 0);
+        assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let mut s = Samples::new();
+        s.record(42);
+        assert_eq!(s.percentile(1.0), 42);
+        assert_eq!(s.percentile(50.0), 42);
+        assert_eq!(s.percentile(99.0), 42);
+    }
+
+    #[test]
+    fn merge_folds_samples() {
+        let mut a = Samples::new();
+        a.record(1);
+        let mut b = Samples::new();
+        b.record(2);
+        b.record(3);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.total(), 6);
+    }
+
+    #[test]
+    fn timed_vet_records_a_sample_per_call() {
+        use mintopo::topology::TopologyBuilder;
+        use netsim::ids::NodeId;
+
+        let mut b = TopologyBuilder::new(2);
+        let s0 = b.add_switch(3, 1);
+        let s1 = b.add_switch(1, 0);
+        b.attach_host(NodeId(0), s0, 0);
+        b.attach_host(NodeId(1), s0, 1);
+        b.connect(s0, 2, s1, 0);
+        let topo = b.build();
+        let tables = RouteTables::build(&topo);
+
+        let mut stats = VetStats::new();
+        let verdict = vet_reroute_timed(&topo, &tables, ReplicatePolicy::ReturnOnly, &mut stats);
+        assert!(verdict.is_ok());
+        assert_eq!(stats.structural_ns.count(), 1);
+        assert_eq!(stats.model_ns.count(), 0);
+
+        let outcome = check_model_timed(
+            ArchClass::CentralBuffer,
+            false,
+            ReplicatePolicy::ReturnOnly,
+            &ModelBounds::default(),
+            &mut stats,
+        );
+        assert!(matches!(outcome, CheckOutcome::Verified(_)));
+        assert_eq!(stats.model_ns.count(), 1);
+    }
+}

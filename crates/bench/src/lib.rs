@@ -123,7 +123,7 @@ impl Scale {
     }
 
     /// Per-phase window length for the E17 fault-response timeline
-    /// (healthy / rerouted / degraded / healed).
+    /// (healthy / rerouted / degraded / healed) and the E18 storm script.
     pub fn fault_phase_len(self) -> u64 {
         match self {
             Scale::Full => 8_000,

@@ -35,6 +35,16 @@ pub struct BenchReport {
     pub engine_secs: f64,
     /// Simulated cycles per wall-clock second (single engine, one core).
     pub engine_cycles_per_sec: f64,
+    /// Detect→install episodes in the storm microbench.
+    pub storm_episodes: usize,
+    /// p50 detect→install latency of the storm microbench, cycles.
+    pub storm_p50_cycles: u64,
+    /// p99 detect→install latency of the storm microbench, cycles.
+    pub storm_p99_cycles: u64,
+    /// p50 wall time of a structural reroute vet, nanoseconds.
+    pub storm_vet_p50_ns: u64,
+    /// p99 wall time of a structural reroute vet, nanoseconds.
+    pub storm_vet_p99_ns: u64,
 }
 
 impl BenchReport {
@@ -47,7 +57,10 @@ impl BenchReport {
              \"parallel_secs\": {:.3},\n  \"speedup\": {:.3},\n  \
              \"outputs_identical\": {},\n  \"tables\": {},\n  \
              \"engine_cycles\": {},\n  \"engine_secs\": {:.3},\n  \
-             \"engine_cycles_per_sec\": {:.0}\n}}\n",
+             \"engine_cycles_per_sec\": {:.0},\n  \
+             \"storm_episodes\": {},\n  \"storm_p50_cycles\": {},\n  \
+             \"storm_p99_cycles\": {},\n  \"storm_vet_p50_ns\": {},\n  \
+             \"storm_vet_p99_ns\": {}\n}}\n",
             self.scale,
             self.exp,
             self.jobs_parallel,
@@ -60,8 +73,60 @@ impl BenchReport {
             self.engine_cycles,
             self.engine_secs,
             self.engine_cycles_per_sec,
+            self.storm_episodes,
+            self.storm_p50_cycles,
+            self.storm_p99_cycles,
+            self.storm_vet_p50_ns,
+            self.storm_vet_p99_ns,
         )
     }
+}
+
+/// Detect→vet→install latency of the resident control plane under a
+/// short scripted storm: p50/p99 in cycles (deterministic) plus the
+/// wall-clock cost of the structural vet (host-dependent — the perf
+/// number that moves when the analyzer moves).
+///
+/// Returns `(episodes, p50_cycles, p99_cycles, vet_p50_ns, vet_p99_ns)`.
+pub fn storm_latency() -> (usize, u64, u64, u64, u64) {
+    use mdworm::respond::ResponseConfig;
+    use mdworm::routed::{RoutedConfig, StormResponder};
+    use mdworm::TopologyKind;
+
+    let cfg = SystemConfig {
+        topology: TopologyKind::KaryTree { k: 4, n: 2 },
+        recovery: Some(collectives::RecoveryConfig::default()),
+        response: Some(ResponseConfig::default()),
+        routed: Some(RoutedConfig::default()),
+        ..SystemConfig::default()
+    };
+    let spec = TrafficSpec::multiple_multicast(0.04, 4, 16);
+    let sources = make_sources(&spec, cfg.n_hosts(), cfg.seed, Some(8_000));
+    let mut sys = build_system(cfg, sources, None);
+    // One cut per fabric-link pair boundary: fail, heal, fail the next —
+    // enough episodes for stable percentiles without a long run.
+    let fabric: Vec<_> = sys.links.fabric.iter().copied().take(4).collect();
+    for (i, link) in fabric.iter().enumerate() {
+        let start = 1_000 + 3_000 * i as u64;
+        sys.engine.script_outage(*link, start, start + 1_500);
+    }
+    let mut storm =
+        StormResponder::new(RoutedConfig::default(), ResponseConfig::default(), &mut sys);
+    let end = 1_000 + 3_000 * fabric.len() as u64 + 4_000;
+    while sys.engine.now() < end {
+        sys.engine.run_for(32);
+        storm.tick(&mut sys);
+    }
+    let resp = storm.responder();
+    let lat = resp.latency();
+    let vet = resp.vet_stats();
+    (
+        lat.count(),
+        lat.percentile(50.0),
+        lat.percentile(99.0),
+        vet.structural_ns.percentile(50.0),
+        vet.structural_ns.percentile(99.0),
+    )
 }
 
 /// Times one 64-processor engine under the default multiple-multicast
@@ -106,6 +171,7 @@ pub fn bench_sweep(
 
     let outputs_identical = serial == parallel;
     let eng_secs = engine_secs(engine_cycles);
+    let (storm_episodes, storm_p50, storm_p99, vet_p50, vet_p99) = storm_latency();
     let report = BenchReport {
         scale: format!("{scale:?}").to_lowercase(),
         exp: exp.to_string(),
@@ -119,6 +185,11 @@ pub fn bench_sweep(
         engine_cycles,
         engine_secs: eng_secs,
         engine_cycles_per_sec: engine_cycles as f64 / eng_secs.max(1e-9),
+        storm_episodes,
+        storm_p50_cycles: storm_p50,
+        storm_p99_cycles: storm_p99,
+        storm_vet_p50_ns: vet_p50,
+        storm_vet_p99_ns: vet_p99,
     };
     (report, parallel)
 }
@@ -142,16 +213,30 @@ mod tests {
             engine_cycles: 30_000,
             engine_secs: 0.5,
             engine_cycles_per_sec: 60_000.0,
+            storm_episodes: 8,
+            storm_p50_cycles: 256,
+            storm_p99_cycles: 257,
+            storm_vet_p50_ns: 1_000,
+            storm_vet_p99_ns: 2_000,
         };
         let j = r.json();
         assert!(j.contains("\"speedup\": 2.500"));
         assert!(j.contains("\"outputs_identical\": true"));
         assert!(j.contains("\"jobs_serial\": 1"));
+        assert!(j.contains("\"storm_p99_cycles\": 257"));
         assert!(j.ends_with("}\n"));
     }
 
     #[test]
     fn engine_microbench_runs() {
         assert!(engine_secs(200) > 0.0);
+    }
+
+    #[test]
+    fn storm_microbench_records_episodes_and_ordered_percentiles() {
+        let (episodes, p50, p99, vet_p50, vet_p99) = storm_latency();
+        assert!(episodes >= 4, "{episodes} episodes");
+        assert!(p50 > 0 && p99 >= p50, "cycle percentiles ordered");
+        assert!(vet_p99 >= vet_p50, "vet percentiles ordered");
     }
 }

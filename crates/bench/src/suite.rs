@@ -1,4 +1,4 @@
-//! The full E1..E17 table suite as data: every experiment rendered to
+//! The full E1..E18 table suite as data: every experiment rendered to
 //! markdown + CSV strings, with no file IO.
 //!
 //! The `figures` binary writes these tables to `results/`; the bench mode
@@ -178,6 +178,19 @@ pub fn run_suite(base: &SystemConfig, scale: Scale, exp_filter: &str) -> Vec<Tab
             "e17_fault_response",
             "E17 (robustness extension): online fault response — healthy / rerouted / degraded / healed phases (16 procs, load 0.04)",
             &exp::e17_fault_response(&e17_base, scale.fault_phase_len(), 0.04, 4, 16),
+        ));
+    }
+    if want("e18") {
+        // Same 2-stage tree as E17; the storm needs a crossed cut plus a
+        // spare fabric link to flap.
+        let e18_base = SystemConfig {
+            topology: TopologyKind::KaryTree { k: 4, n: 2 },
+            ..base.clone()
+        };
+        tables.push(table(
+            "e18_fault_storm",
+            "E18 (robustness extension): fault storm under the resident control plane — overlapping cuts + flapping link, with flap damping, retry backoff, degradation ladder, and p50/p99 detect→install latency (16 procs, load 0.04)",
+            &exp::e18_fault_storm(&e18_base, scale.fault_phase_len(), 0.04, 4, 16),
         ));
     }
     tables

@@ -73,12 +73,46 @@ pub struct DegradeCounters {
     pub split_mcasts: u64,
     /// Destinations served through the U-Min unicast fallback.
     pub peeled_dests: u64,
+    /// Multicasts diverted whole to U-Min while the fabric sat on the
+    /// [`Rung::UMinOnly`] ladder rung.
+    pub umin_forced: u64,
+}
+
+/// Rungs of the degradation ladder a storm controller walks the fabric
+/// down (and, with hysteresis, back up). Ordered by severity:
+/// `FullMcast < MaskedMcast < UMinOnly < ReadOnly`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rung {
+    /// Healthy: every multicast goes as one hardware worm.
+    FullMcast,
+    /// Masked tables active: worm-coverable parts still go as worms, the
+    /// peeled remainder rides U-Min unicast.
+    MaskedMcast,
+    /// Route churn too fast to trust worm coverage: every multicast is
+    /// diverted whole to binomial-tree U-Min unicast.
+    UMinOnly,
+    /// Lockdown: hosts stop injecting entirely; queries still answer
+    /// from the last installed state.
+    ReadOnly,
+}
+
+impl std::fmt::Display for Rung {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Rung::FullMcast => "full-mcast",
+            Rung::MaskedMcast => "masked-mcast",
+            Rung::UMinOnly => "umin-only",
+            Rung::ReadOnly => "read-only",
+        })
+    }
 }
 
 /// Shared fault-response mode cell between the orchestrator and all hosts.
 #[derive(Debug, Default)]
 pub struct FabricMode {
     gated: Cell<bool>,
+    umin_only: Cell<bool>,
+    lockdown: Cell<bool>,
     planner: RefCell<Option<DegradePlanner>>,
     counters: RefCell<DegradeCounters>,
 }
@@ -99,9 +133,39 @@ impl FabricMode {
         self.gated.set(false);
     }
 
-    /// `true` while hosts must not inject.
+    /// `true` while hosts must not inject — during a quiesce window or
+    /// while parked on the [`Rung::ReadOnly`] ladder rung.
     pub fn gated(&self) -> bool {
-        self.gated.get()
+        self.gated.get() || self.lockdown.get()
+    }
+
+    /// Parks the fabric on (or releases it from) the [`Rung::UMinOnly`]
+    /// rung: while set, [`split`](Self::split) diverts every multicast
+    /// whole to the U-Min unicast fallback regardless of what the masked
+    /// tables could cover.
+    pub fn set_umin_only(&self, on: bool) {
+        self.umin_only.set(on);
+    }
+
+    /// Parks the fabric on (or releases it from) the [`Rung::ReadOnly`]
+    /// rung: while set, [`gated`](Self::gated) holds regardless of the
+    /// quiesce gate.
+    pub fn set_lockdown(&self, on: bool) {
+        self.lockdown.set(on);
+    }
+
+    /// The ladder rung the mode cell currently expresses — the most
+    /// severe of the independent switches that are set.
+    pub fn rung(&self) -> Rung {
+        if self.lockdown.get() {
+            Rung::ReadOnly
+        } else if self.umin_only.get() {
+            Rung::UMinOnly
+        } else if self.degraded() {
+            Rung::MaskedMcast
+        } else {
+            Rung::FullMcast
+        }
     }
 
     /// Enters degraded mode: multicasts are split through `planner`.
@@ -120,8 +184,19 @@ impl FabricMode {
     }
 
     /// Splits a multicast under the installed planner; `None` when healthy
-    /// (callers send the whole set as one worm).
+    /// (callers send the whole set as one worm). On the
+    /// [`Rung::UMinOnly`] rung the entire set is peeled unconditionally.
     pub fn split(&self, src: NodeId, dests: &DestSet) -> Option<McastPlan> {
+        if self.umin_only.get() {
+            let mut c = self.counters.borrow_mut();
+            c.split_mcasts += 1;
+            c.peeled_dests += dests.count() as u64;
+            c.umin_forced += 1;
+            return Some(McastPlan {
+                worm: DestSet::empty(dests.universe()),
+                peeled: dests.clone(),
+            });
+        }
         let plan = self
             .planner
             .borrow()
@@ -201,6 +276,38 @@ mod tests {
         assert_eq!(m.counters().split_mcasts, 1);
         assert_eq!(m.counters().peeled_dests, 1);
         m.heal();
+        assert!(m.split(NodeId(0), &dests).is_none());
+    }
+
+    #[test]
+    fn ladder_rungs_order_by_severity_and_drive_the_mode() {
+        assert!(Rung::FullMcast < Rung::MaskedMcast);
+        assert!(Rung::MaskedMcast < Rung::UMinOnly);
+        assert!(Rung::UMinOnly < Rung::ReadOnly);
+
+        let m = FabricMode::new();
+        assert_eq!(m.rung(), Rung::FullMcast);
+
+        // UMinOnly: everything peels, even with no planner installed.
+        m.set_umin_only(true);
+        assert_eq!(m.rung(), Rung::UMinOnly);
+        let dests = DestSet::from_nodes(4, [1, 2, 3].map(NodeId));
+        let plan = m.split(NodeId(0), &dests).expect("umin-only must split");
+        assert!(plan.worm.is_empty());
+        assert_eq!(plan.peeled, dests);
+        assert_eq!(m.counters().umin_forced, 1);
+        assert_eq!(m.counters().peeled_dests, 3);
+
+        // ReadOnly: gate holds without the quiesce gate being raised.
+        m.set_lockdown(true);
+        assert_eq!(m.rung(), Rung::ReadOnly);
+        assert!(m.gated());
+        m.set_lockdown(false);
+        assert!(!m.gated());
+
+        // Back down the ladder: releasing umin-only restores FullMcast.
+        m.set_umin_only(false);
+        assert_eq!(m.rung(), Rung::FullMcast);
         assert!(m.split(NodeId(0), &dests).is_none());
     }
 }

@@ -30,7 +30,7 @@ pub mod umin;
 
 pub use barrier::{BarrierEngine, BarrierSource};
 pub use combining::{CombiningBarrierEngine, CombiningBarrierSource};
-pub use degrade::{DegradeCounters, DegradePlanner, FabricMode};
+pub use degrade::{DegradeCounters, DegradePlanner, FabricMode, Rung};
 pub use host::{Host, HostConfig, HostShared, McastScheme, MessageIdGen};
 pub use recovery::{RecoveryConfig, RecoveryCounters, RecoveryShared};
 pub use reduce::{ReduceEngine, ReduceSource};

@@ -141,6 +141,10 @@ pub struct SystemConfig {
     /// Online fault response (debounced detection, quiesce, vetted
     /// reroute, graceful degradation); `None` disables the responder.
     pub response: Option<ResponseConfig>,
+    /// Resident control-plane (`mdw-routed`) storm-hardening parameters:
+    /// flap damping, retry backoff, the degradation ladder, and the
+    /// detect→install watchdog; `None` for batch experiments.
+    pub routed: Option<crate::routed::RoutedConfig>,
 }
 
 impl Default for SystemConfig {
@@ -163,6 +167,7 @@ impl Default for SystemConfig {
             barrier_combining: false,
             recovery: None,
             response: None,
+            routed: None,
         }
     }
 }
@@ -282,6 +287,47 @@ impl SystemConfig {
                     "fault response without end-to-end recovery loses every \
                      message the quiesce gate drops or the purge kills — \
                      enable recovery for lossless outage handling",
+                );
+            }
+        }
+
+        if let Some(routed) = &self.routed {
+            if self.response.is_none() {
+                report.error(
+                    "routed-needs-response",
+                    "the resident control plane drives recovery through the \
+                     fault responder; enable the response block",
+                );
+            }
+            if routed.queue_cap < 1 {
+                report.error(
+                    "routed-queue-zero",
+                    "routed queue_cap must be positive — a zero-slot queue \
+                     sheds every query and blocks every event forever",
+                );
+            }
+            if routed.slice < 1 {
+                report.error(
+                    "routed-slice-zero",
+                    "routed slice must be positive for the storm controller \
+                     to observe the fabric at all",
+                );
+            }
+            if routed.deadline < 1 {
+                report.error(
+                    "routed-deadline-zero",
+                    "routed deadline must be positive: a zero-cycle watchdog \
+                     trips on every successful response",
+                );
+            }
+            if routed.flap_reuse >= routed.flap_suppress {
+                report.error(
+                    "routed-flap-thresholds",
+                    format!(
+                        "routed flap_reuse ({}) must be below flap_suppress \
+                         ({}) or a suppressed link can never cool off",
+                        routed.flap_reuse, routed.flap_suppress
+                    ),
                 );
             }
         }

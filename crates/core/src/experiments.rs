@@ -1316,6 +1316,331 @@ pub fn e17_fault_response(
     .collect()
 }
 
+// ---------------------------------------------------------------------
+// E18: fault storm under the resident control plane (mdw-routed)
+// ---------------------------------------------------------------------
+
+/// One scheme's storm outcome (E18).
+#[derive(Debug, Clone)]
+pub struct FaultStormRow {
+    /// Scheme label (CB-HW / IB-HW).
+    pub scheme: String,
+    /// Multicasts completed across the whole run.
+    pub mcasts: u64,
+    /// Masked reroutes installed.
+    pub reroutes: u64,
+    /// Reroute candidates the vet rejected.
+    pub rejected: u64,
+    /// Heals back to the unmasked tables.
+    pub heals: u64,
+    /// Detections that went stale inside the quiesce (no install needed).
+    pub stale: u64,
+    /// Links the flap damper suppressed.
+    pub suppressions: u64,
+    /// Suppressed links reinstated after cooling.
+    pub reinstatements: u64,
+    /// Backoff retries after rejected/incomplete responses.
+    pub retries: u64,
+    /// Watchdog deadline breaches.
+    pub watchdog: u64,
+    /// Degradation-ladder rung changes, both directions.
+    pub ladder: u64,
+    /// p50 detect→install latency, cycles.
+    pub p50: u64,
+    /// p99 detect→install latency, cycles.
+    pub p99: u64,
+    /// Worst detect→install latency, cycles.
+    pub lat_max: u64,
+    /// Route queries answered during the storm.
+    pub queries: u64,
+    /// Queries answered with hardware-worm coverage (vs full U-Min peel).
+    pub q_worm: u64,
+    /// Fraction of cycles on the full-mcast rung.
+    pub avail_full: f64,
+    /// Fraction of cycles on the masked-mcast rung.
+    pub avail_masked: f64,
+    /// Fraction of cycles on the U-Min-only rung.
+    pub avail_umin: f64,
+    /// Fraction of cycles read-only.
+    pub avail_ro: f64,
+    /// Messages still undelivered after the drain.
+    pub leftover: usize,
+    /// Availability verdict: `available` (never read-only, nothing
+    /// lost), `degraded` (read-only cycles but nothing lost), or
+    /// `failed` (payload lost).
+    pub verdict: &'static str,
+}
+
+impl TableRow for FaultStormRow {
+    fn headers() -> Vec<&'static str> {
+        vec![
+            "scheme",
+            "mcasts",
+            "reroutes",
+            "rejected",
+            "heals",
+            "stale",
+            "suppressions",
+            "reinstatements",
+            "retries",
+            "watchdog",
+            "ladder",
+            "p50",
+            "p99",
+            "lat_max",
+            "queries",
+            "q_worm",
+            "avail_full",
+            "avail_masked",
+            "avail_umin",
+            "avail_ro",
+            "leftover",
+            "verdict",
+        ]
+    }
+    fn cells(&self) -> Vec<String> {
+        vec![
+            self.scheme.clone(),
+            self.mcasts.to_string(),
+            self.reroutes.to_string(),
+            self.rejected.to_string(),
+            self.heals.to_string(),
+            self.stale.to_string(),
+            self.suppressions.to_string(),
+            self.reinstatements.to_string(),
+            self.retries.to_string(),
+            self.watchdog.to_string(),
+            self.ladder.to_string(),
+            self.p50.to_string(),
+            self.p99.to_string(),
+            self.lat_max.to_string(),
+            self.queries.to_string(),
+            self.q_worm.to_string(),
+            f(self.avail_full),
+            f(self.avail_masked),
+            f(self.avail_umin),
+            f(self.avail_ro),
+            self.leftover.to_string(),
+            self.verdict.to_string(),
+        ]
+    }
+}
+
+/// Drives one scheme through the storm: two overlapping scripted cuts, a
+/// flapping link the damper must suppress, and a route query answered
+/// from the live tables every slice — all under the full storm
+/// controller (damping, backoff, ladder, watchdog).
+fn e18_drive(
+    label: &str,
+    cfg: SystemConfig,
+    phase_len: netsim::Cycle,
+    load: f64,
+    degree: usize,
+    len: u16,
+) -> FaultStormRow {
+    let k = match cfg.topology {
+        TopologyKind::KaryTree { k, n: 2 } => k,
+        other => panic!("E18 runs on 2-stage k-ary trees, got {other:?}"),
+    };
+    let n = cfg.n_hosts();
+    let stop_at = 6 * phase_len;
+    let spec = TrafficSpec::multiple_multicast(load, degree, len);
+    let sources = crate::workload::make_sources(&spec, n, cfg.seed, Some(stop_at));
+    let routed = cfg.routed.clone().unwrap_or_default();
+    let response = cfg.response.clone().unwrap_or_default();
+    let mut sys = build_system(cfg, sources, None);
+
+    // Storm script. Two real cuts overlap in [2P, 3P); the flapping link
+    // blinks at twice the debounce period through [P, 3P) so both edges
+    // of every blink confirm and the damper has something to suppress.
+    let d1 = NodeId::from(k);
+    let d2 = NodeId::from(2 * k);
+    let (cut1, _) = crate::respond::outage::single_cut(&sys, d1);
+    sys.engine.script_outage(cut1, phase_len, 4 * phase_len);
+    let mut cut2 = None;
+    for (link, _) in crate::respond::outage::crossed_cut(&sys, d1, d2) {
+        if link != cut1 {
+            sys.engine.script_outage(link, 2 * phase_len, 3 * phase_len);
+            cut2 = Some(link);
+        }
+    }
+    let flap = *sys
+        .links
+        .fabric
+        .iter()
+        .rev()
+        .find(|l| Some(**l) != cut2 && **l != cut1)
+        .expect("a fabric link that is not a scripted cut");
+    let blink = 2 * response.debounce.max(1);
+    let mut t = phase_len;
+    while t + blink < 3 * phase_len {
+        sys.engine.script_outage(flap, t, t + blink);
+        t += 2 * blink;
+    }
+
+    let mut storm = crate::routed::StormResponder::new(routed, response, &mut sys);
+    let mut queries = 0u64;
+    let mut q_worm = 0u64;
+    let max_hops = sys.config.response.as_ref().map_or(64, |r| r.max_hops);
+    let mut probe = SimRng::new(sys.config.seed ^ 0xE18).fork(3);
+
+    let run_to = |sys: &mut crate::build::System,
+                  storm: &mut crate::routed::StormResponder,
+                  boundary: netsim::Cycle,
+                  probe: &mut SimRng,
+                  queries: &mut u64,
+                  q_worm: &mut u64| {
+        while sys.engine.now() < boundary {
+            let step = 32.min(boundary - sys.engine.now());
+            sys.engine.run_for(step);
+            storm.tick(sys);
+            // The concurrent query load: one route lookup per slice from
+            // a rotating source, answered exactly the way the resident
+            // service answers it (ladder override, then planner).
+            let src = NodeId::from(probe.below(n));
+            let dests = probe.dest_set(n, degree.min(n - 1), src);
+            *queries += 1;
+            if storm.rung() < collectives::Rung::UMinOnly {
+                let plan = collectives::DegradePlanner {
+                    tables: sys.tables.clone(),
+                    topo: sys.topology.clone(),
+                    policy: sys.config.switch.policy,
+                    max_hops,
+                }
+                .split(src, &dests);
+                if plan.worm.count() > 0 {
+                    *q_worm += 1;
+                }
+            }
+        }
+    };
+    run_to(
+        &mut sys,
+        &mut storm,
+        stop_at,
+        &mut probe,
+        &mut queries,
+        &mut q_worm,
+    );
+    // Drain: recovery re-delivers whatever the storm cost; storm control
+    // stays live so the heal path and damper cool-off are exercised.
+    let drain_end = sys.engine.now() + 50 * phase_len;
+    while sys.tracker().borrow().outstanding() > 0 && sys.engine.now() < drain_end {
+        let next = (sys.engine.now() + 128).min(drain_end);
+        run_to(
+            &mut sys,
+            &mut storm,
+            next,
+            &mut probe,
+            &mut queries,
+            &mut q_worm,
+        );
+    }
+    // Cool-down: the damper's penalty must decay past the reuse
+    // threshold and the ladder climb its hysteresis windows before the
+    // fabric is back to full multicast; bounded so a storm that somehow
+    // parked read-only still terminates and reports it.
+    let cool_end = sys.engine.now() + 40 * phase_len;
+    while storm.rung() != collectives::Rung::FullMcast && sys.engine.now() < cool_end {
+        let next = (sys.engine.now() + 128).min(cool_end);
+        run_to(
+            &mut sys,
+            &mut storm,
+            next,
+            &mut probe,
+            &mut queries,
+            &mut q_worm,
+        );
+    }
+    let leftover = sys.tracker().borrow().outstanding();
+
+    let resp = storm.responder();
+    let c = resp.counters();
+    let sc = storm.counters();
+    let lat = resp.latency();
+    let rung_cycles = storm.rung_cycles();
+    let total: u64 = rung_cycles.iter().sum::<u64>().max(1);
+    let frac = |i: usize| rung_cycles[i] as f64 / total as f64;
+    let verdict = if leftover > 0 {
+        "failed"
+    } else if rung_cycles[3] > 0 {
+        "degraded"
+    } else {
+        "available"
+    };
+    FaultStormRow {
+        scheme: label.to_string(),
+        mcasts: sys.tracker().borrow().mcast_last.summary().count,
+        reroutes: c.reroutes,
+        rejected: c.reroutes_rejected,
+        heals: c.heals,
+        stale: c.stale_detects,
+        suppressions: sc.suppressions,
+        reinstatements: sc.reinstatements,
+        retries: sc.retries,
+        watchdog: sc.watchdog_trips,
+        ladder: storm.ladder_transitions(),
+        p50: lat.percentile(50.0),
+        p99: lat.percentile(99.0),
+        lat_max: lat.max(),
+        queries,
+        q_worm,
+        avail_full: frac(0),
+        avail_masked: frac(1),
+        avail_umin: frac(2),
+        avail_ro: frac(3),
+        leftover,
+        verdict,
+    }
+}
+
+/// E18 with an explicit worker count (the determinism suite compares
+/// 1-vs-N worker runs byte for byte without racing the global pool
+/// setting).
+pub fn e18_fault_storm_with_jobs(
+    base: &SystemConfig,
+    phase_len: netsim::Cycle,
+    load: f64,
+    degree: usize,
+    len: u16,
+    jobs: usize,
+) -> Vec<FaultStormRow> {
+    let mut sweep_jobs = Vec::new();
+    for (label, arch) in [
+        ("CB-HW", SwitchArch::CentralBuffer),
+        ("IB-HW", SwitchArch::InputBuffered),
+    ] {
+        let cfg = SystemConfig {
+            arch,
+            mcast: McastImpl::HwBitString,
+            recovery: Some(RecoveryConfig::default()),
+            response: Some(crate::respond::ResponseConfig::default()),
+            routed: Some(crate::routed::RoutedConfig::default()),
+            ..base.clone()
+        };
+        sweep_jobs.push((label, cfg));
+    }
+    sweep::parallel_map(sweep_jobs, jobs, |(label, cfg)| {
+        e18_drive(label, cfg, phase_len, load, degree, len)
+    })
+}
+
+/// E18 (robustness extension): a seeded fault storm — overlapping cuts
+/// plus a flapping link — handled by the resident control plane's full
+/// storm machinery (flap damping, retry backoff, degradation ladder,
+/// watchdog) under concurrent route-query load, with an availability
+/// verdict and first-class detect→install latency percentiles per
+/// architecture.
+pub fn e18_fault_storm(
+    base: &SystemConfig,
+    phase_len: netsim::Cycle,
+    load: f64,
+    degree: usize,
+    len: u16,
+) -> Vec<FaultStormRow> {
+    e18_fault_storm_with_jobs(base, phase_len, load, degree, len, sweep::jobs())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1324,6 +1649,47 @@ mod tests {
         SystemConfig {
             topology: TopologyKind::KaryTree { k: 2, n: 3 }, // 8 hosts
             ..SystemConfig::default()
+        }
+    }
+
+    #[test]
+    fn e18_storm_suppresses_flaps_and_loses_nothing() {
+        let base = SystemConfig {
+            topology: TopologyKind::KaryTree { k: 4, n: 2 }, // 16 hosts
+            ..SystemConfig::default()
+        };
+        let rows = e18_fault_storm(&base, 2_500, 0.04, 4, 16);
+        assert_eq!(rows.len(), 2, "CB-HW and IB-HW");
+        for r in &rows {
+            assert_eq!(r.leftover, 0, "{} lost messages in the storm", r.scheme);
+            assert_ne!(r.verdict, "failed", "{}", r.scheme);
+            assert!(r.reroutes >= 1, "{} must reroute around the cuts", r.scheme);
+            assert!(r.heals >= 1, "{} must heal after the storm", r.scheme);
+            assert!(
+                r.suppressions >= 1,
+                "{} damper must suppress the flapping link",
+                r.scheme
+            );
+            assert!(
+                r.reinstatements >= 1,
+                "{} suppressed link must cool off and reinstate",
+                r.scheme
+            );
+            assert!(r.p99 >= r.p50, "{} percentile ordering", r.scheme);
+            assert!(r.p99 > 0, "{} must record response latency", r.scheme);
+            assert!(r.ladder >= 2, "{} ladder must move and recover", r.scheme);
+            assert!(r.queries > 0 && r.q_worm > 0, "{} query load ran", r.scheme);
+            let total = r.avail_full + r.avail_masked + r.avail_umin + r.avail_ro;
+            assert!(
+                (total - 1.0).abs() < 1e-9,
+                "{} fractions sum to 1",
+                r.scheme
+            );
+            assert!(
+                r.avail_full > 0.0 && r.avail_masked > 0.0,
+                "{} storm must visit both healthy and masked rungs",
+                r.scheme
+            );
         }
     }
 

@@ -42,20 +42,24 @@
 //! ```
 
 pub mod build;
+pub mod cfgtext;
 pub mod config;
 pub mod experiments;
 pub mod forensics;
 pub mod report;
 pub mod respond;
+pub mod routed;
 pub mod sim;
 pub mod sweep;
 pub mod workload;
 
 pub use build::{build_system, System};
+pub use cfgtext::parse_config;
 pub use config::{McastImpl, SwitchArch, SystemConfig, TopologyKind};
 pub use forensics::{capture_deadlock_report, DeadlockReport};
 pub use mdw_analysis::{ConfigReport, Diagnostic, Severity};
 pub use respond::{FaultResponder, ResponseConfig, ResponseCounters, ResponseEvent};
+pub use routed::{RoutedConfig, RoutedService, StormResponder};
 pub use sim::{run_experiment, RunConfig, RunOutcome};
 pub use sweep::{parallel_map, run_sweep, SweepJob};
 pub use workload::{make_sources, RandomTraffic, TrafficSpec};

@@ -43,13 +43,15 @@
 use crate::build::System;
 use crate::config::{SwitchArch, SystemConfig};
 use collectives::DegradePlanner;
-use mdw_analysis::{check_model, vet_reroute, ArchClass, CheckOutcome, ModelBounds};
+use mdw_analysis::{
+    check_model_timed, vet_reroute_timed, ArchClass, CheckOutcome, ModelBounds, Samples, VetStats,
+};
 use mintopo::route::RouteTables;
 use mintopo::topology::Topology;
 use netsim::health::FabricHealth;
 use netsim::ids::{LinkId, SwitchId};
 use netsim::Cycle;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 use switches::ReplicationMode;
 
@@ -67,6 +69,10 @@ pub struct ResponseConfig {
     pub purge_max: Cycle,
     /// Hop budget for coverage traces on the degraded planner.
     pub max_hops: usize,
+    /// Capacity of the bounded event log; the oldest entries are evicted
+    /// (and counted) once the ring fills, so a responder embedded in a
+    /// long-running service holds steady-state memory.
+    pub event_log_cap: usize,
 }
 
 impl Default for ResponseConfig {
@@ -76,6 +82,7 @@ impl Default for ResponseConfig {
             drain_wait: 256,
             purge_max: 256,
             max_hops: 64,
+            event_log_cap: 1024,
         }
     }
 }
@@ -110,6 +117,79 @@ pub enum ResponseEvent {
         /// Flits still sitting in links when the responder gave up.
         flits_left: usize,
     },
+    /// The dead-port set re-sampled after the quiesce matched the masking
+    /// already installed: the transition that triggered this response
+    /// reverted during the drain/purge window, so no tables were built.
+    StaleDetect,
+}
+
+/// A bounded ring of the most recent responder events. Once `cap`
+/// entries are held, each push evicts the oldest and bumps the drop
+/// counter — the log never grows past its capacity, however long the
+/// responder lives.
+#[derive(Debug)]
+pub struct EventLog {
+    cap: usize,
+    buf: VecDeque<(Cycle, ResponseEvent)>,
+    dropped: u64,
+}
+
+impl EventLog {
+    fn new(cap: usize) -> Self {
+        EventLog {
+            cap: cap.max(1),
+            buf: VecDeque::new(),
+            dropped: 0,
+        }
+    }
+
+    fn push(&mut self, at: Cycle, ev: ResponseEvent) {
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back((at, ev));
+    }
+
+    /// Iterates the retained entries, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &(Cycle, ResponseEvent)> {
+        self.buf.iter()
+    }
+
+    /// Entries currently retained.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` when nothing has been logged (or everything was evicted).
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Entries evicted to stay within capacity.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+impl<'a> IntoIterator for &'a EventLog {
+    type Item = &'a (Cycle, ResponseEvent);
+    type IntoIter = std::collections::vec_deque::Iter<'a, (Cycle, ResponseEvent)>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.buf.iter()
+    }
+}
+
+/// A debounce-confirmed link transition, as handed to callers of
+/// [`FaultResponder::drain_confirmed`] (the flap damper feeds on these).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConfirmedTransition {
+    /// Cycle the confirmation fired.
+    pub at: Cycle,
+    /// The link that changed state.
+    pub link: LinkId,
+    /// `true` = confirmed down, `false` = confirmed back up.
+    pub down: bool,
 }
 
 /// Running totals of responder activity.
@@ -129,6 +209,9 @@ pub struct ResponseCounters {
     pub purges: u64,
     /// Purges that hit the `purge_max` budget with flits still in flight.
     pub purges_incomplete: u64,
+    /// Responses abandoned because the triggering transition reverted
+    /// during the quiesce (the post-purge recheck found nothing to do).
+    pub stale_detects: u64,
 }
 
 /// Builds candidate routing tables for a set of dead directed fabric
@@ -149,8 +232,23 @@ pub struct FaultResponder {
     /// Fabric link → the directed (switch, out-port) that drives it.
     fabric_ports: HashMap<LinkId, (SwitchId, usize)>,
     builder: Option<CandidateBuilder>,
-    events: Vec<(Cycle, ResponseEvent)>,
+    events: EventLog,
     counters: ResponseCounters,
+    /// Links administratively suppressed by a flap damper: treated as
+    /// dead regardless of their confirmed health state.
+    suppressed: Vec<LinkId>,
+    /// Confirmed transitions accumulated since the last
+    /// [`drain_confirmed`](Self::drain_confirmed) call.
+    fresh_confirmed: Vec<ConfirmedTransition>,
+    /// One-shot override of the `dead == masked` early-exit, set by
+    /// [`request_retry`](Self::request_retry) so a storm controller can
+    /// re-run the response after a backoff even though nothing changed.
+    retry_requested: bool,
+    /// Wall-clock accounting of the two vet halves.
+    vet_stats: VetStats,
+    /// Detect→install (or detect→reject) latency of each completed
+    /// response episode, in cycles.
+    latency: Samples,
     /// Cached verdict of the bounded model check (the deep half of the
     /// reroute gate). It depends only on the system configuration —
     /// architecture, replication mode, policy — not on the candidate
@@ -182,14 +280,20 @@ impl FaultResponder {
             }
         }
         let health = FabricHealth::new(cfg.debounce);
+        let events = EventLog::new(cfg.event_log_cap);
         FaultResponder {
             cfg,
             health,
             masked: Vec::new(),
             fabric_ports,
             builder: None,
-            events: Vec::new(),
+            events,
             counters: ResponseCounters::default(),
+            suppressed: Vec::new(),
+            fresh_confirmed: Vec::new(),
+            retry_requested: false,
+            vet_stats: VetStats::new(),
+            latency: Samples::new(),
             deep_vetted: None,
         }
     }
@@ -200,22 +304,28 @@ impl FaultResponder {
     /// graph (structural) and the switch state machines (behavioral) are
     /// deadlock-free.
     fn deep_vet(&mut self, config: &SystemConfig) -> Result<(), String> {
-        self.deep_vetted
-            .get_or_insert_with(|| {
-                let arch = match config.arch {
-                    SwitchArch::CentralBuffer => ArchClass::CentralBuffer,
-                    SwitchArch::InputBuffered => ArchClass::InputBuffered,
-                };
-                let sync = config.switch.replication == ReplicationMode::Synchronous;
-                match check_model(arch, sync, config.switch.policy, &ModelBounds::default()) {
-                    CheckOutcome::Verified(_) => Ok(()),
-                    CheckOutcome::Violated(v) => Err(format!(
-                        "bounded model check found a {} in scenario '{}': {}",
-                        v.kind, v.scenario, v.detail
-                    )),
-                }
-            })
-            .clone()
+        if self.deep_vetted.is_none() {
+            let arch = match config.arch {
+                SwitchArch::CentralBuffer => ArchClass::CentralBuffer,
+                SwitchArch::InputBuffered => ArchClass::InputBuffered,
+            };
+            let sync = config.switch.replication == ReplicationMode::Synchronous;
+            let outcome = check_model_timed(
+                arch,
+                sync,
+                config.switch.policy,
+                &ModelBounds::default(),
+                &mut self.vet_stats,
+            );
+            self.deep_vetted = Some(match outcome {
+                CheckOutcome::Verified(_) => Ok(()),
+                CheckOutcome::Violated(v) => Err(format!(
+                    "bounded model check found a {} in scenario '{}': {}",
+                    v.kind, v.scenario, v.detail
+                )),
+            });
+        }
+        self.deep_vetted.clone().expect("just populated")
     }
 
     /// Substitutes the candidate-table builder (rejection-path tests).
@@ -223,8 +333,9 @@ impl FaultResponder {
         self.builder = Some(builder);
     }
 
-    /// The event log, in occurrence order, tagged with the cycle.
-    pub fn events(&self) -> &[(Cycle, ResponseEvent)] {
+    /// The bounded event log (most recent `event_log_cap` entries, in
+    /// occurrence order, tagged with the cycle).
+    pub fn events(&self) -> &EventLog {
         &self.events
     }
 
@@ -238,11 +349,54 @@ impl FaultResponder {
         &self.masked
     }
 
-    /// Drains the engine's link events, advances the debounce view, and —
-    /// when the confirmed-dead fabric-port set changed — runs the full
-    /// response protocol (which steps the engine through the quiesce
-    /// window). Returns `true` if a response ran.
-    pub fn poll(&mut self, sys: &mut System) -> bool {
+    /// Wall-clock accounting of the structural and behavioral vet halves.
+    pub fn vet_stats(&self) -> &VetStats {
+        &self.vet_stats
+    }
+
+    /// Detect→install (or detect→reject) latency of every completed
+    /// response episode, in cycles. p50/p99 of this series are the
+    /// service's headline recovery metrics.
+    pub fn latency(&self) -> &Samples {
+        &self.latency
+    }
+
+    /// Overrides the set of administratively suppressed links: a flap
+    /// damper parks misbehaving links here and the responder masks them
+    /// exactly as if they were confirmed dead. The next
+    /// [`poll`](Self::poll) acts on any resulting dead-set change.
+    pub fn set_suppressed(&mut self, mut links: Vec<LinkId>) {
+        links.sort_unstable();
+        links.dedup();
+        self.suppressed = links;
+    }
+
+    /// Links currently under administrative suppression.
+    pub fn suppressed(&self) -> &[LinkId] {
+        &self.suppressed
+    }
+
+    /// Hands out (and clears) the debounce-confirmed transitions
+    /// accumulated since the previous call — the flap damper's diet.
+    pub fn drain_confirmed(&mut self) -> Vec<ConfirmedTransition> {
+        std::mem::take(&mut self.fresh_confirmed)
+    }
+
+    /// Arms a one-shot override of the `dead == masked` early-exit so the
+    /// next [`poll`](Self::poll) re-runs the full response even though
+    /// the dead-port set is unchanged. A storm controller uses this to
+    /// retry after a vet rejection or an incomplete purge once its
+    /// backoff expires; clearing the memoized model-check verdict is
+    /// deliberate *not* part of this — that verdict depends only on the
+    /// configuration, never on fabric state.
+    pub fn request_retry(&mut self) {
+        self.retry_requested = true;
+    }
+
+    /// Drains the engine's link events and advances the debounce view,
+    /// logging (and accumulating for [`drain_confirmed`](Self::drain_confirmed))
+    /// every confirmed transition. Does **not** respond.
+    pub fn observe_health(&mut self, sys: &mut System) {
         for ev in sys.engine.drain_link_events() {
             self.health.observe(ev);
         }
@@ -253,33 +407,65 @@ impl FaultResponder {
             } else {
                 self.counters.links_up += 1;
             }
-            self.events.push((
+            self.events.push(
                 now,
                 ResponseEvent::LinkConfirmed {
                     link: ev.link,
                     down: ev.down,
                 },
-            ));
+            );
+            self.fresh_confirmed.push(ConfirmedTransition {
+                at: now,
+                link: ev.link,
+                down: ev.down,
+            });
         }
-        // Only confirmed-dead *fabric* ports are maskable; host adapter
-        // outages never change the route tables.
+    }
+
+    /// The directed fabric ports that should be masked right now: the
+    /// union of debounce-confirmed dead links and administratively
+    /// suppressed links, restricted to switch→switch ports (host adapter
+    /// outages never change the route tables), sorted.
+    pub fn current_dead(&self) -> Vec<(SwitchId, usize)> {
         let mut dead: Vec<(SwitchId, usize)> = self
             .health
             .confirmed_down()
             .into_iter()
+            .chain(self.suppressed.iter().copied())
             .filter_map(|l| self.fabric_ports.get(&l).copied())
             .collect();
         dead.sort_unstable();
-        if dead == self.masked {
+        dead.dedup();
+        dead
+    }
+
+    /// Drains the engine's link events, advances the debounce view, and —
+    /// when the confirmed-dead fabric-port set changed (or a retry was
+    /// requested) — runs the full response protocol (which steps the
+    /// engine through the quiesce window). Returns `true` if a response
+    /// ran.
+    pub fn poll(&mut self, sys: &mut System) -> bool {
+        self.observe_health(sys);
+        self.maybe_respond(sys)
+    }
+
+    /// The respond-decision half of [`poll`](Self::poll), without the
+    /// event drain — for callers (the storm controller) that interleave
+    /// damping between observation and response.
+    pub fn maybe_respond(&mut self, sys: &mut System) -> bool {
+        let dead = self.current_dead();
+        if dead == self.masked && !self.retry_requested {
             return false;
         }
-        self.respond(sys, dead);
+        self.retry_requested = false;
+        self.respond(sys);
         true
     }
 
     /// Runs gate → drain → purge → vet → swap → degrade/heal → ungate for
-    /// the new dead-port set.
-    fn respond(&mut self, sys: &mut System, dead: Vec<(SwitchId, usize)>) {
+    /// the new dead-port set (recomputed after the quiesce — see below).
+    fn respond(&mut self, sys: &mut System) {
+        let detect = sys.engine.now();
         sys.fabric_mode.gate();
         sys.engine.run_for(self.cfg.drain_wait);
 
@@ -297,13 +483,34 @@ impl FaultResponder {
             if sys.engine.now() >= purge_end {
                 let flits_left = sys.engine.flits_in_links();
                 self.counters.purges_incomplete += 1;
-                self.events.push((
+                self.events.push(
                     sys.engine.now(),
                     ResponseEvent::PurgeIncomplete { flits_left },
-                ));
+                );
                 break;
             }
             sys.engine.run_for(1);
+        }
+
+        // Re-sample health after the quiesce: the drain + purge just
+        // consumed hundreds of cycles, plenty for the outage that
+        // triggered this response to clear (a sub-window blip the
+        // debounce confirmed right at its edge) or for further links to
+        // fall over. Installing tables for the stale set would leave
+        // ports masked for links already back up — the service would
+        // then run degraded until the *next* transition woke it.
+        self.observe_health(sys);
+        let dead = self.current_dead();
+        if dead == self.masked {
+            self.counters.stale_detects += 1;
+            self.events
+                .push(sys.engine.now(), ResponseEvent::StaleDetect);
+            for ctl in &sys.switch_ctls {
+                ctl.end_purge();
+            }
+            sys.fabric_mode.ungate();
+            self.latency.record(sys.engine.now() - detect);
+            return;
         }
 
         let candidate = match &self.builder {
@@ -311,7 +518,7 @@ impl FaultResponder {
             None => RouteTables::build_masked(&sys.topology, &dead),
         };
         let policy = sys.config.switch.policy;
-        let verdict = vet_reroute(&sys.topology, &candidate, policy)
+        let verdict = vet_reroute_timed(&sys.topology, &candidate, policy, &mut self.vet_stats)
             .map_err(|report| {
                 let d = report.first_error().expect("vet failed with no error");
                 (d.code.to_string(), d.message.clone())
@@ -329,15 +536,15 @@ impl FaultResponder {
                 sys.tables = tables;
                 if dead.is_empty() {
                     self.counters.heals += 1;
-                    self.events.push((sys.engine.now(), ResponseEvent::Healed));
+                    self.events.push(sys.engine.now(), ResponseEvent::Healed);
                 } else {
                     self.counters.reroutes += 1;
-                    self.events.push((
+                    self.events.push(
                         sys.engine.now(),
                         ResponseEvent::Rerouted {
                             masked_ports: dead.len(),
                         },
-                    ));
+                    );
                 }
                 self.masked = dead;
             }
@@ -347,13 +554,14 @@ impl FaultResponder {
                 // cover. Remember the set so the same broken candidate is
                 // not re-vetted every poll.
                 self.counters.reroutes_rejected += 1;
-                self.events.push((
+                self.events.push(
                     sys.engine.now(),
                     ResponseEvent::RerouteRejected { code, message },
-                ));
+                );
                 self.masked = dead;
             }
         }
+        self.latency.record(sys.engine.now() - detect);
 
         for ctl in &sys.switch_ctls {
             ctl.end_purge();
@@ -372,6 +580,37 @@ impl FaultResponder {
             });
         }
         sys.fabric_mode.ungate();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_log_ring_evicts_oldest_and_counts_drops() {
+        let mut log = EventLog::new(3);
+        for i in 0..5u64 {
+            log.push(i, ResponseEvent::Healed);
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.dropped(), 2);
+        let cycles: Vec<Cycle> = log.iter().map(|&(c, _)| c).collect();
+        assert_eq!(cycles, vec![2, 3, 4]);
+        assert!(!log.is_empty());
+    }
+
+    #[test]
+    fn event_log_capacity_floor_is_one() {
+        let mut log = EventLog::new(0);
+        log.push(1, ResponseEvent::Healed);
+        log.push(2, ResponseEvent::StaleDetect);
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.dropped(), 1);
+        assert!(matches!(
+            log.iter().next(),
+            Some((2, ResponseEvent::StaleDetect))
+        ));
     }
 }
 

@@ -1,0 +1,95 @@
+//! Capped exponential retry backoff with deterministic jitter.
+//!
+//! When the vet rejects a candidate or the purge times out, hammering
+//! the response pipeline every poll would gate the fabric continuously —
+//! the retry schedule spaces attempts out exponentially. Jitter comes
+//! from a forked [`SimRng`] stream, not wall clock, so a replayed storm
+//! produces the identical retry timeline.
+
+use netsim::rng::SimRng;
+use netsim::Cycle;
+
+/// Exponential backoff state for one retry context.
+#[derive(Debug)]
+pub struct Backoff {
+    base: Cycle,
+    cap: Cycle,
+    max_attempts: u32,
+    attempt: u32,
+    rng: SimRng,
+}
+
+impl Backoff {
+    /// Creates a backoff ladder: delays `base·2^n + jitter`, each capped
+    /// at `cap`, for at most `max_attempts` attempts.
+    pub fn new(base: Cycle, cap: Cycle, max_attempts: u32, rng: SimRng) -> Self {
+        Backoff {
+            base: base.max(1),
+            cap: cap.max(1),
+            max_attempts,
+            attempt: 0,
+            rng,
+        }
+    }
+
+    /// The next delay, or `None` once the attempt budget is exhausted
+    /// (the caller escalates — in `mdw-routed`, down the degradation
+    /// ladder). Jitter is uniform in `[0, delay/4]`, keeping retries
+    /// from different contexts de-phased while bounded.
+    pub fn next_delay(&mut self) -> Option<Cycle> {
+        if self.attempt >= self.max_attempts {
+            return None;
+        }
+        let exp = self
+            .base
+            .saturating_mul(1u64.checked_shl(self.attempt).unwrap_or(u64::MAX))
+            .min(self.cap);
+        self.attempt += 1;
+        let jitter = self.rng.below(exp as usize / 4 + 1) as Cycle;
+        Some((exp + jitter).min(self.cap))
+    }
+
+    /// Attempts consumed since the last reset.
+    pub fn attempts(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Resets the ladder after a successful response.
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_grow_cap_and_exhaust() {
+        let mut b = Backoff::new(64, 1_024, 5, SimRng::new(1));
+        let mut prev = 0;
+        let mut delays = Vec::new();
+        for _ in 0..5 {
+            let d = b.next_delay().expect("within budget");
+            assert!(d <= 1_024, "delay {d} over cap");
+            delays.push(d);
+            prev = prev.max(d);
+        }
+        assert!(b.next_delay().is_none(), "6th attempt must exhaust");
+        // The nominal (pre-jitter) schedule doubles: 64,128,256,512,1024.
+        assert!(delays[0] >= 64 && delays[0] <= 80);
+        assert!(delays[4] == 1_024, "cap binds the 5th delay");
+        b.reset();
+        assert!(b.next_delay().is_some(), "reset reopens the budget");
+        assert_eq!(b.attempts(), 1);
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let mut a = Backoff::new(100, 10_000, 8, SimRng::new(42));
+        let mut b = Backoff::new(100, 10_000, 8, SimRng::new(42));
+        for _ in 0..8 {
+            assert_eq!(a.next_delay(), b.next_delay());
+        }
+    }
+}

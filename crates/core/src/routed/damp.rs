@@ -1,0 +1,188 @@
+//! BGP-style flap damping layered over the responder's debounce.
+//!
+//! The debounce window absorbs *sub-window* blips; a link that flaps
+//! slower than the window — down for a few hundred cycles, up for a few
+//! hundred, forever — passes the debounce every time and would drive a
+//! full gate/purge/vet/install response per flap. The damper charges a
+//! penalty for every *confirmed* transition and decays it exponentially;
+//! once a link's penalty crosses the suppress threshold it is parked in
+//! the suppressed set (masked exactly like a confirmed-dead link) until
+//! the penalty cools below the reuse threshold. Routing then converges
+//! to one stable masked table set per storm instead of oscillating.
+//!
+//! Decay is integer halving per elapsed half-life — deterministic,
+//! monotone, and exact for the replay guarantee: the same confirmed
+//! transition schedule always yields the same suppression timeline.
+
+use netsim::ids::LinkId;
+use netsim::Cycle;
+use std::collections::BTreeMap;
+
+/// Per-link penalty state.
+#[derive(Debug, Clone, Copy)]
+struct Penalty {
+    /// Decayed value as of `last`.
+    value: u64,
+    /// Cycle the value was last decayed to.
+    last: Cycle,
+    /// Currently suppressed?
+    suppressed: bool,
+}
+
+/// The damper: penalties, thresholds, and the suppressed set.
+#[derive(Debug)]
+pub struct FlapDamper {
+    penalty: u64,
+    suppress: u64,
+    reuse: u64,
+    half_life: Cycle,
+    links: BTreeMap<LinkId, Penalty>,
+    suppressions: u64,
+    reinstatements: u64,
+}
+
+impl FlapDamper {
+    /// Creates a damper. `reuse` must be below `suppress` (config
+    /// validation enforces this; the constructor clamps defensively) and
+    /// `half_life` at least 1.
+    pub fn new(penalty: u64, suppress: u64, reuse: u64, half_life: Cycle) -> Self {
+        FlapDamper {
+            penalty,
+            suppress,
+            reuse: reuse.min(suppress.saturating_sub(1)),
+            half_life: half_life.max(1),
+            links: BTreeMap::new(),
+            suppressions: 0,
+            reinstatements: 0,
+        }
+    }
+
+    fn decay(p: &mut Penalty, now: Cycle, half_life: Cycle) {
+        let elapsed = now.saturating_sub(p.last);
+        let windows = elapsed / half_life;
+        if windows > 0 {
+            p.value >>= windows.min(63);
+            p.last += windows * half_life;
+        }
+    }
+
+    /// Charges one confirmed transition of `link` at cycle `at`.
+    pub fn record(&mut self, link: LinkId, at: Cycle) {
+        let p = self.links.entry(link).or_insert(Penalty {
+            value: 0,
+            last: at,
+            suppressed: false,
+        });
+        Self::decay(p, at, self.half_life);
+        p.value = p.value.saturating_add(self.penalty);
+        if !p.suppressed && p.value >= self.suppress {
+            p.suppressed = true;
+            self.suppressions += 1;
+        }
+    }
+
+    /// Decays every link to `now` and reinstates those that cooled below
+    /// the reuse threshold. Cooled-to-zero, unsuppressed entries are
+    /// dropped, so the table stays proportional to recently flapping
+    /// links, not to every link that ever blipped.
+    pub fn advance(&mut self, now: Cycle) {
+        let half_life = self.half_life;
+        let reuse = self.reuse;
+        let mut reinstated = 0;
+        self.links.retain(|_, p| {
+            Self::decay(p, now, half_life);
+            if p.suppressed && p.value <= reuse {
+                p.suppressed = false;
+                reinstated += 1;
+            }
+            p.value > 0 || p.suppressed
+        });
+        self.reinstatements += reinstated;
+    }
+
+    /// The currently suppressed links, sorted.
+    pub fn suppressed(&self) -> Vec<LinkId> {
+        self.links
+            .iter()
+            .filter(|(_, p)| p.suppressed)
+            .map(|(&l, _)| l)
+            .collect()
+    }
+
+    /// The decayed penalty of `link` as of its last update.
+    pub fn current_penalty(&self, link: LinkId) -> u64 {
+        self.links.get(&link).map_or(0, |p| p.value)
+    }
+
+    /// Links ever suppressed.
+    pub fn suppressions(&self) -> u64 {
+        self.suppressions
+    }
+
+    /// Suppressed links later reinstated.
+    pub fn reinstatements(&self) -> u64 {
+        self.reinstatements
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn damper() -> FlapDamper {
+        FlapDamper::new(1_000, 2_500, 800, 1_000)
+    }
+
+    #[test]
+    fn single_transition_never_suppresses() {
+        let mut d = damper();
+        d.record(LinkId(7), 100);
+        assert!(d.suppressed().is_empty());
+        assert_eq!(d.current_penalty(LinkId(7)), 1_000);
+    }
+
+    #[test]
+    fn rapid_flaps_suppress_and_cooling_reinstates() {
+        let mut d = damper();
+        // Three confirmed transitions in quick succession: 3000 ≥ 2500.
+        for at in [100, 200, 300] {
+            d.record(LinkId(3), at);
+        }
+        assert_eq!(d.suppressed(), vec![LinkId(3)]);
+        assert_eq!(d.suppressions(), 1);
+
+        // 3000 → 1500 after one half-life (still ≥ reuse=800), → 750
+        // after two: reinstated.
+        d.advance(1_300);
+        assert_eq!(d.suppressed(), vec![LinkId(3)]);
+        d.advance(2_300);
+        assert!(d.suppressed().is_empty());
+        assert_eq!(d.reinstatements(), 1);
+    }
+
+    #[test]
+    fn decay_is_deterministic_across_split_advances() {
+        let mut a = damper();
+        let mut b = damper();
+        for at in [0, 50, 120] {
+            a.record(LinkId(1), at);
+            b.record(LinkId(1), at);
+        }
+        // One big advance vs. many small ones land on the same value.
+        a.advance(5_120);
+        for t in (200..=5_120).step_by(64) {
+            b.advance(t);
+        }
+        b.advance(5_120);
+        assert_eq!(a.current_penalty(LinkId(1)), b.current_penalty(LinkId(1)));
+    }
+
+    #[test]
+    fn cooled_entries_are_dropped() {
+        let mut d = damper();
+        d.record(LinkId(1), 0);
+        d.advance(100_000);
+        assert_eq!(d.current_penalty(LinkId(1)), 0);
+        assert!(d.links.is_empty(), "cooled entry must be evicted");
+    }
+}

@@ -1,0 +1,164 @@
+//! The degradation ladder with hysteresis on heal.
+//!
+//! Rungs come from [`collectives::Rung`]: `FullMcast < MaskedMcast <
+//! UMinOnly < ReadOnly`. Descent is immediate — the moment conditions
+//! demand a more degraded rung the fabric steps down (availability over
+//! performance). Ascent is damped: the ladder climbs **one rung per
+//! calm window** (`heal_hysteresis` cycles during which conditions never
+//! demanded the current rung or worse), so a storm that relapses
+//! mid-heal does not see the fabric thrash between service levels.
+
+use collectives::{FabricMode, Rung};
+use netsim::Cycle;
+
+/// Ladder state: current rung plus the calm timer driving ascent.
+#[derive(Debug)]
+pub struct Ladder {
+    rung: Rung,
+    calm_since: Option<Cycle>,
+    transitions: u64,
+}
+
+impl Default for Ladder {
+    fn default() -> Self {
+        Ladder::new()
+    }
+}
+
+fn one_rung_up(r: Rung) -> Rung {
+    match r {
+        Rung::ReadOnly => Rung::UMinOnly,
+        Rung::UMinOnly => Rung::MaskedMcast,
+        Rung::MaskedMcast | Rung::FullMcast => Rung::FullMcast,
+    }
+}
+
+impl Ladder {
+    /// Starts at [`Rung::FullMcast`].
+    pub fn new() -> Self {
+        Ladder {
+            rung: Rung::FullMcast,
+            calm_since: None,
+            transitions: 0,
+        }
+    }
+
+    /// The rung the fabric currently sits on.
+    pub fn rung(&self) -> Rung {
+        self.rung
+    }
+
+    /// Total rung changes, both directions.
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+
+    /// Forces the ladder down to at least `r` (watchdog trips, retry
+    /// exhaustion). Never climbs; resets the calm timer either way.
+    pub fn force_down(&mut self, r: Rung) {
+        if r > self.rung {
+            self.rung = r;
+            self.transitions += 1;
+        }
+        self.calm_since = None;
+    }
+
+    /// One controller tick at `now`: `demanded` is the rung current
+    /// conditions call for. Demands at or above the current rung apply
+    /// immediately; demands below start (or continue) the calm timer,
+    /// and each full `hysteresis` window climbs exactly one rung.
+    /// Returns the rung after the observation.
+    pub fn observe(&mut self, now: Cycle, demanded: Rung, hysteresis: Cycle) -> Rung {
+        if demanded >= self.rung {
+            if demanded > self.rung {
+                self.rung = demanded;
+                self.transitions += 1;
+            }
+            self.calm_since = None;
+        } else {
+            let since = *self.calm_since.get_or_insert(now);
+            if now.saturating_sub(since) >= hysteresis {
+                self.rung = one_rung_up(self.rung).max(demanded);
+                self.transitions += 1;
+                self.calm_since = Some(now);
+            }
+        }
+        self.rung
+    }
+
+    /// Projects the rung onto a [`FabricMode`] cell: `UMinOnly` and
+    /// above force whole-set peeling, `ReadOnly` holds the injection
+    /// gate. (`MaskedMcast` is expressed by the responder's degrade
+    /// planner, which the ladder never touches.)
+    pub fn apply(&self, mode: &FabricMode) {
+        mode.set_umin_only(self.rung >= Rung::UMinOnly);
+        mode.set_lockdown(self.rung == Rung::ReadOnly);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn descent_is_immediate_ascent_is_damped() {
+        let mut l = Ladder::new();
+        assert_eq!(l.observe(0, Rung::UMinOnly, 100), Rung::UMinOnly);
+
+        // Calm at cycle 10; hysteresis 100 → no climb until 110.
+        assert_eq!(l.observe(10, Rung::FullMcast, 100), Rung::UMinOnly);
+        assert_eq!(l.observe(109, Rung::FullMcast, 100), Rung::UMinOnly);
+        assert_eq!(l.observe(110, Rung::FullMcast, 100), Rung::MaskedMcast);
+        // One rung per window: FullMcast needs another 100 calm cycles.
+        assert_eq!(l.observe(111, Rung::FullMcast, 100), Rung::MaskedMcast);
+        assert_eq!(l.observe(210, Rung::FullMcast, 100), Rung::FullMcast);
+        assert_eq!(l.transitions(), 3);
+    }
+
+    #[test]
+    fn relapse_resets_the_calm_timer() {
+        let mut l = Ladder::new();
+        l.observe(0, Rung::UMinOnly, 100);
+        l.observe(90, Rung::FullMcast, 100);
+        // Storm relapses at 95 — the 90 cycles of calm are forfeit.
+        l.observe(95, Rung::UMinOnly, 100);
+        assert_eq!(l.observe(180, Rung::FullMcast, 100), Rung::UMinOnly);
+        assert_eq!(l.observe(280, Rung::FullMcast, 100), Rung::MaskedMcast);
+    }
+
+    #[test]
+    fn force_down_never_climbs() {
+        let mut l = Ladder::new();
+        l.force_down(Rung::ReadOnly);
+        assert_eq!(l.rung(), Rung::ReadOnly);
+        l.force_down(Rung::MaskedMcast);
+        assert_eq!(l.rung(), Rung::ReadOnly, "force_down must not ascend");
+        // Climb out only through calm observation.
+        l.observe(0, Rung::FullMcast, 50);
+        assert_eq!(l.observe(50, Rung::FullMcast, 50), Rung::UMinOnly);
+    }
+
+    #[test]
+    fn ascent_stops_at_the_demanded_rung() {
+        let mut l = Ladder::new();
+        l.observe(0, Rung::ReadOnly, 10);
+        // Conditions still demand UMinOnly: the climb must not pass it.
+        l.observe(5, Rung::UMinOnly, 10);
+        assert_eq!(l.observe(20, Rung::UMinOnly, 10), Rung::UMinOnly);
+        assert_eq!(l.observe(100, Rung::UMinOnly, 10), Rung::UMinOnly);
+    }
+
+    #[test]
+    fn apply_projects_onto_the_mode_cell() {
+        let mode = FabricMode::new();
+        let mut l = Ladder::new();
+        l.force_down(Rung::UMinOnly);
+        l.apply(&mode);
+        assert_eq!(mode.rung(), Rung::UMinOnly);
+        assert!(!mode.gated());
+        l.force_down(Rung::ReadOnly);
+        l.apply(&mode);
+        assert!(mode.gated());
+        assert_eq!(mode.rung(), Rung::ReadOnly);
+    }
+}

@@ -253,6 +253,15 @@ impl Engine {
         self.ledger.mark_active(idx, &mut self.links[idx]);
     }
 
+    /// Sets the administrative down state of one link, as driven by a
+    /// control plane's command stream (`mdw-routed` link up/down events).
+    /// The transition is published immediately and holds until the next
+    /// call — no scheduled end, unlike [`Engine::script_outage`].
+    pub fn set_link_forced_down(&mut self, link: LinkId, down: bool) {
+        let idx = link.index();
+        self.links[idx].set_forced_down(self.now, down);
+    }
+
     /// Enables up/down transition publication on every link (links that
     /// can actually go down — fault streams or scripted windows — start
     /// recording; healthy links never transition, so this costs nothing

@@ -61,6 +61,9 @@ pub struct Link {
     faults: Option<Box<LinkFaults>>,
     /// Scripted outage windows `[from, until)`, in schedule order.
     scripted: Vec<(Cycle, Cycle)>,
+    /// Administrative down state, toggled by a control plane
+    /// ([`Link::set_forced_down`]) rather than by the fault clock.
+    forced_down: bool,
     /// Raw up/down state at the last `begin_cycle`, for edge detection.
     was_down: bool,
     /// When set, up/down transitions are appended to `transitions`.
@@ -97,6 +100,7 @@ impl Link {
             total_flits: 0,
             faults: None,
             scripted: Vec::new(),
+            forced_down: false,
             was_down: false,
             publish: false,
             transitions: Vec::new(),
@@ -129,6 +133,27 @@ impl Link {
         self.publish = true;
     }
 
+    /// Sets the administrative (control-plane-driven) down state. Unlike
+    /// [`Link::script_outage`] the state has no scheduled end: it holds
+    /// until the next call. The edge is detected and published immediately
+    /// (publication is enabled as a side effect), so a resident service
+    /// can drive link state from a command stream without waiting for the
+    /// link to become active in the engine's ledger.
+    pub fn set_forced_down(&mut self, now: Cycle, down: bool) {
+        self.forced_down = down;
+        self.publish = true;
+        let raw = self.is_down(now);
+        if raw != self.was_down {
+            self.was_down = raw;
+            self.transitions.push((now, raw));
+        }
+    }
+
+    /// `true` while the administrative down state is set.
+    pub fn forced_down(&self) -> bool {
+        self.forced_down
+    }
+
     /// Drains the recorded up/down transitions as `(cycle, down)` pairs.
     pub fn take_transitions(&mut self) -> Vec<(Cycle, bool)> {
         std::mem::take(&mut self.transitions)
@@ -141,10 +166,13 @@ impl Link {
             .any(|&(from, until)| (from..until).contains(&now))
     }
 
-    /// `true` if the link refuses new flits this cycle, from either a
-    /// scripted window or the installed fault stream's outage schedule.
+    /// `true` if the link refuses new flits this cycle, from an
+    /// administrative hold, a scripted window, or the installed fault
+    /// stream's outage schedule.
     pub fn is_down(&self, now: Cycle) -> bool {
-        self.scripted_down(now) || self.faults.as_deref().is_some_and(|f| f.is_down(now))
+        self.forced_down
+            || self.scripted_down(now)
+            || self.faults.as_deref().is_some_and(|f| f.is_down(now))
     }
 
     /// Injection totals for this link, if faults are installed.
@@ -577,6 +605,43 @@ mod tests {
             l.install_faults(FaultPlan::none(99).for_link(LinkId::from(0usize)));
             let (faulty, _) = push_worm_through(l, 6);
             assert_eq!(faulty, clean);
+        }
+    }
+
+    mod forced {
+        use super::*;
+
+        #[test]
+        fn forced_down_publishes_edges_and_blocks_sends() {
+            let mut l = Link::new(1, 4);
+            assert!(l.can_send(10));
+            l.set_forced_down(10, true);
+            assert!(!l.can_send(10));
+            assert!(l.is_down(10));
+            assert!(l.forced_down());
+            l.set_forced_down(25, false);
+            assert!(l.can_send(25));
+            assert_eq!(l.take_transitions(), vec![(10, true), (25, false)]);
+        }
+
+        #[test]
+        fn redundant_toggles_publish_no_duplicate_edges() {
+            let mut l = Link::new(1, 4);
+            l.set_forced_down(5, true);
+            l.set_forced_down(7, true); // already down: no new edge
+            l.set_forced_down(9, false);
+            l.set_forced_down(11, false);
+            assert_eq!(l.take_transitions(), vec![(5, true), (9, false)]);
+        }
+
+        #[test]
+        fn forced_up_does_not_mask_a_scripted_outage() {
+            let mut l = Link::new(1, 4);
+            l.script_outage(10, 20);
+            l.begin_cycle(10); // scripted edge detected
+            l.set_forced_down(12, false); // admin state already up: no edge
+            assert!(l.is_down(12), "scripted window still holds");
+            assert_eq!(l.take_transitions(), vec![(10, true)]);
         }
     }
 }

@@ -164,3 +164,63 @@ fn determinism_holds_for_every_scheme() {
         assert_eq!(a.cycles, b.cycles, "{arch:?}/{mcast:?}");
     }
 }
+
+#[test]
+fn e18_fault_storm_is_identical_across_worker_counts() {
+    // The full storm stack — flap damping, retry backoff with seeded
+    // jitter, degradation ladder, watchdog, plus the per-slice query
+    // load — must replay byte-identically whatever the sweep pool size.
+    // Worker counts are passed explicitly so this test cannot race other
+    // tests over the global pool setting.
+    let base = SystemConfig {
+        topology: TopologyKind::KaryTree { k: 4, n: 2 },
+        ..cfg(47)
+    };
+    let serial = mdworm::experiments::e18_fault_storm_with_jobs(&base, 2_000, 0.04, 4, 16, 1);
+    let parallel = mdworm::experiments::e18_fault_storm_with_jobs(&base, 2_000, 0.04, 4, 16, 4);
+    assert_eq!(serial.len(), 2);
+    assert_eq!(parallel.len(), 2);
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.scheme, p.scheme);
+        assert_eq!(s.mcasts, p.mcasts, "{}", s.scheme);
+        assert_eq!(s.reroutes, p.reroutes, "{}", s.scheme);
+        assert_eq!(s.rejected, p.rejected, "{}", s.scheme);
+        assert_eq!(s.heals, p.heals, "{}", s.scheme);
+        assert_eq!(s.stale, p.stale, "{}", s.scheme);
+        assert_eq!(s.suppressions, p.suppressions, "{}", s.scheme);
+        assert_eq!(s.reinstatements, p.reinstatements, "{}", s.scheme);
+        assert_eq!(s.retries, p.retries, "{}", s.scheme);
+        assert_eq!(s.watchdog, p.watchdog, "{}", s.scheme);
+        assert_eq!(s.ladder, p.ladder, "{}", s.scheme);
+        assert_eq!(
+            (s.p50, s.p99, s.lat_max),
+            (p.p50, p.p99, p.lat_max),
+            "{}",
+            s.scheme
+        );
+        assert_eq!((s.queries, s.q_worm), (p.queries, p.q_worm), "{}", s.scheme);
+        assert_eq!(
+            s.avail_full.to_bits(),
+            p.avail_full.to_bits(),
+            "{}",
+            s.scheme
+        );
+        assert_eq!(
+            s.avail_masked.to_bits(),
+            p.avail_masked.to_bits(),
+            "{}",
+            s.scheme
+        );
+        assert_eq!(
+            s.avail_umin.to_bits(),
+            p.avail_umin.to_bits(),
+            "{}",
+            s.scheme
+        );
+        assert_eq!(s.avail_ro.to_bits(), p.avail_ro.to_bits(), "{}", s.scheme);
+        assert_eq!(s.leftover, p.leftover, "{}", s.scheme);
+        assert_eq!(s.verdict, p.verdict, "{}", s.scheme);
+    }
+    // And the storm actually stormed.
+    assert!(serial.iter().all(|r| r.reroutes > 0 && r.suppressions > 0));
+}

@@ -337,6 +337,56 @@ fn sync_replication_reroute_is_vetoed_by_model_check() {
     );
 }
 
+/// Regression: a link that goes down and comes back up within one
+/// debounce-plus-quiesce window must not leave stale masked ports
+/// behind. The down edge is confirmed right at the debounce boundary,
+/// the responder gates and quiesces (drain_wait + purge — hundreds of
+/// cycles), and the link is back up before the masked tables would
+/// install. The post-purge health recheck must notice and skip the
+/// install; without it the responder masks a healthy link and runs
+/// degraded until the next unrelated transition wakes it.
+#[test]
+fn short_blip_leaves_no_stale_masked_ports() {
+    for arch in [SwitchArch::CentralBuffer, SwitchArch::InputBuffered] {
+        let cfg = fault_cfg(TopologyKind::KaryTree { k: 4, n: 2 }, arch);
+        let mut sys = build(cfg, 0.03, 4, 4_000);
+        let (link, _) = outage::single_cut(&sys, NodeId::from(4usize));
+        // Down for 100 cycles: long enough to survive the 64-cycle
+        // debounce, back up long before the 256-cycle drain completes.
+        sys.engine.script_outage(link, 1_000, 1_100);
+
+        let mut resp = FaultResponder::new(ResponseConfig::default(), &mut sys);
+        drive(&mut sys, &mut resp, 4_000);
+        let leftover = drain(&mut sys, &mut resp, 200_000);
+
+        let c = resp.counters();
+        assert_eq!(leftover, 0, "{arch:?}: payloads lost across the blip");
+        assert!(c.links_down >= 1, "{arch:?}: the blip must be confirmed");
+        assert_eq!(
+            c.reroutes, 0,
+            "{arch:?}: no tables may install for a link already back up"
+        );
+        assert_eq!(c.heals, 0, "{arch:?}: nothing was masked, nothing heals");
+        assert!(
+            c.stale_detects >= 1,
+            "{arch:?}: the post-purge recheck must fire"
+        );
+        assert!(
+            resp.masked_ports().is_empty(),
+            "{arch:?}: stale masked ports left behind"
+        );
+        assert!(
+            resp.events()
+                .iter()
+                .any(|(_, e)| matches!(e, ResponseEvent::StaleDetect)),
+            "{arch:?}: the absorbed response must be logged"
+        );
+        // And the episode still shows up in the latency series — an
+        // aborted response consumed real service time.
+        assert!(resp.latency().count() >= 1, "{arch:?}");
+    }
+}
+
 /// Miniature E17 timeline — the CI smoke target. Under
 /// `--features invariant-audit` every cycle of this four-phase script is
 /// audited for flit and credit conservation.
