@@ -1,10 +1,11 @@
-//! Perf measurement: times the sweep suite serial vs parallel and the raw
-//! engine cycle rate, and serializes the result as `BENCH_sweep.json` —
+//! Perf measurement: times the sweep suite serial vs parallel, the raw
+//! engine cycle rate, and the compiled sharded engine against the
+//! sequential oracle, and serializes the result as `BENCH_sweep.json` —
 //! the repo's recorded performance trajectory.
 
 use crate::suite::{run_suite, Table};
 use crate::Scale;
-use mdworm::{build_system, make_sources, sweep, SystemConfig, TrafficSpec};
+use mdworm::{build_system, make_sources, sweep, SystemConfig, TopologyKind, TrafficSpec};
 use std::time::Instant;
 
 /// Outcome of one `figures --bench` run.
@@ -45,12 +46,80 @@ pub struct BenchReport {
     pub storm_vet_p50_ns: u64,
     /// p99 wall time of a structural reroute vet, nanoseconds.
     pub storm_vet_p99_ns: u64,
+    /// Shard count of the headline sharded measurement.
+    pub engine_shards: usize,
+    /// Sequential-oracle cycles/sec on the scale fabric (light load) —
+    /// the baseline the compiled engine is judged against, side-by-side.
+    pub sequential_cycles_per_sec: f64,
+    /// Compiled-engine cycles/sec on the same fabric and workload at
+    /// [`BenchReport::engine_shards`] shards.
+    pub sharded_cycles_per_sec: f64,
+    /// Full cycles/sec-vs-shard-count sweep over several fabric sizes.
+    pub bench_scale: Vec<ScaleFabric>,
+}
+
+/// Cycle rate of one fabric size at one shard count.
+#[derive(Debug, Clone)]
+pub struct ScalePoint {
+    /// Shard count the compiled schedule was cut into.
+    pub shards: usize,
+    /// Simulated cycles per wall-clock second.
+    pub cycles_per_sec: f64,
+    /// Component ticks actually executed.
+    pub ticks_run: u64,
+    /// Component ticks skipped as provably idle.
+    pub ticks_skipped: u64,
+}
+
+/// One fabric's cycles/sec-vs-shards sweep, with the sequential oracle as
+/// the shared baseline.
+#[derive(Debug, Clone)]
+pub struct ScaleFabric {
+    /// Host count of the fabric.
+    pub hosts: usize,
+    /// Switch count of the fabric.
+    pub switches: usize,
+    /// Cycles each measurement simulated.
+    pub cycles: u64,
+    /// Sequential (uncompiled) cycles/sec on this fabric.
+    pub sequential_cycles_per_sec: f64,
+    /// Compiled-engine rates at each shard count.
+    pub points: Vec<ScalePoint>,
 }
 
 impl BenchReport {
     /// Serializes the report as pretty-printed JSON (hand-rolled; the
     /// workspace carries no serde dependency).
     pub fn json(&self) -> String {
+        let mut fabrics = String::new();
+        for (i, f) in self.bench_scale.iter().enumerate() {
+            let mut points = String::new();
+            for (j, p) in f.points.iter().enumerate() {
+                points.push_str(&format!(
+                    "        {{\"shards\": {}, \"cycles_per_sec\": {:.0}, \
+                     \"ticks_run\": {}, \"ticks_skipped\": {}}}{}\n",
+                    p.shards,
+                    p.cycles_per_sec,
+                    p.ticks_run,
+                    p.ticks_skipped,
+                    if j + 1 < f.points.len() { "," } else { "" },
+                ));
+            }
+            fabrics.push_str(&format!(
+                "    {{\n      \"hosts\": {},\n      \"switches\": {},\n      \
+                 \"cycles\": {},\n      \"sequential_cycles_per_sec\": {:.0},\n      \
+                 \"points\": [\n{points}      ]\n    }}{}\n",
+                f.hosts,
+                f.switches,
+                f.cycles,
+                f.sequential_cycles_per_sec,
+                if i + 1 < self.bench_scale.len() {
+                    ","
+                } else {
+                    ""
+                },
+            ));
+        }
         format!(
             "{{\n  \"scale\": \"{}\",\n  \"exp\": \"{}\",\n  \"jobs_serial\": 1,\n  \
              \"jobs_parallel\": {},\n  \"host_cpus\": {},\n  \"serial_secs\": {:.3},\n  \
@@ -60,7 +129,10 @@ impl BenchReport {
              \"engine_cycles_per_sec\": {:.0},\n  \
              \"storm_episodes\": {},\n  \"storm_p50_cycles\": {},\n  \
              \"storm_p99_cycles\": {},\n  \"storm_vet_p50_ns\": {},\n  \
-             \"storm_vet_p99_ns\": {}\n}}\n",
+             \"storm_vet_p99_ns\": {},\n  \
+             \"engine_shards\": {},\n  \"sequential_cycles_per_sec\": {:.0},\n  \
+             \"sharded_cycles_per_sec\": {:.0},\n  \
+             \"bench_scale\": [\n{fabrics}  ]\n}}\n",
             self.scale,
             self.exp,
             self.jobs_parallel,
@@ -78,6 +150,9 @@ impl BenchReport {
             self.storm_p99_cycles,
             self.storm_vet_p50_ns,
             self.storm_vet_p99_ns,
+            self.engine_shards,
+            self.sequential_cycles_per_sec,
+            self.sharded_cycles_per_sec,
         )
     }
 }
@@ -146,6 +221,77 @@ pub fn engine_secs(cycles: u64) -> f64 {
     t.elapsed().as_secs_f64()
 }
 
+/// Times one fabric for `cycles` cycles of the scale workload at a given
+/// shard count (`0` = the sequential, uncompiled oracle). Returns elapsed
+/// seconds plus the compiled engine's `(ticks_run, ticks_skipped)`.
+fn scale_run(cfg: &SystemConfig, cycles: u64, shards: usize) -> (f64, u64, u64) {
+    // Light load: the regime the compiled schedule is built for — most
+    // switches are provably idle most cycles, so the quiescence skipping
+    // that makes the sharded engine fast actually has idleness to harvest.
+    let spec = TrafficSpec::multiple_multicast(0.02, 4, 16);
+    let sources = make_sources(&spec, cfg.n_hosts(), cfg.seed, None);
+    let mut sys = build_system(cfg.clone(), sources, None);
+    if shards > 0 {
+        sys.engine.set_shards(shards);
+    }
+    let t = Instant::now();
+    sys.engine.run_for(cycles);
+    let secs = t.elapsed().as_secs_f64();
+    let (run, skipped) = sys
+        .engine
+        .sharding_stats()
+        .map_or((0, 0), |s| (s.ticks_run, s.ticks_skipped));
+    (secs, run, skipped)
+}
+
+/// Sweeps cycles/sec against shard count on several fabric sizes, with
+/// the sequential oracle measured side-by-side on each fabric. The
+/// per-fabric baseline and the shard points run the identical workload,
+/// so the ratio is purely the engine's scheduling overhead vs the ticks
+/// it avoids.
+pub fn bench_scale(cycles: u64) -> Vec<ScaleFabric> {
+    let fabrics = [
+        TopologyKind::KaryTree { k: 2, n: 4 }, // 16 hosts
+        TopologyKind::KaryTree { k: 4, n: 3 }, // 64 hosts, the default
+    ];
+    fabrics
+        .iter()
+        .map(|&topology| {
+            let cfg = SystemConfig {
+                topology,
+                ..SystemConfig::default()
+            };
+            let switches = {
+                let spec = TrafficSpec::multiple_multicast(0.02, 4, 16);
+                let sources = make_sources(&spec, cfg.n_hosts(), cfg.seed, None);
+                build_system(cfg.clone(), sources, None)
+                    .topology
+                    .n_switches()
+            };
+            let (seq_secs, _, _) = scale_run(&cfg, cycles, 0);
+            let points = [1usize, 2, 4]
+                .iter()
+                .map(|&shards| {
+                    let (secs, run, skipped) = scale_run(&cfg, cycles, shards);
+                    ScalePoint {
+                        shards,
+                        cycles_per_sec: cycles as f64 / secs.max(1e-9),
+                        ticks_run: run,
+                        ticks_skipped: skipped,
+                    }
+                })
+                .collect();
+            ScaleFabric {
+                hosts: cfg.n_hosts(),
+                switches,
+                cycles,
+                sequential_cycles_per_sec: cycles as f64 / seq_secs.max(1e-9),
+                points,
+            }
+        })
+        .collect()
+}
+
 /// Runs the suite serially (jobs = 1), then with `jobs_parallel` workers,
 /// verifies the outputs are byte-identical, and times the raw engine.
 /// Returns the report and the parallel pass's tables (for writing to
@@ -165,6 +311,10 @@ pub fn bench_sweep(
     let serial_secs = t.elapsed().as_secs_f64();
 
     sweep::set_jobs(jobs_parallel);
+    // Record the pool the pass actually ran with: `jobs()` clamps the
+    // request to the host's CPU count (see the 0.888 "speedup" this file
+    // once recorded from oversubscribing a 1-core host).
+    let jobs_parallel = sweep::jobs();
     let t = Instant::now();
     let parallel = run_suite(base, scale, exp);
     let parallel_secs = t.elapsed().as_secs_f64();
@@ -172,6 +322,18 @@ pub fn bench_sweep(
     let outputs_identical = serial == parallel;
     let eng_secs = engine_secs(engine_cycles);
     let (storm_episodes, storm_p50, storm_p99, vet_p50, vet_p99) = storm_latency();
+    let scale_fabrics = bench_scale(engine_cycles / 10);
+    // Headline: the 2-shard compiled engine vs the sequential oracle on
+    // the largest fabric swept.
+    let headline = scale_fabrics.last().expect("bench_scale is non-empty");
+    let engine_shards = 2;
+    let sequential_cycles_per_sec = headline.sequential_cycles_per_sec;
+    let sharded_cycles_per_sec = headline
+        .points
+        .iter()
+        .find(|p| p.shards == engine_shards)
+        .expect("2-shard point present")
+        .cycles_per_sec;
     let report = BenchReport {
         scale: format!("{scale:?}").to_lowercase(),
         exp: exp.to_string(),
@@ -190,6 +352,10 @@ pub fn bench_sweep(
         storm_p99_cycles: storm_p99,
         storm_vet_p50_ns: vet_p50,
         storm_vet_p99_ns: vet_p99,
+        engine_shards,
+        sequential_cycles_per_sec,
+        sharded_cycles_per_sec,
+        bench_scale: scale_fabrics,
     };
     (report, parallel)
 }
@@ -218,18 +384,65 @@ mod tests {
             storm_p99_cycles: 257,
             storm_vet_p50_ns: 1_000,
             storm_vet_p99_ns: 2_000,
+            engine_shards: 2,
+            sequential_cycles_per_sec: 50_000.0,
+            sharded_cycles_per_sec: 90_000.0,
+            bench_scale: vec![ScaleFabric {
+                hosts: 16,
+                switches: 8,
+                cycles: 20_000,
+                sequential_cycles_per_sec: 50_000.0,
+                points: vec![
+                    ScalePoint {
+                        shards: 1,
+                        cycles_per_sec: 88_000.0,
+                        ticks_run: 1_000,
+                        ticks_skipped: 9_000,
+                    },
+                    ScalePoint {
+                        shards: 2,
+                        cycles_per_sec: 90_000.0,
+                        ticks_run: 1_000,
+                        ticks_skipped: 9_000,
+                    },
+                ],
+            }],
         };
         let j = r.json();
         assert!(j.contains("\"speedup\": 2.500"));
         assert!(j.contains("\"outputs_identical\": true"));
         assert!(j.contains("\"jobs_serial\": 1"));
         assert!(j.contains("\"storm_p99_cycles\": 257"));
+        assert!(j.contains("\"engine_shards\": 2"));
+        assert!(j.contains("\"sharded_cycles_per_sec\": 90000"));
+        assert!(j.contains("\"bench_scale\": ["));
+        assert!(j.contains("{\"shards\": 2, \"cycles_per_sec\": 90000"));
+        assert!(j.contains("\"ticks_skipped\": 9000}"));
         assert!(j.ends_with("}\n"));
     }
 
     #[test]
     fn engine_microbench_runs() {
         assert!(engine_secs(200) > 0.0);
+    }
+
+    /// The scale sweep runs, skips real work on every fabric, and its
+    /// compiled points simulated exactly `cycles` cycles' worth of ticks.
+    #[test]
+    fn bench_scale_skips_ticks_on_every_fabric() {
+        let fabrics = bench_scale(400);
+        assert_eq!(fabrics.len(), 2);
+        for f in &fabrics {
+            assert!(f.switches > 1, "scale fabric must be multi-switch");
+            assert!(f.sequential_cycles_per_sec > 0.0);
+            assert_eq!(f.points.len(), 3);
+            for p in &f.points {
+                assert!(p.cycles_per_sec > 0.0);
+                assert!(p.ticks_skipped > 0, "{}h/{} shards", f.hosts, p.shards);
+                let comps = (f.hosts + f.switches) as u64;
+                assert_eq!(p.ticks_run + p.ticks_skipped, comps * f.cycles);
+            }
+        }
     }
 
     #[test]

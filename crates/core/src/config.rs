@@ -145,6 +145,12 @@ pub struct SystemConfig {
     /// flap damping, retry backoff, the degradation ladder, and the
     /// detect→install watchdog; `None` for batch experiments.
     pub routed: Option<crate::routed::RoutedConfig>,
+    /// Shard count for the compiled engine schedule (config key
+    /// `engine.shards`, overridable via `MDWORM_SHARDS`). 1 keeps the
+    /// plain sequential loop — the oracle; ≥ 2 compiles the fabric into
+    /// that many shards (bit-identical results, see DESIGN.md §13). Must
+    /// be ≥ 1 and at most the topology's switch count.
+    pub engine_shards: usize,
 }
 
 impl Default for SystemConfig {
@@ -168,6 +174,7 @@ impl Default for SystemConfig {
             recovery: None,
             response: None,
             routed: None,
+            engine_shards: 1,
         }
     }
 }
@@ -332,8 +339,27 @@ impl SystemConfig {
             }
         }
 
+        if self.engine_shards < 1 {
+            report.error(
+                "engine-shards-zero",
+                "engine.shards must be at least 1 (1 = sequential oracle)",
+            );
+        }
+
         if !report.has_errors() {
             let (topology, _) = crate::build::build_topology(self.topology);
+            if self.engine_shards > topology.n_switches() {
+                report.error(
+                    "engine-shards-exceed-switches",
+                    format!(
+                        "engine.shards ({}) exceeds the topology's switch count \
+                         ({}) — shards beyond that hold no switch and only add \
+                         barrier overhead",
+                        self.engine_shards,
+                        topology.n_switches()
+                    ),
+                );
+            }
             let tables = RouteTables::build(&topology);
             analyze_fabric(&topology, &tables, self.switch.policy, &mut report);
         }

@@ -76,6 +76,10 @@ pub fn capture_deadlock_report(sys: &mut System, last_progress: Cycle) -> Deadlo
     for st in &sys.switch_stats {
         st.borrow_mut().forensics_requested = true;
     }
+    // The request flag is out-of-band state the compiled engine's wake
+    // protocol cannot see — wake sleeping switches so every one deposits
+    // a snapshot during the extra cycle (no-op on the sequential path).
+    sys.engine.wake_all();
     sys.engine.run_for(1);
 
     let mut switches = Vec::new();

@@ -472,6 +472,10 @@ impl FaultResponder {
         for ctl in &sys.switch_ctls {
             ctl.begin_purge();
         }
+        // Control-plane flips are invisible to the compiled engine's wake
+        // protocol: sleeping switches must be woken to see the purge flag
+        // (no-op on the sequential path).
+        sys.engine.wake_all();
         self.counters.purges += 1;
         let purge_end = sys.engine.now() + self.cfg.purge_max;
         loop {
@@ -533,6 +537,9 @@ impl FaultResponder {
                 for ctl in &sys.switch_ctls {
                     ctl.install_tables(tables.clone());
                 }
+                // Wake sleeping switches so each sees the staged swap
+                // (idle switches are empty and swap on their next tick).
+                sys.engine.wake_all();
                 sys.tables = tables;
                 if dead.is_empty() {
                     self.counters.heals += 1;

@@ -18,7 +18,9 @@
 //!
 //! The pool size comes from [`jobs`]: an explicit [`set_jobs`] override
 //! (e.g. the `figures --jobs N` flag), else the `MDWORM_JOBS` environment
-//! variable, else [`std::thread::available_parallelism`].
+//! variable, else [`std::thread::available_parallelism`] — clamped to the
+//! host's CPU count, since oversubscribing a CPU-bound sweep only adds
+//! overhead.
 
 use crate::config::SystemConfig;
 use crate::sim::{run_experiment, RunConfig, RunOutcome};
@@ -36,12 +38,19 @@ pub fn set_jobs(n: usize) {
 }
 
 /// The worker-pool size sweeps use: [`set_jobs`] override, else the
-/// `MDWORM_JOBS` environment variable, else available parallelism.
+/// `MDWORM_JOBS` environment variable, else available parallelism — in
+/// every case clamped to the host's CPU count. Requesting more workers
+/// than cores never helps a CPU-bound sweep: the extra threads just add
+/// submission and contention overhead (measured as the `speedup: 0.888`
+/// regression in `results/BENCH_sweep.json` on a 1-core host), and at an
+/// effective count of 1 [`parallel_map`] skips the pool entirely.
 pub fn jobs() -> usize {
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     resolve_jobs(
         JOBS_OVERRIDE.load(Ordering::Relaxed),
         std::env::var("MDWORM_JOBS").ok().as_deref(),
     )
+    .min(host_cpus)
 }
 
 /// Pure resolution logic behind [`jobs`], separated for testability.
@@ -174,6 +183,15 @@ mod tests {
         let fallback = resolve_jobs(0, Some("garbage"));
         assert!(fallback >= 1, "bad env falls back to parallelism");
         assert_eq!(resolve_jobs(0, None), resolve_jobs(0, Some("0")));
+    }
+
+    #[test]
+    fn jobs_clamps_to_host_cpus() {
+        let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+        set_jobs(host * 8);
+        let effective = jobs();
+        set_jobs(0);
+        assert_eq!(effective, host, "oversubscribed --jobs must be clamped");
     }
 
     #[test]

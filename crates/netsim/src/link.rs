@@ -205,6 +205,15 @@ impl Link {
         self.flit_q.len()
     }
 
+    /// Absolute cycle at which the earliest in-flight flit arrives, or
+    /// `None` if nothing is in flight. Arrival times are monotone (fixed
+    /// delay), so the queue front is the minimum. Condemned flits count
+    /// too — a wake they cause is spurious but harmless, and filtering
+    /// them here would leak fault state into scheduling decisions.
+    pub fn next_arrival(&self) -> Option<Cycle> {
+        self.flit_q.front().map(|q| q.arrives)
+    }
+
     /// Makes credits that have propagated back available to the sender.
     /// Returns the number of condemned flits that evaporated this cycle
     /// (always 0 on fault-free links) so callers can maintain in-flight

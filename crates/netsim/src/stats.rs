@@ -117,6 +117,20 @@ impl OccupancyStats {
         self.max = self.max.max(value);
     }
 
+    /// Records the same occupancy for `n` consecutive cycles at once.
+    ///
+    /// Equivalent to calling [`OccupancyStats::observe`] `n` times — the
+    /// batched form exists so a component whose ticks were skipped while it
+    /// was provably idle can catch its per-cycle gauge up in O(1).
+    pub fn observe_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.sum += u128::from(value) * u128::from(n);
+        self.samples += n;
+        self.max = self.max.max(value);
+    }
+
     /// Mean occupancy over all observations, or `None` if none.
     pub fn mean(&self) -> Option<f64> {
         if self.samples == 0 {

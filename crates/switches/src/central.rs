@@ -160,6 +160,11 @@ pub struct CentralBufferSwitch {
     ctl: Option<Rc<SwitchCtl>>,
     sem: Option<SemHandle>,
     rr: usize,
+    /// Cycle of the last executed tick — the skip-invariance watermark.
+    /// The compiled engine may skip ticks while the switch is quiescent;
+    /// the gap since `last_tick` replays exactly what those ticks would
+    /// have done (advance `rr`, observe zero occupancy).
+    last_tick: Cycle,
 }
 
 impl CentralBufferSwitch {
@@ -208,7 +213,20 @@ impl CentralBufferSwitch {
             ctl: None,
             sem: None,
             rr: 0,
+            last_tick: 0,
         }
+    }
+
+    /// Replays the per-cycle bookkeeping of `n` skipped idle ticks: each
+    /// would have advanced the allocation round-robin by one and observed
+    /// zero central-queue occupancy (quiescence guarantees the queue was
+    /// empty throughout). Keeps skipped runs bit-identical to ticked ones.
+    fn replay_idle_cycles(&mut self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.rr = (self.rr + (n % self.cfg.ports as u64) as usize) % self.cfg.ports;
+        self.stats.borrow_mut().cq_used_chunks.observe_n(0, n);
     }
 
     /// Attaches the out-of-band control cell (see [`SwitchCtl`]) through
@@ -327,6 +345,11 @@ impl CentralBufferSwitch {
 impl Component for CentralBufferSwitch {
     #[allow(clippy::needless_range_loop)] // index loops enable split borrows across ports
     fn tick(&mut self, now: Cycle, io: &mut PortIo<'_>) {
+        // Catch up cycles the compiled engine skipped while this switch
+        // slept (always zero when ticked every cycle). A sleeping switch
+        // is never purging, so the skipped ticks were plain idle ticks.
+        self.replay_idle_cycles(now - self.last_tick - 1);
+        self.last_tick = now;
         if let Some(ctl) = self.ctl.clone() {
             if ctl.purging() {
                 self.purge(now, io);
@@ -361,6 +384,7 @@ impl Component for CentralBufferSwitch {
             sem,
             rr,
             id,
+            ..
         } = self;
         let table = tables.table(*id);
 
@@ -859,6 +883,25 @@ impl Component for CentralBufferSwitch {
                 && barrier.as_ref().is_none_or(|b| b.ready.is_empty());
             ctl.set_empty(empty);
         }
+    }
+
+    /// An empty switch with no control-plane work pending does nothing
+    /// per tick beyond the idle bookkeeping `replay_idle_cycles` replays —
+    /// safe for the compiled engine to skip until traffic or a wake
+    /// arrives. Purging and pending table swaps keep it awake because
+    /// those act on every tick.
+    fn quiescent(&self) -> bool {
+        self.empty_now()
+            && self
+                .ctl
+                .as_ref()
+                .is_none_or(|c| !c.purging() && !c.tables_pending())
+    }
+
+    /// End-of-run catch-up for skipped idle ticks (see [`Component::flush`]).
+    fn flush(&mut self, now: Cycle) {
+        self.replay_idle_cycles(now - self.last_tick);
+        self.last_tick = now;
     }
 }
 

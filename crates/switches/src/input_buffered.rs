@@ -77,6 +77,12 @@ pub struct InputBufferedSwitch {
     outputs: Vec<IbOutput>,
     stats: Rc<RefCell<SwitchStats>>,
     ctl: Option<Rc<SwitchCtl>>,
+    /// Cycle of the last executed tick — the skip-invariance watermark.
+    /// The compiled engine may skip ticks while the switch is quiescent;
+    /// the gap since `last_tick` replays the occupancy samples those idle
+    /// ticks would have taken (output round-robins only move on grants,
+    /// so an idle tick mutates nothing else).
+    last_tick: Cycle,
 }
 
 impl InputBufferedSwitch {
@@ -117,6 +123,16 @@ impl InputBufferedSwitch {
             tables,
             stats,
             ctl: None,
+            last_tick: 0,
+        }
+    }
+
+    /// Replays the per-cycle bookkeeping of `n` skipped idle ticks: each
+    /// would have observed zero buffer occupancy (quiescence guarantees
+    /// the buffers were empty throughout).
+    fn replay_idle_cycles(&mut self, n: u64) {
+        if n > 0 {
+            self.stats.borrow_mut().ib_used_flits.observe_n(0, n);
         }
     }
 
@@ -179,6 +195,11 @@ impl InputBufferedSwitch {
 impl Component for InputBufferedSwitch {
     #[allow(clippy::needless_range_loop)] // index loops enable split borrows across ports
     fn tick(&mut self, now: Cycle, io: &mut PortIo<'_>) {
+        // Catch up cycles the compiled engine skipped while this switch
+        // slept (always zero when ticked every cycle). A sleeping switch
+        // is never purging, so the skipped ticks were plain idle ticks.
+        self.replay_idle_cycles(now - self.last_tick - 1);
+        self.last_tick = now;
         if let Some(ctl) = self.ctl.clone() {
             if ctl.purging() {
                 self.purge(now, io);
@@ -206,6 +227,7 @@ impl Component for InputBufferedSwitch {
             stats,
             ctl,
             id,
+            ..
         } = self;
         let table = tables.table(*id);
 
@@ -440,6 +462,25 @@ impl Component for InputBufferedSwitch {
                 && outputs.iter().all(|o| o.owner.is_none());
             ctl.set_empty(empty);
         }
+    }
+
+    /// An empty switch with no control-plane work pending does nothing
+    /// per tick beyond the occupancy sample `replay_idle_cycles` replays —
+    /// safe for the compiled engine to skip until traffic or a wake
+    /// arrives. Purging and pending table swaps keep it awake because
+    /// those act on every tick.
+    fn quiescent(&self) -> bool {
+        self.empty_now()
+            && self
+                .ctl
+                .as_ref()
+                .is_none_or(|c| !c.purging() && !c.tables_pending())
+    }
+
+    /// End-of-run catch-up for skipped idle ticks (see [`Component::flush`]).
+    fn flush(&mut self, now: Cycle) {
+        self.replay_idle_cycles(now - self.last_tick);
+        self.last_tick = now;
     }
 }
 

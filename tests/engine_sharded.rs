@@ -1,0 +1,194 @@
+//! Differential acceptance tests for the compiled sharded engine
+//! (DESIGN.md §13): at shards ∈ {1, 2, 4} it must be **bit-identical** to
+//! the sequential oracle — same ledgers every cycle, same per-switch
+//! stats, same link-event logs, same `RunOutcome` — on clean E2-style
+//! runs and on fault-injected runs, while actually skipping work.
+
+use mdworm::build::build_system;
+use mdworm::config::{McastImpl, SwitchArch, SystemConfig, TopologyKind};
+use mdworm::sim::{run_experiment, RunConfig, RunOutcome};
+use mdworm::workload::{make_sources, TrafficSpec};
+use netsim::FaultPlan;
+
+const SHARDS: [usize; 3] = [1, 2, 4];
+
+/// 8 hosts on a 2-ary 3-tree — a real multi-stage fabric that still keeps
+/// three-engine comparisons quick.
+fn base_cfg() -> SystemConfig {
+    SystemConfig {
+        topology: TopologyKind::KaryTree { k: 2, n: 3 },
+        ..SystemConfig::default()
+    }
+}
+
+/// Every field of the outcome, bit-for-bit (floats compared by bits).
+fn assert_outcomes_identical(oracle: &RunOutcome, sharded: &RunOutcome, what: &str) {
+    assert_eq!(oracle.mcast_last, sharded.mcast_last, "{what}: mcast_last");
+    assert_eq!(oracle.mcast_avg, sharded.mcast_avg, "{what}: mcast_avg");
+    assert_eq!(oracle.unicast, sharded.unicast, "{what}: unicast");
+    assert_eq!(
+        oracle.throughput.to_bits(),
+        sharded.throughput.to_bits(),
+        "{what}: throughput"
+    );
+    assert_eq!(
+        oracle.eject_utilization.to_bits(),
+        sharded.eject_utilization.to_bits(),
+        "{what}: eject_utilization"
+    );
+    assert_eq!(
+        oracle.fabric_utilization.to_bits(),
+        sharded.fabric_utilization.to_bits(),
+        "{what}: fabric_utilization"
+    );
+    // The Debug rendering covers every remaining field (counts, flags,
+    // fault/recovery/response counters, forensic reports).
+    assert_eq!(
+        format!("{oracle:?}"),
+        format!("{sharded:?}"),
+        "{what}: full outcome"
+    );
+}
+
+/// `RunOutcome` byte-identity on an E2-style run (the paper's multiple-
+/// multicast workload) across architectures and schemes, selecting the
+/// engine through the `engine.shards` config key like any production run.
+#[test]
+fn e2_style_outcome_identical_across_shards() {
+    for (arch, mcast) in [
+        (SwitchArch::CentralBuffer, McastImpl::HwBitString),
+        (SwitchArch::InputBuffered, McastImpl::HwBitString),
+        (SwitchArch::CentralBuffer, McastImpl::SwBinomial),
+    ] {
+        let spec = TrafficSpec::multiple_multicast(0.08, 4, 16);
+        let run = RunConfig::quick();
+        let mut cfg = base_cfg();
+        cfg.arch = arch;
+        cfg.mcast = mcast;
+        let oracle = run_experiment(&cfg, &spec, &run);
+        assert!(!oracle.deadlocked);
+        assert!(oracle.completed_mcasts > 0, "workload must do something");
+        for shards in SHARDS {
+            cfg.engine_shards = shards;
+            let sharded = run_experiment(&cfg, &spec, &run);
+            assert_outcomes_identical(
+                &oracle,
+                &sharded,
+                &format!("{arch:?}/{mcast:?} @ {shards} shards"),
+            );
+        }
+    }
+}
+
+/// `RunOutcome` byte-identity on a fault-injected run with end-to-end
+/// recovery — drops, retransmissions and all.
+#[test]
+fn fault_injected_outcome_identical_across_shards() {
+    let mut cfg = base_cfg();
+    cfg.recovery = Some(collectives::RecoveryConfig {
+        timeout: 1_500,
+        timeout_cap: 12_000,
+        max_retries: 10,
+    });
+    let spec = TrafficSpec::multiple_multicast(0.05, 4, 24);
+    let run = RunConfig {
+        faults: Some(FaultPlan::drops(9, 1e-3)),
+        ..RunConfig::quick()
+    };
+    let oracle = run_experiment(&cfg, &spec, &run);
+    assert!(oracle.faults.worms_dropped > 0, "fault plan never fired");
+    assert!(oracle.recovery.retransmits > 0, "recovery never exercised");
+    for shards in SHARDS {
+        cfg.engine_shards = shards;
+        let sharded = run_experiment(&cfg, &spec, &run);
+        assert_outcomes_identical(&oracle, &sharded, &format!("faulty @ {shards} shards"));
+    }
+}
+
+/// The satellite differential: step a sharded system against the
+/// sequential oracle **cycle by cycle** on a fault-injected run and
+/// demand identical ledgers at every cycle, then identical per-switch
+/// stats, link-event logs, and tracker state at the end — while the
+/// compiled engine provably skipped ticks.
+#[test]
+fn faulty_run_matches_oracle_cycle_by_cycle() {
+    let build = || {
+        let cfg = base_cfg();
+        let spec = TrafficSpec::multiple_multicast(0.1, 4, 16);
+        let sources = make_sources(&spec, cfg.n_hosts(), cfg.seed, Some(4_000));
+        let mut sys = build_system(cfg, sources, None);
+        sys.engine.install_faults(&FaultPlan::drops(9, 2e-3));
+        sys.engine.publish_link_events();
+        sys
+    };
+    for shards in SHARDS {
+        let mut oracle = build();
+        let mut sharded = build();
+        sharded.engine.set_shards(shards);
+        for cycle in 1..=5_000u64 {
+            oracle.engine.step();
+            sharded.engine.step();
+            assert_eq!(
+                oracle.engine.total_flit_moves(),
+                sharded.engine.total_flit_moves(),
+                "flit-move ledger diverged at cycle {cycle} ({shards} shards)"
+            );
+            assert_eq!(
+                oracle.engine.flits_in_links(),
+                sharded.engine.flits_in_links(),
+                "in-flight ledger diverged at cycle {cycle} ({shards} shards)"
+            );
+        }
+        sharded.engine.flush();
+
+        // Per-switch statistics: every counter and per-cycle gauge.
+        for (i, (a, b)) in oracle
+            .switch_stats
+            .iter()
+            .zip(&sharded.switch_stats)
+            .enumerate()
+        {
+            let (a, b) = (a.borrow(), b.borrow());
+            assert_eq!(
+                a.cq_used_chunks.samples(),
+                b.cq_used_chunks.samples(),
+                "switch {i}: occupancy sample count ({shards} shards)"
+            );
+            assert_eq!(
+                a.cq_used_chunks.mean().map(f64::to_bits),
+                b.cq_used_chunks.mean().map(f64::to_bits),
+                "switch {i}: occupancy mean ({shards} shards)"
+            );
+            assert_eq!(
+                format!("{:?}", *a),
+                format!("{:?}", *b),
+                "switch {i}: stats diverged ({shards} shards)"
+            );
+        }
+
+        // Link up/down event logs, in order.
+        assert_eq!(
+            oracle.engine.drain_link_events(),
+            sharded.engine.drain_link_events(),
+            "link-event logs diverged ({shards} shards)"
+        );
+
+        // Delivery-tracker state.
+        let (ta, tb) = (oracle.tracker(), sharded.tracker());
+        let (ta, tb) = (ta.borrow(), tb.borrow());
+        assert_eq!(ta.mcast_last.summary(), tb.mcast_last.summary());
+        assert_eq!(ta.mcast_avg.summary(), tb.mcast_avg.summary());
+        assert_eq!(ta.unicast.summary(), tb.unicast.summary());
+        assert_eq!(ta.completed_mcasts(), tb.completed_mcasts());
+        assert_eq!(ta.completed_unicasts(), tb.completed_unicasts());
+        assert_eq!(ta.outstanding(), tb.outstanding());
+
+        // The identical results must have come from actual skipping.
+        let stats = sharded.engine.sharding_stats().expect("compiled plan");
+        assert_eq!(stats.shards, shards);
+        assert!(
+            stats.ticks_skipped > 0,
+            "compiled engine never slept a switch: {stats:?}"
+        );
+    }
+}
