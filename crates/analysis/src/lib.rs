@@ -30,21 +30,28 @@
 
 pub mod cdg;
 pub mod checks;
+mod compose;
 pub mod model;
 pub mod replay;
 pub mod report;
 pub mod roundtrip;
 pub mod scc;
+mod symmetry;
 pub mod timing;
 
 pub use cdg::{build_cdg, Channel, ChannelGraph, Dependency, ShapeClass};
 pub use checks::{switch_sizing, ArchClass};
-pub use model::{check_model, CheckOutcome, ModelBounds, ModelStats, TraceStep, Violation};
-pub use replay::{replay_cq_trace, ReplayMismatch, ReplayReport};
+pub use model::{
+    check_model, check_model_opts, CheckOutcome, ModelBounds, ModelMode, ModelOptions, ModelStats,
+    TraceOp, TraceStep, Violation,
+};
+pub use replay::{
+    replay_cq_trace, replay_model_violation, ModelReplay, ReplayMismatch, ReplayReport,
+};
 pub use report::{AnalysisStats, ConfigReport, CycleReport, Diagnostic, Severity};
 pub use roundtrip::lint_roundtrips;
 pub use scc::tarjan_sccs;
-pub use timing::{check_model_timed, vet_reroute_timed, Samples, VetStats};
+pub use timing::{check_model_opts_timed, check_model_timed, vet_reroute_timed, Samples, VetStats};
 
 use mintopo::route::{ReplicatePolicy, RouteTables};
 use mintopo::topology::Topology;

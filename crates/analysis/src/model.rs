@@ -4,12 +4,12 @@
 //! *acyclic routing graph*, which rules out one class of deadlock but says
 //! nothing about chunk-allocation races, credit underflow, or
 //! replication stalls inside a switch. This module checks the *transition
-//! system* instead: it exhaustively explores every reachable state of
-//! small (1–4 switch) fabrics under a fixed worm alphabet — unicast,
-//! ascending and descending multidestination, and replicating worms —
-//! driving the **same pure step cores the live switches run**
-//! ([`switches::semantics::cq_step`] for the central queue,
-//! [`switches::semantics::ib_step`] for input-buffered heads).
+//! system* instead: it explores every reachable state of small fabrics
+//! under a fixed worm alphabet — unicast, ascending and descending
+//! multidestination, and replicating worms — driving the **same pure step
+//! cores the live switches run** ([`switches::semantics::cq_step`] for
+//! the central queue, [`switches::semantics::ib_step`] for input-buffered
+//! heads).
 //!
 //! Per explored state it verifies the safety invariants (chunk
 //! conservation, no leak at quiescence, bounded replication fan-out), and
@@ -34,13 +34,43 @@
 //! advance through [`ib_step`] — including the lock-step
 //! (synchronous-replication) variant, whose crossed-grant deadlock the
 //! checker finds with a 4-step counterexample.
+//!
+//! ## Scale (DESIGN.md §14)
+//!
+//! [`check_model`] is the *sequential oracle*: plain BFS, one state per
+//! concrete configuration. [`check_model_opts`] layers three reductions
+//! on top without changing verdicts:
+//!
+//! * **Symmetry** ([`crate::symmetry`]): states are deduplicated by a
+//!   canonical key under the plan's port/branch/worm permutation group,
+//!   so isomorphic worms collapse to one representative per orbit. The
+//!   stored representative is always the first *concrete* state found, and
+//!   parent edges record the concrete discovering transition — so every
+//!   counterexample trace is already de-canonicalized and replays as is.
+//! * **Partial order**: when a worm's switch footprint is disjoint from
+//!   every other worm's, its transitions commute with theirs; an ample-set
+//!   rule explores only the lowest such worm at each state. Every
+//!   transition strictly increases a bounded progress measure, so the
+//!   deferred interleavings cannot hide a deadlock or livelock.
+//! * **Parallel frontier**: each BFS level is expanded by a scoped worker
+//!   pool in per-worker stripes, then merged sequentially in id order, so
+//!   state numbering, counterexample selection, and stats are independent
+//!   of worker interleaving (byte-identical verdicts at any `jobs`).
+//!
+//! The **compositional mode** ([`crate::compose`]) decomposes a scenario
+//! per switch: cross-switch branches become one-way environment stubs and
+//! upstream feeds become nondeterministic monotone chunk sources, and each
+//! structurally distinct per-switch plan is proved once.
 
 use crate::checks::ArchClass;
+use crate::symmetry::{self, SymPlan};
 use mintopo::reach::PortClass;
 use mintopo::route::{pick_deterministic, McastRoute, ReplicatePolicy, RouteTables, UnicastRoute};
 use mintopo::topology::{Attach, Topology, TopologyBuilder};
 use netsim::destset::DestSet;
 use netsim::ids::{NodeId, SwitchId};
+use netsim::trace::SemEvent;
+use netsim::Cycle;
 use std::collections::HashMap;
 use std::collections::VecDeque;
 use switches::semantics::{
@@ -48,7 +78,7 @@ use switches::semantics::{
 };
 
 /// Exploration bounds of the checker.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ModelBounds {
     /// Largest fabric explored (scenarios with more switches are skipped).
     pub max_switches: usize,
@@ -74,25 +104,143 @@ impl Default for ModelBounds {
     }
 }
 
+/// Which decomposition strategy a check uses (DESIGN.md §14).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelMode {
+    /// Explore every scenario's joint state space exactly.
+    Exact,
+    /// Check each switch against an abstracted environment and prove each
+    /// structurally distinct per-switch plan once.
+    Compositional,
+    /// Exact for small scenarios, compositional beyond
+    /// [`ModelOptions::AUTO_EXACT_MAX_SWITCHES`] switches.
+    #[default]
+    Auto,
+}
+
+/// Reduction and parallelism knobs layered over [`ModelBounds`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ModelOptions {
+    /// Exact, compositional, or size-driven automatic selection.
+    pub mode: ModelMode,
+    /// Deduplicate states by canonical key under the plan's symmetry
+    /// group (one representative per orbit).
+    pub symmetry: bool,
+    /// Ample-set partial-order reduction over switch-disjoint worms.
+    pub por: bool,
+    /// Worker threads expanding each BFS level (1 = serial). Verdicts are
+    /// byte-identical at any value.
+    pub jobs: usize,
+}
+
+impl ModelOptions {
+    /// Largest scenario (in switches) `ModelMode::Auto` still checks
+    /// exactly.
+    pub const AUTO_EXACT_MAX_SWITCHES: usize = 4;
+
+    /// The unreduced sequential oracle: exact mode, no reductions, one
+    /// worker. [`check_model`] uses exactly these options.
+    pub fn oracle() -> Self {
+        ModelOptions {
+            mode: ModelMode::Exact,
+            symmetry: false,
+            por: false,
+            jobs: 1,
+        }
+    }
+}
+
+impl Default for ModelOptions {
+    fn default() -> Self {
+        ModelOptions {
+            mode: ModelMode::Auto,
+            symmetry: true,
+            por: true,
+            jobs: 1,
+        }
+    }
+}
+
+/// One transition of a counterexample trace, in structured form — enough
+/// to re-execute the step against the model without parsing the label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceOp {
+    /// A host injects the entry visit.
+    Inject {
+        /// Plan visit index.
+        visit: usize,
+    },
+    /// A central-buffer head is presented to its downstream visit.
+    Present {
+        /// Plan visit index (the downstream visit woken up).
+        visit: usize,
+    },
+    /// A waiting visit retries its full-packet central-queue reservation.
+    Admit {
+        /// Plan visit index.
+        visit: usize,
+    },
+    /// One branch forwards one chunk.
+    Advance {
+        /// Plan visit index.
+        visit: usize,
+        /// Branch index within the visit.
+        branch: usize,
+    },
+    /// An input-buffered branch wins its output-port arbitration.
+    Grant {
+        /// Plan visit index.
+        visit: usize,
+        /// Branch index within the visit.
+        branch: usize,
+    },
+    /// Every branch forwards one chunk in lock-step (synchronous
+    /// replication).
+    AdvanceSync {
+        /// Plan visit index.
+        visit: usize,
+    },
+    /// The abstracted upstream environment delivers one chunk into an
+    /// environment-fed visit (compositional mode only).
+    EnvDeliver {
+        /// Plan visit index.
+        visit: usize,
+    },
+    /// The abstracted downstream environment signals it accepts the
+    /// stream of one branch (compositional mode only).
+    EnvAccept {
+        /// Plan visit index.
+        visit: usize,
+        /// Branch index within the visit.
+        branch: usize,
+    },
+}
+
 /// One transition of a counterexample trace.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceStep {
     /// Human-readable description of the transition.
     pub label: String,
+    /// Structured form of the transition, for re-execution.
+    pub op: TraceOp,
 }
 
 /// A property violation with its minimal counterexample.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
-    /// Scenario (fabric + worm set) the violation occurred in.
+    /// Scenario (fabric + worm set) the violation occurred in. A
+    /// compositional sub-scenario is suffixed `@s<switch>`.
     pub scenario: String,
-    /// Violation class: `deadlock`, `livelock`, `invariant`, or
+    /// Violation class: `deadlock`, `livelock`, `invariant`, `plan`, or
     /// `state-bound`.
     pub kind: String,
     /// What went wrong in the violating state.
     pub detail: String,
     /// Minimal transition sequence from the initial state.
     pub trace: Vec<TraceStep>,
+    /// Central-queue semantic events along the trace (central-buffer
+    /// scenarios only), replayable through [`crate::replay_cq_trace`].
+    pub events: Vec<(Cycle, SemEvent)>,
 }
 
 impl std::fmt::Display for Violation {
@@ -115,10 +263,16 @@ impl std::fmt::Display for Violation {
 pub struct ModelStats {
     /// Scenarios (fabric + worm set combinations) explored.
     pub scenarios: usize,
-    /// Reachable states across all scenarios.
+    /// Reachable states (orbit representatives) across all scenarios.
     pub states: usize,
     /// Transitions across all scenarios.
     pub transitions: usize,
+    /// Successor states folded into an existing orbit representative that
+    /// differs concretely — each one a state the unreduced oracle would
+    /// have explored separately.
+    pub orbit_hits: usize,
+    /// Transitions pruned by the ample-set partial-order rule.
+    pub ample_skips: usize,
 }
 
 /// Result of a model check.
@@ -139,19 +293,41 @@ impl CheckOutcome {
 }
 
 /// Checks the given switch architecture (with synchronous or asynchronous
-/// replication) against every bounded scenario.
+/// replication) against every bounded scenario with the **unreduced
+/// sequential oracle** ([`ModelOptions::oracle`]).
 ///
 /// Scenarios cover a single switch with crossed multicasts, and a
 /// two-switch parent/child fabric with ascending, descending, and
 /// replicating worms (plus, when `bounds.max_switches >= 4`, a
-/// four-switch two-root fabric). The central-buffer architecture
-/// replicates from the shared queue and is inherently asynchronous, so
-/// `sync_replication` is ignored for it.
+/// four-switch two-root fabric, and at `>= 8`/`>= 16`, star fabrics of
+/// isomorphic leaves). The central-buffer architecture replicates from
+/// the shared queue and is inherently asynchronous, so `sync_replication`
+/// is ignored for it.
 pub fn check_model(
     arch: ArchClass,
     sync_replication: bool,
     policy: ReplicatePolicy,
     bounds: &ModelBounds,
+) -> CheckOutcome {
+    check_model_opts(
+        arch,
+        sync_replication,
+        policy,
+        bounds,
+        &ModelOptions::oracle(),
+    )
+}
+
+/// [`check_model`] with reduction, parallelism, and decomposition knobs
+/// (DESIGN.md §14). With [`ModelOptions::oracle`] this *is* the oracle;
+/// with reductions on, verdicts agree with the oracle while exploring one
+/// representative per symmetry orbit and pruning commuting interleavings.
+pub fn check_model_opts(
+    arch: ArchClass,
+    sync_replication: bool,
+    policy: ReplicatePolicy,
+    bounds: &ModelBounds,
+    opts: &ModelOptions,
 ) -> CheckOutcome {
     let sync = sync_replication && arch == ArchClass::InputBuffered;
     let mut stats = ModelStats::default();
@@ -164,24 +340,27 @@ pub fn check_model(
                     kind: "plan".into(),
                     detail: e,
                     trace: Vec::new(),
+                    events: Vec::new(),
                 }))
             }
         };
-        let ctx = Ctx {
-            plan: &plan,
-            arch,
-            sync,
-            len: bounds.worm_chunks as u16,
-            cq_chunks: bounds.cq_chunks,
-            cq_reserve: bounds.cq_reserve,
-            max_states: bounds.max_states,
-            scenario: scenario.name,
+        let exact = match opts.mode {
+            ModelMode::Exact => true,
+            ModelMode::Compositional => false,
+            ModelMode::Auto => scenario.n_switches <= ModelOptions::AUTO_EXACT_MAX_SWITCHES,
         };
-        match ctx.explore() {
+        let result = if exact {
+            run_plan(scenario.name, &plan, arch, sync, bounds, opts, true)
+        } else {
+            crate::compose::check_scenario(scenario.name, &plan, arch, sync, bounds, opts)
+        };
+        match result {
             Ok(s) => {
                 stats.scenarios += 1;
                 stats.states += s.states;
                 stats.transitions += s.transitions;
+                stats.orbit_hits += s.orbit_hits;
+                stats.ample_skips += s.ample_skips;
             }
             Err(v) => return CheckOutcome::Violated(v),
         }
@@ -194,16 +373,16 @@ pub fn check_model(
 // ---------------------------------------------------------------------
 
 #[derive(Clone)]
-enum WormKind {
+pub(crate) enum WormKind {
     Unicast(NodeId),
     Mcast(DestSet),
 }
 
-struct Scenario {
-    name: &'static str,
-    topo: Topology,
-    n_switches: usize,
-    worms: Vec<(NodeId, WormKind)>,
+pub(crate) struct Scenario {
+    pub(crate) name: &'static str,
+    pub(crate) topo: Topology,
+    pub(crate) n_switches: usize,
+    pub(crate) worms: Vec<(NodeId, WormKind)>,
 }
 
 /// One switch, four hosts: the crossed-multicast scenario that separates
@@ -249,11 +428,34 @@ fn quad() -> Topology {
     b.build()
 }
 
+/// `leaves` identical 2-host leaf switches under one root: the symmetry
+/// stress fabric. One leaf-local unicast worm per leaf, all isomorphic
+/// and pairwise switch-disjoint, so the joint space is a product the
+/// oracle must enumerate while the reduced checker collapses it to a
+/// multiset of per-worm phases.
+pub(crate) fn star_of_leaves(leaves: usize) -> Topology {
+    let mut b = TopologyBuilder::new(2 * leaves);
+    let root = b.add_switch(leaves, 0);
+    for i in 0..leaves {
+        let leaf = b.add_switch(3, 1);
+        b.attach_host(NodeId(2 * i as u32), leaf, 0);
+        b.attach_host(NodeId(2 * i as u32 + 1), leaf, 1);
+        b.connect(leaf, 2, root, i);
+    }
+    b.build()
+}
+
+fn star_worms(leaves: usize) -> Vec<(NodeId, WormKind)> {
+    (0..leaves as u32)
+        .map(|i| (NodeId(2 * i), WormKind::Unicast(NodeId(2 * i + 1))))
+        .collect()
+}
+
 fn mcast(n: usize, nodes: &[u32]) -> WormKind {
     WormKind::Mcast(DestSet::from_nodes(n, nodes.iter().map(|&h| NodeId(h))))
 }
 
-fn scenarios(max_switches: usize) -> Vec<Scenario> {
+pub(crate) fn scenarios(max_switches: usize) -> Vec<Scenario> {
     let mut v = vec![
         Scenario {
             name: "single-crossed-mcast",
@@ -299,6 +501,22 @@ fn scenarios(max_switches: usize) -> Vec<Scenario> {
             ],
         });
     }
+    if max_switches >= 8 {
+        v.push(Scenario {
+            name: "scale-8-leaf-local",
+            topo: star_of_leaves(7),
+            n_switches: 8,
+            worms: star_worms(7),
+        });
+    }
+    if max_switches >= 16 {
+        v.push(Scenario {
+            name: "scale-16-leaf-local",
+            topo: star_of_leaves(15),
+            n_switches: 16,
+            worms: star_worms(15),
+        });
+    }
     v.retain(|s| s.n_switches <= max_switches);
     v
 }
@@ -308,39 +526,56 @@ fn scenarios(max_switches: usize) -> Vec<Scenario> {
 // ---------------------------------------------------------------------
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Target {
+pub(crate) enum Target {
     Host(NodeId),
     Visit(usize),
+    /// Compositional mode: the branch leaves the checked switch into the
+    /// abstracted environment through one-way stub slot `slot`.
+    Env(usize),
 }
 
 #[derive(Debug, Clone)]
-struct PlanBranch {
-    out_port: usize,
-    target: Target,
+pub(crate) struct PlanBranch {
+    pub(crate) out_port: usize,
+    pub(crate) target: Target,
 }
 
 #[derive(Debug, Clone)]
-struct Visit {
-    worm: usize,
-    sw: usize,
-    in_port: usize,
+pub(crate) struct Visit {
+    pub(crate) worm: usize,
+    pub(crate) sw: usize,
+    pub(crate) in_port: usize,
     /// The packet arrived from a parent switch (uses the descending
     /// central-queue reserve).
-    descending: bool,
-    branches: Vec<PlanBranch>,
+    pub(crate) descending: bool,
+    pub(crate) branches: Vec<PlanBranch>,
     /// `(visit, branch)` feeding this visit; `None` for host entry.
-    parent: Option<(usize, usize)>,
+    pub(crate) parent: Option<(usize, usize)>,
+    /// Compositional mode: the visit is fed by the abstracted upstream
+    /// environment (monotone nondeterministic chunk source) instead of a
+    /// parent visit.
+    pub(crate) env_fed: bool,
 }
 
-struct Plan {
-    visits: Vec<Visit>,
+pub(crate) struct Plan {
+    pub(crate) visits: Vec<Visit>,
     /// Entry visit of each worm.
-    entries: Vec<usize>,
+    pub(crate) entries: Vec<usize>,
     /// Worm descriptions for trace labels.
-    worm_desc: Vec<String>,
+    pub(crate) worm_desc: Vec<String>,
+    /// Compositional mode: number of one-way downstream stub slots.
+    pub(crate) env_slots: usize,
 }
 
-fn build_plan(
+impl Plan {
+    /// `true` when the plan abstracts its surroundings (compositional
+    /// sub-plan): symmetry reduction is disabled for such plans.
+    pub(crate) fn has_env(&self) -> bool {
+        self.env_slots > 0 || self.visits.iter().any(|v| v.env_fed)
+    }
+}
+
+pub(crate) fn build_plan(
     scenario: &Scenario,
     policy: ReplicatePolicy,
     worm_chunks: usize,
@@ -353,6 +588,7 @@ fn build_plan(
         visits: Vec::new(),
         entries: Vec::new(),
         worm_desc: Vec::new(),
+        env_slots: 0,
     };
     for (w, (src, kind)) in scenario.worms.iter().enumerate() {
         let (sw, port) = scenario.topo.host_inject(*src);
@@ -411,6 +647,7 @@ fn add_visit(
         descending,
         branches: Vec::new(),
         parent,
+        env_fed: false,
     });
 
     // (out port, residual destination set or unicast dest) per branch.
@@ -481,13 +718,42 @@ fn add_visit(
     Ok(idx)
 }
 
+/// Per-worm set of visited switches, sorted and deduplicated.
+pub(crate) fn worm_switches(plan: &Plan) -> Vec<Vec<usize>> {
+    let n_worms = plan.worm_desc.len();
+    let mut sets = vec![Vec::new(); n_worms];
+    for v in &plan.visits {
+        if !sets[v.worm].contains(&v.sw) {
+            sets[v.worm].push(v.sw);
+        }
+    }
+    for s in &mut sets {
+        s.sort_unstable();
+    }
+    sets
+}
+
+/// `safe[w]` — worm `w`'s switch footprint is disjoint from every other
+/// worm's, so its transitions commute with all of theirs (the ample-set
+/// premise of the partial-order reduction).
+pub(crate) fn safe_worms(plan: &Plan) -> Vec<bool> {
+    let sets = worm_switches(plan);
+    (0..sets.len())
+        .map(|w| {
+            sets.iter().enumerate().all(|(o, other)| {
+                o == w || !other.iter().any(|sw| sets[w].binary_search(sw).is_ok())
+            })
+        })
+        .collect()
+}
+
 // ---------------------------------------------------------------------
 // Exploration.
 // ---------------------------------------------------------------------
 
 /// Status of one planned visit inside a model state.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-enum VState {
+pub(crate) enum VState {
     /// Head has not reached this switch yet.
     Pending,
     /// Central buffer only: head presented, full-packet reservation not
@@ -504,70 +770,255 @@ enum VState {
 }
 
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-struct MState {
+pub(crate) struct MState {
     /// Per-switch central-queue accounting (central buffer only).
-    cq: Vec<CqState>,
-    visits: Vec<VState>,
+    pub(crate) cq: Vec<CqState>,
+    pub(crate) visits: Vec<VState>,
     /// Central buffer: per switch, per output port, FIFO of (visit,
     /// branch) — the central-queue branch lists.
-    queues: Vec<Vec<VecDeque<(u32, u8)>>>,
+    pub(crate) queues: Vec<Vec<VecDeque<(u32, u8)>>>,
     /// Input buffer: per switch, per output port, owning (visit, branch).
-    owners: Vec<Vec<Option<(u32, u8)>>>,
+    pub(crate) owners: Vec<Vec<Option<(u32, u8)>>>,
     /// Input buffer: per switch, per input port, resident visit.
-    occupants: Vec<Vec<Option<u32>>>,
+    pub(crate) occupants: Vec<Vec<Option<u32>>>,
+    /// Compositional mode: chunks the upstream environment has delivered
+    /// into each env-fed visit (empty when the plan has no environment).
+    pub(crate) env_fill: Vec<u16>,
+    /// Compositional mode: one-way accept bit per downstream stub slot.
+    pub(crate) env_ready: Vec<bool>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Label {
+pub(crate) enum Label {
     Inject(usize),
     Present(usize),
     Admit(usize),
     Advance(usize, usize),
     Grant(usize, usize),
     AdvanceSync(usize),
+    EnvDeliver(usize),
+    EnvAccept(usize, usize),
 }
 
-struct ScenarioStats {
-    states: usize,
-    transitions: usize,
+impl Label {
+    /// The plan visit the transition belongs to (ample-set grouping).
+    pub(crate) fn visit(self) -> usize {
+        match self {
+            Label::Inject(v)
+            | Label::Present(v)
+            | Label::Admit(v)
+            | Label::AdvanceSync(v)
+            | Label::EnvDeliver(v)
+            | Label::Advance(v, _)
+            | Label::Grant(v, _)
+            | Label::EnvAccept(v, _) => v,
+        }
+    }
+
+    pub(crate) fn op(self) -> TraceOp {
+        match self {
+            Label::Inject(visit) => TraceOp::Inject { visit },
+            Label::Present(visit) => TraceOp::Present { visit },
+            Label::Admit(visit) => TraceOp::Admit { visit },
+            Label::Advance(visit, branch) => TraceOp::Advance { visit, branch },
+            Label::Grant(visit, branch) => TraceOp::Grant { visit, branch },
+            Label::AdvanceSync(visit) => TraceOp::AdvanceSync { visit },
+            Label::EnvDeliver(visit) => TraceOp::EnvDeliver { visit },
+            Label::EnvAccept(visit, branch) => TraceOp::EnvAccept { visit, branch },
+        }
+    }
+
+    pub(crate) fn from_op(op: TraceOp) -> Label {
+        match op {
+            TraceOp::Inject { visit } => Label::Inject(visit),
+            TraceOp::Present { visit } => Label::Present(visit),
+            TraceOp::Admit { visit } => Label::Admit(visit),
+            TraceOp::Advance { visit, branch } => Label::Advance(visit, branch),
+            TraceOp::Grant { visit, branch } => Label::Grant(visit, branch),
+            TraceOp::AdvanceSync { visit } => Label::AdvanceSync(visit),
+            TraceOp::EnvDeliver { visit } => Label::EnvDeliver(visit),
+            TraceOp::EnvAccept { visit, branch } => Label::EnvAccept(visit, branch),
+        }
+    }
 }
 
-struct Ctx<'a> {
-    plan: &'a Plan,
+/// Coverage counters of one scenario (or compositional sub-plan) run.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct ScenarioStats {
+    pub(crate) states: usize,
+    pub(crate) transitions: usize,
+    pub(crate) orbit_hits: usize,
+    pub(crate) ample_skips: usize,
+}
+
+/// Explores one plan under the given options. `allow_symmetry` lets the
+/// compositional driver force symmetry off for sub-plans (whose worms all
+/// share the one checked switch, so the group would be rebuilt per
+/// sub-plan for no reduction).
+pub(crate) fn run_plan(
+    scenario: &str,
+    plan: &Plan,
     arch: ArchClass,
     sync: bool,
-    len: u16,
-    cq_chunks: usize,
-    cq_reserve: usize,
-    max_states: usize,
-    scenario: &'static str,
+    bounds: &ModelBounds,
+    opts: &ModelOptions,
+    allow_symmetry: bool,
+) -> Result<ScenarioStats, Box<Violation>> {
+    let sym_built = if opts.symmetry && allow_symmetry && !plan.has_env() {
+        Some(symmetry::build(plan))
+    } else {
+        None
+    };
+    let sym = sym_built.as_ref().filter(|s| !s.is_trivial());
+    let ctx = Ctx {
+        plan,
+        arch,
+        sync,
+        len: bounds.worm_chunks as u16,
+        cq_chunks: bounds.cq_chunks,
+        cq_reserve: bounds.cq_reserve,
+        max_states: bounds.max_states,
+        scenario,
+        por: opts.por,
+        jobs: opts.jobs.max(1),
+        safe: safe_worms(plan),
+        sym,
+    };
+    ctx.explore()
+}
+
+/// Re-executes a violation's trace against a freshly rebuilt model and
+/// confirms the final state exhibits the claimed violation. Returns the
+/// number of steps replayed.
+pub(crate) fn reexecute_violation(
+    arch: ArchClass,
+    sync_replication: bool,
+    policy: ReplicatePolicy,
+    bounds: &ModelBounds,
+    v: &Violation,
+) -> Result<usize, String> {
+    if v.kind == "plan" || v.kind == "state-bound" {
+        return Err(format!(
+            "violation of kind '{}' carries no replayable trace",
+            v.kind
+        ));
+    }
+    let sync = sync_replication && arch == ArchClass::InputBuffered;
+    let (base, sub_sw) =
+        match v.scenario.rsplit_once("@s") {
+            Some((b, sw)) => (
+                b,
+                Some(sw.parse::<usize>().map_err(|e| {
+                    format!("malformed compositional scenario '{}': {e}", v.scenario)
+                })?),
+            ),
+            None => (v.scenario.as_str(), None),
+        };
+    let scenario = scenarios(usize::MAX)
+        .into_iter()
+        .find(|s| s.name == base)
+        .ok_or_else(|| format!("unknown scenario '{base}'"))?;
+    let full = build_plan(&scenario, policy, bounds.worm_chunks)?;
+    let plan = match sub_sw {
+        None => full,
+        Some(sw) => {
+            crate::compose::decompose(&full)
+                .into_iter()
+                .find(|s| s.sw == sw)
+                .ok_or_else(|| format!("scenario '{base}' has no sub-plan at s{sw}"))?
+                .plan
+        }
+    };
+    let ctx = Ctx {
+        plan: &plan,
+        arch,
+        sync,
+        len: bounds.worm_chunks as u16,
+        cq_chunks: bounds.cq_chunks,
+        cq_reserve: bounds.cq_reserve,
+        max_states: bounds.max_states,
+        scenario: base,
+        por: false,
+        jobs: 1,
+        safe: safe_worms(&plan),
+        sym: None,
+    };
+    let mut state = ctx.initial();
+    for (i, step) in v.trace.iter().enumerate() {
+        let label = Label::from_op(step.op);
+        state = ctx
+            .apply_label(&state, label)
+            .ok_or_else(|| format!("trace step {} ('{}') is not enabled", i + 1, step.label))?;
+    }
+    let ok = match v.kind.as_str() {
+        "deadlock" => ctx.successors(&state).is_empty() && !ctx.all_done(&state),
+        "invariant" => ctx.check_invariants(&state).is_some(),
+        "livelock" => !ctx.all_done(&state),
+        other => return Err(format!("unknown violation kind '{other}'")),
+    };
+    if !ok {
+        return Err(format!(
+            "trace replayed but the final state does not exhibit the claimed {}",
+            v.kind
+        ));
+    }
+    Ok(v.trace.len())
+}
+
+/// One level state expanded by a worker: invariant verdict, ample-set
+/// filtered successors with canonical keys, and the pruned count.
+struct Expanded {
+    invariant: Option<String>,
+    succs: Vec<(Label, MState, Vec<u8>)>,
+    skipped: usize,
+}
+
+pub(crate) struct Ctx<'a> {
+    pub(crate) plan: &'a Plan,
+    pub(crate) arch: ArchClass,
+    pub(crate) sync: bool,
+    pub(crate) len: u16,
+    pub(crate) cq_chunks: usize,
+    pub(crate) cq_reserve: usize,
+    pub(crate) max_states: usize,
+    pub(crate) scenario: &'a str,
+    pub(crate) por: bool,
+    pub(crate) jobs: usize,
+    pub(crate) safe: Vec<bool>,
+    pub(crate) sym: Option<&'a SymPlan>,
+}
+
+/// Geometry of a plan: switch count and per-switch port-vector width
+/// (widest port index any visit touches, +1).
+pub(crate) fn plan_geometry(plan: &Plan) -> (usize, Vec<usize>) {
+    let n_sw = plan.visits.iter().map(|v| v.sw + 1).max().unwrap_or(0);
+    let mut ports = vec![0usize; n_sw];
+    for v in &plan.visits {
+        let wide = v
+            .branches
+            .iter()
+            .map(|b| b.out_port + 1)
+            .chain([v.in_port + 1])
+            .max()
+            .unwrap_or(0);
+        ports[v.sw] = ports[v.sw].max(wide);
+    }
+    (n_sw, ports)
 }
 
 impl Ctx<'_> {
     fn n_switches(&self) -> usize {
-        self.plan.visits.iter().map(|v| v.sw + 1).max().unwrap_or(0)
+        plan_geometry(self.plan).0
     }
 
     fn ports_of(&self, sw: usize) -> usize {
-        // Wide enough for every port a plan touches; exact port counts do
-        // not matter to the state machine.
-        self.plan
-            .visits
-            .iter()
-            .filter(|v| v.sw == sw)
-            .flat_map(|v| {
-                v.branches
-                    .iter()
-                    .map(|b| b.out_port + 1)
-                    .chain([v.in_port + 1])
-            })
-            .max()
-            .unwrap_or(0)
+        plan_geometry(self.plan).1[sw]
     }
 
-    fn initial(&self) -> MState {
+    pub(crate) fn initial(&self) -> MState {
         let n_sw = self.n_switches();
         let cb = self.arch == ArchClass::CentralBuffer;
+        let env = self.plan.has_env();
         MState {
             cq: if cb {
                 (0..n_sw)
@@ -594,15 +1045,25 @@ impl Ctx<'_> {
             } else {
                 (0..n_sw).map(|s| vec![None; self.ports_of(s)]).collect()
             },
+            env_fill: if env {
+                vec![0; self.plan.visits.len()]
+            } else {
+                Vec::new()
+            },
+            env_ready: vec![false; self.plan.env_slots],
         }
     }
 
     /// Chunks of visit `v`'s packet that have arrived at its switch — the
     /// cut-through bound on what its branches may forward.
-    fn fill(&self, visits: &[VState], v: usize) -> u16 {
-        match self.plan.visits[v].parent {
+    fn fill(&self, state: &MState, v: usize) -> u16 {
+        let visit = &self.plan.visits[v];
+        if visit.env_fed {
+            return state.env_fill[v];
+        }
+        match visit.parent {
             None => self.len,
-            Some((pv, pb)) => match &visits[pv] {
+            Some((pv, pb)) => match &state.visits[pv] {
                 VState::StoredCb { reads } => reads[pb],
                 VState::StoredIb { head } => head.branches[pb].read,
                 VState::Done => self.len,
@@ -611,7 +1072,7 @@ impl Ctx<'_> {
         }
     }
 
-    fn all_done(&self, state: &MState) -> bool {
+    pub(crate) fn all_done(&self, state: &MState) -> bool {
         state.visits.iter().all(|v| *v == VState::Done)
     }
 
@@ -645,11 +1106,22 @@ impl Ctx<'_> {
                     vis(v)
                 )
             }
+            Label::EnvDeliver(v) => {
+                format!("environment delivers one upstream chunk to {}", vis(v))
+            }
+            Label::EnvAccept(v, b) => {
+                let br = &self.plan.visits[v].branches[b];
+                format!(
+                    "environment accepts the stream of {} through port {}",
+                    vis(v),
+                    br.out_port
+                )
+            }
         }
     }
 
     /// Per-state safety invariants. Returns a violation description.
-    fn check_invariants(&self, state: &MState) -> Option<String> {
+    pub(crate) fn check_invariants(&self, state: &MState) -> Option<String> {
         if self.arch == ArchClass::CentralBuffer {
             let n_sw = state.cq.len();
             for sw in 0..n_sw {
@@ -692,13 +1164,14 @@ impl Ctx<'_> {
         None
     }
 
-    fn successors(&self, state: &MState) -> Vec<(Label, MState)> {
+    pub(crate) fn successors(&self, state: &MState) -> Vec<(Label, MState)> {
         let mut out = Vec::new();
         for (v, vs) in state.visits.iter().enumerate() {
             if *vs != VState::Pending || self.plan.visits[v].parent.is_some() {
                 continue;
             }
-            // Host injection of an entry visit.
+            // Host injection of an entry visit (environment-fed visits of
+            // a compositional sub-plan enter the same way).
             match self.arch {
                 ArchClass::CentralBuffer => {
                     let mut next = state.clone();
@@ -720,7 +1193,40 @@ impl Ctx<'_> {
             ArchClass::CentralBuffer => self.cb_successors(state, &mut out),
             ArchClass::InputBuffered => self.ib_successors(state, &mut out),
         }
+        self.env_successors(state, &mut out);
         out
+    }
+
+    /// Environment transitions of a compositional sub-plan: monotone
+    /// upstream chunk delivery and the one-way downstream accept bit.
+    /// Both are finite and strictly increasing, so a local deadlock still
+    /// surfaces once the environment exhausts its moves.
+    fn env_successors(&self, state: &MState, out: &mut Vec<(Label, MState)>) {
+        if !self.plan.has_env() {
+            return;
+        }
+        for (v, vs) in state.visits.iter().enumerate() {
+            let stored = matches!(vs, VState::StoredCb { .. } | VState::StoredIb { .. });
+            if !stored {
+                continue;
+            }
+            let visit = &self.plan.visits[v];
+            if visit.env_fed && state.env_fill[v] < self.len {
+                let mut next = state.clone();
+                next.env_fill[v] += 1;
+                out.push((Label::EnvDeliver(v), next));
+            }
+            for (b, branch) in visit.branches.iter().enumerate() {
+                let Target::Env(slot) = branch.target else {
+                    continue;
+                };
+                if !state.env_ready[slot] {
+                    let mut next = state.clone();
+                    next.env_ready[slot] = true;
+                    out.push((Label::EnvAccept(v, b), next));
+                }
+            }
+        }
     }
 
     fn fresh_ib(&self, v: usize) -> VState {
@@ -791,14 +1297,22 @@ impl Ctx<'_> {
                 let VState::StoredCb { reads } = &state.visits[v] else {
                     continue;
                 };
-                if reads[b] >= self.len || reads[b] >= self.fill(&state.visits, v) {
+                if reads[b] >= self.len || reads[b] >= self.fill(state, v) {
                     continue;
                 }
                 let branch = &self.plan.visits[v].branches[b];
-                if let Target::Visit(w) = branch.target {
-                    if !matches!(state.visits[w], VState::StoredCb { .. }) {
-                        continue; // downstream not admitted yet
+                match branch.target {
+                    Target::Visit(w) => {
+                        if !matches!(state.visits[w], VState::StoredCb { .. }) {
+                            continue; // downstream not admitted yet
+                        }
                     }
+                    Target::Env(slot) => {
+                        if !state.env_ready[slot] {
+                            continue; // environment has not accepted yet
+                        }
+                    }
+                    Target::Host(_) => {}
                 }
                 let mut next = state.clone();
                 let VState::StoredCb { reads } = &mut next.visits[v] else {
@@ -843,7 +1357,7 @@ impl Ctx<'_> {
                 next.visits[v] = VState::StoredIb { head: h2 };
                 out.push((Label::Grant(v, b), next));
             }
-            let fill = self.fill(&state.visits, v);
+            let fill = self.fill(state, v);
             if self.sync {
                 // Lock-step replication: every branch must hold its grant
                 // and every downstream must be able to accept the chunk.
@@ -878,29 +1392,36 @@ impl Ctx<'_> {
 
     /// Clones `state` with every pending downstream target of visit `v`
     /// presented (branch `only`, or all branches when `only == usize::MAX`).
-    /// Returns `None` if a needed input buffer is occupied by another worm.
+    /// Returns `None` if a needed input buffer is occupied by another worm
+    /// or a needed environment stub has not accepted yet.
     fn ib_present_targets(&self, state: &MState, v: usize, only: usize) -> Option<MState> {
         let mut next = state.clone();
         for (b, branch) in self.plan.visits[v].branches.iter().enumerate() {
             if only != usize::MAX && b != only {
                 continue;
             }
-            let Target::Visit(w) = branch.target else {
-                continue;
-            };
-            match &state.visits[w] {
-                VState::Pending => {
-                    let wv = &self.plan.visits[w];
-                    if next.occupants[wv.sw][wv.in_port].is_some() {
+            match branch.target {
+                Target::Host(_) => {}
+                Target::Env(slot) => {
+                    if !state.env_ready[slot] {
                         return None;
                     }
-                    next.occupants[wv.sw][wv.in_port] = Some(w as u32);
-                    next.visits[w] = self.fresh_ib(w);
                 }
-                VState::StoredIb { .. } => {}
-                // The head FIFO holds the whole packet, so a downstream
-                // visit can never complete before its feeder.
-                VState::Waiting | VState::StoredCb { .. } | VState::Done => unreachable!(),
+                Target::Visit(w) => match &state.visits[w] {
+                    VState::Pending => {
+                        let wv = &self.plan.visits[w];
+                        if next.occupants[wv.sw][wv.in_port].is_some() {
+                            return None;
+                        }
+                        next.occupants[wv.sw][wv.in_port] = Some(w as u32);
+                        next.visits[w] = self.fresh_ib(w);
+                    }
+                    VState::StoredIb { .. } => {}
+                    // The head FIFO holds the whole packet, so a
+                    // downstream visit can never complete before its
+                    // feeder.
+                    VState::Waiting | VState::StoredCb { .. } | VState::Done => unreachable!(),
+                },
             }
         }
         Some(next)
@@ -921,100 +1442,279 @@ impl Ctx<'_> {
         }
     }
 
-    fn violation(&self, kind: &str, detail: String, trace: Vec<TraceStep>) -> Box<Violation> {
+    /// Applies one labeled transition to a state, via the same successor
+    /// enumeration the explorer uses. `None` when the label is not
+    /// enabled. (Partial-order reduction prunes *exploration*, not
+    /// enabledness, so counterexample edges always re-apply.)
+    pub(crate) fn apply_label(&self, state: &MState, label: Label) -> Option<MState> {
+        self.successors(state)
+            .into_iter()
+            .find(|(l, _)| *l == label)
+            .map(|(_, s)| s)
+    }
+
+    /// Central-queue semantic events along a concrete label path,
+    /// replayable through [`crate::replay_cq_trace`]. The model runs in
+    /// zero simulated cycles, so step index + 1 stands in for the cycle.
+    fn trace_events(&self, labels: &[Label]) -> Vec<(Cycle, SemEvent)> {
+        if self.arch != ArchClass::CentralBuffer {
+            return Vec::new();
+        }
+        let mut events = Vec::new();
+        let mut state = self.initial();
+        for (i, &label) in labels.iter().enumerate() {
+            let cycle = (i + 1) as Cycle;
+            match label {
+                Label::Admit(v) => {
+                    let visit = &self.plan.visits[v];
+                    let need = usize::from(self.len);
+                    let (cq, effect) = cq_step(
+                        &state.cq[visit.sw],
+                        CqEvent::Reserve {
+                            input: visit.in_port,
+                            need,
+                            descending: visit.descending,
+                        },
+                    );
+                    events.push((
+                        cycle,
+                        SemEvent::CqReserve {
+                            sw: visit.sw as u32,
+                            input: visit.in_port,
+                            need,
+                            descending: visit.descending,
+                            granted: effect == CqEffect::Granted,
+                            free_after: cq.free(),
+                        },
+                    ));
+                }
+                Label::Advance(v, b) => {
+                    let sw = self.plan.visits[v].sw;
+                    if let VState::StoredCb { reads } = &state.visits[v] {
+                        let mut reads = reads.clone();
+                        let old_min = *reads.iter().min().expect("branch");
+                        reads[b] += 1;
+                        let new_min = *reads.iter().min().expect("branch");
+                        let mut cq = state.cq[sw].clone();
+                        for _ in old_min..new_min {
+                            let (c2, _) = cq_step(&cq, CqEvent::Release);
+                            cq = c2;
+                            events.push((
+                                cycle,
+                                SemEvent::CqRelease {
+                                    sw: sw as u32,
+                                    free_after: cq.free(),
+                                },
+                            ));
+                        }
+                    }
+                }
+                _ => {}
+            }
+            let Some(next) = self.apply_label(&state, label) else {
+                debug_assert!(false, "counterexample step {} not enabled", i + 1);
+                break;
+            };
+            state = next;
+        }
+        events
+    }
+
+    fn violation(&self, kind: &str, detail: String, labels: Vec<Label>) -> Box<Violation> {
+        let events = self.trace_events(&labels);
         Box::new(Violation {
             scenario: self.scenario.to_string(),
             kind: kind.to_string(),
             detail,
-            trace,
+            trace: labels
+                .into_iter()
+                .map(|l| TraceStep {
+                    label: self.label_text(l),
+                    op: l.op(),
+                })
+                .collect(),
+            events,
         })
+    }
+
+    /// Canonical dedup key of a state: its symmetry-canonical byte
+    /// encoding when reduction is on, its plain (injective) encoding
+    /// otherwise — so the oracle path keys on exact state identity.
+    fn canon_key(&self, state: &MState) -> Vec<u8> {
+        match self.sym {
+            Some(sym) => sym.canonical_key(self.plan, state),
+            None => symmetry::encode_state(state),
+        }
+    }
+
+    /// Invariant check + ample-set filtered successors of one state.
+    fn expand_state(&self, state: &MState) -> Expanded {
+        let invariant = self.check_invariants(state);
+        let mut succs = self.successors(state);
+        let mut skipped = 0;
+        if self.por {
+            // Ample rule: if any enabled transition belongs to a worm
+            // whose switch footprint is disjoint from every other worm's,
+            // explore only the lowest such worm here — its transitions
+            // commute with everything else and strictly increase its
+            // progress measure, so the deferred interleavings reach the
+            // same terminal states.
+            let ample = succs
+                .iter()
+                .map(|(l, _)| self.plan.visits[l.visit()].worm)
+                .filter(|&w| self.safe[w])
+                .min();
+            if let Some(w) = ample {
+                let before = succs.len();
+                succs.retain(|(l, _)| self.plan.visits[l.visit()].worm == w);
+                skipped = before - succs.len();
+            }
+        }
+        let succs = succs
+            .into_iter()
+            .map(|(l, s)| {
+                let key = self.canon_key(&s);
+                (l, s, key)
+            })
+            .collect();
+        Expanded {
+            invariant,
+            succs,
+            skipped,
+        }
+    }
+
+    /// Expands one BFS level, striping it across `jobs` scoped workers.
+    /// Results come back in level order, so the sequential merge — and
+    /// with it state numbering, violation selection, and stats — is
+    /// independent of worker interleaving.
+    fn expand_level(&self, states: &[MState], level: &[usize]) -> Vec<Expanded> {
+        if self.jobs <= 1 || level.len() < self.jobs * 2 {
+            return level
+                .iter()
+                .map(|&id| self.expand_state(&states[id]))
+                .collect();
+        }
+        let chunk = level.len().div_ceil(self.jobs);
+        let mut stripes: Vec<Vec<Expanded>> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = level
+                .chunks(chunk)
+                .map(|stripe| {
+                    scope.spawn(move || {
+                        stripe
+                            .iter()
+                            .map(|&id| self.expand_state(&states[id]))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            stripes = handles
+                .into_iter()
+                .map(|h| h.join().expect("model-check worker panicked"))
+                .collect();
+        });
+        stripes.into_iter().flatten().collect()
     }
 
     fn explore(&self) -> Result<ScenarioStats, Box<Violation>> {
         let initial = self.initial();
-        let mut ids: HashMap<MState, usize> = HashMap::new();
+        let mut ids: HashMap<Vec<u8>, usize> = HashMap::new();
+        let mut states: Vec<MState> = vec![initial.clone()];
         let mut parents: Vec<Option<(usize, Label)>> = vec![None];
         let mut adj: Vec<Vec<usize>> = Vec::new();
-        let mut frontier = VecDeque::new();
-        let mut states: Vec<MState> = vec![initial.clone()];
-        ids.insert(initial, 0);
-        frontier.push_back(0usize);
-        let mut transitions = 0usize;
+        ids.insert(self.canon_key(&initial), 0);
+        let mut level: Vec<usize> = vec![0];
+        let mut stats = ScenarioStats::default();
 
         let trace_to = |parents: &[Option<(usize, Label)>], mut id: usize| {
-            let mut steps = Vec::new();
+            let mut labels = Vec::new();
             while let Some((p, label)) = parents[id] {
-                steps.push(TraceStep {
-                    label: self.label_text(label),
-                });
+                labels.push(label);
                 id = p;
             }
-            steps.reverse();
-            steps
+            labels.reverse();
+            labels
         };
 
-        while let Some(id) = frontier.pop_front() {
-            let state = states[id].clone();
-            if let Some(detail) = self.check_invariants(&state) {
-                return Err(self.violation("invariant", detail, trace_to(&parents, id)));
-            }
-            let succs = self.successors(&state);
-            if succs.is_empty() && !self.all_done(&state) {
-                let undelivered: Vec<String> = state
-                    .visits
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, vs)| **vs != VState::Done)
-                    .map(|(v, _)| {
-                        let visit = &self.plan.visits[v];
-                        format!("worm {} at s{}", visit.worm, visit.sw)
-                    })
-                    .collect();
-                return Err(self.violation(
-                    "deadlock",
-                    format!(
-                        "no transition enabled but packets are undelivered \
-                         ({}): an accepted packet can no longer be completely \
-                         buffered",
-                        undelivered.join(", ")
-                    ),
-                    trace_to(&parents, id),
-                ));
-            }
-            let mut edges = Vec::with_capacity(succs.len());
-            for (label, next) in succs {
-                transitions += 1;
-                let next_id = match ids.get(&next) {
-                    Some(&n) => n,
-                    None => {
-                        let n = states.len();
-                        if n >= self.max_states {
-                            return Err(self.violation(
-                                "state-bound",
-                                format!(
-                                    "exploration exceeded the {}-state bound; \
-                                     raise ModelBounds::max_states",
-                                    self.max_states
-                                ),
-                                Vec::new(),
-                            ));
+        while !level.is_empty() {
+            let expanded = self.expand_level(&states, &level);
+            let mut next_level = Vec::new();
+            for (exp, &id) in expanded.iter().zip(level.iter()) {
+                if let Some(detail) = &exp.invariant {
+                    return Err(self.violation(
+                        "invariant",
+                        detail.clone(),
+                        trace_to(&parents, id),
+                    ));
+                }
+                if exp.succs.is_empty() && !self.all_done(&states[id]) {
+                    let undelivered: Vec<String> = states[id]
+                        .visits
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, vs)| **vs != VState::Done)
+                        .map(|(v, _)| {
+                            let visit = &self.plan.visits[v];
+                            format!("worm {} at s{}", visit.worm, visit.sw)
+                        })
+                        .collect();
+                    return Err(self.violation(
+                        "deadlock",
+                        format!(
+                            "no transition enabled but packets are undelivered \
+                             ({}): an accepted packet can no longer be completely \
+                             buffered",
+                            undelivered.join(", ")
+                        ),
+                        trace_to(&parents, id),
+                    ));
+                }
+                stats.ample_skips += exp.skipped;
+                let mut edges = Vec::with_capacity(exp.succs.len());
+                for (label, next, key) in &exp.succs {
+                    stats.transitions += 1;
+                    let next_id = match ids.get(key) {
+                        Some(&n) => {
+                            if states[n] != *next {
+                                stats.orbit_hits += 1;
+                            }
+                            n
                         }
-                        states.push(next.clone());
-                        ids.insert(next, n);
-                        parents.push(Some((id, label)));
-                        frontier.push_back(n);
-                        n
-                    }
-                };
-                edges.push(next_id);
+                        None => {
+                            let n = states.len();
+                            if n >= self.max_states {
+                                return Err(self.violation(
+                                    "state-bound",
+                                    format!(
+                                        "exploration exceeded the {}-state bound; \
+                                         raise ModelBounds::max_states",
+                                        self.max_states
+                                    ),
+                                    Vec::new(),
+                                ));
+                            }
+                            states.push(next.clone());
+                            ids.insert(key.clone(), n);
+                            parents.push(Some((id, *label)));
+                            next_level.push(n);
+                            n
+                        }
+                    };
+                    edges.push(next_id);
+                }
+                adj.push(edges);
+                debug_assert_eq!(adj.len() - 1, id, "levels merge in id order");
             }
-            adj.push(edges);
-            debug_assert_eq!(adj.len() - 1, id, "BFS visits states in id order");
+            level = next_level;
         }
 
         // Buffered-eventually liveness: every terminal SCC must be the
         // all-delivered quiescent state. (Deadlocks are caught above; this
-        // rules out livelocks — cycles no path escapes.)
+        // rules out livelocks — cycles no path escapes.) Every transition
+        // strictly increases a bounded progress measure, so with
+        // reductions on the quotient graph is still a DAG and this pass is
+        // a defensive re-check rather than the primary argument.
         let sccs = crate::scc::tarjan_sccs(states.len(), &adj);
         for component in &sccs {
             let escapes = component
@@ -1037,10 +1737,248 @@ impl Ctx<'_> {
             }
         }
 
-        Ok(ScenarioStats {
-            states: states.len(),
-            transitions,
-        })
+        stats.states = states.len();
+        Ok(stats)
+    }
+}
+
+/// Property-test probes over the checker's internals, exposed for the
+/// `proptests` integration suite. Not part of the public API.
+#[doc(hidden)]
+pub mod testkit {
+    use super::*;
+    use netsim::rng::SimRng;
+
+    fn probe_ctx<'a>(plan: &'a Plan, arch: ArchClass, scenario: &'a str) -> Ctx<'a> {
+        Ctx {
+            plan,
+            arch,
+            sync: false,
+            len: 2,
+            cq_chunks: 4,
+            cq_reserve: 2,
+            max_states: 200_000,
+            scenario,
+            por: false,
+            jobs: 1,
+            safe: safe_worms(plan),
+            sym: None,
+        }
+    }
+
+    fn probe_scenarios() -> Vec<Scenario> {
+        let mut v = scenarios(4);
+        v.push(Scenario {
+            name: "star-3-leaf-local",
+            topo: star_of_leaves(3),
+            n_switches: 4,
+            worms: star_worms(3),
+        });
+        v
+    }
+
+    /// Asserts, along a random walk of every symmetric scenario, that the
+    /// canonical key is constant on orbits: a random permutation of a
+    /// reachable state canonicalizes to the same key as the state itself.
+    /// Returns the number of states checked.
+    pub fn canonical_quotient_probe(arch: ArchClass, seed: u64) -> usize {
+        let mut rng = SimRng::new(seed);
+        let mut checked = 0;
+        for scenario in &probe_scenarios() {
+            let plan = build_plan(scenario, ReplicatePolicy::ReturnOnly, 2).expect("plan");
+            let sym = symmetry::build(&plan);
+            if sym.is_trivial() {
+                continue;
+            }
+            let ctx = probe_ctx(&plan, arch, scenario.name);
+            let mut state = ctx.initial();
+            for _ in 0..40 {
+                let perm = sym.random_element(&mut rng);
+                let permuted = symmetry::apply(&plan, &perm, &state);
+                assert_eq!(
+                    sym.canonical_key(&plan, &permuted),
+                    sym.canonical_key(&plan, &state),
+                    "canonical key must be constant on the orbit \
+                     (scenario {}, arch {arch:?})",
+                    scenario.name
+                );
+                checked += 1;
+                let succs = ctx.successors(&state);
+                if succs.is_empty() {
+                    break;
+                }
+                let pick = rng.below(succs.len());
+                state = succs.into_iter().nth(pick).expect("picked").1;
+            }
+        }
+        assert!(checked > 0, "at least one scenario must be symmetric");
+        checked
+    }
+
+    /// Asserts, along random walks, the ample-set premise: two enabled
+    /// transitions of different worms, at least one of which is
+    /// switch-disjoint from every other worm, commute — both orders stay
+    /// enabled and land in the same state. Returns the number of pairs
+    /// checked.
+    pub fn commutation_probe(arch: ArchClass, seed: u64) -> usize {
+        let mut rng = SimRng::new(seed ^ 0x00C0_FFEE);
+        let mut checked = 0;
+        for scenario in &probe_scenarios() {
+            let plan = build_plan(scenario, ReplicatePolicy::ReturnOnly, 2).expect("plan");
+            let ctx = probe_ctx(&plan, arch, scenario.name);
+            let safe = &ctx.safe;
+            let mut state = ctx.initial();
+            for _ in 0..60 {
+                let succs = ctx.successors(&state);
+                if succs.is_empty() {
+                    break;
+                }
+                for (i, (la, sa)) in succs.iter().enumerate() {
+                    for (lb, sb) in succs.iter().skip(i + 1) {
+                        let wa = plan.visits[la.visit()].worm;
+                        let wb = plan.visits[lb.visit()].worm;
+                        if wa == wb || (!safe[wa] && !safe[wb]) {
+                            continue;
+                        }
+                        let ab = ctx.apply_label(sa, *lb).unwrap_or_else(|| {
+                            panic!(
+                                "independent step must stay enabled ({scenario:?})",
+                                scenario = scenario.name
+                            )
+                        });
+                        let ba = ctx.apply_label(sb, *la).unwrap_or_else(|| {
+                            panic!(
+                                "independent step must stay enabled ({scenario:?})",
+                                scenario = scenario.name
+                            )
+                        });
+                        assert_eq!(ab, ba, "independent steps must commute");
+                        checked += 1;
+                    }
+                }
+                let pick = rng.below(succs.len());
+                state = succs.into_iter().nth(pick).expect("picked").1;
+            }
+        }
+        assert!(checked > 0, "some scenario must have independent steps");
+        checked
+    }
+
+    /// A random 1–3-leaf tree fabric with 1–3 random worms.
+    fn random_fabric(rng: &mut SimRng) -> Scenario {
+        let leaves = 1 + rng.below(3);
+        let per_leaf: Vec<usize> = (0..leaves)
+            .map(|i| if i == 0 { 2 } else { 1 + rng.below(2) })
+            .collect();
+        let n_hosts: usize = per_leaf.iter().sum();
+        let mut b = TopologyBuilder::new(n_hosts);
+        let root = b.add_switch(leaves, 0);
+        let mut next_host = 0u32;
+        for (i, &nh) in per_leaf.iter().enumerate() {
+            let leaf = b.add_switch(nh + 1, 1);
+            for p in 0..nh {
+                b.attach_host(NodeId(next_host), leaf, p);
+                next_host += 1;
+            }
+            b.connect(leaf, nh, root, i);
+        }
+        let all: Vec<u32> = (0..next_host).collect();
+        let n_worms = 1 + rng.below(3);
+        let mut worms = Vec::new();
+        for _ in 0..n_worms {
+            let src = all[rng.below(all.len())];
+            let others: Vec<u32> = all.iter().copied().filter(|&h| h != src).collect();
+            let kind = if others.len() == 1 || rng.chance(0.5) {
+                WormKind::Unicast(NodeId(others[rng.below(others.len())]))
+            } else {
+                let mut dests = others.clone();
+                rng.shuffle(&mut dests);
+                let take = 2 + rng.below(dests.len() - 1);
+                mcast(n_hosts, &dests[..take.min(dests.len())])
+            };
+            worms.push((NodeId(src), kind));
+        }
+        Scenario {
+            name: "random-fabric",
+            topo: b.build(),
+            n_switches: leaves + 1,
+            worms,
+        }
+    }
+
+    /// Generates a random fabric + worm set, then asserts (per
+    /// architecture) that the reduced checker agrees with the unreduced
+    /// oracle on it, and that canonicalization is a sound quotient along
+    /// a random walk. Returns the number of checks performed.
+    pub fn random_scenario_probe(seed: u64) -> usize {
+        let mut rng = SimRng::new(seed ^ 0x5CE0_0BE5);
+        let scenario = random_fabric(&mut rng);
+        let bounds = ModelBounds {
+            max_switches: 8,
+            max_states: 200_000,
+            ..ModelBounds::default()
+        };
+        let mut checked = 0;
+        for arch in [ArchClass::CentralBuffer, ArchClass::InputBuffered] {
+            let plan =
+                build_plan(&scenario, ReplicatePolicy::ReturnOnly, 2).expect("tree fabrics route");
+            let oracle = run_plan(
+                scenario.name,
+                &plan,
+                arch,
+                false,
+                &bounds,
+                &ModelOptions::oracle(),
+                true,
+            );
+            let reduced = run_plan(
+                scenario.name,
+                &plan,
+                arch,
+                false,
+                &bounds,
+                &ModelOptions::default(),
+                true,
+            );
+            match (&oracle, &reduced) {
+                (Ok(o), Ok(r)) => {
+                    assert!(
+                        r.states <= o.states,
+                        "reduction must never explore more states ({arch:?})"
+                    );
+                }
+                (Err(o), Err(r)) => assert_eq!(o.kind, r.kind, "verdicts must agree ({arch:?})"),
+                (o, r) => panic!(
+                    "oracle and reduced checker disagree ({arch:?}): {:?} vs {:?}",
+                    o.as_ref().map(|s| s.states).map_err(|v| &v.kind),
+                    r.as_ref().map(|s| s.states).map_err(|v| &v.kind),
+                ),
+            }
+            checked += 1;
+            let sym = symmetry::build(&plan);
+            if sym.is_trivial() {
+                continue;
+            }
+            let ctx = probe_ctx(&plan, arch, scenario.name);
+            let mut state = ctx.initial();
+            for _ in 0..20 {
+                let perm = sym.random_element(&mut rng);
+                let permuted = symmetry::apply(&plan, &perm, &state);
+                assert_eq!(
+                    sym.canonical_key(&plan, &permuted),
+                    sym.canonical_key(&plan, &state),
+                    "random fabric: canonical key must be constant on the orbit"
+                );
+                checked += 1;
+                let succs = ctx.successors(&state);
+                if succs.is_empty() {
+                    break;
+                }
+                let pick = rng.below(succs.len());
+                state = succs.into_iter().nth(pick).expect("picked").1;
+            }
+        }
+        checked
     }
 }
 
@@ -1196,5 +2134,287 @@ mod tests {
             panic!("a 10-state bound cannot cover the space");
         };
         assert_eq!(v.kind, "state-bound");
+    }
+
+    // --- PR 8: reduction, parallelism, composition -------------------
+
+    fn star_plan(leaves: usize, worm_chunks: usize) -> Plan {
+        let scenario = Scenario {
+            name: "star-test",
+            topo: star_of_leaves(leaves),
+            n_switches: leaves + 1,
+            worms: star_worms(leaves),
+        };
+        build_plan(&scenario, ReplicatePolicy::ReturnOnly, worm_chunks).expect("plan")
+    }
+
+    #[test]
+    fn reduced_checker_agrees_with_the_oracle_on_defaults() {
+        for arch in [ArchClass::CentralBuffer, ArchClass::InputBuffered] {
+            for sync in [false, true] {
+                let oracle = check_model(
+                    arch,
+                    sync,
+                    ReplicatePolicy::ReturnOnly,
+                    &ModelBounds::default(),
+                );
+                let reduced = check_model_opts(
+                    arch,
+                    sync,
+                    ReplicatePolicy::ReturnOnly,
+                    &ModelBounds::default(),
+                    &ModelOptions::default(),
+                );
+                assert_eq!(
+                    oracle.is_verified(),
+                    reduced.is_verified(),
+                    "{arch:?} sync={sync}: oracle {oracle:?} vs reduced {reduced:?}"
+                );
+                if let (CheckOutcome::Violated(o), CheckOutcome::Violated(r)) = (&oracle, &reduced)
+                {
+                    assert_eq!(o.kind, r.kind);
+                    assert_eq!(o.scenario, r.scenario);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn verdicts_are_byte_identical_across_worker_counts() {
+        for arch in [ArchClass::CentralBuffer, ArchClass::InputBuffered] {
+            for sync in [false, true] {
+                let runs: Vec<String> = [1usize, 2, 4]
+                    .into_iter()
+                    .map(|jobs| {
+                        let opts = ModelOptions {
+                            jobs,
+                            ..ModelOptions::default()
+                        };
+                        format!(
+                            "{:?}",
+                            check_model_opts(
+                                arch,
+                                sync,
+                                ReplicatePolicy::ReturnOnly,
+                                &ModelBounds::default(),
+                                &opts,
+                            )
+                        )
+                    })
+                    .collect();
+                assert_eq!(runs[0], runs[1], "{arch:?} sync={sync}: jobs 1 vs 2");
+                assert_eq!(runs[0], runs[2], "{arch:?} sync={sync}: jobs 1 vs 4");
+            }
+        }
+    }
+
+    #[test]
+    fn symmetry_and_por_reduce_the_star_fabric_at_least_10x() {
+        // 7 isomorphic leaf-local worms: the oracle enumerates the full
+        // product of per-worm phases; the reduced checker collapses it.
+        // worm_chunks = 1 keeps the oracle affordable in debug builds.
+        let plan = star_plan(7, 1);
+        let bounds = ModelBounds {
+            max_switches: 8,
+            worm_chunks: 1,
+            ..ModelBounds::default()
+        };
+        for arch in [ArchClass::CentralBuffer, ArchClass::InputBuffered] {
+            let oracle = run_plan(
+                "star",
+                &plan,
+                arch,
+                false,
+                &bounds,
+                &ModelOptions::oracle(),
+                true,
+            )
+            .expect("oracle verifies");
+            let reduced = run_plan(
+                "star",
+                &plan,
+                arch,
+                false,
+                &bounds,
+                &ModelOptions::default(),
+                true,
+            )
+            .expect("reduced verifies");
+            assert!(
+                reduced.states * 10 <= oracle.states,
+                "{arch:?}: reduced {} vs oracle {} states",
+                reduced.states,
+                oracle.states
+            );
+            assert!(reduced.orbit_hits > 0 || reduced.ample_skips > 0);
+        }
+    }
+
+    #[test]
+    fn oracle_state_bounds_where_the_reduced_checker_verifies() {
+        // At 16 switches the joint space is ~5^15 states: the oracle must
+        // hit the bound, exact+reduced and compositional must verify.
+        let bounds = ModelBounds {
+            max_switches: 16,
+            max_states: 50_000,
+            ..ModelBounds::default()
+        };
+        let oracle = check_model(
+            ArchClass::CentralBuffer,
+            false,
+            ReplicatePolicy::ReturnOnly,
+            &bounds,
+        );
+        let CheckOutcome::Violated(v) = &oracle else {
+            panic!("oracle must exhaust the state bound: {oracle:?}");
+        };
+        assert_eq!(v.kind, "state-bound");
+
+        let exact_reduced = check_model_opts(
+            ArchClass::CentralBuffer,
+            false,
+            ReplicatePolicy::ReturnOnly,
+            &bounds,
+            &ModelOptions {
+                mode: ModelMode::Exact,
+                ..ModelOptions::default()
+            },
+        );
+        let CheckOutcome::Verified(stats) = exact_reduced else {
+            panic!("reduced exact checker must verify: {exact_reduced:?}");
+        };
+        assert!(
+            stats.states * 10 <= bounds.max_states,
+            "≥10× under the bound the oracle exhausted: {stats:?}"
+        );
+
+        let auto = check_model_opts(
+            ArchClass::CentralBuffer,
+            false,
+            ReplicatePolicy::ReturnOnly,
+            &bounds,
+            &ModelOptions::default(),
+        );
+        assert!(
+            auto.is_verified(),
+            "auto (compositional beyond 4 switches) must verify: {auto:?}"
+        );
+    }
+
+    #[test]
+    fn compositional_mode_finds_the_sync_deadlock_locally() {
+        let out = check_model_opts(
+            ArchClass::InputBuffered,
+            true,
+            ReplicatePolicy::ReturnOnly,
+            &ModelBounds::default(),
+            &ModelOptions {
+                mode: ModelMode::Compositional,
+                ..ModelOptions::default()
+            },
+        );
+        let CheckOutcome::Violated(v) = out else {
+            panic!("compositional mode must still find the crossed-grant deadlock");
+        };
+        assert_eq!(v.kind, "deadlock");
+        assert_eq!(v.scenario, "single-crossed-mcast@s0");
+        let replayed = reexecute_violation(
+            ArchClass::InputBuffered,
+            true,
+            ReplicatePolicy::ReturnOnly,
+            &ModelBounds::default(),
+            &v,
+        )
+        .expect("sub-scenario trace must re-execute");
+        assert_eq!(replayed, v.trace.len());
+    }
+
+    #[test]
+    fn compositional_mode_verifies_the_safe_architectures() {
+        for arch in [ArchClass::CentralBuffer, ArchClass::InputBuffered] {
+            let out = check_model_opts(
+                arch,
+                false,
+                ReplicatePolicy::ReturnOnly,
+                &ModelBounds::default(),
+                &ModelOptions {
+                    mode: ModelMode::Compositional,
+                    ..ModelOptions::default()
+                },
+            );
+            assert!(out.is_verified(), "{arch:?}: {out:?}");
+        }
+    }
+
+    #[test]
+    fn counterexamples_reexecute_against_the_rebuilt_model() {
+        let out = check_model(
+            ArchClass::InputBuffered,
+            true,
+            ReplicatePolicy::ReturnOnly,
+            &ModelBounds::default(),
+        );
+        let CheckOutcome::Violated(v) = out else {
+            panic!("expected the sync deadlock");
+        };
+        let replayed = reexecute_violation(
+            ArchClass::InputBuffered,
+            true,
+            ReplicatePolicy::ReturnOnly,
+            &ModelBounds::default(),
+            &v,
+        )
+        .expect("trace must re-execute");
+        assert_eq!(replayed, 4);
+    }
+
+    #[test]
+    fn accumulator_deadlock_carries_replayable_cq_events() {
+        // cq_chunks 2 / reserve 1: the ascending pool is 1 chunk, a
+        // 2-chunk worm can never be admitted — its accumulator sweeps the
+        // pool and starves everyone. A genuine deadlock whose trace
+        // carries CqReserve events (granted=false) replayable through the
+        // semantic-event machinery.
+        let bounds = ModelBounds {
+            cq_chunks: 2,
+            cq_reserve: 1,
+            ..ModelBounds::default()
+        };
+        let out = check_model(
+            ArchClass::CentralBuffer,
+            false,
+            ReplicatePolicy::ReturnOnly,
+            &bounds,
+        );
+        let CheckOutcome::Violated(v) = out else {
+            panic!("undersized pool must deadlock");
+        };
+        assert_eq!(v.kind, "deadlock");
+        assert!(
+            v.events.iter().any(|(_, e)| matches!(
+                e,
+                netsim::trace::SemEvent::CqReserve { granted: false, .. }
+            )),
+            "trace must carry the denied reservation: {:?}",
+            v.events
+        );
+        let replay = crate::replay::replay_model_violation(
+            ArchClass::CentralBuffer,
+            false,
+            ReplicatePolicy::ReturnOnly,
+            &bounds,
+            &v,
+        )
+        .expect("events must replay through the pure cq machine");
+        assert!(replay.cq.is_some());
+        assert_eq!(replay.steps, v.trace.len());
+    }
+
+    #[test]
+    fn scale_scenarios_are_gated_by_max_switches() {
+        assert_eq!(scenarios(2).len(), 3);
+        assert_eq!(scenarios(4).len(), 4);
+        assert_eq!(scenarios(8).len(), 5);
+        assert_eq!(scenarios(16).len(), 6);
     }
 }

@@ -17,6 +17,9 @@
 //! (`mdworm::sim::run_experiment`), so every CI simulation doubles as a
 //! conformance test of the refactored step cores.
 
+use crate::checks::ArchClass;
+use crate::model::{self, ModelBounds, Violation};
+use mintopo::route::ReplicatePolicy;
 use netsim::trace::SemEvent;
 use netsim::Cycle;
 use std::collections::HashMap;
@@ -165,6 +168,57 @@ pub fn replay_cq_trace(
     }
     report.switches = states.len();
     Ok(report)
+}
+
+/// Outcome of a successful [`replay_model_violation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelReplay {
+    /// Counterexample transitions re-executed against the rebuilt model.
+    pub steps: usize,
+    /// Report of the central-queue semantic-event replay, when the
+    /// violation carried events (central-buffer scenarios).
+    pub cq: Option<ReplayReport>,
+}
+
+/// Re-validates a model-checker counterexample end to end:
+///
+/// 1. rebuilds the violating scenario's plan (resolving compositional
+///    `@s<switch>` sub-scenarios to the same per-switch decomposition)
+///    and re-executes the trace transition by transition with the
+///    *unreduced* successor relation, confirming every step is enabled
+///    and the final state exhibits the claimed violation — this is what
+///    makes reduced-mode traces trustworthy: whatever canonicalization
+///    found them, the shipped trace is concrete and executable;
+/// 2. when the violation carries [`SemEvent`]s, folds them through
+///    [`replay_cq_trace`] so the counterexample's central-queue behavior
+///    is also conformant with the pure machine the live switches run.
+///
+/// `arch`, `sync_replication`, `policy`, and `bounds` must match the
+/// check that produced the violation.
+///
+/// # Errors
+///
+/// A description of the first divergence: a trace step that is not
+/// enabled, a final state without the claimed violation, a violation
+/// kind that carries no trace (`plan`, `state-bound`), or a
+/// [`ReplayMismatch`] from the event replay.
+pub fn replay_model_violation(
+    arch: ArchClass,
+    sync_replication: bool,
+    policy: ReplicatePolicy,
+    bounds: &ModelBounds,
+    violation: &Violation,
+) -> Result<ModelReplay, String> {
+    let steps = model::reexecute_violation(arch, sync_replication, policy, bounds, violation)?;
+    let cq = if violation.events.is_empty() {
+        None
+    } else {
+        Some(
+            replay_cq_trace(&violation.events, bounds.cq_chunks, bounds.cq_reserve)
+                .map_err(|m| format!("counterexample event replay diverged: {m}"))?,
+        )
+    };
+    Ok(ModelReplay { steps, cq })
 }
 
 #[cfg(test)]

@@ -1,0 +1,787 @@
+//! Symmetry reduction for the bounded model checker (DESIGN.md §14).
+//!
+//! A scenario plan often has structural symmetries: isomorphic worms
+//! crossing disjoint switch sets (the leaves of a star fabric), two worms
+//! whose paths are mirror images through interchangeable input ports, or
+//! a pair of host-facing output ports a multicast fans out over. States
+//! that differ only by such a permutation have isomorphic futures, so the
+//! explorer needs only one representative per orbit.
+//!
+//! [`build`] extracts the plan's symmetry in two commuting pieces:
+//!
+//! 1. **Separable classes** — maximal groups of worms with identical local
+//!    structure whose switch footprints are disjoint from *every* other
+//!    worm. Their full symmetric group is huge, so it is never
+//!    enumerated: [`SymPlan::canonical_key`] instead sorts the members'
+//!    state *projections* and relocates each member's content into the
+//!    member slots in sorted order — a canonical orbit element in
+//!    O(k log k) for a class of k worms.
+//! 2. **An entangled group** — generators over the remaining worms and
+//!    switches (worm swaps with an involutive port pairing, and
+//!    host-facing output-port swaps), closed under composition with a
+//!    small cap. The canonical key is the lexicographic minimum of the
+//!    encoded state over this group.
+//!
+//! The generators never touch class worms or class-owned switches, so the
+//! two phases commute and composing them canonicalizes the product group.
+//!
+//! De-canonicalization is free by construction: the explorer stores the
+//! first *concrete* state of each orbit and the concrete transition that
+//! discovered it, so counterexample traces never contain a permuted
+//! state. Permutations exist only here — for key computation and for the
+//! property tests' random orbit sampling.
+
+use crate::model::{plan_geometry, MState, Plan, Target, VState};
+use netsim::rng::SimRng;
+use std::collections::{HashMap, HashSet, VecDeque};
+use switches::semantics::BranchState;
+
+/// Sentinel for ports outside the plan's used set (never holds content).
+const UNUSED: usize = usize::MAX;
+
+/// A plan automorphism: a joint permutation of visits, branch indices,
+/// switches, and per-switch ports that maps the plan onto itself.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct Perm {
+    /// `visit[v]` — image visit of plan visit `v`.
+    visit: Vec<usize>,
+    /// `branch[v][b]` — image branch index (within the image visit).
+    branch: Vec<Vec<usize>>,
+    /// `sw[s]` — image switch.
+    sw: Vec<usize>,
+    /// `port[s][p]` — image port (at the image switch); [`UNUSED`] for
+    /// ports no visit touches.
+    port: Vec<Vec<usize>>,
+}
+
+impl Perm {
+    fn identity(plan: &Plan) -> Perm {
+        let (n_sw, widths) = plan_geometry(plan);
+        let mut used = vec![Vec::new(); n_sw];
+        for v in &plan.visits {
+            used[v.sw].push(v.in_port);
+            for b in &v.branches {
+                used[v.sw].push(b.out_port);
+            }
+        }
+        Perm {
+            visit: (0..plan.visits.len()).collect(),
+            branch: plan
+                .visits
+                .iter()
+                .map(|v| (0..v.branches.len()).collect())
+                .collect(),
+            sw: (0..n_sw).collect(),
+            port: (0..n_sw)
+                .map(|s| {
+                    (0..widths[s])
+                        .map(|p| if used[s].contains(&p) { p } else { UNUSED })
+                        .collect()
+                })
+                .collect(),
+        }
+    }
+
+    /// Composition applying `self` first, then `other`.
+    fn then(&self, other: &Perm) -> Perm {
+        Perm {
+            visit: self.visit.iter().map(|&v| other.visit[v]).collect(),
+            branch: self
+                .branch
+                .iter()
+                .enumerate()
+                .map(|(v, bs)| {
+                    let iv = self.visit[v];
+                    bs.iter().map(|&b| other.branch[iv][b]).collect()
+                })
+                .collect(),
+            sw: self.sw.iter().map(|&s| other.sw[s]).collect(),
+            port: self
+                .port
+                .iter()
+                .enumerate()
+                .map(|(s, ps)| {
+                    let is = self.sw[s];
+                    ps.iter()
+                        .map(|&p| {
+                            if p == UNUSED {
+                                UNUSED
+                            } else {
+                                other.port[is][p]
+                            }
+                        })
+                        .collect()
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One worm of a separable class: its visits (plan order), the switches
+/// it owns (first-use order), and the ports it uses per owned switch
+/// (first-use order). Equal signatures align these lists positionally
+/// across members.
+#[derive(Debug)]
+struct Member {
+    visits: Vec<usize>,
+    switches: Vec<usize>,
+    ports: Vec<Vec<usize>>,
+}
+
+/// A separable class: ≥2 isomorphic worms on pairwise-disjoint switches.
+#[derive(Debug)]
+struct Class {
+    members: Vec<Member>,
+}
+
+/// The symmetry structure of one plan (see module docs).
+#[derive(Debug)]
+pub(crate) struct SymPlan {
+    classes: Vec<Class>,
+    group: Vec<Perm>,
+    identity: Perm,
+}
+
+/// Cap on the enumerated entangled group; plans whose closure exceeds it
+/// fall back to the identity group (sound — reduction only weakens).
+const GROUP_CAP: usize = 256;
+
+/// Local (worm-relative) structural signature of a worm: two worms with
+/// equal signatures are isomorphic up to a switch/port relabeling.
+fn signature(plan: &Plan, member: &mut Member) -> Vec<u8> {
+    let pos: HashMap<usize, usize> = member
+        .visits
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, i))
+        .collect();
+    let mut sig = Vec::new();
+    for &vi in &member.visits {
+        let v = &plan.visits[vi];
+        let lsw = match member.switches.iter().position(|&s| s == v.sw) {
+            Some(k) => k,
+            None => {
+                member.switches.push(v.sw);
+                member.ports.push(Vec::new());
+                member.switches.len() - 1
+            }
+        };
+        let lin = local_index(&mut member.ports[lsw], v.in_port);
+        push(&mut sig, lsw);
+        push(&mut sig, lin);
+        sig.push(u8::from(v.descending));
+        match v.parent {
+            None => push(&mut sig, usize::MAX),
+            Some((pv, pb)) => {
+                push(&mut sig, pos[&pv]);
+                push(&mut sig, pb);
+            }
+        }
+        sig.push(u8::from(v.env_fed));
+        push(&mut sig, v.branches.len());
+        for b in &v.branches {
+            let lout = local_index(&mut member.ports[lsw], b.out_port);
+            push(&mut sig, lout);
+            match b.target {
+                Target::Host(_) => sig.push(0),
+                Target::Visit(w) => {
+                    sig.push(1);
+                    push(&mut sig, pos[&w]);
+                }
+                Target::Env(_) => sig.push(2),
+            }
+        }
+    }
+    sig
+}
+
+fn local_index(ports: &mut Vec<usize>, p: usize) -> usize {
+    match ports.iter().position(|&x| x == p) {
+        Some(i) => i,
+        None => {
+            ports.push(p);
+            ports.len() - 1
+        }
+    }
+}
+
+fn push(out: &mut Vec<u8>, x: usize) {
+    out.extend_from_slice(&(x as u32).to_le_bytes());
+}
+
+/// Extracts the symmetry structure of a plan.
+pub(crate) fn build(plan: &Plan) -> SymPlan {
+    let identity = Perm::identity(plan);
+    let n_worms = plan.worm_desc.len();
+    let mut members: Vec<Member> = (0..n_worms)
+        .map(|_| Member {
+            visits: Vec::new(),
+            switches: Vec::new(),
+            ports: Vec::new(),
+        })
+        .collect();
+    for (i, v) in plan.visits.iter().enumerate() {
+        members[v.worm].visits.push(i);
+    }
+    let sigs: Vec<Vec<u8>> = members.iter_mut().map(|m| signature(plan, m)).collect();
+    let separable = crate::model::safe_worms(plan);
+
+    // Separable classes: group separable worms by signature.
+    let mut by_sig: HashMap<&[u8], Vec<usize>> = HashMap::new();
+    for w in 0..n_worms {
+        if separable[w] {
+            by_sig.entry(&sigs[w]).or_default().push(w);
+        }
+    }
+    let mut class_groups: Vec<Vec<usize>> = by_sig.into_values().filter(|g| g.len() >= 2).collect();
+    class_groups.sort_by_key(|g| g[0]);
+    let mut classed = vec![false; n_worms];
+    let mut class_switch = vec![false; plan_geometry(plan).0];
+    for g in &class_groups {
+        for &w in g {
+            classed[w] = true;
+            for &s in &members[w].switches {
+                class_switch[s] = true;
+            }
+        }
+    }
+
+    // Entangled generators over the remaining worms and switches.
+    let mut generators = Vec::new();
+    for a in 0..n_worms {
+        for b in a + 1..n_worms {
+            if classed[a] || classed[b] {
+                continue;
+            }
+            if let Some(g) = worm_swap(plan, &members, &sigs, a, b) {
+                generators.push(g);
+            }
+        }
+    }
+    let (n_sw, widths) = plan_geometry(plan);
+    for s in 0..n_sw {
+        if class_switch[s] {
+            continue;
+        }
+        for p in 0..widths[s] {
+            for q in p + 1..widths[s] {
+                if let Some(g) = port_swap(plan, &identity, s, p, q) {
+                    generators.push(g);
+                }
+            }
+        }
+    }
+
+    // BFS closure of the generators under composition.
+    let mut group = vec![identity.clone()];
+    let mut seen: HashSet<Perm> = group.iter().cloned().collect();
+    let mut queue: VecDeque<Perm> = group.clone().into();
+    let mut overflow = false;
+    'closure: while let Some(e) = queue.pop_front() {
+        for g in &generators {
+            let c = e.then(g);
+            if seen.insert(c.clone()) {
+                if seen.len() > GROUP_CAP {
+                    overflow = true;
+                    break 'closure;
+                }
+                group.push(c.clone());
+                queue.push_back(c);
+            }
+        }
+    }
+    if overflow {
+        group = vec![identity.clone()];
+    }
+
+    let classes = class_groups
+        .into_iter()
+        .map(|g| Class {
+            members: g
+                .into_iter()
+                .map(|w| {
+                    std::mem::replace(
+                        &mut members[w],
+                        Member {
+                            visits: Vec::new(),
+                            switches: Vec::new(),
+                            ports: Vec::new(),
+                        },
+                    )
+                })
+                .collect(),
+        })
+        .collect();
+    SymPlan {
+        classes,
+        group,
+        identity,
+    }
+}
+
+/// Swap of two isomorphic unclassed worms with identical switch
+/// sequences, via an involutive port pairing; `None` when the pairing
+/// conflicts or would move a third worm's port.
+fn worm_swap(
+    plan: &Plan,
+    members: &[Member],
+    sigs: &[Vec<u8>],
+    a: usize,
+    b: usize,
+) -> Option<Perm> {
+    if sigs[a] != sigs[b] {
+        return None;
+    }
+    let (va, vb) = (&members[a].visits, &members[b].visits);
+    if va.len() != vb.len() {
+        return None;
+    }
+    for (&x, &y) in va.iter().zip(vb) {
+        if plan.visits[x].sw != plan.visits[y].sw {
+            return None;
+        }
+    }
+    // Involutive pairing of the two worms' ports, per switch.
+    let mut pairing: HashMap<(usize, usize), usize> = HashMap::new();
+    let add = |pairing: &mut HashMap<(usize, usize), usize>, s: usize, p: usize, q: usize| {
+        for (x, y) in [(p, q), (q, p)] {
+            match pairing.get(&(s, x)) {
+                Some(&img) if img != y => return false,
+                Some(_) => {}
+                None => {
+                    pairing.insert((s, x), y);
+                }
+            }
+        }
+        true
+    };
+    for (&x, &y) in va.iter().zip(vb) {
+        let (vx, vy) = (&plan.visits[x], &plan.visits[y]);
+        if !add(&mut pairing, vx.sw, vx.in_port, vy.in_port) {
+            return None;
+        }
+        if vx.branches.len() != vy.branches.len() {
+            return None;
+        }
+        for (bx, by) in vx.branches.iter().zip(&vy.branches) {
+            if !add(&mut pairing, vx.sw, bx.out_port, by.out_port) {
+                return None;
+            }
+        }
+    }
+    // Moved ports must belong to these two worms only.
+    for (&(s, p), &q) in &pairing {
+        if p == q {
+            continue;
+        }
+        for v in &plan.visits {
+            if v.worm == a || v.worm == b || v.sw != s {
+                continue;
+            }
+            if v.in_port == p || v.branches.iter().any(|br| br.out_port == p) {
+                return None;
+            }
+        }
+    }
+    let mut perm = Perm::identity(plan);
+    for (&x, &y) in va.iter().zip(vb) {
+        perm.visit[x] = y;
+        perm.visit[y] = x;
+    }
+    for (&(s, p), &q) in &pairing {
+        perm.port[s][p] = q;
+    }
+    Some(perm)
+}
+
+/// Swap of two interchangeable host-facing output ports of one switch:
+/// no visit enters through either, and every visit touching one has
+/// exactly one host-bound branch on each.
+fn port_swap(plan: &Plan, identity: &Perm, s: usize, p: usize, q: usize) -> Option<Perm> {
+    if identity.port[s][p] == UNUSED || identity.port[s][q] == UNUSED {
+        return None;
+    }
+    let mut swaps: Vec<(usize, usize, usize)> = Vec::new(); // (visit, bp, bq)
+    let mut touched = false;
+    for (vi, v) in plan.visits.iter().enumerate() {
+        if v.sw != s {
+            continue;
+        }
+        if v.in_port == p || v.in_port == q {
+            return None;
+        }
+        let on = |port: usize| {
+            let hits: Vec<usize> = v
+                .branches
+                .iter()
+                .enumerate()
+                .filter(|(_, br)| br.out_port == port)
+                .map(|(i, _)| i)
+                .collect();
+            hits
+        };
+        let (bp, bq) = (on(p), on(q));
+        match (bp.len(), bq.len()) {
+            (0, 0) => {}
+            (1, 1) => {
+                let (ip, iq) = (bp[0], bq[0]);
+                let host = |i: usize| matches!(v.branches[i].target, Target::Host(_));
+                if !host(ip) || !host(iq) {
+                    return None;
+                }
+                swaps.push((vi, ip, iq));
+                touched = true;
+            }
+            _ => return None,
+        }
+    }
+    if !touched {
+        return None;
+    }
+    let mut perm = identity.clone();
+    perm.port[s][p] = q;
+    perm.port[s][q] = p;
+    for (v, ip, iq) in swaps {
+        perm.branch[v][ip] = iq;
+        perm.branch[v][iq] = ip;
+    }
+    Some(perm)
+}
+
+impl SymPlan {
+    /// `true` when the plan has no usable symmetry (canonical key would
+    /// equal the plain encoding).
+    pub(crate) fn is_trivial(&self) -> bool {
+        self.classes.is_empty() && self.group.len() <= 1
+    }
+
+    /// The canonical byte key of `state`'s symmetry orbit: class members
+    /// relocated into sorted-projection order, then the lexicographic
+    /// minimum of the encoding over the entangled group.
+    pub(crate) fn canonical_key(&self, plan: &Plan, state: &MState) -> Vec<u8> {
+        let relocated = if self.classes.is_empty() {
+            None
+        } else {
+            let mut perm = self.identity.clone();
+            for class in &self.classes {
+                let projs: Vec<Vec<u8>> = class
+                    .members
+                    .iter()
+                    .map(|m| projection(plan, state, m))
+                    .collect();
+                let mut order: Vec<usize> = (0..class.members.len()).collect();
+                order.sort_by(|&i, &j| projs[i].cmp(&projs[j]));
+                for (slot, &src) in order.iter().enumerate() {
+                    relocate(&mut perm, &class.members[src], &class.members[slot]);
+                }
+            }
+            Some(apply(plan, &perm, state))
+        };
+        let base = relocated.as_ref().unwrap_or(state);
+        if self.group.len() <= 1 {
+            encode_state(base)
+        } else {
+            self.group
+                .iter()
+                .map(|g| encode_state(&apply(plan, g, base)))
+                .min()
+                .expect("group contains the identity")
+        }
+    }
+
+    /// A uniformly-ish random orbit permutation (class relocation composed
+    /// with a random entangled-group element) — property-test sampling of
+    /// the quotient.
+    pub(crate) fn random_element(&self, rng: &mut SimRng) -> Perm {
+        let mut perm = self.identity.clone();
+        for class in &self.classes {
+            let mut slots: Vec<usize> = (0..class.members.len()).collect();
+            rng.shuffle(&mut slots);
+            for (src, &slot) in slots.iter().enumerate() {
+                relocate(&mut perm, &class.members[src], &class.members[slot]);
+            }
+        }
+        let g = &self.group[rng.below(self.group.len())];
+        perm.then(g)
+    }
+}
+
+/// Writes the relocation of `from`'s content onto `to`'s slots into
+/// `perm` (members of one class, positionally aligned by signature).
+fn relocate(perm: &mut Perm, from: &Member, to: &Member) {
+    for (&x, &y) in from.visits.iter().zip(&to.visits) {
+        perm.visit[x] = y;
+    }
+    for (k, &s) in from.switches.iter().enumerate() {
+        perm.sw[s] = to.switches[k];
+        for (j, &p) in from.ports[k].iter().enumerate() {
+            perm.port[s][p] = to.ports[k][j];
+        }
+    }
+}
+
+/// The member's slice of the state, expressed in worm-local coordinates —
+/// equal projections mean interchangeable members.
+fn projection(_plan: &Plan, state: &MState, m: &Member) -> Vec<u8> {
+    let local_visit = |v: usize| m.visits.iter().position(|&x| x == v).unwrap_or(usize::MAX);
+    let mut out = Vec::new();
+    for &vi in &m.visits {
+        encode_vstate(&mut out, &state.visits[vi], true);
+    }
+    for (k, &sw) in m.switches.iter().enumerate() {
+        if !state.cq.is_empty() {
+            let cq = &state.cq[sw];
+            push(&mut out, cq.free);
+            for slot in [&cq.resv_desc, &cq.resv_asc] {
+                match slot {
+                    None => out.push(0),
+                    Some(r) => {
+                        out.push(1);
+                        let lp = m.ports[k]
+                            .iter()
+                            .position(|&x| x == r.input)
+                            .unwrap_or(usize::MAX);
+                        push(&mut out, lp);
+                        push(&mut out, r.need);
+                        push(&mut out, r.got);
+                    }
+                }
+            }
+        }
+        if !state.queues.is_empty() {
+            for &p in &m.ports[k] {
+                let queue = &state.queues[sw][p];
+                push(&mut out, queue.len());
+                for &(v, b) in queue {
+                    push(&mut out, local_visit(v as usize));
+                    out.push(b);
+                }
+            }
+        }
+        if !state.owners.is_empty() {
+            for &p in &m.ports[k] {
+                match state.owners[sw][p] {
+                    None => out.push(0),
+                    Some((v, b)) => {
+                        out.push(1);
+                        push(&mut out, local_visit(v as usize));
+                        out.push(b);
+                    }
+                }
+                match state.occupants[sw][p] {
+                    None => out.push(0),
+                    Some(v) => {
+                        out.push(1);
+                        push(&mut out, local_visit(v as usize));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn encode_vstate(out: &mut Vec<u8>, vs: &VState, local: bool) {
+    match vs {
+        VState::Pending => out.push(0),
+        VState::Waiting => out.push(1),
+        VState::StoredCb { reads } => {
+            out.push(2);
+            push(out, reads.len());
+            for &r in reads {
+                push(out, usize::from(r));
+            }
+        }
+        VState::StoredIb { head } => {
+            out.push(3);
+            push(out, usize::from(head.total));
+            push(out, usize::from(head.freed));
+            push(out, head.branches.len());
+            for b in &head.branches {
+                // In worm-local coordinates the port is determined by the
+                // branch index; globally it distinguishes states.
+                if !local {
+                    push(out, b.port);
+                }
+                push(out, usize::from(b.read));
+                out.push(u8::from(b.granted));
+                out.push(u8::from(b.done));
+            }
+        }
+        VState::Done => out.push(4),
+    }
+}
+
+/// Injective byte encoding of a model state — the dedup key of the
+/// unreduced explorer and the comparison domain of the canonical key.
+pub(crate) fn encode_state(s: &MState) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    push(&mut out, s.visits.len());
+    for vs in &s.visits {
+        encode_vstate(&mut out, vs, false);
+    }
+    push(&mut out, s.cq.len());
+    for cq in &s.cq {
+        push(&mut out, cq.free);
+        for slot in [&cq.resv_desc, &cq.resv_asc] {
+            match slot {
+                None => out.push(0),
+                Some(r) => {
+                    out.push(1);
+                    push(&mut out, r.input);
+                    push(&mut out, r.need);
+                    push(&mut out, r.got);
+                }
+            }
+        }
+    }
+    push(&mut out, s.queues.len());
+    for qs in &s.queues {
+        push(&mut out, qs.len());
+        for queue in qs {
+            push(&mut out, queue.len());
+            for &(v, b) in queue {
+                push(&mut out, v as usize);
+                out.push(b);
+            }
+        }
+    }
+    push(&mut out, s.owners.len());
+    for os in &s.owners {
+        push(&mut out, os.len());
+        for o in os {
+            match o {
+                None => out.push(0),
+                Some((v, b)) => {
+                    out.push(1);
+                    push(&mut out, *v as usize);
+                    out.push(*b);
+                }
+            }
+        }
+    }
+    push(&mut out, s.occupants.len());
+    for os in &s.occupants {
+        push(&mut out, os.len());
+        for o in os {
+            match o {
+                None => out.push(0),
+                Some(v) => {
+                    out.push(1);
+                    push(&mut out, *v as usize);
+                }
+            }
+        }
+    }
+    push(&mut out, s.env_fill.len());
+    for &f in &s.env_fill {
+        push(&mut out, usize::from(f));
+    }
+    push(&mut out, s.env_ready.len());
+    for &r in &s.env_ready {
+        out.push(u8::from(r));
+    }
+    out
+}
+
+/// Applies a plan automorphism to a state, producing the permuted state.
+pub(crate) fn apply(plan: &Plan, perm: &Perm, state: &MState) -> MState {
+    let mut next = state.clone();
+    for (v, vs) in state.visits.iter().enumerate() {
+        let iv = perm.visit[v];
+        next.visits[iv] = match vs {
+            VState::Pending | VState::Waiting | VState::Done => vs.clone(),
+            VState::StoredCb { reads } => {
+                let mut nr = vec![0u16; reads.len()];
+                for (b, &r) in reads.iter().enumerate() {
+                    nr[perm.branch[v][b]] = r;
+                }
+                VState::StoredCb { reads: nr }
+            }
+            VState::StoredIb { head } => {
+                let sw = plan.visits[v].sw;
+                let mut branches = head.branches.clone();
+                for (b, bs) in head.branches.iter().enumerate() {
+                    let nb = perm.branch[v][b];
+                    let np = perm.port[sw][bs.port];
+                    debug_assert_eq!(
+                        np, plan.visits[iv].branches[nb].out_port,
+                        "permutation is a plan automorphism"
+                    );
+                    branches[nb] = BranchState {
+                        port: np,
+                        read: bs.read,
+                        granted: bs.granted,
+                        done: bs.done,
+                    };
+                }
+                VState::StoredIb {
+                    head: switches::semantics::IbHeadState {
+                        total: head.total,
+                        branches,
+                        freed: head.freed,
+                    },
+                }
+            }
+        };
+    }
+    for (sw, cq) in state.cq.iter().enumerate() {
+        let mut c = cq.clone();
+        for r in [&mut c.resv_desc, &mut c.resv_asc].into_iter().flatten() {
+            r.input = perm.port[sw][r.input];
+        }
+        next.cq[perm.sw[sw]] = c;
+    }
+    for (sw, qs) in state.queues.iter().enumerate() {
+        let isw = perm.sw[sw];
+        for (p, queue) in qs.iter().enumerate() {
+            let ip = perm.port[sw][p];
+            if ip == UNUSED {
+                debug_assert!(queue.is_empty(), "unused port holds no content");
+                continue;
+            }
+            next.queues[isw][ip] = queue
+                .iter()
+                .map(|&(v, b)| {
+                    (
+                        perm.visit[v as usize] as u32,
+                        perm.branch[v as usize][usize::from(b)] as u8,
+                    )
+                })
+                .collect();
+        }
+    }
+    for (sw, os) in state.owners.iter().enumerate() {
+        let isw = perm.sw[sw];
+        for (p, o) in os.iter().enumerate() {
+            let ip = perm.port[sw][p];
+            if ip == UNUSED {
+                debug_assert!(o.is_none(), "unused port holds no content");
+                continue;
+            }
+            next.owners[isw][ip] = o.map(|(v, b)| {
+                (
+                    perm.visit[v as usize] as u32,
+                    perm.branch[v as usize][usize::from(b)] as u8,
+                )
+            });
+        }
+    }
+    for (sw, os) in state.occupants.iter().enumerate() {
+        let isw = perm.sw[sw];
+        for (p, o) in os.iter().enumerate() {
+            let ip = perm.port[sw][p];
+            if ip == UNUSED {
+                debug_assert!(o.is_none(), "unused port holds no content");
+                continue;
+            }
+            next.occupants[isw][ip] = o.map(|v| perm.visit[v as usize] as u32);
+        }
+    }
+    // env_fill is indexed by visit; permute it too (env plans never build
+    // symmetry today, but keep apply total).
+    for (v, &f) in state.env_fill.iter().enumerate() {
+        next.env_fill[perm.visit[v]] = f;
+    }
+    next
+}

@@ -14,7 +14,7 @@
 //! verdicts, never branched on, so identical runs still produce
 //! bit-identical simulation results.
 
-use crate::model::{check_model, CheckOutcome, ModelBounds};
+use crate::model::{check_model, check_model_opts, CheckOutcome, ModelBounds, ModelOptions};
 use crate::report::{AnalysisStats, ConfigReport};
 use crate::{checks::ArchClass, vet_reroute};
 use mintopo::route::{ReplicatePolicy, RouteTables};
@@ -136,6 +136,22 @@ pub fn check_model_timed(
 ) -> CheckOutcome {
     let start = Instant::now();
     let outcome = check_model(arch, sync_replication, policy, bounds);
+    stats.model_ns.record(start.elapsed().as_nanos() as u64);
+    outcome
+}
+
+/// Runs [`check_model_opts`] under a timer, recording the duration into
+/// `stats` and returning the untouched outcome.
+pub fn check_model_opts_timed(
+    arch: ArchClass,
+    sync_replication: bool,
+    policy: ReplicatePolicy,
+    bounds: &ModelBounds,
+    opts: &ModelOptions,
+    stats: &mut VetStats,
+) -> CheckOutcome {
+    let start = Instant::now();
+    let outcome = check_model_opts(arch, sync_replication, policy, bounds, opts);
     stats.model_ns.record(start.elapsed().as_nanos() as u64);
     outcome
 }

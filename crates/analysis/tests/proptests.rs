@@ -87,6 +87,53 @@ fn lint_roundtrips_clean_on_random_topologies() {
     }
 }
 
+/// Canonicalization is a sound quotient: along random walks of every
+/// symmetric model scenario, a random element of the symmetry group
+/// applied to a reachable state leaves the canonical key unchanged
+/// (DESIGN.md §14).
+#[test]
+fn model_canonicalization_is_constant_on_orbits() {
+    use mdw_analysis::checks::ArchClass;
+    for case in 0..CASES {
+        let mut r = case_rng(4, case);
+        let seed = r.below(1 << 30) as u64;
+        for arch in [ArchClass::CentralBuffer, ArchClass::InputBuffered] {
+            let checked = mdw_analysis::model::testkit::canonical_quotient_probe(arch, seed);
+            assert!(checked > 0, "case {case} ({arch:?})");
+        }
+    }
+}
+
+/// The ample-set premise of the partial-order reduction: enabled
+/// transitions of switch-disjoint worms commute — both orders stay
+/// enabled and reach the same state — along random walks of the model
+/// scenarios.
+#[test]
+fn model_independent_steps_commute() {
+    use mdw_analysis::checks::ArchClass;
+    for case in 0..CASES {
+        let mut r = case_rng(5, case);
+        let seed = r.below(1 << 30) as u64;
+        for arch in [ArchClass::CentralBuffer, ArchClass::InputBuffered] {
+            let checked = mdw_analysis::model::testkit::commutation_probe(arch, seed);
+            assert!(checked > 0, "case {case} ({arch:?})");
+        }
+    }
+}
+
+/// Randomly generated tree fabrics + worm sets: the reduced checker
+/// agrees with the unreduced oracle, and canonicalization stays a sound
+/// quotient on the random plan's group.
+#[test]
+fn random_scenarios_agree_between_oracle_and_reduced_checker() {
+    for case in 0..CASES {
+        let mut r = case_rng(6, case);
+        let seed = r.below(1 << 30) as u64;
+        let checked = mdw_analysis::model::testkit::random_scenario_probe(seed);
+        assert!(checked > 0, "case {case}");
+    }
+}
+
 /// The full fabric pass — CDG + SCC + round-trips — finds no cycle in
 /// any random k-ary tree: up*/down* LCA routing is provably
 /// deadlock-free, and the analyzer must agree on every instance.

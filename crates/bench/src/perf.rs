@@ -56,6 +56,37 @@ pub struct BenchReport {
     pub sharded_cycles_per_sec: f64,
     /// Full cycles/sec-vs-shard-count sweep over several fabric sizes.
     pub bench_scale: Vec<ScaleFabric>,
+    /// Reduced-vs-unreduced model-check state counts and wall time at
+    /// the 8/16-switch scale tiers (DESIGN.md §14).
+    pub bench_model_check: Vec<ModelCheckBench>,
+}
+
+/// One fabric tier of the model-check scale benchmark: the unreduced
+/// oracle, the symmetry+POR-reduced exact checker, and the
+/// compositional checker over the same scenarios and state budget.
+#[derive(Debug, Clone)]
+pub struct ModelCheckBench {
+    /// Fabric-size bound of the tier (largest scenario explored).
+    pub switches: usize,
+    /// States the unreduced oracle explored before finishing or
+    /// exhausting the budget.
+    pub unreduced_states: usize,
+    /// Whether the oracle delivered a verdict (`false` = state-bound
+    /// exhausted; `unreduced_states` is then the budget it burned).
+    pub unreduced_completed: bool,
+    /// Wall time of the unreduced run, seconds.
+    pub unreduced_secs: f64,
+    /// States the symmetry+POR-reduced exact checker explored.
+    pub reduced_states: usize,
+    /// Wall time of the reduced run, seconds.
+    pub reduced_secs: f64,
+    /// `unreduced_states / reduced_states` — a lower bound on the true
+    /// reduction when the oracle did not complete.
+    pub reduction_factor: f64,
+    /// States the compositional (per-switch) checker explored.
+    pub compositional_states: usize,
+    /// Wall time of the compositional run, seconds.
+    pub compositional_secs: f64,
 }
 
 /// Cycle rate of one fabric size at one shard count.
@@ -120,6 +151,30 @@ impl BenchReport {
                 },
             ));
         }
+        let mut model_rows = String::new();
+        for (i, m) in self.bench_model_check.iter().enumerate() {
+            model_rows.push_str(&format!(
+                "    {{\"switches\": {}, \"unreduced_states\": {}, \
+                 \"unreduced_completed\": {}, \"unreduced_secs\": {:.3}, \
+                 \"reduced_states\": {}, \"reduced_secs\": {:.3}, \
+                 \"reduction_factor\": {:.1}, \"compositional_states\": {}, \
+                 \"compositional_secs\": {:.3}}}{}\n",
+                m.switches,
+                m.unreduced_states,
+                m.unreduced_completed,
+                m.unreduced_secs,
+                m.reduced_states,
+                m.reduced_secs,
+                m.reduction_factor,
+                m.compositional_states,
+                m.compositional_secs,
+                if i + 1 < self.bench_model_check.len() {
+                    ","
+                } else {
+                    ""
+                },
+            ));
+        }
         format!(
             "{{\n  \"scale\": \"{}\",\n  \"exp\": \"{}\",\n  \"jobs_serial\": 1,\n  \
              \"jobs_parallel\": {},\n  \"host_cpus\": {},\n  \"serial_secs\": {:.3},\n  \
@@ -132,7 +187,8 @@ impl BenchReport {
              \"storm_vet_p99_ns\": {},\n  \
              \"engine_shards\": {},\n  \"sequential_cycles_per_sec\": {:.0},\n  \
              \"sharded_cycles_per_sec\": {:.0},\n  \
-             \"bench_scale\": [\n{fabrics}  ]\n}}\n",
+             \"bench_scale\": [\n{fabrics}  ],\n  \
+             \"bench_model_check\": [\n{model_rows}  ]\n}}\n",
             self.scale,
             self.exp,
             self.jobs_parallel,
@@ -292,6 +348,76 @@ pub fn bench_scale(cycles: u64) -> Vec<ScaleFabric> {
         .collect()
 }
 
+/// Measures the model checker's reductions at the 8/16-switch scale
+/// tiers (DESIGN.md §14): the unreduced sequential oracle against the
+/// symmetry+POR-reduced exact checker and the compositional per-switch
+/// checker, all on the shipped default architecture (central-buffer,
+/// asynchronous, return-only) with a 50k-state budget. The oracle is
+/// *expected* to exhaust the budget at these tiers — that is recorded
+/// honestly (`unreduced_completed: false`) rather than hidden, and the
+/// reduction factor is then a lower bound.
+pub fn bench_model_check() -> Vec<ModelCheckBench> {
+    use mdw_analysis::{check_model_opts, ArchClass, CheckOutcome, ModelBounds, ModelOptions};
+    use mintopo::route::ReplicatePolicy;
+
+    let timed = |bounds: &ModelBounds, opts: &ModelOptions| {
+        let t = Instant::now();
+        let out = check_model_opts(
+            ArchClass::CentralBuffer,
+            false,
+            ReplicatePolicy::ReturnOnly,
+            bounds,
+            opts,
+        );
+        (out, t.elapsed().as_secs_f64())
+    };
+    [8usize, 16]
+        .iter()
+        .map(|&switches| {
+            let bounds = ModelBounds {
+                max_switches: switches,
+                max_states: 50_000,
+                ..ModelBounds::default()
+            };
+            let (oracle, unreduced_secs) = timed(&bounds, &ModelOptions::oracle());
+            let (unreduced_states, unreduced_completed) = match &oracle {
+                CheckOutcome::Verified(stats) => (stats.states, true),
+                // The only violation the known-good default config can
+                // produce is the state-bound; the budget it burned is
+                // the honest state count.
+                CheckOutcome::Violated(_) => (bounds.max_states, false),
+            };
+            let exact = ModelOptions {
+                mode: mdw_analysis::ModelMode::Exact,
+                ..ModelOptions::default()
+            };
+            let (reduced, reduced_secs) = timed(&bounds, &exact);
+            let CheckOutcome::Verified(reduced_stats) = reduced else {
+                panic!("reduced checker must verify the {switches}-switch tier: {reduced:?}");
+            };
+            let compositional = ModelOptions {
+                mode: mdw_analysis::ModelMode::Compositional,
+                ..ModelOptions::default()
+            };
+            let (comp, compositional_secs) = timed(&bounds, &compositional);
+            let CheckOutcome::Verified(comp_stats) = comp else {
+                panic!("compositional checker must verify the {switches}-switch tier: {comp:?}");
+            };
+            ModelCheckBench {
+                switches,
+                unreduced_states,
+                unreduced_completed,
+                unreduced_secs,
+                reduced_states: reduced_stats.states,
+                reduced_secs,
+                reduction_factor: unreduced_states as f64 / reduced_stats.states.max(1) as f64,
+                compositional_states: comp_stats.states,
+                compositional_secs,
+            }
+        })
+        .collect()
+}
+
 /// Runs the suite serially (jobs = 1), then with `jobs_parallel` workers,
 /// verifies the outputs are byte-identical, and times the raw engine.
 /// Returns the report and the parallel pass's tables (for writing to
@@ -356,6 +482,7 @@ pub fn bench_sweep(
         sequential_cycles_per_sec,
         sharded_cycles_per_sec,
         bench_scale: scale_fabrics,
+        bench_model_check: bench_model_check(),
     };
     (report, parallel)
 }
@@ -407,6 +534,17 @@ mod tests {
                     },
                 ],
             }],
+            bench_model_check: vec![ModelCheckBench {
+                switches: 16,
+                unreduced_states: 50_000,
+                unreduced_completed: false,
+                unreduced_secs: 1.25,
+                reduced_states: 2_000,
+                reduced_secs: 0.05,
+                reduction_factor: 25.0,
+                compositional_states: 500,
+                compositional_secs: 0.01,
+            }],
         };
         let j = r.json();
         assert!(j.contains("\"speedup\": 2.500"));
@@ -418,7 +556,30 @@ mod tests {
         assert!(j.contains("\"bench_scale\": ["));
         assert!(j.contains("{\"shards\": 2, \"cycles_per_sec\": 90000"));
         assert!(j.contains("\"ticks_skipped\": 9000}"));
+        assert!(j.contains("\"bench_model_check\": ["));
+        assert!(j.contains("\"switches\": 16, \"unreduced_states\": 50000"));
+        assert!(j.contains("\"unreduced_completed\": false"));
+        assert!(j.contains("\"reduction_factor\": 25.0"));
         assert!(j.ends_with("}\n"));
+    }
+
+    /// The model-check scale benchmark records the §14 claim: at both
+    /// tiers the unreduced oracle exhausts its budget while the reduced
+    /// and compositional checkers verify with ≥10× fewer states.
+    #[test]
+    fn bench_model_check_shows_the_reduction() {
+        let rows = bench_model_check();
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert!(
+                !row.unreduced_completed,
+                "{}-switch tier: the oracle finishing means the tier is too easy",
+                row.switches
+            );
+            assert!(row.reduction_factor >= 10.0, "{row:?}");
+            assert!(row.reduced_states * 10 <= row.unreduced_states, "{row:?}");
+            assert!(row.compositional_states > 0, "{row:?}");
+        }
     }
 
     #[test]

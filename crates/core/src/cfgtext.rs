@@ -107,6 +107,16 @@ pub fn parse_config(text: &str) -> Result<SystemConfig, String> {
             // Compiled sharded engine (DESIGN.md §13); both spellings
             // accepted, `MDWORM_SHARDS` overrides at run time.
             "engine.shards" | "engine_shards" => cfg.engine_shards = parse_usize(key)?,
+            // Model-check decomposition of the deep reroute vet
+            // (DESIGN.md §14); both spellings accepted.
+            "model.mode" | "model_mode" => {
+                cfg.model_mode = match value {
+                    "exact" => mdw_analysis::ModelMode::Exact,
+                    "compositional" => mdw_analysis::ModelMode::Compositional,
+                    "auto" => mdw_analysis::ModelMode::Auto,
+                    _ => return Err(bad("model.mode (exact|compositional|auto)")),
+                }
+            }
             // End-to-end recovery (ACK ledger + retransmission).
             "recovery" => match value {
                 "on" | "true" => {
@@ -447,6 +457,21 @@ mod tests {
         );
         let err = parse_config("engine.shards = many").unwrap_err();
         assert!(err.contains("engine.shards"), "{err}");
+    }
+
+    #[test]
+    fn model_mode_key_parses_both_spellings() {
+        use mdw_analysis::ModelMode;
+        let cfg = parse_config("").expect("parses");
+        assert_eq!(cfg.model_mode, ModelMode::Auto);
+        let cfg = parse_config("model.mode = exact").expect("parses");
+        assert_eq!(cfg.model_mode, ModelMode::Exact);
+        let cfg = parse_config("model_mode = compositional").expect("parses");
+        assert_eq!(cfg.model_mode, ModelMode::Compositional);
+        let cfg = parse_config("model.mode = auto").expect("parses");
+        assert_eq!(cfg.model_mode, ModelMode::Auto);
+        let err = parse_config("model.mode = heuristic").unwrap_err();
+        assert!(err.contains("model.mode"), "{err}");
     }
 
     #[test]

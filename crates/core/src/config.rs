@@ -10,7 +10,7 @@
 
 use crate::respond::ResponseConfig;
 use collectives::RecoveryConfig;
-use mdw_analysis::{analyze_fabric, switch_sizing, ArchClass, ConfigReport};
+use mdw_analysis::{analyze_fabric, switch_sizing, ArchClass, ConfigReport, ModelMode};
 use mintopo::route::RouteTables;
 use switches::{ConfigError, SwitchConfig};
 
@@ -145,6 +145,11 @@ pub struct SystemConfig {
     /// flap damping, retry backoff, the degradation ladder, and the
     /// detect→install watchdog; `None` for batch experiments.
     pub routed: Option<crate::routed::RoutedConfig>,
+    /// Decomposition strategy of the bounded model check backing the
+    /// fault responder's deep reroute vet (config key `model.mode`):
+    /// exact joint exploration, per-switch compositional checking, or
+    /// size-driven automatic selection. See DESIGN.md §14.
+    pub model_mode: ModelMode,
     /// Shard count for the compiled engine schedule (config key
     /// `engine.shards`, overridable via `MDWORM_SHARDS`). 1 keeps the
     /// plain sequential loop — the oracle; ≥ 2 compiles the fabric into
@@ -174,6 +179,7 @@ impl Default for SystemConfig {
             recovery: None,
             response: None,
             routed: None,
+            model_mode: ModelMode::Auto,
             engine_shards: 1,
         }
     }

@@ -19,11 +19,15 @@
 //!    halves: structurally by the static deadlock analyzer
 //!    ([`mdw_analysis::vet_reroute`] — channel-dependency cycles, stranded
 //!    live switches, header round-trips) and behaviorally by the bounded
-//!    model checker ([`mdw_analysis::check_model`], memoized — the verdict
-//!    depends on architecture and replication mode, not on the candidate
-//!    tables). A candidate failing either half is *rejected*: the fabric
-//!    stays on the old tables and runs degraded rather than trade a dead
-//!    link for a deadlock;
+//!    model checker ([`mdw_analysis::check_model_opts`], memoized per
+//!    ([`ModelBounds`], [`mdw_analysis::ModelOptions`]) pair — the verdict
+//!    depends on architecture, replication mode, *and* on how deep the
+//!    check looked, so a verdict cached under loose bounds never answers
+//!    a stricter vet; the fabric-size bound is derived from the live
+//!    topology and the exact/compositional mode from the system
+//!    configuration). A candidate failing either half is *rejected*: the
+//!    fabric stays on the old tables and runs degraded rather than trade
+//!    a dead link for a deadlock;
 //! 4. **degrade** — while masked tables are active, each hardware
 //!    multicast is split into the worm-coverable part and a peeled
 //!    remainder served by binomial-tree unicast
@@ -44,7 +48,8 @@ use crate::build::System;
 use crate::config::{SwitchArch, SystemConfig};
 use collectives::DegradePlanner;
 use mdw_analysis::{
-    check_model_timed, vet_reroute_timed, ArchClass, CheckOutcome, ModelBounds, Samples, VetStats,
+    check_model_opts_timed, vet_reroute_timed, ArchClass, CheckOutcome, ModelBounds, ModelOptions,
+    Samples, VetStats,
 };
 use mintopo::route::RouteTables;
 use mintopo::topology::Topology;
@@ -249,11 +254,15 @@ pub struct FaultResponder {
     /// Detect→install (or detect→reject) latency of each completed
     /// response episode, in cycles.
     latency: Samples,
-    /// Cached verdict of the bounded model check (the deep half of the
-    /// reroute gate). It depends only on the system configuration —
-    /// architecture, replication mode, policy — not on the candidate
-    /// tables, so one exploration covers every reroute of the run.
-    deep_vetted: Option<Result<(), String>>,
+    /// Cached verdicts of the bounded model check (the deep half of the
+    /// reroute gate), keyed by the exploration bounds and reduction
+    /// options the check actually ran under. The verdict never depends on
+    /// the candidate tables, so one exploration per key covers every
+    /// reroute of the run — but a verdict obtained under loose bounds
+    /// (small fabric, shallow state cap) says nothing about a stricter
+    /// vet, so differently-bounded requests get their own entry instead
+    /// of silently reusing a weaker answer.
+    deep_vetted: HashMap<(ModelBounds, ModelOptions), Result<(), String>>,
 }
 
 impl std::fmt::Debug for FaultResponder {
@@ -294,38 +303,55 @@ impl FaultResponder {
             retry_requested: false,
             vet_stats: VetStats::new(),
             latency: Samples::new(),
-            deep_vetted: None,
+            deep_vetted: HashMap::new(),
         }
     }
 
-    /// Runs (once) the `mdw-model` bounded model check of the configured
-    /// architecture and replication mode, caching the verdict. A reroute
-    /// may only activate when both the candidate's channel-dependency
-    /// graph (structural) and the switch state machines (behavioral) are
-    /// deadlock-free.
-    fn deep_vet(&mut self, config: &SystemConfig) -> Result<(), String> {
-        if self.deep_vetted.is_none() {
+    /// Runs (once per distinct bounds/options pair) the `mdw-model`
+    /// bounded model check of the configured architecture and replication
+    /// mode, caching the verdict under the exact
+    /// ([`ModelBounds`], [`ModelOptions`]) key it ran with. The
+    /// fabric-size bound scales with the live topology (`n_switches`,
+    /// clamped to the checker's scenario range) and the
+    /// exact/compositional mode comes from the configuration, so growing
+    /// the fabric or switching modes re-vets instead of replaying a
+    /// verdict from a weaker exploration. A reroute may only activate
+    /// when both the candidate's channel-dependency graph (structural)
+    /// and the switch state machines (behavioral) are deadlock-free.
+    fn deep_vet(&mut self, config: &SystemConfig, n_switches: usize) -> Result<(), String> {
+        let bounds = ModelBounds {
+            max_switches: n_switches.clamp(2, 16),
+            ..ModelBounds::default()
+        };
+        let opts = ModelOptions {
+            mode: config.model_mode,
+            ..ModelOptions::default()
+        };
+        let key = (bounds, opts);
+        if !self.deep_vetted.contains_key(&key) {
             let arch = match config.arch {
                 SwitchArch::CentralBuffer => ArchClass::CentralBuffer,
                 SwitchArch::InputBuffered => ArchClass::InputBuffered,
             };
             let sync = config.switch.replication == ReplicationMode::Synchronous;
-            let outcome = check_model_timed(
+            let outcome = check_model_opts_timed(
                 arch,
                 sync,
                 config.switch.policy,
-                &ModelBounds::default(),
+                &key.0,
+                &key.1,
                 &mut self.vet_stats,
             );
-            self.deep_vetted = Some(match outcome {
+            let verdict = match outcome {
                 CheckOutcome::Verified(_) => Ok(()),
                 CheckOutcome::Violated(v) => Err(format!(
                     "bounded model check found a {} in scenario '{}': {}",
                     v.kind, v.scenario, v.detail
                 )),
-            });
+            };
+            self.deep_vetted.insert(key.clone(), verdict);
         }
-        self.deep_vetted.clone().expect("just populated")
+        self.deep_vetted[&key].clone()
     }
 
     /// Substitutes the candidate-table builder (rejection-path tests).
@@ -386,9 +412,10 @@ impl FaultResponder {
     /// next [`poll`](Self::poll) re-runs the full response even though
     /// the dead-port set is unchanged. A storm controller uses this to
     /// retry after a vet rejection or an incomplete purge once its
-    /// backoff expires; clearing the memoized model-check verdict is
-    /// deliberate *not* part of this — that verdict depends only on the
-    /// configuration, never on fabric state.
+    /// backoff expires; clearing the memoized model-check verdicts is
+    /// deliberately *not* part of this — each cached verdict depends only
+    /// on the configuration and the bounds/options it was explored under,
+    /// never on fabric state.
     pub fn request_retry(&mut self) {
         self.retry_requested = true;
     }
@@ -528,7 +555,7 @@ impl FaultResponder {
                 (d.code.to_string(), d.message.clone())
             })
             .and_then(|_| {
-                self.deep_vet(&sys.config)
+                self.deep_vet(&sys.config, sys.topology.n_switches())
                     .map_err(|detail| ("model-check".to_string(), detail))
             });
         match verdict {
@@ -605,6 +632,68 @@ mod tests {
         let cycles: Vec<Cycle> = log.iter().map(|&(c, _)| c).collect();
         assert_eq!(cycles, vec![2, 3, 4]);
         assert!(!log.is_empty());
+    }
+
+    /// A responder with no fabric attached — enough to exercise the
+    /// memoized deep vet, which never touches the topology beyond the
+    /// switch count its caller passes in.
+    fn bare_responder() -> FaultResponder {
+        let cfg = ResponseConfig::default();
+        let events = EventLog::new(cfg.event_log_cap);
+        let health = FabricHealth::new(cfg.debounce);
+        FaultResponder {
+            cfg,
+            health,
+            masked: Vec::new(),
+            fabric_ports: HashMap::new(),
+            builder: None,
+            events,
+            counters: ResponseCounters::default(),
+            suppressed: Vec::new(),
+            fresh_confirmed: Vec::new(),
+            retry_requested: false,
+            vet_stats: VetStats::new(),
+            latency: Samples::new(),
+            deep_vetted: HashMap::new(),
+        }
+    }
+
+    #[test]
+    fn deep_vet_cache_is_keyed_by_bounds_and_options() {
+        let mut r = bare_responder();
+        let config = SystemConfig::default();
+
+        // First vet at a 2-switch fabric bound: one exploration, cached.
+        r.deep_vet(&config, 2).expect("defaults verify");
+        assert_eq!(r.deep_vetted.len(), 1);
+        assert_eq!(r.vet_stats.model_ns.count(), 1);
+
+        // Same fabric again: the cache answers, no new exploration.
+        r.deep_vet(&config, 2).expect("cached verdict");
+        assert_eq!(r.vet_stats.model_ns.count(), 1);
+
+        // A larger fabric is a *stricter* vet: the loose-bounds verdict
+        // must not be reused — a fresh exploration runs under its own key.
+        r.deep_vet(&config, 4).expect("quad fabric verifies");
+        assert_eq!(r.deep_vetted.len(), 2);
+        assert_eq!(r.vet_stats.model_ns.count(), 2);
+
+        // A different decomposition mode is likewise its own key.
+        let compositional = SystemConfig {
+            model_mode: mdw_analysis::ModelMode::Compositional,
+            ..SystemConfig::default()
+        };
+        r.deep_vet(&compositional, 4)
+            .expect("compositional verifies");
+        assert_eq!(r.deep_vetted.len(), 3);
+        assert_eq!(r.vet_stats.model_ns.count(), 3);
+
+        // The switch count saturates at the checker's scenario range, so
+        // production-size fabrics share one entry.
+        r.deep_vet(&config, 48).expect("clamped to 16 switches");
+        r.deep_vet(&config, 64).expect("same clamped key");
+        assert_eq!(r.deep_vetted.len(), 4);
+        assert_eq!(r.vet_stats.model_ns.count(), 4);
     }
 
     #[test]

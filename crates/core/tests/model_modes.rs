@@ -1,0 +1,179 @@
+//! Differential validation of the scaled model checker over every
+//! shipped config (DESIGN.md §14).
+//!
+//! The reductions — symmetry quotient, ample-set partial-order
+//! reduction, worker-striped frontiers, and the compositional
+//! per-switch decomposition — are only admissible if they never change
+//! a verdict. This suite pins that contract to the artifacts users
+//! actually lint: for each `configs/*.mdw`, the unreduced sequential
+//! oracle and every reduced/parallel/compositional configuration must
+//! agree, verdicts must be byte-identical across worker counts, and
+//! every counterexample must re-execute against the rebuilt unreduced
+//! model (and, for central-buffer scenarios, replay through the pure
+//! `cq_step` machine).
+
+use mdw_analysis::{
+    check_model_opts, replay_model_violation, ArchClass, CheckOutcome, ModelBounds, ModelMode,
+    ModelOptions,
+};
+use mdworm::cfgtext::parse_config;
+use mdworm::config::{SwitchArch, SystemConfig};
+use switches::ReplicationMode;
+
+/// Parses every shipped `configs/*.mdw` whose static lint is clean
+/// enough to earn a model check (the crafted undersized-central-buffer
+/// config is rejected before exploration, exactly as `mdw-lint` does).
+fn shipped_configs() -> Vec<(String, SystemConfig)> {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../configs");
+    let mut out = Vec::new();
+    let mut entries: Vec<_> = std::fs::read_dir(dir)
+        .expect("configs dir")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "mdw"))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let text = std::fs::read_to_string(&path).expect("read config");
+        let cfg = parse_config(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        if cfg.report().has_errors() {
+            continue; // statically rejected; the checker never sees it
+        }
+        out.push((name, cfg));
+    }
+    assert!(
+        out.len() >= 4,
+        "expected the shipped config set, got {out:?}"
+    );
+    out
+}
+
+fn model_inputs(cfg: &SystemConfig) -> (ArchClass, bool) {
+    let arch = match cfg.arch {
+        SwitchArch::CentralBuffer => ArchClass::CentralBuffer,
+        SwitchArch::InputBuffered => ArchClass::InputBuffered,
+    };
+    (arch, cfg.switch.replication == ReplicationMode::Synchronous)
+}
+
+/// Every reduced/parallel/compositional configuration reaches the same
+/// verdict as the unreduced oracle on every shipped config, at the
+/// default bounds: verified configs stay verified, and the crafted
+/// `sync-replication-hazard.mdw` fails in every mode with a
+/// counterexample that re-executes cleanly against the rebuilt model.
+#[test]
+fn every_mode_agrees_with_the_oracle_on_shipped_configs() {
+    let bounds = ModelBounds::default();
+    let modes = [ModelMode::Exact, ModelMode::Compositional, ModelMode::Auto];
+    for (name, cfg) in shipped_configs() {
+        let (arch, sync) = model_inputs(&cfg);
+        let oracle = check_model_opts(
+            arch,
+            sync,
+            cfg.switch.policy,
+            &bounds,
+            &ModelOptions::oracle(),
+        );
+        for mode in modes {
+            for jobs in [1, 4] {
+                let opts = ModelOptions {
+                    mode,
+                    jobs,
+                    ..ModelOptions::default()
+                };
+                let out = check_model_opts(arch, sync, cfg.switch.policy, &bounds, &opts);
+                assert_eq!(
+                    out.is_verified(),
+                    oracle.is_verified(),
+                    "{name} ({mode:?}, jobs={jobs}) disagrees with the oracle: {out:?}"
+                );
+                if let CheckOutcome::Violated(v) = &out {
+                    let replay = replay_model_violation(arch, sync, cfg.switch.policy, &bounds, v)
+                        .unwrap_or_else(|e| {
+                            panic!("{name} ({mode:?}, jobs={jobs}): counterexample rejected: {e}")
+                        });
+                    assert_eq!(replay.steps, v.trace.len(), "{name} ({mode:?})");
+                }
+            }
+        }
+        // The one shipped hazard config must actually be caught.
+        if name == "sync-replication-hazard.mdw" {
+            assert!(!oracle.is_verified(), "{name} must deadlock: {oracle:?}");
+        } else {
+            assert!(oracle.is_verified(), "{name} must verify: {oracle:?}");
+        }
+    }
+}
+
+/// Worker striping is an implementation detail: the complete outcome —
+/// stats on verification, the minimal counterexample (scenario, kind,
+/// trace, events) on violation — is byte-identical at 1, 2 and 4 jobs
+/// on every shipped config.
+#[test]
+fn verdicts_are_byte_identical_across_worker_counts_on_shipped_configs() {
+    let bounds = ModelBounds::default();
+    for (name, cfg) in shipped_configs() {
+        let (arch, sync) = model_inputs(&cfg);
+        for mode in [ModelMode::Exact, ModelMode::Auto] {
+            let render = |jobs: usize| {
+                let opts = ModelOptions {
+                    mode,
+                    jobs,
+                    ..ModelOptions::default()
+                };
+                format!(
+                    "{:?}",
+                    check_model_opts(arch, sync, cfg.switch.policy, &bounds, &opts)
+                )
+            };
+            let one = render(1);
+            assert_eq!(one, render(2), "{name} ({mode:?}): jobs=2 diverged");
+            assert_eq!(one, render(4), "{name} ({mode:?}): jobs=4 diverged");
+        }
+    }
+}
+
+/// The scale tier the reductions exist for: at a 16-switch fabric bound
+/// with a 50k-state budget the unreduced oracle exhausts its bound,
+/// while the reduced exact checker and the auto (compositional beyond 4
+/// switches) checker both verify the shipped default config well inside
+/// it.
+#[test]
+fn reduced_checker_verifies_where_the_oracle_exhausts_its_state_budget() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../configs");
+    let text = std::fs::read_to_string(format!("{dir}/sp2-default.mdw")).expect("read config");
+    let cfg = parse_config(&text).expect("parse");
+    let (arch, sync) = model_inputs(&cfg);
+    let bounds = ModelBounds {
+        max_switches: 16,
+        max_states: 50_000,
+        ..ModelBounds::default()
+    };
+
+    let oracle = check_model_opts(
+        arch,
+        sync,
+        cfg.switch.policy,
+        &bounds,
+        &ModelOptions::oracle(),
+    );
+    let CheckOutcome::Violated(v) = &oracle else {
+        panic!("the unreduced oracle must exhaust 50k states at 16 switches: {oracle:?}");
+    };
+    assert_eq!(v.kind, "state-bound", "{v}");
+
+    for mode in [ModelMode::Exact, ModelMode::Auto] {
+        let opts = ModelOptions {
+            mode,
+            ..ModelOptions::default()
+        };
+        let out = check_model_opts(arch, sync, cfg.switch.policy, &bounds, &opts);
+        let CheckOutcome::Verified(stats) = &out else {
+            panic!("reduced {mode:?} must verify the 16-switch tier: {out:?}");
+        };
+        assert!(
+            stats.states * 10 <= bounds.max_states,
+            "{mode:?} should verify with >=10x headroom: {stats:?}"
+        );
+    }
+}
