@@ -137,6 +137,7 @@ pub fn vet_reroute(
 ) -> Result<AnalysisStats, Box<ConfigReport>> {
     let mut report = ConfigReport::new();
     check_live_switches(topo, candidate, &mut report);
+    check_full_reachability(topo, candidate, &mut report);
     analyze_fabric(topo, candidate, policy, &mut report);
     if report.has_errors() {
         Err(Box::new(report))
@@ -180,6 +181,45 @@ fn check_live_switches(topo: &Topology, candidate: &RouteTables, report: &mut Co
                         .map(|h| format!("h{h}"))
                         .collect::<Vec<_>>()
                         .join(","),
+                ),
+            );
+        }
+    }
+}
+
+/// Rejects candidate tables that partition the fabric: a switch with
+/// hosts attached from which some destination cannot be reached on any
+/// surviving port. Such tables pass the CDG pass — fewer channels, still
+/// acyclic — yet a host can inject a worm to *any* destination, and the
+/// first one addressed to the cut-off host has no output port and wedges
+/// (or, for unicast, panics the router). Transit switches are exempt:
+/// masked reach strings already keep worms they cannot forward from ever
+/// being routed to them. The correct response to a partitioning mask is
+/// to stay on the old tables and degrade, so the gate must say no.
+fn check_full_reachability(topo: &Topology, candidate: &RouteTables, report: &mut ConfigReport) {
+    use mintopo::topology::Attach;
+    use netsim::ids::{NodeId, SwitchId};
+    for s in 0..topo.n_switches() {
+        let sw = SwitchId(s as u32);
+        let table = candidate.table(sw);
+        let has_hosts = (0..topo.ports(sw)).any(|p| matches!(topo.attach(sw, p), Attach::Host(_)));
+        let live = (0..table.n_ports()).any(|p| !table.port(p).reach.is_empty());
+        if !has_hosts || !live {
+            continue; // transit switch, or fully dark: check_live_switches owns the latter
+        }
+        let missing: Vec<String> = (0..topo.n_hosts())
+            .filter(|&h| table.try_route_unicast(NodeId(h as u32)).is_none())
+            .map(|h| format!("h{h}"))
+            .collect();
+        if !missing.is_empty() {
+            report.error(
+                "unreachable-destination",
+                format!(
+                    "switch {s} cannot route to {} host(s) ({}) under the candidate \
+                     tables — the masked fabric is partitioned; the first worm \
+                     addressed there would have no output port",
+                    missing.len(),
+                    missing.join(","),
                 ),
             );
         }
@@ -243,6 +283,32 @@ mod tests {
             .expect("masked rebuild must be deadlock-free");
         assert!(stats.channels > 0);
         assert!(stats.dependencies > 0);
+    }
+
+    #[test]
+    fn partitioning_masked_reroute_is_rejected() {
+        use netsim::ids::SwitchId;
+        let topo = two_root_net();
+        // Kill both of s0's up links: h0/h1 still inject at s0 but can no
+        // longer reach h2/h3 anywhere — the gate must refuse the tables.
+        let candidate = RouteTables::build_masked(
+            &topo,
+            &[
+                (SwitchId(0), 2),
+                (SwitchId(2), 0),
+                (SwitchId(0), 3),
+                (SwitchId(3), 0),
+            ],
+        );
+        let report = vet_reroute(&topo, &candidate, ReplicatePolicy::ReturnOnly)
+            .expect_err("a partitioning mask must be rejected");
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .any(|d| d.code == "unreachable-destination"),
+            "{report:?}"
+        );
     }
 
     #[test]

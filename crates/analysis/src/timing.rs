@@ -24,20 +24,66 @@ use std::time::{Duration, Instant};
 /// An accumulator of `u64` latency samples with nearest-rank percentile
 /// extraction. Unit-agnostic: the vet path records wall-clock
 /// nanoseconds, the responder records cycle counts.
-#[derive(Debug, Default, Clone, PartialEq, Eq)]
+///
+/// Optionally bounded ([`Samples::with_cap`]): once `cap` samples are
+/// held each record evicts the oldest and bumps a drop counter, so a
+/// resident service accumulating latencies for weeks holds steady-state
+/// memory. Percentiles then describe the most recent `cap` episodes —
+/// exactly the window an operator asks about — and the drop counter
+/// keeps the total episode count auditable.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Samples {
     values: Vec<u64>,
+    cap: usize,
+    dropped: u64,
+}
+
+impl Default for Samples {
+    fn default() -> Self {
+        Samples {
+            values: Vec::new(),
+            cap: usize::MAX,
+            dropped: 0,
+        }
+    }
 }
 
 impl Samples {
-    /// An empty accumulator.
+    /// An empty, unbounded accumulator.
     pub fn new() -> Self {
         Samples::default()
     }
 
-    /// Records one sample.
+    /// An empty accumulator retaining at most `cap` samples (floor 1).
+    pub fn with_cap(cap: usize) -> Self {
+        Samples {
+            cap: cap.max(1),
+            ..Samples::default()
+        }
+    }
+
+    /// Records one sample, evicting the oldest if the ring is full.
     pub fn record(&mut self, value: u64) {
+        if self.values.len() == self.cap {
+            self.values.remove(0);
+            self.dropped += 1;
+        }
         self.values.push(value);
+    }
+
+    /// Samples evicted to stay within the ring bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Rebuilds an accumulator from snapshot state (crash recovery):
+    /// the retained window plus the historical drop count.
+    pub fn restore(cap: usize, values: &[u64], dropped: u64) -> Self {
+        Samples {
+            values: values.to_vec(),
+            cap: cap.max(1),
+            dropped,
+        }
     }
 
     /// Number of samples recorded.
@@ -69,9 +115,13 @@ impl Samples {
         sorted[rank.clamp(1, sorted.len()) - 1]
     }
 
-    /// Folds another accumulator's samples into this one.
+    /// Folds another accumulator's samples (and drop count) into this
+    /// one, respecting this accumulator's own ring bound.
     pub fn merge(&mut self, other: &Samples) {
-        self.values.extend_from_slice(&other.values);
+        self.dropped += other.dropped;
+        for &v in &other.values {
+            self.record(v);
+        }
     }
 
     /// The raw samples, in record order.
@@ -190,6 +240,26 @@ mod tests {
         assert_eq!(s.percentile(1.0), 42);
         assert_eq!(s.percentile(50.0), 42);
         assert_eq!(s.percentile(99.0), 42);
+    }
+
+    #[test]
+    fn capped_samples_evict_oldest_and_count_drops() {
+        let mut s = Samples::with_cap(3);
+        for v in [10, 20, 30, 40, 50] {
+            s.record(v);
+        }
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.dropped(), 2);
+        assert_eq!(s.values(), &[30, 40, 50], "ring keeps the newest");
+        assert_eq!(s.percentile(0.0), 30, "percentiles see only the window");
+
+        // Merge respects the destination's bound and folds drop counts.
+        let mut dst = Samples::with_cap(2);
+        dst.record(1);
+        dst.merge(&s);
+        assert_eq!(dst.count(), 2);
+        assert_eq!(dst.values(), &[40, 50]);
+        assert_eq!(dst.dropped(), 2 + 2, "source drops + merge evictions");
     }
 
     #[test]

@@ -39,6 +39,7 @@ impl Scale {
                 drain_max: 300_000,
                 watchdog_grace: 30_000,
                 faults: None,
+                outages: Vec::new(),
             },
             Scale::Quick => RunConfig {
                 warmup: 1_000,
@@ -46,6 +47,7 @@ impl Scale {
                 drain_max: 80_000,
                 watchdog_grace: 20_000,
                 faults: None,
+                outages: Vec::new(),
             },
         }
     }
@@ -128,6 +130,18 @@ impl Scale {
         match self {
             Scale::Full => 8_000,
             Scale::Quick => 2_500,
+        }
+    }
+
+    /// Per-phase window length for the E19 crash-sweep storm script. The
+    /// sweep re-runs the whole experiment once per protocol boundary, so
+    /// the phase stays short at both scales; it must still clear the
+    /// responder's debounce + drain-wait + purge budget (~600 cycles at
+    /// defaults) or every episode goes stale before the install window.
+    pub fn crash_phase_len(self) -> u64 {
+        match self {
+            Scale::Full => 800,
+            Scale::Quick => 400,
         }
     }
 }

@@ -46,6 +46,16 @@ pub struct BenchReport {
     pub storm_vet_p50_ns: u64,
     /// p99 wall time of a structural reroute vet, nanoseconds.
     pub storm_vet_p99_ns: u64,
+    /// Protocol boundaries the crash-recovery microbench swept (E19
+    /// shape, CB-HW scheme).
+    pub crash_boundaries: u64,
+    /// Responder recoveries completed across the crash microbench.
+    pub crash_recoveries: u64,
+    /// p50 restart→caught-up recovery latency (journal replay + episode
+    /// re-drive), nanoseconds.
+    pub crash_recovery_p50_ns: u64,
+    /// p99 restart→caught-up recovery latency, nanoseconds.
+    pub crash_recovery_p99_ns: u64,
     /// Shard count of the headline sharded measurement.
     pub engine_shards: usize,
     /// Sequential-oracle cycles/sec on the scale fabric (light load) —
@@ -185,6 +195,8 @@ impl BenchReport {
              \"storm_episodes\": {},\n  \"storm_p50_cycles\": {},\n  \
              \"storm_p99_cycles\": {},\n  \"storm_vet_p50_ns\": {},\n  \
              \"storm_vet_p99_ns\": {},\n  \
+             \"crash_boundaries\": {},\n  \"crash_recoveries\": {},\n  \
+             \"crash_recovery_p50_ns\": {},\n  \"crash_recovery_p99_ns\": {},\n  \
              \"engine_shards\": {},\n  \"sequential_cycles_per_sec\": {:.0},\n  \
              \"sharded_cycles_per_sec\": {:.0},\n  \
              \"bench_scale\": [\n{fabrics}  ],\n  \
@@ -206,6 +218,10 @@ impl BenchReport {
             self.storm_p99_cycles,
             self.storm_vet_p50_ns,
             self.storm_vet_p99_ns,
+            self.crash_boundaries,
+            self.crash_recoveries,
+            self.crash_recovery_p50_ns,
+            self.crash_recovery_p99_ns,
             self.engine_shards,
             self.sequential_cycles_per_sec,
             self.sharded_cycles_per_sec,
@@ -258,6 +274,28 @@ pub fn storm_latency() -> (usize, u64, u64, u64, u64) {
         vet.structural_ns.percentile(50.0),
         vet.structural_ns.percentile(99.0),
     )
+}
+
+/// Restart→caught-up cost of the journaled control plane: a small
+/// exhaustive crash sweep (the E19 shape — every protocol boundary,
+/// clean and torn-tail) on the smallest multi-root tree, reporting the
+/// CB-HW scheme's recovery-latency percentiles. This is the perf number
+/// that moves when journal replay or episode re-drive moves.
+///
+/// Returns `(boundaries, recoveries, p50_ns, p99_ns)`.
+pub fn crash_recovery_latency() -> (u64, u64, u64, u64) {
+    let cfg = SystemConfig {
+        topology: TopologyKind::KaryTree { k: 2, n: 2 },
+        ..SystemConfig::default()
+    };
+    let rows = mdworm::experiments::e19_crash_storm(&cfg, 400, 0.02, 2, 8);
+    let r = rows.first().expect("e19 produces a CB-HW row");
+    assert_eq!(
+        (r.mismatches, r.torn_cycles),
+        (0, 0),
+        "the bench host reproduced a crash-recovery divergence: {r:?}"
+    );
+    (r.boundaries, r.recoveries, r.rec_p50_ns, r.rec_p99_ns)
 }
 
 /// Times one 64-processor engine under the default multiple-multicast
@@ -448,6 +486,7 @@ pub fn bench_sweep(
     let outputs_identical = serial == parallel;
     let eng_secs = engine_secs(engine_cycles);
     let (storm_episodes, storm_p50, storm_p99, vet_p50, vet_p99) = storm_latency();
+    let (crash_boundaries, crash_recoveries, crash_p50, crash_p99) = crash_recovery_latency();
     let scale_fabrics = bench_scale(engine_cycles / 10);
     // Headline: the 2-shard compiled engine vs the sequential oracle on
     // the largest fabric swept.
@@ -478,6 +517,10 @@ pub fn bench_sweep(
         storm_p99_cycles: storm_p99,
         storm_vet_p50_ns: vet_p50,
         storm_vet_p99_ns: vet_p99,
+        crash_boundaries,
+        crash_recoveries,
+        crash_recovery_p50_ns: crash_p50,
+        crash_recovery_p99_ns: crash_p99,
         engine_shards,
         sequential_cycles_per_sec,
         sharded_cycles_per_sec,
@@ -511,6 +554,10 @@ mod tests {
             storm_p99_cycles: 257,
             storm_vet_p50_ns: 1_000,
             storm_vet_p99_ns: 2_000,
+            crash_boundaries: 40,
+            crash_recoveries: 80,
+            crash_recovery_p50_ns: 12_000,
+            crash_recovery_p99_ns: 48_000,
             engine_shards: 2,
             sequential_cycles_per_sec: 50_000.0,
             sharded_cycles_per_sec: 90_000.0,
@@ -551,6 +598,8 @@ mod tests {
         assert!(j.contains("\"outputs_identical\": true"));
         assert!(j.contains("\"jobs_serial\": 1"));
         assert!(j.contains("\"storm_p99_cycles\": 257"));
+        assert!(j.contains("\"crash_recovery_p99_ns\": 48000"));
+        assert!(j.contains("\"crash_boundaries\": 40"));
         assert!(j.contains("\"engine_shards\": 2"));
         assert!(j.contains("\"sharded_cycles_per_sec\": 90000"));
         assert!(j.contains("\"bench_scale\": ["));

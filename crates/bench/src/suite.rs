@@ -1,4 +1,4 @@
-//! The full E1..E18 table suite as data: every experiment rendered to
+//! The full E1..E19 table suite as data: every experiment rendered to
 //! markdown + CSV strings, with no file IO.
 //!
 //! The `figures` binary writes these tables to `results/`; the bench mode
@@ -191,6 +191,20 @@ pub fn run_suite(base: &SystemConfig, scale: Scale, exp_filter: &str) -> Vec<Tab
             "e18_fault_storm",
             "E18 (robustness extension): fault storm under the resident control plane — overlapping cuts + flapping link, with flap damping, retry backoff, degradation ladder, and p50/p99 detect→install latency (16 procs, load 0.04)",
             &exp::e18_fault_storm(&e18_base, scale.fault_phase_len(), 0.04, 4, 16),
+        ));
+    }
+    if want("e19") {
+        // Smallest multi-root tree: the sweep re-runs the full experiment
+        // once per (protocol boundary × tear variant), so the fabric and
+        // the load stay deliberately tiny.
+        let e19_base = SystemConfig {
+            topology: TopologyKind::KaryTree { k: 2, n: 2 },
+            ..base.clone()
+        };
+        tables.push(table(
+            "e19_crash_storm",
+            "E19 (crash tolerance): deterministic responder crash at every protocol boundary of a seeded outage storm, clean and with a torn journal tail — recovered runs must match the uncrashed oracle byte-for-byte with zero torn installs (4 procs, load 0.02)",
+            &exp::e19_crash_storm(&e19_base, scale.crash_phase_len(), 0.02, 2, 8),
         ));
     }
     tables

@@ -173,6 +173,25 @@ pub fn parse_config(text: &str) -> Result<SystemConfig, String> {
                     .get_or_insert_with(ResponseConfig::default)
                     .event_log_cap = parse_usize(key)?
             }
+            // Responder write-ahead journal (DESIGN.md §15); both
+            // spellings accepted. Setting either implies `response = on`.
+            "journal.snapshot_every" | "journal_snapshot_every" => {
+                cfg.response
+                    .get_or_insert_with(ResponseConfig::default)
+                    .snapshot_every = parse_u64(key)?
+            }
+            "journal.latency_cap" | "journal_latency_cap" => {
+                cfg.response
+                    .get_or_insert_with(ResponseConfig::default)
+                    .latency_cap = parse_usize(key)?
+            }
+            // Engine-level torn-install audit over the two-phase epoch
+            // protocol; both spellings accepted.
+            "epoch.audit" | "epoch_audit" => match value {
+                "on" | "true" => cfg.epoch_audit = true,
+                "off" | "false" => cfg.epoch_audit = false,
+                _ => return Err(bad("epoch.audit (on|off)")),
+            },
             // Resident control plane (`mdw-routed`) storm hardening.
             "routed" => match value {
                 "on" | "true" => {
@@ -457,6 +476,57 @@ mod tests {
         );
         let err = parse_config("engine.shards = many").unwrap_err();
         assert!(err.contains("engine.shards"), "{err}");
+    }
+
+    #[test]
+    fn journal_and_epoch_keys_parse_both_spellings() {
+        // Journal tuning keys materialize the response block and land in
+        // the same fields under either spelling.
+        let cfg = parse_config("journal.snapshot_every = 128").expect("parses");
+        assert_eq!(
+            cfg.response
+                .as_ref()
+                .expect("implies response")
+                .snapshot_every,
+            128
+        );
+        let cfg =
+            parse_config("journal_snapshot_every = 64\njournal.latency_cap = 512").expect("parses");
+        let resp = cfg.response.clone().expect("implies response");
+        assert_eq!(resp.snapshot_every, 64);
+        assert_eq!(resp.latency_cap, 512);
+        assert!(!cfg.report().has_errors(), "{:?}", cfg.report().diagnostics);
+
+        let cfg = parse_config("epoch.audit = on").expect("parses");
+        assert!(cfg.epoch_audit);
+        let cfg = parse_config("epoch_audit = true\nepoch.audit = off").expect("parses");
+        assert!(!cfg.epoch_audit, "later `off` wins");
+        let err = parse_config("epoch.audit = maybe").unwrap_err();
+        assert!(err.contains("epoch.audit"), "{err}");
+
+        // Zero cadences are parseable but fail the lint: a zero snapshot
+        // interval would snapshot on every append, a zero latency ring
+        // records nothing.
+        let cfg = parse_config("journal.snapshot_every = 0").expect("parses");
+        assert!(
+            cfg.report()
+                .diagnostics
+                .iter()
+                .any(|d| d.code == "journal-snapshot-zero"),
+            "{:?}",
+            cfg.report().diagnostics
+        );
+        let cfg = parse_config("journal.latency_cap = 0").expect("parses");
+        assert!(
+            cfg.report()
+                .diagnostics
+                .iter()
+                .any(|d| d.code == "journal-latency-cap-zero"),
+            "{:?}",
+            cfg.report().diagnostics
+        );
+        let err = parse_config("journal.latency_cap = many").unwrap_err();
+        assert!(err.contains("journal.latency_cap"), "{err}");
     }
 
     #[test]

@@ -156,6 +156,12 @@ pub struct SystemConfig {
     /// that many shards (bit-identical results, see DESIGN.md §13). Must
     /// be ≥ 1 and at most the topology's switch count.
     pub engine_shards: usize,
+    /// Enables the engine's per-cycle torn-install audit (config key
+    /// `epoch.audit`): every cycle, committed table epochs must agree
+    /// across all switches unless the laggards hold an armed commit at
+    /// the frontier epoch. Surfaced as
+    /// [`crate::sim::RunOutcome::torn_cycles`]; see DESIGN.md §15.
+    pub epoch_audit: bool,
 }
 
 impl Default for SystemConfig {
@@ -181,6 +187,7 @@ impl Default for SystemConfig {
             routed: None,
             model_mode: ModelMode::Auto,
             engine_shards: 1,
+            epoch_audit: false,
         }
     }
 }
@@ -292,6 +299,21 @@ impl SystemConfig {
                     "response-purge-zero",
                     "response purge_max must be positive: a zero-cycle purge \
                      window can never confirm the fabric drained",
+                );
+            }
+            if resp.snapshot_every < 1 {
+                report.error(
+                    "journal-snapshot-zero",
+                    "journal snapshot_every must be positive: a zero cadence \
+                     snapshots (and compacts) after every single record, \
+                     turning the write-ahead log into pure snapshot churn",
+                );
+            }
+            if resp.latency_cap < 1 {
+                report.error(
+                    "journal-latency-cap-zero",
+                    "journal latency_cap must be positive — a zero-slot ring \
+                     cannot hold even the most recent episode",
                 );
             }
             if self.recovery.is_none() {

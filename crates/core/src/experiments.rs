@@ -1,4 +1,4 @@
-//! The experiment suite (E1..E16 in DESIGN.md), reproducing every
+//! The experiment suite (E1..E19 in DESIGN.md), reproducing every
 //! evaluation axis the paper's abstract enumerates: multiple multicast,
 //! bimodal traffic, degree of multicast, message length, and system size —
 //! plus parameter ablations, single-multicast latency, and the barrier /
@@ -1641,6 +1641,174 @@ pub fn e18_fault_storm(
     e18_fault_storm_with_jobs(base, phase_len, load, degree, len, sweep::jobs())
 }
 
+// ---------------------------------------------------------------------
+// E19: exhaustive crash sweep of the journaled control plane
+// ---------------------------------------------------------------------
+
+/// One scheme's crash-sweep verdict (E19): the oracle run's fault
+/// response, and whether a responder crash at *every* protocol boundary
+/// — with and without a torn journal tail — recovered to a byte-identical
+/// [`RunOutcome`] with zero torn-install cycles.
+#[derive(Debug, Clone)]
+pub struct CrashStormRow {
+    /// Scheme label (CB-HW / IB-HW).
+    pub scheme: String,
+    /// Protocol-step boundaries the oracle crossed (crash sites swept
+    /// per tear variant).
+    pub boundaries: u64,
+    /// Injected runs executed (boundaries × tear variants).
+    pub runs: u64,
+    /// Injected runs whose recovered outcome diverged from the oracle.
+    pub mismatches: u64,
+    /// Torn-install cycles summed over every injected run.
+    pub torn_cycles: u64,
+    /// Responder recoveries completed across the sweep.
+    pub recoveries: u64,
+    /// p50 restart→caught-up recovery latency, ns (wall clock; kept out
+    /// of the rendered table so serial/parallel suite renders stay
+    /// byte-identical — the recorded numbers land in
+    /// `results/BENCH_sweep.json` as `crash_recovery_p50_ns`).
+    pub rec_p50_ns: u64,
+    /// p99 restart→caught-up recovery latency, ns (wall clock; see
+    /// `rec_p50_ns`).
+    pub rec_p99_ns: u64,
+    /// Masked reroutes the oracle installed (two-phase commits exercised).
+    pub reroutes: u64,
+    /// Heals back to the unmasked tables in the oracle run.
+    pub heals: u64,
+    /// Event-log entries + latency samples the oracle's bounded rings
+    /// evicted.
+    pub dropped: u64,
+    /// FNV-64 digest of the oracle responder's durable state at run end.
+    pub digest: String,
+    /// `identical` (every crash recovered byte-identically, no torn
+    /// installs) or `diverged`.
+    pub verdict: &'static str,
+}
+
+impl TableRow for CrashStormRow {
+    fn headers() -> Vec<&'static str> {
+        vec![
+            "scheme",
+            "boundaries",
+            "runs",
+            "mismatches",
+            "torn_cycles",
+            "recoveries",
+            "reroutes",
+            "heals",
+            "dropped",
+            "digest",
+            "verdict",
+        ]
+    }
+    fn cells(&self) -> Vec<String> {
+        vec![
+            self.scheme.clone(),
+            self.boundaries.to_string(),
+            self.runs.to_string(),
+            self.mismatches.to_string(),
+            self.torn_cycles.to_string(),
+            self.recoveries.to_string(),
+            self.reroutes.to_string(),
+            self.heals.to_string(),
+            self.dropped.to_string(),
+            self.digest.clone(),
+            self.verdict.to_string(),
+        ]
+    }
+}
+
+/// Drives one scheme through the exhaustive crash sweep: a seeded
+/// [`FaultPlan`] outage schedule forces reroute and heal episodes, the
+/// oracle pass counts the protocol boundaries, and one injected run per
+/// (boundary, tear) pair crashes the responder there.
+fn e19_drive(
+    label: &str,
+    cfg: SystemConfig,
+    phase_len: netsim::Cycle,
+    load: f64,
+    degree: usize,
+    len: u16,
+) -> CrashStormRow {
+    let spec = TrafficSpec::multiple_multicast(load, degree, len);
+    let run = RunConfig {
+        warmup: 0,
+        measure: 4 * phase_len,
+        drain_max: 20 * phase_len,
+        watchdog_grace: 6 * phase_len,
+        faults: None,
+        // Three bounded cuts: two overlapping (a crossed reroute, or a
+        // vet rejection if the pair partitions the fabric — either way
+        // deterministic), then a clean fail-and-heal window. Every link
+        // is healthy again before the drain, so each injected run stays
+        // short and the boundary count stays proportional to the storm,
+        // not the run length.
+        outages: vec![
+            (0, phase_len, 2 * phase_len),
+            (1, phase_len + phase_len / 4, 2 * phase_len - phase_len / 4),
+            (2, 5 * phase_len / 2, 7 * phase_len / 2),
+        ],
+    };
+    let sweep = crate::chaos::run_crash_sweep(&cfg, &spec, &run, &[8]);
+    let verdict = if sweep.mismatches.is_empty() && sweep.torn_cycles == 0 {
+        "identical"
+    } else {
+        "diverged"
+    };
+    CrashStormRow {
+        scheme: label.to_string(),
+        boundaries: sweep.boundaries,
+        runs: sweep.runs,
+        mismatches: sweep.mismatches.len() as u64,
+        torn_cycles: sweep.torn_cycles,
+        recoveries: sweep.recoveries,
+        rec_p50_ns: sweep.recovery_ns.percentile(50.0),
+        rec_p99_ns: sweep.recovery_ns.percentile(99.0),
+        reroutes: sweep.oracle.response.reroutes,
+        heals: sweep.oracle.response.heals,
+        dropped: sweep.oracle.response_dropped,
+        digest: sweep.oracle.response_digest.clone().unwrap_or_default(),
+        verdict,
+    }
+}
+
+/// E19 (crash storm): deterministic crash injection at **every**
+/// protocol-step boundary of the journaled fault responder, per
+/// architecture, under a seeded outage schedule. Each crash site is swept
+/// clean and with a torn journal tail; the recovered run must reproduce
+/// the uncrashed oracle's [`RunOutcome`] byte for byte with the engine's
+/// torn-install audit silent throughout. Reports the sweep size, the
+/// recovery-latency percentiles, and the verdict.
+pub fn e19_crash_storm(
+    base: &SystemConfig,
+    phase_len: netsim::Cycle,
+    load: f64,
+    degree: usize,
+    len: u16,
+) -> Vec<CrashStormRow> {
+    let mut jobs = Vec::new();
+    for (label, arch) in [
+        ("CB-HW", SwitchArch::CentralBuffer),
+        ("IB-HW", SwitchArch::InputBuffered),
+    ] {
+        let cfg = SystemConfig {
+            arch,
+            mcast: McastImpl::HwBitString,
+            recovery: Some(RecoveryConfig::default()),
+            response: Some(crate::respond::ResponseConfig::default()),
+            epoch_audit: true,
+            ..base.clone()
+        };
+        jobs.push((label, cfg));
+    }
+    // The chaos handle is installed thread-locally and consumed on the
+    // worker thread that runs the sweep, so per-scheme fan-out is safe.
+    sweep::parallel_map(jobs, sweep::jobs(), |(label, cfg)| {
+        e19_drive(label, cfg, phase_len, load, degree, len)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1690,6 +1858,34 @@ mod tests {
                 "{} storm must visit both healthy and masked rungs",
                 r.scheme
             );
+        }
+    }
+
+    #[test]
+    fn e19_crash_sweep_recovers_byte_identically() {
+        let base = SystemConfig {
+            topology: TopologyKind::KaryTree { k: 2, n: 2 }, // 4 hosts
+            ..SystemConfig::default()
+        };
+        // Phase must clear debounce (64) + drain_wait (256) + purge so the
+        // cut is still confirmed-down when the install window opens;
+        // shorter phases make every episode go stale.
+        let rows = e19_crash_storm(&base, 400, 0.02, 2, 8);
+        assert_eq!(rows.len(), 2, "CB-HW and IB-HW");
+        for r in &rows {
+            assert!(r.boundaries > 0, "{} crossed no boundaries", r.scheme);
+            assert_eq!(r.runs, 2 * r.boundaries, "clean + torn tear variants");
+            assert_eq!(r.mismatches, 0, "{} diverged after a crash", r.scheme);
+            assert_eq!(r.torn_cycles, 0, "{} tore an install", r.scheme);
+            assert!(r.reroutes >= 1, "{} oracle must reroute", r.scheme);
+            assert!(
+                r.recoveries >= r.runs,
+                "{}: every injected run recovers at least once",
+                r.scheme
+            );
+            assert!(r.rec_p99_ns >= r.rec_p50_ns, "{}", r.scheme);
+            assert!(!r.digest.is_empty(), "{} oracle digest missing", r.scheme);
+            assert_eq!(r.verdict, "identical", "{}", r.scheme);
         }
     }
 

@@ -43,9 +43,11 @@
 
 pub mod build;
 pub mod cfgtext;
+pub mod chaos;
 pub mod config;
 pub mod experiments;
 pub mod forensics;
+pub mod journal;
 pub mod report;
 pub mod respond;
 pub mod routed;

@@ -1,5 +1,6 @@
 //! Online fault response: detection → quiesce → reroute → degrade → heal
-//! (DESIGN.md §10).
+//! (DESIGN.md §10), made crash-tolerant by a write-ahead journal and
+//! two-phase epoch'd table installs (DESIGN.md §15).
 //!
 //! The [`FaultResponder`] models an SP2-style service processor sitting
 //! beside the fabric. It watches the engine's link up/down event stream
@@ -15,19 +16,18 @@
 //!    link-level conservation holds; the killed payloads come back through
 //!    the end-to-end retransmission ledger;
 //! 3. **reroute** — new LCA tables are derived with the dead ports masked
-//!    ([`mintopo::route::RouteTables::build_masked`]) and vetted in two
-//!    halves: structurally by the static deadlock analyzer
-//!    ([`mdw_analysis::vet_reroute`] — channel-dependency cycles, stranded
-//!    live switches, header round-trips) and behaviorally by the bounded
-//!    model checker ([`mdw_analysis::check_model_opts`], memoized per
-//!    ([`ModelBounds`], [`mdw_analysis::ModelOptions`]) pair — the verdict
-//!    depends on architecture, replication mode, *and* on how deep the
-//!    check looked, so a verdict cached under loose bounds never answers
-//!    a stricter vet; the fabric-size bound is derived from the live
-//!    topology and the exact/compositional mode from the system
-//!    configuration). A candidate failing either half is *rejected*: the
-//!    fabric stays on the old tables and runs degraded rather than trade
-//!    a dead link for a deadlock;
+//!    ([`mintopo::route::RouteTables::build_masked`]) and **prepared**
+//!    under a fresh epoch on every switch (two-phase: staged, inactive).
+//!    The candidate is vetted in two halves: structurally by the static
+//!    deadlock analyzer ([`mdw_analysis::vet_reroute`] — memoized per
+//!    *(epoch, masked-port set)*, so an identical dead set re-vetted
+//!    under a new epoch never reuses a stale verdict) and behaviorally by
+//!    the bounded model checker ([`mdw_analysis::check_model_opts`],
+//!    memoized per ([`ModelBounds`], [`mdw_analysis::ModelOptions`])
+//!    pair). A passing candidate is **committed** — armed on every
+//!    switch, each swapping it in on its first empty tick and stamping
+//!    the epoch; a failing candidate is **aborted** and the fabric stays
+//!    on the old tables, degraded rather than deadlocked;
 //! 4. **degrade** — while masked tables are active, each hardware
 //!    multicast is split into the worm-coverable part and a peeled
 //!    remainder served by binomial-tree unicast
@@ -35,6 +35,29 @@
 //! 5. **heal** — when every cut is confirmed back up the original tables
 //!    are re-derived, vetted and swapped in, and hosts return to pure
 //!    hardware multicast.
+//!
+//! ## Crash tolerance (DESIGN.md §15)
+//!
+//! Every durable decision is journaled ([`crate::journal`]) before or
+//! atomically with its in-memory effect, and every wait inside an episode
+//! is keyed to an *absolute* engine-cycle deadline derived from the
+//! detection cycle. A responder that crashes (modeled by the
+//! [`crate::chaos`] harness as an early unwind at a protocol boundary)
+//! therefore recovers by replaying the journal — rebuilding health,
+//! counters, the event log, the latency series and the epoch cursor to
+//! byte-identical state — and *re-driving* the in-flight episode. Every
+//! re-driven step is idempotent: deadlines in the past are no-ops,
+//! [`SwitchCtl::prepare`]/[`SwitchCtl::commit`] tolerate re-issue, and
+//! journaled verdicts short-circuit re-vetting. An install whose commit
+//! record is durable but whose per-switch commits were cut short is
+//! completed by recovery, so the fabric can never be left torn — the
+//! engine's epoch audit ([`netsim::engine::Engine::enable_epoch_audit`])
+//! holds every cycle to that.
+//!
+//! The only deliberately ephemeral bit is
+//! [`request_retry`](FaultResponder::request_retry): a retry lost to a
+//! crash is re-armed by the storm controller's backoff on its own
+//! schedule, so journaling it would buy nothing.
 //!
 //! Table swaps ride the switches' install-only-when-empty rule, so no worm
 //! ever decodes against a mix of old and new tables.
@@ -45,7 +68,11 @@
 //! outages are left to the end-to-end recovery layer alone.
 
 use crate::build::System;
+use crate::chaos::{ChaosHandle, ChaosMode, Crashed};
 use crate::config::{SwitchArch, SystemConfig};
+use crate::journal::{
+    EpisodeOutcome, Journal, JournalConfig, JournalRecord, JournalStore, ResponderSnapshot,
+};
 use collectives::DegradePlanner;
 use mdw_analysis::{
     check_model_opts_timed, vet_reroute_timed, ArchClass, CheckOutcome, ModelBounds, ModelOptions,
@@ -78,6 +105,13 @@ pub struct ResponseConfig {
     /// (and counted) once the ring fills, so a responder embedded in a
     /// long-running service holds steady-state memory.
     pub event_log_cap: usize,
+    /// Capacity of the detect→install latency ring (oldest evicted and
+    /// counted, like the event log).
+    pub latency_cap: usize,
+    /// Journal records between snapshots (config key
+    /// `journal.snapshot_every`); each snapshot compacts the journal, so
+    /// this bounds both replay time and journal memory.
+    pub snapshot_every: u64,
 }
 
 impl Default for ResponseConfig {
@@ -88,6 +122,8 @@ impl Default for ResponseConfig {
             purge_max: 256,
             max_hops: 64,
             event_log_cap: 1024,
+            latency_cap: 4096,
+            snapshot_every: 256,
         }
     }
 }
@@ -102,13 +138,13 @@ pub enum ResponseEvent {
         /// `true` = confirmed down, `false` = confirmed back up.
         down: bool,
     },
-    /// New masked tables passed the deadlock vet and were staged.
+    /// New masked tables passed the deadlock vet and were committed.
     Rerouted {
         /// Directed dead fabric ports masked out of the new tables.
         masked_ports: usize,
     },
-    /// The candidate tables failed the deadlock vet; the fabric stays on
-    /// the previous tables and runs degraded.
+    /// The candidate tables failed the deadlock vet; its epoch was
+    /// aborted and the fabric stays on the previous tables, degraded.
     RerouteRejected {
         /// Diagnostic code of the first analyzer error (e.g. "cdg-cycle").
         code: String,
@@ -146,6 +182,17 @@ impl EventLog {
             buf: VecDeque::new(),
             dropped: 0,
         }
+    }
+
+    /// Rebuilds a log from snapshot state: the retained window (already
+    /// within `cap`) plus the historical drop count.
+    fn restore(cap: usize, entries: Vec<(Cycle, ResponseEvent)>, dropped: u64) -> Self {
+        let mut log = EventLog::new(cap);
+        log.dropped = dropped;
+        for (at, ev) in entries {
+            log.push(at, ev);
+        }
+        log
     }
 
     fn push(&mut self, at: Cycle, ev: ResponseEvent) {
@@ -204,9 +251,9 @@ pub struct ResponseCounters {
     pub links_down: u64,
     /// Debounce-confirmed link-up transitions.
     pub links_up: u64,
-    /// Masked reroutes vetted and staged.
+    /// Masked reroutes vetted, committed and activated.
     pub reroutes: u64,
-    /// Reroute candidates rejected by the deadlock vet.
+    /// Reroute candidates rejected by the deadlock vet (epoch aborted).
     pub reroutes_rejected: u64,
     /// Full heals (all cuts back up, original tables restored).
     pub heals: u64,
@@ -223,11 +270,69 @@ pub struct ResponseCounters {
 /// ports. The default is the honest masked rebuild; tests substitute
 /// deliberately broken builders to exercise the rejection path (modelling
 /// a buggy out-of-band route-planner — exactly what the vet gate exists
-/// to catch).
+/// to catch). The builder must be deterministic in its inputs: episode
+/// recovery re-invokes it to rebuild a candidate whose epoch was prepared
+/// before the crash.
 pub type CandidateBuilder = Box<dyn Fn(&Topology, &[(SwitchId, usize)]) -> RouteTables>;
 
-/// The fault-response orchestrator. Owns the debounced health view and
-/// drives the gate/purge/reroute/degrade protocol against a [`System`].
+/// How far a journaled episode had durably progressed — replayed from the
+/// record stream and used by [`FaultResponder::drive`] to skip completed
+/// steps.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Stage {
+    /// Hosts gated; drain window may or may not have elapsed.
+    Started,
+    /// Purge raised on every switch.
+    Purging,
+    /// Purge loop finished (fabric empty or budget exhausted).
+    Purged,
+    /// Post-purge resample found nothing new to do.
+    Staled,
+    /// Epoch allocated; candidate staged (or staging) on the switches.
+    Prepared,
+    /// Vet verdict durable.
+    Vetted(Result<(), (String, String)>),
+    /// Commit decision durable; per-switch commits may be cut short.
+    Committing,
+    /// Abort decision durable; per-switch aborts may be cut short.
+    Aborting,
+}
+
+impl Stage {
+    fn rank(&self) -> u8 {
+        match self {
+            Stage::Started => 0,
+            Stage::Purging => 1,
+            Stage::Purged => 2,
+            Stage::Staled => 3,
+            Stage::Prepared => 4,
+            Stage::Vetted(_) => 5,
+            Stage::Committing | Stage::Aborting => 6,
+        }
+    }
+}
+
+/// One in-flight response episode, as reconstructed from the journal.
+#[derive(Debug, Clone)]
+pub(crate) struct Episode {
+    /// Cycle the episode was triggered (all deadlines key off this).
+    detect: Cycle,
+    stage: Stage,
+    /// Epoch allocated by `prepared` (0 before that).
+    epoch: u64,
+    /// The dead-port set the episode masks (valid from `Prepared` on).
+    masked: Vec<(SwitchId, usize)>,
+}
+
+/// Key of the epoch-scoped structural-vet memo: the candidate epoch plus
+/// the masked-port set it covers.
+type VetKey = (u64, Vec<(SwitchId, usize)>);
+/// A structural-vet verdict: `Err((code, message))` on rejection.
+type VetVerdict = Result<(), (String, String)>;
+
+/// The fault-response orchestrator. Owns the debounced health view, the
+/// write-ahead journal, and drives the gate/purge/two-phase-install
+/// protocol against a [`System`].
 pub struct FaultResponder {
     cfg: ResponseConfig,
     health: FabricHealth,
@@ -248,12 +353,23 @@ pub struct FaultResponder {
     /// One-shot override of the `dead == masked` early-exit, set by
     /// [`request_retry`](Self::request_retry) so a storm controller can
     /// re-run the response after a backoff even though nothing changed.
+    /// Deliberately not journaled — see the module docs.
     retry_requested: bool,
     /// Wall-clock accounting of the two vet halves.
     vet_stats: VetStats,
     /// Detect→install (or detect→reject) latency of each completed
-    /// response episode, in cycles.
+    /// response episode, in cycles (bounded ring, drops counted).
     latency: Samples,
+    /// Write-ahead journal of every durable decision.
+    journal: Journal,
+    /// Highest epoch allocated so far (0 = none; build-time tables).
+    last_epoch: u64,
+    /// Structural-vet verdicts keyed by *(epoch, masked-port set)*. The
+    /// epoch in the key is what makes recovery safe: a re-driven episode
+    /// reuses its own journaled verdict, while the same dead set vetted
+    /// again under a fresh epoch (a storm-controller retry) always runs a
+    /// fresh vet instead of serving a stale answer.
+    vetted: HashMap<VetKey, VetVerdict>,
     /// Cached verdicts of the bounded model check (the deep half of the
     /// reroute gate), keyed by the exploration bounds and reduction
     /// options the check actually ran under. The verdict never depends on
@@ -263,6 +379,12 @@ pub struct FaultResponder {
     /// vet, so differently-bounded requests get their own entry instead
     /// of silently reusing a weaker answer.
     deep_vetted: HashMap<(ModelBounds, ModelOptions), Result<(), String>>,
+    /// Crash-injection harness hook; `None` outside chaos runs.
+    chaos: Option<ChaosHandle>,
+    /// Completed crash recoveries (journal replays).
+    recoveries: u64,
+    /// Wall-clock restart→caught-up duration of each recovery, ns.
+    recovery_ns: Samples,
 }
 
 impl std::fmt::Debug for FaultResponder {
@@ -271,14 +393,16 @@ impl std::fmt::Debug for FaultResponder {
             .field("cfg", &self.cfg)
             .field("masked", &self.masked)
             .field("counters", &self.counters)
+            .field("last_epoch", &self.last_epoch)
+            .field("recoveries", &self.recoveries)
             .finish_non_exhaustive()
     }
 }
 
 impl FaultResponder {
-    /// Attaches a responder to `sys` and enables link-event publication on
-    /// its engine.
-    pub fn new(cfg: ResponseConfig, sys: &mut System) -> Self {
+    /// Shared construction: a fresh responder against `sys`, with the
+    /// given journal write end.
+    fn base(cfg: ResponseConfig, sys: &mut System, journal: Journal) -> Self {
         sys.engine.publish_link_events();
         let mut fabric_ports = HashMap::new();
         for (s, outs) in sys.sw_out.iter().enumerate() {
@@ -290,6 +414,7 @@ impl FaultResponder {
         }
         let health = FabricHealth::new(cfg.debounce);
         let events = EventLog::new(cfg.event_log_cap);
+        let latency = Samples::with_cap(cfg.latency_cap);
         FaultResponder {
             cfg,
             health,
@@ -302,8 +427,220 @@ impl FaultResponder {
             fresh_confirmed: Vec::new(),
             retry_requested: false,
             vet_stats: VetStats::new(),
-            latency: Samples::new(),
+            latency,
+            journal,
+            last_epoch: 0,
+            vetted: HashMap::new(),
             deep_vetted: HashMap::new(),
+            chaos: None,
+            recoveries: 0,
+            recovery_ns: Samples::new(),
+        }
+    }
+
+    /// Attaches a responder to `sys` with a fresh journal and enables
+    /// link-event publication on its engine. Picks up a crash-injection
+    /// handle if the chaos harness installed one
+    /// ([`crate::chaos::install`]).
+    pub fn new(cfg: ResponseConfig, sys: &mut System) -> Self {
+        let journal = Journal::new(JournalConfig {
+            snapshot_every: cfg.snapshot_every,
+        });
+        let mut r = FaultResponder::base(cfg, sys, journal);
+        r.chaos = crate::chaos::take_installed();
+        r
+    }
+
+    /// Rebuilds a responder from a surviving journal store: replays every
+    /// intact record (snapshot first, then the tail; duplicated-tail
+    /// sequence numbers are skipped, torn tails were dropped at reopen)
+    /// and returns the recovered responder plus the in-flight episode to
+    /// re-drive, if the crash interrupted one. The recovered state is
+    /// byte-identical to the pre-crash responder's durable state.
+    pub(crate) fn recover(
+        cfg: ResponseConfig,
+        store: JournalStore,
+        sys: &mut System,
+    ) -> (Self, Option<Episode>) {
+        let (journal, records) = Journal::reopen(
+            store,
+            JournalConfig {
+                snapshot_every: cfg.snapshot_every,
+            },
+        );
+        let mut r = FaultResponder::base(cfg, sys, journal);
+        let mut episode = None;
+        let mut last_seq: Option<u64> = None;
+        for (seq, rec) in records {
+            if last_seq.is_some_and(|s| seq <= s) {
+                continue; // duplicated tail: already applied
+            }
+            last_seq = Some(seq);
+            r.replay(rec, &mut episode);
+        }
+        (r, episode)
+    }
+
+    /// Applies one journal record's in-memory effects — the exact
+    /// counterpart of what the live path does when it writes the record.
+    fn replay(&mut self, rec: JournalRecord, episode: &mut Option<Episode>) {
+        fn stage_of(episode: &mut Option<Episode>) -> &mut Episode {
+            episode.as_mut().expect("episode record outside an episode")
+        }
+        match rec {
+            JournalRecord::Snapshot(s) => {
+                self.last_epoch = s.last_epoch;
+                self.masked = s.masked;
+                self.suppressed = s.suppressed;
+                self.counters = s.counters;
+                self.latency =
+                    Samples::restore(self.cfg.latency_cap, &s.latency, s.latency_dropped);
+                self.events = EventLog::restore(self.cfg.event_log_cap, s.events, s.events_dropped);
+                self.fresh_confirmed = s.fresh;
+                self.health = FabricHealth::restore(
+                    self.cfg.debounce,
+                    &s.health_confirmed,
+                    &s.health_pending,
+                );
+            }
+            JournalRecord::Observed { link, at, down } => {
+                self.health.observe(netsim::LinkEvent { link, at, down });
+            }
+            JournalRecord::Polled { now } => self.apply_poll(now),
+            JournalRecord::Drained => self.fresh_confirmed.clear(),
+            JournalRecord::Suppressed { links } => self.suppressed = links,
+            JournalRecord::RespondStarted { detect } => {
+                *episode = Some(Episode {
+                    detect,
+                    stage: Stage::Started,
+                    epoch: 0,
+                    masked: Vec::new(),
+                });
+            }
+            JournalRecord::PurgeStarted { .. } => {
+                self.counters.purges += 1;
+                stage_of(episode).stage = Stage::Purging;
+            }
+            JournalRecord::PurgeDone {
+                at,
+                flits_left,
+                complete,
+            } => {
+                if !complete {
+                    self.counters.purges_incomplete += 1;
+                    self.events.push(
+                        at,
+                        ResponseEvent::PurgeIncomplete {
+                            flits_left: flits_left as usize,
+                        },
+                    );
+                }
+                stage_of(episode).stage = Stage::Purged;
+            }
+            JournalRecord::StaleDetected { at } => {
+                self.counters.stale_detects += 1;
+                self.events.push(at, ResponseEvent::StaleDetect);
+                stage_of(episode).stage = Stage::Staled;
+            }
+            JournalRecord::Prepared { epoch, masked } => {
+                self.last_epoch = self.last_epoch.max(epoch);
+                let ep = stage_of(episode);
+                ep.epoch = epoch;
+                ep.masked = masked;
+                ep.stage = Stage::Prepared;
+            }
+            JournalRecord::Vetted { epoch, verdict } => {
+                let ep = stage_of(episode);
+                self.vetted
+                    .insert((epoch, ep.masked.clone()), verdict.clone());
+                ep.stage = Stage::Vetted(verdict);
+            }
+            JournalRecord::Committed { .. } => stage_of(episode).stage = Stage::Committing,
+            JournalRecord::Aborted {
+                at, code, message, ..
+            } => {
+                self.counters.reroutes_rejected += 1;
+                self.events
+                    .push(at, ResponseEvent::RerouteRejected { code, message });
+                stage_of(episode).stage = Stage::Aborting;
+            }
+            JournalRecord::Finalized { at, outcome, .. } => {
+                let (detect, masked) = {
+                    let ep = stage_of(episode);
+                    (ep.detect, std::mem::take(&mut ep.masked))
+                };
+                self.apply_finalized(at, detect, &masked, outcome);
+                *episode = None;
+            }
+        }
+    }
+
+    /// A chaos-harness protocol-step boundary: in a crash-injected run,
+    /// unwinds with [`Crashed`] when the scheduled boundary is reached,
+    /// optionally dirtying the journal with a partial record first —
+    /// modeling a process that died mid-way through its *next* append.
+    /// (Records already appended are durable by the WAL convention; a
+    /// mid-append crash can only tear the line being written.)
+    fn chaos_point(&mut self) -> Result<(), Crashed> {
+        let Some(h) = &self.chaos else { return Ok(()) };
+        let mut st = h.borrow_mut();
+        let b = st.boundaries;
+        st.boundaries += 1;
+        if let ChaosMode::CrashAt {
+            boundary,
+            tear_bytes,
+        } = st.mode
+        {
+            if !st.fired && b == boundary {
+                st.fired = true;
+                if tear_bytes > 0 {
+                    crate::chaos::dirty_tail(&self.journal.store(), tear_bytes);
+                }
+                return Err(Crashed);
+            }
+        }
+        Ok(())
+    }
+
+    /// Simulated process restart: rebuilds this responder from its
+    /// surviving journal store and resumes whatever was in flight.
+    /// Returns `true` if a response protocol ran (before or after the
+    /// crash). The restart itself consumes **zero engine cycles** — only
+    /// the responder's memory is lost — so a recovered run's outcome is
+    /// byte-identical to an uncrashed one.
+    fn crash_recover(&mut self, sys: &mut System) -> bool {
+        let cfg = self.cfg.clone();
+        let mut recoveries = self.recoveries;
+        let mut recovery_ns = std::mem::take(&mut self.recovery_ns);
+        loop {
+            recoveries += 1;
+            let t0 = std::time::Instant::now();
+            let store = self.journal.store();
+            let builder = self.builder.take();
+            let chaos = self.chaos.take();
+            let (mut fresh, episode) = FaultResponder::recover(cfg.clone(), store, sys);
+            fresh.builder = builder;
+            fresh.chaos = chaos;
+            *self = fresh;
+            let ns = t0.elapsed().as_nanos() as u64;
+            recovery_ns.record(ns);
+            if let Some(h) = &self.chaos {
+                let mut st = h.borrow_mut();
+                st.recoveries += 1;
+                st.recovery_ns.push(ns);
+            }
+            let result = match episode {
+                Some(ep) => self.drive(sys, ep).map(|()| true),
+                None => self.try_poll(sys),
+            };
+            match result {
+                Ok(ran) => {
+                    self.recoveries = recoveries;
+                    self.recovery_ns = recovery_ns;
+                    return ran;
+                }
+                Err(Crashed) => continue,
+            }
         }
     }
 
@@ -354,6 +691,36 @@ impl FaultResponder {
         self.deep_vetted[&key].clone()
     }
 
+    /// The full candidate vet — structural analyzer plus behavioral model
+    /// check — memoized by *(epoch, masked-port set)*. A hit means this
+    /// exact candidate under this exact epoch was already vetted (an
+    /// episode re-drive after a crash); the same dead set under a *new*
+    /// epoch misses and re-vets, so no stale verdict is ever served.
+    fn vet_candidate(
+        &mut self,
+        topo: &Topology,
+        config: &SystemConfig,
+        candidate: &RouteTables,
+        epoch: u64,
+        masked: &[(SwitchId, usize)],
+    ) -> Result<(), (String, String)> {
+        let key = (epoch, masked.to_vec());
+        if let Some(v) = self.vetted.get(&key) {
+            return v.clone();
+        }
+        let verdict = vet_reroute_timed(topo, candidate, config.switch.policy, &mut self.vet_stats)
+            .map_err(|report| {
+                let d = report.first_error().expect("vet failed with no error");
+                (d.code.to_string(), d.message.clone())
+            })
+            .and_then(|_| {
+                self.deep_vet(config, topo.n_switches())
+                    .map_err(|detail| ("model-check".to_string(), detail))
+            });
+        self.vetted.insert(key, verdict.clone());
+        verdict
+    }
+
     /// Substitutes the candidate-table builder (rejection-path tests).
     pub fn set_candidate_builder(&mut self, builder: CandidateBuilder) {
         self.builder = Some(builder);
@@ -387,6 +754,59 @@ impl FaultResponder {
         &self.latency
     }
 
+    /// The write-ahead journal (records, store handle, size).
+    pub fn journal(&self) -> &Journal {
+        &self.journal
+    }
+
+    /// Highest install epoch allocated so far (0 = build-time tables).
+    pub fn last_epoch(&self) -> u64 {
+        self.last_epoch
+    }
+
+    /// Crash recoveries completed (journal replays).
+    pub fn recoveries(&self) -> u64 {
+        self.recoveries
+    }
+
+    /// Wall-clock restart→caught-up duration of each recovery, ns.
+    pub fn recovery_ns(&self) -> &Samples {
+        &self.recovery_ns
+    }
+
+    /// Event-log entries plus latency samples evicted by their ring
+    /// bounds — the "how much history did I shed" gauge surfaced in
+    /// [`crate::sim::RunOutcome::response_dropped`].
+    pub fn dropped(&self) -> u64 {
+        self.events.dropped() + self.latency.dropped()
+    }
+
+    /// Serializes the responder's full durable state into a snapshot —
+    /// exactly what a journal snapshot record would hold.
+    fn make_snapshot(&self) -> ResponderSnapshot {
+        ResponderSnapshot {
+            last_epoch: self.last_epoch,
+            masked: self.masked.clone(),
+            suppressed: self.suppressed.clone(),
+            counters: self.counters,
+            latency: self.latency.values().to_vec(),
+            latency_dropped: self.latency.dropped(),
+            events: self.events.iter().cloned().collect(),
+            events_dropped: self.events.dropped(),
+            fresh: self.fresh_confirmed.clone(),
+            health_confirmed: self.health.confirmed_down(),
+            health_pending: self.health.pending(),
+        }
+    }
+
+    /// FNV-64 digest of the responder's durable state (the snapshot
+    /// serialization). A crashed-and-recovered responder produces the
+    /// same digest as an uncrashed one — the crash harness holds every
+    /// injected run to that.
+    pub fn state_digest(&self) -> String {
+        crate::journal::snapshot_digest(&self.make_snapshot())
+    }
+
     /// Overrides the set of administratively suppressed links: a flap
     /// damper parks misbehaving links here and the responder masks them
     /// exactly as if they were confirmed dead. The next
@@ -394,6 +814,12 @@ impl FaultResponder {
     pub fn set_suppressed(&mut self, mut links: Vec<LinkId>) {
         links.sort_unstable();
         links.dedup();
+        if links == self.suppressed {
+            return;
+        }
+        self.journal.append(&JournalRecord::Suppressed {
+            links: links.clone(),
+        });
         self.suppressed = links;
     }
 
@@ -405,6 +831,9 @@ impl FaultResponder {
     /// Hands out (and clears) the debounce-confirmed transitions
     /// accumulated since the previous call — the flap damper's diet.
     pub fn drain_confirmed(&mut self) -> Vec<ConfirmedTransition> {
+        if !self.fresh_confirmed.is_empty() {
+            self.journal.append(&JournalRecord::Drained);
+        }
         std::mem::take(&mut self.fresh_confirmed)
     }
 
@@ -415,19 +844,60 @@ impl FaultResponder {
     /// backoff expires; clearing the memoized model-check verdicts is
     /// deliberately *not* part of this — each cached verdict depends only
     /// on the configuration and the bounds/options it was explored under,
-    /// never on fabric state.
+    /// never on fabric state. (The retry *will* re-run the structural
+    /// vet: it allocates a fresh epoch, and the structural memo is keyed
+    /// by epoch.)
     pub fn request_retry(&mut self) {
         self.retry_requested = true;
     }
 
     /// Drains the engine's link events and advances the debounce view,
     /// logging (and accumulating for [`drain_confirmed`](Self::drain_confirmed))
-    /// every confirmed transition. Does **not** respond.
+    /// every confirmed transition. Does **not** respond. Recovers in
+    /// place if a chaos-injected crash lands inside.
     pub fn observe_health(&mut self, sys: &mut System) {
-        for ev in sys.engine.drain_link_events() {
-            self.health.observe(ev);
+        if self.observe_inner(sys).is_err() {
+            self.crash_recover(sys);
+        }
+    }
+
+    /// The fallible observation path: journals raw events as they are
+    /// drained (the drain + append pair is atomic — the event queue is
+    /// reliable, see DESIGN.md §15) and journals one `polled` record per
+    /// poll that confirms anything, then applies the poll.
+    fn observe_inner(&mut self, sys: &mut System) -> Result<(), Crashed> {
+        let events = sys.engine.drain_link_events();
+        if !events.is_empty() {
+            for ev in events {
+                self.journal.append(&JournalRecord::Observed {
+                    link: ev.link,
+                    at: ev.at,
+                    down: ev.down,
+                });
+                self.health.observe(ev);
+            }
+            self.chaos_point()?;
+        }
+        if !self.health.has_pending() {
+            return Ok(());
         }
         let now = sys.engine.now();
+        // Poll on a probe clone first: a `polled` record is only written
+        // when the poll actually confirms something, so quiet ticks leave
+        // no journal residue.
+        if self.health.clone().poll(now).is_empty() {
+            return Ok(());
+        }
+        self.journal.append(&JournalRecord::Polled { now });
+        self.apply_poll(now);
+        self.chaos_point()?;
+        Ok(())
+    }
+
+    /// Applies a debounce poll at `now`: counters, event log, and the
+    /// fresh-confirmed queue. Deterministic in the health view and `now`,
+    /// so journal replay of a `polled` record reproduces it exactly.
+    fn apply_poll(&mut self, now: Cycle) {
         for ev in self.health.poll(now) {
             if ev.down {
                 self.counters.links_down += 1;
@@ -470,32 +940,77 @@ impl FaultResponder {
     /// when the confirmed-dead fabric-port set changed (or a retry was
     /// requested) — runs the full response protocol (which steps the
     /// engine through the quiesce window). Returns `true` if a response
-    /// ran.
+    /// ran. Recovers in place if a chaos-injected crash lands anywhere
+    /// inside.
     pub fn poll(&mut self, sys: &mut System) -> bool {
-        self.observe_health(sys);
-        self.maybe_respond(sys)
+        match self.try_poll(sys) {
+            Ok(ran) => ran,
+            Err(Crashed) => self.crash_recover(sys),
+        }
+    }
+
+    fn try_poll(&mut self, sys: &mut System) -> Result<bool, Crashed> {
+        self.observe_inner(sys)?;
+        self.respond_if_needed(sys)
     }
 
     /// The respond-decision half of [`poll`](Self::poll), without the
     /// event drain — for callers (the storm controller) that interleave
     /// damping between observation and response.
     pub fn maybe_respond(&mut self, sys: &mut System) -> bool {
-        let dead = self.current_dead();
-        if dead == self.masked && !self.retry_requested {
-            return false;
+        match self.respond_if_needed(sys) {
+            Ok(ran) => ran,
+            Err(Crashed) => self.crash_recover(sys),
         }
-        self.retry_requested = false;
-        self.respond(sys);
-        true
     }
 
-    /// Runs gate → drain → purge → vet → swap → degrade/heal → ungate for
-    /// the new dead-port set (recomputed after the quiesce — see below).
-    fn respond(&mut self, sys: &mut System) {
-        let detect = sys.engine.now();
-        sys.fabric_mode.gate();
-        sys.engine.run_for(self.cfg.drain_wait);
+    fn respond_if_needed(&mut self, sys: &mut System) -> Result<bool, Crashed> {
+        let dead = self.current_dead();
+        let ran = if dead != self.masked || self.retry_requested {
+            self.retry_requested = false;
+            let detect = sys.engine.now();
+            // journal_apply: episode opened, hosts gated.
+            self.journal
+                .append(&JournalRecord::RespondStarted { detect });
+            sys.fabric_mode.gate();
+            self.chaos_point()?;
+            self.drive(
+                sys,
+                Episode {
+                    detect,
+                    stage: Stage::Started,
+                    epoch: 0,
+                    masked: Vec::new(),
+                },
+            )?;
+            true
+        } else {
+            false
+        };
+        // Quiescent point (never mid-episode): snapshot + compact once
+        // enough records accumulated.
+        if self.journal.wants_snapshot() {
+            self.journal
+                .append(&JournalRecord::Snapshot(Box::new(self.make_snapshot())));
+        }
+        Ok(ran)
+    }
 
+    /// Runs (or, after a crash, *re-runs*) an episode from whatever stage
+    /// the journal proves durable: gate → drain → purge → resample →
+    /// prepare → vet → commit/abort → degrade/heal → ungate. Every step
+    /// is idempotent — waits use absolute deadlines keyed off
+    /// `ep.detect`, switch control accepts re-issued commands, and
+    /// journaled decisions are skipped rather than re-taken — so driving
+    /// the same episode any number of times converges on the same fabric
+    /// state and the same engine timeline.
+    fn drive(&mut self, sys: &mut System, mut ep: Episode) -> Result<(), Crashed> {
+        let detect = ep.detect;
+        sys.fabric_mode.gate(); // idempotent re-assert on re-drive
+        sys.engine.run_until(detect + self.cfg.drain_wait);
+
+        // Purge: raise on every switch (re-raising is a no-op), then loop
+        // until the fabric is empty or the absolute budget expires.
         for ctl in &sys.switch_ctls {
             ctl.begin_purge();
         }
@@ -503,117 +1018,239 @@ impl FaultResponder {
         // protocol: sleeping switches must be woken to see the purge flag
         // (no-op on the sequential path).
         sys.engine.wake_all();
-        self.counters.purges += 1;
-        let purge_end = sys.engine.now() + self.cfg.purge_max;
-        loop {
-            let empty =
-                sys.engine.flits_in_links() == 0 && sys.switch_ctls.iter().all(|c| c.is_empty());
-            if empty {
-                break;
-            }
-            if sys.engine.now() >= purge_end {
-                let flits_left = sys.engine.flits_in_links();
-                self.counters.purges_incomplete += 1;
-                self.events.push(
-                    sys.engine.now(),
-                    ResponseEvent::PurgeIncomplete { flits_left },
-                );
-                break;
-            }
-            sys.engine.run_for(1);
-        }
-
-        // Re-sample health after the quiesce: the drain + purge just
-        // consumed hundreds of cycles, plenty for the outage that
-        // triggered this response to clear (a sub-window blip the
-        // debounce confirmed right at its edge) or for further links to
-        // fall over. Installing tables for the stale set would leave
-        // ports masked for links already back up — the service would
-        // then run degraded until the *next* transition woke it.
-        self.observe_health(sys);
-        let dead = self.current_dead();
-        if dead == self.masked {
-            self.counters.stale_detects += 1;
-            self.events
-                .push(sys.engine.now(), ResponseEvent::StaleDetect);
-            for ctl in &sys.switch_ctls {
-                ctl.end_purge();
-            }
-            sys.fabric_mode.ungate();
-            self.latency.record(sys.engine.now() - detect);
-            return;
-        }
-
-        let candidate = match &self.builder {
-            Some(b) => b(&sys.topology, &dead),
-            None => RouteTables::build_masked(&sys.topology, &dead),
-        };
-        let policy = sys.config.switch.policy;
-        let verdict = vet_reroute_timed(&sys.topology, &candidate, policy, &mut self.vet_stats)
-            .map_err(|report| {
-                let d = report.first_error().expect("vet failed with no error");
-                (d.code.to_string(), d.message.clone())
-            })
-            .and_then(|_| {
-                self.deep_vet(&sys.config, sys.topology.n_switches())
-                    .map_err(|detail| ("model-check".to_string(), detail))
+        if ep.stage.rank() < Stage::Purging.rank() {
+            self.journal.append(&JournalRecord::PurgeStarted {
+                at: sys.engine.now(),
             });
+            self.counters.purges += 1;
+            ep.stage = Stage::Purging;
+            self.chaos_point()?;
+        }
+
+        if ep.stage.rank() < Stage::Purged.rank() {
+            let purge_end = detect + self.cfg.drain_wait + self.cfg.purge_max;
+            loop {
+                let empty = sys.engine.flits_in_links() == 0
+                    && sys.switch_ctls.iter().all(|c| c.is_empty());
+                if empty {
+                    self.journal.append(&JournalRecord::PurgeDone {
+                        at: sys.engine.now(),
+                        flits_left: 0,
+                        complete: true,
+                    });
+                    break;
+                }
+                if sys.engine.now() >= purge_end {
+                    let flits_left = sys.engine.flits_in_links();
+                    self.journal.append(&JournalRecord::PurgeDone {
+                        at: sys.engine.now(),
+                        flits_left: flits_left as u64,
+                        complete: false,
+                    });
+                    self.counters.purges_incomplete += 1;
+                    self.events.push(
+                        sys.engine.now(),
+                        ResponseEvent::PurgeIncomplete { flits_left },
+                    );
+                    break;
+                }
+                sys.engine.run_for(1);
+            }
+            ep.stage = Stage::Purged;
+            self.chaos_point()?;
+        }
+
+        if ep.stage == Stage::Purged {
+            // Re-sample health after the quiesce: the drain + purge just
+            // consumed hundreds of cycles, plenty for the outage that
+            // triggered this response to clear (a sub-window blip the
+            // debounce confirmed right at its edge) or for further links
+            // to fall over. Installing tables for the stale set would
+            // leave ports masked for links already back up — the service
+            // would then run degraded until the *next* transition woke it.
+            self.observe_inner(sys)?;
+            let dead = self.current_dead();
+            if dead == self.masked {
+                self.journal.append(&JournalRecord::StaleDetected {
+                    at: sys.engine.now(),
+                });
+                self.counters.stale_detects += 1;
+                self.events
+                    .push(sys.engine.now(), ResponseEvent::StaleDetect);
+                ep.stage = Stage::Staled;
+                self.chaos_point()?;
+            } else {
+                let epoch = self.last_epoch + 1;
+                self.journal.append(&JournalRecord::Prepared {
+                    epoch,
+                    masked: dead.clone(),
+                });
+                self.last_epoch = epoch;
+                ep.epoch = epoch;
+                ep.masked = dead;
+                ep.stage = Stage::Prepared;
+                self.chaos_point()?;
+            }
+        }
+        if ep.stage == Stage::Staled {
+            return self.finish(sys, &ep, EpisodeOutcome::Stale);
+        }
+
+        // Rebuild the candidate deterministically (recovery reconstructs
+        // the exact tables the crashed run staged) and (re-)prepare it on
+        // every switch. Prepare is idempotent against both a staged and
+        // an armed copy of the same epoch.
+        let candidate = match &self.builder {
+            Some(b) => b(&sys.topology, &ep.masked),
+            None => RouteTables::build_masked(&sys.topology, &ep.masked),
+        };
+        let tables = Rc::new(candidate);
+        for ctl in &sys.switch_ctls {
+            ctl.prepare(ep.epoch, tables.clone());
+            self.chaos_point()?; // "crash after prepare on switch k"
+        }
+
+        let verdict = match &ep.stage {
+            Stage::Committing => Ok(()),
+            Stage::Aborting => Err((String::new(), String::new())), // effects already durable
+            Stage::Vetted(v) => v.clone(),
+            _ => {
+                let v =
+                    self.vet_candidate(&sys.topology, &sys.config, &tables, ep.epoch, &ep.masked);
+                self.journal.append(&JournalRecord::Vetted {
+                    epoch: ep.epoch,
+                    verdict: v.clone(),
+                });
+                ep.stage = Stage::Vetted(v.clone());
+                self.chaos_point()?;
+                v
+            }
+        };
+
         match verdict {
             Ok(()) => {
-                let tables = Rc::new(candidate);
-                for ctl in &sys.switch_ctls {
-                    ctl.install_tables(tables.clone());
+                if ep.stage.rank() < Stage::Committing.rank() {
+                    // Point of no return: once this record is durable the
+                    // install *will* reach every switch — recovery
+                    // re-drives the loop below however often it takes.
+                    self.journal
+                        .append(&JournalRecord::Committed { epoch: ep.epoch });
+                    ep.stage = Stage::Committing;
+                    self.chaos_point()?;
                 }
-                // Wake sleeping switches so each sees the staged swap
+                for ctl in &sys.switch_ctls {
+                    let committed = ctl.commit(ep.epoch);
+                    debug_assert!(committed, "a prepared epoch must commit");
+                    self.chaos_point()?; // the torn-install window
+                }
+                // Wake sleeping switches so each sees the armed swap
                 // (idle switches are empty and swap on their next tick).
                 sys.engine.wake_all();
                 sys.tables = tables;
-                if dead.is_empty() {
-                    self.counters.heals += 1;
-                    self.events.push(sys.engine.now(), ResponseEvent::Healed);
+                let outcome = if ep.masked.is_empty() {
+                    EpisodeOutcome::Healed
                 } else {
-                    self.counters.reroutes += 1;
-                    self.events.push(
-                        sys.engine.now(),
-                        ResponseEvent::Rerouted {
-                            masked_ports: dead.len(),
-                        },
-                    );
-                }
-                self.masked = dead;
+                    EpisodeOutcome::Installed {
+                        masked_ports: ep.masked.len(),
+                    }
+                };
+                self.finish(sys, &ep, outcome)
             }
             Err((code, message)) => {
-                // Stay on the proven-deadlock-free old tables; the
-                // degraded planner below still peels what they cannot
-                // cover. Remember the set so the same broken candidate is
-                // not re-vetted every poll.
-                self.counters.reroutes_rejected += 1;
-                self.events.push(
-                    sys.engine.now(),
-                    ResponseEvent::RerouteRejected { code, message },
-                );
-                self.masked = dead;
+                if ep.stage != Stage::Aborting {
+                    // Stay on the proven-deadlock-free old tables; the
+                    // degraded planner below still peels what they cannot
+                    // cover.
+                    self.journal.append(&JournalRecord::Aborted {
+                        at: sys.engine.now(),
+                        epoch: ep.epoch,
+                        code: code.clone(),
+                        message: message.clone(),
+                    });
+                    self.counters.reroutes_rejected += 1;
+                    self.events.push(
+                        sys.engine.now(),
+                        ResponseEvent::RerouteRejected { code, message },
+                    );
+                    ep.stage = Stage::Aborting;
+                    self.chaos_point()?;
+                }
+                for ctl in &sys.switch_ctls {
+                    ctl.abort(ep.epoch);
+                }
+                self.finish(sys, &ep, EpisodeOutcome::Rejected)
             }
         }
-        self.latency.record(sys.engine.now() - detect);
+    }
 
+    /// The episode tail: lower the purge, set the post-episode fabric
+    /// mode, ungate the hosts, and write the `finalized` record (whose
+    /// apply updates counters, the event log, the masked set and the
+    /// latency series in one atomic step).
+    fn finish(
+        &mut self,
+        sys: &mut System,
+        ep: &Episode,
+        outcome: EpisodeOutcome,
+    ) -> Result<(), Crashed> {
         for ctl in &sys.switch_ctls {
             ctl.end_purge();
         }
         // Degrade whenever masked tables are (or should be) active: the
         // planner sends full-coverage sets as one worm anyway, so on cuts
-        // that leave coverage intact this only costs the plan check.
-        if self.masked.is_empty() {
-            sys.fabric_mode.heal();
-        } else {
-            sys.fabric_mode.degrade(DegradePlanner {
-                tables: sys.tables.clone(),
-                topo: sys.topology.clone(),
-                policy,
-                max_hops: self.cfg.max_hops,
-            });
+        // that leave coverage intact this only costs the plan check. A
+        // stale episode keeps whatever mode was already in force.
+        if outcome != EpisodeOutcome::Stale {
+            if ep.masked.is_empty() {
+                sys.fabric_mode.heal();
+            } else {
+                sys.fabric_mode.degrade(DegradePlanner {
+                    tables: sys.tables.clone(),
+                    topo: sys.topology.clone(),
+                    policy: sys.config.switch.policy,
+                    max_hops: self.cfg.max_hops,
+                });
+            }
         }
         sys.fabric_mode.ungate();
+        let at = sys.engine.now();
+        self.journal.append(&JournalRecord::Finalized {
+            at,
+            epoch: ep.epoch,
+            outcome,
+        });
+        self.apply_finalized(at, ep.detect, &ep.masked, outcome);
+        self.chaos_point()?;
+        Ok(())
+    }
+
+    /// In-memory effects of a `finalized` record — shared verbatim
+    /// between the live path and journal replay.
+    fn apply_finalized(
+        &mut self,
+        at: Cycle,
+        detect: Cycle,
+        masked: &[(SwitchId, usize)],
+        outcome: EpisodeOutcome,
+    ) {
+        match outcome {
+            EpisodeOutcome::Installed { masked_ports } => {
+                self.counters.reroutes += 1;
+                self.events
+                    .push(at, ResponseEvent::Rerouted { masked_ports });
+                self.masked = masked.to_vec();
+            }
+            EpisodeOutcome::Healed => {
+                self.counters.heals += 1;
+                self.events.push(at, ResponseEvent::Healed);
+                self.masked = masked.to_vec();
+            }
+            EpisodeOutcome::Rejected => {
+                self.masked = masked.to_vec();
+            }
+            EpisodeOutcome::Stale => {}
+        }
+        self.latency.record(at - detect);
     }
 }
 
@@ -634,13 +1271,28 @@ mod tests {
         assert!(!log.is_empty());
     }
 
+    #[test]
+    fn event_log_restore_roundtrips() {
+        let mut log = EventLog::new(2);
+        for i in 0..5u64 {
+            log.push(i, ResponseEvent::StaleDetect);
+        }
+        let restored = EventLog::restore(2, log.iter().cloned().collect(), log.dropped());
+        assert_eq!(restored.len(), log.len());
+        assert_eq!(restored.dropped(), log.dropped());
+        assert!(restored.iter().eq(log.iter()));
+    }
+
     /// A responder with no fabric attached — enough to exercise the
-    /// memoized deep vet, which never touches the topology beyond the
-    /// switch count its caller passes in.
+    /// memoized vets, which never touch a live engine.
     fn bare_responder() -> FaultResponder {
         let cfg = ResponseConfig::default();
         let events = EventLog::new(cfg.event_log_cap);
         let health = FabricHealth::new(cfg.debounce);
+        let latency = Samples::with_cap(cfg.latency_cap);
+        let journal = Journal::new(JournalConfig {
+            snapshot_every: cfg.snapshot_every,
+        });
         FaultResponder {
             cfg,
             health,
@@ -653,8 +1305,14 @@ mod tests {
             fresh_confirmed: Vec::new(),
             retry_requested: false,
             vet_stats: VetStats::new(),
-            latency: Samples::new(),
+            latency,
+            journal,
+            last_epoch: 0,
+            vetted: HashMap::new(),
             deep_vetted: HashMap::new(),
+            chaos: None,
+            recoveries: 0,
+            recovery_ns: Samples::new(),
         }
     }
 
@@ -697,6 +1355,42 @@ mod tests {
     }
 
     #[test]
+    fn structural_vet_memo_is_keyed_by_epoch() {
+        use mintopo::topology::TopologyBuilder;
+        use netsim::ids::NodeId;
+
+        let mut b = TopologyBuilder::new(2);
+        let s0 = b.add_switch(3, 1);
+        let s1 = b.add_switch(1, 0);
+        b.attach_host(NodeId(0), s0, 0);
+        b.attach_host(NodeId(1), s0, 1);
+        b.connect(s0, 2, s1, 0);
+        let topo = b.build();
+        let tables = RouteTables::build(&topo);
+        let config = SystemConfig::default();
+        let masked: Vec<(SwitchId, usize)> = Vec::new();
+
+        let mut r = bare_responder();
+        r.vet_candidate(&topo, &config, &tables, 1, &masked)
+            .expect("healthy tables vet");
+        let after_first = r.vet_stats.structural_ns.count();
+        assert_eq!(after_first, 1);
+
+        // Same epoch + same masked set (an episode re-drive): memo hit,
+        // no fresh analyzer run.
+        r.vet_candidate(&topo, &config, &tables, 1, &masked)
+            .expect("memoized verdict");
+        assert_eq!(r.vet_stats.structural_ns.count(), 1);
+
+        // The *same* dead set under a *new* epoch (a storm-controller
+        // retry) must re-vet — a stale verdict may not be served.
+        r.vet_candidate(&topo, &config, &tables, 2, &masked)
+            .expect("fresh vet under the new epoch");
+        assert_eq!(r.vet_stats.structural_ns.count(), 2);
+        assert_eq!(r.vetted.len(), 2, "one entry per (epoch, masked) key");
+    }
+
+    #[test]
     fn event_log_capacity_floor_is_one() {
         let mut log = EventLog::new(0);
         log.push(1, ResponseEvent::Healed);
@@ -707,6 +1401,23 @@ mod tests {
             log.iter().next(),
             Some((2, ResponseEvent::StaleDetect))
         ));
+    }
+
+    #[test]
+    fn snapshot_digest_tracks_durable_state_only() {
+        let mut a = bare_responder();
+        let b = bare_responder();
+        assert_eq!(a.state_digest(), b.state_digest());
+
+        // Wall-clock-only state (vet stats, recovery timings) must not
+        // perturb the digest...
+        a.vet_stats.structural_ns.record(123);
+        a.recovery_ns.record(456);
+        assert_eq!(a.state_digest(), b.state_digest());
+
+        // ...while any durable bit does.
+        a.counters.heals += 1;
+        assert_ne!(a.state_digest(), b.state_digest());
     }
 }
 

@@ -178,6 +178,80 @@ mod tests {
     }
 
     #[test]
+    fn suppression_triggers_exactly_at_the_threshold() {
+        // value == suppress must suppress (the comparison is >=, matching
+        // the config docs); one unit below must not.
+        let mut exact = FlapDamper::new(1_000, 2_000, 500, 1_000);
+        exact.record(LinkId(1), 0);
+        exact.record(LinkId(1), 0);
+        assert_eq!(exact.suppressed(), vec![LinkId(1)], "2000 >= 2000");
+
+        let mut shy = FlapDamper::new(1_000, 2_001, 500, 1_000);
+        shy.record(LinkId(1), 0);
+        shy.record(LinkId(1), 0);
+        assert!(shy.suppressed().is_empty(), "2000 < 2001");
+    }
+
+    #[test]
+    fn reuse_at_or_above_suppress_is_clamped() {
+        // A config with reuse >= suppress would re-park a link the moment
+        // it reinstated; the constructor clamps to suppress-1 so cooling
+        // below the suppress threshold is exactly the reinstate point.
+        let mut d = FlapDamper::new(1_000, 1_000, 5_000, 1_000);
+        d.record(LinkId(2), 0);
+        assert_eq!(d.suppressed(), vec![LinkId(2)]);
+        // Not yet a full half-life: 1000 > clamped reuse (999).
+        d.advance(999);
+        assert_eq!(d.suppressed(), vec![LinkId(2)]);
+        // One half-life: 500 <= 999 — reinstated.
+        d.advance(1_000);
+        assert!(d.suppressed().is_empty());
+        assert_eq!(d.reinstatements(), 1);
+    }
+
+    #[test]
+    fn each_storm_counts_a_fresh_suppression() {
+        let mut d = damper();
+        for at in [0, 100, 200] {
+            d.record(LinkId(5), at);
+        }
+        assert_eq!(d.suppressions(), 1);
+        d.advance(3_000); // 3000 -> 750 <= 800: reinstated
+        assert_eq!(d.reinstatements(), 1);
+        // The link relapses: the penalty history decayed, but a fresh
+        // burst must suppress (and count) again.
+        for at in [3_000, 3_100, 3_200] {
+            d.record(LinkId(5), at);
+        }
+        assert_eq!(d.suppressions(), 2, "re-suppression after cooling");
+        assert_eq!(d.suppressed(), vec![LinkId(5)]);
+    }
+
+    #[test]
+    fn decay_boundary_is_exact() {
+        let mut d = damper();
+        d.record(LinkId(9), 0);
+        // One cycle short of a half-life: untouched.
+        d.advance(999);
+        assert_eq!(d.current_penalty(LinkId(9)), 1_000);
+        // Exactly one half-life: halved.
+        d.advance(1_000);
+        assert_eq!(d.current_penalty(LinkId(9)), 500);
+    }
+
+    #[test]
+    fn deep_decay_saturates_without_overflow() {
+        let mut d = damper();
+        d.record(LinkId(4), 0);
+        // An elapsed span of ~2^63 half-lives: the shift clamps at 63 and
+        // the last-decay cursor advances by windows * half_life without
+        // wrapping into a panic.
+        d.advance(u64::MAX / 2);
+        assert_eq!(d.current_penalty(LinkId(4)), 0);
+        assert!(d.suppressed().is_empty());
+    }
+
+    #[test]
     fn cooled_entries_are_dropped() {
         let mut d = damper();
         d.record(LinkId(1), 0);

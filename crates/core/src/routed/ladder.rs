@@ -149,6 +149,44 @@ mod tests {
     }
 
     #[test]
+    fn equal_demand_resets_the_calm_timer_without_a_transition() {
+        let mut l = Ladder::new();
+        l.observe(0, Rung::UMinOnly, 100);
+        l.observe(10, Rung::FullMcast, 100);
+        // Conditions demand exactly the current rung: no rung change, but
+        // the fabric is *not* calm — the accrued window is forfeit.
+        l.observe(50, Rung::UMinOnly, 100);
+        assert_eq!(l.transitions(), 1, "equal demand must not transition");
+        assert_eq!(l.observe(149, Rung::FullMcast, 100), Rung::UMinOnly);
+        assert_eq!(l.observe(249, Rung::FullMcast, 100), Rung::MaskedMcast);
+    }
+
+    #[test]
+    fn zero_hysteresis_still_climbs_one_rung_per_observation() {
+        // The degenerate config heals as fast as the controller ticks,
+        // but never jumps rungs: each observation is one step.
+        let mut l = Ladder::new();
+        l.observe(0, Rung::ReadOnly, 0);
+        assert_eq!(l.observe(0, Rung::FullMcast, 0), Rung::UMinOnly);
+        assert_eq!(l.observe(0, Rung::FullMcast, 0), Rung::MaskedMcast);
+        assert_eq!(l.observe(0, Rung::FullMcast, 0), Rung::FullMcast);
+    }
+
+    #[test]
+    fn force_down_at_or_below_the_current_rung_still_forfeits_calm() {
+        let mut l = Ladder::new();
+        l.observe(0, Rung::UMinOnly, 100);
+        l.observe(50, Rung::FullMcast, 100);
+        // A watchdog trip demanding a rung we already sit on (or better)
+        // changes nothing — except that the calm window restarts.
+        l.force_down(Rung::FullMcast);
+        assert_eq!(l.rung(), Rung::UMinOnly);
+        assert_eq!(l.observe(149, Rung::FullMcast, 100), Rung::UMinOnly);
+        assert_eq!(l.observe(249, Rung::FullMcast, 100), Rung::MaskedMcast);
+        assert_eq!(l.transitions(), 2);
+    }
+
+    #[test]
     fn apply_projects_onto_the_mode_cell() {
         let mode = FabricMode::new();
         let mut l = Ladder::new();

@@ -63,6 +63,12 @@ pub struct RunConfig {
     /// Fault plan injected into every link; `None` (and no-op plans) keep
     /// the fault-free fast path.
     pub faults: Option<FaultPlan>,
+    /// Scripted fabric-link outages: `(fabric link index, down, up)`
+    /// cycles, applied to `System::links.fabric[index % len]` after the
+    /// build. Unlike the [`FaultPlan`] hazard process these are bounded,
+    /// deterministic windows — the storm shape crash sweeps and response
+    /// experiments want.
+    pub outages: Vec<(usize, Cycle, Cycle)>,
 }
 
 impl Default for RunConfig {
@@ -73,6 +79,7 @@ impl Default for RunConfig {
             drain_max: 200_000,
             watchdog_grace: 20_000,
             faults: None,
+            outages: Vec::new(),
         }
     }
 }
@@ -105,6 +112,7 @@ impl RunConfig {
             drain_max: 60_000,
             watchdog_grace: 10_000,
             faults: None,
+            outages: Vec::new(),
         }
     }
 }
@@ -152,6 +160,19 @@ pub struct RunOutcome {
     pub degrade: DegradeCounters,
     /// Fault-responder activity (all zero without fault response).
     pub response: ResponseCounters,
+    /// Responder event-log entries plus latency samples evicted by their
+    /// ring bounds (0 without fault response) — how much history the
+    /// bounded logs shed over the run.
+    pub response_dropped: u64,
+    /// FNV-64 digest of the responder's full durable state at run end
+    /// (`None` without fault response). A crashed-and-recovered run must
+    /// reproduce the uncrashed oracle's digest exactly.
+    pub response_digest: Option<String>,
+    /// Cycles the engine's torn-install audit flagged: committed table
+    /// epochs diverged across switches with no armed commit explaining
+    /// the laggard. Always 0 when the audit is off (`epoch.audit`); must
+    /// stay 0 when it is on, crash recovery included.
+    pub torn_cycles: u64,
 }
 
 /// Builds the system, applies the workload and measures it.
@@ -175,8 +196,17 @@ pub fn run_experiment(config: &SystemConfig, spec: &TrafficSpec, run: &RunConfig
     for trace in &sys.sem_traces {
         trace.borrow_mut().set_enabled(true);
     }
+    if config.epoch_audit {
+        sys.engine.enable_epoch_audit();
+    }
     if let Some(plan) = &run.faults {
         sys.engine.install_faults(plan);
+    }
+    if !sys.links.fabric.is_empty() {
+        for &(idx, down, up) in &run.outages {
+            let link = sys.links.fabric[idx % sys.links.fabric.len()];
+            sys.engine.script_outage(link, down, up);
+        }
     }
     sys.shared.tracker.borrow_mut().set_measure_from(run.warmup);
     let mut responder = sys
@@ -265,7 +295,14 @@ pub fn run_experiment(config: &SystemConfig, spec: &TrafficSpec, run: &RunConfig
         faults: sys.engine.fault_counters(),
         recovery,
         degrade: sys.fabric_mode.counters(),
-        response: responder.map(|r| r.counters()).unwrap_or_default(),
+        response: responder.as_ref().map(|r| r.counters()).unwrap_or_default(),
+        response_dropped: responder.as_ref().map(|r| r.dropped()).unwrap_or_default(),
+        response_digest: responder.as_ref().map(|r| r.state_digest()),
+        torn_cycles: sys
+            .engine
+            .epoch_audit()
+            .map(|a| a.torn_cycles)
+            .unwrap_or_default(),
     }
 }
 
@@ -322,6 +359,7 @@ mod tests {
             drain_max: 2_000, // deliberately too short to drain
             watchdog_grace: 10_000,
             faults: None,
+            outages: Vec::new(),
         };
         let out = run_experiment(&cfg, &spec, &run);
         assert!(!out.deadlocked, "watchdog fired under saturation");
@@ -376,6 +414,7 @@ mod tests {
             drain_max: 123,
             watchdog_grace: 10_000,
             faults: None,
+            outages: Vec::new(),
         };
         let out = run_experiment(&cfg, &spec, &run);
         assert!(
@@ -427,6 +466,7 @@ mod tests {
                 down_len: 1 << 40,
                 ..netsim::FaultPlan::none(5)
             }),
+            outages: Vec::new(),
         };
         let out = run_experiment(&cfg, &spec, &run);
         assert!(out.deadlocked, "a fully cut network cannot drain");

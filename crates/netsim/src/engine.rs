@@ -61,6 +61,44 @@ pub trait Component {
     fn flush(&mut self, now: Cycle) {
         let _ = now;
     }
+
+    /// Epoch bookkeeping of a component participating in two-phase
+    /// routing-table installs (DESIGN.md §15): the epoch of its active
+    /// table set plus any commit armed but not yet activated. `None`
+    /// (the default) opts the component out of the torn-install audit —
+    /// hosts and test fixtures never appear in it.
+    fn epoch_status(&self) -> Option<EpochStatus> {
+        None
+    }
+}
+
+/// One component's view of the two-phase table-install protocol, as
+/// reported through [`Component::epoch_status`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochStatus {
+    /// Epoch of the table set the component currently decodes against
+    /// (0 = the build-time tables).
+    pub committed: u64,
+    /// Epoch armed for activation (committed by the coordinator) but not
+    /// yet swapped in — the component is mid-activation, typically
+    /// waiting to find itself empty.
+    pub pending: Option<u64>,
+}
+
+/// Running result of the per-cycle torn-install audit (see
+/// [`Engine::enable_epoch_audit`]).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct EpochAudit {
+    /// Cycles in which committed epochs diverged across components with
+    /// no armed commit explaining the laggard — a *torn* install: part of
+    /// the fabric decodes against tables the analyzer never vetted in
+    /// that combination. Must stay 0 under a correct two-phase protocol,
+    /// crash recovery included.
+    pub torn_cycles: u64,
+    /// First cycle the audit flagged, for forensics.
+    pub first_torn: Option<Cycle>,
+    /// Highest committed epoch observed anywhere on the fabric.
+    pub max_committed: u64,
 }
 
 /// Port bindings of one component: ranges into the engine's flat port
@@ -284,6 +322,8 @@ pub struct Engine {
     plan: Option<ShardPlan>,
     /// Shard count requested via [`Engine::set_shards`]; 0 = uncompiled.
     shards_requested: usize,
+    /// Torn-install audit state; `None` keeps the audit off the hot path.
+    epoch_audit: Option<EpochAudit>,
 }
 
 impl Engine {
@@ -596,6 +636,7 @@ impl Engine {
         }
         #[cfg(feature = "invariant-audit")]
         self.audit_invariants();
+        self.audit_epochs();
     }
 
     /// Recompiles the step schedule if absent or stale (shard count or
@@ -784,6 +825,53 @@ impl Engine {
         }
         #[cfg(feature = "invariant-audit")]
         self.audit_invariants();
+        self.audit_epochs();
+    }
+
+    /// Arms the per-cycle torn-install audit: after every cycle, the
+    /// committed epochs of all epoch-reporting components (see
+    /// [`Component::epoch_status`]) are compared, and any cycle in which
+    /// they diverge with no armed commit explaining the laggard is
+    /// counted as *torn*. A switch lagging behind the fleet *with* an
+    /// armed commit for the newest epoch is the legitimate in-flight
+    /// activation window (it swaps the moment it finds itself empty) and
+    /// is not flagged. Off by default; O(components) per cycle when on.
+    pub fn enable_epoch_audit(&mut self) {
+        self.epoch_audit.get_or_insert_with(EpochAudit::default);
+    }
+
+    /// The torn-install audit's running result, or `None` if the audit
+    /// was never enabled.
+    pub fn epoch_audit(&self) -> Option<EpochAudit> {
+        self.epoch_audit
+    }
+
+    /// The per-cycle pass behind [`Engine::enable_epoch_audit`].
+    fn audit_epochs(&mut self) {
+        if self.epoch_audit.is_none() {
+            return;
+        }
+        let mut max_committed = 0u64;
+        let mut any = false;
+        let mut torn = false;
+        for st in self.comps.iter().filter_map(|c| c.epoch_status()) {
+            any = true;
+            max_committed = max_committed.max(st.committed);
+        }
+        if any {
+            for st in self.comps.iter().filter_map(|c| c.epoch_status()) {
+                if st.committed < max_committed && st.pending.is_none_or(|p| p < max_committed) {
+                    torn = true;
+                    break;
+                }
+            }
+        }
+        let audit = self.epoch_audit.as_mut().expect("checked above");
+        audit.max_committed = max_committed;
+        if torn {
+            audit.torn_cycles += 1;
+            audit.first_torn.get_or_insert(self.now);
+        }
     }
 
     /// Full-fabric invariant sweep, run after every cycle under the

@@ -118,6 +118,50 @@ impl FabricHealth {
     pub fn has_pending(&self) -> bool {
         self.links.values().any(|entry| entry.pending.is_some())
     }
+
+    /// Every excursion still inside its debounce window, in link order:
+    /// `(link, onset cycle, raw state)`. Together with
+    /// [`FabricHealth::confirmed_down`] this is the view's full state —
+    /// a crash-recovery snapshot serializes both and rebuilds the view
+    /// with [`FabricHealth::restore`].
+    pub fn pending(&self) -> Vec<(LinkId, Cycle, bool)> {
+        self.links
+            .iter()
+            .filter_map(|(&link, entry)| entry.pending.map(|(at, down)| (link, at, down)))
+            .collect()
+    }
+
+    /// Rebuilds a view from snapshot state: the confirmed-down set plus
+    /// the in-flight excursions of [`FabricHealth::pending`]. The result
+    /// is byte-identical to the view the snapshot was taken from —
+    /// subsequent `observe`/`poll` sequences behave exactly as they would
+    /// have on the original.
+    pub fn restore(
+        debounce: Cycle,
+        confirmed_down: &[LinkId],
+        pending: &[(LinkId, Cycle, bool)],
+    ) -> Self {
+        let mut links = BTreeMap::new();
+        for &link in confirmed_down {
+            links.insert(
+                link,
+                LinkHealth {
+                    confirmed_down: true,
+                    pending: None,
+                },
+            );
+        }
+        for &(link, at, down) in pending {
+            links
+                .entry(link)
+                .or_insert(LinkHealth {
+                    confirmed_down: false,
+                    pending: None,
+                })
+                .pending = Some((at, down));
+        }
+        FabricHealth { debounce, links }
+    }
 }
 
 #[cfg(test)]

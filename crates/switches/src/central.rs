@@ -360,7 +360,7 @@ impl Component for CentralBufferSwitch {
                 return;
             }
             if ctl.tables_pending() && self.empty_now() {
-                let tables = ctl.take_tables().expect("pending checked");
+                let (_epoch, tables) = ctl.take_committed().expect("pending checked");
                 assert_eq!(
                     tables.table(self.id).n_ports(),
                     self.cfg.ports,
@@ -902,6 +902,15 @@ impl Component for CentralBufferSwitch {
     fn flush(&mut self, now: Cycle) {
         self.replay_idle_cycles(now - self.last_tick);
         self.last_tick = now;
+    }
+
+    /// Reports the two-phase install state off the control cell so the
+    /// engine's torn-install audit can compare epochs across the fabric.
+    fn epoch_status(&self) -> Option<netsim::engine::EpochStatus> {
+        self.ctl.as_ref().map(|c| netsim::engine::EpochStatus {
+            committed: c.committed_epoch(),
+            pending: c.pending_commit(),
+        })
     }
 }
 

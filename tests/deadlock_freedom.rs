@@ -17,6 +17,7 @@ fn assert_clean(cfg: SystemConfig, spec: TrafficSpec, tag: &str) {
         drain_max: 400_000,
         watchdog_grace: 30_000,
         faults: None,
+        outages: Vec::new(),
     };
     let out = run_experiment(&cfg, &spec, &run);
     assert!(!out.deadlocked, "{tag}: watchdog fired");
