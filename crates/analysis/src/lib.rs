@@ -29,8 +29,10 @@
 #![deny(unreachable_pub, missing_debug_implementations, missing_docs)]
 
 pub mod cdg;
+pub mod certify;
 pub mod checks;
 mod compose;
+pub mod destset;
 pub mod model;
 pub mod replay;
 pub mod report;
@@ -39,8 +41,10 @@ pub mod scc;
 mod symmetry;
 pub mod timing;
 
-pub use cdg::{build_cdg, Channel, ChannelGraph, Dependency, ShapeClass};
+pub use cdg::{build_cdg, build_cdg_budgeted, Channel, ChannelGraph, Dependency, ShapeClass};
+pub use certify::{certify_fabric, vet_reroute_certified, Certificate, CertifyOutcome, RankRule};
 pub use checks::{switch_sizing, ArchClass};
+pub use destset::{CompactPort, CompactTable, CompactTables, RunSet};
 pub use model::{
     check_model, check_model_opts, CheckOutcome, ModelBounds, ModelMode, ModelOptions, ModelStats,
     TraceOp, TraceStep, Violation,
@@ -51,7 +55,10 @@ pub use replay::{
 pub use report::{AnalysisStats, ConfigReport, CycleReport, Diagnostic, Severity};
 pub use roundtrip::lint_roundtrips;
 pub use scc::tarjan_sccs;
-pub use timing::{check_model_opts_timed, check_model_timed, vet_reroute_timed, Samples, VetStats};
+pub use timing::{
+    check_model_opts_timed, check_model_timed, vet_reroute_certified_timed, vet_reroute_timed,
+    Samples, VetStats,
+};
 
 use mintopo::route::{ReplicatePolicy, RouteTables};
 use mintopo::topology::Topology;
@@ -69,9 +76,44 @@ pub fn analyze_fabric(
     policy: ReplicatePolicy,
     report: &mut ConfigReport,
 ) {
-    let graph = build_cdg(topo, tables);
+    analyze_fabric_budgeted(topo, tables, policy, usize::MAX, report);
+}
+
+/// Budget-bounded variant of [`analyze_fabric`] for fabrics where full CDG
+/// enumeration is not affordable: stops after `max_deps` dependency edges.
+///
+/// When the budget is exhausted the truncated graph is a *prefix* of the
+/// true CDG, so cycle detection over it would be unsound — it is skipped,
+/// a `cdg-budget-exhausted` warning records the truncation honestly, and
+/// the deadlock verdict must come from a certificate check
+/// ([`certify::certify_fabric`]) instead. The header round-trip lint is
+/// independent of the CDG and runs either way. Returns whether the
+/// enumeration completed.
+pub fn analyze_fabric_budgeted(
+    topo: &Topology,
+    tables: &RouteTables,
+    policy: ReplicatePolicy,
+    max_deps: usize,
+    report: &mut ConfigReport,
+) -> bool {
+    let budgeted = build_cdg_budgeted(topo, tables, max_deps);
+    let graph = &budgeted.graph;
     report.stats.channels = graph.channels.len();
     report.stats.dependencies = graph.deps.len();
+
+    if !budgeted.completed {
+        report.warning(
+            "cdg-budget-exhausted",
+            format!(
+                "explicit CDG enumeration stopped at its budget of {max_deps} \
+                 dependency edges ({} channels) — cycle detection skipped; the \
+                 deadlock verdict must come from the certificate checker",
+                graph.channels.len()
+            ),
+        );
+        roundtrip::lint_roundtrips(tables, policy, report);
+        return false;
+    }
 
     let sccs = scc::tarjan_sccs(graph.channels.len(), &graph.adj);
     report.stats.sccs = sccs.len();
@@ -111,6 +153,7 @@ pub fn analyze_fabric(
     }
 
     roundtrip::lint_roundtrips(tables, policy, report);
+    true
 }
 
 /// Activation gate for online reroute candidates (DESIGN.md §10): runs the

@@ -14,6 +14,7 @@
 //! verdicts, never branched on, so identical runs still produce
 //! bit-identical simulation results.
 
+use crate::certify::{vet_reroute_certified, Certificate};
 use crate::model::{check_model, check_model_opts, CheckOutcome, ModelBounds, ModelOptions};
 use crate::report::{AnalysisStats, ConfigReport};
 use crate::{checks::ArchClass, vet_reroute};
@@ -169,6 +170,30 @@ pub fn vet_reroute_timed(
 ) -> Result<AnalysisStats, Box<ConfigReport>> {
     let start = Instant::now();
     let verdict = vet_reroute(topo, candidate, policy);
+    stats
+        .structural_ns
+        .record(start.elapsed().as_nanos() as u64);
+    verdict
+}
+
+/// Runs [`vet_reroute_certified`] under a timer, recording the duration
+/// into the same `structural_ns` accumulator as [`vet_reroute_timed`] —
+/// the certified gate is a drop-in replacement for the structural vet,
+/// so its latencies land in the same service metric.
+///
+/// # Errors
+///
+/// Exactly as [`vet_reroute_certified`]: the full report when any
+/// error-severity finding exists.
+pub fn vet_reroute_certified_timed(
+    topo: &Topology,
+    candidate: &RouteTables,
+    policy: ReplicatePolicy,
+    cert: &Certificate,
+    stats: &mut VetStats,
+) -> Result<AnalysisStats, Box<ConfigReport>> {
+    let start = Instant::now();
+    let verdict = vet_reroute_certified(topo, candidate, policy, cert);
     stats
         .structural_ns
         .record(start.elapsed().as_nanos() as u64);

@@ -7,10 +7,14 @@
 //! external property-testing crate), matching the `mintopo` and `netsim`
 //! proptest suites.
 
-use mdw_analysis::{analyze_fabric, lint_roundtrips, ConfigReport};
+use mdw_analysis::{
+    analyze_fabric, certify_fabric, lint_roundtrips, Certificate, CompactTables, ConfigReport,
+    RunSet,
+};
 use mintopo::irregular::Irregular;
 use mintopo::karytree::KaryTree;
 use mintopo::route::{ReplicatePolicy, RouteTables};
+use mintopo::topology::Topology;
 use mintopo::unimin::UniMin;
 use netsim::ids::{NodeId, SwitchId};
 use netsim::rng::SimRng;
@@ -131,6 +135,136 @@ fn random_scenarios_agree_between_oracle_and_reduced_checker() {
         let seed = r.below(1 << 30) as u64;
         let checked = mdw_analysis::model::testkit::random_scenario_probe(seed);
         assert!(checked > 0, "case {case}");
+    }
+}
+
+/// Run-length compression of dense destination strings is exact: every
+/// random set round-trips `dense → runs → dense` bit-identically, with
+/// universe, cardinality, and membership preserved — and never needs
+/// more runs than members.
+#[test]
+fn runset_compression_roundtrips_dense_sets_exactly() {
+    for case in 0..CASES {
+        let mut r = case_rng(7, case);
+        let hosts = 2 + r.below(400);
+        let src = NodeId(r.below(hosts) as u32);
+        let size = 1 + r.below(hosts - 1);
+        let dense = r.dest_set(hosts, size, src);
+        let runs = RunSet::from_dense(&dense);
+        assert_eq!(runs.to_dense(), dense, "case {case} ({hosts} hosts)");
+        assert_eq!(runs.universe(), hosts, "case {case}");
+        assert_eq!(runs.count(), dense.count(), "case {case}");
+        assert!(runs.n_runs() <= runs.count(), "case {case}");
+        for h in 0..hosts {
+            let node = NodeId(h as u32);
+            assert_eq!(
+                runs.contains(node),
+                dense.contains(node),
+                "case {case}, host {h}"
+            );
+        }
+    }
+    // The degenerate shapes the sampler can't hit.
+    for hosts in [1usize, 2, 64, 65] {
+        let empty = RunSet::empty(hosts);
+        assert_eq!(empty.to_dense().count(), 0);
+        let full = RunSet::full(hosts);
+        assert_eq!(full.to_dense().count(), hosts);
+        assert_eq!(full.n_runs(), 1, "consecutive bits coalesce to one run");
+    }
+}
+
+/// Compressed routing tables are an exact mirror of the dense ones on
+/// random shapes of all three topology classes: every port's run-encoded
+/// reach set expands back to the dense bit-string, classes and port
+/// order preserved, and deriving compact tables straight from the
+/// topology equals compressing the dense build.
+#[test]
+fn compact_tables_mirror_dense_tables_exactly() {
+    fn check(topo: &Topology, case: u64) {
+        let dense = RouteTables::build(topo);
+        let compact = CompactTables::from_dense(&dense);
+        assert_eq!(
+            compact,
+            CompactTables::build(topo),
+            "case {case}: direct derivation must equal dense compression"
+        );
+        assert_eq!(compact.n_hosts(), dense.n_hosts());
+        for s in 0..dense.n_switches() {
+            let sw = SwitchId::from(s);
+            let (d, c) = (dense.table(sw), compact.table(sw));
+            assert_eq!(d.n_ports(), c.n_ports(), "case {case}, switch {s}");
+            for p in 0..d.n_ports() {
+                let (dp, cp) = (d.port(p), c.port(p));
+                assert_eq!(dp.class, cp.class, "case {case}, switch {s} port {p}");
+                assert_eq!(
+                    cp.reach.to_dense(),
+                    dp.reach,
+                    "case {case}, switch {s} port {p}"
+                );
+            }
+        }
+    }
+    for case in 0..CASES {
+        let mut r = case_rng(8, case);
+        let (k, n) = karytree_params(&mut r);
+        let seed = r.below(500) as u64;
+        check(KaryTree::new(k, n).topology(), case);
+        check(UniMin::new(2 + (k % 3), 2 + (n % 2)).topology(), case);
+        check(Irregular::new(6, 8, 12, 3, seed).topology(), case);
+    }
+}
+
+/// The O(routes) certificate checker and the explicit CDG analyzer agree
+/// on random shapes of all three topology classes: both accept the
+/// honest up*/down* tables, and the certificate's channel/dependency
+/// counts equal the explicit graph's node/edge counts (the checker
+/// visits exactly the edges the explicit pass enumerates).
+#[test]
+fn certificate_checker_agrees_with_the_explicit_cdg() {
+    fn check(topo: &Topology, cert: &Certificate, case: u64) {
+        let tables = RouteTables::build(topo);
+        let mut explicit = ConfigReport::new();
+        analyze_fabric(topo, &tables, ReplicatePolicy::ReturnOnly, &mut explicit);
+        let mut certified = ConfigReport::new();
+        certify_fabric(
+            cert,
+            topo,
+            &CompactTables::from_dense(&tables),
+            &mut certified,
+        );
+        assert!(
+            !explicit.has_errors() && !certified.has_errors(),
+            "case {case}: {:?} / {:?}",
+            explicit.diagnostics,
+            certified.diagnostics
+        );
+        assert_eq!(
+            (explicit.stats.channels, explicit.stats.dependencies),
+            (certified.stats.channels, certified.stats.dependencies),
+            "case {case}: both paths must count the same fabric"
+        );
+    }
+    for case in 0..CASES {
+        let mut r = case_rng(9, case);
+        let (k, n) = karytree_params(&mut r);
+        let seed = r.below(500) as u64;
+        // The k-ary family gets the closed-form stage rule; arbitrary
+        // shapes get the explicit (depth, id) order.
+        let tree = KaryTree::new(k, n);
+        check(tree.topology(), &Certificate::for_karytree(&tree), case);
+        let uni = UniMin::new(2 + (k % 3), 2 + (n % 2));
+        check(
+            uni.topology(),
+            &Certificate::for_topology(uni.topology()),
+            case,
+        );
+        let irr = Irregular::new(6, 8, 12, 3, seed);
+        check(
+            irr.topology(),
+            &Certificate::for_topology(irr.topology()),
+            case,
+        );
     }
 }
 

@@ -69,6 +69,52 @@ pub struct BenchReport {
     /// Reduced-vs-unreduced model-check state counts and wall time at
     /// the 8/16-switch scale tiers (DESIGN.md §14).
     pub bench_model_check: Vec<ModelCheckBench>,
+    /// Certificate-vs-explicit deadlock-verdict wall times at the
+    /// 64/4K/64K-host fat-tree tiers (DESIGN.md §16).
+    pub bench_certify: Vec<CertifyBench>,
+}
+
+/// One fabric tier of the deadlock-verdict benchmark: the O(routes)
+/// rank-certificate checker over compressed reach sets against the
+/// explicit channel-dependency-graph analysis, bounded at the default
+/// `certify.cdg_budget` (DESIGN.md §16). At the 64K tier dense routing
+/// tables are infeasible (gigabytes of bit-strings), so only the
+/// symbolic compact path runs and the explicit columns record the skip.
+#[derive(Debug, Clone)]
+pub struct CertifyBench {
+    /// Host count of the fabric (`k^n` for the k-ary n-tree tier).
+    pub hosts: usize,
+    /// Switch count of the fabric.
+    pub switches: usize,
+    /// Channels the certificate checker enumerated.
+    pub channels: usize,
+    /// Dependency edges the certificate checker verified for rank
+    /// descent (each visited exactly once, never stored).
+    pub dependencies: usize,
+    /// The certificate accepted the fabric.
+    pub certify_ok: bool,
+    /// Wall time of the certificate path (table compression + descent
+    /// check), seconds.
+    pub certify_secs: f64,
+    /// Dependency-edge budget the explicit enumeration ran under (0
+    /// when it was not attempted).
+    pub explicit_budget: usize,
+    /// Dependency edges the explicit enumeration actually built (0 when
+    /// it was not attempted).
+    pub explicit_deps: usize,
+    /// The explicit enumeration finished inside its budget.
+    pub explicit_completed: bool,
+    /// The explicit analysis accepted the fabric (meaningful only when
+    /// it completed).
+    pub explicit_ok: bool,
+    /// Wall time of the explicit path, seconds (0 when not attempted).
+    pub explicit_secs: f64,
+    /// Dense per-port destination bit-strings fit in memory at this
+    /// tier; `false` = the symbolic compact path only, no explicit CDG.
+    pub dense_feasible: bool,
+    /// Certificate and explicit verdicts agree wherever both were
+    /// reached (vacuously true past the explicit path's budget).
+    pub verdicts_agree: bool,
 }
 
 /// One fabric tier of the model-check scale benchmark: the unreduced
@@ -185,6 +231,35 @@ impl BenchReport {
                 },
             ));
         }
+        let mut certify_rows = String::new();
+        for (i, c) in self.bench_certify.iter().enumerate() {
+            certify_rows.push_str(&format!(
+                "    {{\"hosts\": {}, \"switches\": {}, \"channels\": {}, \
+                 \"dependencies\": {}, \"certify_ok\": {}, \
+                 \"certify_secs\": {:.3}, \"explicit_budget\": {}, \
+                 \"explicit_deps\": {}, \"explicit_completed\": {}, \
+                 \"explicit_ok\": {}, \"explicit_secs\": {:.3}, \
+                 \"dense_feasible\": {}, \"verdicts_agree\": {}}}{}\n",
+                c.hosts,
+                c.switches,
+                c.channels,
+                c.dependencies,
+                c.certify_ok,
+                c.certify_secs,
+                c.explicit_budget,
+                c.explicit_deps,
+                c.explicit_completed,
+                c.explicit_ok,
+                c.explicit_secs,
+                c.dense_feasible,
+                c.verdicts_agree,
+                if i + 1 < self.bench_certify.len() {
+                    ","
+                } else {
+                    ""
+                },
+            ));
+        }
         format!(
             "{{\n  \"scale\": \"{}\",\n  \"exp\": \"{}\",\n  \"jobs_serial\": 1,\n  \
              \"jobs_parallel\": {},\n  \"host_cpus\": {},\n  \"serial_secs\": {:.3},\n  \
@@ -200,7 +275,8 @@ impl BenchReport {
              \"engine_shards\": {},\n  \"sequential_cycles_per_sec\": {:.0},\n  \
              \"sharded_cycles_per_sec\": {:.0},\n  \
              \"bench_scale\": [\n{fabrics}  ],\n  \
-             \"bench_model_check\": [\n{model_rows}  ]\n}}\n",
+             \"bench_model_check\": [\n{model_rows}  ],\n  \
+             \"bench_certify\": [\n{certify_rows}  ]\n}}\n",
             self.scale,
             self.exp,
             self.jobs_parallel,
@@ -456,6 +532,77 @@ pub fn bench_model_check() -> Vec<ModelCheckBench> {
         .collect()
 }
 
+/// Times both deadlock-verdict paths (DESIGN.md §16) at three fat-tree
+/// tiers: 64 hosts (explicit CDG completes, the verdicts must agree),
+/// 4096 hosts (the explicit pass is *expected* to exhaust the default
+/// `certify.cdg_budget` — recorded honestly, the certificate carries
+/// the verdict), and 65 536 hosts, where dense destination bit-strings
+/// would need gigabytes, so the tier runs only the symbolic compact
+/// path (`dense_feasible: false`).
+pub fn bench_certify() -> Vec<CertifyBench> {
+    vec![
+        certify_dense_tier(4, 3),
+        certify_dense_tier(4, 6),
+        certify_symbolic_tier(4, 8),
+    ]
+}
+
+/// One tier where dense tables fit: both paths run and are timed via
+/// [`SystemConfig::certify_comparison`].
+fn certify_dense_tier(k: usize, n: usize) -> CertifyBench {
+    let cfg = SystemConfig {
+        topology: TopologyKind::KaryTree { k, n },
+        ..SystemConfig::default()
+    };
+    let cmp = cfg.certify_comparison();
+    CertifyBench {
+        hosts: k.pow(n as u32),
+        switches: n * k.pow(n as u32 - 1),
+        channels: cmp.channels,
+        dependencies: cmp.dependencies,
+        certify_ok: cmp.certify_ok,
+        certify_secs: cmp.certify_secs,
+        explicit_budget: cmp.explicit_budget,
+        explicit_deps: cmp.explicit_deps,
+        explicit_completed: cmp.explicit_completed,
+        explicit_ok: cmp.explicit_ok,
+        explicit_secs: cmp.explicit_secs,
+        dense_feasible: true,
+        verdicts_agree: cmp.agree,
+    }
+}
+
+/// One tier past dense feasibility: closed-form compressed tables and
+/// the parametric certificate, no dense strings ever materialized. The
+/// explicit columns are zeroed — the comparison point at this scale is
+/// that there *is* no affordable explicit run.
+fn certify_symbolic_tier(k: usize, n: usize) -> CertifyBench {
+    use mdw_analysis::{Certificate, CompactTables};
+    use mintopo::KaryTree;
+
+    let tree = KaryTree::new(k, n);
+    let t = Instant::now();
+    let tables = CompactTables::for_karytree(&tree);
+    let cert = Certificate::for_karytree(&tree);
+    let out = cert.check(tree.topology(), &tables);
+    let certify_secs = t.elapsed().as_secs_f64();
+    CertifyBench {
+        hosts: tree.n_hosts(),
+        switches: tree.topology().n_switches(),
+        channels: out.channels,
+        dependencies: out.dependencies,
+        certify_ok: out.mismatch.is_none() && out.violations.is_empty(),
+        certify_secs,
+        explicit_budget: 0,
+        explicit_deps: 0,
+        explicit_completed: false,
+        explicit_ok: false,
+        explicit_secs: 0.0,
+        dense_feasible: false,
+        verdicts_agree: true,
+    }
+}
+
 /// Runs the suite serially (jobs = 1), then with `jobs_parallel` workers,
 /// verifies the outputs are byte-identical, and times the raw engine.
 /// Returns the report and the parallel pass's tables (for writing to
@@ -526,6 +673,7 @@ pub fn bench_sweep(
         sharded_cycles_per_sec,
         bench_scale: scale_fabrics,
         bench_model_check: bench_model_check(),
+        bench_certify: bench_certify(),
     };
     (report, parallel)
 }
@@ -592,6 +740,21 @@ mod tests {
                 compositional_states: 500,
                 compositional_secs: 0.01,
             }],
+            bench_certify: vec![CertifyBench {
+                hosts: 65_536,
+                switches: 131_072,
+                channels: 1_310_720,
+                dependencies: 5_242_880,
+                certify_ok: true,
+                certify_secs: 0.42,
+                explicit_budget: 0,
+                explicit_deps: 0,
+                explicit_completed: false,
+                explicit_ok: false,
+                explicit_secs: 0.0,
+                dense_feasible: false,
+                verdicts_agree: true,
+            }],
         };
         let j = r.json();
         assert!(j.contains("\"speedup\": 2.500"));
@@ -609,7 +772,33 @@ mod tests {
         assert!(j.contains("\"switches\": 16, \"unreduced_states\": 50000"));
         assert!(j.contains("\"unreduced_completed\": false"));
         assert!(j.contains("\"reduction_factor\": 25.0"));
+        assert!(j.contains("\"bench_certify\": ["));
+        assert!(j.contains("{\"hosts\": 65536, \"switches\": 131072"));
+        assert!(j.contains("\"dense_feasible\": false"));
+        assert!(j.contains("\"verdicts_agree\": true}"));
         assert!(j.ends_with("}\n"));
+    }
+
+    /// The small dense tier runs both verdict paths to completion and
+    /// they agree; the symbolic tier at the same shape enumerates the
+    /// identical channel and dependency counts without ever building a
+    /// dense table.
+    #[test]
+    fn certify_tiers_agree_where_both_paths_reach() {
+        let dense = certify_dense_tier(4, 3);
+        assert!(dense.dense_feasible && dense.certify_ok, "{dense:?}");
+        assert!(dense.explicit_completed && dense.explicit_ok, "{dense:?}");
+        assert!(dense.verdicts_agree, "{dense:?}");
+        assert_eq!((dense.hosts, dense.switches), (64, 48));
+
+        let sym = certify_symbolic_tier(4, 3);
+        assert!(!sym.dense_feasible && sym.certify_ok, "{sym:?}");
+        assert_eq!(sym.explicit_budget, 0, "explicit path never attempted");
+        assert_eq!(
+            (sym.channels, sym.dependencies),
+            (dense.channels, dense.dependencies),
+            "symbolic and dense enumerations must count the same fabric"
+        );
     }
 
     /// The model-check scale benchmark records the §14 claim: at both

@@ -12,6 +12,7 @@
 //! cargo run --release -p mdworm --bin mdw-lint -- --model-check configs/*.mdw
 //! cargo run --release -p mdworm --bin mdw-lint -- --model-check \
 //!     --model-switches 16 --model-jobs 4 --model-stats configs/sp2-default.mdw
+//! cargo run --release -p mdworm --bin mdw-lint -- --certify configs/fat-tree-4k.mdw
 //! ```
 //!
 //! Config files are `key = value` lines (`#` starts a comment); unknown
@@ -36,6 +37,16 @@
 //!   byte-identical at any value);
 //! * `--model-stats` — one JSON line per config with state counts, the
 //!   orbit-reduction factor, ample-set skips and wall time.
+//!
+//! `--certify` runs *both* deadlock-verdict paths over each statically
+//! sound config — the O(routes) rank-certificate checker
+//! (`mdw_analysis::certify`, DESIGN.md §16) and the explicit CDG
+//! analysis bounded at the config's `certify.cdg_budget` — and fails the
+//! lint if the certificate rejects the fabric or the two verdicts
+//! disagree where the explicit pass completed. The per-config line
+//! reports both wall times, so the certificate's advantage at 4K+
+//! endpoints (where explicit enumeration exhausts its budget) is visible
+//! directly.
 
 use mdw_analysis::{
     check_model_opts, ArchClass, CheckOutcome, ModelBounds, ModelMode, ModelOptions,
@@ -48,10 +59,11 @@ fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let usage = "usage: mdw-lint [--json] [--default] [--model-check] \
                  [--model-mode exact|compositional|auto] [--model-switches N] \
-                 [--model-jobs N] [--model-stats] <config.mdw>...";
+                 [--model-jobs N] [--model-stats] [--certify] <config.mdw>...";
     let mut json = false;
     let mut lint_default = false;
     let mut model_check = false;
+    let mut certify = false;
     let mut model_stats = false;
     let mut model_mode: Option<ModelMode> = None;
     let mut model_switches: Option<usize> = None;
@@ -70,6 +82,7 @@ fn main() {
             "--json" => json = true,
             "--default" => lint_default = true,
             "--model-check" => model_check = true,
+            "--certify" => certify = true,
             "--model-stats" => model_stats = true,
             "--model-mode" => {
                 model_mode = Some(match value_of(&mut i).as_str() {
@@ -140,6 +153,49 @@ fn main() {
             print!("{}", report.render_json());
         } else {
             print!("{name}: {}", report.render_human());
+        }
+        if certify && !report.has_errors() {
+            // Statically broken configs already fail the lint; sound ones
+            // get both deadlock-verdict paths, timed.
+            let cmp = cfg.certify_comparison();
+            let explicit_part = if cmp.explicit_completed {
+                format!(
+                    "explicit CDG {} in {:.3}s",
+                    if cmp.explicit_ok {
+                        "agreed"
+                    } else {
+                        "disagreed"
+                    },
+                    cmp.explicit_secs
+                )
+            } else {
+                format!(
+                    "explicit CDG budget-exhausted at {}/{} dependencies \
+                     after {:.3}s — certificate carries the verdict",
+                    cmp.explicit_deps, cmp.explicit_budget, cmp.explicit_secs
+                )
+            };
+            if cmp.certify_ok && cmp.agree {
+                if !json {
+                    println!(
+                        "{name}: certify passed — {} channels, {} dependencies \
+                         descend the rank in {:.3}s; {explicit_part}",
+                        cmp.channels, cmp.dependencies, cmp.certify_secs
+                    );
+                }
+            } else {
+                any_errors = true;
+                let why = if !cmp.certify_ok {
+                    "certificate checker rejected the fabric"
+                } else {
+                    "certificate and explicit CDG verdicts disagree"
+                };
+                if json {
+                    eprintln!("{name}: certify FAILED: {why}; {explicit_part}");
+                } else {
+                    println!("{name}: certify FAILED: {why}; {explicit_part}");
+                }
+            }
         }
         if model_check && !report.has_errors() {
             // Statically broken configs already fail the lint; only sound

@@ -192,6 +192,23 @@ pub fn parse_config(text: &str) -> Result<SystemConfig, String> {
                 "off" | "false" => cfg.epoch_audit = false,
                 _ => return Err(bad("epoch.audit (on|off)")),
             },
+            // Certificate-based deadlock-freedom checking (DESIGN.md
+            // §16); both spellings accepted.
+            "certify.enabled" | "certify_enabled" => match value {
+                "on" | "true" => cfg.certify.enabled = true,
+                "off" | "false" => cfg.certify.enabled = false,
+                _ => return Err(bad("certify.enabled (on|off)")),
+            },
+            "certify.cdg_budget" | "certify_cdg_budget" => {
+                cfg.certify.cdg_budget = parse_usize(key)?
+            }
+            // LRU capacity of the fault responder's vet memos; setting it
+            // implies `response = on`.
+            "response.memo_cap" | "response_memo_cap" => {
+                cfg.response
+                    .get_or_insert_with(ResponseConfig::default)
+                    .memo_cap = parse_usize(key)?
+            }
             // Resident control plane (`mdw-routed`) storm hardening.
             "routed" => match value {
                 "on" | "true" => {
@@ -527,6 +544,54 @@ mod tests {
         );
         let err = parse_config("journal.latency_cap = many").unwrap_err();
         assert!(err.contains("journal.latency_cap"), "{err}");
+    }
+
+    #[test]
+    fn certify_and_memo_keys_parse_both_spellings() {
+        let cfg = parse_config("").expect("parses");
+        assert!(!cfg.certify.enabled);
+        assert_eq!(cfg.certify.cdg_budget, 100_000);
+
+        let cfg = parse_config("certify.enabled = on").expect("parses");
+        assert!(cfg.certify.enabled);
+        let cfg = parse_config("certify_enabled = true\ncertify.enabled = off").expect("parses");
+        assert!(!cfg.certify.enabled, "later `off` wins");
+        let cfg = parse_config("certify.cdg_budget = 5000\ncertify_enabled = on").expect("parses");
+        assert!(cfg.certify.enabled);
+        assert_eq!(cfg.certify.cdg_budget, 5_000);
+        let cfg = parse_config("certify_cdg_budget = 123").expect("parses");
+        assert_eq!(cfg.certify.cdg_budget, 123);
+        assert!(!cfg.report().has_errors(), "{:?}", cfg.report().diagnostics);
+
+        // A zero budget is parseable but fails the lint.
+        let cfg = parse_config("certify.cdg_budget = 0").expect("parses");
+        assert!(
+            cfg.report()
+                .diagnostics
+                .iter()
+                .any(|d| d.code == "certify-budget-zero"),
+            "{:?}",
+            cfg.report().diagnostics
+        );
+        let err = parse_config("certify.enabled = maybe").unwrap_err();
+        assert!(err.contains("certify.enabled"), "{err}");
+        let err = parse_config("certify.cdg_budget = many").unwrap_err();
+        assert!(err.contains("certify.cdg_budget"), "{err}");
+
+        // Memo-cap keys materialize the response block like the journal
+        // keys do.
+        let cfg = parse_config("response.memo_cap = 64").expect("parses");
+        assert_eq!(
+            cfg.response.as_ref().expect("implies response").memo_cap,
+            64
+        );
+        let cfg = parse_config("response_memo_cap = 16").expect("parses");
+        assert_eq!(
+            cfg.response.as_ref().expect("implies response").memo_cap,
+            16
+        );
+        let err = parse_config("response.memo_cap = many").unwrap_err();
+        assert!(err.contains("response.memo_cap"), "{err}");
     }
 
     #[test]

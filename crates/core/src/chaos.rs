@@ -155,11 +155,25 @@ pub fn run_crash_sweep(
         config.response.is_some(),
         "crash sweep needs a responder (config.response)"
     );
+    // Memo hit/miss counters are process-local observability, not durable
+    // state: journal replay re-inserts vet verdicts without looking them
+    // up, so a crashed-and-recovered run reaches the same durable state
+    // through a different lookup sequence. They are cleared before the
+    // byte comparison (recovery wall-times are likewise excluded);
+    // everything else must match exactly.
+    fn comparable(outcome: &RunOutcome) -> RunOutcome {
+        RunOutcome {
+            vet_memo: Default::default(),
+            deep_memo: Default::default(),
+            ..outcome.clone()
+        }
+    }
+
     let oracle_h = handle(ChaosMode::Record);
     install(oracle_h.clone());
     let oracle = run_experiment(config, spec, run);
     let boundaries = oracle_h.borrow().boundaries;
-    let oracle_repr = format!("{oracle:?}");
+    let oracle_repr = format!("{:?}", comparable(&oracle));
 
     let mut tear_sizes = vec![0usize];
     tear_sizes.extend(tears.iter().copied().filter(|&t| t > 0));
@@ -183,7 +197,7 @@ pub fn run_crash_sweep(
             let outcome = run_experiment(config, spec, run);
             out.runs += 1;
             out.torn_cycles += outcome.torn_cycles;
-            if format!("{outcome:?}") != oracle_repr {
+            if format!("{:?}", comparable(&outcome)) != oracle_repr {
                 out.mismatches.push((boundary, tear_bytes));
             }
             let st = h.borrow();

@@ -75,8 +75,8 @@ use crate::journal::{
 };
 use collectives::DegradePlanner;
 use mdw_analysis::{
-    check_model_opts_timed, vet_reroute_timed, ArchClass, CheckOutcome, ModelBounds, ModelOptions,
-    Samples, VetStats,
+    check_model_opts_timed, vet_reroute_certified_timed, vet_reroute_timed, ArchClass, Certificate,
+    CheckOutcome, ModelBounds, ModelOptions, Samples, VetStats,
 };
 use mintopo::route::RouteTables;
 use mintopo::topology::Topology;
@@ -112,6 +112,13 @@ pub struct ResponseConfig {
     /// `journal.snapshot_every`); each snapshot compacts the journal, so
     /// this bounds both replay time and journal memory.
     pub snapshot_every: u64,
+    /// LRU capacity of the structural-vet and deep-vet memos (config key
+    /// `response.memo_cap`, floor 1). A responder embedded in a
+    /// long-running service sees an unbounded stream of (epoch, dead-set)
+    /// keys; the cap keeps both memos at steady-state memory, with
+    /// hit/miss/eviction counters surfaced in
+    /// [`crate::sim::RunOutcome::vet_memo`].
+    pub memo_cap: usize,
 }
 
 impl Default for ResponseConfig {
@@ -124,6 +131,7 @@ impl Default for ResponseConfig {
             event_log_cap: 1024,
             latency_cap: 4096,
             snapshot_every: 256,
+            memo_cap: 512,
         }
     }
 }
@@ -324,6 +332,101 @@ pub(crate) struct Episode {
     masked: Vec<(SwitchId, usize)>,
 }
 
+/// Activity counters of a [`BoundedMemo`], surfaced per run in
+/// [`crate::sim::RunOutcome`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Lookups answered from the memo.
+    pub hits: u64,
+    /// Lookups that missed and forced a fresh computation.
+    pub misses: u64,
+    /// Entries evicted to stay within the LRU capacity.
+    pub evictions: u64,
+    /// Entries currently held.
+    pub entries: usize,
+}
+
+/// An LRU-bounded memo: at most `cap` entries are retained, each insert
+/// past capacity evicting the least-recently-used key (and counting it),
+/// so a responder embedded in a long-running service holds steady-state
+/// memory — the memo analog of the bounded [`EventLog`] ring.
+#[derive(Debug)]
+struct BoundedMemo<K, V> {
+    cap: usize,
+    map: HashMap<K, V>,
+    /// Keys from least- to most-recently used.
+    order: VecDeque<K>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl<K: std::hash::Hash + Eq + Clone, V> BoundedMemo<K, V> {
+    /// An empty memo holding at most `cap` entries (floor 1).
+    fn new(cap: usize) -> Self {
+        BoundedMemo {
+            cap: cap.max(1),
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Looks `key` up, counting the hit or miss and refreshing the
+    /// entry's recency on a hit.
+    fn get(&mut self, key: &K) -> Option<&V> {
+        if self.map.contains_key(key) {
+            self.hits += 1;
+            self.touch(key);
+            self.map.get(key)
+        } else {
+            self.misses += 1;
+            None
+        }
+    }
+
+    /// Inserts (or refreshes) an entry, evicting the least-recently-used
+    /// one if the memo is at capacity.
+    fn insert(&mut self, key: K, value: V) {
+        if self.map.insert(key.clone(), value).is_some() {
+            self.touch(&key);
+            return;
+        }
+        self.order.push_back(key);
+        if self.map.len() > self.cap {
+            let lru = self.order.pop_front().expect("order tracks map");
+            self.map.remove(&lru);
+            self.evictions += 1;
+        }
+    }
+
+    /// Moves `key` to the most-recently-used position.
+    fn touch(&mut self, key: &K) {
+        if let Some(pos) = self.order.iter().position(|k| k == key) {
+            let k = self.order.remove(pos).expect("position is in range");
+            self.order.push_back(k);
+        }
+    }
+
+    /// Entries currently held.
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Snapshot of the activity counters.
+    fn stats(&self) -> MemoStats {
+        MemoStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            entries: self.map.len(),
+        }
+    }
+}
+
 /// Key of the epoch-scoped structural-vet memo: the candidate epoch plus
 /// the masked-port set it covers.
 type VetKey = (u64, Vec<(SwitchId, usize)>);
@@ -364,21 +467,30 @@ pub struct FaultResponder {
     journal: Journal,
     /// Highest epoch allocated so far (0 = none; build-time tables).
     last_epoch: u64,
-    /// Structural-vet verdicts keyed by *(epoch, masked-port set)*. The
-    /// epoch in the key is what makes recovery safe: a re-driven episode
-    /// reuses its own journaled verdict, while the same dead set vetted
-    /// again under a fresh epoch (a storm-controller retry) always runs a
-    /// fresh vet instead of serving a stale answer.
-    vetted: HashMap<VetKey, VetVerdict>,
+    /// Structural-vet verdicts keyed by *(epoch, masked-port set)*,
+    /// LRU-bounded at `cfg.memo_cap`. The epoch in the key is what makes
+    /// recovery safe: a re-driven episode reuses its own journaled
+    /// verdict, while the same dead set vetted again under a fresh epoch
+    /// (a storm-controller retry) always runs a fresh vet instead of
+    /// serving a stale answer.
+    vetted: BoundedMemo<VetKey, VetVerdict>,
     /// Cached verdicts of the bounded model check (the deep half of the
     /// reroute gate), keyed by the exploration bounds and reduction
-    /// options the check actually ran under. The verdict never depends on
-    /// the candidate tables, so one exploration per key covers every
-    /// reroute of the run — but a verdict obtained under loose bounds
-    /// (small fabric, shallow state cap) says nothing about a stricter
-    /// vet, so differently-bounded requests get their own entry instead
-    /// of silently reusing a weaker answer.
-    deep_vetted: HashMap<(ModelBounds, ModelOptions), Result<(), String>>,
+    /// options the check actually ran under and LRU-bounded at
+    /// `cfg.memo_cap`. The verdict never depends on the candidate tables,
+    /// so one exploration per key covers every reroute of the run — but a
+    /// verdict obtained under loose bounds (small fabric, shallow state
+    /// cap) says nothing about a stricter vet, so differently-bounded
+    /// requests get their own entry instead of silently reusing a weaker
+    /// answer.
+    deep_vetted: BoundedMemo<(ModelBounds, ModelOptions), Result<(), String>>,
+    /// Rank certificate of the live topology, present when
+    /// `certify.enabled`: the structural vet then runs the O(routes)
+    /// certificate gate ([`mdw_analysis::vet_reroute_certified`]) over
+    /// the compressed encoding instead of the explicit CDG analyzer —
+    /// same verdicts (differential tier enforced), sub-second at fabric
+    /// sizes where CDG enumeration exhausts its budget.
+    certificate: Option<Certificate>,
     /// Crash-injection harness hook; `None` outside chaos runs.
     chaos: Option<ChaosHandle>,
     /// Completed crash recoveries (journal replays).
@@ -415,6 +527,12 @@ impl FaultResponder {
         let health = FabricHealth::new(cfg.debounce);
         let events = EventLog::new(cfg.event_log_cap);
         let latency = Samples::with_cap(cfg.latency_cap);
+        let memo_cap = cfg.memo_cap;
+        let certificate = sys
+            .config
+            .certify
+            .enabled
+            .then(|| Certificate::for_topology(&sys.topology));
         FaultResponder {
             cfg,
             health,
@@ -430,8 +548,9 @@ impl FaultResponder {
             latency,
             journal,
             last_epoch: 0,
-            vetted: HashMap::new(),
-            deep_vetted: HashMap::new(),
+            vetted: BoundedMemo::new(memo_cap),
+            deep_vetted: BoundedMemo::new(memo_cap),
+            certificate,
             chaos: None,
             recoveries: 0,
             recovery_ns: Samples::new(),
@@ -665,30 +784,31 @@ impl FaultResponder {
             ..ModelOptions::default()
         };
         let key = (bounds, opts);
-        if !self.deep_vetted.contains_key(&key) {
-            let arch = match config.arch {
-                SwitchArch::CentralBuffer => ArchClass::CentralBuffer,
-                SwitchArch::InputBuffered => ArchClass::InputBuffered,
-            };
-            let sync = config.switch.replication == ReplicationMode::Synchronous;
-            let outcome = check_model_opts_timed(
-                arch,
-                sync,
-                config.switch.policy,
-                &key.0,
-                &key.1,
-                &mut self.vet_stats,
-            );
-            let verdict = match outcome {
-                CheckOutcome::Verified(_) => Ok(()),
-                CheckOutcome::Violated(v) => Err(format!(
-                    "bounded model check found a {} in scenario '{}': {}",
-                    v.kind, v.scenario, v.detail
-                )),
-            };
-            self.deep_vetted.insert(key.clone(), verdict);
+        if let Some(v) = self.deep_vetted.get(&key) {
+            return v.clone();
         }
-        self.deep_vetted[&key].clone()
+        let arch = match config.arch {
+            SwitchArch::CentralBuffer => ArchClass::CentralBuffer,
+            SwitchArch::InputBuffered => ArchClass::InputBuffered,
+        };
+        let sync = config.switch.replication == ReplicationMode::Synchronous;
+        let outcome = check_model_opts_timed(
+            arch,
+            sync,
+            config.switch.policy,
+            &key.0,
+            &key.1,
+            &mut self.vet_stats,
+        );
+        let verdict = match outcome {
+            CheckOutcome::Verified(_) => Ok(()),
+            CheckOutcome::Violated(v) => Err(format!(
+                "bounded model check found a {} in scenario '{}': {}",
+                v.kind, v.scenario, v.detail
+            )),
+        };
+        self.deep_vetted.insert(key, verdict.clone());
+        verdict
     }
 
     /// The full candidate vet — structural analyzer plus behavioral model
@@ -708,7 +828,20 @@ impl FaultResponder {
         if let Some(v) = self.vetted.get(&key) {
             return v.clone();
         }
-        let verdict = vet_reroute_timed(topo, candidate, config.switch.policy, &mut self.vet_stats)
+        // Certificate present (certify.enabled): the O(routes) certified
+        // gate replaces the explicit CDG analyzer; identical verdicts,
+        // sub-second at fabric sizes the explicit pass cannot afford.
+        let structural = match &self.certificate {
+            Some(cert) => vet_reroute_certified_timed(
+                topo,
+                candidate,
+                config.switch.policy,
+                cert,
+                &mut self.vet_stats,
+            ),
+            None => vet_reroute_timed(topo, candidate, config.switch.policy, &mut self.vet_stats),
+        };
+        let verdict = structural
             .map_err(|report| {
                 let d = report.first_error().expect("vet failed with no error");
                 (d.code.to_string(), d.message.clone())
@@ -735,6 +868,17 @@ impl FaultResponder {
     /// Snapshot of the activity counters.
     pub fn counters(&self) -> ResponseCounters {
         self.counters
+    }
+
+    /// Activity counters of the structural-vet memo (LRU-bounded at
+    /// `memo_cap`).
+    pub fn vet_memo_stats(&self) -> MemoStats {
+        self.vetted.stats()
+    }
+
+    /// Activity counters of the deep-vet (model-check) memo.
+    pub fn deep_memo_stats(&self) -> MemoStats {
+        self.deep_vetted.stats()
     }
 
     /// Directed fabric ports currently masked out of the active tables.
@@ -1287,6 +1431,7 @@ mod tests {
     /// memoized vets, which never touch a live engine.
     fn bare_responder() -> FaultResponder {
         let cfg = ResponseConfig::default();
+        let memo_cap = cfg.memo_cap;
         let events = EventLog::new(cfg.event_log_cap);
         let health = FabricHealth::new(cfg.debounce);
         let latency = Samples::with_cap(cfg.latency_cap);
@@ -1308,8 +1453,9 @@ mod tests {
             latency,
             journal,
             last_epoch: 0,
-            vetted: HashMap::new(),
-            deep_vetted: HashMap::new(),
+            vetted: BoundedMemo::new(memo_cap),
+            deep_vetted: BoundedMemo::new(memo_cap),
+            certificate: None,
             chaos: None,
             recoveries: 0,
             recovery_ns: Samples::new(),
@@ -1388,6 +1534,106 @@ mod tests {
             .expect("fresh vet under the new epoch");
         assert_eq!(r.vet_stats.structural_ns.count(), 2);
         assert_eq!(r.vetted.len(), 2, "one entry per (epoch, masked) key");
+    }
+
+    #[test]
+    fn bounded_memo_evicts_lru_and_counts() {
+        let mut m: BoundedMemo<u32, u32> = BoundedMemo::new(2);
+        m.insert(1, 10);
+        m.insert(2, 20);
+        assert_eq!(m.get(&1), Some(&10), "touch 1: 2 becomes the LRU");
+        m.insert(3, 30);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get(&2), None, "2 was evicted, not 1");
+        assert_eq!(m.get(&1), Some(&10));
+        assert_eq!(m.get(&3), Some(&30));
+
+        let st = m.stats();
+        assert_eq!(st.hits, 3);
+        assert_eq!(st.misses, 1);
+        assert_eq!(st.evictions, 1);
+        assert_eq!(st.entries, 2);
+
+        // Re-inserting an existing key refreshes, never evicts.
+        m.insert(1, 11);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.stats().evictions, 1);
+        assert_eq!(m.get(&1), Some(&11));
+
+        // Capacity floor is 1, like the event log.
+        let mut tiny: BoundedMemo<u32, u32> = BoundedMemo::new(0);
+        tiny.insert(1, 1);
+        tiny.insert(2, 2);
+        assert_eq!(tiny.len(), 1);
+        assert_eq!(tiny.stats().evictions, 1);
+    }
+
+    #[test]
+    fn vet_memos_are_bounded_at_memo_cap() {
+        let mut r = bare_responder();
+        r.cfg.memo_cap = 2;
+        r.vetted = BoundedMemo::new(r.cfg.memo_cap);
+
+        use mintopo::topology::TopologyBuilder;
+        use netsim::ids::NodeId;
+        let mut b = TopologyBuilder::new(2);
+        let s0 = b.add_switch(3, 1);
+        let s1 = b.add_switch(1, 0);
+        b.attach_host(NodeId(0), s0, 0);
+        b.attach_host(NodeId(1), s0, 1);
+        b.connect(s0, 2, s1, 0);
+        let topo = b.build();
+        let tables = RouteTables::build(&topo);
+        let config = SystemConfig::default();
+        let masked: Vec<(SwitchId, usize)> = Vec::new();
+
+        // Three distinct epochs through a 2-entry memo: the first entry
+        // is evicted, the memo never grows past its cap.
+        for epoch in 1..=3 {
+            r.vet_candidate(&topo, &config, &tables, epoch, &masked)
+                .expect("healthy tables vet");
+        }
+        assert_eq!(r.vetted.len(), 2);
+        let st = r.vet_memo_stats();
+        assert_eq!(st.evictions, 1);
+        assert_eq!(st.misses, 3);
+        assert_eq!(st.entries, 2);
+
+        // Epoch 1 was the LRU: re-vetting it misses and re-runs the
+        // analyzer; epoch 3 still hits.
+        let before = r.vet_stats.structural_ns.count();
+        r.vet_candidate(&topo, &config, &tables, 3, &masked)
+            .expect("memo hit");
+        assert_eq!(r.vet_stats.structural_ns.count(), before);
+        r.vet_candidate(&topo, &config, &tables, 1, &masked)
+            .expect("fresh vet after eviction");
+        assert_eq!(r.vet_stats.structural_ns.count(), before + 1);
+        assert_eq!(r.vet_memo_stats().hits, 1);
+    }
+
+    #[test]
+    fn certified_responder_vet_agrees_with_explicit() {
+        use mintopo::topology::TopologyBuilder;
+        use netsim::ids::NodeId;
+        let mut b = TopologyBuilder::new(2);
+        let s0 = b.add_switch(3, 1);
+        let s1 = b.add_switch(1, 0);
+        b.attach_host(NodeId(0), s0, 0);
+        b.attach_host(NodeId(1), s0, 1);
+        b.connect(s0, 2, s1, 0);
+        let topo = b.build();
+        let tables = RouteTables::build(&topo);
+        let config = SystemConfig::default();
+        let masked: Vec<(SwitchId, usize)> = Vec::new();
+
+        let mut certified = bare_responder();
+        certified.certificate = Some(Certificate::for_topology(&topo));
+        let mut explicit = bare_responder();
+        let a = certified.vet_candidate(&topo, &config, &tables, 1, &masked);
+        let b = explicit.vet_candidate(&topo, &config, &tables, 1, &masked);
+        assert_eq!(a, b, "certified and explicit gates must agree");
+        assert!(a.is_ok());
+        assert_eq!(certified.vet_stats.structural_ns.count(), 1);
     }
 
     #[test]

@@ -181,6 +181,72 @@ fn shipped_experiment_configs_pass_clean() {
     }
 }
 
+/// The differential contract behind `mdw-lint --certify`, over every
+/// shipped config file: each parses; on every statically sound one the
+/// certificate checker accepts and agrees with the explicit CDG
+/// analyzer wherever the explicit pass completes inside its budget; and
+/// enabling certification changes *nothing* in the rendered report on
+/// fabrics the explicit pass covers — the certified lint is
+/// byte-identical there, warnings and all.
+#[test]
+fn shipped_config_files_certify_consistently() {
+    let configs = concat!(env!("CARGO_MANIFEST_DIR"), "/../../configs");
+    let mut seen = 0;
+    let mut entries: Vec<_> = std::fs::read_dir(configs)
+        .expect("configs dir")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "mdw"))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path.display();
+        let text = std::fs::read_to_string(&path).expect("read config");
+        let cfg = mdworm::cfgtext::parse_config(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        seen += 1;
+
+        let mut plain_cfg = cfg.clone();
+        plain_cfg.certify.enabled = false;
+        let plain = plain_cfg.report();
+        let mut certified_cfg = cfg.clone();
+        certified_cfg.certify.enabled = true;
+        let certified = certified_cfg.report();
+        assert_eq!(
+            plain.has_errors(),
+            certified.has_errors(),
+            "{name}: certification must not change the verdict: {:?}",
+            certified.diagnostics
+        );
+        if plain.has_errors() {
+            continue; // statically condemned — no fabric pass to compare
+        }
+
+        let cmp = certified_cfg.certify_comparison();
+        assert!(cmp.certify_ok, "{name}: certificate must accept: {cmp:?}");
+        assert!(cmp.agree, "{name}: verdicts must agree: {cmp:?}");
+        if cmp.explicit_completed {
+            assert!(cmp.explicit_ok, "{name}: {cmp:?}");
+            assert_eq!(
+                plain.render_human(),
+                certified.render_human(),
+                "{name}: certified lint must render byte-identically"
+            );
+            assert_eq!(plain.render_json(), certified.render_json(), "{name}");
+        } else {
+            // Past the budget the certified report carries the honest
+            // exhaustion warning and the certificate's (larger) counts.
+            assert!(
+                certified
+                    .warnings()
+                    .any(|w| w.code == "cdg-budget-exhausted"),
+                "{name}: {:?}",
+                certified.diagnostics
+            );
+            assert!(cmp.dependencies > cmp.explicit_budget, "{name}: {cmp:?}");
+        }
+    }
+    assert!(seen >= 8, "only {seen} shipped configs found");
+}
+
 /// The `mdw-lint` binary end-to-end over the shipped config files:
 /// the SP2-style default passes, the crafted undersized-central-buffer
 /// config is rejected with a nonzero exit code and a diagnostic naming
@@ -209,4 +275,37 @@ fn mdw_lint_cli_flags_the_shipped_deadlock_config() {
     assert!(warned.status.success(), "{warned:?}");
     let out = String::from_utf8_lossy(&warned.stdout);
     assert!(out.contains("sync-replication-hazard"), "{out}");
+}
+
+/// `mdw-lint --certify` end-to-end: on the paper-scale default both
+/// verdict paths run and agree; on the shipped 4K fat-tree the explicit
+/// CDG honestly exhausts its budget and the certificate carries the
+/// verdict — with exit code 0 either way.
+#[test]
+fn mdw_lint_certify_carries_the_verdict_at_scale() {
+    let configs = concat!(env!("CARGO_MANIFEST_DIR"), "/../../configs");
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_mdw-lint"))
+        .args([
+            "--certify",
+            &format!("{configs}/sp2-default.mdw"),
+            &format!("{configs}/fat-tree-4k.mdw"),
+        ])
+        .output()
+        .expect("run mdw-lint --certify");
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        text.matches("certify passed").count(),
+        2,
+        "both configs certify: {text}"
+    );
+    assert!(
+        text.contains("explicit CDG agreed"),
+        "sp2 default fits the budget: {text}"
+    );
+    assert!(
+        text.contains("budget-exhausted") && text.contains("certificate carries the verdict"),
+        "4K tier must record the exhaustion honestly: {text}"
+    );
+    assert!(!text.contains("certify FAILED"), "{text}");
 }

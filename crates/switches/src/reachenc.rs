@@ -1,0 +1,95 @@
+//! Reach-encoding seam between routing metadata and the header decode.
+//!
+//! The production decode ([`crate::decode`]) consumes dense `N`-bit
+//! destination strings, but the static-analysis path increasingly carries
+//! *compressed* destination sets (interval runs over the fat-tree host
+//! space) that only materialize a dense string when a header must actually
+//! be built. This trait is the boundary: any encoding that can state its
+//! universe, emptiness, and an exact dense expansion can be fed to the
+//! round-trip verifier without the caller committing to a representation.
+//!
+//! The contract is exactness, not efficiency: `to_dense` must produce the
+//! same `DestSet` the encoding logically denotes, bit for bit, because the
+//! decode cross-validation downstream compares branch headers against it.
+
+use mintopo::route::{ReplicatePolicy, SwitchTable};
+use netsim::destset::DestSet;
+
+/// An exact, losslessly dense-expandable destination-set encoding.
+pub trait ReachEncoding {
+    /// Total number of addressable hosts (the bit-string length `N`).
+    fn universe(&self) -> usize;
+
+    /// `true` when the encoding denotes the empty set.
+    fn is_empty(&self) -> bool;
+
+    /// Exact dense expansion: the `N`-bit string this encoding denotes.
+    fn to_dense(&self) -> DestSet;
+}
+
+impl ReachEncoding for DestSet {
+    fn universe(&self) -> usize {
+        DestSet::universe(self)
+    }
+
+    fn is_empty(&self) -> bool {
+        DestSet::is_empty(self)
+    }
+
+    fn to_dense(&self) -> DestSet {
+        self.clone()
+    }
+}
+
+/// Round-trips an arbitrarily encoded destination set through the
+/// production bit-string decode: expands `dests` to its dense form and
+/// delegates to [`crate::verify_bitstring_roundtrip`].
+///
+/// # Errors
+///
+/// Propagates the verifier's description of the first decode
+/// inconsistency (non-partitioning branch headers, duplicated or escaped
+/// destinations).
+pub fn verify_roundtrip_encoded<R: ReachEncoding>(
+    table: &SwitchTable,
+    dests: &R,
+    policy: ReplicatePolicy,
+) -> Result<Vec<(usize, DestSet)>, String> {
+    crate::verify_bitstring_roundtrip(table, &dests.to_dense(), policy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mintopo::route::RouteTables;
+    use mintopo::topology::TopologyBuilder;
+    use netsim::ids::{NodeId, SwitchId};
+
+    #[test]
+    fn dense_encoding_is_the_identity() {
+        let s = DestSet::from_nodes(8, [1, 3, 4].map(NodeId));
+        assert_eq!(ReachEncoding::universe(&s), 8);
+        assert!(!ReachEncoding::is_empty(&s));
+        assert_eq!(ReachEncoding::to_dense(&s), s);
+    }
+
+    #[test]
+    fn encoded_roundtrip_matches_direct_call() {
+        let mut b = TopologyBuilder::new(4);
+        let s0 = b.add_switch(4, 1);
+        let s1 = b.add_switch(4, 1);
+        let s2 = b.add_switch(4, 0);
+        for h in 0..2 {
+            b.attach_host(NodeId(h), s0, h as usize);
+            b.attach_host(NodeId(h + 2), s1, h as usize);
+        }
+        b.connect(s0, 3, s2, 0);
+        b.connect(s1, 3, s2, 1);
+        let tables = RouteTables::build(&b.build());
+        let dests = DestSet::full(4);
+        let table = tables.table(SwitchId(2));
+        let direct = crate::verify_bitstring_roundtrip(table, &dests, ReplicatePolicy::ReturnOnly);
+        let encoded = verify_roundtrip_encoded(table, &dests, ReplicatePolicy::ReturnOnly);
+        assert_eq!(direct, encoded);
+    }
+}
